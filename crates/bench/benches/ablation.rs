@@ -1,0 +1,98 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **holistic optimization** (filter pushdown + projection pruning across
+//!    inlined views) — the mechanism behind the paper's VIEW-mode wins,
+//! 2. **the CTE fence** — materialize vs. inline,
+//! 3. **view materialization under repeated inspection** — why §6.3's
+//!    materialized views pay off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlinspect::backends::pandas::FileRegistry;
+use mlinspect::backends::sql::SqlBackend;
+use mlinspect::backends::{BaselineCosts, RunConfig};
+use mlinspect::capture::capture_with_seed;
+use mlinspect::inspection::Inspection;
+use mlinspect::pipelines;
+use mlinspect::sqlgen::SqlMode;
+use sqlengine::{Engine, EngineProfile};
+
+const ROWS: usize = 20_000;
+
+fn taxi_files() -> FileRegistry {
+    let mut files = FileRegistry::new();
+    files.insert("taxi.csv", datagen::taxi_csv(ROWS, 7));
+    files
+}
+
+fn inspection_config(columns: &[&str]) -> RunConfig {
+    RunConfig {
+        inspections: vec![Inspection::HistogramForColumns(
+            columns.iter().map(|c| c.to_string()).collect(),
+        )],
+        keep_relations: false,
+        force_outputs: true,
+        baseline_costs: BaselineCosts::zero(),
+    }
+}
+
+fn run_taxi(profile: EngineProfile, mode: SqlMode, materialize: bool) {
+    let files = taxi_files();
+    let config = inspection_config(&["passenger_count", "trip_distance", "payment_type"]);
+    let captured = capture_with_seed(pipelines::TAXI, 0).unwrap();
+    let mut engine = Engine::new(profile);
+    SqlBackend::run(&captured.dag, &files, &config, &mut engine, mode, materialize).unwrap();
+}
+
+fn bench_optimizer_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_ablation");
+    group.sample_size(10);
+    let mut on = EngineProfile::in_memory();
+    on.name = "opt-on".into();
+    let mut off = EngineProfile::in_memory();
+    off.name = "opt-off".into();
+    off.enable_optimizer = false;
+    group.bench_function("holistic_on", |b| {
+        b.iter(|| run_taxi(on.clone(), SqlMode::View, false))
+    });
+    group.bench_function("holistic_off", |b| {
+        b.iter(|| run_taxi(off.clone(), SqlMode::View, false))
+    });
+    group.finish();
+}
+
+fn bench_cte_fence_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cte_fence_ablation");
+    group.sample_size(10);
+    // Same disk profile; the only difference is whether the fence applies.
+    let fenced = EngineProfile::disk_based_no_latency();
+    let mut inlined = EngineProfile::disk_based_no_latency();
+    inlined.materialize_ctes = false;
+    group.bench_function("fenced", |b| {
+        b.iter(|| run_taxi(fenced.clone(), SqlMode::Cte, false))
+    });
+    group.bench_function("inlined", |b| {
+        b.iter(|| run_taxi(inlined.clone(), SqlMode::Cte, false))
+    });
+    group.finish();
+}
+
+fn bench_materialization_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialization_ablation");
+    group.sample_size(10);
+    let profile = EngineProfile::disk_based_no_latency();
+    group.bench_function("views_plain", |b| {
+        b.iter(|| run_taxi(profile.clone(), SqlMode::View, false))
+    });
+    group.bench_function("views_materialized", |b| {
+        b.iter(|| run_taxi(profile.clone(), SqlMode::View, true))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimizer_ablation,
+    bench_cte_fence_ablation,
+    bench_materialization_ablation
+);
+criterion_main!(benches);

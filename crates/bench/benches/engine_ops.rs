@@ -1,0 +1,143 @@
+//! Microbenchmarks of the SQL engine against the dataframe baseline on the
+//! individual operators the pipelines are made of (selection, join,
+//! group-by) — the substrate behind Figure 10's per-operation view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataframe::{AggFunc, AggSpec, DataFrame, ElemOp, JoinType};
+use etypes::Value;
+use sqlengine::{Engine, EngineProfile};
+
+const ROWS: usize = 10_000;
+
+fn seed_engine(profile: EngineProfile) -> Engine {
+    let mut e = Engine::new(profile);
+    e.execute("CREATE TABLE t (g int, v int)").unwrap();
+    let rows: Vec<String> = (0..ROWS)
+        .map(|i| format!("({}, {})", i % 10, i % 997))
+        .collect();
+    e.execute(&format!("INSERT INTO t VALUES {}", rows.join(",")))
+        .unwrap();
+    e
+}
+
+fn seed_frame() -> DataFrame {
+    let g: Vec<Value> = (0..ROWS).map(|i| Value::Int((i % 10) as i64)).collect();
+    let v: Vec<Value> = (0..ROWS).map(|i| Value::Int((i % 997) as i64)).collect();
+    DataFrame::from_columns(vec![
+        dataframe::Series::new("g", g),
+        dataframe::Series::new("v", v),
+    ])
+    .unwrap()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    let df = seed_frame();
+    group.bench_function("dataframe", |b| {
+        b.iter(|| {
+            let mask = df
+                .column("v")
+                .unwrap()
+                .binary_scalar(ElemOp::Gt, &Value::Int(500))
+                .unwrap();
+            df.filter(&mask).unwrap()
+        })
+    });
+    for profile in [EngineProfile::in_memory(), EngineProfile::disk_based()] {
+        let mut e = seed_engine(profile.clone());
+        group.bench_with_input(
+            BenchmarkId::new("sql", &profile.name),
+            &profile.name,
+            |b, _| b.iter(|| e.query("SELECT g, v FROM t WHERE v > 500").unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_by");
+    let df = seed_frame();
+    group.bench_function("dataframe", |b| {
+        b.iter(|| {
+            df.groupby(&["g"])
+                .unwrap()
+                .agg(&[AggSpec {
+                    output: "m".into(),
+                    input: "v".into(),
+                    func: AggFunc::Mean,
+                }])
+                .unwrap()
+        })
+    });
+    for profile in [EngineProfile::in_memory(), EngineProfile::disk_based()] {
+        let mut e = seed_engine(profile.clone());
+        group.bench_with_input(
+            BenchmarkId::new("sql", &profile.name),
+            &profile.name,
+            |b, _| b.iter(|| e.query("SELECT g, avg(v) AS m FROM t GROUP BY g").unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    group.sample_size(20);
+    let df = seed_frame();
+    let lookup = DataFrame::from_columns(vec![
+        dataframe::Series::new("g", (0..10).map(Value::Int).collect::<Vec<_>>()),
+        dataframe::Series::new(
+            "label",
+            (0..10).map(|i| Value::text(format!("g{i}"))).collect::<Vec<_>>(),
+        ),
+    ])
+    .unwrap();
+    group.bench_function("dataframe", |b| {
+        b.iter(|| df.merge(&lookup, &["g"], JoinType::Inner).unwrap())
+    });
+    for profile in [EngineProfile::in_memory(), EngineProfile::disk_based()] {
+        let mut e = seed_engine(profile.clone());
+        e.execute("CREATE TABLE lk (g int, label text)").unwrap();
+        let rows: Vec<String> = (0..10).map(|i| format!("({i}, 'g{i}')")).collect();
+        e.execute(&format!("INSERT INTO lk VALUES {}", rows.join(",")))
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sql", &profile.name),
+            &profile.name,
+            |b, _| {
+                b.iter(|| {
+                    e.query("SELECT t.g, v, label FROM t INNER JOIN lk ON t.g = lk.g")
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cte_fence(c: &mut Criterion) {
+    // The optimization fence itself: the same query with a fenced vs an
+    // inlined CTE, on the same (in-memory) engine.
+    let mut group = c.benchmark_group("cte_fence");
+    let mut e = seed_engine(EngineProfile::in_memory());
+    group.bench_function("inlined", |b| {
+        b.iter(|| {
+            e.query(
+                "WITH c AS (SELECT g, v FROM t) SELECT count(*) AS n FROM c WHERE v > 900",
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("fenced", |b| {
+        b.iter(|| {
+            e.query(
+                "WITH c AS MATERIALIZED (SELECT g, v FROM t) SELECT count(*) AS n FROM c WHERE v > 900",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_group_by, bench_join, bench_cte_fence);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion counterpart of Table 3: transpilation time per pipeline and
+//! target mode. The paper reports 17–134 ms (CPython); the Rust pipeline
+//! capture + SQL generation is far below that, but the *relative* shape
+//! (healthcare/compas > adult; +inspection > +sklearn > pandas) holds.
+
+use bench::data::pipeline_files_cached;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlinspect::backends::pandas::FileRegistry;
+use mlinspect::backends::sql::SqlBackend;
+use mlinspect::capture::capture_with_seed;
+use mlinspect::pipelines;
+use mlinspect::sqlgen::SqlMode;
+
+fn registry(pipeline: &str) -> FileRegistry {
+    let mut files = FileRegistry::new();
+    for (name, content) in pipeline_files_cached(pipeline, 200, 97) {
+        files.insert(name, content);
+    }
+    files
+}
+
+fn source(pipeline: &str) -> &'static str {
+    match pipeline {
+        "healthcare" => pipelines::HEALTHCARE,
+        "compas" => pipelines::COMPAS,
+        "adult_simple" => pipelines::ADULT_SIMPLE,
+        "adult_complex" => pipelines::ADULT_COMPLEX,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    for pipeline in ["healthcare", "compas", "adult_simple", "adult_complex"] {
+        let files = registry(pipeline);
+        let src = source(pipeline);
+        for mode in [SqlMode::Cte, SqlMode::View] {
+            let label = format!("{pipeline}/{mode:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+                b.iter(|| {
+                    let captured = capture_with_seed(src, 0).unwrap();
+                    SqlBackend::transpile(&captured.dag, &files, *mode).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capture");
+    for pipeline in ["healthcare", "compas"] {
+        let src = source(pipeline);
+        group.bench_function(pipeline, |b| {
+            b.iter(|| capture_with_seed(src, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile, bench_capture);
+criterion_main!(benches);

@@ -1,0 +1,457 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- fig7b --sizes 100,1000,10000 --reps 3
+//! ```
+//!
+//! | command  | paper artefact |
+//! |----------|----------------|
+//! | `table3` | transpilation time |
+//! | `fig7a`  | pandas-only runtime sweep |
+//! | `fig7b`  | + scikit-learn |
+//! | `fig7c`  | + inspection |
+//! | `fig8`   | end-to-end incl. training |
+//! | `fig9`   | ratio changes during preprocessing (healthcare) |
+//! | `table4` | ratios before/after preprocessing |
+//! | `table5` | model accuracy over 5 runs |
+//! | `fig10`  | operation-level breakdown (compas) |
+//! | `fig11`  | runtime vs. number of inspected columns (taxi) |
+
+use bench::data::{original_size, pipeline_files_cached, sensitive_columns};
+use bench::report::{fmt_duration, fmt_factor, TextTable};
+use bench::{run_once, Phase, Target};
+use mlinspect::backends::pandas::FileRegistry;
+use mlinspect::backends::sql::SqlBackend;
+use mlinspect::capture::capture_with_seed;
+use mlinspect::checks::bias::overall_change;
+use mlinspect::pipelines;
+use mlinspect::sqlgen::SqlMode;
+use std::time::{Duration, Instant};
+
+const PIPELINES: [&str; 4] = ["healthcare", "compas", "adult simple", "adult complex"];
+
+struct Options {
+    sizes: Vec<usize>,
+    reps: usize,
+    runs: usize,
+    rows: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let opts = parse_options(&args[1.min(args.len())..]);
+
+    match command {
+        "table3" => table3(),
+        "fig7a" => fig7(Phase::PandasOnly, "Figure 7a — pandas operations only", &opts),
+        "fig7b" => fig7(
+            Phase::Preprocessing,
+            "Figure 7b — plus scikit-learn operations",
+            &opts,
+        ),
+        "fig7c" => fig7(Phase::Inspection, "Figure 7c — plus inspection", &opts),
+        "fig8" => fig8(&opts),
+        "fig9" => fig9(),
+        "table4" => table4(),
+        "table5" => table5(&opts),
+        "fig10" => fig10(&opts),
+        "fig11" => fig11(&opts),
+        "all" => {
+            table3();
+            fig7(Phase::PandasOnly, "Figure 7a — pandas operations only", &opts);
+            fig7(
+                Phase::Preprocessing,
+                "Figure 7b — plus scikit-learn operations",
+                &opts,
+            );
+            fig7(Phase::Inspection, "Figure 7c — plus inspection", &opts);
+            fig8(&opts);
+            fig9();
+            table4();
+            table5(&opts);
+            fig10(&opts);
+            fig11(&opts);
+        }
+        other => {
+            eprintln!("unknown command '{other}'; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        sizes: vec![100, 1_000, 10_000],
+        reps: 1,
+        runs: 5,
+        rows: 50_000,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => {
+                if let Some(v) = it.next() {
+                    opts.sizes = v
+                        .split(',')
+                        .filter_map(|s| s.trim().parse().ok())
+                        .collect();
+                }
+            }
+            "--reps" => {
+                if let Some(v) = it.next() {
+                    opts.reps = v.parse().unwrap_or(1);
+                }
+            }
+            "--runs" => {
+                if let Some(v) = it.next() {
+                    opts.runs = v.parse().unwrap_or(5);
+                }
+            }
+            "--rows" => {
+                if let Some(v) = it.next() {
+                    opts.rows = v.parse().unwrap_or(100_000);
+                }
+            }
+            _ => {}
+        }
+    }
+    opts
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+// ---- Table 3: transpilation time ---------------------------------------------
+
+fn table3() {
+    println!("== Table 3 — transpilation time to SQL ==");
+    println!("(pandas prefix / full pipeline with scikit-learn / plus inspection queries)\n");
+    let mut table = TextTable::new(&[
+        "pipeline",
+        "pandas VIEW",
+        "pandas CTE",
+        "+sklearn VIEW",
+        "+sklearn CTE",
+        "+inspection VIEW",
+        "+inspection CTE",
+    ]);
+    for pipeline in PIPELINES {
+        let files = registry(pipeline, 200);
+        let mut cells = vec![pipeline.to_string()];
+        for (source, with_inspection) in [
+            (pipelines::pandas_prefix(pipeline).unwrap(), false),
+            (full_source(pipeline), false),
+            (full_source(pipeline), true),
+        ] {
+            for mode in [SqlMode::View, SqlMode::Cte] {
+                let started = Instant::now();
+                let captured = capture_with_seed(source, 0).unwrap();
+                let transpiled = SqlBackend::transpile(&captured.dag, &files, mode).unwrap();
+                if with_inspection {
+                    // Generating the inspection-enabled queries: one query
+                    // string per operator per sensitive column.
+                    for entry in transpiled.container.entries() {
+                        for col in sensitive_columns(pipeline) {
+                            let select = format!(
+                                "SELECT \"{col}\", count(*) FROM {} GROUP BY \"{col}\"",
+                                entry.name
+                            );
+                            std::hint::black_box(transpiled.container.query(mode, &select));
+                        }
+                    }
+                }
+                std::hint::black_box(&transpiled);
+                cells.push(fmt_duration(started.elapsed()));
+            }
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+}
+
+// ---- Figure 7: runtime sweeps ------------------------------------------------
+
+fn fig7(phase: Phase, title: &str, opts: &Options) {
+    println!("== {title} ==\n");
+    for pipeline in PIPELINES {
+        println!("-- {pipeline} --");
+        let mut table = TextTable::new(&[
+            "rows", "pandas", "pg-cte", "pg-view", "pg-view-mat", "umbra-cte", "umbra-view",
+            "best-speedup",
+        ]);
+        for &rows in &opts.sizes {
+            let mut cells = vec![rows.to_string()];
+            let mut pandas_time = Duration::ZERO;
+            let mut best = Duration::MAX;
+            for target in Target::all() {
+                let t = median(
+                    (0..opts.reps)
+                        .map(|r| run_once(pipeline, phase, target, rows, r as u64).elapsed)
+                        .collect(),
+                );
+                if target == Target::Pandas {
+                    pandas_time = t;
+                } else {
+                    best = best.min(t);
+                }
+                cells.push(fmt_duration(t));
+            }
+            cells.push(fmt_factor(pandas_time, best));
+            table.row(cells);
+        }
+        println!("{}", table.render());
+    }
+}
+
+// ---- Figure 8: end-to-end ------------------------------------------------------
+
+fn fig8(opts: &Options) {
+    println!("== Figure 8 — end-to-end performance (original sizes, incl. training) ==\n");
+    let mut table = TextTable::new(&[
+        "pipeline", "rows", "pandas", "pg-cte", "pg-view-mat", "umbra-cte", "accuracy",
+    ]);
+    for pipeline in PIPELINES {
+        let rows = original_size(pipeline);
+        let mut cells = vec![pipeline.to_string(), rows.to_string()];
+        let mut accuracy = None;
+        for target in [Target::Pandas, Target::PgCte, Target::PgViewMat, Target::UmbraCte] {
+            let m = median_run(pipeline, Phase::EndToEnd, target, rows, opts.reps);
+            if accuracy.is_none() {
+                accuracy = m.1;
+            }
+            cells.push(fmt_duration(m.0));
+        }
+        cells.push(
+            accuracy
+                .map(|a| format!("{a:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        table.row(cells);
+    }
+    println!("{}", table.render());
+}
+
+fn median_run(
+    pipeline: &str,
+    phase: Phase,
+    target: Target,
+    rows: usize,
+    reps: usize,
+) -> (Duration, Option<f64>) {
+    let mut times = Vec::new();
+    let mut accuracy = None;
+    for r in 0..reps.max(1) {
+        let m = run_once(pipeline, phase, target, rows, r as u64);
+        accuracy = m.artifacts.accuracies.first().copied().or(accuracy);
+        times.push(m.elapsed);
+    }
+    (median(times), accuracy)
+}
+
+// ---- Figure 9: ratio changes during preprocessing -----------------------------
+
+fn fig9() {
+    println!("== Figure 9 — ratio changes during preprocessing (healthcare) ==\n");
+    let m = run_once(
+        "healthcare",
+        Phase::Inspection,
+        Target::UmbraCte,
+        original_size("healthcare"),
+        0,
+    );
+    let captured = capture_with_seed(pipelines::HEALTHCARE, 0).unwrap();
+    for column in ["race", "age_group"] {
+        println!("-- column: {column} --");
+        let mut table = TextTable::new(&["op", "line", "value", "ratio", "change vs input"]);
+        for node in &captured.dag.nodes {
+            let Some(hist) = m.artifacts.inspections.histogram(node.id, column) else {
+                continue;
+            };
+            let input_hist = node
+                .kind
+                .inputs()
+                .first()
+                .and_then(|i| m.artifacts.inspections.histogram(*i, column));
+            for (value, ratio) in hist.ratios() {
+                let change = input_hist
+                    .map(|ih| format!("{:+.3}", ratio - ih.ratio(&value)))
+                    .unwrap_or_else(|| "-".into());
+                table.row(vec![
+                    node.kind.label().to_string(),
+                    node.line.to_string(),
+                    value.to_string(),
+                    format!("{ratio:.3}"),
+                    change,
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+}
+
+// ---- Table 4: ratios before/after preprocessing --------------------------------
+
+fn table4() {
+    println!("== Table 4 — ratios before/after preprocessing ==\n");
+    for (pipeline, column) in [("healthcare", "race"), ("adult simple", "race")] {
+        let m = run_once(
+            pipeline,
+            Phase::Inspection,
+            Target::UmbraCte,
+            original_size(pipeline),
+            0,
+        );
+        let captured = capture_with_seed(full_source(pipeline), 0).unwrap();
+        let Some(change) = overall_change(&captured.dag, &m.artifacts.inspections, column)
+        else {
+            continue;
+        };
+        println!("-- ({pipeline}) column {column} --");
+        let mut table = TextTable::new(&["value", "before", "after"]);
+        for (value, _) in &change.before.counts {
+            table.row(vec![
+                value.to_string(),
+                format!("{:.6}", change.before.ratio(value)),
+                format!("{:.6}", change.after.ratio(value)),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+// ---- Table 5: model accuracy over runs -----------------------------------------
+
+fn table5(opts: &Options) {
+    println!(
+        "== Table 5 — model accuracy measurements ({} runs) ==\n",
+        opts.runs
+    );
+    let mut table = TextTable::new(&["pipeline", "avg", "median", "min", "max"]);
+    for pipeline in PIPELINES {
+        let mut accs: Vec<f64> = (0..opts.runs)
+            .map(|seed| {
+                run_once(
+                    pipeline,
+                    Phase::EndToEnd,
+                    Target::UmbraCte,
+                    original_size(pipeline),
+                    seed as u64,
+                )
+                .artifacts
+                .accuracies[0]
+            })
+            .collect();
+        accs.sort_by(f64::total_cmp);
+        let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+        let median = accs[accs.len() / 2];
+        table.row(vec![
+            pipeline.to_string(),
+            format!("{avg:.4}"),
+            format!("{median:.4}"),
+            format!("{:.4}", accs[0]),
+            format!("{:.4}", accs[accs.len() - 1]),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+// ---- Figure 10: operation-level breakdown ---------------------------------------
+
+fn fig10(opts: &Options) {
+    println!("== Figure 10 — operation-level performance (compas) ==\n");
+    let sizes = if opts.sizes == vec![100, 1_000, 10_000] {
+        vec![10_000, 100_000]
+    } else {
+        opts.sizes.clone()
+    };
+    for rows in sizes {
+        println!("-- {rows} tuples --");
+        let pandas = run_once("compas", Phase::EndToEnd, Target::Pandas, rows, 0);
+        let pg = run_once("compas", Phase::EndToEnd, Target::PgViewMat, rows, 0);
+        let mut table = TextTable::new(&["op", "pandas", "pg-view-mat"]);
+        for ((id, label, t_pandas), (_, _, t_pg)) in pandas
+            .artifacts
+            .op_timings
+            .iter()
+            .zip(&pg.artifacts.op_timings)
+        {
+            table.row(vec![
+                format!("#{id} {label}"),
+                fmt_duration(*t_pandas),
+                fmt_duration(*t_pg),
+            ]);
+        }
+        table.row(vec![
+            "TOTAL".into(),
+            fmt_duration(pandas.elapsed),
+            fmt_duration(pg.elapsed),
+        ]);
+        println!("{}", table.render());
+    }
+}
+
+// ---- Figure 11: varying the number of inspected columns -------------------------
+
+fn fig11(opts: &Options) {
+    println!(
+        "== Figure 11 — runtime vs. number of inspected columns (taxi, {} rows) ==\n",
+        opts.rows
+    );
+    let mut table = TextTable::new(&[
+        "#columns", "pandas", "pg-cte", "pg-view", "umbra-cte", "umbra-view",
+    ]);
+    for k in 1..=datagen::taxi::INSPECTED_COLUMNS.len() {
+        let columns = &datagen::taxi::INSPECTED_COLUMNS[..k];
+        let mut cells = vec![k.to_string()];
+        for target in [
+            Target::Pandas,
+            Target::PgCte,
+            Target::PgView,
+            Target::UmbraCte,
+            Target::UmbraView,
+        ] {
+            let t = median(
+                (0..opts.reps)
+                    .map(|r| {
+                        bench::harness::run_once_with_columns(
+                            "taxi",
+                            Phase::Inspection,
+                            target,
+                            opts.rows,
+                            r as u64,
+                            columns,
+                        )
+                        .elapsed
+                    })
+                    .collect(),
+            );
+            cells.push(fmt_duration(t));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+}
+
+// ---- helpers --------------------------------------------------------------------
+
+fn full_source(pipeline: &str) -> &'static str {
+    match pipeline {
+        "healthcare" => pipelines::HEALTHCARE,
+        "compas" => pipelines::COMPAS,
+        "adult simple" => pipelines::ADULT_SIMPLE,
+        "adult complex" => pipelines::ADULT_COMPLEX,
+        other => panic!("unknown pipeline '{other}'"),
+    }
+}
+
+fn registry(pipeline: &str, rows: usize) -> FileRegistry {
+    let mut files = FileRegistry::new();
+    for (name, content) in pipeline_files_cached(pipeline, rows, 97) {
+        files.insert(name, content);
+    }
+    files
+}

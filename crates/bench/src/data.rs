@@ -1,0 +1,102 @@
+//! Benchmark datasets: the paper's pipelines at configurable sizes
+//! ("generated size 10^2 to 10^6", Table 2).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+type FileCache = HashMap<(String, usize, u64), Vec<(String, String)>>;
+
+/// The CSVs one pipeline reads, sized to `rows` tuples for the primary
+/// input (secondary inputs scale proportionally, like the original
+/// train/test file pairs).
+pub fn pipeline_files(pipeline: &str, rows: usize, seed: u64) -> Vec<(String, String)> {
+    match pipeline {
+        "healthcare" => vec![
+            ("patients.csv".into(), datagen::patients_csv(rows, seed)),
+            ("histories.csv".into(), datagen::histories_csv(rows, seed)),
+        ],
+        "compas" => vec![
+            ("compas_train.csv".into(), datagen::compas_csv(rows, seed)),
+            (
+                "compas_test.csv".into(),
+                datagen::compas_csv((rows / 3).max(30), seed + 1),
+            ),
+        ],
+        "adult simple" | "adult complex" => vec![
+            ("adult_train.csv".into(), datagen::adult_csv(rows, seed)),
+            (
+                "adult_test.csv".into(),
+                datagen::adult_csv((rows / 3).max(30), seed + 1),
+            ),
+        ],
+        "taxi" => vec![("taxi.csv".into(), datagen::taxi_csv(rows, seed))],
+        other => panic!("unknown pipeline '{other}'"),
+    }
+}
+
+/// Cached variant: dataset generation is excluded from measurements, and
+/// sweeps reuse the same bytes across targets.
+pub fn pipeline_files_cached(pipeline: &str, rows: usize, seed: u64) -> Vec<(String, String)> {
+    static CACHE: Mutex<Option<FileCache>> = Mutex::new(None);
+    let key = (pipeline.to_string(), rows, seed);
+    let mut guard = CACHE.lock().expect("cache lock");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if let Some(hit) = cache.get(&key) {
+        return hit.clone();
+    }
+    let files = pipeline_files(pipeline, rows, seed);
+    // Bound memory: large sweeps would otherwise pin gigabytes.
+    if cache.len() > 8 {
+        cache.clear();
+    }
+    cache.insert(key, files.clone());
+    files
+}
+
+/// The sensitive columns inspected per pipeline (paper §6: race and
+/// age_group for healthcare; race elsewhere).
+pub fn sensitive_columns(pipeline: &str) -> &'static [&'static str] {
+    match pipeline {
+        "healthcare" => &["race", "age_group"],
+        "compas" => &["race", "sex"],
+        "adult simple" | "adult complex" => &["race", "sex"],
+        "taxi" => &["passenger_count"],
+        _ => &[],
+    }
+}
+
+/// Original dataset sizes (Table 2) for the end-to-end experiment.
+pub fn original_size(pipeline: &str) -> usize {
+    match pipeline {
+        "healthcare" => datagen::sizes::HEALTHCARE,
+        "compas" => datagen::sizes::COMPAS,
+        "adult simple" | "adult complex" => datagen::sizes::ADULT,
+        _ => 1000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_cover_all_pipelines() {
+        for p in ["healthcare", "compas", "adult simple", "adult complex", "taxi"] {
+            let files = pipeline_files(p, 50, 1);
+            assert!(!files.is_empty(), "{p}");
+            assert!(files[0].1.lines().count() > 10, "{p}");
+        }
+    }
+
+    #[test]
+    fn cache_returns_identical_bytes() {
+        let a = pipeline_files_cached("healthcare", 60, 2);
+        let b = pipeline_files_cached("healthcare", 60, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitive_columns_defined() {
+        assert_eq!(sensitive_columns("healthcare"), &["race", "age_group"]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6). See `src/bin/repro.rs` for the command-line driver and
+//! `benches/` for the Criterion microbenchmarks.
+
+pub mod data;
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_once, Phase, RunMeasurement, Target};

@@ -1,0 +1,114 @@
+//! Plain-text tables for the reproduction reports.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// An aligned text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (h, w) in self.header.iter().zip(&widths) {
+            let _ = write!(out, "{h:>w$}  ");
+        }
+        out.push('\n');
+        for w in &widths {
+            let _ = write!(out, "{}  ", "-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(out, "{c:>w$}  ");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-friendly duration: `1.23s` / `45.6ms` / `789µs`.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Speedup factor `baseline / measured`, rendered like the paper's
+/// "factor of N" statements.
+pub fn fmt_factor(baseline: Duration, measured: Duration) -> String {
+    if measured.is_zero() {
+        return "inf".to_string();
+    }
+    let f = baseline.as_secs_f64() / measured.as_secs_f64();
+    if f >= 10.0 {
+        format!("×{f:.0}")
+    } else {
+        format!("×{f:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["rows", "pandas", "umbra"]);
+        t.row(vec!["100".into(), "1.0ms".into(), "0.5ms".into()]);
+        t.row(vec!["100000".into(), "900ms".into(), "9.1ms".into()]);
+        let s = t.render();
+        assert!(s.contains("rows"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(25)), "25.0ms");
+        assert_eq!(fmt_duration(Duration::from_micros(120)), "120µs");
+    }
+
+    #[test]
+    fn factor_formatting() {
+        assert_eq!(
+            fmt_factor(Duration::from_secs(10), Duration::from_secs(1)),
+            "×10"
+        );
+        assert_eq!(
+            fmt_factor(Duration::from_secs(3), Duration::from_secs(2)),
+            "×1.5"
+        );
+    }
+}

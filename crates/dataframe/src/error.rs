@@ -1,0 +1,48 @@
+//! Dataframe error type.
+
+use std::fmt;
+
+/// Result alias for dataframe operations.
+pub type Result<T> = std::result::Result<T, DfError>;
+
+/// Errors raised by dataframe operations.
+#[derive(Debug)]
+pub enum DfError {
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// A column with this name already exists where it must not.
+    DuplicateColumn(String),
+    /// Operands have incompatible lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// Value-level failure (type coercion etc.).
+    Value(etypes::Error),
+    /// Invalid argument to an operation.
+    Invalid(String),
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            DfError::DuplicateColumn(c) => write!(f, "duplicate column '{c}'"),
+            DfError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            DfError::Value(e) => write!(f, "{e}"),
+            DfError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+impl From<etypes::Error> for DfError {
+    fn from(e: etypes::Error) -> Self {
+        DfError::Value(e)
+    }
+}

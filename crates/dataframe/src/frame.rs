@@ -1,0 +1,364 @@
+//! `DataFrame`: an ordered collection of equal-length [`Series`].
+
+use crate::error::{DfError, Result};
+use crate::groupby::GroupBy;
+use crate::series::Series;
+use etypes::{DataType, Value};
+
+/// A pandas-like dataframe. Column-major storage; every operation eagerly
+/// materializes a new frame (faithful to the baseline's cost model).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    columns: Vec<Series>,
+}
+
+impl DataFrame {
+    /// Empty frame.
+    pub fn new() -> DataFrame {
+        DataFrame::default()
+    }
+
+    /// Build from a list of series (must be equal length, unique names).
+    pub fn from_columns(columns: Vec<Series>) -> Result<DataFrame> {
+        let mut df = DataFrame::new();
+        for s in columns {
+            df.insert(s)?;
+        }
+        Ok(df)
+    }
+
+    /// Build from column names plus row-major cells.
+    pub fn from_rows(names: &[String], rows: &[Vec<Value>]) -> Result<DataFrame> {
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rows.len()); names.len()];
+        for row in rows {
+            if row.len() != names.len() {
+                return Err(DfError::LengthMismatch {
+                    left: row.len(),
+                    right: names.len(),
+                });
+            }
+            for (i, v) in row.iter().enumerate() {
+                cols[i].push(v.clone());
+            }
+        }
+        DataFrame::from_columns(
+            names
+                .iter()
+                .zip(cols)
+                .map(|(n, vs)| Series::new(n.clone(), vs))
+                .collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Series::len)
+    }
+
+    /// True when there are no rows (a frame with columns but zero rows is
+    /// also empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(Series::name).collect()
+    }
+
+    /// Borrow all columns.
+    pub fn columns(&self) -> &[Series] {
+        &self.columns
+    }
+
+    /// Borrow one column (pandas `df['name']`).
+    pub fn column(&self, name: &str) -> Result<&Series> {
+        self.columns
+            .iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| DfError::UnknownColumn(name.to_string()))
+    }
+
+    /// True if the column exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|s| s.name() == name)
+    }
+
+    /// Append a new column; errors on duplicates or length mismatch.
+    pub fn insert(&mut self, series: Series) -> Result<()> {
+        if self.has_column(series.name()) {
+            return Err(DfError::DuplicateColumn(series.name().to_string()));
+        }
+        if !self.columns.is_empty() && series.len() != self.len() {
+            return Err(DfError::LengthMismatch {
+                left: self.len(),
+                right: series.len(),
+            });
+        }
+        self.columns.push(series);
+        Ok(())
+    }
+
+    /// pandas `df[name] = series`: insert or overwrite in place.
+    pub fn set_column(&mut self, name: &str, series: Series) -> Result<()> {
+        let series = series.with_name(name);
+        if !self.columns.is_empty() && series.len() != self.len() {
+            return Err(DfError::LengthMismatch {
+                left: self.len(),
+                right: series.len(),
+            });
+        }
+        if let Some(slot) = self.columns.iter_mut().find(|s| s.name() == name) {
+            *slot = series;
+        } else {
+            self.columns.push(series);
+        }
+        Ok(())
+    }
+
+    /// pandas `df[['a', 'b']]`: projection, in the requested order.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut out = DataFrame::new();
+        for n in names {
+            out.insert(self.column(n)?.clone())?;
+        }
+        // Preserve row count even when projecting zero columns.
+        Ok(out)
+    }
+
+    /// Drop columns by name (ignores missing names, pandas `errors='ignore'`).
+    pub fn drop_columns(&self, names: &[&str]) -> DataFrame {
+        DataFrame {
+            columns: self
+                .columns
+                .iter()
+                .filter(|s| !names.contains(&s.name()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// pandas `df[mask]`: keep rows where the mask is true.
+    pub fn filter(&self, mask: &Series) -> Result<DataFrame> {
+        if mask.len() != self.len() {
+            return Err(DfError::LengthMismatch {
+                left: self.len(),
+                right: mask.len(),
+            });
+        }
+        let keep = mask.as_mask()?;
+        Ok(self.take_where(&keep))
+    }
+
+    fn take_where(&self, keep: &[bool]) -> DataFrame {
+        DataFrame {
+            columns: self
+                .columns
+                .iter()
+                .map(|s| {
+                    let vals = s
+                        .values()
+                        .iter()
+                        .zip(keep)
+                        .filter(|(_, k)| **k)
+                        .map(|(v, _)| v.clone())
+                        .collect();
+                    Series::new(s.name().to_string(), vals)
+                })
+                .collect(),
+        }
+    }
+
+    /// Select rows by index (used by train/test splitting).
+    pub fn take(&self, indices: &[usize]) -> DataFrame {
+        DataFrame {
+            columns: self
+                .columns
+                .iter()
+                .map(|s| {
+                    let vals = indices.iter().map(|&i| s.values()[i].clone()).collect();
+                    Series::new(s.name().to_string(), vals)
+                })
+                .collect(),
+        }
+    }
+
+    /// pandas `df.head(n)`.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let n = n.min(self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx)
+    }
+
+    /// pandas `df.dropna()`: drop rows containing any NULL.
+    pub fn dropna(&self) -> DataFrame {
+        let keep: Vec<bool> = (0..self.len())
+            .map(|i| self.columns.iter().all(|s| !s.values()[i].is_null()))
+            .collect();
+        self.take_where(&keep)
+    }
+
+    /// pandas `df.replace(from, to)` across all columns.
+    pub fn replace(&self, from: &Value, to: &Value) -> DataFrame {
+        DataFrame {
+            columns: self.columns.iter().map(|s| s.replace(from, to)).collect(),
+        }
+    }
+
+    /// Begin a group-by (pandas `df.groupby(keys)`).
+    pub fn groupby(&self, keys: &[&str]) -> Result<GroupBy<'_>> {
+        GroupBy::new(self, keys)
+    }
+
+    /// One materialized row (cloned).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|s| s.values()[i].clone()).collect()
+    }
+
+    /// Materialize all rows (row-major).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len()).map(|i| self.row(i)).collect()
+    }
+
+    /// Column dtypes in order.
+    pub fn dtypes(&self) -> Vec<DataType> {
+        self.columns.iter().map(Series::dtype).collect()
+    }
+
+    /// Stable sort by the given columns ascending (used for deterministic
+    /// comparisons with SQL results in tests).
+    pub fn sort_by(&self, keys: &[&str]) -> Result<DataFrame> {
+        let key_cols: Vec<&Series> = keys
+            .iter()
+            .map(|k| self.column(k))
+            .collect::<Result<Vec<_>>>()?;
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for col in &key_cols {
+                let ord = col.values()[a].cmp(&col.values()[b]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(self.take(&idx))
+    }
+
+    /// Rename a column.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        if self.has_column(to) && from != to {
+            return Err(DfError::DuplicateColumn(to.to_string()));
+        }
+        let slot = self
+            .columns
+            .iter_mut()
+            .find(|s| s.name() == from)
+            .ok_or_else(|| DfError::UnknownColumn(from.to_string()))?;
+        *slot = std::mem::replace(slot, Series::new("", Vec::new())).with_name(to);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::ElemOp;
+
+    fn demo() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Series::new("a", vec![1.into(), 2.into(), 3.into()]),
+            Series::new("s", vec!["x".into(), Value::Null, "y".into()]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let df = demo();
+        let p = df.select(&["s", "a"]).unwrap();
+        assert_eq!(p.column_names(), vec!["s", "a"]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn filter_with_computed_mask() {
+        let df = demo();
+        let mask = df
+            .column("a")
+            .unwrap()
+            .binary_scalar(ElemOp::Gt, &Value::Int(1))
+            .unwrap();
+        let f = df.filter(&mask).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.column("a").unwrap().values()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn dropna_removes_rows_with_any_null() {
+        let df = demo();
+        assert_eq!(df.dropna().len(), 2);
+    }
+
+    #[test]
+    fn set_column_overwrites_or_appends() {
+        let mut df = demo();
+        df.set_column("b", Series::new("ignored", vec![9.into(), 9.into(), 9.into()]))
+            .unwrap();
+        assert_eq!(df.width(), 3);
+        df.set_column("a", Series::new("", vec![0.into(), 0.into(), 0.into()]))
+            .unwrap();
+        assert_eq!(df.column("a").unwrap().values()[2], Value::Int(0));
+        assert_eq!(df.width(), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut df = demo();
+        assert!(matches!(
+            df.insert(Series::new("a", vec![1.into(), 2.into(), 3.into()])),
+            Err(DfError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let df = demo();
+        let rows = df.to_rows();
+        let names: Vec<String> = df.column_names().iter().map(|s| s.to_string()).collect();
+        let back = DataFrame::from_rows(&names, &rows).unwrap();
+        assert_eq!(df, back);
+    }
+
+    #[test]
+    fn sort_by_orders_rows_null_first() {
+        let df = demo();
+        let sorted = df.sort_by(&["s"]).unwrap();
+        assert_eq!(sorted.column("s").unwrap().values()[0], Value::Null);
+    }
+
+    #[test]
+    fn head_truncates() {
+        assert_eq!(demo().head(2).len(), 2);
+        assert_eq!(demo().head(99).len(), 3);
+    }
+
+    #[test]
+    fn take_reorders() {
+        let df = demo().take(&[2, 0]);
+        assert_eq!(df.column("a").unwrap().values(), &[3.into(), 1.into()]);
+    }
+
+    #[test]
+    fn rename_column() {
+        let mut df = demo();
+        df.rename("a", "alpha").unwrap();
+        assert!(df.has_column("alpha"));
+        assert!(df.rename("alpha", "s").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! pandas-style group-by with named aggregations.
+
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::series::Series;
+use etypes::Value;
+use std::collections::HashMap;
+
+/// Aggregation functions (pandas spelling; see the paper's lookup table,
+/// §5.1.5: `mean` ↔ `AVG`, `std` ↔ `stddev_pop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Arithmetic mean of non-null values (`AVG`).
+    Mean,
+    /// Sum of non-null values.
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Minimum non-null value.
+    Min,
+    /// Maximum non-null value.
+    Max,
+    /// Population standard deviation (`STDDEV_POP`).
+    Std,
+}
+
+impl AggFunc {
+    /// Parse a pandas aggregation name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "mean" => AggFunc::Mean,
+            "sum" => AggFunc::Sum,
+            "count" => AggFunc::Count,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "std" => AggFunc::Std,
+            _ => return None,
+        })
+    }
+
+    /// The SQL aggregate this maps to (paper §5.1.5).
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Mean => "AVG",
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Std => "STDDEV_POP",
+        }
+    }
+}
+
+/// One named aggregation: output column, input column, function
+/// (pandas `agg(out=('input', 'func'))`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Name of the output column.
+    pub output: String,
+    /// Column aggregated over.
+    pub input: String,
+    /// Aggregation function.
+    pub func: AggFunc,
+}
+
+/// An in-flight group-by: holds the grouping keys until `agg` is called
+/// (mirrors pandas returning a `DataFrameGroupBy` object, paper §5.1.5).
+pub struct GroupBy<'a> {
+    frame: &'a DataFrame,
+    keys: Vec<String>,
+}
+
+impl<'a> GroupBy<'a> {
+    pub(crate) fn new(frame: &'a DataFrame, keys: &[&str]) -> Result<GroupBy<'a>> {
+        for k in keys {
+            frame.column(k)?;
+        }
+        Ok(GroupBy {
+            frame,
+            keys: keys.iter().map(|k| k.to_string()).collect(),
+        })
+    }
+
+    /// The grouping key columns.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Apply named aggregations, producing one row per distinct key
+    /// combination (keys first, then aggregates, in spec order). Groups are
+    /// emitted in first-seen order, like `sort=False`; callers that need
+    /// determinism sort afterwards.
+    pub fn agg(&self, specs: &[AggSpec]) -> Result<DataFrame> {
+        for spec in specs {
+            self.frame.column(&spec.input)?;
+        }
+        let key_cols: Vec<&Series> = self
+            .keys
+            .iter()
+            .map(|k| self.frame.column(k))
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut group_rows: Vec<Vec<usize>> = Vec::new();
+        for i in 0..self.frame.len() {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.values()[i].clone()).collect();
+            let gid = *group_index.entry(key.clone()).or_insert_with(|| {
+                group_keys.push(key);
+                group_rows.push(Vec::new());
+                group_keys.len() - 1
+            });
+            group_rows[gid].push(i);
+        }
+
+        let mut out = DataFrame::new();
+        for (ki, key_name) in self.keys.iter().enumerate() {
+            let vals = group_keys.iter().map(|k| k[ki].clone()).collect();
+            out.insert(Series::new(key_name.clone(), vals))?;
+        }
+        for spec in specs {
+            let col = self.frame.column(&spec.input)?;
+            let vals = group_rows
+                .iter()
+                .map(|rows| aggregate(col, rows, spec.func))
+                .collect();
+            out.insert(Series::new(spec.output.clone(), vals))
+                .map_err(|_| DfError::DuplicateColumn(spec.output.clone()))?;
+        }
+        Ok(out)
+    }
+}
+
+fn aggregate(col: &Series, rows: &[usize], func: AggFunc) -> Value {
+    let vals: Vec<&Value> = rows
+        .iter()
+        .map(|&i| &col.values()[i])
+        .filter(|v| !v.is_null())
+        .collect();
+    match func {
+        AggFunc::Count => Value::Int(vals.len() as i64),
+        AggFunc::Min => vals.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Max => vals.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Sum => {
+            if vals.is_empty() {
+                return Value::Null;
+            }
+            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(vals.iter().map(|v| v.as_i64().unwrap_or(0)).sum())
+            } else {
+                Value::Float(vals.iter().filter_map(|v| v.as_f64().ok()).sum())
+            }
+        }
+        AggFunc::Mean => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64().ok()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Std => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64().ok()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+                let ss: f64 = nums.iter().map(|x| (x - mean) * (x - mean)).sum();
+                Value::Float((ss / nums.len() as f64).sqrt())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Series::new(
+                "age_group",
+                vec!["g1".into(), "g2".into(), "g1".into(), "g2".into()],
+            ),
+            Series::new(
+                "complications",
+                vec![1.into(), 4.into(), 3.into(), Value::Null],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn spec(out: &str, input: &str, f: AggFunc) -> AggSpec {
+        AggSpec {
+            output: out.into(),
+            input: input.into(),
+            func: f,
+        }
+    }
+
+    #[test]
+    fn mean_per_group_skips_null() {
+        let df = demo();
+        let agg = df
+            .groupby(&["age_group"])
+            .unwrap()
+            .agg(&[spec("mean_complications", "complications", AggFunc::Mean)])
+            .unwrap();
+        let sorted = agg.sort_by(&["age_group"]).unwrap();
+        assert_eq!(
+            sorted.column("mean_complications").unwrap().values(),
+            &[Value::Float(2.0), Value::Float(4.0)]
+        );
+    }
+
+    #[test]
+    fn count_is_non_null_count() {
+        let df = demo();
+        let agg = df
+            .groupby(&["age_group"])
+            .unwrap()
+            .agg(&[spec("n", "complications", AggFunc::Count)])
+            .unwrap()
+            .sort_by(&["age_group"])
+            .unwrap();
+        assert_eq!(agg.column("n").unwrap().values(), &[2.into(), 1.into()]);
+    }
+
+    #[test]
+    fn groups_in_first_seen_order() {
+        let df = demo();
+        let agg = df
+            .groupby(&["age_group"])
+            .unwrap()
+            .agg(&[spec("m", "complications", AggFunc::Max)])
+            .unwrap();
+        assert_eq!(
+            agg.column("age_group").unwrap().values(),
+            &["g1".into(), "g2".into()]
+        );
+    }
+
+    #[test]
+    fn multiple_aggs_and_min_max_sum() {
+        let df = demo();
+        let agg = df
+            .groupby(&["age_group"])
+            .unwrap()
+            .agg(&[
+                spec("lo", "complications", AggFunc::Min),
+                spec("hi", "complications", AggFunc::Max),
+                spec("total", "complications", AggFunc::Sum),
+            ])
+            .unwrap()
+            .sort_by(&["age_group"])
+            .unwrap();
+        assert_eq!(agg.column("lo").unwrap().values(), &[1.into(), 4.into()]);
+        assert_eq!(agg.column("hi").unwrap().values(), &[3.into(), 4.into()]);
+        assert_eq!(agg.column("total").unwrap().values(), &[4.into(), 4.into()]);
+    }
+
+    #[test]
+    fn null_key_forms_its_own_group() {
+        let df = DataFrame::from_columns(vec![
+            Series::new("k", vec![Value::Null, "a".into(), Value::Null]),
+            Series::new("v", vec![1.into(), 2.into(), 3.into()]),
+        ])
+        .unwrap();
+        let agg = df
+            .groupby(&["k"])
+            .unwrap()
+            .agg(&[spec("n", "v", AggFunc::Count)])
+            .unwrap();
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let df = demo();
+        assert!(df.groupby(&["nope"]).is_err());
+        assert!(df
+            .groupby(&["age_group"])
+            .unwrap()
+            .agg(&[spec("x", "nope", AggFunc::Sum)])
+            .is_err());
+    }
+
+    #[test]
+    fn agg_func_sql_names_match_paper_lookup_table() {
+        assert_eq!(AggFunc::parse("mean").unwrap().sql_name(), "AVG");
+        assert_eq!(AggFunc::parse("std").unwrap().sql_name(), "STDDEV_POP");
+        assert!(AggFunc::parse("mode").is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! pandas `merge`.
+
+use crate::error::{DfError, Result};
+use crate::frame::DataFrame;
+use crate::series::Series;
+use etypes::Value;
+use std::collections::HashMap;
+
+/// Join types supported by the pipelines (`how=` argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Default pandas merge.
+    Inner,
+    /// Keep all left rows.
+    Left,
+    /// Keep all right rows.
+    Right,
+    /// Cartesian product (`how='cross'`).
+    Cross,
+}
+
+impl JoinType {
+    /// Parse the pandas `how=` string.
+    pub fn parse(s: &str) -> Option<JoinType> {
+        Some(match s {
+            "inner" => JoinType::Inner,
+            "left" => JoinType::Left,
+            "right" => JoinType::Right,
+            "cross" => JoinType::Cross,
+            _ => return None,
+        })
+    }
+}
+
+impl DataFrame {
+    /// pandas `left.merge(right, on=keys, how=...)`.
+    ///
+    /// Key columns appear once (from the left side except for pure right
+    /// rows); non-key columns from both sides follow, left first. Name
+    /// collisions on non-key columns get pandas' `_x`/`_y` suffixes. NULL
+    /// keys join NULL keys, matching pandas (paper §5.1.2 mimics this in SQL
+    /// with an `is null and is null` disjunct).
+    pub fn merge(&self, right: &DataFrame, on: &[&str], how: JoinType) -> Result<DataFrame> {
+        if how == JoinType::Cross {
+            return self.cross_join(right);
+        }
+        for k in on {
+            self.column(k)?;
+            right.column(k)?;
+        }
+        if on.is_empty() {
+            return Err(DfError::Invalid("merge requires join keys".to_string()));
+        }
+
+        // Hash the right side on the key tuple.
+        let right_keys: Vec<&Series> = on.iter().map(|k| right.column(k).unwrap()).collect();
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for i in 0..right.len() {
+            let key: Vec<Value> = right_keys.iter().map(|c| c.values()[i].clone()).collect();
+            index.entry(key).or_default().push(i);
+        }
+
+        let left_keys: Vec<&Series> = on.iter().map(|k| self.column(k).unwrap()).collect();
+        let mut pairs: Vec<(Option<usize>, Option<usize>)> = Vec::new();
+        let mut right_matched = vec![false; right.len()];
+        for i in 0..self.len() {
+            let key: Vec<Value> = left_keys.iter().map(|c| c.values()[i].clone()).collect();
+            match index.get(&key) {
+                Some(rows) => {
+                    for &j in rows {
+                        right_matched[j] = true;
+                        pairs.push((Some(i), Some(j)));
+                    }
+                }
+                None => {
+                    if how == JoinType::Left {
+                        pairs.push((Some(i), None));
+                    }
+                }
+            }
+        }
+        if how == JoinType::Right {
+            for (j, matched) in right_matched.iter().enumerate() {
+                if !matched {
+                    pairs.push((None, Some(j)));
+                }
+            }
+        }
+
+        self.assemble(right, on, &pairs)
+    }
+
+    fn cross_join(&self, right: &DataFrame) -> Result<DataFrame> {
+        let mut pairs = Vec::with_capacity(self.len() * right.len());
+        for i in 0..self.len() {
+            for j in 0..right.len() {
+                pairs.push((Some(i), Some(j)));
+            }
+        }
+        self.assemble(right, &[], &pairs)
+    }
+
+    fn assemble(
+        &self,
+        right: &DataFrame,
+        on: &[&str],
+        pairs: &[(Option<usize>, Option<usize>)],
+    ) -> Result<DataFrame> {
+        let mut out = DataFrame::new();
+        let pick = |col: &Series, side_left: bool| -> Vec<Value> {
+            pairs
+                .iter()
+                .map(|(l, r)| {
+                    let idx = if side_left { *l } else { *r };
+                    idx.map_or(Value::Null, |i| col.values()[i].clone())
+                })
+                .collect()
+        };
+
+        // Key columns: left value, falling back to right for right-only rows.
+        for k in on {
+            let lcol = self.column(k)?;
+            let rcol = right.column(k)?;
+            let vals: Vec<Value> = pairs
+                .iter()
+                .map(|(l, r)| match (l, r) {
+                    (Some(i), _) => lcol.values()[*i].clone(),
+                    (None, Some(j)) => rcol.values()[*j].clone(),
+                    (None, None) => Value::Null,
+                })
+                .collect();
+            out.insert(Series::new(k.to_string(), vals))?;
+        }
+
+        let is_key = |name: &str| on.contains(&name);
+        for col in self.columns() {
+            if is_key(col.name()) {
+                continue;
+            }
+            let name = if right.has_column(col.name()) && !is_key(col.name()) {
+                format!("{}_x", col.name())
+            } else {
+                col.name().to_string()
+            };
+            out.insert(Series::new(name, pick(col, true)))?;
+        }
+        for col in right.columns() {
+            if is_key(col.name()) {
+                continue;
+            }
+            let name = if self.has_column(col.name()) {
+                format!("{}_y", col.name())
+            } else {
+                col.name().to_string()
+            };
+            out.insert(Series::new(name, pick(col, false)))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patients() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Series::new("ssn", vec!["s1".into(), "s2".into(), "s3".into()]),
+            Series::new("race", vec!["r1".into(), "r2".into(), "r2".into()]),
+        ])
+        .unwrap()
+    }
+
+    fn histories() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Series::new("ssn", vec!["s2".into(), "s3".into(), "s4".into()]),
+            Series::new("smoker", vec!["yes".into(), "no".into(), "no".into()]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_merge_on_key() {
+        let m = patients().merge(&histories(), &["ssn"], JoinType::Inner).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.column_names(), vec!["ssn", "race", "smoker"]);
+        assert_eq!(
+            m.column("ssn").unwrap().values(),
+            &["s2".into(), "s3".into()]
+        );
+    }
+
+    #[test]
+    fn left_and_right_merge_pad_with_null() {
+        let l = patients().merge(&histories(), &["ssn"], JoinType::Left).unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.column("smoker").unwrap().values()[0], Value::Null);
+
+        let r = patients().merge(&histories(), &["ssn"], JoinType::Right).unwrap();
+        assert_eq!(r.len(), 3);
+        let ssns = r.column("ssn").unwrap();
+        assert!(ssns.values().contains(&"s4".into()));
+    }
+
+    #[test]
+    fn null_keys_join_each_other_like_pandas() {
+        let a = DataFrame::from_columns(vec![
+            Series::new("k", vec![Value::Null, "x".into()]),
+            Series::new("va", vec![1.into(), 2.into()]),
+        ])
+        .unwrap();
+        let b = DataFrame::from_columns(vec![
+            Series::new("k", vec![Value::Null]),
+            Series::new("vb", vec![10.into()]),
+        ])
+        .unwrap();
+        let m = a.merge(&b, &["k"], JoinType::Inner).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.column("va").unwrap().values(), &[1.into()]);
+    }
+
+    #[test]
+    fn duplicate_keys_multiply_rows() {
+        let dup = DataFrame::from_columns(vec![
+            Series::new("ssn", vec!["s2".into(), "s2".into()]),
+            Series::new("extra", vec![1.into(), 2.into()]),
+        ])
+        .unwrap();
+        let m = patients().merge(&dup, &["ssn"], JoinType::Inner).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn name_collisions_get_suffixes() {
+        let a = DataFrame::from_columns(vec![
+            Series::new("k", vec!["x".into()]),
+            Series::new("v", vec![1.into()]),
+        ])
+        .unwrap();
+        let b = DataFrame::from_columns(vec![
+            Series::new("k", vec!["x".into()]),
+            Series::new("v", vec![2.into()]),
+        ])
+        .unwrap();
+        let m = a.merge(&b, &["k"], JoinType::Inner).unwrap();
+        assert_eq!(m.column_names(), vec!["k", "v_x", "v_y"]);
+    }
+
+    #[test]
+    fn cross_join() {
+        let m = patients().merge(&histories(), &[], JoinType::Cross).unwrap();
+        assert_eq!(m.len(), 9);
+    }
+
+    #[test]
+    fn merge_without_keys_is_error_for_inner() {
+        assert!(patients().merge(&histories(), &[], JoinType::Inner).is_err());
+    }
+}

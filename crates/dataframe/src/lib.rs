@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! A pandas-like eager dataframe library.
+//!
+//! This crate is the **baseline** of the paper's evaluation: the original
+//! pipelines execute against pandas, and the SQL translation is benchmarked
+//! against it. The implementation is deliberately faithful to pandas'
+//! execution model rather than to a database's:
+//!
+//! * every operation **eagerly materializes** its full result (one new frame
+//!   per pipeline line — the cost model the paper's SQL offloading beats),
+//! * merges treat NULL as a joinable value (pandas semantics, paper §5.1.2),
+//! * comparisons involving NULL yield `false` (NaN semantics), while
+//!   arithmetic involving NULL yields NULL,
+//! * aggregations skip NULLs (pandas `skipna=True` default).
+//!
+//! The API mirrors the pandas calls used by the mlinspect example pipelines:
+//! `read_csv`, `merge`, `groupby().agg`, `__getitem__` projection/selection,
+//! element-wise arithmetic and boolean operators, `__setitem__`, `dropna`,
+//! `replace`, `isin`.
+
+pub mod error;
+pub mod frame;
+pub mod groupby;
+pub mod io;
+pub mod join;
+pub mod series;
+
+pub use error::{DfError, Result};
+pub use frame::DataFrame;
+pub use groupby::{AggFunc, AggSpec, GroupBy};
+pub use io::{read_csv, read_csv_str};
+pub use join::JoinType;
+pub use series::{ElemOp, Series};

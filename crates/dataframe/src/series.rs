@@ -1,0 +1,420 @@
+//! `Series`: a single named column with element-wise operations.
+
+use crate::error::{DfError, Result};
+use etypes::{DataType, Value};
+use std::collections::HashSet;
+
+/// A named column of values, the unit pandas' `__getitem__` returns and
+/// element-wise operators work on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    values: Vec<Value>,
+}
+
+/// The element-wise binary operators the pipeline subset needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always float).
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `&` (NaN counts as false).
+    And,
+    /// `|` (NaN counts as false).
+    Or,
+}
+
+impl ElemOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            ElemOp::Lt | ElemOp::Gt | ElemOp::Le | ElemOp::Ge | ElemOp::Eq | ElemOp::NotEq
+        )
+    }
+}
+
+impl Series {
+    /// Construct from a name and values.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Series {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename, consuming self (pandas `rename`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Series {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the raw values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the raw values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Dominant (non-null) type of the column, `Text` for all-null.
+    pub fn dtype(&self) -> DataType {
+        self.values
+            .iter()
+            .find_map(Value::data_type)
+            .unwrap_or(DataType::Text)
+    }
+
+    /// Element-wise operation against another series.
+    ///
+    /// NULL semantics follow pandas: comparisons with NULL yield `false`,
+    /// arithmetic with NULL yields NULL, `&`/`|` treat NULL as false.
+    pub fn binary(&self, op: ElemOp, other: &Series) -> Result<Series> {
+        if self.len() != other.len() {
+            return Err(DfError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| elem_binary(op, a, b))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Series::new(self.name.clone(), values))
+    }
+
+    /// Element-wise operation against a scalar (broadcast).
+    pub fn binary_scalar(&self, op: ElemOp, scalar: &Value) -> Result<Series> {
+        let values = self
+            .values
+            .iter()
+            .map(|a| elem_binary(op, a, scalar))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Series::new(self.name.clone(), values))
+    }
+
+    /// Scalar on the left (`1.2 * series`).
+    pub fn rbinary_scalar(&self, op: ElemOp, scalar: &Value) -> Result<Series> {
+        let values = self
+            .values
+            .iter()
+            .map(|b| elem_binary(op, scalar, b))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Series::new(self.name.clone(), values))
+    }
+
+    /// Element-wise negation (`-s`).
+    pub fn neg(&self) -> Result<Series> {
+        self.rbinary_scalar(ElemOp::Sub, &Value::Int(0))
+    }
+
+    /// Element-wise boolean inversion (`~mask`). NULL inverts to NULL.
+    pub fn invert(&self) -> Result<Series> {
+        let values = self
+            .values
+            .iter()
+            .map(|v| match v {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(DfError::Invalid(format!("cannot invert {other}"))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Series::new(self.name.clone(), values))
+    }
+
+    /// pandas `Series.isin`: membership mask. NULL is only `in` if the
+    /// candidate list contains NULL.
+    pub fn isin(&self, candidates: &[Value]) -> Series {
+        let set: HashSet<&Value> = candidates.iter().collect();
+        let values = self
+            .values
+            .iter()
+            .map(|v| Value::Bool(set.contains(v)))
+            .collect();
+        Series::new(self.name.clone(), values)
+    }
+
+    /// pandas `Series.replace`: whole-value substitution.
+    pub fn replace(&self, from: &Value, to: &Value) -> Series {
+        let values = self
+            .values
+            .iter()
+            .map(|v| if v == from { to.clone() } else { v.clone() })
+            .collect();
+        Series::new(self.name.clone(), values)
+    }
+
+    /// pandas `Series.fillna`.
+    pub fn fillna(&self, fill: &Value) -> Series {
+        let values = self
+            .values
+            .iter()
+            .map(|v| if v.is_null() { fill.clone() } else { v.clone() })
+            .collect();
+        Series::new(self.name.clone(), values)
+    }
+
+    /// Boolean mask view of the series (errors on non-boolean non-null).
+    pub fn as_mask(&self) -> Result<Vec<bool>> {
+        self.values
+            .iter()
+            .map(|v| match v {
+                Value::Bool(b) => Ok(*b),
+                Value::Null => Ok(false),
+                other => Err(DfError::Invalid(format!("non-boolean mask value {other}"))),
+            })
+            .collect()
+    }
+
+    /// Count of non-null entries (pandas `count`).
+    pub fn count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+
+    /// Mean of non-null entries.
+    pub fn mean(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in &self.values {
+            if let Ok(f) = v.as_f64() {
+                sum += f;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Population standard deviation of non-null entries
+    /// (matches SQL `stddev_pop`, which the StandardScaler translation uses).
+    pub fn std_pop(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let mut ss = 0.0;
+        let mut n = 0usize;
+        for v in &self.values {
+            if let Ok(f) = v.as_f64() {
+                ss += (f - mean) * (f - mean);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| (ss / n as f64).sqrt())
+    }
+
+    /// Minimum non-null value.
+    pub fn min(&self) -> Option<&Value> {
+        self.values.iter().filter(|v| !v.is_null()).min()
+    }
+
+    /// Maximum non-null value.
+    pub fn max(&self) -> Option<&Value> {
+        self.values.iter().filter(|v| !v.is_null()).max()
+    }
+
+    /// Distinct non-null values in first-seen order (pandas `unique` minus
+    /// NaN).
+    pub fn unique(&self) -> Vec<Value> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for v in &self.values {
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+}
+
+fn elem_binary(op: ElemOp, a: &Value, b: &Value) -> Result<Value> {
+    use ElemOp::*;
+    if a.is_null() || b.is_null() {
+        return Ok(match op {
+            // pandas: NaN comparisons are False.
+            Lt | Gt | Le | Ge | Eq | NotEq => Value::Bool(false),
+            // pandas: boolean ops treat NaN as False.
+            And | Or => {
+                let av = matches!(a, Value::Bool(true));
+                let bv = matches!(b, Value::Bool(true));
+                Value::Bool(if op == And { av && bv } else { av || bv })
+            }
+            // pandas: arithmetic with NaN is NaN.
+            _ => Value::Null,
+        });
+    }
+    Ok(match op {
+        Add => {
+            if let (Value::Text(x), Value::Text(y)) = (a, b) {
+                Value::Text(format!("{x}{y}"))
+            } else {
+                numeric(a, b, |x, y| x + y)?
+            }
+        }
+        Sub => numeric(a, b, |x, y| x - y)?,
+        Mul => numeric(a, b, |x, y| x * y)?,
+        Div => Value::Float(a.as_f64()? / b.as_f64()?),
+        Mod => numeric(a, b, |x, y| x % y)?,
+        Lt => Value::Bool(a < b),
+        Gt => Value::Bool(a > b),
+        Le => Value::Bool(a <= b),
+        Ge => Value::Bool(a >= b),
+        Eq => Value::Bool(a == b),
+        NotEq => Value::Bool(a != b),
+        And => Value::Bool(a.as_bool()? && b.as_bool()?),
+        Or => Value::Bool(a.as_bool()? || b.as_bool()?),
+    })
+}
+
+fn numeric(a: &Value, b: &Value, f: impl Fn(f64, f64) -> f64) -> Result<Value> {
+    // Integer-preserving when both sides are integers and f is exact there.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        let r = f(*x as f64, *y as f64);
+        if r.fract() == 0.0 && r.abs() < 9.0e15 {
+            return Ok(Value::Int(r as i64));
+        }
+        return Ok(Value::Float(r));
+    }
+    Ok(Value::Float(f(a.as_f64()?, b.as_f64()?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vals: &[i64]) -> Series {
+        Series::new("x", vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn arithmetic_preserves_int() {
+        let r = s(&[1, 2]).binary(ElemOp::Add, &s(&[10, 20])).unwrap();
+        assert_eq!(r.values(), &[Value::Int(11), Value::Int(22)]);
+    }
+
+    #[test]
+    fn division_is_float() {
+        let r = s(&[3]).binary(ElemOp::Div, &s(&[2])).unwrap();
+        assert_eq!(r.values(), &[Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn null_comparison_is_false_null_arithmetic_is_null() {
+        let a = Series::new("a", vec![Value::Null, Value::Int(5)]);
+        let b = s(&[1, 1]);
+        let cmp = a.binary(ElemOp::Gt, &b).unwrap();
+        assert_eq!(cmp.values(), &[Value::Bool(false), Value::Bool(true)]);
+        let add = a.binary(ElemOp::Add, &b).unwrap();
+        assert_eq!(add.values()[0], Value::Null);
+    }
+
+    #[test]
+    fn scalar_broadcast_both_sides() {
+        let r = s(&[10]).binary_scalar(ElemOp::Mul, &Value::Float(1.2)).unwrap();
+        assert_eq!(r.values(), &[Value::Float(12.0)]);
+        let r = s(&[10]).rbinary_scalar(ElemOp::Sub, &Value::Int(3)).unwrap();
+        assert_eq!(r.values(), &[Value::Int(-7)]);
+    }
+
+    #[test]
+    fn isin_mask() {
+        let counties = Series::new(
+            "county",
+            vec!["county1".into(), "county2".into(), Value::Null],
+        );
+        let mask = counties.isin(&["county2".into(), "county3".into()]);
+        assert_eq!(
+            mask.values(),
+            &[Value::Bool(false), Value::Bool(true), Value::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn replace_whole_values_only() {
+        let sc = Series::new("t", vec!["Medium".into(), "MediumX".into()]);
+        let r = sc.replace(&"Medium".into(), &"Low".into());
+        assert_eq!(r.values(), &[Value::text("Low"), Value::text("MediumX")]);
+    }
+
+    #[test]
+    fn aggregates_skip_null() {
+        let a = Series::new("a", vec![Value::Int(2), Value::Null, Value::Int(4)]);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.std_pop(), Some(1.0));
+        assert_eq!(a.min(), Some(&Value::Int(2)));
+        assert_eq!(a.max(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn unique_preserves_first_seen_order() {
+        let a = Series::new(
+            "a",
+            vec!["b".into(), "a".into(), Value::Null, "b".into(), "c".into()],
+        );
+        assert_eq!(
+            a.unique(),
+            vec![Value::text("b"), Value::text("a"), Value::text("c")]
+        );
+    }
+
+    #[test]
+    fn invert_and_mask() {
+        let m = Series::new("m", vec![Value::Bool(true), Value::Null, Value::Bool(false)]);
+        assert_eq!(m.as_mask().unwrap(), vec![true, false, false]);
+        let inv = m.invert().unwrap();
+        assert_eq!(
+            inv.values(),
+            &[Value::Bool(false), Value::Null, Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        assert!(s(&[1]).binary(ElemOp::Add, &s(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn string_concatenation() {
+        let a = Series::new("a", vec!["x".into()]);
+        let b = Series::new("b", vec!["y".into()]);
+        assert_eq!(
+            a.binary(ElemOp::Add, &b).unwrap().values(),
+            &[Value::text("xy")]
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Dataset scaling by replication (§6: "replicating the original one until
+//! the desired size is reached").
+
+/// Replicate a CSV body (keeping its single header line) until it has
+/// `target_rows` data rows. Truncates the final copy so the result is exact.
+/// Key-like columns are left untouched, matching the paper's protocol — which
+/// is also why it notes replication can blow up join results; generators that
+/// need join-safe scaling should synthesize rather than replicate.
+pub fn replicate_csv(csv: &str, target_rows: usize) -> String {
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return String::new();
+    };
+    let body: Vec<&str> = lines.filter(|l| !l.is_empty()).collect();
+    let mut out = String::with_capacity(csv.len() * (target_rows / body.len().max(1) + 1));
+    out.push_str(header);
+    out.push('\n');
+    if body.is_empty() {
+        return out;
+    }
+    for i in 0..target_rows {
+        out.push_str(body[i % body.len()]);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicates_to_exact_size() {
+        let csv = "a,b\n1,2\n3,4\n";
+        let scaled = replicate_csv(csv, 5);
+        assert_eq!(scaled.lines().count(), 6); // header + 5
+        assert!(scaled.ends_with("1,2\n"));
+    }
+
+    #[test]
+    fn truncates_below_original() {
+        let csv = "a\n1\n2\n3\n";
+        let scaled = replicate_csv(csv, 1);
+        assert_eq!(scaled, "a\n1\n");
+    }
+
+    #[test]
+    fn empty_body_keeps_header() {
+        assert_eq!(replicate_csv("a,b\n", 10), "a,b\n");
+    }
+}

@@ -1,0 +1,322 @@
+//! Minimal CSV reader/writer with pandas-compatible type inference.
+//!
+//! Used by both the dataframe's `read_csv` and the SQL engine's
+//! `COPY ... FROM ... WITH (FORMAT CSV)`. Supports RFC-4180 quoting, custom
+//! delimiters, `na_values` (the paper's pipelines use `na_values='?'`), and
+//! the "headerless first column is the pandas row number" convention that the
+//! compas/adult datasets rely on (paper §6).
+
+use crate::{DataType, Error, Result, Value};
+use std::fs;
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// First row is a header (default true).
+    pub header: bool,
+    /// Strings parsed as NULL in addition to the empty string.
+    pub na_values: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            header: true,
+            na_values: Vec::new(),
+        }
+    }
+}
+
+impl CsvOptions {
+    /// Add an `na_values` entry, pandas style.
+    pub fn with_na(mut self, na: impl Into<String>) -> Self {
+        self.na_values.push(na.into());
+        self
+    }
+}
+
+/// A parsed CSV file: typed columns plus cells.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    /// Column names (synthesised as `column_0`.. when `header=false`, except
+    /// that a headerless leading row-number column is named `index_`).
+    pub columns: Vec<String>,
+    /// Inferred column types.
+    pub types: Vec<DataType>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Read and type-infer a CSV file from disk.
+pub fn read_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<CsvTable> {
+    let text = fs::read_to_string(path.as_ref())?;
+    read_csv_str(&text, opts)
+}
+
+/// Read and type-infer CSV content from a string.
+pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<CsvTable> {
+    let mut records = parse_records(text, opts.delimiter)?;
+    if records.is_empty() {
+        return Ok(CsvTable {
+            columns: Vec::new(),
+            types: Vec::new(),
+            rows: Vec::new(),
+        });
+    }
+    let mut columns: Vec<String>;
+    if opts.header {
+        let header = records.remove(0);
+        columns = header;
+        let width = records.iter().map(Vec::len).max().unwrap_or(columns.len());
+        // The mlinspect compas/adult CSVs carry an unnamed leading column of
+        // pandas row numbers: the header has one fewer field than the data.
+        if width == columns.len() + 1 {
+            columns.insert(0, "index_".to_string());
+        }
+    } else {
+        let width = records.iter().map(Vec::len).max().unwrap_or(0);
+        columns = (0..width).map(|i| format!("column_{i}")).collect();
+    }
+
+    let ncols = columns.len();
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(records.len());
+    for rec in &records {
+        if rec.len() != ncols {
+            return Err(Error::Csv(format!(
+                "row has {} fields, expected {ncols}",
+                rec.len()
+            )));
+        }
+        let row = rec
+            .iter()
+            .map(|field| raw_value(field, opts))
+            .collect::<Vec<_>>();
+        rows.push(row);
+    }
+
+    let types = infer_types(&rows, ncols);
+    for row in &mut rows {
+        for (cell, ty) in row.iter_mut().zip(&types) {
+            *cell = coerce(cell, ty);
+        }
+    }
+    Ok(CsvTable {
+        columns,
+        types,
+        rows,
+    })
+}
+
+/// Serialize rows back to CSV text (used by datagen and test fixtures).
+pub fn write_csv(columns: &[String], rows: &[Vec<Value>], delimiter: char) -> String {
+    let mut out = String::new();
+    let escape = |s: &str| -> String {
+        if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push(delimiter);
+        }
+        out.push_str(&escape(c));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(delimiter);
+            }
+            match v {
+                Value::Null => {}
+                other => out.push_str(&escape(&other.to_string())),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn raw_value(field: &str, opts: &CsvOptions) -> Value {
+    if field.is_empty() || opts.na_values.iter().any(|na| na == field) {
+        Value::Null
+    } else {
+        Value::Text(field.to_string())
+    }
+}
+
+fn infer_types(rows: &[Vec<Value>], ncols: usize) -> Vec<DataType> {
+    (0..ncols)
+        .map(|c| {
+            let mut saw_any = false;
+            let mut all_int = true;
+            let mut all_float = true;
+            for row in rows {
+                let Value::Text(s) = &row[c] else { continue };
+                saw_any = true;
+                let t = s.trim();
+                if t.parse::<i64>().is_err() {
+                    all_int = false;
+                }
+                if t.parse::<f64>().is_err() {
+                    all_float = false;
+                    break;
+                }
+            }
+            if !saw_any {
+                DataType::Text
+            } else if all_int {
+                DataType::Int
+            } else if all_float {
+                DataType::Float
+            } else {
+                DataType::Text
+            }
+        })
+        .collect()
+}
+
+fn coerce(v: &Value, ty: &DataType) -> Value {
+    match v {
+        Value::Text(s) => match ty {
+            DataType::Int => Value::Int(s.trim().parse().unwrap_or_default()),
+            DataType::Float => Value::Float(s.trim().parse().unwrap_or_default()),
+            _ => v.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn parse_records(text: &str, delim: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_anything = false;
+
+    while let Some(ch) = chars.next() {
+        saw_anything = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                c if c == delim => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv("unterminated quoted field".to_string()));
+    }
+    if saw_anything && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_int_float_text() {
+        let t = read_csv_str("a,b,c\n1,1.5,x\n2,2.5,y\n", &CsvOptions::default()).unwrap();
+        assert_eq!(
+            t.types,
+            vec![DataType::Int, DataType::Float, DataType::Text]
+        );
+        assert_eq!(t.rows[0], vec![Value::Int(1), Value::Float(1.5), "x".into()]);
+    }
+
+    #[test]
+    fn na_values_become_null() {
+        let opts = CsvOptions::default().with_na("?");
+        let t = read_csv_str("a,b\n?,1\n,2\n", &opts).unwrap();
+        assert_eq!(t.rows[0][0], Value::Null);
+        assert_eq!(t.rows[1][0], Value::Null);
+        // Column of all-null infers Text.
+        assert_eq!(t.types[0], DataType::Text);
+    }
+
+    #[test]
+    fn nulls_do_not_break_numeric_inference() {
+        let opts = CsvOptions::default().with_na("?");
+        let t = read_csv_str("a\n1\n?\n3\n", &opts).unwrap();
+        assert_eq!(t.types[0], DataType::Int);
+        assert_eq!(t.rows[1][0], Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters() {
+        let t = read_csv_str(
+            "name,notes\n\"Doe, John\",\"said \"\"hi\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.rows[0][0], "Doe, John".into());
+        assert_eq!(t.rows[0][1], "said \"hi\"".into());
+    }
+
+    #[test]
+    fn headerless_row_number_column_detected() {
+        // compas/adult style: 2-field header, 3-field rows.
+        let t = read_csv_str("age,sex\n0,25,m\n1,31,f\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.columns, vec!["index_", "age", "sex"]);
+        assert_eq!(t.rows[1], vec![Value::Int(1), Value::Int(31), "f".into()]);
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let cols = vec!["a".to_string(), "b".to_string()];
+        let rows = vec![
+            vec![Value::Int(1), Value::text("x,y")],
+            vec![Value::Null, Value::text("plain")],
+        ];
+        let text = write_csv(&cols, &rows, ',');
+        let t = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(t.rows[0][1], "x,y".into());
+        assert_eq!(t.rows[1][0], Value::Null);
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        assert!(read_csv_str("a,b\n1\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn no_header_mode() {
+        let opts = CsvOptions {
+            header: false,
+            ..Default::default()
+        };
+        let t = read_csv_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.columns, vec!["column_0", "column_1"]);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Logical column types.
+
+use std::fmt;
+
+/// The logical type of a column, shared between the dataframe library and the
+/// SQL engine's catalog.
+///
+/// The set mirrors what the paper's pipelines need: PostgreSQL's
+/// `int`/`double precision`/`text`/`boolean`/`serial` plus arrays (used for
+/// `array_agg`-ed tuple identifiers and one-hot vectors).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`int`/`bigint`).
+    Int,
+    /// 64-bit IEEE float (`double precision`).
+    Float,
+    /// UTF-8 string (`text`).
+    Text,
+    /// Boolean.
+    Bool,
+    /// Auto-incrementing integer used for pandas-style row numbers
+    /// (`add_mlinspect_serial`, paper §5.1.8).
+    Serial,
+    /// Array of an element type (`int[]`, used by `array_agg`/one-hot).
+    Array(Box<DataType>),
+}
+
+impl DataType {
+    /// The SQL spelling used when generating `CREATE TABLE` statements.
+    pub fn sql_name(&self) -> String {
+        match self {
+            DataType::Int => "INT".to_string(),
+            DataType::Float => "DOUBLE PRECISION".to_string(),
+            DataType::Text => "TEXT".to_string(),
+            DataType::Bool => "BOOLEAN".to_string(),
+            DataType::Serial => "SERIAL".to_string(),
+            DataType::Array(inner) => format!("{}[]", inner.sql_name()),
+        }
+    }
+
+    /// True for `Int`, `Float` and `Serial`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Serial)
+    }
+
+    /// The common type two operands coerce to in arithmetic, if any.
+    ///
+    /// Mirrors both pandas' upcasting and SQL numeric type inference:
+    /// `Int op Float -> Float`, `Serial` behaves as `Int`.
+    pub fn unify(&self, other: &DataType) -> Option<DataType> {
+        use DataType::*;
+        let a = if *self == Serial { Int } else { self.clone() };
+        let b = if *other == Serial { Int } else { other.clone() };
+        match (a, b) {
+            (x, y) if x == y => Some(x),
+            (Int, Float) | (Float, Int) => Some(Float),
+            // Comparisons/joins between bools and ints appear in label columns.
+            (Bool, Int) | (Int, Bool) => Some(Int),
+            _ => None,
+        }
+    }
+
+    /// Parse a PostgreSQL type name as used in generated DDL.
+    pub fn parse_sql(name: &str) -> Option<DataType> {
+        let lower = name.trim().to_ascii_lowercase();
+        if let Some(elem) = lower.strip_suffix("[]") {
+            return DataType::parse_sql(elem).map(|d| DataType::Array(Box::new(d)));
+        }
+        match lower.as_str() {
+            "int" | "integer" | "bigint" | "int4" | "int8" | "smallint" => Some(DataType::Int),
+            "float" | "double precision" | "double" | "real" | "numeric" | "float8" => {
+                Some(DataType::Float)
+            }
+            "text" | "varchar" | "char" | "string" => Some(DataType::Text),
+            "bool" | "boolean" => Some(DataType::Bool),
+            "serial" => Some(DataType::Serial),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_names_round_trip() {
+        for dt in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+            DataType::Serial,
+            DataType::Array(Box::new(DataType::Int)),
+        ] {
+            assert_eq!(DataType::parse_sql(&dt.sql_name()), Some(dt.clone()), "{dt}");
+        }
+    }
+
+    #[test]
+    fn unify_numeric_upcasts() {
+        assert_eq!(DataType::Int.unify(&DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Serial.unify(&DataType::Int), Some(DataType::Int));
+        assert_eq!(DataType::Text.unify(&DataType::Int), None);
+    }
+
+    #[test]
+    fn parse_unknown_is_none() {
+        assert_eq!(DataType::parse_sql("json"), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type shared across the workspace's substrate layers.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the shared type layer (value coercion, CSV I/O).
+#[derive(Debug)]
+pub enum Error {
+    /// A value could not be coerced to the requested type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// Human-readable rendering of what it got.
+        got: String,
+    },
+    /// Malformed CSV input.
+    Csv(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::Csv(msg) => write!(f, "csv error: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

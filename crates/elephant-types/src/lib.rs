@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! Shared scalar types for the Blue Elephants workspace.
+//!
+//! Every layer of the system — the pandas-like `dataframe` baseline, the
+//! SQL engine, the scikit-learn re-implementation and the mlinspect core —
+//! speaks the same scalar language: [`Value`] cells typed by [`DataType`],
+//! with SQL-style null semantics. This crate also owns the CSV reader/writer
+//! used both by the `pandas.read_csv` emulation and by the engine's `COPY`.
+
+pub mod csv;
+pub mod datatype;
+pub mod error;
+pub mod value;
+
+pub use csv::{read_csv, read_csv_str, write_csv, CsvOptions, CsvTable};
+pub use datatype::DataType;
+pub use error::{Error, Result};
+pub use value::Value;

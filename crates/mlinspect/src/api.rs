@@ -1,0 +1,262 @@
+//! The user-facing `PipelineInspector` API (paper Listing 6).
+
+use crate::backends::pandas::{FileRegistry, PandasBackend};
+use crate::backends::sql::{SqlBackend, TranspiledSql};
+use crate::backends::{NodeRelation, RunArtifacts, RunConfig};
+use crate::capture::{capture_with_seed, Captured};
+use crate::checks::{evaluate_bias, evaluate_illegal_features, Check, CheckResult};
+use crate::dag::{Dag, NodeId};
+use crate::error::Result;
+use crate::inspection::{Inspection, InspectionResults};
+use sqlengine::Engine;
+use std::collections::HashMap;
+
+pub use crate::sqlgen::SqlMode;
+
+/// Everything a run produces: the DAG, inspection measurements, check
+/// verdicts and (for end-to-end pipelines) model accuracies.
+#[derive(Debug, Clone)]
+pub struct InspectorResult {
+    /// The captured operator DAG.
+    pub dag: Dag,
+    /// Per-node inspection measurements.
+    pub inspections: InspectionResults,
+    /// One result per registered check.
+    pub check_results: Vec<CheckResult>,
+    /// Model accuracies (one per `score` call).
+    pub accuracies: Vec<f64>,
+    /// Operator outputs (only with [`PipelineInspector::keep_relations`]).
+    pub relations: HashMap<NodeId, NodeRelation>,
+    /// Per-operator wall-clock times.
+    pub op_timings: Vec<(NodeId, String, std::time::Duration)>,
+}
+
+impl InspectorResult {
+    /// The single accuracy of a pipeline that scores once.
+    pub fn accuracy(&self) -> Option<f64> {
+        match self.accuracies.as_slice() {
+            [a] => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// True when every check passed.
+    pub fn all_checks_passed(&self) -> bool {
+        self.check_results.iter().all(CheckResult::passed)
+    }
+}
+
+/// Builder mirroring mlinspect's `PipelineInspector` with the paper's SQL
+/// extension: the same inspection setup can run on the pandas baseline
+/// ([`execute`]) or be transpiled to SQL and off-loaded to a database engine
+/// ([`execute_in_sql`]).
+///
+/// [`execute`]: PipelineInspector::execute
+/// [`execute_in_sql`]: PipelineInspector::execute_in_sql
+pub struct PipelineInspector {
+    source: String,
+    files: FileRegistry,
+    checks: Vec<Check>,
+    inspections: Vec<Inspection>,
+    seed: u64,
+    keep_relations: bool,
+}
+
+impl PipelineInspector {
+    /// Start from pipeline source code.
+    pub fn on_pipeline(source: impl Into<String>) -> PipelineInspector {
+        PipelineInspector {
+            source: source.into(),
+            files: FileRegistry::new(),
+            checks: Vec::new(),
+            inspections: Vec::new(),
+            seed: 0,
+            keep_relations: false,
+        }
+    }
+
+    /// Register an in-memory CSV under the path the pipeline reads.
+    pub fn with_file(mut self, path: impl Into<String>, content: impl Into<String>) -> Self {
+        self.files.insert(path, content);
+        self
+    }
+
+    /// Seed for the stochastic steps (split, model init) — Table 5 varies it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Keep every operator's full output (equivalence testing).
+    pub fn keep_relations(mut self, keep: bool) -> Self {
+        self.keep_relations = keep;
+        self
+    }
+
+    /// Add the `NoBiasIntroducedFor` check (implies `HistogramForColumns`).
+    pub fn no_bias_introduced_for(mut self, columns: &[&str], threshold: f64) -> Self {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        self.inspections
+            .push(Inspection::HistogramForColumns(columns.clone()));
+        self.checks
+            .push(Check::NoBiasIntroducedFor { columns, threshold });
+        self
+    }
+
+    /// Add the `NoIllegalFeatures` check.
+    pub fn no_illegal_features(mut self, blacklist: &[&str]) -> Self {
+        self.checks.push(Check::NoIllegalFeatures {
+            blacklist: blacklist.iter().map(|c| c.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Add a raw inspection.
+    pub fn add_inspection(mut self, inspection: Inspection) -> Self {
+        self.inspections.push(inspection);
+        self
+    }
+
+    fn run_config(&self) -> RunConfig {
+        // Merge histogram column lists.
+        let mut columns: Vec<String> = Vec::new();
+        for i in &self.inspections {
+            if let Inspection::HistogramForColumns(cols) = i {
+                for c in cols {
+                    if !columns.contains(c) {
+                        columns.push(c.clone());
+                    }
+                }
+            }
+        }
+        let mut inspections: Vec<Inspection> = self
+            .inspections
+            .iter()
+            .filter(|i| !matches!(i, Inspection::HistogramForColumns(_)))
+            .cloned()
+            .collect();
+        if !columns.is_empty() {
+            inspections.push(Inspection::HistogramForColumns(columns));
+        }
+        RunConfig {
+            inspections,
+            keep_relations: self.keep_relations,
+            force_outputs: false,
+            baseline_costs: Default::default(),
+        }
+    }
+
+    fn capture(&self) -> Result<Captured> {
+        capture_with_seed(&self.source, self.seed)
+    }
+
+    fn finish(&self, captured: Captured, artifacts: RunArtifacts) -> InspectorResult {
+        let mut check_results = Vec::new();
+        for check in &self.checks {
+            check_results.push(match check {
+                Check::NoBiasIntroducedFor { columns, threshold } => {
+                    evaluate_bias(&captured.dag, &artifacts.inspections, columns, *threshold)
+                }
+                Check::NoIllegalFeatures { blacklist } => {
+                    evaluate_illegal_features(&captured.dag, blacklist)
+                }
+            });
+        }
+        InspectorResult {
+            dag: captured.dag,
+            inspections: artifacts.inspections,
+            check_results,
+            accuracies: artifacts.accuracies,
+            relations: artifacts.relations,
+            op_timings: artifacts.op_timings,
+        }
+    }
+
+    /// Execute on the pandas baseline backend.
+    pub fn execute(self) -> Result<InspectorResult> {
+        let captured = self.capture()?;
+        let config = self.run_config();
+        let artifacts = PandasBackend::run(&captured.dag, &self.files, &config)?;
+        Ok(self.finish(captured, artifacts))
+    }
+
+    /// Transpile to SQL and execute on the given engine (paper Listing 6's
+    /// `execute_in_sql(dbms=..., mode=..., materialize=...)`).
+    pub fn execute_in_sql(
+        self,
+        engine: &mut Engine,
+        mode: SqlMode,
+        materialize: bool,
+    ) -> Result<InspectorResult> {
+        let captured = self.capture()?;
+        let config = self.run_config();
+        let artifacts = SqlBackend::run(
+            &captured.dag,
+            &self.files,
+            &config,
+            engine,
+            mode,
+            materialize,
+        )?;
+        Ok(self.finish(captured, artifacts))
+    }
+
+    /// Generate the SQL without executing it.
+    pub fn transpile_only(self, mode: SqlMode) -> Result<TranspiledSql> {
+        let captured = self.capture()?;
+        SqlBackend::transpile(&captured.dag, &self.files, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipelines;
+    use sqlengine::EngineProfile;
+
+    fn inspector(src: &str) -> PipelineInspector {
+        PipelineInspector::on_pipeline(src)
+            .with_file("patients.csv", datagen::patients_csv(150, 1))
+            .with_file("histories.csv", datagen::histories_csv(150, 1))
+    }
+
+    #[test]
+    fn listing6_style_usage() {
+        // Mirrors Listing 6: inspect race and age_group, run in a DBMS.
+        let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
+        let result = inspector(pipelines::HEALTHCARE)
+            .no_bias_introduced_for(&["race", "age_group"], 0.3)
+            .no_illegal_features(&["race"])
+            .execute_in_sql(&mut engine, SqlMode::View, true)
+            .unwrap();
+        assert_eq!(result.check_results.len(), 2);
+        // race is used as a feature -> NoIllegalFeatures fails.
+        assert!(!result.check_results[1].passed());
+        assert!(result.accuracy().is_some());
+    }
+
+    #[test]
+    fn both_backends_produce_check_results() {
+        let baseline = inspector(pipelines::HEALTHCARE)
+            .no_bias_introduced_for(&["age_group"], 0.25)
+            .execute()
+            .unwrap();
+        let mut engine = Engine::new(EngineProfile::in_memory());
+        let sql = inspector(pipelines::HEALTHCARE)
+            .no_bias_introduced_for(&["age_group"], 0.25)
+            .execute_in_sql(&mut engine, SqlMode::Cte, false)
+            .unwrap();
+        assert_eq!(
+            baseline.check_results[0].passed(),
+            sql.check_results[0].passed()
+        );
+    }
+
+    #[test]
+    fn transpile_only_requires_no_engine() {
+        let sql = inspector(pipelines::HEALTHCARE)
+            .transpile_only(SqlMode::Cte)
+            .unwrap();
+        assert!(sql.container.len() > 5);
+    }
+}

@@ -1,0 +1,632 @@
+//! The SQL backend: translate every operator to a CTE/view and run it on
+//! the database engine (paper §3.3, §4, §5).
+
+use super::pandas::FileRegistry;
+use super::{labels_to_f64, NodeRelation, RunArtifacts, RunConfig};
+use crate::dag::{Dag, ModelKind, NodeId, OpKind};
+use crate::error::{MlError, Result};
+use crate::inspection::{ColumnHistogram, FirstRowsSample, RowLineageSample};
+use crate::sqlgen::{ReadCsvSql, SqlGen, SqlMode, SqlQueryContainer};
+use etypes::{CsvOptions, Value};
+use sklearn::{LogisticRegression, Matrix, MlpClassifier};
+use sqlengine::{Engine, Relation};
+use std::collections::HashMap;
+
+/// The generated SQL of a pipeline, without execution (the paper's
+/// "functionality to generate inspection-enabled SQL queries from pipelines
+/// written in Python without execution").
+#[derive(Debug, Clone, Default)]
+pub struct TranspiledSql {
+    /// DDL + COPY per read_csv, in order.
+    pub setup: Vec<ReadCsvSql>,
+    /// All generated table expressions.
+    pub container: SqlQueryContainer,
+}
+
+impl TranspiledSql {
+    /// Render the complete script for the given mode.
+    pub fn script(&self, mode: SqlMode, materialize: bool) -> String {
+        let mut out = String::new();
+        for s in &self.setup {
+            out.push_str(&s.create);
+            out.push('\n');
+            out.push_str(&s.copy);
+            out.push('\n');
+        }
+        match mode {
+            SqlMode::View => out.push_str(&self.container.view_script(materialize)),
+            SqlMode::Cte => {
+                if let Some(last) = self.container.entries().last() {
+                    let select = format!("SELECT * FROM {}", last.name);
+                    out.push_str(&self.container.query(SqlMode::Cte, &select));
+                }
+            }
+        }
+        out
+    }
+}
+
+enum FittedModel {
+    LogReg(LogisticRegression),
+    Mlp(MlpClassifier),
+}
+
+/// The SQL backend executor.
+pub struct SqlBackend<'a> {
+    files: &'a FileRegistry,
+    config: &'a RunConfig,
+    mode: SqlMode,
+    materialize: bool,
+    engine: Option<&'a mut Engine>,
+    gen: SqlGen,
+    setup: Vec<ReadCsvSql>,
+    created_entries: usize,
+    models: HashMap<NodeId, FittedModel>,
+    artifacts: RunArtifacts,
+}
+
+impl<'a> SqlBackend<'a> {
+    /// Translate and execute a DAG on the engine.
+    pub fn run(
+        dag: &Dag,
+        files: &'a FileRegistry,
+        config: &'a RunConfig,
+        engine: &'a mut Engine,
+        mode: SqlMode,
+        materialize: bool,
+    ) -> Result<RunArtifacts> {
+        let mut backend = SqlBackend {
+            files,
+            config,
+            mode,
+            materialize,
+            engine: Some(engine),
+            gen: SqlGen::new(),
+            setup: Vec::new(),
+            created_entries: 0,
+            models: HashMap::new(),
+            artifacts: RunArtifacts::default(),
+        };
+        for node in &dag.nodes {
+            let started = std::time::Instant::now();
+            backend.execute_node(node.id, node.line, &node.kind)?;
+            backend.artifacts.op_timings.push((
+                node.id,
+                node.kind.label().to_string(),
+                started.elapsed(),
+            ));
+        }
+        if config.force_outputs {
+            backend.force_terminal_outputs(dag)?;
+        }
+        Ok(backend.artifacts)
+    }
+
+    /// Evaluate every frame node no other node consumes (the lazy SQL
+    /// counterpart of the baseline's eager materialization).
+    fn force_terminal_outputs(&mut self, dag: &Dag) -> Result<()> {
+        let mut consumed = std::collections::HashSet::new();
+        for node in &dag.nodes {
+            consumed.extend(node.kind.inputs());
+        }
+        for node in &dag.nodes {
+            if consumed.contains(&node.id) || !node.kind.produces_frame() {
+                continue;
+            }
+            // Fetch all visible columns (the paper's runs transfer results
+            // back through the adapter), preventing the optimizer from
+            // pruning the node's actual work.
+            let Ok(select) = self.gen.select_visible(node.id, None) else {
+                continue;
+            };
+            let sql = self.assemble(&select);
+            self.run_sql(&sql)?;
+        }
+        Ok(())
+    }
+
+    /// Translate a DAG to SQL without executing it (schemas are deduced from
+    /// a ten-row sample of the inputs, like the paper's schema-deduction run).
+    pub fn transpile(dag: &Dag, files: &FileRegistry, mode: SqlMode) -> Result<TranspiledSql> {
+        let config = RunConfig::default();
+        let mut backend = SqlBackend {
+            files,
+            config: &config,
+            mode,
+            materialize: false,
+            engine: None,
+            gen: SqlGen::new(),
+            setup: Vec::new(),
+            created_entries: 0,
+            models: HashMap::new(),
+            artifacts: RunArtifacts::default(),
+        };
+        for node in &dag.nodes {
+            backend.execute_node(node.id, node.line, &node.kind)?;
+        }
+        Ok(TranspiledSql {
+            setup: backend.setup,
+            container: backend.gen.container,
+        })
+    }
+
+    fn dry_run(&self) -> bool {
+        self.engine.is_none()
+    }
+
+    fn run_sql(&mut self, sql: &str) -> Result<Relation> {
+        let engine = self
+            .engine
+            .as_deref_mut()
+            .ok_or_else(|| MlError::Internal("query in transpile-only mode".into()))?;
+        Ok(engine.query(sql)?)
+    }
+
+    /// Assemble a query for a bare select in the active mode.
+    fn assemble(&self, select: &str) -> String {
+        self.gen.container.query(self.mode, select)
+    }
+
+    /// In VIEW mode, create catalog views for entries generated since the
+    /// last call.
+    fn flush_views(&mut self) -> Result<()> {
+        if self.mode != SqlMode::View || self.dry_run() {
+            self.created_entries = self.gen.container.len();
+            return Ok(());
+        }
+        let entries: Vec<_> = self.gen.container.entries()[self.created_entries..].to_vec();
+        for entry in entries {
+            // "When the user chooses to materialise, all created views/CTEs,
+            // for which recalculating can be avoided, as well as all fitting
+            // parameters are materialised" (§3.4.2).
+            let materialized = self.materialize;
+            let engine = self
+                .engine
+                .as_deref_mut()
+                .expect("dry_run checked above");
+            engine.execute(&format!("DROP VIEW IF EXISTS {}", entry.name))?;
+            engine.execute(&SqlQueryContainer::view_ddl(&entry, materialized))?;
+        }
+        self.created_entries = self.gen.container.len();
+        Ok(())
+    }
+
+    fn execute_node(&mut self, id: NodeId, line: usize, kind: &OpKind) -> Result<()> {
+        match kind {
+            OpKind::ReadCsv { file, na_values } => {
+                let text = self.files.resolve(file)?;
+                let mut opts = CsvOptions::default();
+                if let Some(na) = na_values {
+                    opts = opts.with_na(na.clone());
+                }
+                // Schema deduction: full parse when executing, ten-row sample
+                // when only transpiling.
+                let csv = if self.dry_run() {
+                    let sample: String = text
+                        .lines()
+                        .take(11)
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    etypes::read_csv_str(&sample, &opts)?
+                } else {
+                    etypes::read_csv_str(&text, &opts)?
+                };
+                let nullable: Vec<bool> = (0..csv.columns.len())
+                    .map(|i| csv.rows.iter().any(|r| r[i].is_null()))
+                    .collect();
+                let sql = self.gen.read_csv(
+                    id,
+                    line,
+                    file,
+                    &csv.columns,
+                    &csv.types,
+                    &nullable,
+                    na_values.as_deref(),
+                );
+                if let Some(engine) = self.engine.as_deref_mut() {
+                    engine.execute_script(&sql.create)?;
+                    engine.copy_rows(&sql.table, None, csv)?;
+                }
+                self.setup.push(sql);
+            }
+            OpKind::Join { left, right, on } => {
+                self.gen.join(id, line, *left, *right, on)?;
+            }
+            OpKind::GroupByAgg { input, keys, aggs } => {
+                self.gen.groupby_agg(id, line, *input, keys, aggs)?;
+            }
+            OpKind::SetItem {
+                input,
+                column,
+                expr,
+            } => {
+                self.gen.set_item(id, line, *input, column, expr)?;
+            }
+            OpKind::Project { input, columns } => {
+                self.gen.project(id, line, *input, columns)?;
+            }
+            OpKind::Filter { input, condition } => {
+                self.gen.filter(id, line, *input, condition)?;
+            }
+            OpKind::DropNa { input } => {
+                self.gen.dropna(id, line, *input)?;
+            }
+            OpKind::Replace { input, from, to } => {
+                self.gen.replace(id, line, *input, from, to)?;
+            }
+            OpKind::FillNa { input, value } => {
+                self.gen.fillna(id, line, *input, value)?;
+            }
+            OpKind::Head { input, n } => {
+                self.gen.head(id, line, *input, *n)?;
+            }
+            OpKind::SortValues {
+                input,
+                by,
+                ascending,
+            } => {
+                self.gen.sort_values(id, line, *input, by, *ascending)?;
+            }
+            OpKind::DropColumns { input, columns } => {
+                self.gen.drop_columns(id, line, *input, columns)?;
+            }
+            OpKind::LabelBinarize {
+                input,
+                column,
+                classes,
+            } => {
+                self.gen.label_binarize(id, line, *input, column, classes)?;
+            }
+            OpKind::Split {
+                input,
+                part,
+                test_percent,
+                seed,
+            } => {
+                self.gen.split(id, line, *input, *part, *test_percent, *seed)?;
+            }
+            OpKind::FeatureTransform {
+                input,
+                steps,
+                fit_node,
+            } => {
+                self.gen.featurisation(id, line, *input, steps, *fit_node)?;
+            }
+            OpKind::ModelFit {
+                features,
+                labels,
+                model,
+                seed,
+            } => {
+                self.flush_views()?;
+                if self.dry_run() {
+                    return Ok(());
+                }
+                let (x, y) = self.extract_features_and_labels(*features, labels)?;
+                let fitted = match model {
+                    ModelKind::LogisticRegression => {
+                        let mut m = LogisticRegression::new().with_seed(*seed);
+                        m.fit(&x, &y)?;
+                        FittedModel::LogReg(m)
+                    }
+                    ModelKind::NeuralNetwork { hidden, epochs } => {
+                        let mut m = MlpClassifier::new(*hidden).with_seed(*seed);
+                        m.epochs = *epochs;
+                        m.fit(&x, &y)?;
+                        FittedModel::Mlp(m)
+                    }
+                };
+                self.models.insert(id, fitted);
+                return Ok(());
+            }
+            OpKind::ModelScore {
+                model,
+                features,
+                labels,
+            } => {
+                self.flush_views()?;
+                if self.dry_run() {
+                    return Ok(());
+                }
+                let (x, y) = self.extract_features_and_labels(*features, labels)?;
+                let fitted = self
+                    .models
+                    .get(model)
+                    .ok_or_else(|| MlError::Internal("missing fitted model".into()))?;
+                let acc = match fitted {
+                    FittedModel::LogReg(m) => m.score(&x, &y)?,
+                    FittedModel::Mlp(m) => m.score(&x, &y)?,
+                };
+                self.artifacts.accuracies.push(acc);
+                return Ok(());
+            }
+        }
+        self.flush_views()?;
+        if kind.produces_frame() && !matches!(kind, OpKind::FeatureTransform { .. }) {
+            self.inspect_node(id)?;
+        }
+        Ok(())
+    }
+
+    // ---- inspection ---------------------------------------------------------
+
+    fn inspect_node(&mut self, id: NodeId) -> Result<()> {
+        if self.dry_run() {
+            return Ok(());
+        }
+        let sensitive = self.config.sensitive_columns();
+        if !sensitive.is_empty() {
+            let mut hists = Vec::new();
+            for col in &sensitive {
+                let Some(select) = self.gen.histogram_select(id, col) else {
+                    continue;
+                };
+                let sql = self.assemble(&select);
+                let rel = self.run_sql(&sql)?;
+                let counts = rel
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        let n = r[1].as_i64().map_err(MlError::Value)? as u64;
+                        Ok((r[0].clone(), n))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                hists.push(ColumnHistogram::new(col.clone(), counts));
+            }
+            self.artifacts.inspections.histograms.insert(id, hists);
+        }
+        if let Some(k) = self.config.lineage_k() {
+            let (names, select) = self.gen.select_lineage(id, k)?;
+            let sql = self.assemble(&select);
+            let rel = self.run_sql(&sql)?;
+            self.artifacts.inspections.lineage.insert(
+                id,
+                RowLineageSample {
+                    ctid_columns: names,
+                    rows: rel.rows,
+                },
+            );
+        }
+        if let Some(k) = self.config.first_rows_k() {
+            let select = self.gen.select_visible(id, Some(k))?;
+            let sql = self.assemble(&select);
+            let rel = self.run_sql(&sql)?;
+            self.artifacts.inspections.first_rows.insert(
+                id,
+                FirstRowsSample {
+                    columns: rel.columns.clone(),
+                    rows: rel.rows,
+                },
+            );
+        }
+        if self.config.keep_relations {
+            let select = self.gen.select_visible(id, None)?;
+            let sql = self.assemble(&select);
+            let rel = self.run_sql(&sql)?;
+            self.artifacts.relations.insert(
+                id,
+                NodeRelation {
+                    columns: rel.columns,
+                    rows: rel.rows,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // ---- feature/label extraction ---------------------------------------------
+
+    /// One combined query extracts the feature matrix and the aligned labels
+    /// by joining on a shared tuple identifier, then converts to the dense
+    /// representation the (in-process) model training consumes — the paper's
+    /// "cast into a matrix representation (NumPy array) to feed the model".
+    fn extract_features_and_labels(
+        &mut self,
+        features: NodeId,
+        labels: &(NodeId, String),
+    ) -> Result<(Matrix, Vec<f64>)> {
+        let feat = self.gen.table_expr(features)?.clone();
+        let lab = self.gen.table_expr(labels.0)?.clone();
+        let common = feat
+            .ctids
+            .iter()
+            .find(|f| !f.aggregated && lab.ctids.iter().any(|l| l.name == f.name))
+            .ok_or_else(|| {
+                MlError::Internal("no shared tuple identifier between features and labels".into())
+            })?;
+        let ctid = crate::sqlgen::quote_ident(&common.name);
+        let cols: Vec<String> = feat
+            .columns
+            .iter()
+            .map(|c| format!("f.{}", crate::sqlgen::quote_ident(c)))
+            .collect();
+        let select = format!(
+            "SELECT {}, lab.{} FROM {} f INNER JOIN {} lab ON f.{ctid} = lab.{ctid}",
+            cols.join(", "),
+            crate::sqlgen::quote_ident(&labels.1),
+            feat.sql_name,
+            lab.sql_name
+        );
+        let sql = self.assemble(&select);
+        let rel = self.run_sql(&sql)?;
+        matrix_from_relation(&rel)
+    }
+}
+
+/// Flatten a relation whose last column is the label and whose feature
+/// columns may contain one-hot arrays.
+fn matrix_from_relation(rel: &Relation) -> Result<(Matrix, Vec<f64>)> {
+    let n_cols = rel.columns.len();
+    if n_cols < 1 {
+        return Err(MlError::Internal("empty extraction result".into()));
+    }
+    let feat_cols = n_cols - 1;
+    let mut widths = vec![1usize; feat_cols];
+    for (c, width) in widths.iter_mut().enumerate() {
+        if let Some(row) = rel.rows.first() {
+            if let Value::Array(items) = &row[c] {
+                *width = items.len();
+            }
+        }
+    }
+    let total: usize = widths.iter().sum();
+    let mut data = Vec::with_capacity(rel.rows.len() * total);
+    let mut labels = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        for (c, width) in widths.iter().enumerate() {
+            match &row[c] {
+                Value::Array(items) => {
+                    if items.len() != *width {
+                        return Err(MlError::Internal(format!(
+                            "ragged one-hot width in column {}",
+                            rel.columns[c]
+                        )));
+                    }
+                    for item in items {
+                        data.push(item.as_f64().map_err(MlError::Value)?);
+                    }
+                }
+                v => {
+                    if *width != 1 {
+                        return Err(MlError::Internal(format!(
+                            "scalar in array feature column {}",
+                            rel.columns[c]
+                        )));
+                    }
+                    data.push(v.as_f64().map_err(MlError::Value)?);
+                }
+            }
+        }
+        labels.push(labels_to_f64(&row[feat_cols..=feat_cols])?[0]);
+    }
+    let matrix = Matrix::new(rel.rows.len(), total, data)?;
+    Ok((matrix, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::pandas::FileRegistry;
+    use crate::capture::capture;
+    use crate::inspection::Inspection;
+    use crate::pipelines;
+    use sqlengine::EngineProfile;
+
+    fn files() -> FileRegistry {
+        let mut f = FileRegistry::new();
+        f.insert("patients.csv", datagen::patients_csv(200, 1));
+        f.insert("histories.csv", datagen::histories_csv(200, 1));
+        f.insert("compas_train.csv", datagen::compas_csv(300, 2));
+        f.insert("compas_test.csv", datagen::compas_csv(120, 3));
+        f.insert("adult_train.csv", datagen::adult_csv(400, 4));
+        f.insert("adult_test.csv", datagen::adult_csv(150, 5));
+        f
+    }
+
+    fn config(sensitive: &[&str]) -> RunConfig {
+        RunConfig {
+            inspections: vec![
+                Inspection::HistogramForColumns(
+                    sensitive.iter().map(|s| s.to_string()).collect(),
+                ),
+                Inspection::RowLineage(3),
+                Inspection::MaterializeFirstOutputRows(3),
+            ],
+            keep_relations: false,
+            force_outputs: false,
+            baseline_costs: super::super::BaselineCosts::zero(),
+        }
+    }
+
+    fn run_mode(src: &str, mode: SqlMode, materialize: bool) -> RunArtifacts {
+        let cap = capture(src).unwrap();
+        let files = files();
+        let cfg = config(&["race", "age_group"]);
+        let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
+        SqlBackend::run(&cap.dag, &files, &cfg, &mut engine, mode, materialize).unwrap()
+    }
+
+    #[test]
+    fn healthcare_runs_in_cte_mode() {
+        let artifacts = run_mode(pipelines::HEALTHCARE, SqlMode::Cte, false);
+        let acc = artifacts.accuracy().unwrap();
+        assert!((0.0..=1.0).contains(&acc), "{acc}");
+        // Histograms measured for every frame node.
+        assert!(!artifacts.inspections.histograms.is_empty());
+    }
+
+    #[test]
+    fn healthcare_runs_in_view_mode_with_and_without_materialization() {
+        for materialize in [false, true] {
+            let artifacts = run_mode(pipelines::HEALTHCARE, SqlMode::View, materialize);
+            assert!(artifacts.accuracy().is_ok());
+        }
+    }
+
+    #[test]
+    fn all_pipelines_run_in_both_modes() {
+        for (name, src) in pipelines::all() {
+            for mode in [SqlMode::Cte, SqlMode::View] {
+                let cap = capture(src).unwrap();
+                let files = files();
+                let cfg = config(&["race"]);
+                let mut engine = Engine::new(EngineProfile::in_memory());
+                let artifacts =
+                    SqlBackend::run(&cap.dag, &files, &cfg, &mut engine, mode, false)
+                        .unwrap_or_else(|e| panic!("{name} ({mode:?}): {e}"));
+                let acc = artifacts.accuracy().unwrap();
+                assert!((0.0..=1.0).contains(&acc), "{name}: {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn age_group_histogram_restored_after_projection() {
+        let src = pipelines::HEALTHCARE;
+        let cap = capture(src).unwrap();
+        let files = files();
+        let cfg = config(&["age_group"]);
+        let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
+        let artifacts =
+            SqlBackend::run(&cap.dag, &files, &cfg, &mut engine, SqlMode::Cte, false).unwrap();
+        let selection = cap
+            .dag
+            .nodes
+            .iter()
+            .find(|n| n.kind.label() == "selection")
+            .unwrap();
+        let hist = artifacts
+            .inspections
+            .histogram(selection.id, "age_group")
+            .expect("restored histogram");
+        assert!(hist.total() > 0);
+    }
+
+    #[test]
+    fn transpile_only_produces_executable_script() {
+        let cap = capture(pipelines::HEALTHCARE).unwrap();
+        let files = files();
+        let t = SqlBackend::transpile(&cap.dag, &files, SqlMode::Cte).unwrap();
+        assert_eq!(t.setup.len(), 2);
+        assert!(!t.container.is_empty());
+        let script = t.script(SqlMode::Cte, false);
+        assert!(script.contains("CREATE TABLE patients_"));
+        assert!(script.contains("WITH "));
+        // View script renders too.
+        let view_script = t.script(SqlMode::View, true);
+        assert!(view_script.contains("CREATE MATERIALIZED VIEW fit_"));
+    }
+
+    #[test]
+    fn lineage_columns_follow_paper_naming() {
+        let artifacts = run_mode(pipelines::HEALTHCARE, SqlMode::Cte, false);
+        let sample = artifacts
+            .inspections
+            .lineage
+            .values()
+            .find(|s| s.ctid_columns.len() == 2)
+            .expect("a post-join lineage sample");
+        assert!(sample.ctid_columns[0].contains("_mlinid"));
+        assert!(sample.ctid_columns[0].ends_with("_ctid"));
+    }
+}

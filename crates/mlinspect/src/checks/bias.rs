@@ -1,0 +1,175 @@
+//! `NoBiasIntroducedFor`: compare per-operator ratios against a threshold.
+
+use super::{Check, CheckOutcome, CheckResult};
+use crate::dag::{Dag, NodeId};
+use crate::inspection::{ColumnHistogram, HistogramChange, InspectionResults};
+
+/// One threshold exceedance: operator `node` changed `column`'s ratios by
+/// `max_abs_change`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasViolation {
+    /// The bias-introducing operator.
+    pub node: NodeId,
+    /// The affected sensitive column.
+    pub column: String,
+    /// Largest absolute ratio change at this operator (vs. its input).
+    pub max_abs_change: f64,
+    /// Full before/after detail.
+    pub change: HistogramChange,
+}
+
+/// Evaluate `NoBiasIntroducedFor` over measured histograms.
+///
+/// The ratio change is computed **per operator against its input** (the
+/// paper's Figure 4 compares "before" and "after" one operation): for each
+/// distribution-changing node we diff its histogram with the histogram of
+/// its first frame input.
+pub fn evaluate_bias(
+    dag: &Dag,
+    results: &InspectionResults,
+    columns: &[String],
+    threshold: f64,
+) -> CheckResult {
+    let mut violations = Vec::new();
+    for node in &dag.nodes {
+        if !node.kind.can_change_distribution() {
+            continue;
+        }
+        let Some(input) = node.kind.inputs().first().copied() else {
+            continue;
+        };
+        for column in columns {
+            let (Some(before), Some(after)) = (
+                results.histogram(input, column),
+                results.histogram(node.id, column),
+            ) else {
+                continue;
+            };
+            let change = HistogramChange {
+                column: column.clone(),
+                before: before.clone(),
+                after: after.clone(),
+            };
+            let max = change.max_abs_change();
+            if max >= threshold {
+                violations.push(BiasViolation {
+                    node: node.id,
+                    column: column.clone(),
+                    max_abs_change: max,
+                    change,
+                });
+            }
+        }
+    }
+    CheckResult {
+        check: Check::NoBiasIntroducedFor {
+            columns: columns.to_vec(),
+            threshold,
+        },
+        outcome: if violations.is_empty() {
+            CheckOutcome::Passed
+        } else {
+            CheckOutcome::Failed
+        },
+        bias_violations: violations,
+        illegal_features: Vec::new(),
+    }
+}
+
+/// Compute the overall before/after change between the *original* data (the
+/// first node whose histogram includes `column`) and the final operator —
+/// what Table 4 reports.
+pub fn overall_change(
+    dag: &Dag,
+    results: &InspectionResults,
+    column: &str,
+) -> Option<HistogramChange> {
+    let mut first: Option<&ColumnHistogram> = None;
+    let mut last: Option<&ColumnHistogram> = None;
+    for node in &dag.nodes {
+        if let Some(h) = results.histogram(node.id, column) {
+            if first.is_none() {
+                first = Some(h);
+            }
+            last = Some(h);
+        }
+    }
+    Some(HistogramChange {
+        column: column.to_string(),
+        before: first?.clone(),
+        after: last?.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{OpKind, SExpr};
+    use etypes::Value;
+
+    fn fixture() -> (Dag, InspectionResults) {
+        let mut dag = Dag::default();
+        let read = dag.push(
+            1,
+            OpKind::ReadCsv {
+                file: "x.csv".into(),
+                na_values: None,
+            },
+        );
+        let filter = dag.push(
+            2,
+            OpKind::Filter {
+                input: read,
+                condition: SExpr::Lit(Value::Bool(true)),
+            },
+        );
+        let mut results = InspectionResults::default();
+        results.histograms.insert(
+            read,
+            vec![ColumnHistogram::new(
+                "age_group",
+                vec![(Value::text("g1"), 2), (Value::text("g2"), 2)],
+            )],
+        );
+        results.histograms.insert(
+            filter,
+            vec![ColumnHistogram::new(
+                "age_group",
+                vec![(Value::text("g1"), 1), (Value::text("g2"), 3)],
+            )],
+        );
+        (dag, results)
+    }
+
+    #[test]
+    fn flags_threshold_exceedance() {
+        let (dag, results) = fixture();
+        let r = evaluate_bias(&dag, &results, &["age_group".into()], 0.25);
+        assert!(!r.passed());
+        assert_eq!(r.bias_violations.len(), 1);
+        assert_eq!(r.bias_violations[0].node, 1);
+        assert!((r.bias_violations[0].max_abs_change - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn passes_below_threshold() {
+        let (dag, results) = fixture();
+        let r = evaluate_bias(&dag, &results, &["age_group".into()], 0.3);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn missing_histograms_are_skipped_not_failed() {
+        let (dag, results) = fixture();
+        let r = evaluate_bias(&dag, &results, &["unmeasured".into()], 0.01);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn overall_change_spans_first_to_last() {
+        let (dag, results) = fixture();
+        let c = overall_change(&dag, &results, "age_group").unwrap();
+        assert_eq!(c.before.total(), 4);
+        assert_eq!(c.after.ratio(&Value::text("g2")), 0.75);
+    }
+}

@@ -1,0 +1,73 @@
+//! `NoIllegalFeatures`: blacklist check over model feature columns.
+
+use super::{Check, CheckOutcome, CheckResult};
+use crate::dag::{Dag, OpKind};
+
+/// Evaluate `NoIllegalFeatures`: collect every column fed into a
+/// FeatureTransform and intersect with the blacklist (paper §3: "verifies
+/// that none of the used features ... are contained in a blacklist").
+/// Matching is case-insensitive, like mlinspect's.
+pub fn evaluate_illegal_features(dag: &Dag, blacklist: &[String]) -> CheckResult {
+    let mut used: Vec<String> = Vec::new();
+    for node in &dag.nodes {
+        if let OpKind::FeatureTransform { steps, .. } = &node.kind {
+            for step in steps {
+                for col in &step.columns {
+                    if !used.contains(col) {
+                        used.push(col.clone());
+                    }
+                }
+            }
+        }
+    }
+    let mut illegal: Vec<String> = used
+        .into_iter()
+        .filter(|c| {
+            blacklist
+                .iter()
+                .any(|b| b.eq_ignore_ascii_case(c.as_str()))
+        })
+        .collect();
+    illegal.sort();
+    CheckResult {
+        check: Check::NoIllegalFeatures {
+            blacklist: blacklist.to_vec(),
+        },
+        outcome: if illegal.is_empty() {
+            CheckOutcome::Passed
+        } else {
+            CheckOutcome::Failed
+        },
+        bias_violations: Vec::new(),
+        illegal_features: illegal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture;
+    use crate::pipelines;
+
+    #[test]
+    fn healthcare_uses_race_as_feature() {
+        let cap = capture(pipelines::HEALTHCARE).unwrap();
+        let r = evaluate_illegal_features(&cap.dag, &["race".into()]);
+        assert!(!r.passed());
+        assert_eq!(r.illegal_features, vec!["race"]);
+    }
+
+    #[test]
+    fn passes_when_feature_not_used() {
+        let cap = capture(pipelines::ADULT_SIMPLE).unwrap();
+        let r = evaluate_illegal_features(&cap.dag, &["race".into()]);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn match_is_case_insensitive() {
+        let cap = capture(pipelines::HEALTHCARE).unwrap();
+        let r = evaluate_illegal_features(&cap.dag, &["RACE".into()]);
+        assert!(!r.passed());
+    }
+}

@@ -1,0 +1,61 @@
+//! Checks: pass/fail verdicts computed from inspection results.
+
+pub mod bias;
+pub mod illegal_features;
+
+pub use bias::{evaluate_bias, BiasViolation};
+pub use illegal_features::evaluate_illegal_features;
+
+use crate::dag::NodeId;
+
+/// The checks mlinspect provides (paper §3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Check {
+    /// Fail when any operator changes a sensitive column's value ratios by
+    /// at least `threshold` (absolute).
+    NoBiasIntroducedFor {
+        /// Sensitive columns.
+        columns: Vec<String>,
+        /// Unacceptable absolute ratio change (the paper's example: 25%).
+        threshold: f64,
+    },
+    /// Fail when a blacklisted column is used as a model feature.
+    NoIllegalFeatures {
+        /// Forbidden feature names.
+        blacklist: Vec<String>,
+    },
+}
+
+/// Verdict of one check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// No violation found.
+    Passed,
+    /// At least one violation found.
+    Failed,
+}
+
+/// One check plus its verdict and details.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// The evaluated check.
+    pub check: Check,
+    /// Verdict.
+    pub outcome: CheckOutcome,
+    /// Bias violations (for `NoBiasIntroducedFor`).
+    pub bias_violations: Vec<BiasViolation>,
+    /// Offending feature names (for `NoIllegalFeatures`).
+    pub illegal_features: Vec<String>,
+}
+
+impl CheckResult {
+    /// True when the check passed.
+    pub fn passed(&self) -> bool {
+        self.outcome == CheckOutcome::Passed
+    }
+
+    /// Nodes implicated by this result.
+    pub fn offending_nodes(&self) -> Vec<NodeId> {
+        self.bias_violations.iter().map(|v| v.node).collect()
+    }
+}

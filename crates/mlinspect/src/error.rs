@@ -1,0 +1,101 @@
+//! Error type for pipeline capture, translation and execution.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Errors from the inspection framework.
+#[derive(Debug)]
+pub enum MlError {
+    /// Python source failed to parse.
+    Parse(pyparser::ParseError),
+    /// The pipeline uses a construct the capture layer does not support.
+    Unsupported {
+        /// 1-based pipeline source line.
+        line: usize,
+        /// What was encountered.
+        what: String,
+    },
+    /// Name used before assignment, bad argument, etc.
+    Capture {
+        /// 1-based pipeline source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A referenced CSV file is not registered and not on disk.
+    MissingFile(String),
+    /// SQL layer failure.
+    Sql(sqlengine::SqlError),
+    /// Dataframe layer failure.
+    Frame(dataframe::DfError),
+    /// sklearn layer failure.
+    Sklearn(sklearn::SkError),
+    /// Value layer failure.
+    Value(etypes::Error),
+    /// Internal invariant broken (a bug).
+    Internal(String),
+}
+
+impl MlError {
+    pub(crate) fn unsupported(line: usize, what: impl Into<String>) -> MlError {
+        MlError::Unsupported {
+            line,
+            what: what.into(),
+        }
+    }
+
+    pub(crate) fn capture(line: usize, message: impl Into<String>) -> MlError {
+        MlError::Capture {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Parse(e) => write!(f, "pipeline parse error: {e}"),
+            MlError::Unsupported { line, what } => {
+                write!(f, "line {line}: unsupported pipeline construct: {what}")
+            }
+            MlError::Capture { line, message } => write!(f, "line {line}: {message}"),
+            MlError::MissingFile(p) => write!(f, "pipeline reads unknown file '{p}'"),
+            MlError::Sql(e) => write!(f, "sql backend: {e}"),
+            MlError::Frame(e) => write!(f, "pandas backend: {e}"),
+            MlError::Sklearn(e) => write!(f, "sklearn: {e}"),
+            MlError::Value(e) => write!(f, "{e}"),
+            MlError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<pyparser::ParseError> for MlError {
+    fn from(e: pyparser::ParseError) -> Self {
+        MlError::Parse(e)
+    }
+}
+impl From<sqlengine::SqlError> for MlError {
+    fn from(e: sqlengine::SqlError) -> Self {
+        MlError::Sql(e)
+    }
+}
+impl From<dataframe::DfError> for MlError {
+    fn from(e: dataframe::DfError) -> Self {
+        MlError::Frame(e)
+    }
+}
+impl From<sklearn::SkError> for MlError {
+    fn from(e: sklearn::SkError) -> Self {
+        MlError::Sklearn(e)
+    }
+}
+impl From<etypes::Error> for MlError {
+    fn from(e: etypes::Error) -> Self {
+        MlError::Value(e)
+    }
+}

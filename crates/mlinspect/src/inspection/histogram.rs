@@ -1,0 +1,158 @@
+//! `HistogramForColumns`: value frequencies and ratio changes.
+
+use etypes::Value;
+
+/// Value frequencies of one (possibly restored) column at one operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnHistogram {
+    /// The sensitive column.
+    pub column: String,
+    /// `(value, count)` pairs sorted by value for deterministic comparison.
+    pub counts: Vec<(Value, u64)>,
+}
+
+impl ColumnHistogram {
+    /// Build from unsorted counts.
+    pub fn new(column: impl Into<String>, mut counts: Vec<(Value, u64)>) -> ColumnHistogram {
+        counts.sort_by(|(a, _), (b, _)| a.cmp(b));
+        ColumnHistogram {
+            column: column.into(),
+            counts,
+        }
+    }
+
+    /// Total number of rows measured.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Ratio (relative frequency) of one value.
+    pub fn ratio(&self, value: &Value) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, c)| *c as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// All `(value, ratio)` pairs.
+    pub fn ratios(&self) -> Vec<(Value, f64)> {
+        let total = self.total().max(1) as f64;
+        self.counts
+            .iter()
+            .map(|(v, c)| (v.clone(), *c as f64 / total))
+            .collect()
+    }
+}
+
+/// The ratio change of one column between the original data and the output
+/// of one operator (Figure 4's before/after table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramChange {
+    /// The sensitive column.
+    pub column: String,
+    /// Histogram over the original data.
+    pub before: ColumnHistogram,
+    /// Histogram after the operator.
+    pub after: ColumnHistogram,
+}
+
+impl HistogramChange {
+    /// Per-value ratio change `after - before`, including values that
+    /// disappeared (after-ratio 0, via the paper's RIGHT OUTER JOIN +
+    /// COALESCE pattern in Listing 1).
+    pub fn changes(&self) -> Vec<(Value, f64)> {
+        let mut out = Vec::new();
+        for (v, _) in &self.before.counts {
+            out.push((v.clone(), self.after.ratio(v) - self.before.ratio(v)));
+        }
+        // Values only present after (e.g. introduced by replace).
+        for (v, _) in &self.after.counts {
+            if !self.before.counts.iter().any(|(b, _)| b == v) {
+                out.push((v.clone(), self.after.ratio(v)));
+            }
+        }
+        out
+    }
+
+    /// The largest absolute ratio change — what `NoBiasIntroducedFor`
+    /// compares against the threshold.
+    pub fn max_abs_change(&self) -> f64 {
+        self.changes()
+            .iter()
+            .map(|(_, c)| c.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(column: &str, pairs: &[(&str, u64)]) -> ColumnHistogram {
+        ColumnHistogram::new(
+            column,
+            pairs.iter().map(|(v, c)| (Value::text(*v), *c)).collect(),
+        )
+    }
+
+    #[test]
+    fn paper_figure_4_age_group_example() {
+        // Original: age_group_1: 0.5, age_group_2: 0.5.
+        // After: age_group_1: 0.25, age_group_2: 0.75 -> change ±0.25.
+        let change = HistogramChange {
+            column: "age_group".into(),
+            before: hist("age_group", &[("age_group_1", 3), ("age_group_2", 3)]),
+            after: hist("age_group", &[("age_group_1", 1), ("age_group_2", 3)]),
+        };
+        let changes = change.changes();
+        assert_eq!(changes[0], (Value::text("age_group_1"), -0.25));
+        assert_eq!(changes[1], (Value::text("age_group_2"), 0.25));
+        assert!((change.max_abs_change() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disappeared_value_counts_as_full_negative_ratio() {
+        let change = HistogramChange {
+            column: "race".into(),
+            before: hist("race", &[("r1", 1), ("r2", 1)]),
+            after: hist("race", &[("r2", 2)]),
+        };
+        let changes = change.changes();
+        assert_eq!(changes[0], (Value::text("r1"), -0.5));
+        assert_eq!(changes[1], (Value::text("r2"), 0.5));
+    }
+
+    #[test]
+    fn new_value_appears_in_changes() {
+        let change = HistogramChange {
+            column: "label".into(),
+            before: hist("label", &[("Medium", 2), ("High", 2)]),
+            after: hist("label", &[("Low", 2), ("High", 2)]),
+        };
+        let changes = change.changes();
+        assert!(changes.contains(&(Value::text("Low"), 0.5)));
+    }
+
+    #[test]
+    fn empty_after_is_total_loss() {
+        let change = HistogramChange {
+            column: "c".into(),
+            before: hist("c", &[("x", 4)]),
+            after: ColumnHistogram::new("c", vec![]),
+        };
+        assert_eq!(change.max_abs_change(), 1.0);
+    }
+
+    #[test]
+    fn ratio_lookup() {
+        let h = hist("c", &[("a", 1), ("b", 3)]);
+        assert_eq!(h.ratio(&Value::text("b")), 0.75);
+        assert_eq!(h.ratio(&Value::text("zzz")), 0.0);
+        assert_eq!(h.total(), 4);
+    }
+}

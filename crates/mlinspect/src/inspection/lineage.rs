@@ -1,0 +1,48 @@
+//! `RowLineage`: tuple identifiers of sample output rows.
+
+use etypes::Value;
+
+/// For the first `k` output rows of an operator: which tuples of which base
+/// tables they derive from (paper §3: "RowLineage provides lineage
+/// information for the resulting tuples").
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowLineageSample {
+    /// Names of the tuple-identifier columns (`<source>_ctid`).
+    pub ctid_columns: Vec<String>,
+    /// Per sampled row: the identifier values (scalar, or array after an
+    /// aggregation).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl RowLineageSample {
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the operator produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All distinct base tables contributing lineage.
+    pub fn sources(&self) -> Vec<&str> {
+        self.ctid_columns.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_accessors() {
+        let s = RowLineageSample {
+            ctid_columns: vec!["patients_ctid".into(), "histories_ctid".into()],
+            rows: vec![vec![Value::Int(0), Value::Int(3)]],
+        };
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.sources(), vec!["patients_ctid", "histories_ctid"]);
+    }
+}

@@ -1,0 +1,60 @@
+//! `MaterializeFirstOutputRows`: sample rows per operator.
+
+use etypes::Value;
+
+/// The first `k` output rows of an operator, "to easily examine the effects
+/// of the pipeline" (paper §3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstRowsSample {
+    /// Visible column names.
+    pub columns: Vec<String>,
+    /// Up to `k` rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl FirstRowsSample {
+    /// Render as an aligned table for debugging output.
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!("{c:w$}  "));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!("{cell:w$}  "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table() {
+        let s = FirstRowsSample {
+            columns: vec!["county".into(), "race".into()],
+            rows: vec![vec!["county_1".into(), "race_3".into()]],
+        };
+        let t = s.to_table_string();
+        assert!(t.contains("county"));
+        assert!(t.contains("race_3"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Inspections: per-operator measurements attached to DAG nodes.
+//!
+//! mlinspect's `NoBiasIntroducedFor` check is built on three inspections
+//! (paper §3): `HistogramForColumns` (the ratios), `RowLineage` (tuple
+//! identifiers per result row) and `MaterializeFirstOutputRows`.
+
+pub mod histogram;
+pub mod lineage;
+pub mod materialize;
+
+pub use histogram::{ColumnHistogram, HistogramChange};
+pub use lineage::RowLineageSample;
+pub use materialize::FirstRowsSample;
+
+use crate::dag::NodeId;
+use std::collections::HashMap;
+
+/// The inspections a run can request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inspection {
+    /// Count value frequencies of the given columns after every
+    /// distribution-changing operator (restoring projected-away columns via
+    /// the tuple identifier).
+    HistogramForColumns(Vec<String>),
+    /// Record the originating tuple identifiers of the first `k` rows of
+    /// every operator.
+    RowLineage(usize),
+    /// Materialize the first `k` output rows of every operator.
+    MaterializeFirstOutputRows(usize),
+}
+
+/// All inspection results of one run, keyed by DAG node.
+#[derive(Debug, Clone, Default)]
+pub struct InspectionResults {
+    /// Histograms per node per sensitive column.
+    pub histograms: HashMap<NodeId, Vec<ColumnHistogram>>,
+    /// Lineage samples per node.
+    pub lineage: HashMap<NodeId, RowLineageSample>,
+    /// First-rows samples per node.
+    pub first_rows: HashMap<NodeId, FirstRowsSample>,
+}
+
+impl InspectionResults {
+    /// Histogram of `column` at `node`, if measured.
+    pub fn histogram(&self, node: NodeId, column: &str) -> Option<&ColumnHistogram> {
+        self.histograms
+            .get(&node)?
+            .iter()
+            .find(|h| h.column == column)
+    }
+}

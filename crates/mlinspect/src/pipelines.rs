@@ -1,0 +1,259 @@
+//! The example pipelines of the evaluation (Table 1), as Python sources.
+//!
+//! These mirror the mlinspect repository's `example_pipelines/` — the same
+//! operator sequences the paper benchmarks ("the pipelines are taken from the
+//! mlinspect repository and their names were not changed", §6) — with file
+//! paths flattened so the capture layer resolves them against registered
+//! in-memory CSVs.
+
+/// healthcare: read_csv ×2, merge, groupby+agg, merge, set-label, projection,
+/// isin-selection, SimpleImputer+OneHotEncoder / StandardScaler
+/// featurisation, neural-network training (paper Listing 4 + Figure 1).
+pub const HEALTHCARE: &str = r#"
+import pandas as pd
+from sklearn.compose import ColumnTransformer
+from sklearn.impute import SimpleImputer
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import OneHotEncoder, StandardScaler
+from sklearn.model_selection import train_test_split
+
+COUNTIES_OF_INTEREST = ['county2', 'county3']
+
+patients = pd.read_csv('patients.csv', na_values='?')
+histories = pd.read_csv('histories.csv', na_values='?')
+
+data = patients.merge(histories, on=['ssn'])
+complications = data.groupby('age_group').agg(mean_complications=('complications', 'mean'))
+data = data.merge(complications, on=['age_group'])
+data['label'] = data['complications'] > 1.2 * data['mean_complications']
+data = data[['smoker', 'last_name', 'county', 'num_children', 'race', 'income', 'label']]
+data = data[data['county'].isin(COUNTIES_OF_INTEREST)]
+
+impute_and_one_hot_encode = Pipeline([
+    ('impute', SimpleImputer(strategy='most_frequent')),
+    ('encode', OneHotEncoder(sparse=False, handle_unknown='ignore')),
+])
+featurisation = ColumnTransformer(transformers=[
+    ('impute_and_one_hot_encode', impute_and_one_hot_encode, ['smoker', 'county', 'race']),
+    ('numeric', StandardScaler(), ['num_children', 'income']),
+])
+neural_net = KerasClassifier(epochs=10)
+pipeline = Pipeline([('features', featurisation), ('learner', neural_net)])
+
+train_data, test_data = train_test_split(data)
+model = pipeline.fit(train_data, train_data['label'])
+print(model.score(test_data, test_data['label']))
+"#;
+
+/// compas: read_csv ×2, projections, range/sentinel selections, replace,
+/// label_binarize, SimpleImputer+OneHotEncoder / SimpleImputer+KBins
+/// featurisation, logistic regression.
+pub const COMPAS: &str = r#"
+import pandas as pd
+from sklearn.compose import ColumnTransformer
+from sklearn.impute import SimpleImputer
+from sklearn.linear_model import LogisticRegression
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import OneHotEncoder, KBinsDiscretizer, label_binarize
+
+train = pd.read_csv('compas_train.csv', na_values='?')
+test = pd.read_csv('compas_test.csv', na_values='?')
+
+train = train[['sex', 'dob', 'age', 'c_charge_degree', 'race', 'score_text', 'priors_count',
+               'days_b_screening_arrest', 'decile_score', 'is_recid', 'two_year_recid',
+               'c_jail_in', 'c_jail_out']]
+train = train[(train['days_b_screening_arrest'] <= 30) & (train['days_b_screening_arrest'] >= -30)]
+train = train[train['is_recid'] != -1]
+train = train[train['c_charge_degree'] != 'O']
+train = train[train['score_text'] != 'N/A']
+train = train.replace('Medium', 'Low')
+
+test = test[(test['days_b_screening_arrest'] <= 30) & (test['days_b_screening_arrest'] >= -30)]
+test = test[test['is_recid'] != -1]
+test = test[test['c_charge_degree'] != 'O']
+test = test[test['score_text'] != 'N/A']
+test = test.replace('Medium', 'Low')
+
+train_labels = label_binarize(train['score_text'], classes=['High', 'Low'])
+test_labels = label_binarize(test['score_text'], classes=['High', 'Low'])
+
+impute1_and_onehot = Pipeline([
+    ('imputer1', SimpleImputer(strategy='most_frequent')),
+    ('onehot', OneHotEncoder(handle_unknown='ignore')),
+])
+impute2_and_bin = Pipeline([
+    ('imputer2', SimpleImputer(strategy='mean')),
+    ('discretizer', KBinsDiscretizer(n_bins=4, encode='ordinal', strategy='uniform')),
+])
+featurizer = ColumnTransformer(transformers=[
+    ('impute1_and_onehot', impute1_and_onehot, ['is_recid']),
+    ('impute2_and_bin', impute2_and_bin, ['age']),
+])
+pipeline = Pipeline([('features', featurizer), ('classifier', LogisticRegression())])
+
+pipeline.fit(train, train_labels.ravel())
+print(pipeline.score(test, test_labels.ravel()))
+"#;
+
+/// adult simple: read_csv, dropna, label_binarize, StandardScaler
+/// featurisation, logistic regression (Table 1's minimal pipeline).
+pub const ADULT_SIMPLE: &str = r#"
+import pandas as pd
+from sklearn.compose import ColumnTransformer
+from sklearn.linear_model import LogisticRegression
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import StandardScaler, label_binarize
+from sklearn.model_selection import train_test_split
+
+raw_data = pd.read_csv('adult_train.csv', na_values='?')
+data = raw_data.dropna()
+
+labels = label_binarize(data['income-per-year'], classes=['<=50K', '>50K'])
+
+feature_transformation = ColumnTransformer(transformers=[
+    ('numeric', StandardScaler(), ['age', 'education-num', 'hours-per-week']),
+])
+income_pipeline = Pipeline([
+    ('features', feature_transformation),
+    ('classifier', LogisticRegression()),
+])
+
+train_data, test_data = train_test_split(data)
+train_labels = label_binarize(train_data['income-per-year'], classes=['<=50K', '>50K'])
+test_labels = label_binarize(test_data['income-per-year'], classes=['<=50K', '>50K'])
+income_pipeline.fit(train_data, train_labels.ravel())
+print(income_pipeline.score(test_data, test_labels.ravel()))
+"#;
+
+/// adult complex: separate train/test files, label_binarize,
+/// SimpleImputer+OneHotEncoder / StandardScaler featurisation, neural net.
+pub const ADULT_COMPLEX: &str = r#"
+import pandas as pd
+from sklearn.compose import ColumnTransformer
+from sklearn.impute import SimpleImputer
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import OneHotEncoder, StandardScaler, label_binarize
+
+train = pd.read_csv('adult_train.csv', na_values='?')
+test = pd.read_csv('adult_test.csv', na_values='?')
+
+train_labels = label_binarize(train['income-per-year'], classes=['<=50K', '>50K'])
+test_labels = label_binarize(test['income-per-year'], classes=['<=50K', '>50K'])
+
+nested_categorical_feature_transformation = Pipeline([
+    ('impute', SimpleImputer(strategy='most_frequent')),
+    ('encode', OneHotEncoder(handle_unknown='ignore')),
+])
+nested_feature_transformation = ColumnTransformer(transformers=[
+    ('categorical', nested_categorical_feature_transformation, ['education', 'workclass']),
+    ('numeric', StandardScaler(), ['age', 'hours-per-week']),
+])
+nested_income_pipeline = Pipeline([
+    ('features', nested_feature_transformation),
+    ('classifier', KerasClassifier(epochs=10)),
+])
+
+nested_income_pipeline.fit(train, train_labels.ravel())
+print(nested_income_pipeline.score(test, test_labels.ravel()))
+"#;
+
+/// The §6.6 taxi workload: one selection, inspection over 1..5 columns.
+pub const TAXI: &str = r#"
+import pandas as pd
+
+data = pd.read_csv('taxi.csv')
+data = data[data['passenger_count'] > 1]
+"#;
+
+/// All four benchmark pipelines with their paper names.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("healthcare", HEALTHCARE),
+        ("compas", COMPAS),
+        ("adult simple", ADULT_SIMPLE),
+        ("adult complex", ADULT_COMPLEX),
+    ]
+}
+
+/// The prefix of each pipeline containing only pandas operations (the §6.1
+/// benchmark translates "all code up to the last line containing pandas
+/// code").
+pub fn pandas_prefix(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "healthcare" => {
+            r#"
+import pandas as pd
+
+COUNTIES_OF_INTEREST = ['county2', 'county3']
+
+patients = pd.read_csv('patients.csv', na_values='?')
+histories = pd.read_csv('histories.csv', na_values='?')
+
+data = patients.merge(histories, on=['ssn'])
+complications = data.groupby('age_group').agg(mean_complications=('complications', 'mean'))
+data = data.merge(complications, on=['age_group'])
+data['label'] = data['complications'] > 1.2 * data['mean_complications']
+data = data[['smoker', 'last_name', 'county', 'num_children', 'race', 'income', 'label']]
+data = data[data['county'].isin(COUNTIES_OF_INTEREST)]
+print(data)
+"#
+        }
+        "compas" => {
+            r#"
+import pandas as pd
+
+train = pd.read_csv('compas_train.csv', na_values='?')
+
+train = train[['sex', 'dob', 'age', 'c_charge_degree', 'race', 'score_text', 'priors_count',
+               'days_b_screening_arrest', 'decile_score', 'is_recid', 'two_year_recid',
+               'c_jail_in', 'c_jail_out']]
+train = train[(train['days_b_screening_arrest'] <= 30) & (train['days_b_screening_arrest'] >= -30)]
+train = train[train['is_recid'] != -1]
+train = train[train['c_charge_degree'] != 'O']
+train = train[train['score_text'] != 'N/A']
+train = train.replace('Medium', 'Low')
+print(train)
+"#
+        }
+        "adult simple" => {
+            r#"
+import pandas as pd
+
+raw_data = pd.read_csv('adult_train.csv', na_values='?')
+data = raw_data.dropna()
+print(data)
+"#
+        }
+        "adult complex" => {
+            r#"
+import pandas as pd
+
+train = pd.read_csv('adult_train.csv', na_values='?')
+print(train)
+"#
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pipelines_parse() {
+        for (name, src) in all() {
+            assert!(pyparser::parse(src).is_ok(), "{name} fails to parse");
+        }
+        assert!(pyparser::parse(TAXI).is_ok());
+    }
+
+    #[test]
+    fn pandas_prefixes_parse() {
+        for (name, _) in all() {
+            let prefix = pandas_prefix(name).unwrap();
+            assert!(pyparser::parse(prefix).is_ok(), "{name} prefix");
+        }
+        assert!(pandas_prefix("unknown").is_none());
+    }
+}

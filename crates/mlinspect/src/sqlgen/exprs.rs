@@ -1,0 +1,178 @@
+//! Rendering captured column expressions ([`SExpr`]) to SQL.
+
+use crate::dag::SExpr;
+use etypes::Value;
+use pyparser::{BinOp, UnaryOp};
+
+/// Quote an identifier for SQL (`age_group` → `"age_group"`).
+pub fn quote_ident(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', "\"\""))
+}
+
+/// Sanitize a name for use inside generated object names.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 't');
+    }
+    out
+}
+
+/// Render a captured expression as SQL, optionally qualifying column
+/// references with a table alias.
+///
+/// pandas semantics that differ from SQL are translated:
+/// * `/` is always float division → `(a * 1.0 / b)`,
+/// * comparisons inside filters behave identically (pandas' `False` for NaN
+///   comparisons vs SQL's `NULL` both drop the row).
+pub fn sexpr_to_sql(expr: &SExpr, qualifier: Option<&str>) -> String {
+    match expr {
+        SExpr::Col(c) => match qualifier {
+            Some(q) => format!("{q}.{}", quote_ident(c)),
+            None => quote_ident(c),
+        },
+        SExpr::Lit(v) => v.sql_literal(),
+        SExpr::Binary { op, left, right } => {
+            let l = sexpr_to_sql(left, qualifier);
+            let r = sexpr_to_sql(right, qualifier);
+            match op {
+                BinOp::Div => format!("({l} * 1.0 / {r})"),
+                BinOp::FloorDiv => format!("FLOOR({l} * 1.0 / {r})"),
+                BinOp::Eq => eq_with_null(&l, right, "="),
+                BinOp::NotEq => eq_with_null(&l, right, "<>"),
+                other => format!("({l} {} {r})", sql_op(*other)),
+            }
+        }
+        SExpr::Unary { op, operand } => {
+            let o = sexpr_to_sql(operand, qualifier);
+            match op {
+                UnaryOp::Neg => format!("(-{o})"),
+                UnaryOp::Not | UnaryOp::Invert => format!("(NOT {o})"),
+            }
+        }
+        SExpr::IsIn { expr, list } => {
+            let e = sexpr_to_sql(expr, qualifier);
+            let items: Vec<String> = list.iter().map(Value::sql_literal).collect();
+            format!("({e} IN ({}))", items.join(", "))
+        }
+    }
+}
+
+/// pandas `== / !=` against a literal treat NULL as an ordinary non-matching
+/// value (`NaN != 'O'` is True). SQL comparison would yield NULL and drop
+/// the row, so `<>` against a literal keeps NULLs explicitly.
+fn eq_with_null(l: &str, right: &SExpr, op: &str) -> String {
+    if let SExpr::Lit(v) = right {
+        if !v.is_null() {
+            let r = v.sql_literal();
+            return if op == "<>" {
+                format!("(({l} <> {r}) OR ({l} IS NULL))")
+            } else {
+                format!("({l} = {r})")
+            };
+        }
+    }
+    format!("({l} {op} {})", sexpr_to_sql(right, None))
+}
+
+fn sql_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Mod => "%",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        BinOp::BitAnd | BinOp::And => "AND",
+        BinOp::BitOr | BinOp::Or => "OR",
+        BinOp::Pow => "^",
+        // Handled in sexpr_to_sql.
+        BinOp::Div | BinOp::FloorDiv | BinOp::Eq | BinOp::NotEq => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(c: &str) -> SExpr {
+        SExpr::Col(c.into())
+    }
+
+    #[test]
+    fn renders_label_expression() {
+        // data['complications'] > 1.2 * data['mean_complications']
+        let e = SExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(col("complications")),
+            right: Box::new(SExpr::Binary {
+                op: BinOp::Mul,
+                left: Box::new(SExpr::Lit(Value::Float(1.2))),
+                right: Box::new(col("mean_complications")),
+            }),
+        };
+        assert_eq!(
+            sexpr_to_sql(&e, None),
+            "(\"complications\" > (1.2 * \"mean_complications\"))"
+        );
+    }
+
+    #[test]
+    fn division_is_float() {
+        let e = SExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(col("a")),
+            right: Box::new(col("b")),
+        };
+        assert_eq!(sexpr_to_sql(&e, None), "(\"a\" * 1.0 / \"b\")");
+    }
+
+    #[test]
+    fn isin_renders_in_list() {
+        let e = SExpr::IsIn {
+            expr: Box::new(col("county")),
+            list: vec![Value::text("county2"), Value::text("county3")],
+        };
+        assert_eq!(
+            sexpr_to_sql(&e, Some("tb1")),
+            "(tb1.\"county\" IN ('county2', 'county3'))"
+        );
+    }
+
+    #[test]
+    fn not_equals_literal_keeps_nulls_like_pandas() {
+        let e = SExpr::Binary {
+            op: BinOp::NotEq,
+            left: Box::new(col("c_charge_degree")),
+            right: Box::new(SExpr::Lit(Value::text("O"))),
+        };
+        let sql = sexpr_to_sql(&e, None);
+        assert!(sql.contains("IS NULL"), "{sql}");
+    }
+
+    #[test]
+    fn qualifier_prefixes_columns() {
+        assert_eq!(sexpr_to_sql(&col("x"), Some("tb")), "tb.\"x\"");
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("patients.csv"), "patients_csv");
+        assert_eq!(sanitize("9lives"), "t9lives");
+        assert_eq!(sanitize("Hours-Per-Week"), "hours_per_week");
+    }
+
+    #[test]
+    fn unary_not() {
+        let e = SExpr::Unary {
+            op: UnaryOp::Invert,
+            operand: Box::new(col("m")),
+        };
+        assert_eq!(sexpr_to_sql(&e, None), "(NOT \"m\")");
+    }
+}

@@ -1,0 +1,302 @@
+//! SQL translation of the scikit-learn preprocessing operators (paper §5.2).
+//!
+//! Each transformer splits into a **fit** table expression (computed once on
+//! the training data, the prime materialization candidate) and a
+//! **transform** expression referencing it, so train and test apply identical
+//! substitutions (Figure 6).
+
+use super::exprs::{quote_ident, sanitize};
+use super::{CtidCol, TableExpr};
+use crate::dag::{CtStep, ImputeKind, NodeId, TransformerKind};
+use crate::error::{MlError, Result};
+use etypes::DataType;
+
+/// `(fit tables, transform body, output table expression)`.
+pub type FeaturisationSql = (Vec<(String, String)>, String, TableExpr);
+
+/// Build the fit tables and the transform body for one featurisation node.
+///
+/// * `name` — the output table expression name.
+/// * `input` — the frame being transformed.
+/// * `fit_owner` — the node id that owns the fit tables (the training-time
+///   featurisation; names are keyed by it so a transform-only node reuses
+///   them).
+/// * `fit_input` — `Some(src)` to *generate* fit tables over `src`
+///   (fit+transform), `None` to reuse existing ones (transform-only).
+///
+/// Returns `(fit entries, transform body, output table expression)`.
+pub fn featurisation_sql(
+    name: &str,
+    input: &TableExpr,
+    steps: &[CtStep],
+    fit_owner: NodeId,
+    fit_input: Option<&str>,
+) -> Result<FeaturisationSql> {
+    let mut fits: Vec<(String, String)> = Vec::new();
+    let mut select: Vec<String> = Vec::new();
+    let mut joins: Vec<String> = Vec::new();
+    let mut out_columns: Vec<String> = Vec::new();
+    let mut out_types: Vec<DataType> = Vec::new();
+    let mut join_counter = 0usize;
+
+    for (si, step) in steps.iter().enumerate() {
+        for col in &step.columns {
+            // Parallel expression builds: qualified for the transform body,
+            // bare for the fit bodies.
+            let mut expr_t = format!("tb.{}", quote_ident(col));
+            let mut expr_f = quote_ident(col);
+            let mut onehot: Option<String> = None;
+
+            for (ti, t) in step.steps.iter().enumerate() {
+                if onehot.is_some() {
+                    return Err(MlError::Internal(format!(
+                        "one-hot encoding must be the last step of '{}'",
+                        step.name
+                    )));
+                }
+                let fit_name =
+                    format!("fit_mlinid{fit_owner}_s{si}_{}_t{ti}", sanitize(col));
+                match t {
+                    TransformerKind::SimpleImputer(kind) => {
+                        if let Some(src) = fit_input {
+                            let body = match kind {
+                                ImputeKind::MostFrequent => format!(
+                                    "SELECT {expr_f} AS fill FROM {src} WHERE ({expr_f}) IS NOT NULL \
+                                     GROUP BY {expr_f} ORDER BY count(*) DESC, {expr_f} LIMIT 1"
+                                ),
+                                ImputeKind::Mean => {
+                                    format!("SELECT avg({expr_f}) AS fill FROM {src}")
+                                }
+                                ImputeKind::Median => {
+                                    format!("SELECT median({expr_f}) AS fill FROM {src}")
+                                }
+                            };
+                            fits.push((fit_name.clone(), body));
+                        }
+                        expr_t =
+                            format!("COALESCE({expr_t}, (SELECT fill FROM {fit_name}))");
+                        expr_f =
+                            format!("COALESCE({expr_f}, (SELECT fill FROM {fit_name}))");
+                    }
+                    TransformerKind::StandardScaler => {
+                        if let Some(src) = fit_input {
+                            let body = format!(
+                                "SELECT avg({expr_f}) AS m, \
+                                 (CASE WHEN stddev_pop({expr_f}) = 0 THEN 1.0 \
+                                  ELSE stddev_pop({expr_f}) END) AS s FROM {src}"
+                            );
+                            fits.push((fit_name.clone(), body));
+                        }
+                        expr_t = format!(
+                            "(({expr_t}) - (SELECT m FROM {fit_name})) * 1.0 / (SELECT s FROM {fit_name})"
+                        );
+                        expr_f = format!(
+                            "(({expr_f}) - (SELECT m FROM {fit_name})) * 1.0 / (SELECT s FROM {fit_name})"
+                        );
+                    }
+                    TransformerKind::KBinsDiscretizer(k) => {
+                        if let Some(src) = fit_input {
+                            let body = format!(
+                                "SELECT min({expr_f}) AS lo, \
+                                 (CASE WHEN max({expr_f}) = min({expr_f}) THEN 1.0 \
+                                  ELSE (max({expr_f}) - min({expr_f})) * 1.0 / {k} END) AS step \
+                                 FROM {src}"
+                            );
+                            fits.push((fit_name.clone(), body));
+                        }
+                        let kmax = k.saturating_sub(1);
+                        expr_t = format!(
+                            "LEAST(GREATEST(FLOOR((({expr_t}) - (SELECT lo FROM {fit_name})) \
+                             / (SELECT step FROM {fit_name})), 0), {kmax})"
+                        );
+                        expr_f = format!(
+                            "LEAST(GREATEST(FLOOR((({expr_f}) - (SELECT lo FROM {fit_name})) \
+                             / (SELECT step FROM {fit_name})), 0), {kmax})"
+                        );
+                    }
+                    TransformerKind::Binarizer(threshold) => {
+                        expr_t = format!(
+                            "(CASE WHEN ({expr_t}) >= {threshold} THEN 1 ELSE 0 END)"
+                        );
+                        expr_f = format!(
+                            "(CASE WHEN ({expr_f}) >= {threshold} THEN 1 ELSE 0 END)"
+                        );
+                    }
+                    TransformerKind::OneHotEncoder => {
+                        if let Some(src) = fit_input {
+                            // Paper §5.2.2: positions from a ranking over the
+                            // distinct values of the (already imputed) input.
+                            let body = format!(
+                                "SELECT v, ROW_NUMBER() OVER (ORDER BY v) - 1 AS pos \
+                                 FROM (SELECT DISTINCT {expr_f} AS v FROM {src} \
+                                       WHERE ({expr_f}) IS NOT NULL) d"
+                            );
+                            fits.push((fit_name.clone(), body));
+                        }
+                        let alias = format!("f{join_counter}");
+                        join_counter += 1;
+                        joins.push(format!(
+                            "LEFT JOIN {fit_name} {alias} ON ({expr_t}) = {alias}.v"
+                        ));
+                        let n = format!("(SELECT count(*) FROM {fit_name})");
+                        onehot = Some(format!(
+                            "(CASE WHEN {alias}.pos IS NULL THEN array_fill(0, ({n})::int) \
+                             ELSE array_fill(0, ({alias}.pos)::int) || ARRAY[1] || \
+                                  array_fill(0, ({n} - {alias}.pos - 1)::int) END)"
+                        ));
+                    }
+                }
+            }
+
+            let out_name = format!("f{si}_{}", sanitize(col));
+            let (value, ty) = match onehot {
+                Some(expr) => (expr, DataType::Array(Box::new(DataType::Int))),
+                None => (expr_t, DataType::Float),
+            };
+            select.push(format!("{value} AS {}", quote_ident(&out_name)));
+            out_columns.push(out_name);
+            out_types.push(ty);
+        }
+    }
+
+    let ctid_list: Vec<String> = input
+        .ctids
+        .iter()
+        .map(|c| format!("tb.{}", quote_ident(&c.name)))
+        .collect();
+    select.extend(ctid_list);
+
+    let mut body = format!("SELECT {}\nFROM {} tb", select.join(", "), input.sql_name);
+    for j in &joins {
+        body.push('\n');
+        body.push_str(j);
+    }
+
+    let out = TableExpr {
+        sql_name: name.to_string(),
+        nullable: vec![false; out_columns.len()],
+        columns: out_columns,
+        types: out_types,
+        ctids: input
+            .ctids
+            .iter()
+            .map(|c| CtidCol {
+                name: c.name.clone(),
+                source: c.source,
+                aggregated: c.aggregated,
+            })
+            .collect(),
+    };
+    Ok((fits, body, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> TableExpr {
+        TableExpr {
+            sql_name: "train_block".into(),
+            columns: vec!["smoker".into(), "income".into(), "age".into()],
+            types: vec![DataType::Text, DataType::Float, DataType::Int],
+            nullable: vec![true, false, false],
+            ctids: vec![CtidCol {
+                name: "patients_ctid".into(),
+                source: 0,
+                aggregated: false,
+            }],
+        }
+    }
+
+    fn step(name: &str, steps: Vec<TransformerKind>, cols: &[&str]) -> CtStep {
+        CtStep {
+            name: name.into(),
+            steps,
+            columns: cols.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn impute_then_one_hot_generates_fit_tables_and_join() {
+        let steps = vec![step(
+            "impute_and_one_hot",
+            vec![
+                TransformerKind::SimpleImputer(ImputeKind::MostFrequent),
+                TransformerKind::OneHotEncoder,
+            ],
+            &["smoker"],
+        )];
+        let (fits, body, out) =
+            featurisation_sql("feat", &input(), &steps, 7, Some("train_block")).unwrap();
+        assert_eq!(fits.len(), 2);
+        assert!(fits[0].1.contains("ORDER BY count(*) DESC"));
+        assert!(fits[1].1.contains("ROW_NUMBER() OVER (ORDER BY v)"));
+        assert!(body.contains("LEFT JOIN fit_mlinid7_s0_smoker_t1 f0"));
+        assert!(body.contains("array_fill"));
+        assert!(body.contains("COALESCE(tb.\"smoker\""));
+        assert_eq!(out.columns, vec!["f0_smoker"]);
+        assert_eq!(out.types[0], DataType::Array(Box::new(DataType::Int)));
+        // ctids pass through.
+        assert!(body.contains("tb.\"patients_ctid\""));
+    }
+
+    #[test]
+    fn scaler_references_fit_mean_and_std() {
+        let steps = vec![step(
+            "numeric",
+            vec![TransformerKind::StandardScaler],
+            &["income"],
+        )];
+        let (fits, body, out) =
+            featurisation_sql("feat", &input(), &steps, 3, Some("train_block")).unwrap();
+        assert_eq!(fits.len(), 1);
+        assert!(fits[0].1.contains("stddev_pop"));
+        assert!(body.contains("(SELECT m FROM fit_mlinid3_s0_income_t0)"));
+        assert_eq!(out.types[0], DataType::Float);
+    }
+
+    #[test]
+    fn transform_only_reuses_fit_names_without_regenerating() {
+        let steps = vec![step(
+            "numeric",
+            vec![TransformerKind::StandardScaler],
+            &["income"],
+        )];
+        let (fits, body, _) = featurisation_sql("feat_test", &input(), &steps, 3, None).unwrap();
+        assert!(fits.is_empty());
+        // Still references the owner node 3's fit table.
+        assert!(body.contains("fit_mlinid3_s0_income_t0"));
+    }
+
+    #[test]
+    fn kbins_translation_uses_least_greatest_floor() {
+        let steps = vec![step(
+            "bins",
+            vec![TransformerKind::KBinsDiscretizer(4)],
+            &["age"],
+        )];
+        let (_, body, _) =
+            featurisation_sql("feat", &input(), &steps, 1, Some("train_block")).unwrap();
+        assert!(body.contains("LEAST(GREATEST(FLOOR("));
+        assert!(body.contains("), 0), 3)"));
+    }
+
+    #[test]
+    fn one_hot_must_be_last() {
+        let steps = vec![step(
+            "bad",
+            vec![TransformerKind::OneHotEncoder, TransformerKind::StandardScaler],
+            &["smoker"],
+        )];
+        assert!(featurisation_sql("feat", &input(), &steps, 1, Some("x")).is_err());
+    }
+
+    #[test]
+    fn binarizer_is_pure_expression_no_fit() {
+        let steps = vec![step("b", vec![TransformerKind::Binarizer(50.0)], &["age"])];
+        let (fits, body, _) =
+            featurisation_sql("feat", &input(), &steps, 1, Some("train_block")).unwrap();
+        assert!(fits.is_empty());
+        assert!(body.contains("CASE WHEN (tb.\"age\") >= 50 THEN 1 ELSE 0 END"));
+    }
+}

@@ -1,0 +1,229 @@
+//! AST for the Python pipeline subset.
+
+use std::fmt;
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Top-level statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A top-level statement. Pipeline scripts are straight-line code, so there
+/// is no control flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `import pandas as pd` / `from sklearn.pipeline import Pipeline` —
+    /// recorded (for alias resolution) but semantically inert.
+    Import {
+        /// 1-based source line.
+        line: usize,
+        /// Dotted module path, e.g. `sklearn.pipeline`.
+        module: String,
+        /// Imported names with optional aliases: `(name, alias)`.
+        names: Vec<(String, Option<String>)>,
+        /// True for `from m import a, b` form.
+        is_from: bool,
+    },
+    /// `target = value`, `target['col'] = value`, or `a, b = value`.
+    Assign {
+        /// 1-based source line.
+        line: usize,
+        /// One target, or several for tuple unpacking.
+        targets: Vec<Expr>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// A bare expression, e.g. `pipeline.fit(x, y)` or `print(score)`.
+    ExprStmt {
+        /// 1-based source line.
+        line: usize,
+        /// The expression.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// The statement's 1-based source line (the paper maps one source line to
+    /// one CTE/view, so lines matter).
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Import { line, .. } | Stmt::Assign { line, .. } | Stmt::ExprStmt { line, .. } => {
+                *line
+            }
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Identifier reference.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    NoneLit,
+    /// `[a, b, c]`.
+    List(Vec<Expr>),
+    /// `(a, b)`.
+    Tuple(Vec<Expr>),
+    /// `{'k': v}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// `obj.attr`.
+    Attribute {
+        /// Receiver expression.
+        value: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `obj[index]`.
+    Subscript {
+        /// Receiver expression.
+        value: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `f(a, b, kw=c)`.
+    Call {
+        /// Callee expression (name, attribute chain, ...).
+        func: Box<Expr>,
+        /// Arguments in source order.
+        args: Vec<Arg>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+}
+
+/// One call argument, positional or keyword.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// Keyword name for `kw=value` arguments, `None` for positional.
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+impl Arg {
+    /// Positional argument constructor.
+    pub fn pos(value: Expr) -> Arg {
+        Arg { name: None, value }
+    }
+
+    /// Keyword argument constructor.
+    pub fn kw(name: impl Into<String>, value: Expr) -> Arg {
+        Arg {
+            name: Some(name.into()),
+            value,
+        }
+    }
+}
+
+/// Binary operators, in the pandas-relevant subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `//`
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// Element-wise and (`&` in pandas).
+    BitAnd,
+    /// Element-wise or (`|` in pandas).
+    BitOr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `and` keyword (scalar contexts).
+    And,
+    /// `or` keyword (scalar contexts).
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// `not` keyword.
+    Not,
+    /// `~` — element-wise not in pandas.
+    Invert,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::NotEq => "!=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Expr {
+    /// Render the callee chain as a dotted path if it is one
+    /// (`pd.read_csv` → `Some("pd.read_csv")`).
+    pub fn dotted_path(&self) -> Option<String> {
+        match self {
+            Expr::Name(n) => Some(n.clone()),
+            Expr::Attribute { value, attr } => {
+                Some(format!("{}.{}", value.dotted_path()?, attr))
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Parser error type with source positions.
+
+use std::fmt;
+
+/// Result alias for parsing.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// A lexing or parsing failure, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,443 @@
+//! Hand-written lexer for the Python pipeline subset.
+//!
+//! Python's significant indentation is irrelevant to straight-line pipeline
+//! scripts, so the lexer only tracks *logical* lines: newlines inside
+//! brackets, or after an explicit `\` continuation, are ignored, matching how
+//! the mlinspect pipelines wrap long calls over several physical lines.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a complete source file.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        depth: 0,
+        tokens: Vec::new(),
+    };
+    lexer.run()?;
+    Ok(lexer.tokens)
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    depth: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(&mut self) -> Result<()> {
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' | '\t' => {
+                    self.bump();
+                }
+                '\r' => {
+                    self.bump();
+                }
+                '\n' => {
+                    self.bump();
+                    self.line += 1;
+                    if self.depth == 0 {
+                        self.emit_newline();
+                    }
+                }
+                '\\' => {
+                    // Explicit line continuation: swallow the backslash and
+                    // the following newline without emitting Newline.
+                    self.bump();
+                    while matches!(self.peek(), Some(' ' | '\t' | '\r')) {
+                        self.bump();
+                    }
+                    if self.peek() == Some('\n') {
+                        self.bump();
+                        self.line += 1;
+                    } else {
+                        return Err(ParseError::new(self.line, "stray backslash"));
+                    }
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '\'' | '"' => self.string(c)?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => self.name(),
+                _ => self.operator()?,
+            }
+        }
+        self.emit_newline();
+        self.push(TokenKind::Eof);
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn emit_newline(&mut self) {
+        // Collapse runs of blank lines into a single Newline token.
+        if matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(TokenKind::Newline) | None
+        ) {
+            return;
+        }
+        self.push(TokenKind::Newline);
+    }
+
+    fn string(&mut self, quote: char) -> Result<()> {
+        let start_line = self.line;
+        self.bump();
+        // Triple-quoted strings appear in docstrings; support them.
+        let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(ParseError::new(start_line, "unterminated string")),
+                Some('\n') => {
+                    self.line += 1;
+                    if triple {
+                        out.push('\n');
+                    } else {
+                        return Err(ParseError::new(start_line, "unterminated string"));
+                    }
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('\\') => out.push('\\'),
+                    Some('\'') => out.push('\''),
+                    Some('"') => out.push('"'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => return Err(ParseError::new(start_line, "unterminated string")),
+                },
+                Some(c) if c == quote => {
+                    if !triple {
+                        break;
+                    }
+                    if self.peek() == Some(quote) && self.peek2() == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    out.push(c);
+                }
+                Some(c) => out.push(c),
+            }
+        }
+        self.push(TokenKind::Str(out));
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .filter(|c| **c != '_')
+            .collect();
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(self.line, format!("bad float literal {text}")))?;
+            self.push(TokenKind::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(self.line, format!("bad int literal {text}")))?;
+            self.push(TokenKind::Int(v));
+        }
+        Ok(())
+    }
+
+    fn name(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        let kind = match word.as_str() {
+            "import" => TokenKind::Import,
+            "from" => TokenKind::From,
+            "as" => TokenKind::As,
+            "not" => TokenKind::Not,
+            "in" => TokenKind::In,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "True" => TokenKind::Bool(true),
+            "False" => TokenKind::Bool(false),
+            "None" => TokenKind::NoneLit,
+            _ => TokenKind::Name(word),
+        };
+        self.push(kind);
+    }
+
+    fn operator(&mut self) -> Result<()> {
+        let c = self.bump().expect("operator called at end of input");
+        let kind = match c {
+            '(' => {
+                self.depth += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                self.depth = self.depth.saturating_sub(1);
+                TokenKind::RParen
+            }
+            '[' => {
+                self.depth += 1;
+                TokenKind::LBracket
+            }
+            ']' => {
+                self.depth = self.depth.saturating_sub(1);
+                TokenKind::RBracket
+            }
+            '{' => {
+                self.depth += 1;
+                TokenKind::LBrace
+            }
+            '}' => {
+                self.depth = self.depth.saturating_sub(1);
+                TokenKind::RBrace
+            }
+            ',' => TokenKind::Comma,
+            ':' => TokenKind::Colon,
+            '.' => TokenKind::Dot,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '%' => TokenKind::Percent,
+            '&' => TokenKind::Amp,
+            '|' => TokenKind::Pipe,
+            '~' => TokenKind::Tilde,
+            '*' => {
+                if self.peek() == Some('*') {
+                    self.bump();
+                    TokenKind::DoubleStar
+                } else {
+                    TokenKind::Star
+                }
+            }
+            '/' => {
+                if self.peek() == Some('/') {
+                    self.bump();
+                    TokenKind::DoubleSlash
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new(self.line, "unexpected '!'"));
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    self.line,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        };
+        self.push(kind);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<crate::token::TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("x = 1.5"),
+            vec![Name("x".into()), Assign, Float(1.5), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn newlines_inside_brackets_are_transparent() {
+        let ks = kinds("f(a,\n  b)\n");
+        assert!(!ks[..ks.len() - 2].contains(&Newline));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x = 1 # comment\ny = 2"),
+            vec![
+                Name("x".into()),
+                Assign,
+                Int(1),
+                Newline,
+                Name("y".into()),
+                Assign,
+                Int(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#"s = 'a\'b'"#)[2], Str("a'b".into()));
+        assert_eq!(kinds(r#"s = "x\ny""#)[2], Str("x\ny".into()));
+    }
+
+    #[test]
+    fn triple_quoted_strings() {
+        assert_eq!(
+            kinds("s = '''line1\nline2'''")[2],
+            Str("line1\nline2".into())
+        );
+    }
+
+    #[test]
+    fn line_continuation() {
+        let ks = kinds("x = 1 + \\\n    2\n");
+        assert_eq!(ks.iter().filter(|k| **k == Newline).count(), 1);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b >= c != d == e ** f // g"),
+            vec![
+                Name("a".into()),
+                Le,
+                Name("b".into()),
+                Ge,
+                Name("c".into()),
+                NotEq,
+                Name("d".into()),
+                EqEq,
+                Name("e".into()),
+                DoubleStar,
+                Name("f".into()),
+                DoubleSlash,
+                Name("g".into()),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("s = 'abc").is_err());
+        assert!(tokenize("s = 'abc\nd'").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_names() {
+        assert_eq!(
+            kinds("from x import y as z"),
+            vec![
+                From,
+                Name("x".into()),
+                Import,
+                Name("y".into()),
+                As,
+                Name("z".into()),
+                Newline,
+                Eof
+            ]
+        );
+        assert_eq!(kinds("importx")[0], Name("importx".into()));
+    }
+
+    #[test]
+    fn numeric_underscores_and_exponent() {
+        assert_eq!(kinds("x = 1_000")[2], Int(1000));
+        assert_eq!(kinds("x = 1e3")[2], Float(1000.0));
+    }
+}

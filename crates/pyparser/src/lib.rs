@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! A small Python parser covering the ML-pipeline subset of the language.
+//!
+//! The paper captures pipeline operations by monkey-patching a live CPython
+//! interpreter. We reproduce the same *call stream* statically: this crate
+//! parses the pipeline source into an AST which `mlinspect`'s capture layer
+//! abstract-interprets, replaying exactly the pandas / scikit-learn calls the
+//! monkey patches would have intercepted.
+//!
+//! Supported syntax (everything the mlinspect example pipelines use):
+//! imports, assignments (including subscript targets and tuple unpacking),
+//! expression statements, calls with positional + keyword arguments,
+//! attribute chains, subscripts, lists/tuples/dicts, string/number/bool/None
+//! literals, and the Python operator-precedence ladder for arithmetic,
+//! comparison, bitwise (`&`, `|`) and `not`/`~`/unary-minus operators.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{Arg, BinOp, Expr, Module, Stmt, UnaryOp};
+pub use error::{ParseError, Result};
+pub use parser::parse_module;
+
+/// Parse a complete pipeline source file.
+///
+/// ```
+/// let module = pyparser::parse("data = patients.merge(histories, on=['ssn'])").unwrap();
+/// assert_eq!(module.stmts.len(), 1);
+/// ```
+pub fn parse(source: &str) -> Result<Module> {
+    parse_module(source)
+}

@@ -1,0 +1,662 @@
+//! Recursive-descent parser with Python's operator precedence.
+
+use crate::ast::{Arg, BinOp, Expr, Module, Stmt, UnaryOp};
+use crate::error::{ParseError, Result};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a complete module.
+pub fn parse_module(source: &str) -> Result<Module> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_newlines();
+        if p.at(&TokenKind::Eof) {
+            break;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(Module { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.at(&TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn end_statement(&mut self) -> Result<()> {
+        if self.at(&TokenKind::Eof) || self.eat(&TokenKind::Newline) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line(),
+                format!("expected end of statement, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            TokenKind::Import => {
+                self.bump();
+                let module = self.dotted_name()?;
+                let alias = if self.eat(&TokenKind::As) {
+                    Some(self.plain_name()?)
+                } else {
+                    None
+                };
+                self.end_statement()?;
+                Ok(Stmt::Import {
+                    line,
+                    module: module.clone(),
+                    names: vec![(module, alias)],
+                    is_from: false,
+                })
+            }
+            TokenKind::From => {
+                self.bump();
+                let module = self.dotted_name()?;
+                self.expect(&TokenKind::Import)?;
+                let mut names = Vec::new();
+                loop {
+                    let name = self.plain_name()?;
+                    let alias = if self.eat(&TokenKind::As) {
+                        Some(self.plain_name()?)
+                    } else {
+                        None
+                    };
+                    names.push((name, alias));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.end_statement()?;
+                Ok(Stmt::Import {
+                    line,
+                    module,
+                    names,
+                    is_from: true,
+                })
+            }
+            _ => {
+                let first = self.expression()?;
+                if self.at(&TokenKind::Comma) {
+                    // Tuple-unpacking assignment: a, b = expr
+                    let mut targets = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        targets.push(self.expression()?);
+                    }
+                    self.expect(&TokenKind::Assign)?;
+                    let value = self.expression()?;
+                    self.end_statement()?;
+                    Ok(Stmt::Assign {
+                        line,
+                        targets,
+                        value,
+                    })
+                } else if self.eat(&TokenKind::Assign) {
+                    let value = self.expression()?;
+                    self.end_statement()?;
+                    Ok(Stmt::Assign {
+                        line,
+                        targets: vec![first],
+                        value,
+                    })
+                } else {
+                    self.end_statement()?;
+                    Ok(Stmt::ExprStmt { line, value: first })
+                }
+            }
+        }
+    }
+
+    fn dotted_name(&mut self) -> Result<String> {
+        let mut name = self.plain_name()?;
+        while self.eat(&TokenKind::Dot) {
+            name.push('.');
+            name.push_str(&self.plain_name()?);
+        }
+        Ok(name)
+    }
+
+    fn plain_name(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Name(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(ParseError::new(
+                self.line(),
+                format!("expected name, found {other}"),
+            )),
+        }
+    }
+
+    /// Entry point of the precedence ladder (Python: `or` is lowest).
+    fn expression(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.and_expr()?;
+            left = bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.not_expr()?;
+            left = bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.bitor()?;
+        let op = match self.peek() {
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Ge => Some(BinOp::Ge),
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::NotEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.bitor()?;
+            return Ok(bin(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn bitor(&mut self) -> Result<Expr> {
+        let mut left = self.bitand()?;
+        while self.eat(&TokenKind::Pipe) {
+            let right = self.bitand()?;
+            left = bin(BinOp::BitOr, left, right);
+        }
+        Ok(left)
+    }
+
+    fn bitand(&mut self) -> Result<Expr> {
+        let mut left = self.additive()?;
+        while self.eat(&TokenKind::Amp) {
+            let right = self.additive()?;
+            left = bin(BinOp::BitAnd, left, right);
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::DoubleSlash => BinOp::FloorDiv,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Tilde => Some(UnaryOp::Invert),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            });
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr> {
+        let base = self.postfix()?;
+        if self.eat(&TokenKind::DoubleStar) {
+            // Right-associative.
+            let exp = self.unary()?;
+            return Ok(bin(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut expr = self.atom()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let attr = self.plain_name()?;
+                    expr = Expr::Attribute {
+                        value: Box::new(expr),
+                        attr,
+                    };
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let args = self.call_args()?;
+                    expr = Expr::Call {
+                        func: Box::new(expr),
+                        args,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    expr = Expr::Subscript {
+                        value: Box::new(expr),
+                        index: Box::new(index),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Arg>> {
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            // Keyword argument: NAME '=' expr (but NAME could also start a
+            // positional expression, so look ahead).
+            let arg = if let TokenKind::Name(n) = self.peek().clone() {
+                if self.tokens[self.pos + 1].kind == TokenKind::Assign {
+                    self.bump();
+                    self.bump();
+                    Arg::kw(n, self.expression()?)
+                } else {
+                    Arg::pos(self.expression()?)
+                }
+            } else {
+                Arg::pos(self.expression()?)
+            };
+            args.push(arg);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+            // Allow trailing comma.
+            if self.at(&TokenKind::RParen) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.bump() {
+            TokenKind::Name(n) => Ok(Expr::Name(n)),
+            TokenKind::Int(i) => Ok(Expr::Int(i)),
+            TokenKind::Float(f) => Ok(Expr::Float(f)),
+            TokenKind::Str(s) => {
+                // Adjacent string literals concatenate, as in Python.
+                let mut out = s;
+                while let TokenKind::Str(next) = self.peek().clone() {
+                    self.bump();
+                    out.push_str(&next);
+                }
+                Ok(Expr::Str(out))
+            }
+            TokenKind::Bool(b) => Ok(Expr::Bool(b)),
+            TokenKind::NoneLit => Ok(Expr::NoneLit),
+            TokenKind::LParen => {
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(Expr::Tuple(Vec::new()));
+                }
+                let first = self.expression()?;
+                if self.at(&TokenKind::Comma) {
+                    let mut items = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        if self.at(&TokenKind::RParen) {
+                            break;
+                        }
+                        items.push(self.expression()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Tuple(items))
+                } else {
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(first)
+                }
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expression()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                        if self.at(&TokenKind::RBracket) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                }
+                Ok(Expr::List(items))
+            }
+            TokenKind::LBrace => {
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        let key = self.expression()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let value = self.expression()?;
+                        items.push((key, value));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                        if self.at(&TokenKind::RBrace) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RBrace)?;
+                }
+                Ok(Expr::Dict(items))
+            }
+            other => Err(ParseError::new(
+                self.tokens[self.pos.saturating_sub(1)].line,
+                format!("unexpected token {other}"),
+            )),
+        }
+    }
+}
+
+fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.stmts.len(), 1, "{src}");
+        m.stmts.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_healthcare_merge_line() {
+        let s = one("data = patients.merge(histories, on=['ssn'])");
+        let Stmt::Assign { targets, value, .. } = s else {
+            panic!("expected assign")
+        };
+        assert_eq!(targets, vec![Expr::Name("data".into())]);
+        let Expr::Call { func, args } = value else {
+            panic!("expected call")
+        };
+        assert_eq!(func.dotted_path().as_deref(), Some("patients.merge"));
+        assert_eq!(args.len(), 2);
+        assert_eq!(args[1].name.as_deref(), Some("on"));
+        assert_eq!(args[1].value, Expr::List(vec![Expr::Str("ssn".into())]));
+    }
+
+    #[test]
+    fn pandas_amp_binds_tighter_than_comparison_parens() {
+        // pandas idiom requires explicit parens; check & precedence matches
+        // Python (& above comparisons): `a > 1 & b` is `a > (1 & b)`.
+        let s = one("x = a > 1 & b");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        let Expr::Binary { op, right, .. } = value else {
+            panic!()
+        };
+        assert_eq!(op, BinOp::Gt);
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinOp::BitAnd,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parenthesised_filter_condition() {
+        let s = one("t = t[(t['d'] <= 30) & (t['d'] >= -30)]");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        let Expr::Subscript { index, .. } = value else {
+            panic!()
+        };
+        let Expr::Binary { op, .. } = *index else {
+            panic!()
+        };
+        assert_eq!(op, BinOp::BitAnd);
+    }
+
+    #[test]
+    fn subscript_assignment_target() {
+        let s = one("data['label'] = data['complications'] > 1.2 * data['mean_complications']");
+        let Stmt::Assign { targets, value, .. } = s else {
+            panic!()
+        };
+        assert!(matches!(targets[0], Expr::Subscript { .. }));
+        let Expr::Binary { op, right, .. } = value else {
+            panic!()
+        };
+        assert_eq!(op, BinOp::Gt);
+        // 1.2 * data[...] groups under Mul.
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tuple_unpacking_assignment() {
+        let s = one("train, test = train_test_split(data)");
+        let Stmt::Assign { targets, .. } = s else {
+            panic!()
+        };
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn groupby_agg_kwarg_tuple() {
+        let s = one(
+            "complications = data.groupby('age_group').agg(mean_complications=('complications', 'mean'))",
+        );
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        let Expr::Call { func, args } = value else {
+            panic!()
+        };
+        let Expr::Attribute { attr, .. } = *func else {
+            panic!()
+        };
+        assert_eq!(attr, "agg");
+        assert_eq!(args[0].name.as_deref(), Some("mean_complications"));
+        assert!(matches!(args[0].value, Expr::Tuple(_)));
+    }
+
+    #[test]
+    fn imports() {
+        let m = parse_module(
+            "import pandas as pd\nfrom sklearn.preprocessing import OneHotEncoder, StandardScaler\n",
+        )
+        .unwrap();
+        assert_eq!(m.stmts.len(), 2);
+        let Stmt::Import { names, is_from, .. } = &m.stmts[1] else {
+            panic!()
+        };
+        assert!(is_from);
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn multiline_call() {
+        let s = one("p = Pipeline([\n  ('impute', SimpleImputer(strategy='most_frequent')),\n  ('encode', OneHotEncoder()),\n])");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        let Expr::Call { args, .. } = value else {
+            panic!()
+        };
+        let Expr::List(items) = &args[0].value else {
+            panic!()
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn unary_and_not() {
+        let s = one("m = ~data['x'].isin(xs)");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        assert!(matches!(
+            value,
+            Expr::Unary {
+                op: UnaryOp::Invert,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn chained_method_and_subscript() {
+        let s = one("x = df.groupby('a')['b'].agg('mean')");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn dict_literal() {
+        let s = one("d = {'a': 1, 'b': 2}");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        let Expr::Dict(items) = value else { panic!() };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn adjacent_string_concatenation() {
+        let s = one("s = 'abc' 'def'");
+        let Stmt::Assign { value, .. } = s else {
+            panic!()
+        };
+        assert_eq!(value, Expr::Str("abcdef".into()));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_module("x = 1\ny = ]").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn expression_statement() {
+        let s = one("print(model.score(test, labels))");
+        assert!(matches!(s, Stmt::ExprStmt { .. }));
+    }
+}

@@ -1,0 +1,151 @@
+//! Token vocabulary for the Python subset.
+
+use std::fmt;
+
+/// A lexical token plus its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The kinds of token the pipeline subset uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword other than the ones below.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    NoneLit,
+    /// Keywords that matter structurally.
+    /// `import`
+    Import,
+    /// `from`
+    From,
+    /// `as`
+    As,
+    /// `not`
+    Not,
+    /// `in`
+    In,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `%`
+    Percent,
+    /// `**`
+    DoubleStar,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `~`
+    Tilde,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+
+    /// Logical end of statement (newline at paren depth zero).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Name(s) => write!(f, "{s}"),
+            Int(i) => write!(f, "{i}"),
+            Float(x) => write!(f, "{x}"),
+            Str(s) => write!(f, "'{s}'"),
+            Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            NoneLit => write!(f, "None"),
+            Import => write!(f, "import"),
+            From => write!(f, "from"),
+            As => write!(f, "as"),
+            Not => write!(f, "not"),
+            In => write!(f, "in"),
+            And => write!(f, "and"),
+            Or => write!(f, "or"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            Comma => write!(f, ","),
+            Colon => write!(f, ":"),
+            Dot => write!(f, "."),
+            Assign => write!(f, "="),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            DoubleSlash => write!(f, "//"),
+            Percent => write!(f, "%"),
+            DoubleStar => write!(f, "**"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Tilde => write!(f, "~"),
+            Lt => write!(f, "<"),
+            Gt => write!(f, ">"),
+            Le => write!(f, "<="),
+            Ge => write!(f, ">="),
+            EqEq => write!(f, "=="),
+            NotEq => write!(f, "!="),
+            Newline => write!(f, "<newline>"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}

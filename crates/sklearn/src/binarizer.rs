@@ -1,0 +1,120 @@
+//! `Binarizer` and `label_binarize` (paper §5.2.5).
+
+use crate::error::{Result, SkError};
+use crate::pipeline::Transformer;
+use etypes::Value;
+
+/// Encodes a numeric value as 1 when it meets a threshold, else 0 —
+/// Listing 19's `CASE WHEN x >= t THEN 1 ELSE 0 END`.
+#[derive(Debug, Clone)]
+pub struct Binarizer {
+    threshold: f64,
+}
+
+impl Binarizer {
+    /// New binarizer with the given threshold.
+    pub fn new(threshold: f64) -> Binarizer {
+        Binarizer { threshold }
+    }
+
+    /// The threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Transformer for Binarizer {
+    fn fit(&mut self, _columns: &[Vec<Value>]) -> Result<()> {
+        // Stateless: nothing to learn.
+        Ok(())
+    }
+
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        columns
+            .iter()
+            .map(|col| {
+                col.iter()
+                    .map(|v| {
+                        if v.is_null() {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Int((v.as_f64()? >= self.threshold) as i64))
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "binarizer"
+    }
+}
+
+/// sklearn's `label_binarize` for the two-class case used by the pipelines:
+/// `classes[0]` maps to 1, `classes[1]` maps to 0... matching sklearn's
+/// behaviour of indicating membership of the *positive* class (the first
+/// listed class column of the indicator matrix, collapsed for binary
+/// problems sklearn returns membership of classes[1]). We follow sklearn:
+/// the output is 1 when the value equals `classes[1]`, 0 when it equals
+/// `classes[0]`.
+pub fn label_binarize(values: &[Value], classes: &[Value]) -> Result<Vec<i64>> {
+    if classes.len() != 2 {
+        return Err(SkError::Invalid(format!(
+            "label_binarize supports exactly 2 classes, got {}",
+            classes.len()
+        )));
+    }
+    values
+        .iter()
+        .map(|v| {
+            if *v == classes[1] {
+                Ok(1)
+            } else if *v == classes[0] {
+                Ok(0)
+            } else {
+                Err(SkError::Invalid(format!(
+                    "label {v} not in classes {classes:?}"
+                )))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_inclusive() {
+        let b = Binarizer::new(50.0);
+        let out = b
+            .transform(&[vec![Value::Int(49), Value::Int(50), Value::Int(51)]])
+            .unwrap();
+        assert_eq!(out[0], vec![Value::Int(0), Value::Int(1), Value::Int(1)]);
+    }
+
+    #[test]
+    fn null_passes_through() {
+        let b = Binarizer::new(0.0);
+        let out = b.transform(&[vec![Value::Null]]).unwrap();
+        assert_eq!(out[0][0], Value::Null);
+    }
+
+    #[test]
+    fn label_binarize_two_classes() {
+        // compas: classes=['High', 'Low'] -> 'Low' is the positive class.
+        let out = label_binarize(
+            &[Value::text("High"), Value::text("Low"), Value::text("High")],
+            &[Value::text("High"), Value::text("Low")],
+        )
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn label_binarize_rejects_unknown_labels() {
+        assert!(label_binarize(&[Value::text("???")], &[Value::text("a"), Value::text("b")]).is_err());
+        assert!(label_binarize(&[], &[Value::text("a")]).is_err());
+    }
+}

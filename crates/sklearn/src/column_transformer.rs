@@ -1,0 +1,193 @@
+//! `ColumnTransformer`: applies different transformers to column subsets and
+//! concatenates the results into one feature matrix.
+
+use crate::error::{Result, SkError};
+use crate::matrix::Matrix;
+use crate::pipeline::Transformer;
+use dataframe::DataFrame;
+use etypes::Value;
+
+/// One named transformer applied to a set of input columns (sklearn's
+/// `(name, transformer, columns)` triple).
+pub struct TransformerSpec {
+    /// Step name (diagnostics).
+    pub name: String,
+    /// The transformer (often a [`crate::Pipeline`]).
+    pub transformer: Box<dyn Transformer>,
+    /// Input column names.
+    pub columns: Vec<String>,
+}
+
+/// Applies each spec to its columns and horizontally concatenates all outputs
+/// (remainder columns are dropped, matching the pipelines' `remainder='drop'`).
+#[derive(Default)]
+pub struct ColumnTransformer {
+    specs: Vec<TransformerSpec>,
+    fitted: bool,
+}
+
+impl ColumnTransformer {
+    /// Empty transformer.
+    pub fn new() -> ColumnTransformer {
+        ColumnTransformer::default()
+    }
+
+    /// Add a named step (builder style).
+    pub fn with(
+        mut self,
+        name: impl Into<String>,
+        transformer: impl Transformer + 'static,
+        columns: &[&str],
+    ) -> ColumnTransformer {
+        self.specs.push(TransformerSpec {
+            name: name.into(),
+            transformer: Box::new(transformer),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Step names in order.
+    pub fn step_names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    fn gather(&self, df: &DataFrame, spec: &TransformerSpec) -> Result<Vec<Vec<Value>>> {
+        spec.columns
+            .iter()
+            .map(|c| Ok(df.column(c)?.values().to_vec()))
+            .collect()
+    }
+
+    /// Fit every step on the training frame.
+    pub fn fit(&mut self, df: &DataFrame) -> Result<()> {
+        // Split borrows: gather needs &self, fit needs &mut spec.
+        let inputs: Vec<Vec<Vec<Value>>> = self
+            .specs
+            .iter()
+            .map(|spec| self.gather(df, spec))
+            .collect::<Result<Vec<_>>>()?;
+        for (spec, cols) in self.specs.iter_mut().zip(&inputs) {
+            spec.transformer.fit(cols)?;
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Transform a frame into the concatenated numeric feature matrix.
+    pub fn transform(&self, df: &DataFrame) -> Result<Matrix> {
+        if !self.fitted {
+            return Err(SkError::NotFitted("ColumnTransformer"));
+        }
+        let mut parts = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let cols = self.gather(df, spec)?;
+            let out = spec.transformer.transform(&cols)?;
+            let numeric: Vec<Vec<f64>> = out
+                .iter()
+                .map(|col| {
+                    col.iter()
+                        .map(|v| {
+                            if v.is_null() {
+                                // NaN would poison training; preprocessing
+                                // should have imputed. Surface it.
+                                Err(SkError::Invalid(format!(
+                                    "NULL reached feature matrix in step '{}'",
+                                    spec.name
+                                )))
+                            } else {
+                                Ok(v.as_f64()?)
+                            }
+                        })
+                        .collect::<Result<Vec<f64>>>()
+                })
+                .collect::<Result<Vec<_>>>()?;
+            parts.push(Matrix::from_columns(&numeric)?);
+        }
+        Matrix::hcat(&parts)
+    }
+
+    /// Fit and transform the same frame.
+    pub fn fit_transform(&mut self, df: &DataFrame) -> Result<Matrix> {
+        self.fit(df)?;
+        self.transform(df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imputer::{ImputeStrategy, SimpleImputer};
+    use crate::onehot::OneHotEncoder;
+    use crate::pipeline::Pipeline;
+    use crate::scaler::StandardScaler;
+    use dataframe::Series;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Series::new(
+                "smoker",
+                vec!["yes".into(), Value::Null, "no".into(), "yes".into()],
+            ),
+            Series::new(
+                "income",
+                vec![
+                    Value::Float(100.0),
+                    Value::Float(200.0),
+                    Value::Float(300.0),
+                    Value::Float(400.0),
+                ],
+            ),
+            Series::new("dropped", vec![1.into(), 2.into(), 3.into(), 4.into()]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn healthcare_style_featurisation() {
+        let mut ct = ColumnTransformer::new()
+            .with(
+                "impute_and_one_hot",
+                Pipeline::new()
+                    .then(SimpleImputer::new(ImputeStrategy::MostFrequent))
+                    .then(OneHotEncoder::new()),
+                &["smoker"],
+            )
+            .with("numeric", StandardScaler::new(), &["income"]);
+        let m = ct.fit_transform(&frame()).unwrap();
+        // smoker one-hot (2 categories) + scaled income = 3 columns.
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nrows(), 4);
+        // Row 1's smoker was NULL, imputed to most frequent 'yes' -> [0, 1].
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        // remainder='drop': 'dropped' contributes nothing.
+    }
+
+    #[test]
+    fn transform_requires_fit() {
+        let ct = ColumnTransformer::new().with("s", StandardScaler::new(), &["income"]);
+        assert!(matches!(
+            ct.transform(&frame()),
+            Err(SkError::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn null_reaching_matrix_is_error() {
+        let mut ct = ColumnTransformer::new().with("s", StandardScaler::new(), &["smoker"]);
+        // StandardScaler passes NULL through; the matrix conversion rejects.
+        let df = DataFrame::from_columns(vec![Series::new(
+            "smoker",
+            vec![Value::Float(1.0), Value::Null],
+        )])
+        .unwrap();
+        assert!(ct.fit_transform(&df).is_err());
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let mut ct = ColumnTransformer::new().with("s", StandardScaler::new(), &["missing"]);
+        assert!(ct.fit(&frame()).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! `KBinsDiscretizer` with the `uniform` strategy (paper §5.2.4).
+
+use crate::error::{Result, SkError};
+use crate::pipeline::Transformer;
+use etypes::Value;
+
+/// Splits a numeric range into `k` equal-width bins learned at fit time and
+/// encodes each value by its (ordinal) bin index. Out-of-range values clamp
+/// to the first/last bin via the `LEAST`/`GREATEST` logic of Listing 18.
+#[derive(Debug, Clone)]
+pub struct KBinsDiscretizer {
+    k: usize,
+    bounds: Option<Vec<(f64, f64)>>,
+}
+
+impl KBinsDiscretizer {
+    /// New discretizer with `k` bins.
+    pub fn new(k: usize) -> KBinsDiscretizer {
+        KBinsDiscretizer { k, bounds: None }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.k
+    }
+
+    /// Fitted `(min, max)` per column.
+    pub fn bounds(&self) -> Option<&[(f64, f64)]> {
+        self.bounds.as_deref()
+    }
+
+    /// Assign one value to a bin given `(min, max)` — the SQL formula:
+    /// `LEAST(GREATEST(FLOOR((x - min) / step), 0), k - 1)`.
+    pub fn bin(&self, x: f64, min: f64, max: f64) -> i64 {
+        let step = (max - min) / self.k as f64;
+        if step <= 0.0 {
+            return 0;
+        }
+        (((x - min) / step).floor() as i64).clamp(0, self.k as i64 - 1)
+    }
+}
+
+impl Transformer for KBinsDiscretizer {
+    fn fit(&mut self, columns: &[Vec<Value>]) -> Result<()> {
+        if self.k < 2 {
+            return Err(SkError::Invalid("KBinsDiscretizer needs k >= 2".into()));
+        }
+        let mut bounds = Vec::with_capacity(columns.len());
+        for col in columns {
+            let nums: Vec<f64> = col
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(|v| v.as_f64())
+                .collect::<etypes::Result<_>>()?;
+            let min = nums.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if nums.is_empty() {
+                bounds.push((0.0, 0.0));
+            } else {
+                bounds.push((min, max));
+            }
+        }
+        self.bounds = Some(bounds);
+        Ok(())
+    }
+
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        let bounds = self
+            .bounds
+            .as_ref()
+            .ok_or(SkError::NotFitted("KBinsDiscretizer"))?;
+        if bounds.len() != columns.len() {
+            return Err(SkError::Shape(format!(
+                "discretizer fitted on {} columns, given {}",
+                bounds.len(),
+                columns.len()
+            )));
+        }
+        columns
+            .iter()
+            .zip(bounds)
+            .map(|(col, (min, max))| {
+                col.iter()
+                    .map(|v| {
+                        if v.is_null() {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Int(self.bin(v.as_f64()?, *min, *max)))
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "kbins_discretizer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floats(vals: &[f64]) -> Vec<Value> {
+        vals.iter().map(|&f| Value::Float(f)).collect()
+    }
+
+    #[test]
+    fn uniform_bins_over_fitted_range() {
+        let mut d = KBinsDiscretizer::new(4);
+        let out = d.fit_transform(&[floats(&[0.0, 1.0, 2.0, 3.0, 4.0])]).unwrap();
+        let bins: Vec<i64> = out[0].iter().map(|v| v.as_i64().unwrap()).collect();
+        // step = 1.0; max value clamps into the last bin.
+        assert_eq!(bins, vec![0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn out_of_range_test_values_clamp() {
+        // "the training data does not necessarily provide values smaller and
+        // bigger than the testing set" (paper §5.2.4).
+        let mut d = KBinsDiscretizer::new(4);
+        d.fit(&[floats(&[0.0, 4.0])]).unwrap();
+        let out = d.transform(&[floats(&[-100.0, 100.0])]).unwrap();
+        assert_eq!(out[0], vec![Value::Int(0), Value::Int(3)]);
+    }
+
+    #[test]
+    fn degenerate_range_goes_to_bin_zero() {
+        let mut d = KBinsDiscretizer::new(4);
+        let out = d.fit_transform(&[floats(&[7.0, 7.0])]).unwrap();
+        assert_eq!(out[0], vec![Value::Int(0), Value::Int(0)]);
+    }
+
+    #[test]
+    fn k_less_than_two_rejected() {
+        let mut d = KBinsDiscretizer::new(1);
+        assert!(d.fit(&[floats(&[1.0])]).is_err());
+    }
+
+    #[test]
+    fn matches_sql_formula() {
+        let d = {
+            let mut d = KBinsDiscretizer::new(4);
+            d.fit(&[floats(&[1.0, 2.0, 3.0, 4.0])]).unwrap();
+            d
+        };
+        // Same outputs the engine test produced for Listing 18.
+        let bins: Vec<i64> = [1.0, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&x| d.bin(x, 1.0, 4.0))
+            .collect();
+        assert_eq!(bins, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for preprocessing and models.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SkError>;
+
+/// Errors from preprocessing and model training.
+#[derive(Debug)]
+pub enum SkError {
+    /// Transformer used before `fit`.
+    NotFitted(&'static str),
+    /// Input shape problems.
+    Shape(String),
+    /// Bad argument.
+    Invalid(String),
+    /// Propagated value error.
+    Value(etypes::Error),
+    /// Propagated dataframe error.
+    Frame(dataframe::DfError),
+}
+
+impl fmt::Display for SkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkError::NotFitted(what) => write!(f, "{what} used before fit()"),
+            SkError::Shape(m) => write!(f, "shape error: {m}"),
+            SkError::Invalid(m) => write!(f, "invalid argument: {m}"),
+            SkError::Value(e) => write!(f, "{e}"),
+            SkError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SkError {}
+
+impl From<etypes::Error> for SkError {
+    fn from(e: etypes::Error) -> Self {
+        SkError::Value(e)
+    }
+}
+
+impl From<dataframe::DfError> for SkError {
+    fn from(e: dataframe::DfError) -> Self {
+        SkError::Frame(e)
+    }
+}

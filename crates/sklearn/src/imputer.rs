@@ -1,0 +1,219 @@
+//! `SimpleImputer` (paper §5.2.1).
+
+use crate::error::{Result, SkError};
+use crate::pipeline::Transformer;
+use etypes::Value;
+use std::collections::HashMap;
+
+/// Replacement strategy for NULLs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImputeStrategy {
+    /// Column mean (numeric columns).
+    Mean,
+    /// Column median (numeric columns).
+    Median,
+    /// Most frequent value (ties broken by value order, as the SQL
+    /// translation's `ORDER BY count(*) DESC, value LIMIT 1` does).
+    MostFrequent,
+    /// A constant fill value.
+    Constant(Value),
+}
+
+impl ImputeStrategy {
+    /// Parse the sklearn `strategy=` string.
+    pub fn parse(s: &str) -> Option<ImputeStrategy> {
+        Some(match s {
+            "mean" => ImputeStrategy::Mean,
+            "median" => ImputeStrategy::Median,
+            "most_frequent" => ImputeStrategy::MostFrequent,
+            _ => return None,
+        })
+    }
+}
+
+/// Replaces NULLs by a per-column statistic computed at fit time.
+#[derive(Debug, Clone)]
+pub struct SimpleImputer {
+    strategy: ImputeStrategy,
+    fills: Option<Vec<Value>>,
+}
+
+impl SimpleImputer {
+    /// New unfitted imputer.
+    pub fn new(strategy: ImputeStrategy) -> SimpleImputer {
+        SimpleImputer {
+            strategy,
+            fills: None,
+        }
+    }
+
+    /// The fitted fill values (one per column).
+    pub fn fill_values(&self) -> Option<&[Value]> {
+        self.fills.as_deref()
+    }
+
+    fn compute_fill(&self, column: &[Value]) -> Result<Value> {
+        let non_null: Vec<&Value> = column.iter().filter(|v| !v.is_null()).collect();
+        Ok(match &self.strategy {
+            ImputeStrategy::Constant(v) => v.clone(),
+            ImputeStrategy::Mean => {
+                let nums: Vec<f64> = non_null
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .collect::<etypes::Result<_>>()?;
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            ImputeStrategy::Median => {
+                let mut nums: Vec<f64> = non_null
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .collect::<etypes::Result<_>>()?;
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    nums.sort_by(f64::total_cmp);
+                    let mid = nums.len() / 2;
+                    if nums.len() % 2 == 1 {
+                        Value::Float(nums[mid])
+                    } else {
+                        Value::Float((nums[mid - 1] + nums[mid]) / 2.0)
+                    }
+                }
+            }
+            ImputeStrategy::MostFrequent => {
+                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                for v in &non_null {
+                    *counts.entry(*v).or_insert(0) += 1;
+                }
+                counts
+                    .into_iter()
+                    // Max count; tie-break on the smaller value for
+                    // determinism (matches the SQL `ORDER BY cnt DESC, v`).
+                    .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then(vb.cmp(va)))
+                    .map(|(v, _)| v.clone())
+                    .unwrap_or(Value::Null)
+            }
+        })
+    }
+}
+
+impl Transformer for SimpleImputer {
+    fn fit(&mut self, columns: &[Vec<Value>]) -> Result<()> {
+        let fills = columns
+            .iter()
+            .map(|c| self.compute_fill(c))
+            .collect::<Result<Vec<_>>>()?;
+        self.fills = Some(fills);
+        Ok(())
+    }
+
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        let fills = self
+            .fills
+            .as_ref()
+            .ok_or(SkError::NotFitted("SimpleImputer"))?;
+        if fills.len() != columns.len() {
+            return Err(SkError::Shape(format!(
+                "imputer fitted on {} columns, given {}",
+                fills.len(),
+                columns.len()
+            )));
+        }
+        Ok(columns
+            .iter()
+            .zip(fills)
+            .map(|(col, fill)| {
+                col.iter()
+                    .map(|v| if v.is_null() { fill.clone() } else { v.clone() })
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "simple_imputer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[Option<i64>]) -> Vec<Value> {
+        vals.iter()
+            .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
+            .collect()
+    }
+
+    #[test]
+    fn mean_fill() {
+        let mut imp = SimpleImputer::new(ImputeStrategy::Mean);
+        let out = imp
+            .fit_transform(&[ints(&[Some(1), None, Some(3)])])
+            .unwrap();
+        assert_eq!(out[0][1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn median_fill_even_and_odd() {
+        let mut imp = SimpleImputer::new(ImputeStrategy::Median);
+        imp.fit(&[ints(&[Some(1), Some(2), Some(10)])]).unwrap();
+        assert_eq!(imp.fill_values().unwrap()[0], Value::Float(2.0));
+        let mut imp = SimpleImputer::new(ImputeStrategy::Median);
+        imp.fit(&[ints(&[Some(1), Some(2), Some(3), Some(10)])])
+            .unwrap();
+        assert_eq!(imp.fill_values().unwrap()[0], Value::Float(2.5));
+    }
+
+    #[test]
+    fn most_frequent_with_deterministic_ties() {
+        let mut imp = SimpleImputer::new(ImputeStrategy::MostFrequent);
+        let col = vec![
+            Value::text("b"),
+            Value::text("a"),
+            Value::Null,
+            Value::text("b"),
+        ];
+        imp.fit(&[col]).unwrap();
+        assert_eq!(imp.fill_values().unwrap()[0], Value::text("b"));
+
+        // Tie between 'a' and 'b' -> smaller value wins.
+        let mut imp = SimpleImputer::new(ImputeStrategy::MostFrequent);
+        imp.fit(&[vec![Value::text("b"), Value::text("a")]]).unwrap();
+        assert_eq!(imp.fill_values().unwrap()[0], Value::text("a"));
+    }
+
+    #[test]
+    fn constant_fill_and_not_fitted() {
+        let imp = SimpleImputer::new(ImputeStrategy::Constant(Value::Int(0)));
+        assert!(matches!(
+            imp.transform(&[ints(&[None])]),
+            Err(SkError::NotFitted(_))
+        ));
+        let mut imp = SimpleImputer::new(ImputeStrategy::Constant(Value::Int(0)));
+        let out = imp.fit_transform(&[ints(&[None, Some(5)])]).unwrap();
+        assert_eq!(out[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn column_count_mismatch_errors() {
+        let mut imp = SimpleImputer::new(ImputeStrategy::Mean);
+        imp.fit(&[ints(&[Some(1)])]).unwrap();
+        assert!(imp
+            .transform(&[ints(&[Some(1)]), ints(&[Some(2)])])
+            .is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            ImputeStrategy::parse("most_frequent"),
+            Some(ImputeStrategy::MostFrequent)
+        );
+        assert_eq!(ImputeStrategy::parse("bogus"), None);
+    }
+}

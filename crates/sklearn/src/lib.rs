@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Scikit-learn semantics in Rust.
+//!
+//! The paper's pipelines end in scikit-learn preprocessing plus a trainable
+//! model (logistic regression, or a Keras neural network for the healthcare
+//! and adult-complex pipelines). This crate re-implements exactly the
+//! operators those pipelines use, with the same **fit / transform split**
+//! the paper's §5.2 stresses: fitting parameters are computed once on the
+//! training data and reused for every transform, so train and test sets see
+//! identical substitutions.
+//!
+//! Preprocessing operators work on columns of [`etypes::Value`] so they can
+//! run behind both backends (the pandas-like baseline and, via the SQL
+//! translation in `mlinspect`, the database engine). Models consume a dense
+//! `f64` [`Matrix`].
+
+pub mod binarizer;
+pub mod column_transformer;
+pub mod discretizer;
+pub mod error;
+pub mod imputer;
+pub mod logreg;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod onehot;
+pub mod pipeline;
+pub mod scaler;
+pub mod split;
+
+pub use binarizer::{label_binarize, Binarizer};
+pub use column_transformer::ColumnTransformer;
+pub use discretizer::KBinsDiscretizer;
+pub use error::{Result, SkError};
+pub use imputer::{ImputeStrategy, SimpleImputer};
+pub use logreg::LogisticRegression;
+pub use matrix::Matrix;
+pub use metrics::accuracy;
+pub use mlp::MlpClassifier;
+pub use onehot::OneHotEncoder;
+pub use pipeline::{Pipeline, Transformer};
+pub use scaler::StandardScaler;
+pub use split::train_test_split;

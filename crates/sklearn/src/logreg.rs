@@ -1,0 +1,185 @@
+//! Logistic regression (the compas/adult-simple classifier).
+
+use crate::error::{Result, SkError};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Binary logistic regression trained with mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression::new()
+    }
+}
+
+impl LogisticRegression {
+    /// Defaults comparable to sklearn's (lbfgs is replaced by SGD).
+    pub fn new() -> LogisticRegression {
+        LogisticRegression {
+            learning_rate: 0.1,
+            epochs: 100,
+            l2: 1e-4,
+            seed: 0,
+            weights: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Override the RNG seed (Table 5 runs vary this).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Learned weights (after fit).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Train on features `x` and 0/1 labels `y`.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.nrows() != y.len() {
+            return Err(SkError::Shape(format!(
+                "{} rows vs {} labels",
+                x.nrows(),
+                y.len()
+            )));
+        }
+        if x.nrows() == 0 {
+            return Err(SkError::Invalid("empty training set".into()));
+        }
+        let d = x.ncols();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let mut order: Vec<usize> = (0..x.nrows()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let row = x.row(i);
+                let p = sigmoid(dot(&self.weights, row) + self.bias);
+                let err = p - y[i];
+                for (w, &xi) in self.weights.iter_mut().zip(row) {
+                    *w -= self.learning_rate * (err * xi + self.l2 * *w);
+                }
+                self.bias -= self.learning_rate * err;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// P(class 1) per row.
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(SkError::NotFitted("LogisticRegression"));
+        }
+        if x.ncols() != self.weights.len() {
+            return Err(SkError::Shape(format!(
+                "model has {} features, input has {}",
+                self.weights.len(),
+                x.ncols()
+            )));
+        }
+        Ok((0..x.nrows())
+            .map(|i| sigmoid(dot(&self.weights, x.row(i)) + self.bias))
+            .collect())
+    }
+
+    /// Hard 0/1 predictions.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| (p >= 0.5) as i64 as f64)
+            .collect())
+    }
+
+    /// Mean accuracy on a labelled set (sklearn `score`).
+    pub fn score(&self, x: &Matrix, y: &[f64]) -> Result<f64> {
+        let preds = self.predict(x)?;
+        Ok(crate::metrics::accuracy(&preds, y))
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> (Matrix, Vec<f64>) {
+        // y = 1 iff x0 > 0.
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let x0 = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let jitter = (i as f64 * 0.37).sin() * 0.3;
+            cols[0].push(x0 + jitter * 0.1);
+            cols[1].push(jitter);
+            ys.push((x0 > 0.0) as i64 as f64);
+        }
+        (Matrix::from_columns(&cols).unwrap(), ys)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (x, y) = linearly_separable();
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &y).unwrap();
+        assert!(m.score(&x, &y).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = linearly_separable();
+        let mut a = LogisticRegression::new().with_seed(7);
+        let mut b = LogisticRegression::new().with_seed(7);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let m = LogisticRegression::new();
+        assert!(m.predict(&Matrix::zeros(1, 1)).is_err());
+        let mut m = LogisticRegression::new();
+        assert!(m.fit(&Matrix::zeros(2, 1), &[1.0]).is_err());
+        m.fit(&Matrix::zeros(2, 1), &[0.0, 1.0]).unwrap();
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, y) = linearly_separable();
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &y).unwrap();
+        for p in m.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

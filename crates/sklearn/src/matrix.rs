@@ -1,0 +1,148 @@
+//! Dense row-major `f64` matrix, the feature representation models consume.
+
+use crate::error::{Result, SkError};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Build from dimensions and row-major data.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix> {
+        if data.len() != rows * cols {
+            return Err(SkError::Shape(format!(
+                "data length {} != {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from per-column vectors (all must share a length).
+    pub fn from_columns(columns: &[Vec<f64>]) -> Result<Matrix> {
+        let cols = columns.len();
+        let rows = columns.first().map_or(0, Vec::len);
+        for c in columns {
+            if c.len() != rows {
+                return Err(SkError::Shape("ragged columns".to_string()));
+            }
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in columns {
+                data.push(c[r]);
+            }
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Row count.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One cell.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Set one cell.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Horizontally concatenate matrices with equal row counts.
+    pub fn hcat(parts: &[Matrix]) -> Result<Matrix> {
+        let rows = parts.first().map_or(0, Matrix::nrows);
+        for p in parts {
+            if p.nrows() != rows {
+                return Err(SkError::Shape(format!(
+                    "hcat row mismatch: {} vs {rows}",
+                    p.nrows()
+                )));
+            }
+        }
+        let cols: usize = parts.iter().map(Matrix::ncols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for p in parts {
+                data.extend_from_slice(p.row(r));
+            }
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Select a subset of rows (used by train/test splits on matrices).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_columns_row_major() {
+        let m = Matrix::from_columns(&[vec![1.0, 2.0], vec![10.0, 20.0]]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 10.0]);
+        assert_eq!(m.row(1), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn hcat_concatenates() {
+        let a = Matrix::from_columns(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_columns(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let m = Matrix::hcat(&[a, b]).unwrap();
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.row(1), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Matrix::new(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_columns(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let a = Matrix::zeros(1, 1);
+        let b = Matrix::zeros(2, 1);
+        assert!(Matrix::hcat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn take_rows() {
+        let m = Matrix::from_columns(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let t = m.take_rows(&[2, 0]);
+        assert_eq!(t.row(0), &[3.0]);
+        assert_eq!(t.row(1), &[1.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Scoring metrics.
+
+/// Fraction of predictions equal to the labels (sklearn `accuracy_score`).
+/// Returns 0 for empty inputs.
+pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
+    if predictions.is_empty() || predictions.len() != labels.len() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| (**p - **y).abs() < 1e-9)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_matches() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_and_mismatched_are_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_score() {
+        assert_eq!(accuracy(&[0.0, 1.0], &[0.0, 1.0]), 1.0);
+    }
+}

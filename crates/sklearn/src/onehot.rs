@@ -1,0 +1,129 @@
+//! `OneHotEncoder` (paper §5.2.2).
+
+use crate::error::{Result, SkError};
+use crate::pipeline::Transformer;
+use etypes::Value;
+
+/// Encodes each categorical column as one 0/1 indicator column per category.
+/// Categories are learned at fit time in sorted order — the same order the
+/// SQL translation derives via `ROW_NUMBER() OVER (ORDER BY value)`.
+/// Unknown values at transform time encode as all-zero rows
+/// (`handle_unknown='ignore'`).
+#[derive(Debug, Clone, Default)]
+pub struct OneHotEncoder {
+    categories: Option<Vec<Vec<Value>>>,
+}
+
+impl OneHotEncoder {
+    /// New unfitted encoder.
+    pub fn new() -> OneHotEncoder {
+        OneHotEncoder::default()
+    }
+
+    /// Learned categories per input column.
+    pub fn categories(&self) -> Option<&[Vec<Value>]> {
+        self.categories.as_deref()
+    }
+}
+
+impl Transformer for OneHotEncoder {
+    fn fit(&mut self, columns: &[Vec<Value>]) -> Result<()> {
+        let categories = columns
+            .iter()
+            .map(|col| {
+                let mut cats: Vec<Value> = Vec::new();
+                for v in col {
+                    if !v.is_null() && !cats.contains(v) {
+                        cats.push(v.clone());
+                    }
+                }
+                cats.sort();
+                cats
+            })
+            .collect();
+        self.categories = Some(categories);
+        Ok(())
+    }
+
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        let categories = self
+            .categories
+            .as_ref()
+            .ok_or(SkError::NotFitted("OneHotEncoder"))?;
+        if categories.len() != columns.len() {
+            return Err(SkError::Shape(format!(
+                "encoder fitted on {} columns, given {}",
+                categories.len(),
+                columns.len()
+            )));
+        }
+        let mut out = Vec::new();
+        for (col, cats) in columns.iter().zip(categories) {
+            for cat in cats {
+                let indicator: Vec<Value> = col
+                    .iter()
+                    .map(|v| Value::Int((v == cat) as i64))
+                    .collect();
+                out.push(indicator);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "one_hot_encoder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_in_sorted_category_order() {
+        let col = vec![Value::text("b"), Value::text("a"), Value::text("b")];
+        let mut enc = OneHotEncoder::new();
+        let out = enc.fit_transform(&[col]).unwrap();
+        // Categories sorted: [a, b]; so column 0 is the 'a' indicator.
+        assert_eq!(out[0], vec![Value::Int(0), Value::Int(1), Value::Int(0)]);
+        assert_eq!(out[1], vec![Value::Int(1), Value::Int(0), Value::Int(1)]);
+    }
+
+    #[test]
+    fn unknown_values_encode_all_zero() {
+        let mut enc = OneHotEncoder::new();
+        enc.fit(&[vec![Value::text("a"), Value::text("b")]]).unwrap();
+        let out = enc.transform(&[vec![Value::text("zzz")]]).unwrap();
+        assert_eq!(out[0][0], Value::Int(0));
+        assert_eq!(out[1][0], Value::Int(0));
+    }
+
+    #[test]
+    fn multiple_columns_expand_in_order() {
+        let mut enc = OneHotEncoder::new();
+        let out = enc
+            .fit_transform(&[
+                vec![Value::text("x"), Value::text("y")],
+                vec![Value::Int(1), Value::Int(2)],
+            ])
+            .unwrap();
+        // 2 categories + 2 categories = 4 output columns.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn nulls_are_not_categories() {
+        let mut enc = OneHotEncoder::new();
+        enc.fit(&[vec![Value::Null, Value::text("a")]]).unwrap();
+        assert_eq!(enc.categories().unwrap()[0].len(), 1);
+    }
+
+    #[test]
+    fn not_fitted_is_error() {
+        let enc = OneHotEncoder::new();
+        assert!(matches!(
+            enc.transform(&[vec![]]),
+            Err(SkError::NotFitted(_))
+        ));
+    }
+}

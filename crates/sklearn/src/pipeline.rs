@@ -1,0 +1,135 @@
+//! The `Transformer` trait and sequential `Pipeline`.
+
+use crate::error::Result;
+use etypes::Value;
+
+/// A fit/transform preprocessing step over value columns.
+///
+/// `fit` learns parameters from the training columns; `transform` applies
+/// them (possibly changing the number of columns — one-hot expands, most
+/// others map 1:1). The split matters for correctness: "if fitting was
+/// performed each time a transformation is applied, the results would not be
+/// consistent" (paper §5.2).
+pub trait Transformer {
+    /// Learn fitting parameters from the given columns.
+    fn fit(&mut self, columns: &[Vec<Value>]) -> Result<()>;
+
+    /// Apply the fitted transformation.
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>>;
+
+    /// Fit, then transform the same data.
+    fn fit_transform(&mut self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        self.fit(columns)?;
+        self.transform(columns)
+    }
+
+    /// Human-readable step name for inspection output.
+    fn name(&self) -> &'static str;
+}
+
+/// A sequential chain of transformers (`sklearn.pipeline.Pipeline` restricted
+/// to transformer steps; the final estimator lives outside, as in the paper's
+/// end-to-end runs where training happens in Python/Keras).
+#[derive(Default)]
+pub struct Pipeline {
+    steps: Vec<Box<dyn Transformer>>,
+}
+
+impl Pipeline {
+    /// Empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Append a step (builder style).
+    pub fn then(mut self, step: impl Transformer + 'static) -> Pipeline {
+        self.steps.push(Box::new(step));
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step names, in order.
+    pub fn step_names(&self) -> Vec<&'static str> {
+        self.steps.iter().map(|s| s.name()).collect()
+    }
+}
+
+impl Transformer for Pipeline {
+    fn fit(&mut self, columns: &[Vec<Value>]) -> Result<()> {
+        // Fitting a pipeline transforms through the prefix so each step sees
+        // its predecessor's output, as sklearn does.
+        let mut current: Vec<Vec<Value>> = columns.to_vec();
+        for step in &mut self.steps {
+            current = step.fit_transform(&current)?;
+        }
+        Ok(())
+    }
+
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        let mut current: Vec<Vec<Value>> = columns.to_vec();
+        for step in &self.steps {
+            current = step.transform(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imputer::{ImputeStrategy, SimpleImputer};
+    use crate::onehot::OneHotEncoder;
+
+    #[test]
+    fn impute_then_one_hot_composition() {
+        // The healthcare featurisation: impute most_frequent, then one-hot.
+        let col = vec![
+            Value::text("a"),
+            Value::Null,
+            Value::text("b"),
+            Value::text("a"),
+        ];
+        let mut p = Pipeline::new()
+            .then(SimpleImputer::new(ImputeStrategy::MostFrequent))
+            .then(OneHotEncoder::new());
+        let out = p.fit_transform(&[col]).unwrap();
+        // Two categories -> two 0/1 columns.
+        assert_eq!(out.len(), 2);
+        // Row 1 (the null) imputed to 'a' -> [1, 0].
+        assert_eq!(out[0][1], Value::Int(1));
+        assert_eq!(out[1][1], Value::Int(0));
+    }
+
+    #[test]
+    fn transform_reuses_fit_parameters() {
+        let train = vec![vec![Value::text("x"), Value::text("x"), Value::text("y")]];
+        let test = vec![vec![Value::Null]];
+        let mut p = Pipeline::new().then(SimpleImputer::new(ImputeStrategy::MostFrequent));
+        p.fit(&train).unwrap();
+        let out = p.transform(&test).unwrap();
+        // Fill value comes from train ('x'), not from the test set.
+        assert_eq!(out[0][0], Value::text("x"));
+    }
+
+    #[test]
+    fn step_names() {
+        let p = Pipeline::new()
+            .then(SimpleImputer::new(ImputeStrategy::Mean))
+            .then(OneHotEncoder::new());
+        assert_eq!(p.step_names(), vec!["simple_imputer", "one_hot_encoder"]);
+        assert_eq!(p.len(), 2);
+    }
+}

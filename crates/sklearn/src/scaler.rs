@@ -1,0 +1,135 @@
+//! `StandardScaler` (paper §5.2.3).
+
+use crate::error::{Result, SkError};
+use crate::pipeline::Transformer;
+use etypes::Value;
+
+/// Standardizes numeric columns: `z = (x - mean) / stddev_pop`, with mean and
+/// population standard deviation learned at fit time (Listing 17's SQL uses
+/// `AVG` and `STDDEV_POP` for exactly this reason).
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    params: Option<Vec<(f64, f64)>>,
+}
+
+impl StandardScaler {
+    /// New unfitted scaler.
+    pub fn new() -> StandardScaler {
+        StandardScaler::default()
+    }
+
+    /// Fitted `(mean, stddev_pop)` per column.
+    pub fn params(&self) -> Option<&[(f64, f64)]> {
+        self.params.as_deref()
+    }
+}
+
+impl Transformer for StandardScaler {
+    fn fit(&mut self, columns: &[Vec<Value>]) -> Result<()> {
+        let mut params = Vec::with_capacity(columns.len());
+        for col in columns {
+            let nums: Vec<f64> = col
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(|v| v.as_f64())
+                .collect::<etypes::Result<_>>()?;
+            if nums.is_empty() {
+                params.push((0.0, 1.0));
+                continue;
+            }
+            let n = nums.len() as f64;
+            let mean = nums.iter().sum::<f64>() / n;
+            let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let std = var.sqrt();
+            // sklearn keeps zero-variance columns untouched by dividing by 1.
+            params.push((mean, if std == 0.0 { 1.0 } else { std }));
+        }
+        self.params = Some(params);
+        Ok(())
+    }
+
+    fn transform(&self, columns: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        let params = self
+            .params
+            .as_ref()
+            .ok_or(SkError::NotFitted("StandardScaler"))?;
+        if params.len() != columns.len() {
+            return Err(SkError::Shape(format!(
+                "scaler fitted on {} columns, given {}",
+                params.len(),
+                columns.len()
+            )));
+        }
+        columns
+            .iter()
+            .zip(params)
+            .map(|(col, (mean, std))| {
+                col.iter()
+                    .map(|v| {
+                        if v.is_null() {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Float((v.as_f64()? - mean) / std))
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "standard_scaler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floats(vals: &[f64]) -> Vec<Value> {
+        vals.iter().map(|&f| Value::Float(f)).collect()
+    }
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let mut sc = StandardScaler::new();
+        let out = sc.fit_transform(&[floats(&[1.0, 2.0, 3.0, 4.0])]).unwrap();
+        let zs: Vec<f64> = out[0].iter().map(|v| v.as_f64().unwrap()).collect();
+        let mean: f64 = zs.iter().sum::<f64>() / 4.0;
+        let var: f64 = zs.iter().map(|z| z * z).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_std_matches_sql_stddev_pop() {
+        let mut sc = StandardScaler::new();
+        sc.fit(&[floats(&[2.0, 4.0])]).unwrap();
+        // Population std of {2,4} is 1 (sample std would be sqrt(2)).
+        assert_eq!(sc.params().unwrap()[0], (3.0, 1.0));
+    }
+
+    #[test]
+    fn zero_variance_column_passes_through_centred() {
+        let mut sc = StandardScaler::new();
+        let out = sc.fit_transform(&[floats(&[5.0, 5.0])]).unwrap();
+        assert_eq!(out[0], floats(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn test_set_uses_train_parameters() {
+        let mut sc = StandardScaler::new();
+        sc.fit(&[floats(&[0.0, 10.0])]).unwrap();
+        let out = sc.transform(&[floats(&[5.0])]).unwrap();
+        assert_eq!(out[0][0], Value::Float(0.0));
+    }
+
+    #[test]
+    fn null_passes_through() {
+        let mut sc = StandardScaler::new();
+        let out = sc
+            .fit_transform(&[vec![Value::Float(1.0), Value::Null, Value::Float(3.0)]])
+            .unwrap();
+        assert_eq!(out[0][1], Value::Null);
+    }
+}

@@ -1,0 +1,83 @@
+//! `train_test_split`.
+
+use crate::error::{Result, SkError};
+use dataframe::DataFrame;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly split a frame into train and test parts (sklearn default
+/// `test_size=0.25`). A fixed seed gives reproducible experiments; the
+/// paper's accuracy table (Table 5) varies *because* the split and training
+/// are stochastic, which callers reproduce by varying the seed.
+pub fn train_test_split(
+    df: &DataFrame,
+    test_size: f64,
+    seed: u64,
+) -> Result<(DataFrame, DataFrame)> {
+    if !(0.0..1.0).contains(&test_size) || test_size <= 0.0 {
+        return Err(SkError::Invalid(format!(
+            "test_size must be in (0, 1), got {test_size}"
+        )));
+    }
+    let n = df.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_size).ceil() as usize;
+    let n_test = n_test.min(n);
+    let (test_idx, train_idx) = indices.split_at(n_test);
+    Ok((df.take(train_idx), df.take(test_idx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::Series;
+    use etypes::Value;
+
+    fn frame(n: usize) -> DataFrame {
+        DataFrame::from_columns(vec![Series::new(
+            "v",
+            (0..n as i64).map(Value::Int).collect(),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(&frame(100), 0.25, 0).unwrap();
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_disjoint() {
+        let (t1, s1) = train_test_split(&frame(20), 0.25, 42).unwrap();
+        let (t2, s2) = train_test_split(&frame(20), 0.25, 42).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        let mut all: Vec<i64> = t1
+            .column("v")
+            .unwrap()
+            .values()
+            .iter()
+            .chain(s1.column("v").unwrap().values())
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let (t1, _) = train_test_split(&frame(50), 0.25, 1).unwrap();
+        let (t2, _) = train_test_split(&frame(50), 0.25, 2).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn invalid_test_size_rejected() {
+        assert!(train_test_split(&frame(10), 0.0, 0).is_err());
+        assert!(train_test_split(&frame(10), 1.0, 0).is_err());
+    }
+}

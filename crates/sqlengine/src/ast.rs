@@ -1,0 +1,332 @@
+//! SQL abstract syntax tree.
+
+use etypes::{DataType, Value};
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `DROP TABLE [IF EXISTS] name` / `DROP VIEW [IF EXISTS] name`.
+    Drop {
+        /// Object name.
+        name: String,
+        /// True for views.
+        is_view: bool,
+        /// Swallow "does not exist".
+        if_exists: bool,
+    },
+    /// `INSERT INTO t [(cols)] VALUES (...), ...`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row literals.
+        values: Vec<Vec<Expr>>,
+    },
+    /// `COPY t [(cols)] FROM 'file' WITH (...)`.
+    Copy {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// CSV source path.
+        path: String,
+        /// Field delimiter (default `,`).
+        delimiter: char,
+        /// NULL spelling (default empty string).
+        null_str: String,
+        /// First line is a header.
+        header: bool,
+    },
+    /// `CREATE [MATERIALIZED] VIEW name AS query`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        query: Query,
+        /// Materialize at creation (stored relation).
+        materialized: bool,
+    },
+    /// A `SELECT` query (with optional `WITH` clause).
+    Select(Query),
+}
+
+/// A column definition in DDL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (case preserved if quoted).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+/// A query: `WITH ctes SELECT ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Common table expressions in declaration order.
+    pub ctes: Vec<Cte>,
+    /// The main select body.
+    pub body: SelectBody,
+}
+
+/// One CTE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    /// CTE name.
+    pub name: String,
+    /// Defining query (may itself reference earlier CTEs).
+    pub query: Box<Query>,
+    /// Explicit `MATERIALIZED` / `NOT MATERIALIZED` override, if given.
+    pub materialized: Option<bool>,
+}
+
+/// The `SELECT ... FROM ... WHERE ... GROUP BY ... ORDER BY ... LIMIT` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBody {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// FROM clause, if any (`SELECT 1` has none).
+    pub from: Option<TableRef>,
+    /// WHERE predicate.
+    pub selection: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all visible columns.
+    Wildcard,
+    /// `alias.*`.
+    QualifiedWildcard(String),
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// FROM-clause tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table, view or CTE reference with optional alias.
+    Named {
+        /// Object name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// Parenthesised subquery with alias.
+    Subquery {
+        /// Inner query.
+        query: Box<Query>,
+        /// Alias (required in PG, required here too).
+        alias: String,
+    },
+    /// A join of two table refs.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// ON condition (`None` for cross joins).
+        on: Option<Expr>,
+    },
+}
+
+/// Join kinds the generated SQL uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `INNER JOIN`
+    Inner,
+    /// `LEFT OUTER JOIN`
+    Left,
+    /// `RIGHT OUTER JOIN`
+    Right,
+    /// Full outer (completes the family; RIGHT OUTER is what Listing 1 uses).
+    Full,
+    /// `CROSS JOIN` / comma.
+    Cross,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `tb1."ssn"`.
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation (`-x`, `NOT x`).
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Function call, incl. aggregates; `count(*)` has `star = true`.
+    Function {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `count(DISTINCT x)`.
+        distinct: bool,
+        /// `count(*)`.
+        star: bool,
+        /// `OVER (ORDER BY ...)` window clause for `row_number`.
+        window_order: Option<Vec<OrderItem>>,
+    },
+    /// `CASE [WHEN cond THEN val]... [ELSE val] END`.
+    Case {
+        /// WHEN/THEN arms.
+        whens: Vec<(Expr, Expr)>,
+        /// ELSE arm.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Cast: `expr::type` or `CAST(expr AS type)`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: DataType,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Uncorrelated scalar subquery `(SELECT ...)`.
+    ScalarSubquery(Box<Query>),
+    /// `ARRAY[a, b, c]` literal.
+    ArrayLiteral(Vec<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `AND` (three-valued).
+    And,
+    /// `OR` (three-valued).
+    Or,
+    /// `||` — string or array concatenation.
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `NOT x`
+    Not,
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified column.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor for a qualified column.
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Split a conjunction into its factors.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}

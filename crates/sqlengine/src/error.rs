@@ -1,0 +1,76 @@
+//! SQL engine error type.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Errors raised while parsing, binding or executing SQL.
+#[derive(Debug)]
+pub enum SqlError {
+    /// Lexer/parser failure.
+    Parse {
+        /// Byte offset-derived line (1-based) where the failure occurred.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Name-resolution or typing failure.
+    Bind(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Catalog errors: unknown/duplicate tables and views.
+    Catalog(String),
+    /// Propagated value-layer error.
+    Value(etypes::Error),
+    /// Propagated I/O error (COPY).
+    Io(std::io::Error),
+}
+
+impl SqlError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn bind(message: impl Into<String>) -> SqlError {
+        SqlError::Bind(message.into())
+    }
+
+    pub(crate) fn exec(message: impl Into<String>) -> SqlError {
+        SqlError::Exec(message.into())
+    }
+
+    pub(crate) fn catalog(message: impl Into<String>) -> SqlError {
+        SqlError::Catalog(message.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { line, message } => write!(f, "parse error (line {line}): {message}"),
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+            SqlError::Catalog(m) => write!(f, "catalog error: {m}"),
+            SqlError::Value(e) => write!(f, "value error: {e}"),
+            SqlError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<etypes::Error> for SqlError {
+    fn from(e: etypes::Error) -> Self {
+        SqlError::Value(e)
+    }
+}
+
+impl From<std::io::Error> for SqlError {
+    fn from(e: std::io::Error) -> Self {
+        SqlError::Io(e)
+    }
+}

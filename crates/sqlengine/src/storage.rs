@@ -1,0 +1,222 @@
+//! In-memory relations and base tables.
+
+use crate::error::{Result, SqlError};
+use etypes::{DataType, Value};
+
+/// A materialized relation: schema plus row-major tuples. This is both the
+/// engine's result type and the storage format of base tables and
+/// materialized views.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    /// Column names in order.
+    pub columns: Vec<String>,
+    /// Column types in order.
+    pub types: Vec<DataType>,
+    /// Row-major tuples.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Construct, checking arity.
+    pub fn new(columns: Vec<String>, types: Vec<DataType>, rows: Vec<Vec<Value>>) -> Result<Self> {
+        if columns.len() != types.len() {
+            return Err(SqlError::exec("schema arity mismatch"));
+        }
+        for row in &rows {
+            if row.len() != columns.len() {
+                return Err(SqlError::exec(format!(
+                    "row arity {} does not match schema arity {}",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+        }
+        Ok(Relation {
+            columns,
+            types,
+            rows,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The single value of a 1x1 relation (scalar subquery result).
+    pub fn scalar(&self) -> Result<Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (0, _) => Ok(Value::Null),
+            (1, 1) => Ok(self.rows[0][0].clone()),
+            (r, c) => Err(SqlError::exec(format!(
+                "scalar subquery returned {r}x{c} result"
+            ))),
+        }
+    }
+
+    /// Rows sorted by all columns — canonical form for order-insensitive
+    /// comparisons in tests.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    /// Pretty-print as an aligned text table (debugging, examples).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A base table: a named relation whose row positions also serve as `ctid`
+/// tuple identifiers (paper §3.1). The engine never garbage-collects or
+/// reorders rows, so — unlike PostgreSQL's physical ctid — these identifiers
+/// are stable for the lifetime of the table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Data.
+    pub data: Relation,
+    /// Next value per serial column (by column index).
+    pub serial_next: Vec<(usize, i64)>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn empty(name: impl Into<String>, columns: Vec<String>, types: Vec<DataType>) -> Table {
+        let serial_next = types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == DataType::Serial)
+            .map(|(i, _)| (i, 1i64))
+            .collect();
+        Table {
+            name: name.into(),
+            data: Relation {
+                columns,
+                types,
+                rows: Vec::new(),
+            },
+            serial_next,
+        }
+    }
+
+    /// Append a row, filling serial columns whose value is NULL.
+    pub fn append(&mut self, mut row: Vec<Value>) -> Result<()> {
+        if row.len() != self.data.columns.len() {
+            return Err(SqlError::exec(format!(
+                "insert arity {} does not match table {} arity {}",
+                row.len(),
+                self.name,
+                self.data.columns.len()
+            )));
+        }
+        for (idx, next) in &mut self.serial_next {
+            if row[*idx].is_null() {
+                row[*idx] = Value::Int(*next);
+                *next += 1;
+            }
+        }
+        // Coerce cell types to declared column types where cheap.
+        for (cell, ty) in row.iter_mut().zip(&self.data.types) {
+            if !cell.is_null() {
+                if let Ok(coerced) = cell.cast(ty) {
+                    *cell = coerced;
+                }
+            }
+        }
+        self.data.rows.push(row);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_arity_checked() {
+        assert!(Relation::new(
+            vec!["a".into()],
+            vec![DataType::Int],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scalar_of_empty_is_null() {
+        let r = Relation::new(vec!["a".into()], vec![DataType::Int], vec![]).unwrap();
+        assert_eq!(r.scalar().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn serial_fills_on_append() {
+        let mut t = Table::empty(
+            "t",
+            vec!["index_".into(), "v".into()],
+            vec![DataType::Serial, DataType::Text],
+        );
+        t.append(vec![Value::Null, "a".into()]).unwrap();
+        t.append(vec![Value::Null, "b".into()]).unwrap();
+        assert_eq!(t.data.rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn append_coerces_declared_types() {
+        let mut t = Table::empty("t", vec!["v".into()], vec![DataType::Float]);
+        t.append(vec![Value::Int(3)]).unwrap();
+        assert_eq!(t.data.rows[0][0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn table_string_renders() {
+        let r = Relation::new(
+            vec!["a".into(), "bb".into()],
+            vec![DataType::Int, DataType::Text],
+            vec![vec![Value::Int(1), "x".into()]],
+        )
+        .unwrap();
+        let s = r.to_table_string();
+        assert!(s.contains("bb"));
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,52 @@
+//! Both adult pipelines (Table 1's *adult simple* and *adult complex*),
+//! executed on the SQL backend with inspection, printing the generated
+//! operator DAGs and the per-operator histograms of `race`.
+//!
+//! ```sh
+//! cargo run --release --example adult_pipelines
+//! ```
+
+use blue_elephants::datagen;
+use blue_elephants::mlinspect::{pipelines, PipelineInspector, SqlMode};
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+
+fn main() {
+    let train = datagen::adult_csv(3000, 11);
+    let test = datagen::adult_csv(1000, 12);
+
+    for (name, src) in [
+        ("adult simple", pipelines::ADULT_SIMPLE),
+        ("adult complex", pipelines::ADULT_COMPLEX),
+    ] {
+        let mut engine = Engine::new(EngineProfile::disk_based());
+        let result = PipelineInspector::on_pipeline(src)
+            .with_file("adult_train.csv", train.clone())
+            .with_file("adult_test.csv", test.clone())
+            .no_bias_introduced_for(&["race", "sex"], 0.25)
+            .execute_in_sql(&mut engine, SqlMode::View, true)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        println!("== {name} ==");
+        println!("{}", result.dag.describe());
+        println!("accuracy: {:.4}", result.accuracy().unwrap());
+
+        // Show how the race ratios move through the pipeline.
+        println!("race ratios per operator:");
+        for node in &result.dag.nodes {
+            if let Some(h) = result.inspections.histogram(node.id, "race") {
+                let ratios: Vec<String> = h
+                    .ratios()
+                    .iter()
+                    .map(|(v, r)| format!("{v}={r:.3}"))
+                    .collect();
+                println!(
+                    "  #{:<3} {:<16} {}",
+                    node.id,
+                    node.kind.label(),
+                    ratios.join("  ")
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's flagship scenario: the healthcare pipeline, inspected for
+//! technical bias on `race` and `age_group`, end-to-end including training.
+//!
+//! ```sh
+//! cargo run --release --example healthcare_bias
+//! ```
+
+use blue_elephants::datagen;
+use blue_elephants::mlinspect::{pipelines, PipelineInspector, SqlMode};
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+
+fn main() {
+    let patients = datagen::patients_csv(889, 42);
+    let histories = datagen::histories_csv(889, 42);
+
+    // Run the identical inspection on the baseline and on both database
+    // profiles.
+    let baseline = PipelineInspector::on_pipeline(pipelines::HEALTHCARE)
+        .with_file("patients.csv", patients.clone())
+        .with_file("histories.csv", histories.clone())
+        .no_bias_introduced_for(&["race", "age_group"], 0.25)
+        .no_illegal_features(&["race"])
+        .execute()
+        .expect("baseline run");
+
+    let mut postgres = Engine::new(EngineProfile::disk_based());
+    let in_postgres = PipelineInspector::on_pipeline(pipelines::HEALTHCARE)
+        .with_file("patients.csv", patients.clone())
+        .with_file("histories.csv", histories.clone())
+        .no_bias_introduced_for(&["race", "age_group"], 0.25)
+        .no_illegal_features(&["race"])
+        .execute_in_sql(&mut postgres, SqlMode::View, true)
+        .expect("postgres run");
+
+    let mut umbra = Engine::new(EngineProfile::in_memory());
+    let in_umbra = PipelineInspector::on_pipeline(pipelines::HEALTHCARE)
+        .with_file("patients.csv", patients)
+        .with_file("histories.csv", histories)
+        .no_bias_introduced_for(&["race", "age_group"], 0.25)
+        .no_illegal_features(&["race"])
+        .execute_in_sql(&mut umbra, SqlMode::Cte, false)
+        .expect("umbra run");
+
+    for (name, result) in [
+        ("pandas baseline", &baseline),
+        ("postgres (VIEW, materialized)", &in_postgres),
+        ("umbra (CTE)", &in_umbra),
+    ] {
+        println!("== {name} ==");
+        for check in &result.check_results {
+            let what = match &check.check {
+                blue_elephants::mlinspect::checks::Check::NoBiasIntroducedFor {
+                    columns, ..
+                } => format!("NoBiasIntroducedFor({})", columns.join(", ")),
+                blue_elephants::mlinspect::checks::Check::NoIllegalFeatures { .. } => {
+                    "NoIllegalFeatures".to_string()
+                }
+            };
+            println!(
+                "  {what}: {}",
+                if check.passed() { "PASSED" } else { "FAILED" }
+            );
+            for v in &check.bias_violations {
+                println!(
+                    "    line {} {} changed {} by {:+.1}%",
+                    result.dag.node(v.node).line,
+                    result.dag.node(v.node).kind.label(),
+                    v.column,
+                    v.max_abs_change * 100.0
+                );
+            }
+            for f in &check.illegal_features {
+                println!("    illegal feature: {f}");
+            }
+        }
+        if let Some(acc) = result.accuracy() {
+            println!("  model accuracy: {acc:.4}");
+        }
+    }
+
+    // All three agree on the verdicts.
+    assert_eq!(
+        baseline.check_results[0].passed(),
+        in_postgres.check_results[0].passed()
+    );
+    assert_eq!(
+        baseline.check_results[0].passed(),
+        in_umbra.check_results[0].passed()
+    );
+}

@@ -1,0 +1,54 @@
+//! The §6.6 experiment in miniature: inspect an increasing number of
+//! sensitive columns over the taxi workload and watch how each target's
+//! runtime scales (Figure 11's shape).
+//!
+//! ```sh
+//! cargo run --release --example taxi_inspection
+//! ```
+
+use blue_elephants::datagen::{self, taxi::INSPECTED_COLUMNS};
+use blue_elephants::mlinspect::{pipelines, PipelineInspector, SqlMode};
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+use std::time::Instant;
+
+fn main() {
+    let rows = 50_000;
+    let taxi = datagen::taxi_csv(rows, 2019);
+    println!("taxi rows: {rows}");
+    println!("{:<10} {:>14} {:>14} {:>14}", "#columns", "pandas", "pg-cte", "umbra-cte");
+
+    for k in 1..=INSPECTED_COLUMNS.len() {
+        let columns: Vec<&str> = INSPECTED_COLUMNS[..k].to_vec();
+
+        let t0 = Instant::now();
+        PipelineInspector::on_pipeline(pipelines::TAXI)
+            .with_file("taxi.csv", taxi.clone())
+            .no_bias_introduced_for(&columns, 0.25)
+            .execute()
+            .expect("pandas");
+        let t_pandas = t0.elapsed();
+
+        let mut pg = Engine::new(EngineProfile::disk_based());
+        let t0 = Instant::now();
+        PipelineInspector::on_pipeline(pipelines::TAXI)
+            .with_file("taxi.csv", taxi.clone())
+            .no_bias_introduced_for(&columns, 0.25)
+            .execute_in_sql(&mut pg, SqlMode::Cte, false)
+            .expect("pg");
+        let t_pg = t0.elapsed();
+
+        let mut umbra = Engine::new(EngineProfile::in_memory());
+        let t0 = Instant::now();
+        PipelineInspector::on_pipeline(pipelines::TAXI)
+            .with_file("taxi.csv", taxi.clone())
+            .no_bias_introduced_for(&columns, 0.25)
+            .execute_in_sql(&mut umbra, SqlMode::Cte, false)
+            .expect("umbra");
+        let t_umbra = t0.elapsed();
+
+        println!(
+            "{k:<10} {:>14?} {:>14?} {:>14?}",
+            t_pandas, t_pg, t_umbra
+        );
+    }
+}

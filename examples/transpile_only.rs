@@ -1,0 +1,25 @@
+//! Print the SQL the backend generates for the healthcare pipeline — the
+//! paper's "functionality to generate inspection-enabled SQL queries from
+//! pipelines written in Python without execution".
+//!
+//! ```sh
+//! cargo run --example transpile_only           # CTE mode
+//! cargo run --example transpile_only -- view   # VIEW mode, materialized
+//! ```
+
+use blue_elephants::datagen;
+use blue_elephants::mlinspect::{pipelines, PipelineInspector, SqlMode};
+
+fn main() {
+    let view_mode = std::env::args().any(|a| a == "view");
+    let mode = if view_mode { SqlMode::View } else { SqlMode::Cte };
+
+    let transpiled = PipelineInspector::on_pipeline(pipelines::HEALTHCARE)
+        .with_file("patients.csv", datagen::patients_csv(20, 1))
+        .with_file("histories.csv", datagen::histories_csv(20, 1))
+        .transpile_only(mode)
+        .expect("transpilation");
+
+    println!("-- {} table expressions generated", transpiled.container.len());
+    println!("{}", transpiled.script(mode, view_mode));
+}

@@ -1,0 +1,22 @@
+//! Blue Elephants Inspecting Pandas — Rust reproduction (EDBT 2023).
+//!
+//! This façade crate re-exports the whole workspace so examples and
+//! integration tests can reach every layer through one dependency:
+//!
+//! - [`mlinspect`] — the paper's contribution: pipeline capture, SQL
+//!   transpilation with tuple tracking, and bias inspection.
+//! - [`sqlengine`] — the database substrate (PostgreSQL- and Umbra-like
+//!   execution profiles).
+//! - [`dataframe`] — the pandas-like baseline the paper benchmarks against.
+//! - [`sklearn`] — scikit-learn preprocessing + simple trainable models.
+//! - [`pyparser`] — the Python-subset parser feeding pipeline capture.
+//! - [`datagen`] — synthetic healthcare / compas / adult / taxi datasets.
+//! - [`etypes`] — shared scalar values, types and CSV.
+
+pub use dataframe;
+pub use datagen;
+pub use etypes;
+pub use mlinspect;
+pub use pyparser;
+pub use sklearn;
+pub use sqlengine;

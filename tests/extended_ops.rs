@@ -1,0 +1,136 @@
+//! The §7-outlook extension operators (`fillna`, `head`, `sort_values`,
+//! `drop`): captured, executed on both backends, and equivalent.
+
+use blue_elephants::mlinspect::{PipelineInspector, SqlMode};
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+use etypes::Value;
+
+const PIPELINE: &str = r#"
+data = pd.read_csv('people.csv', na_values='?')
+data = data.fillna('unknown')
+data = data.sort_values(by=['age'], ascending=False)
+data = data.drop(columns=['ssn'])
+top = data.head(3)
+print(top)
+"#;
+
+const CSV: &str = "\
+age,city,ssn
+31,?,s1
+54,berlin,s2
+22,munich,s3
+47,?,s4
+39,paris,s5
+";
+
+fn run_pandas() -> blue_elephants::mlinspect::InspectorResult {
+    PipelineInspector::on_pipeline(PIPELINE)
+        .with_file("people.csv", CSV)
+        .keep_relations(true)
+        .execute()
+        .unwrap()
+}
+
+fn run_sql(mode: SqlMode) -> blue_elephants::mlinspect::InspectorResult {
+    let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
+    PipelineInspector::on_pipeline(PIPELINE)
+        .with_file("people.csv", CSV)
+        .keep_relations(true)
+        .execute_in_sql(&mut engine, mode, false)
+        .unwrap()
+}
+
+#[test]
+fn extended_ops_are_captured() {
+    let result = run_pandas();
+    let labels: Vec<&str> = result.dag.nodes.iter().map(|n| n.kind.label()).collect();
+    assert_eq!(
+        labels,
+        vec!["read_csv", "fillna", "sort_values", "drop_columns", "head"]
+    );
+}
+
+#[test]
+fn backends_agree_on_extended_ops() {
+    let pandas = run_pandas();
+    for mode in [SqlMode::Cte, SqlMode::View] {
+        let sql = run_sql(mode);
+        for node in &pandas.dag.nodes {
+            let (Some(p), Some(s)) =
+                (pandas.relations.get(&node.id), sql.relations.get(&node.id))
+            else {
+                continue;
+            };
+            assert_eq!(p.columns, s.columns, "{mode:?} node {}", node.id);
+            // head/sort are order-sensitive: compare rows in order.
+            assert_eq!(p.rows, s.rows, "{mode:?} node {}", node.id);
+        }
+    }
+}
+
+#[test]
+fn fillna_replaces_only_compatible_nulls() {
+    let result = run_pandas();
+    let fillna = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "fillna")
+        .unwrap();
+    let rel = &result.relations[&fillna.id];
+    let city = rel.columns.iter().position(|c| c == "city").unwrap();
+    assert!(rel.rows.iter().all(|r| !r[city].is_null()));
+    assert!(rel
+        .rows
+        .iter()
+        .any(|r| r[city] == Value::text("unknown")));
+}
+
+#[test]
+fn head_respects_sorted_order() {
+    let result = run_pandas();
+    let head = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "head")
+        .unwrap();
+    let rel = &result.relations[&head.id];
+    assert_eq!(rel.rows.len(), 3);
+    let ages: Vec<i64> = rel
+        .rows
+        .iter()
+        .map(|r| r[rel.columns.iter().position(|c| c == "age").unwrap()].as_i64().unwrap())
+        .collect();
+    assert_eq!(ages, vec![54, 47, 39]);
+}
+
+#[test]
+fn dropped_column_is_gone_but_still_inspectable() {
+    // `ssn` is dropped; sensitive inspection on it must still work through
+    // the tuple identifiers.
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    let result = PipelineInspector::on_pipeline(PIPELINE)
+        .with_file("people.csv", CSV)
+        .no_bias_introduced_for(&["city"], 0.9)
+        .execute_in_sql(&mut engine, SqlMode::Cte, false)
+        .unwrap();
+    let drop_node = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "drop_columns")
+        .unwrap();
+    // city is still present after drop (only ssn was dropped) — and the
+    // histogram at the head node (3 rows) reflects the sorted prefix.
+    let head = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "head")
+        .unwrap();
+    let h = result.inspections.histogram(head.id, "city").unwrap();
+    assert_eq!(h.total(), 3);
+    let before = result.inspections.histogram(drop_node.id, "city").unwrap();
+    assert_eq!(before.total(), 5);
+}

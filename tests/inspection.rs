@@ -1,0 +1,187 @@
+//! Inspection semantics: the paper's §3 scenarios — bias introduced for a
+//! column the pipeline projected away, thresholds, and ratio bookkeeping.
+
+use blue_elephants::datagen;
+use blue_elephants::mlinspect::checks::CheckOutcome;
+use blue_elephants::mlinspect::inspection::Inspection;
+use blue_elephants::mlinspect::{pipelines, PipelineInspector, SqlMode};
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+use etypes::Value;
+
+/// The paper's Figure 3/4 example data: county_2/county_3 selection flips
+/// the age_group ratios by exactly ±0.25 although age_group was projected
+/// away, while race stays under threshold.
+const FIGURE3_PIPELINE: &str = r#"
+data = pd.read_csv('example.csv', na_values='?')
+data = data[['county']]
+data = data[data['county'].isin(['county_2', 'county_3'])]
+"#;
+
+/// Six tuples arranged to reproduce Figure 4 exactly: the county selection
+/// keeps four rows, moving age_group by ±0.25 and race by at most ±0.084.
+const FIGURE3_CSV: &str = "\
+county,race,age_group
+county_1,race_1,age_group_1
+county_1,race_2,age_group_1
+county_2,race_3,age_group_2
+county_2,race_2,age_group_2
+county_3,race_2,age_group_2
+county_3,race_1,age_group_1
+";
+
+fn run_fig3(threshold: f64) -> blue_elephants::mlinspect::InspectorResult {
+    let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
+    PipelineInspector::on_pipeline(FIGURE3_PIPELINE)
+        .with_file("example.csv", FIGURE3_CSV)
+        .no_bias_introduced_for(&["race", "age_group"], threshold)
+        .execute_in_sql(&mut engine, SqlMode::Cte, false)
+        .unwrap()
+}
+
+#[test]
+fn bias_detected_for_projected_away_column() {
+    let result = run_fig3(0.25);
+    let check = &result.check_results[0];
+    assert_eq!(check.outcome, CheckOutcome::Failed);
+    // The violation is on age_group (changed by exactly 25%), at the
+    // selection node, not on race (max change 8.4%).
+    assert!(check
+        .bias_violations
+        .iter()
+        .all(|v| v.column == "age_group"));
+    let violation = &check.bias_violations[0];
+    assert_eq!(
+        result.dag.node(violation.node).kind.label(),
+        "selection"
+    );
+    assert!((violation.max_abs_change - 0.25).abs() < 1e-9);
+}
+
+#[test]
+fn figure4_ratios_reproduced() {
+    // Before: age_group_1 0.5, age_group_2 0.5; after: 0.25 / 0.75.
+    let result = run_fig3(0.25);
+    let violation = &result.check_results[0].bias_violations[0];
+    let before = &violation.change.before;
+    let after = &violation.change.after;
+    assert_eq!(before.ratio(&Value::text("age_group_1")), 0.5);
+    assert_eq!(before.ratio(&Value::text("age_group_2")), 0.5);
+    assert_eq!(after.ratio(&Value::text("age_group_1")), 0.25);
+    assert_eq!(after.ratio(&Value::text("age_group_2")), 0.75);
+}
+
+#[test]
+fn race_change_stays_under_threshold() {
+    // Figure 4's right table: race moves by at most +0.084, under the 25%
+    // threshold, so the only violations concern age_group (checked above).
+    let result = run_fig3(2.0); // threshold high: nothing flagged
+    assert!(result.check_results[0].passed());
+    let selection = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "selection")
+        .unwrap();
+    let h = result
+        .inspections
+        .histogram(selection.id, "race")
+        .unwrap();
+    assert_eq!(h.total(), 4);
+    assert_eq!(h.ratio(&Value::text("race_2")), 0.5);
+    assert_eq!(h.ratio(&Value::text("race_3")), 0.25);
+}
+
+#[test]
+fn threshold_boundary_is_inclusive() {
+    // Change of exactly 25% fails a 25% threshold ("changed by more than or
+    // equal to 25%", §3.2).
+    let result = run_fig3(0.25);
+    assert!(!result.check_results[0].passed());
+    let relaxed = run_fig3(0.2501);
+    assert!(relaxed.check_results[0].passed());
+}
+
+#[test]
+fn lineage_and_first_rows_inspections_work_in_sql() {
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    let result = PipelineInspector::on_pipeline(FIGURE3_PIPELINE)
+        .with_file("example.csv", FIGURE3_CSV)
+        .add_inspection(Inspection::RowLineage(2))
+        .add_inspection(Inspection::MaterializeFirstOutputRows(2))
+        .execute_in_sql(&mut engine, SqlMode::View, false)
+        .unwrap();
+    // Row lineage for the selection: ctids referencing the base table.
+    let selection = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "selection")
+        .unwrap();
+    let lineage = &result.inspections.lineage[&selection.id];
+    assert_eq!(lineage.ctid_columns.len(), 1);
+    assert!(lineage.rows.len() <= 2);
+    let sample = &result.inspections.first_rows[&selection.id];
+    assert_eq!(sample.columns, vec!["county"]);
+    assert!(!sample.to_table_string().is_empty());
+}
+
+#[test]
+fn healthcare_join_back_after_aggregation_uses_unnest() {
+    // The groupby node's histogram for race requires unnesting the
+    // aggregated tuple identifiers (paper Listing 3).
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    let result = PipelineInspector::on_pipeline(pipelines::HEALTHCARE)
+        .with_file("patients.csv", datagen::patients_csv(120, 3))
+        .with_file("histories.csv", datagen::histories_csv(120, 3))
+        .no_bias_introduced_for(&["race"], 0.9)
+        .execute_in_sql(&mut engine, SqlMode::Cte, false)
+        .unwrap();
+    let agg = result
+        .dag
+        .nodes
+        .iter()
+        .find(|n| n.kind.label() == "groupby_agg")
+        .unwrap();
+    let h = result
+        .inspections
+        .histogram(agg.id, "race")
+        .expect("race restored through aggregated ctids");
+    // Aggregation does not drop tuples: the unnested count equals the
+    // pre-aggregation row count.
+    let input = agg.kind.inputs()[0];
+    let before = result.inspections.histogram(input, "race").unwrap();
+    assert_eq!(h.total(), before.total());
+}
+
+#[test]
+fn no_bias_for_row_preserving_operations() {
+    // A projection and a set_item do not change ratios: any measured
+    // operator-level change is exactly zero.
+    let pipeline = r#"
+data = pd.read_csv('example.csv', na_values='?')
+data['flag'] = data['county'] == 'county_1'
+data = data[['county', 'flag']]
+"#;
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    let result = PipelineInspector::on_pipeline(pipeline)
+        .with_file("example.csv", FIGURE3_CSV)
+        .no_bias_introduced_for(&["race", "age_group"], 1e-12)
+        .execute_in_sql(&mut engine, SqlMode::Cte, false)
+        .unwrap();
+    assert!(
+        result.check_results[0].passed(),
+        "{:?}",
+        result.check_results[0].bias_violations
+    );
+}
+
+#[test]
+fn pandas_baseline_detects_the_same_violation() {
+    let baseline = PipelineInspector::on_pipeline(FIGURE3_PIPELINE)
+        .with_file("example.csv", FIGURE3_CSV)
+        .no_bias_introduced_for(&["race", "age_group"], 0.25)
+        .execute()
+        .unwrap();
+    assert!(!baseline.check_results[0].passed());
+    assert_eq!(baseline.check_results[0].bias_violations[0].column, "age_group");
+}

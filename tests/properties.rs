@@ -1,0 +1,188 @@
+//! Property-based tests over the system's core invariants.
+
+use blue_elephants::dataframe::{DataFrame, Series};
+use blue_elephants::mlinspect::backends::split_hash;
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+use etypes::{read_csv_str, write_csv, CsvOptions, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 8.0)),
+        "[a-z]{0,6}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    /// Value's total order is antisymmetric and transitive (sort safety).
+    #[test]
+    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Equal values hash equally (group-by key safety).
+    #[test]
+    fn value_hash_consistent_with_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b));
+        }
+    }
+
+    /// CSV write → read round-trips rows (modulo numeric re-typing).
+    #[test]
+    fn csv_round_trip(rows in proptest::collection::vec(
+        (0i64..100, "[a-z]{1,5}", proptest::option::of("[a-z ,]{0,8}")),
+        1..20,
+    )) {
+        let columns = vec!["n".to_string(), "w".to_string(), "t".to_string()];
+        let data: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(n, w, t)| {
+                vec![
+                    Value::Int(*n),
+                    Value::text(w.clone()),
+                    t.as_ref()
+                        .filter(|s| !s.is_empty())
+                        .map(|s| Value::text(s.clone()))
+                        .unwrap_or(Value::Null),
+                ]
+            })
+            .collect();
+        let text = write_csv(&columns, &data, ',');
+        let parsed = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(parsed.rows, data);
+    }
+
+    /// The shared split hash partitions any ctid set: every row lands in
+    /// exactly one side, and both backends use the same rule.
+    #[test]
+    fn split_is_a_partition(ctids in proptest::collection::vec(0i64..1_000_000, 1..200), seed in 0u64..1000) {
+        for &c in &ctids {
+            let h = split_hash(c, seed);
+            prop_assert!((0..100).contains(&h));
+            let in_test = h < 25;
+            let in_train = h >= 25;
+            prop_assert!(in_test != in_train);
+        }
+    }
+
+    /// SQL GROUP BY count equals the dataframe groupby count on the same
+    /// data — a cross-substrate metamorphic test.
+    #[test]
+    fn sql_and_dataframe_group_counts_agree(
+        values in proptest::collection::vec(0i64..5, 1..60),
+    ) {
+        // Dataframe side.
+        let df = DataFrame::from_columns(vec![Series::new(
+            "g",
+            values.iter().map(|v| Value::Int(*v)).collect(),
+        )])
+        .unwrap();
+        let agg = df
+            .groupby(&["g"])
+            .unwrap()
+            .agg(&[blue_elephants::dataframe::AggSpec {
+                output: "n".into(),
+                input: "g".into(),
+                func: blue_elephants::dataframe::AggFunc::Count,
+            }])
+            .unwrap();
+        let mut df_counts: Vec<(i64, i64)> = (0..agg.len())
+            .map(|i| {
+                (
+                    agg.column("g").unwrap().values()[i].as_i64().unwrap(),
+                    agg.column("n").unwrap().values()[i].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        df_counts.sort_unstable();
+
+        // SQL side.
+        let mut engine = Engine::new(EngineProfile::in_memory());
+        engine.execute("CREATE TABLE t (g int)").unwrap();
+        let inserts: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
+        engine
+            .execute(&format!("INSERT INTO t VALUES {}", inserts.join(", ")))
+            .unwrap();
+        let rel = engine
+            .query("SELECT g, count(*) AS n FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        let sql_counts: Vec<(i64, i64)> = rel
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        prop_assert_eq!(df_counts, sql_counts);
+    }
+
+    /// Filters commute with ratio measurement: a WHERE TRUE filter never
+    /// changes histogram ratios (operators that keep all rows introduce no
+    /// bias — the paper's §3.2 claim, as a property).
+    #[test]
+    fn row_preserving_filter_conserves_ratios(
+        values in proptest::collection::vec(0i64..4, 1..50),
+    ) {
+        let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
+        engine.execute("CREATE TABLE t (s int)").unwrap();
+        let inserts: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
+        engine
+            .execute(&format!("INSERT INTO t VALUES {}", inserts.join(", ")))
+            .unwrap();
+        let before = engine
+            .query("SELECT s, count(*) FROM t GROUP BY s")
+            .unwrap();
+        let after = engine
+            .query(
+                "WITH kept AS (SELECT s, ctid FROM t WHERE 1 = 1)
+                 SELECT s, count(*) FROM kept GROUP BY s",
+            )
+            .unwrap();
+        prop_assert_eq!(before.sorted_rows(), after.sorted_rows());
+    }
+
+    /// Selections never invent tuples: every (value, count) after a filter
+    /// is bounded by its count before — the monotonicity the bias check's
+    /// join-back relies on.
+    #[test]
+    fn selection_counts_are_monotone(
+        values in proptest::collection::vec((0i64..4, 0i64..10), 1..50),
+        threshold in 0i64..10,
+    ) {
+        let mut engine = Engine::new(EngineProfile::in_memory());
+        engine.execute("CREATE TABLE t (s int, v int)").unwrap();
+        let inserts: Vec<String> = values.iter().map(|(s, v)| format!("({s}, {v})")).collect();
+        engine
+            .execute(&format!("INSERT INTO t VALUES {}", inserts.join(", ")))
+            .unwrap();
+        let before = engine
+            .query("SELECT s, count(*) FROM t GROUP BY s")
+            .unwrap();
+        let after = engine
+            .query(&format!(
+                "SELECT s, count(*) FROM t WHERE v > {threshold} GROUP BY s"
+            ))
+            .unwrap();
+        for row in &after.rows {
+            let b = before
+                .rows
+                .iter()
+                .find(|r| r[0] == row[0])
+                .expect("group existed before");
+            prop_assert!(row[1].as_i64().unwrap() <= b[1].as_i64().unwrap());
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! 3. **view materialization under repeated inspection** — why §6.3's
 //!    materialized views pay off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::Group;
 use mlinspect::backends::pandas::FileRegistry;
 use mlinspect::backends::sql::SqlBackend;
 use mlinspect::backends::{BaselineCosts, RunConfig};
@@ -40,59 +40,56 @@ fn run_taxi(profile: EngineProfile, mode: SqlMode, materialize: bool) {
     let config = inspection_config(&["passenger_count", "trip_distance", "payment_type"]);
     let captured = capture_with_seed(pipelines::TAXI, 0).unwrap();
     let mut engine = Engine::new(profile);
-    SqlBackend::run(&captured.dag, &files, &config, &mut engine, mode, materialize).unwrap();
+    SqlBackend::run(
+        &captured.dag,
+        &files,
+        &config,
+        &mut engine,
+        mode,
+        materialize,
+    )
+    .unwrap();
 }
 
-fn bench_optimizer_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer_ablation");
+fn bench_optimizer_ablation() {
+    let mut group = Group::new("optimizer_ablation");
     group.sample_size(10);
     let mut on = EngineProfile::in_memory();
     on.name = "opt-on".into();
     let mut off = EngineProfile::in_memory();
     off.name = "opt-off".into();
     off.enable_optimizer = false;
-    group.bench_function("holistic_on", |b| {
-        b.iter(|| run_taxi(on.clone(), SqlMode::View, false))
+    group.bench_function("holistic_on", || run_taxi(on.clone(), SqlMode::View, false));
+    group.bench_function("holistic_off", || {
+        run_taxi(off.clone(), SqlMode::View, false)
     });
-    group.bench_function("holistic_off", |b| {
-        b.iter(|| run_taxi(off.clone(), SqlMode::View, false))
-    });
-    group.finish();
 }
 
-fn bench_cte_fence_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cte_fence_ablation");
+fn bench_cte_fence_ablation() {
+    let mut group = Group::new("cte_fence_ablation");
     group.sample_size(10);
     // Same disk profile; the only difference is whether the fence applies.
     let fenced = EngineProfile::disk_based_no_latency();
     let mut inlined = EngineProfile::disk_based_no_latency();
     inlined.materialize_ctes = false;
-    group.bench_function("fenced", |b| {
-        b.iter(|| run_taxi(fenced.clone(), SqlMode::Cte, false))
-    });
-    group.bench_function("inlined", |b| {
-        b.iter(|| run_taxi(inlined.clone(), SqlMode::Cte, false))
-    });
-    group.finish();
+    group.bench_function("fenced", || run_taxi(fenced.clone(), SqlMode::Cte, false));
+    group.bench_function("inlined", || run_taxi(inlined.clone(), SqlMode::Cte, false));
 }
 
-fn bench_materialization_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("materialization_ablation");
+fn bench_materialization_ablation() {
+    let mut group = Group::new("materialization_ablation");
     group.sample_size(10);
     let profile = EngineProfile::disk_based_no_latency();
-    group.bench_function("views_plain", |b| {
-        b.iter(|| run_taxi(profile.clone(), SqlMode::View, false))
+    group.bench_function("views_plain", || {
+        run_taxi(profile.clone(), SqlMode::View, false)
     });
-    group.bench_function("views_materialized", |b| {
-        b.iter(|| run_taxi(profile.clone(), SqlMode::View, true))
+    group.bench_function("views_materialized", || {
+        run_taxi(profile.clone(), SqlMode::View, true)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_optimizer_ablation,
-    bench_cte_fence_ablation,
-    bench_materialization_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_optimizer_ablation();
+    bench_cte_fence_ablation();
+    bench_materialization_ablation();
+}

@@ -2,7 +2,7 @@
 //! individual operators the pipelines are made of (selection, join,
 //! group-by) — the substrate behind Figure 10's per-operation view.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::Group;
 use dataframe::{AggFunc, AggSpec, DataFrame, ElemOp, JoinType};
 use etypes::Value;
 use sqlengine::{Engine, EngineProfile};
@@ -30,35 +30,30 @@ fn seed_frame() -> DataFrame {
     .unwrap()
 }
 
-fn bench_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selection");
+fn bench_selection() {
+    let mut group = Group::new("selection");
     let df = seed_frame();
-    group.bench_function("dataframe", |b| {
-        b.iter(|| {
-            let mask = df
-                .column("v")
-                .unwrap()
-                .binary_scalar(ElemOp::Gt, &Value::Int(500))
-                .unwrap();
-            df.filter(&mask).unwrap()
-        })
+    group.bench_function("dataframe", || {
+        let mask = df
+            .column("v")
+            .unwrap()
+            .binary_scalar(ElemOp::Gt, &Value::Int(500))
+            .unwrap();
+        std::hint::black_box(df.filter(&mask).unwrap());
     });
     for profile in [EngineProfile::in_memory(), EngineProfile::disk_based()] {
         let mut e = seed_engine(profile.clone());
-        group.bench_with_input(
-            BenchmarkId::new("sql", &profile.name),
-            &profile.name,
-            |b, _| b.iter(|| e.query("SELECT g, v FROM t WHERE v > 500").unwrap()),
-        );
+        group.bench_function(format!("sql/{}", profile.name), || {
+            std::hint::black_box(e.query("SELECT g, v FROM t WHERE v > 500").unwrap());
+        });
     }
-    group.finish();
 }
 
-fn bench_group_by(c: &mut Criterion) {
-    let mut group = c.benchmark_group("group_by");
+fn bench_group_by() {
+    let mut group = Group::new("group_by");
     let df = seed_frame();
-    group.bench_function("dataframe", |b| {
-        b.iter(|| {
+    group.bench_function("dataframe", || {
+        std::hint::black_box(
             df.groupby(&["g"])
                 .unwrap()
                 .agg(&[AggSpec {
@@ -66,34 +61,33 @@ fn bench_group_by(c: &mut Criterion) {
                     input: "v".into(),
                     func: AggFunc::Mean,
                 }])
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
     for profile in [EngineProfile::in_memory(), EngineProfile::disk_based()] {
         let mut e = seed_engine(profile.clone());
-        group.bench_with_input(
-            BenchmarkId::new("sql", &profile.name),
-            &profile.name,
-            |b, _| b.iter(|| e.query("SELECT g, avg(v) AS m FROM t GROUP BY g").unwrap()),
-        );
+        group.bench_function(format!("sql/{}", profile.name), || {
+            std::hint::black_box(e.query("SELECT g, avg(v) AS m FROM t GROUP BY g").unwrap());
+        });
     }
-    group.finish();
 }
 
-fn bench_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join");
+fn bench_join() {
+    let mut group = Group::new("join");
     group.sample_size(20);
     let df = seed_frame();
     let lookup = DataFrame::from_columns(vec![
         dataframe::Series::new("g", (0..10).map(Value::Int).collect::<Vec<_>>()),
         dataframe::Series::new(
             "label",
-            (0..10).map(|i| Value::text(format!("g{i}"))).collect::<Vec<_>>(),
+            (0..10)
+                .map(|i| Value::text(format!("g{i}")))
+                .collect::<Vec<_>>(),
         ),
     ])
     .unwrap();
-    group.bench_function("dataframe", |b| {
-        b.iter(|| df.merge(&lookup, &["g"], JoinType::Inner).unwrap())
+    group.bench_function("dataframe", || {
+        std::hint::black_box(df.merge(&lookup, &["g"], JoinType::Inner).unwrap());
     });
     for profile in [EngineProfile::in_memory(), EngineProfile::disk_based()] {
         let mut e = seed_engine(profile.clone());
@@ -101,43 +95,40 @@ fn bench_join(c: &mut Criterion) {
         let rows: Vec<String> = (0..10).map(|i| format!("({i}, 'g{i}')")).collect();
         e.execute(&format!("INSERT INTO lk VALUES {}", rows.join(",")))
             .unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("sql", &profile.name),
-            &profile.name,
-            |b, _| {
-                b.iter(|| {
-                    e.query("SELECT t.g, v, label FROM t INNER JOIN lk ON t.g = lk.g")
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_function(format!("sql/{}", profile.name), || {
+            std::hint::black_box(
+                e.query("SELECT t.g, v, label FROM t INNER JOIN lk ON t.g = lk.g")
+                    .unwrap(),
+            );
+        });
     }
-    group.finish();
 }
 
-fn bench_cte_fence(c: &mut Criterion) {
+fn bench_cte_fence() {
     // The optimization fence itself: the same query with a fenced vs an
     // inlined CTE, on the same (in-memory) engine.
-    let mut group = c.benchmark_group("cte_fence");
+    let mut group = Group::new("cte_fence");
     let mut e = seed_engine(EngineProfile::in_memory());
-    group.bench_function("inlined", |b| {
-        b.iter(|| {
-            e.query(
-                "WITH c AS (SELECT g, v FROM t) SELECT count(*) AS n FROM c WHERE v > 900",
-            )
-            .unwrap()
-        })
+    group.bench_function("inlined", || {
+        std::hint::black_box(
+            e.query("WITH c AS (SELECT g, v FROM t) SELECT count(*) AS n FROM c WHERE v > 900")
+                .unwrap(),
+        );
     });
-    group.bench_function("fenced", |b| {
-        b.iter(|| {
+    let mut e = seed_engine(EngineProfile::in_memory());
+    group.bench_function("fenced", || {
+        std::hint::black_box(
             e.query(
                 "WITH c AS MATERIALIZED (SELECT g, v FROM t) SELECT count(*) AS n FROM c WHERE v > 900",
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_selection, bench_group_by, bench_join, bench_cte_fence);
-criterion_main!(benches);
+fn main() {
+    bench_selection();
+    bench_group_by();
+    bench_join();
+    bench_cte_fence();
+}

@@ -1,36 +1,26 @@
-//! Criterion counterpart of Figure 7 at one fixed size: each pipeline's
+//! Microbenchmark counterpart of Figure 7 at one fixed size: each pipeline's
 //! preprocessing phase on the baseline and the two engine profiles.
 
+use bench::microbench::Group;
 use bench::{run_once, Phase, Target};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const ROWS: usize = 2_000;
 
-fn bench_phase(c: &mut Criterion, phase: Phase) {
-    let mut group = c.benchmark_group(phase.name());
+fn bench_phase(phase: Phase) {
+    let mut group = Group::new(phase.name());
     group.sample_size(10);
     for pipeline in ["healthcare", "compas", "adult simple", "adult complex"] {
         for target in [Target::Pandas, Target::PgViewMat, Target::UmbraCte] {
             let label = format!("{}/{}", pipeline.replace(' ', "_"), target.name());
-            group.bench_with_input(BenchmarkId::from_parameter(label), &target, |b, t| {
-                b.iter(|| run_once(pipeline, phase, *t, ROWS, 0))
+            group.bench_function(label, || {
+                std::hint::black_box(run_once(pipeline, phase, target, ROWS, 0));
             });
         }
     }
-    group.finish();
 }
 
-fn bench_pandas_ops(c: &mut Criterion) {
-    bench_phase(c, Phase::PandasOnly);
+fn main() {
+    bench_phase(Phase::PandasOnly);
+    bench_phase(Phase::Preprocessing);
+    bench_phase(Phase::Inspection);
 }
-
-fn bench_preprocessing(c: &mut Criterion) {
-    bench_phase(c, Phase::Preprocessing);
-}
-
-fn bench_inspection(c: &mut Criterion) {
-    bench_phase(c, Phase::Inspection);
-}
-
-criterion_group!(benches, bench_pandas_ops, bench_preprocessing, bench_inspection);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion counterpart of Table 3: transpilation time per pipeline and
-//! target mode. The paper reports 17–134 ms (CPython); the Rust pipeline
+//! Microbenchmark counterpart of Table 3: transpilation time per pipeline
+//! and target mode. The paper reports 17–134 ms (CPython); the Rust pipeline
 //! capture + SQL generation is far below that, but the *relative* shape
 //! (healthcare/compas > adult; +inspection > +sklearn > pandas) holds.
 
 use bench::data::pipeline_files_cached;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::Group;
 use mlinspect::backends::pandas::FileRegistry;
 use mlinspect::backends::sql::SqlBackend;
 use mlinspect::capture::capture_with_seed;
@@ -29,34 +29,31 @@ fn source(pipeline: &str) -> &'static str {
     }
 }
 
-fn bench_transpile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transpile");
+fn bench_transpile() {
+    let mut group = Group::new("transpile");
     for pipeline in ["healthcare", "compas", "adult_simple", "adult_complex"] {
         let files = registry(pipeline);
         let src = source(pipeline);
         for mode in [SqlMode::Cte, SqlMode::View] {
-            let label = format!("{pipeline}/{mode:?}");
-            group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
-                b.iter(|| {
-                    let captured = capture_with_seed(src, 0).unwrap();
-                    SqlBackend::transpile(&captured.dag, &files, *mode).unwrap()
-                })
+            group.bench_function(format!("{pipeline}/{mode:?}"), || {
+                let captured = capture_with_seed(src, 0).unwrap();
+                std::hint::black_box(SqlBackend::transpile(&captured.dag, &files, mode).unwrap());
             });
         }
     }
-    group.finish();
 }
 
-fn bench_capture(c: &mut Criterion) {
-    let mut group = c.benchmark_group("capture");
+fn bench_capture() {
+    let mut group = Group::new("capture");
     for pipeline in ["healthcare", "compas"] {
         let src = source(pipeline);
-        group.bench_function(pipeline, |b| {
-            b.iter(|| capture_with_seed(src, 0).unwrap())
+        group.bench_function(pipeline, || {
+            std::hint::black_box(capture_with_seed(src, 0).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_transpile, bench_capture);
-criterion_main!(benches);
+fn main() {
+    bench_transpile();
+    bench_capture();
+}

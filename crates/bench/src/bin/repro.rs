@@ -18,6 +18,46 @@
 //! | `fig10`  | operation-level breakdown (compas) |
 //! | `fig11`  | runtime vs. number of inspected columns (taxi) |
 
+/// Print a line to stdout *and* append it to the per-command artifact under
+/// `target/repro/` (when the tee initialized successfully).
+macro_rules! out {
+    () => { crate::tee::line("") };
+    ($($t:tt)*) => { crate::tee::line(&format!($($t)*)) };
+}
+
+mod tee {
+    //! Mirrors repro output into `target/repro/repro_<command>.txt` so runs
+    //! leave a machine-diffable artifact without littering the repo root.
+
+    use std::fs::{self, File};
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::sync::Mutex;
+
+    static SINK: Mutex<Option<File>> = Mutex::new(None);
+
+    /// Open the artifact file for `command`; returns its path on success.
+    /// Failures (read-only checkout, ...) degrade to stdout-only output.
+    pub fn init(command: &str) -> Option<PathBuf> {
+        let target = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target"));
+        let dir = target.join("repro");
+        fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("repro_{command}.txt"));
+        let file = File::create(&path).ok()?;
+        *SINK.lock().unwrap() = Some(file);
+        Some(path)
+    }
+
+    pub fn line(s: &str) {
+        println!("{s}");
+        if let Some(f) = SINK.lock().unwrap().as_mut() {
+            let _ = writeln!(f, "{s}");
+        }
+    }
+}
+
 use bench::data::{original_size, pipeline_files_cached, sensitive_columns};
 use bench::report::{fmt_duration, fmt_factor, TextTable};
 use bench::{run_once, Phase, Target};
@@ -43,9 +83,18 @@ fn main() {
     let command = args.first().map(String::as_str).unwrap_or("all");
     let opts = parse_options(&args[1.min(args.len())..]);
 
+    match tee::init(command) {
+        Some(path) => eprintln!("writing artifact to {}", path.display()),
+        None => eprintln!("could not open artifact file; printing to stdout only"),
+    }
+
     match command {
         "table3" => table3(),
-        "fig7a" => fig7(Phase::PandasOnly, "Figure 7a — pandas operations only", &opts),
+        "fig7a" => fig7(
+            Phase::PandasOnly,
+            "Figure 7a — pandas operations only",
+            &opts,
+        ),
         "fig7b" => fig7(
             Phase::Preprocessing,
             "Figure 7b — plus scikit-learn operations",
@@ -60,7 +109,11 @@ fn main() {
         "fig11" => fig11(&opts),
         "all" => {
             table3();
-            fig7(Phase::PandasOnly, "Figure 7a — pandas operations only", &opts);
+            fig7(
+                Phase::PandasOnly,
+                "Figure 7a — pandas operations only",
+                &opts,
+            );
             fig7(
                 Phase::Preprocessing,
                 "Figure 7b — plus scikit-learn operations",
@@ -93,10 +146,7 @@ fn parse_options(args: &[String]) -> Options {
         match a.as_str() {
             "--sizes" => {
                 if let Some(v) = it.next() {
-                    opts.sizes = v
-                        .split(',')
-                        .filter_map(|s| s.trim().parse().ok())
-                        .collect();
+                    opts.sizes = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
                 }
             }
             "--reps" => {
@@ -128,8 +178,8 @@ fn median(mut times: Vec<Duration>) -> Duration {
 // ---- Table 3: transpilation time ---------------------------------------------
 
 fn table3() {
-    println!("== Table 3 — transpilation time to SQL ==");
-    println!("(pandas prefix / full pipeline with scikit-learn / plus inspection queries)\n");
+    out!("== Table 3 — transpilation time to SQL ==");
+    out!("(pandas prefix / full pipeline with scikit-learn / plus inspection queries)\n");
     let mut table = TextTable::new(&[
         "pipeline",
         "pandas VIEW",
@@ -170,17 +220,23 @@ fn table3() {
         }
         table.row(cells);
     }
-    println!("{}", table.render());
+    out!("{}", table.render());
 }
 
 // ---- Figure 7: runtime sweeps ------------------------------------------------
 
 fn fig7(phase: Phase, title: &str, opts: &Options) {
-    println!("== {title} ==\n");
+    out!("== {title} ==\n");
     for pipeline in PIPELINES {
-        println!("-- {pipeline} --");
+        out!("-- {pipeline} --");
         let mut table = TextTable::new(&[
-            "rows", "pandas", "pg-cte", "pg-view", "pg-view-mat", "umbra-cte", "umbra-view",
+            "rows",
+            "pandas",
+            "pg-cte",
+            "pg-view",
+            "pg-view-mat",
+            "umbra-cte",
+            "umbra-view",
             "best-speedup",
         ]);
         for &rows in &opts.sizes {
@@ -203,22 +259,33 @@ fn fig7(phase: Phase, title: &str, opts: &Options) {
             cells.push(fmt_factor(pandas_time, best));
             table.row(cells);
         }
-        println!("{}", table.render());
+        out!("{}", table.render());
     }
 }
 
 // ---- Figure 8: end-to-end ------------------------------------------------------
 
 fn fig8(opts: &Options) {
-    println!("== Figure 8 — end-to-end performance (original sizes, incl. training) ==\n");
+    out!("== Figure 8 — end-to-end performance (original sizes, incl. training) ==\n");
     let mut table = TextTable::new(&[
-        "pipeline", "rows", "pandas", "pg-cte", "pg-view-mat", "umbra-cte", "accuracy",
+        "pipeline",
+        "rows",
+        "pandas",
+        "pg-cte",
+        "pg-view-mat",
+        "umbra-cte",
+        "accuracy",
     ]);
     for pipeline in PIPELINES {
         let rows = original_size(pipeline);
         let mut cells = vec![pipeline.to_string(), rows.to_string()];
         let mut accuracy = None;
-        for target in [Target::Pandas, Target::PgCte, Target::PgViewMat, Target::UmbraCte] {
+        for target in [
+            Target::Pandas,
+            Target::PgCte,
+            Target::PgViewMat,
+            Target::UmbraCte,
+        ] {
             let m = median_run(pipeline, Phase::EndToEnd, target, rows, opts.reps);
             if accuracy.is_none() {
                 accuracy = m.1;
@@ -232,7 +299,7 @@ fn fig8(opts: &Options) {
         );
         table.row(cells);
     }
-    println!("{}", table.render());
+    out!("{}", table.render());
 }
 
 fn median_run(
@@ -255,7 +322,7 @@ fn median_run(
 // ---- Figure 9: ratio changes during preprocessing -----------------------------
 
 fn fig9() {
-    println!("== Figure 9 — ratio changes during preprocessing (healthcare) ==\n");
+    out!("== Figure 9 — ratio changes during preprocessing (healthcare) ==\n");
     let m = run_once(
         "healthcare",
         Phase::Inspection,
@@ -265,7 +332,7 @@ fn fig9() {
     );
     let captured = capture_with_seed(pipelines::HEALTHCARE, 0).unwrap();
     for column in ["race", "age_group"] {
-        println!("-- column: {column} --");
+        out!("-- column: {column} --");
         let mut table = TextTable::new(&["op", "line", "value", "ratio", "change vs input"]);
         for node in &captured.dag.nodes {
             let Some(hist) = m.artifacts.inspections.histogram(node.id, column) else {
@@ -289,14 +356,14 @@ fn fig9() {
                 ]);
             }
         }
-        println!("{}", table.render());
+        out!("{}", table.render());
     }
 }
 
 // ---- Table 4: ratios before/after preprocessing --------------------------------
 
 fn table4() {
-    println!("== Table 4 — ratios before/after preprocessing ==\n");
+    out!("== Table 4 — ratios before/after preprocessing ==\n");
     for (pipeline, column) in [("healthcare", "race"), ("adult simple", "race")] {
         let m = run_once(
             pipeline,
@@ -306,11 +373,10 @@ fn table4() {
             0,
         );
         let captured = capture_with_seed(full_source(pipeline), 0).unwrap();
-        let Some(change) = overall_change(&captured.dag, &m.artifacts.inspections, column)
-        else {
+        let Some(change) = overall_change(&captured.dag, &m.artifacts.inspections, column) else {
             continue;
         };
-        println!("-- ({pipeline}) column {column} --");
+        out!("-- ({pipeline}) column {column} --");
         let mut table = TextTable::new(&["value", "before", "after"]);
         for (value, _) in &change.before.counts {
             table.row(vec![
@@ -319,14 +385,14 @@ fn table4() {
                 format!("{:.6}", change.after.ratio(value)),
             ]);
         }
-        println!("{}", table.render());
+        out!("{}", table.render());
     }
 }
 
 // ---- Table 5: model accuracy over runs -----------------------------------------
 
 fn table5(opts: &Options) {
-    println!(
+    out!(
         "== Table 5 — model accuracy measurements ({} runs) ==\n",
         opts.runs
     );
@@ -356,20 +422,20 @@ fn table5(opts: &Options) {
             format!("{:.4}", accs[accs.len() - 1]),
         ]);
     }
-    println!("{}", table.render());
+    out!("{}", table.render());
 }
 
 // ---- Figure 10: operation-level breakdown ---------------------------------------
 
 fn fig10(opts: &Options) {
-    println!("== Figure 10 — operation-level performance (compas) ==\n");
+    out!("== Figure 10 — operation-level performance (compas) ==\n");
     let sizes = if opts.sizes == vec![100, 1_000, 10_000] {
         vec![10_000, 100_000]
     } else {
         opts.sizes.clone()
     };
     for rows in sizes {
-        println!("-- {rows} tuples --");
+        out!("-- {rows} tuples --");
         let pandas = run_once("compas", Phase::EndToEnd, Target::Pandas, rows, 0);
         let pg = run_once("compas", Phase::EndToEnd, Target::PgViewMat, rows, 0);
         let mut table = TextTable::new(&["op", "pandas", "pg-view-mat"]);
@@ -390,19 +456,24 @@ fn fig10(opts: &Options) {
             fmt_duration(pandas.elapsed),
             fmt_duration(pg.elapsed),
         ]);
-        println!("{}", table.render());
+        out!("{}", table.render());
     }
 }
 
 // ---- Figure 11: varying the number of inspected columns -------------------------
 
 fn fig11(opts: &Options) {
-    println!(
+    out!(
         "== Figure 11 — runtime vs. number of inspected columns (taxi, {} rows) ==\n",
         opts.rows
     );
     let mut table = TextTable::new(&[
-        "#columns", "pandas", "pg-cte", "pg-view", "umbra-cte", "umbra-view",
+        "#columns",
+        "pandas",
+        "pg-cte",
+        "pg-view",
+        "umbra-cte",
+        "umbra-view",
     ]);
     for k in 1..=datagen::taxi::INSPECTED_COLUMNS.len() {
         let columns = &datagen::taxi::INSPECTED_COLUMNS[..k];
@@ -433,7 +504,7 @@ fn fig11(opts: &Options) {
         }
         table.row(cells);
     }
-    println!("{}", table.render());
+    out!("{}", table.render());
 }
 
 // ---- helpers --------------------------------------------------------------------

@@ -81,7 +81,13 @@ mod tests {
 
     #[test]
     fn files_cover_all_pipelines() {
-        for p in ["healthcare", "compas", "adult simple", "adult complex", "taxi"] {
+        for p in [
+            "healthcare",
+            "compas",
+            "adult simple",
+            "adult complex",
+            "taxi",
+        ] {
             let files = pipeline_files(p, 50, 1);
             assert!(!files.is_empty(), "{p}");
             assert!(files[0].1.lines().count() > 10, "{p}");

@@ -117,12 +117,8 @@ fn source_for(pipeline: &str, phase: Phase) -> &'static str {
 
 /// Drop training/scoring nodes for the preprocessing-only phases.
 fn strip_model_nodes(dag: &mut Dag) {
-    dag.nodes.retain(|n| {
-        !matches!(
-            n.kind,
-            OpKind::ModelFit { .. } | OpKind::ModelScore { .. }
-        )
-    });
+    dag.nodes
+        .retain(|n| !matches!(n.kind, OpKind::ModelFit { .. } | OpKind::ModelScore { .. }));
 }
 
 /// Run one `(pipeline, phase, target)` cell at `rows` input tuples and
@@ -137,7 +133,14 @@ pub fn run_once(
     rows: usize,
     seed: u64,
 ) -> RunMeasurement {
-    run_once_with_columns(pipeline, phase, target, rows, seed, sensitive_columns(pipeline))
+    run_once_with_columns(
+        pipeline,
+        phase,
+        target,
+        rows,
+        seed,
+        sensitive_columns(pipeline),
+    )
 }
 
 /// [`run_once`] with an explicit set of inspected columns (Figure 11 varies
@@ -171,15 +174,25 @@ pub fn run_once_with_columns(
 
     let started = Instant::now();
     let mut captured = capture_with_seed(source, seed).expect("pipeline captures");
-    if matches!(phase, Phase::PandasOnly | Phase::Preprocessing | Phase::Inspection) {
+    if matches!(
+        phase,
+        Phase::PandasOnly | Phase::Preprocessing | Phase::Inspection
+    ) {
         strip_model_nodes(&mut captured.dag);
     }
     let artifacts = match target.engine() {
         None => PandasBackend::run(&captured.dag, &files, &config).expect("baseline run"),
         Some((profile, mode, materialize)) => {
             let mut engine = Engine::new(profile);
-            SqlBackend::run(&captured.dag, &files, &config, &mut engine, mode, materialize)
-                .expect("sql run")
+            SqlBackend::run(
+                &captured.dag,
+                &files,
+                &config,
+                &mut engine,
+                mode,
+                materialize,
+            )
+            .expect("sql run")
         }
     };
     RunMeasurement {
@@ -189,13 +202,7 @@ pub fn run_once_with_columns(
 }
 
 /// Median wall-clock of `reps` runs of one cell.
-pub fn measure(
-    pipeline: &str,
-    phase: Phase,
-    target: Target,
-    rows: usize,
-    reps: usize,
-) -> Duration {
+pub fn measure(pipeline: &str, phase: Phase, target: Target, rows: usize, reps: usize) -> Duration {
     let mut times: Vec<Duration> = (0..reps.max(1))
         .map(|r| run_once(pipeline, phase, target, rows, r as u64).elapsed)
         .collect();
@@ -213,7 +220,10 @@ mod tests {
             for phase in [Phase::PandasOnly, Phase::Preprocessing, Phase::Inspection] {
                 for target in [Target::Pandas, Target::PgCte, Target::UmbraView] {
                     let m = run_once(pipeline, phase, target, 120, 0);
-                    assert!(m.elapsed > Duration::ZERO, "{pipeline}/{phase:?}/{target:?}");
+                    assert!(
+                        m.elapsed > Duration::ZERO,
+                        "{pipeline}/{phase:?}/{target:?}"
+                    );
                 }
             }
         }

@@ -1,9 +1,11 @@
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (§6). See `src/bin/repro.rs` for the command-line driver and
-//! `benches/` for the Criterion microbenchmarks.
+//! `benches/` for the microbenchmarks (run on the dependency-free
+//! [`microbench`] runner so the whole workspace builds offline).
 
 pub mod data;
 pub mod harness;
+pub mod microbench;
 pub mod report;
 
 pub use harness::{run_once, Phase, RunMeasurement, Target};

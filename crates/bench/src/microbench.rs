@@ -1,0 +1,102 @@
+//! A dependency-free microbenchmark runner (Criterion replacement).
+//!
+//! The workspace must build and test fully offline, so the benches cannot
+//! depend on the external `criterion` crate. This module provides the small
+//! subset the benches need: grouped labels, automatic iteration-count
+//! calibration so fast closures are timed over many iterations, and a
+//! median-of-samples report rendered with [`crate::report`].
+
+use crate::report::{fmt_duration, TextTable};
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time one calibrated sample should take.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// A named group of related benchmarks, rendered as one table on drop.
+pub struct Group {
+    name: String,
+    samples: usize,
+    table: TextTable,
+    ran_any: bool,
+}
+
+impl Group {
+    /// Start a group with the default sample count (10).
+    pub fn new(name: impl Into<String>) -> Group {
+        Group {
+            name: name.into(),
+            samples: 10,
+            table: TextTable::new(&["benchmark", "median", "min", "max", "iters/sample"]),
+            ran_any: false,
+        }
+    }
+
+    /// Override the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Time `f`, calibrating the per-sample iteration count so that each
+    /// sample runs for at least [`TARGET_SAMPLE_TIME`].
+    pub fn bench_function(&mut self, label: impl AsRef<str>, mut f: impl FnMut()) -> &mut Self {
+        let mut iters: u32 = 1;
+        loop {
+            let t = run_sample(&mut f, iters);
+            if t >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| run_sample(&mut f, iters) / iters)
+            .collect();
+        per_iter.sort();
+        self.table.row(vec![
+            label.as_ref().to_string(),
+            fmt_duration(per_iter[per_iter.len() / 2]),
+            fmt_duration(per_iter[0]),
+            fmt_duration(per_iter[per_iter.len() - 1]),
+            iters.to_string(),
+        ]);
+        self.ran_any = true;
+        self
+    }
+
+    /// Print the group's table (also called on drop).
+    pub fn finish(&mut self) {
+        if self.ran_any {
+            println!("== {} ==\n{}", self.name, self.table.render());
+            self.ran_any = false;
+        }
+    }
+}
+
+impl Drop for Group {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn run_sample(f: &mut impl FnMut(), iters: u32) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+        std::hint::black_box(());
+    }
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_and_reports() {
+        let mut g = Group::new("test");
+        g.sample_size(3).bench_function("noop", || {});
+        assert!(g.ran_any);
+        g.finish();
+        assert!(!g.ran_any);
+    }
+}

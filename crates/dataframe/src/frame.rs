@@ -308,8 +308,11 @@ mod tests {
     #[test]
     fn set_column_overwrites_or_appends() {
         let mut df = demo();
-        df.set_column("b", Series::new("ignored", vec![9.into(), 9.into(), 9.into()]))
-            .unwrap();
+        df.set_column(
+            "b",
+            Series::new("ignored", vec![9.into(), 9.into(), 9.into()]),
+        )
+        .unwrap();
         assert_eq!(df.width(), 3);
         df.set_column("a", Series::new("", vec![0.into(), 0.into(), 0.into()]))
             .unwrap();

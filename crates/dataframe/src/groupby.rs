@@ -139,8 +139,16 @@ fn aggregate(col: &Series, rows: &[usize], func: AggFunc) -> Value {
         .collect();
     match func {
         AggFunc::Count => Value::Int(vals.len() as i64),
-        AggFunc::Min => vals.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
-        AggFunc::Max => vals.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Min => vals
+            .iter()
+            .min()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Max => vals
+            .iter()
+            .max()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
         AggFunc::Sum => {
             if vals.is_empty() {
                 return Value::Null;

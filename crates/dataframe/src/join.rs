@@ -181,7 +181,9 @@ mod tests {
 
     #[test]
     fn inner_merge_on_key() {
-        let m = patients().merge(&histories(), &["ssn"], JoinType::Inner).unwrap();
+        let m = patients()
+            .merge(&histories(), &["ssn"], JoinType::Inner)
+            .unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.column_names(), vec!["ssn", "race", "smoker"]);
         assert_eq!(
@@ -192,11 +194,15 @@ mod tests {
 
     #[test]
     fn left_and_right_merge_pad_with_null() {
-        let l = patients().merge(&histories(), &["ssn"], JoinType::Left).unwrap();
+        let l = patients()
+            .merge(&histories(), &["ssn"], JoinType::Left)
+            .unwrap();
         assert_eq!(l.len(), 3);
         assert_eq!(l.column("smoker").unwrap().values()[0], Value::Null);
 
-        let r = patients().merge(&histories(), &["ssn"], JoinType::Right).unwrap();
+        let r = patients()
+            .merge(&histories(), &["ssn"], JoinType::Right)
+            .unwrap();
         assert_eq!(r.len(), 3);
         let ssns = r.column("ssn").unwrap();
         assert!(ssns.values().contains(&"s4".into()));
@@ -248,12 +254,16 @@ mod tests {
 
     #[test]
     fn cross_join() {
-        let m = patients().merge(&histories(), &[], JoinType::Cross).unwrap();
+        let m = patients()
+            .merge(&histories(), &[], JoinType::Cross)
+            .unwrap();
         assert_eq!(m.len(), 9);
     }
 
     #[test]
     fn merge_without_keys_is_error_for_inner() {
-        assert!(patients().merge(&histories(), &[], JoinType::Inner).is_err());
+        assert!(patients()
+            .merge(&histories(), &[], JoinType::Inner)
+            .is_err());
     }
 }

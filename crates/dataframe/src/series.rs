@@ -344,9 +344,13 @@ mod tests {
 
     #[test]
     fn scalar_broadcast_both_sides() {
-        let r = s(&[10]).binary_scalar(ElemOp::Mul, &Value::Float(1.2)).unwrap();
+        let r = s(&[10])
+            .binary_scalar(ElemOp::Mul, &Value::Float(1.2))
+            .unwrap();
         assert_eq!(r.values(), &[Value::Float(12.0)]);
-        let r = s(&[10]).rbinary_scalar(ElemOp::Sub, &Value::Int(3)).unwrap();
+        let r = s(&[10])
+            .rbinary_scalar(ElemOp::Sub, &Value::Int(3))
+            .unwrap();
         assert_eq!(r.values(), &[Value::Int(-7)]);
     }
 
@@ -394,7 +398,10 @@ mod tests {
 
     #[test]
     fn invert_and_mask() {
-        let m = Series::new("m", vec![Value::Bool(true), Value::Null, Value::Bool(false)]);
+        let m = Series::new(
+            "m",
+            vec![Value::Bool(true), Value::Null, Value::Bool(false)],
+        );
         assert_eq!(m.as_mask().unwrap(), vec![true, false, false]);
         let inv = m.invert().unwrap();
         assert_eq!(

@@ -99,11 +99,7 @@ mod tests {
 
     #[test]
     fn schema_matches_table2() {
-        let t = read_csv_str(
-            &patients_csv(50, 1),
-            &CsvOptions::default().with_na("?"),
-        )
-        .unwrap();
+        let t = read_csv_str(&patients_csv(50, 1), &CsvOptions::default().with_na("?")).unwrap();
         assert_eq!(
             t.columns,
             vec![

@@ -38,84 +38,7 @@ pub mod sizes {
     pub const TAXI_2021_01: usize = 1_271_414;
 }
 
-/// A tiny deterministic generator (xorshift*), so datasets do not depend on
-/// `rand` version details and remain stable across releases.
-#[derive(Debug, Clone)]
-pub struct Prng(u64);
-
-impl Prng {
-    /// Seeded constructor; seed 0 is remapped to a fixed constant.
-    pub fn new(seed: u64) -> Prng {
-        Prng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-
-    /// Uniform integer in `[0, n)`.
-    pub fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n.max(1) as u64) as usize
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Weighted choice: returns an index with probability proportional to
-    /// `weights[i]`.
-    pub fn weighted(&mut self, weights: &[f64]) -> usize {
-        let total: f64 = weights.iter().sum();
-        let mut target = self.unit() * total;
-        for (i, w) in weights.iter().enumerate() {
-            if target < *w {
-                return i;
-            }
-            target -= w;
-        }
-        weights.len() - 1
-    }
-
-    /// True with probability `p`.
-    pub fn chance(&mut self, p: f64) -> bool {
-        self.unit() < p
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn prng_is_deterministic() {
-        let mut a = Prng::new(42);
-        let mut b = Prng::new(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn weighted_respects_zero_weight() {
-        let mut p = Prng::new(1);
-        for _ in 0..100 {
-            assert_ne!(p.weighted(&[0.0, 1.0, 0.0]), 0);
-        }
-    }
-
-    #[test]
-    fn unit_in_range() {
-        let mut p = Prng::new(3);
-        for _ in 0..1000 {
-            let u = p.unit();
-            assert!((0.0..1.0).contains(&u));
-        }
-    }
-}
+/// The deterministic generator all datasets are built from (xorshift*, the
+/// same algorithm this crate always used, now shared workspace-wide from
+/// [`etypes::rng`] so datasets remain stable across releases).
+pub use etypes::Prng;

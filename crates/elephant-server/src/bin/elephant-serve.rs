@@ -1,0 +1,83 @@
+//! `elephant-serve` — stand-alone server binary.
+//!
+//! ```text
+//! elephant-serve [--addr HOST:PORT] [--disk] [--rows N] [--seed N]
+//!                [--queue N] [--no-data]
+//! ```
+//!
+//! By default binds 127.0.0.1:5462, uses the in-memory profile, and
+//! pre-registers the standard synthetic pipeline datasets so `INSPECT`
+//! works immediately.
+
+use elephant_server::{start, ServerConfig};
+use std::process::exit;
+
+fn main() {
+    let mut addr = "127.0.0.1:5462".to_string();
+    let mut in_memory = true;
+    let mut rows: usize = 200;
+    let mut seed: u64 = 7;
+    let mut queue: usize = 64;
+    let mut with_data = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--disk" => in_memory = false,
+            "--rows" => rows = parse(&value("--rows"), "--rows"),
+            "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--queue" => queue = parse(&value("--queue"), "--queue"),
+            "--no-data" => with_data = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: elephant-serve [--addr HOST:PORT] [--disk] [--rows N] \
+                     [--seed N] [--queue N] [--no-data]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                exit(2);
+            }
+        }
+    }
+
+    let mut config = ServerConfig {
+        addr,
+        queue_capacity: queue,
+        in_memory,
+        files: Vec::new(),
+    };
+    if with_data {
+        config = config.with_standard_pipeline_data(rows, seed);
+    }
+
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "elephant-serve listening on {} ({} profile); send SHUTDOWN to stop",
+        handle.local_addr(),
+        if in_memory { "in-memory" } else { "disk-based" },
+    );
+    handle.join();
+    println!("elephant-serve drained, bye");
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse '{text}'");
+        exit(2);
+    })
+}

@@ -1,0 +1,194 @@
+//! A blocking client for the elephant wire protocol.
+//!
+//! [`ElephantClient`] speaks exactly the protocol in [`crate::protocol`]:
+//! simple-line frames when the command fits on one line, length-prefixed
+//! otherwise, and length-prefixed `+`/`-` responses either way. Response
+//! bodies come back verbatim (`query_raw` returns the CSV bytes exactly as
+//! the server produced them), which is what the integration tests compare
+//! byte-for-byte against the embedded engine.
+
+use crate::protocol::encode_request;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A structured error response from the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// Machine-readable code (`ERR_EXEC`, `ERR_OVERSIZED`, ...).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+/// Client-side failure: transport trouble or a server error response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or the response was unparsable.
+    Io(io::Error),
+    /// The server answered with a structured error.
+    Server(ServerError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One connection to an elephant server.
+pub struct ElephantClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ElephantClient {
+    /// Connect to `addr` with a 30s response timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ElephantClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ElephantClient {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one raw command frame and return the raw response body.
+    pub fn send(&mut self, command: &str) -> ClientResult<String> {
+        self.writer.write_all(encode_request(command).as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Run a SQL statement; returns CSV for SELECTs, `ok <n>` otherwise.
+    /// The body is returned byte-for-byte as the server produced it.
+    pub fn query_raw(&mut self, sql: &str) -> ClientResult<String> {
+        self.send(&format!("QUERY {sql}"))
+    }
+
+    /// Plan + cache `sql` under `name` (scoped to this connection).
+    pub fn prepare(&mut self, name: &str, sql: &str) -> ClientResult<String> {
+        self.send(&format!("PREPARE {name} {sql}"))
+    }
+
+    /// Execute a statement prepared on this connection; returns CSV.
+    pub fn execute(&mut self, name: &str) -> ClientResult<String> {
+        self.send(&format!("EXECUTE {name}"))
+    }
+
+    /// Drop a prepared statement.
+    pub fn deallocate(&mut self, name: &str) -> ClientResult<String> {
+        self.send(&format!("DEALLOCATE {name}"))
+    }
+
+    /// Render the optimized plan for `sql`.
+    pub fn explain(&mut self, sql: &str) -> ClientResult<String> {
+        self.send(&format!("EXPLAIN {sql}"))
+    }
+
+    /// Inspect an ML pipeline via the SQL backend; returns the per-check,
+    /// per-operator verdict report.
+    pub fn inspect(
+        &mut self,
+        columns: &[&str],
+        threshold: f64,
+        source: &str,
+    ) -> ClientResult<String> {
+        self.send(&format!(
+            "INSPECT {} {threshold}\n{source}",
+            columns.join(",")
+        ))
+    }
+
+    /// Fetch server + engine counters as `key value` lines.
+    pub fn stats(&mut self) -> ClientResult<String> {
+        self.send("STATS")
+    }
+
+    /// Ask the server to drain; returns `draining`.
+    pub fn shutdown(&mut self) -> ClientResult<String> {
+        self.send("SHUTDOWN")
+    }
+
+    fn read_response(&mut self) -> ClientResult<String> {
+        let mut status = String::new();
+        loop {
+            match self.reader.read_line(&mut status) {
+                Ok(0) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(_) if status.ends_with('\n') => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+        let status = status.trim_end();
+        if status.is_empty() {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "empty status line",
+            )));
+        }
+        let (ok, len_text) = match status.split_at(1) {
+            ("+", rest) => (true, rest),
+            ("-", rest) => (false, rest),
+            _ => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line '{status}'"),
+                )))
+            }
+        };
+        let n: usize = len_text.parse().map_err(|_| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response length '{len_text}'"),
+            ))
+        })?;
+        let mut body = vec![0u8; n + 1];
+        self.reader.read_exact(&mut body)?;
+        body.pop(); // trailing newline
+        let body = String::from_utf8(body).map_err(|_| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response body is not UTF-8",
+            ))
+        })?;
+        if ok {
+            Ok(body)
+        } else {
+            let (code, message) = body.split_once(' ').unwrap_or((body.as_str(), ""));
+            Err(ClientError::Server(ServerError {
+                code: code.to_string(),
+                message: message.to_string(),
+            }))
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The single-threaded query executor.
+//!
+//! [`sqlengine::Engine`] is deliberately not `Send` (its catalog shares
+//! view definitions via `Rc`), so the server gives it a dedicated thread:
+//! the engine is *constructed on* that thread and never leaves it. Session
+//! threads submit [`Job`]s over a **bounded** `std::sync::mpsc` channel —
+//! the bound is the server's backpressure: when the executor falls behind,
+//! `send` blocks the session (and therefore the client) instead of letting
+//! the queue grow without limit.
+//!
+//! Shutdown is cooperative and loses nothing: `SHUTDOWN` travels through
+//! the queue like any command; the executor flips the shared flag (stopping
+//! the accept loop), answers `draining`, and keeps serving until every
+//! sender — the accept loop's prototype and all session clones — has been
+//! dropped, at which point `recv` disconnects and the thread exits. Every
+//! job enqueued before the last sender dropped still gets its response.
+
+use crate::metrics::Metrics;
+use crate::protocol::{codes, Command};
+use mlinspect::SqlMode;
+use sqlengine::{Engine, EngineProfile};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// What the executor sends back: a response body, or an error code + message.
+pub(crate) type Reply = Result<String, (&'static str, String)>;
+
+/// One unit of work for the executor thread.
+pub(crate) enum Job {
+    /// A client command; the result goes back on `reply`.
+    Command {
+        /// Originating session id (scopes prepared-statement names).
+        session: u64,
+        /// The parsed command.
+        command: Command,
+        /// Where the session blocks waiting for the answer.
+        reply: mpsc::Sender<Reply>,
+    },
+    /// A session disconnected: drop its prepared statements.
+    CloseSession {
+        /// The closed session's id.
+        session: u64,
+    },
+}
+
+/// Executor construction parameters.
+pub(crate) struct ExecutorConfig {
+    /// Use the in-memory (Umbra-like) profile instead of disk-based.
+    pub in_memory: bool,
+    /// Virtual files visible to `INSPECT` pipelines (`read_csv` targets).
+    pub files: Vec<(String, String)>,
+    /// Bound of the job queue (backpressure threshold).
+    pub queue_capacity: usize,
+}
+
+/// Spawn the executor thread; returns the job sender and the join handle.
+/// The thread exits when every clone of the returned sender is dropped.
+pub(crate) fn spawn(
+    cfg: ExecutorConfig,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+) -> (SyncSender<Job>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
+    let handle = thread::Builder::new()
+        .name("elephant-executor".into())
+        .spawn(move || {
+            // The engine must be created here: it is not Send.
+            let profile = if cfg.in_memory {
+                EngineProfile::in_memory()
+            } else {
+                EngineProfile::disk_based()
+            };
+            let mut state = ExecutorState {
+                engine: Engine::new(profile),
+                files: cfg.files,
+                prepared: HashMap::new(),
+                metrics,
+                shutdown,
+            };
+            while let Ok(job) = rx.recv() {
+                state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                match job {
+                    Job::Command {
+                        session,
+                        command,
+                        reply,
+                    } => {
+                        let started = Instant::now();
+                        let verb = command.verb();
+                        let result = state.dispatch(session, command);
+                        state.metrics.latency.record(started.elapsed());
+                        match &result {
+                            Ok(_) => state.metrics.count_verb(verb),
+                            Err(_) => {
+                                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // A dropped receiver means the session died mid-query;
+                        // nothing to do — the answer has nowhere to go.
+                        let _ = reply.send(result);
+                    }
+                    Job::CloseSession { session } => state.close_session(session),
+                }
+            }
+        })
+        .expect("spawn executor thread");
+    (tx, handle)
+}
+
+struct ExecutorState {
+    engine: Engine,
+    files: Vec<(String, String)>,
+    /// Prepared-statement names per live session (engine-scoped form).
+    prepared: HashMap<u64, Vec<String>>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ExecutorState {
+    fn dispatch(&mut self, session: u64, command: Command) -> Reply {
+        match command {
+            Command::Query(sql) => {
+                let out = self
+                    .engine
+                    .execute(&sql)
+                    .map_err(|e| (codes::EXEC, e.to_string()))?;
+                Ok(match out.relation {
+                    Some(rel) => etypes::csv::write_csv(&rel.columns, &rel.rows, ','),
+                    None => format!("ok {}", out.rows_affected),
+                })
+            }
+            Command::Prepare { name, sql } => {
+                let scoped = scoped_name(session, &name);
+                self.engine
+                    .prepare(scoped.clone(), sql)
+                    .map_err(|e| (codes::EXEC, e.to_string()))?;
+                let names = self.prepared.entry(session).or_default();
+                if !names.contains(&scoped) {
+                    names.push(scoped);
+                }
+                Ok(format!("prepared {name}"))
+            }
+            Command::Execute(name) => {
+                let rel = self
+                    .engine
+                    .execute_prepared(&scoped_name(session, &name))
+                    .map_err(|e| (codes::EXEC, e.to_string()))?;
+                Ok(etypes::csv::write_csv(&rel.columns, &rel.rows, ','))
+            }
+            Command::Deallocate(name) => {
+                let scoped = scoped_name(session, &name);
+                self.engine
+                    .deallocate(&scoped)
+                    .map_err(|e| (codes::EXEC, e.to_string()))?;
+                if let Some(names) = self.prepared.get_mut(&session) {
+                    names.retain(|n| *n != scoped);
+                }
+                Ok(format!("deallocated {name}"))
+            }
+            Command::Explain(sql) => self
+                .engine
+                .explain(&sql)
+                .map_err(|e| (codes::EXEC, e.to_string())),
+            Command::Inspect {
+                columns,
+                threshold,
+                source,
+            } => {
+                let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                let report = mlinspect::inspect_pipeline_in_sql(
+                    &source,
+                    &self.files,
+                    &cols,
+                    threshold,
+                    &mut self.engine,
+                    SqlMode::Cte,
+                    false,
+                )
+                .map_err(|e| (codes::INSPECT, e.to_string()))?;
+                Ok(report.render())
+            }
+            Command::Stats => {
+                let prepared_total: usize = self.prepared.values().map(Vec::len).sum();
+                Ok(self.metrics.render(
+                    self.engine.plan_cache_stats(),
+                    self.engine.plan_cache_len(),
+                    prepared_total,
+                ))
+            }
+            Command::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok("draining".into())
+            }
+        }
+    }
+
+    fn close_session(&mut self, session: u64) {
+        if let Some(names) = self.prepared.remove(&session) {
+            for name in names {
+                let _ = self.engine.deallocate(&name);
+            }
+        }
+        self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn scoped_name(session: u64, name: &str) -> String {
+    format!("s{session}.{name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(tx: &SyncSender<Job>, metrics: &Metrics, session: u64, cmd: Command) -> Reply {
+        let (rtx, rrx) = mpsc::channel();
+        metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        tx.send(Job::Command {
+            session,
+            command: cmd,
+            reply: rtx,
+        })
+        .expect("executor alive");
+        rrx.recv().expect("reply")
+    }
+
+    #[test]
+    fn executor_round_trip_and_scoped_prepare() {
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, join) = spawn(
+            ExecutorConfig {
+                in_memory: true,
+                files: Vec::new(),
+                queue_capacity: 4,
+            },
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+        );
+        let r = send(
+            &tx,
+            &metrics,
+            1,
+            Command::Query("CREATE TABLE t (a int)".into()),
+        );
+        assert_eq!(r.unwrap(), "ok 0");
+        let r = send(
+            &tx,
+            &metrics,
+            1,
+            Command::Query("INSERT INTO t VALUES (1), (2)".into()),
+        );
+        assert_eq!(r.unwrap(), "ok 2");
+        let r = send(
+            &tx,
+            &metrics,
+            1,
+            Command::Prepare {
+                name: "q".into(),
+                sql: "SELECT a FROM t ORDER BY a".into(),
+            },
+        );
+        assert_eq!(r.unwrap(), "prepared q");
+        // Same statement name in another session: independent namespace.
+        let r = send(
+            &tx,
+            &metrics,
+            2,
+            Command::Prepare {
+                name: "q".into(),
+                sql: "SELECT count(*) AS n FROM t".into(),
+            },
+        );
+        assert_eq!(r.unwrap(), "prepared q");
+        let r = send(&tx, &metrics, 1, Command::Execute("q".into()));
+        assert_eq!(r.unwrap(), "a\n1\n2\n");
+        let r = send(&tx, &metrics, 2, Command::Execute("q".into()));
+        assert_eq!(r.unwrap(), "n\n2\n");
+        // Executing session 1's statement from session 3 fails.
+        let r = send(&tx, &metrics, 3, Command::Execute("q".into()));
+        assert_eq!(r.unwrap_err().0, codes::EXEC);
+        // Shutdown flips the flag but the executor keeps draining.
+        let r = send(&tx, &metrics, 1, Command::Stats);
+        assert!(r.unwrap().contains("prepared_statements 2"));
+        let r = send(&tx, &metrics, 1, Command::Shutdown);
+        assert_eq!(r.unwrap(), "draining");
+        assert!(shutdown.load(Ordering::SeqCst));
+        let r = send(&tx, &metrics, 1, Command::Query("SELECT a FROM t".into()));
+        assert_eq!(r.unwrap(), "a\n1\n2\n");
+        drop(tx);
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! A concurrent SQL/inspection serving layer over the embedded engine.
+//!
+//! The paper's system runs pipelines *inside* a database server; this crate
+//! gives the reproduction the same deployment shape. It wraps the embedded
+//! [`sqlengine::Engine`] in a small TCP server with a newline / length-
+//! prefixed text protocol (see [`protocol`] and `docs/PROTOCOL.md`):
+//!
+//! | verb | effect |
+//! |------|--------|
+//! | `QUERY` | run one SQL statement, rows come back as CSV |
+//! | `PREPARE` / `EXECUTE` | plan once via the engine's LRU plan cache, run many times |
+//! | `EXPLAIN` | render the optimized plan |
+//! | `INSPECT` | run an ML pipeline through the SQL backend with bias checks |
+//! | `STATS` | counters, queue depth, latency percentiles, plan-cache hit rate |
+//! | `SHUTDOWN` | graceful drain |
+//!
+//! # Architecture
+//!
+//! The engine is not `Send` (its catalog shares view definitions through
+//! `Rc`), so concurrency comes from pipelining, not data parallelism:
+//!
+//! ```text
+//! client ──TCP──▶ session thread ──bounded mpsc──▶ executor thread (owns Engine)
+//! client ──TCP──▶ session thread ──────┘                 │
+//!                      ◀───────────── reply channel ─────┘
+//! ```
+//!
+//! Each connection gets a session thread that parses frames and holds the
+//! session id; prepared statements are namespaced per session inside the
+//! executor. The job queue is a **bounded** `sync_channel`: a slow executor
+//! blocks sessions (and their clients) instead of buffering unboundedly.
+//! `SHUTDOWN` travels through the queue, so everything enqueued before it
+//! still completes — the executor flips a flag that stops the accept loop,
+//! sessions finish and hang up, and when the last queue sender drops the
+//! executor exits.
+//!
+//! # Quick start
+//!
+//! ```
+//! use elephant_server::{start, ElephantClient, ServerConfig};
+//!
+//! let handle = start(ServerConfig::default()).unwrap();
+//! let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+//! c.query_raw("CREATE TABLE t (a int)").unwrap();
+//! c.query_raw("INSERT INTO t VALUES (1), (2)").unwrap();
+//! assert_eq!(c.query_raw("SELECT sum(a) AS s FROM t").unwrap(), "s\n3\n");
+//! c.shutdown().unwrap();
+//! drop(c);
+//! handle.join();
+//! ```
+
+pub mod client;
+mod executor;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+mod session;
+
+pub use client::{ClientError, ClientResult, ElephantClient, ServerError};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use protocol::{Command, MAX_FRAME};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,195 @@
+//! Lock-free server metrics: per-verb counters, a queue-depth gauge and a
+//! log2-bucketed latency histogram with percentile estimation.
+//!
+//! Everything is atomics so sessions and the executor update without
+//! contention; `STATS` renders a snapshot as `key value` lines.
+
+use sqlengine::PlanCacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40;
+
+/// Histogram over microsecond latencies with power-of-two bucket edges:
+/// bucket `i` holds samples in `[2^i, 2^(i+1))` µs (bucket 0 holds `< 2` µs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros() as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bucket edge (µs) below which at least `p` (in `[0,1]`) of the
+    /// samples fall; 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Shared server counters; one instance per server, updated everywhere.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Commands answered successfully, by verb.
+    pub queries: AtomicU64,
+    /// PREPARE commands served.
+    pub prepares: AtomicU64,
+    /// EXECUTE commands served.
+    pub executes: AtomicU64,
+    /// EXPLAIN commands served.
+    pub explains: AtomicU64,
+    /// INSPECT commands served.
+    pub inspects: AtomicU64,
+    /// STATS commands served.
+    pub stats_calls: AtomicU64,
+    /// Error responses of any kind (protocol or execution).
+    pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub sessions_opened: AtomicU64,
+    /// Connections fully closed.
+    pub sessions_closed: AtomicU64,
+    /// Jobs currently queued for (or running on) the executor.
+    pub queue_depth: AtomicU64,
+    /// End-to-end executor latency per job.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Count one served command for `verb` (post-success).
+    pub fn count_verb(&self, verb: &str) {
+        let c = match verb {
+            "QUERY" => &self.queries,
+            "PREPARE" => &self.prepares,
+            "EXECUTE" => &self.executes,
+            "EXPLAIN" => &self.explains,
+            "INSPECT" => &self.inspects,
+            "STATS" => &self.stats_calls,
+            _ => return,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total commands served across verbs (SHUTDOWN/DEALLOCATE excluded).
+    pub fn total_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+            + self.prepares.load(Ordering::Relaxed)
+            + self.executes.load(Ordering::Relaxed)
+            + self.explains.load(Ordering::Relaxed)
+            + self.inspects.load(Ordering::Relaxed)
+            + self.stats_calls.load(Ordering::Relaxed)
+    }
+
+    /// Render the `STATS` body: one `key value` pair per line.
+    pub fn render(&self, plan: PlanCacheStats, plan_entries: usize, prepared: usize) -> String {
+        let o = Ordering::Relaxed;
+        let opened = self.sessions_opened.load(o);
+        let closed = self.sessions_closed.load(o);
+        let mut s = String::new();
+        let mut line = |k: &str, v: String| {
+            s.push_str(k);
+            s.push(' ');
+            s.push_str(&v);
+            s.push('\n');
+        };
+        line("commands_served", self.total_served().to_string());
+        line("queries", self.queries.load(o).to_string());
+        line("prepares", self.prepares.load(o).to_string());
+        line("executes", self.executes.load(o).to_string());
+        line("explains", self.explains.load(o).to_string());
+        line("inspects", self.inspects.load(o).to_string());
+        line("stats_calls", self.stats_calls.load(o).to_string());
+        line("errors", self.errors.load(o).to_string());
+        line("sessions_opened", opened.to_string());
+        line("sessions_open", opened.saturating_sub(closed).to_string());
+        line("queue_depth", self.queue_depth.load(o).to_string());
+        line("latency_count", self.latency.count().to_string());
+        line("latency_p50_us", self.latency.percentile(0.50).to_string());
+        line("latency_p95_us", self.latency.percentile(0.95).to_string());
+        line("latency_p99_us", self.latency.percentile(0.99).to_string());
+        line("plan_cache_entries", plan_entries.to_string());
+        line("plan_cache_hits", plan.hits.to_string());
+        line("plan_cache_misses", plan.misses.to_string());
+        line("plan_cache_evictions", plan.evictions.to_string());
+        line("plan_cache_hit_rate", format!("{:.4}", plan.hit_rate()));
+        line("prepared_statements", prepared.to_string());
+        s.pop();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            for _ in 0..20 {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= 100, "median bucket should cover 100us, got {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn render_contains_all_keys() {
+        let m = Metrics::default();
+        m.count_verb("QUERY");
+        m.count_verb("STATS");
+        let body = m.render(PlanCacheStats::default(), 0, 2);
+        for key in [
+            "commands_served 2",
+            "queries 1",
+            "plan_cache_hit_rate 0.0000",
+            "prepared_statements 2",
+            "latency_p99_us 0",
+        ] {
+            assert!(body.contains(key), "missing '{key}' in:\n{body}");
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Wire protocol: framing, command parsing, and response encoding.
+//!
+//! Requests are text frames in one of two encodings:
+//!
+//! * **Simple line** — `VERB rest-of-command\n`. Usable for any command
+//!   whose text fits on one line (no embedded newlines).
+//! * **Length-prefixed** — `!<n>\n` followed by exactly `n` payload bytes
+//!   and a trailing `\n`. The payload is the command text and may span
+//!   multiple lines (required for `INSPECT`, whose pipeline source is
+//!   multi-line Python).
+//!
+//! Responses are always length-prefixed so bodies can contain anything:
+//!
+//! * success — `+<n>\n<body>\n`
+//! * error — `-<n>\n<CODE> <message>\n`
+//!
+//! where `<n>` counts the body bytes (excluding the trailing newline).
+//! Error payloads start with a machine-readable code from [`codes`],
+//! a space, then a human-readable message.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Hard ceiling on a single frame's payload (1 MiB). Oversized frames are
+/// drained and refused with [`codes::OVERSIZED`]; the session stays up.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Machine-readable error codes carried in the first token of an error body.
+pub mod codes {
+    /// Malformed frame or unparsable command line.
+    pub const PARSE: &str = "ERR_PARSE";
+    /// Unknown verb.
+    pub const UNKNOWN: &str = "ERR_UNKNOWN_VERB";
+    /// Frame payload exceeded [`super::MAX_FRAME`].
+    pub const OVERSIZED: &str = "ERR_OVERSIZED";
+    /// SQL planning/execution failure.
+    pub const EXEC: &str = "ERR_EXEC";
+    /// Pipeline inspection failure.
+    pub const INSPECT: &str = "ERR_INSPECT";
+    /// Server is draining after SHUTDOWN; no new work accepted.
+    pub const DRAINING: &str = "ERR_DRAINING";
+    /// Internal server error (executor gone, poisoned state, ...).
+    pub const INTERNAL: &str = "ERR_INTERNAL";
+}
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Execute one SQL statement; SELECTs return CSV, DDL/DML return a
+    /// one-line acknowledgement.
+    Query(String),
+    /// Plan + cache a SELECT under a session-scoped name.
+    Prepare {
+        /// Statement name, unique per session.
+        name: String,
+        /// The SELECT text.
+        sql: String,
+    },
+    /// Run a previously prepared statement.
+    Execute(String),
+    /// Drop a prepared statement.
+    Deallocate(String),
+    /// Render the optimized plan without executing.
+    Explain(String),
+    /// Run an ML pipeline through the SQL backend with bias checks.
+    Inspect {
+        /// Sensitive columns to histogram after every operator.
+        columns: Vec<String>,
+        /// Max tolerated absolute ratio change per group.
+        threshold: f64,
+        /// The Python pipeline source.
+        source: String,
+    },
+    /// Server + engine counters.
+    Stats,
+    /// Begin graceful drain: stop accepting, finish in-flight work.
+    Shutdown,
+}
+
+impl Command {
+    /// Verb label used for metrics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Query(_) => "QUERY",
+            Command::Prepare { .. } => "PREPARE",
+            Command::Execute(_) => "EXECUTE",
+            Command::Deallocate(_) => "DEALLOCATE",
+            Command::Explain(_) => "EXPLAIN",
+            Command::Inspect { .. } => "INSPECT",
+            Command::Stats => "STATS",
+            Command::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error (includes mid-frame disconnects).
+    Io(io::Error),
+    /// Read timed out with no (complete) frame; caller may retry with the
+    /// same reader — partial data is preserved in the scratch buffer.
+    Timeout,
+    /// `!<n>` declared a payload larger than [`MAX_FRAME`]. The payload has
+    /// already been drained; the connection is still usable.
+    Oversized(usize),
+    /// The `!<n>` length header was not a number.
+    BadLength(String),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            FrameError::Timeout
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Reusable per-connection frame reader state. Keeping the partial-line
+/// buffer here lets reads resume cleanly after a timeout (needed for the
+/// shutdown-drain poll in sessions).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    line: String,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    /// Set while draining an oversized payload: (remaining bytes, declared).
+    draining: Option<(usize, usize)>,
+}
+
+impl FrameReader {
+    /// Create an empty reader state.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary.
+    /// [`FrameError::Timeout`] means "no complete frame yet, call again".
+    pub fn read_frame(&mut self, r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
+        if let Some((remaining, declared)) = self.draining.take() {
+            return self.drain_oversized(r, remaining, declared);
+        }
+        if self.payload_filled > 0 || !self.payload.is_empty() {
+            return self.read_payload(r);
+        }
+        loop {
+            match r.read_line(&mut self.line) {
+                Ok(0) => {
+                    // EOF. Mid-line EOF is a dropped connection.
+                    return if self.line.is_empty() {
+                        Ok(None)
+                    } else {
+                        self.line.clear();
+                        Err(FrameError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        )))
+                    };
+                }
+                Ok(_) if !self.line.ends_with('\n') => continue,
+                Ok(_) => break,
+                Err(e) => return Err(FrameError::from(e)),
+            }
+        }
+        let line = std::mem::take(&mut self.line);
+        let line = line.trim_end_matches(['\n', '\r']);
+        if let Some(len_text) = line.strip_prefix('!') {
+            let n: usize = len_text
+                .trim()
+                .parse()
+                .map_err(|_| FrameError::BadLength(len_text.to_string()))?;
+            if n > MAX_FRAME {
+                // +1 for the trailing newline after the payload.
+                return self.drain_oversized(r, n + 1, n);
+            }
+            self.payload = vec![0u8; n + 1];
+            self.payload_filled = 0;
+            self.read_payload(r)
+        } else {
+            Ok(Some(line.to_string()))
+        }
+    }
+
+    fn read_payload(&mut self, r: &mut impl Read) -> Result<Option<String>, FrameError> {
+        while self.payload_filled < self.payload.len() {
+            match r.read(&mut self.payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-payload",
+                    )))
+                }
+                Ok(k) => self.payload_filled += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::from(e)),
+            }
+        }
+        let mut payload = std::mem::take(&mut self.payload);
+        self.payload_filled = 0;
+        payload.pop(); // trailing newline
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| FrameError::BadLength("payload is not UTF-8".into()))
+    }
+
+    fn drain_oversized(
+        &mut self,
+        r: &mut impl Read,
+        mut remaining: usize,
+        declared: usize,
+    ) -> Result<Option<String>, FrameError> {
+        let mut chunk = [0u8; 8192];
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-payload",
+                    )))
+                }
+                Ok(k) => remaining -= k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    let fe = FrameError::from(e);
+                    if matches!(fe, FrameError::Timeout) {
+                        self.draining = Some((remaining, declared));
+                    }
+                    return Err(fe);
+                }
+            }
+        }
+        Err(FrameError::Oversized(declared))
+    }
+}
+
+/// Parse a complete frame payload into a [`Command`].
+pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
+    let frame = frame.trim_start_matches(['\n', '\r', ' ']);
+    let (first_line, rest) = match frame.split_once('\n') {
+        Some((l, r)) => (l.trim_end_matches('\r'), r),
+        None => (frame, ""),
+    };
+    let (verb, args) = match first_line.split_once(char::is_whitespace) {
+        Some((v, a)) => (v, a.trim()),
+        None => (first_line, ""),
+    };
+    let full_args = || -> String {
+        if rest.is_empty() {
+            args.to_string()
+        } else {
+            format!("{args}\n{rest}")
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => {
+            let sql = full_args();
+            if sql.trim().is_empty() {
+                return Err((codes::PARSE, "QUERY requires SQL text".into()));
+            }
+            Ok(Command::Query(sql))
+        }
+        "PREPARE" => {
+            let text = full_args();
+            let (name, sql) = text
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| (codes::PARSE, "usage: PREPARE <name> <sql>".to_string()))?;
+            if name.is_empty() || sql.trim().is_empty() {
+                return Err((codes::PARSE, "usage: PREPARE <name> <sql>".into()));
+            }
+            Ok(Command::Prepare {
+                name: name.to_string(),
+                sql: sql.trim().to_string(),
+            })
+        }
+        "EXECUTE" => {
+            if args.is_empty() || args.contains(char::is_whitespace) {
+                return Err((codes::PARSE, "usage: EXECUTE <name>".into()));
+            }
+            Ok(Command::Execute(args.to_string()))
+        }
+        "DEALLOCATE" => {
+            if args.is_empty() || args.contains(char::is_whitespace) {
+                return Err((codes::PARSE, "usage: DEALLOCATE <name>".into()));
+            }
+            Ok(Command::Deallocate(args.to_string()))
+        }
+        "EXPLAIN" => {
+            let sql = full_args();
+            if sql.trim().is_empty() {
+                return Err((codes::PARSE, "EXPLAIN requires SQL text".into()));
+            }
+            Ok(Command::Explain(sql))
+        }
+        "INSPECT" => {
+            let mut head = args.split_whitespace();
+            let cols = head.next().ok_or_else(|| {
+                (
+                    codes::PARSE,
+                    "usage: INSPECT <cols> <threshold>\\n<source>".to_string(),
+                )
+            })?;
+            let threshold: f64 = head.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                (
+                    codes::PARSE,
+                    "INSPECT threshold must be a number".to_string(),
+                )
+            })?;
+            if head.next().is_some() {
+                return Err((codes::PARSE, "INSPECT header has trailing tokens".into()));
+            }
+            if rest.trim().is_empty() {
+                return Err((
+                    codes::PARSE,
+                    "INSPECT requires a pipeline source body".into(),
+                ));
+            }
+            Ok(Command::Inspect {
+                columns: cols.split(',').map(|c| c.trim().to_string()).collect(),
+                threshold,
+                source: rest.to_string(),
+            })
+        }
+        "STATS" => Ok(Command::Stats),
+        "SHUTDOWN" => Ok(Command::Shutdown),
+        other => Err((codes::UNKNOWN, format!("unknown verb '{other}'"))),
+    }
+}
+
+/// Write a success response: `+<n>\n<body>\n`.
+pub fn write_ok(w: &mut impl Write, body: &str) -> io::Result<()> {
+    write!(w, "+{}\n{}\n", body.len(), body)?;
+    w.flush()
+}
+
+/// Write an error response: `-<n>\n<CODE> <message>\n`.
+pub fn write_err(w: &mut impl Write, code: &str, msg: &str) -> io::Result<()> {
+    let msg = msg.replace('\n', " ");
+    let body = format!("{code} {msg}");
+    write!(w, "-{}\n{}\n", body.len(), body)?;
+    w.flush()
+}
+
+/// Encode a request frame, choosing length-prefixed framing whenever the
+/// command text contains a newline (used by the client).
+pub fn encode_request(command: &str) -> String {
+    if command.contains('\n') {
+        format!("!{}\n{}\n", command.len(), command)
+    } else {
+        format!("{command}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(input: &str) -> Vec<Result<Option<String>, FrameError>> {
+        let mut r = Cursor::new(input.as_bytes().to_vec());
+        let mut fr = FrameReader::new();
+        let mut out = Vec::new();
+        loop {
+            let item = fr.read_frame(&mut r);
+            let done = matches!(item, Ok(None) | Err(FrameError::Io(_)));
+            out.push(item);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_line_frames() {
+        let frames = read_all("STATS\nQUERY SELECT 1\n");
+        assert_eq!(frames[0].as_ref().unwrap().as_deref(), Some("STATS"));
+        assert_eq!(
+            frames[1].as_ref().unwrap().as_deref(),
+            Some("QUERY SELECT 1")
+        );
+        assert!(matches!(frames[2], Ok(None)));
+    }
+
+    #[test]
+    fn length_prefixed_frame_with_newlines() {
+        let body = "INSPECT race 0.3\nline1\nline2";
+        let wire = encode_request(body);
+        assert!(wire.starts_with('!'));
+        let frames = read_all(&wire);
+        assert_eq!(frames[0].as_ref().unwrap().as_deref(), Some(body));
+    }
+
+    #[test]
+    fn oversized_frame_is_drained_and_flagged() {
+        let n = MAX_FRAME + 5;
+        let mut wire = format!("!{n}\n");
+        wire.push_str(&"x".repeat(n));
+        wire.push('\n');
+        wire.push_str("STATS\n");
+        let frames = read_all(&wire);
+        assert!(matches!(frames[0], Err(FrameError::Oversized(d)) if d == n));
+        // The connection remains usable: the next frame parses.
+        assert_eq!(frames[1].as_ref().unwrap().as_deref(), Some("STATS"));
+    }
+
+    #[test]
+    fn bad_length_header() {
+        let frames = read_all("!abc\n");
+        assert!(matches!(frames[0], Err(FrameError::BadLength(_))));
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_io_error() {
+        let frames = read_all("!10\nabc");
+        assert!(matches!(frames[0], Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn parse_all_verbs() {
+        assert_eq!(
+            parse_command("QUERY SELECT 1").unwrap(),
+            Command::Query("SELECT 1".into())
+        );
+        assert_eq!(
+            parse_command("prepare q1 SELECT a FROM t").unwrap(),
+            Command::Prepare {
+                name: "q1".into(),
+                sql: "SELECT a FROM t".into()
+            }
+        );
+        assert_eq!(
+            parse_command("EXECUTE q1").unwrap(),
+            Command::Execute("q1".into())
+        );
+        assert_eq!(
+            parse_command("DEALLOCATE q1").unwrap(),
+            Command::Deallocate("q1".into())
+        );
+        assert_eq!(
+            parse_command("EXPLAIN SELECT 1").unwrap(),
+            Command::Explain("SELECT 1".into())
+        );
+        assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
+        match parse_command("INSPECT race,sex 0.25\ndf = pd.read_csv(\"x.csv\")").unwrap() {
+            Command::Inspect {
+                columns,
+                threshold,
+                source,
+            } => {
+                assert_eq!(columns, vec!["race".to_string(), "sex".to_string()]);
+                assert!((threshold - 0.25).abs() < 1e-12);
+                assert!(source.contains("read_csv"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_codes() {
+        assert_eq!(parse_command("FROBNICATE").unwrap_err().0, codes::UNKNOWN);
+        assert_eq!(parse_command("QUERY").unwrap_err().0, codes::PARSE);
+        assert_eq!(parse_command("PREPARE q1").unwrap_err().0, codes::PARSE);
+        assert_eq!(
+            parse_command("INSPECT race notanumber\nx").unwrap_err().0,
+            codes::PARSE
+        );
+        assert_eq!(
+            parse_command("INSPECT race 0.3").unwrap_err().0,
+            codes::PARSE
+        );
+    }
+
+    #[test]
+    fn response_encoding_round_trip() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "a,b\n1,2").unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "+7\na,b\n1,2\n");
+        let mut buf = Vec::new();
+        write_err(&mut buf, codes::EXEC, "no such\ntable").unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            format!(
+                "-{}\nERR_EXEC no such table\n",
+                "ERR_EXEC no such table".len()
+            )
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The TCP server: listener, accept loop, and lifecycle handle.
+
+use crate::executor::{self, ExecutorConfig};
+use crate::metrics::Metrics;
+use crate::session::run_session;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-loop poll interval for the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Bound on the executor job queue — the backpressure threshold.
+    pub queue_capacity: usize,
+    /// In-memory (Umbra-like) engine profile when true, disk-based
+    /// (PostgreSQL-like) when false.
+    pub in_memory: bool,
+    /// Virtual files served to `INSPECT` pipelines' `read_csv` calls.
+    pub files: Vec<(String, String)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 64,
+            in_memory: true,
+            files: Vec::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Pre-register the standard synthetic pipeline datasets under the file
+    /// names the paper's pipelines read (`patients.csv`, `histories.csv`,
+    /// `compas_train.csv`, ... , `taxi.csv`), so `INSPECT` works for the
+    /// stock pipelines out of the box.
+    pub fn with_standard_pipeline_data(mut self, rows: usize, seed: u64) -> Self {
+        let test_rows = (rows / 3).max(30);
+        self.files = vec![
+            ("patients.csv".into(), datagen::patients_csv(rows, seed)),
+            ("histories.csv".into(), datagen::histories_csv(rows, seed)),
+            ("compas_train.csv".into(), datagen::compas_csv(rows, seed)),
+            (
+                "compas_test.csv".into(),
+                datagen::compas_csv(test_rows, seed + 1),
+            ),
+            ("adult_train.csv".into(), datagen::adult_csv(rows, seed)),
+            (
+                "adult_test.csv".into(),
+                datagen::adult_csv(test_rows, seed + 1),
+            ),
+            ("taxi.csv".into(), datagen::taxi_csv(rows, seed)),
+        ];
+        self
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// send `SHUTDOWN` (or call [`ServerHandle::shutdown`]) and [`join`].
+///
+/// [`join`]: ServerHandle::join
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    accept_join: Option<JoinHandle<()>>,
+    executor_join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server counters (live view).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Trigger the drain without a client (same effect as `SHUTDOWN`).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the drain to finish: the accept loop stops, every session
+    /// runs to completion, then the executor exhausts its queue and exits.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_join.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor_join.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind and start serving; returns immediately with a [`ServerHandle`].
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let metrics = Arc::new(Metrics::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, executor_join) = executor::spawn(
+        ExecutorConfig {
+            in_memory: config.in_memory,
+            files: config.files,
+            queue_capacity: config.queue_capacity,
+        },
+        Arc::clone(&metrics),
+        Arc::clone(&shutdown),
+    );
+
+    let accept_metrics = Arc::clone(&metrics);
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_join = thread::Builder::new()
+        .name("elephant-accept".into())
+        .spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            let mut next_session: u64 = 1;
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let id = next_session;
+                        next_session += 1;
+                        accept_metrics
+                            .sessions_opened
+                            .fetch_add(1, Ordering::Relaxed);
+                        let tx = tx.clone();
+                        let metrics = Arc::clone(&accept_metrics);
+                        let shutdown = Arc::clone(&accept_shutdown);
+                        match thread::Builder::new()
+                            .name(format!("elephant-session-{id}"))
+                            .spawn(move || run_session(stream, id, tx, metrics, shutdown))
+                        {
+                            Ok(h) => sessions.push(h),
+                            Err(_) => {
+                                accept_metrics
+                                    .sessions_closed
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // Opportunistically reap finished sessions so the
+                        // vector does not grow with server lifetime.
+                        sessions.retain(|h| !h.is_finished());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Draining: no new connections; wait for live sessions, then
+            // drop our queue sender so the executor can finish and exit.
+            for h in sessions {
+                let _ = h.join();
+            }
+            drop(tx);
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        metrics,
+        shutdown,
+        accept_join: Some(accept_join),
+        executor_join: Some(executor_join),
+    })
+}

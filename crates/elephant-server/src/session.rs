@@ -1,0 +1,136 @@
+//! Per-connection session threads.
+//!
+//! A session owns one TCP connection: it reads frames, parses commands,
+//! forwards them to the executor over the bounded queue (blocking when the
+//! queue is full — that *is* the backpressure), and writes responses back.
+//! Protocol-level failures (unknown verb, malformed or oversized frame)
+//! are answered with a structured error and the connection stays open;
+//! only transport errors end the session.
+//!
+//! Reads use a short socket timeout so an idle session notices the
+//! shutdown flag: once the server is draining, idle connections are closed
+//! instead of holding the drain hostage, while a command already submitted
+//! still gets its response.
+
+use crate::executor::Job;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    codes, parse_command, write_err, write_ok, Command, FrameError, FrameReader,
+};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Poll interval for noticing the shutdown flag while blocked on a read.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Run one connection to completion. Consumes the stream; returns when the
+/// client disconnects, a transport error occurs, or the server drains.
+pub(crate) fn run_session(
+    stream: TcpStream,
+    session_id: u64,
+    tx: SyncSender<Job>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut frames = FrameReader::new();
+
+    loop {
+        let frame = match frames.read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean disconnect
+            Err(FrameError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // draining: drop idle connections
+                }
+                continue;
+            }
+            Err(FrameError::Oversized(n)) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let msg = format!("frame of {n} bytes exceeds limit");
+                if write_err(&mut writer, codes::OVERSIZED, &msg).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::BadLength(what)) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let msg = format!("bad length header '{what}'");
+                if write_err(&mut writer, codes::PARSE, &msg).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::Io(_)) => break, // mid-frame disconnect etc.
+        };
+
+        let command = match parse_command(&frame) {
+            Ok(c) => c,
+            Err((code, msg)) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if write_err(&mut writer, code, &msg).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        // Refuse new work while draining (SHUTDOWN and STATS stay allowed
+        // so clients can observe the drain).
+        if shutdown.load(Ordering::SeqCst) && !matches!(command, Command::Shutdown | Command::Stats)
+        {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+            if write_err(&mut writer, codes::DRAINING, "server is draining").is_err() {
+                break;
+            }
+            continue;
+        }
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if tx
+            .send(Job::Command {
+                session: session_id,
+                command,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            // Executor gone — only possible deep into shutdown.
+            metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            let _ = write_err(&mut writer, codes::INTERNAL, "executor unavailable");
+            break;
+        }
+        match reply_rx.recv() {
+            Ok(Ok(body)) => {
+                if write_ok(&mut writer, &body).is_err() {
+                    break;
+                }
+            }
+            Ok(Err((code, msg))) => {
+                if write_err(&mut writer, code, &msg).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                let _ = write_err(&mut writer, codes::INTERNAL, "executor dropped the job");
+                break;
+            }
+        }
+    }
+
+    // Best effort: free this session's prepared statements.
+    let _ = tx.send(Job::CloseSession {
+        session: session_id,
+    });
+}

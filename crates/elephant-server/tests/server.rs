@@ -1,0 +1,290 @@
+//! End-to-end tests: a real server on a loopback socket, real clients on
+//! real threads, results compared byte-for-byte against the embedded engine.
+
+use elephant_server::{start, ClientError, ElephantClient, ServerConfig};
+use mlinspect::SqlMode;
+use sqlengine::{Engine, EngineProfile};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// The pipeline rows/seed every test (and its embedded reference) uses.
+const ROWS: usize = 120;
+const SEED: u64 = 7;
+
+fn pipeline_files() -> Vec<(String, String)> {
+    vec![
+        ("patients.csv".into(), datagen::patients_csv(ROWS, SEED)),
+        ("histories.csv".into(), datagen::histories_csv(ROWS, SEED)),
+    ]
+}
+
+const HEALTHCARE_PIPELINE: &str = r#"
+patients = pd.read_csv("patients.csv", na_values='?')
+histories = pd.read_csv("histories.csv", na_values='?')
+data = patients.merge(histories, on=['ssn'])
+complications = data.groupby('age_group').agg(mean_complications=('complications', 'mean'))
+data = data.merge(complications, on=['age_group'])
+data['label'] = data['complications'] > 1.2 * data['mean_complications']
+data = data[['smoker', 'last_name', 'county', 'num_children', 'race', 'income', 'label']]
+data = data[data['county'].isin(['county2', 'county3'])]
+"#;
+
+const SETUP: &[&str] = &[
+    "CREATE TABLE nums (a int, b int)",
+    "INSERT INTO nums VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)",
+];
+
+const QUERIES: &[&str] = &[
+    "SELECT a, b FROM nums ORDER BY a",
+    "SELECT count(*) AS n, sum(b) AS s FROM nums",
+    "SELECT a, b FROM nums WHERE b >= 30 ORDER BY a DESC",
+    "SELECT avg(b) AS m FROM nums WHERE a <> 3",
+];
+
+/// What the embedded engine says each query should return, as CSV.
+fn embedded_expectations() -> Vec<String> {
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    for ddl in SETUP {
+        engine.execute(ddl).unwrap();
+    }
+    QUERIES
+        .iter()
+        .map(|q| {
+            let rel = engine.query(q).unwrap();
+            etypes::csv::write_csv(&rel.columns, &rel.rows, ',')
+        })
+        .collect()
+}
+
+fn embedded_inspection() -> String {
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    mlinspect::inspect_pipeline_in_sql(
+        HEALTHCARE_PIPELINE,
+        &pipeline_files(),
+        &["age_group"],
+        0.3,
+        &mut engine,
+        SqlMode::Cte,
+        false,
+    )
+    .unwrap()
+    .render()
+}
+
+fn stat(stats: &str, key: &str) -> f64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("missing '{key}' in stats:\n{stats}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_embedded_engine() {
+    let expected = embedded_expectations();
+    let expected_report = embedded_inspection();
+    let handle = start(ServerConfig {
+        files: pipeline_files(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let mut admin = ElephantClient::connect(addr).unwrap();
+    for ddl in SETUP {
+        admin.query_raw(ddl).unwrap();
+    }
+
+    // Four concurrent clients with distinct workloads.
+    let mut workers = Vec::new();
+    // 1) plain queries, every result byte-identical to the embedded engine
+    {
+        let expected = expected.clone();
+        workers.push(thread::spawn(move || {
+            let mut c = ElephantClient::connect(addr).unwrap();
+            for round in 0..5 {
+                for (q, want) in QUERIES.iter().zip(&expected) {
+                    let got = c.query_raw(q).unwrap();
+                    assert_eq!(&got, want, "round {round} query '{q}'");
+                }
+            }
+        }));
+    }
+    // 2) prepared statements through the plan cache
+    {
+        let expected = expected.clone();
+        workers.push(thread::spawn(move || {
+            let mut c = ElephantClient::connect(addr).unwrap();
+            c.prepare("q0", QUERIES[0]).unwrap();
+            c.prepare("q1", QUERIES[1]).unwrap();
+            for _ in 0..10 {
+                assert_eq!(c.execute("q0").unwrap(), expected[0]);
+                assert_eq!(c.execute("q1").unwrap(), expected[1]);
+            }
+        }));
+    }
+    // 3) EXPLAIN + queries interleaved
+    {
+        let expected = expected.clone();
+        workers.push(thread::spawn(move || {
+            let mut c = ElephantClient::connect(addr).unwrap();
+            for _ in 0..5 {
+                let plan = c.explain(QUERIES[0]).unwrap();
+                assert!(!plan.trim().is_empty());
+                assert_eq!(c.query_raw(QUERIES[2]).unwrap(), expected[2]);
+            }
+        }));
+    }
+    // 4) full pipeline inspection via the SQL backend
+    {
+        let expected_report = expected_report.clone();
+        workers.push(thread::spawn(move || {
+            let mut c = ElephantClient::connect(addr).unwrap();
+            let report = c.inspect(&["age_group"], 0.3, HEALTHCARE_PIPELINE).unwrap();
+            assert_eq!(report, expected_report);
+            assert!(report.contains("inspection verdict="), "{report}");
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let stats = admin.stats().unwrap();
+    assert!(stat(&stats, "queries") >= (SETUP.len() + 25) as f64);
+    assert!(stat(&stats, "executes") >= 20.0);
+    assert!(stat(&stats, "inspects") >= 1.0);
+    assert!(stat(&stats, "latency_count") > 0.0);
+    assert!(stat(&stats, "sessions_opened") >= 5.0);
+
+    assert_eq!(admin.shutdown().unwrap(), "draining");
+    drop(admin);
+    handle.join();
+}
+
+#[test]
+fn repeated_execute_hits_plan_cache() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+    c.query_raw("CREATE TABLE t (a int)").unwrap();
+    c.query_raw("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    c.prepare("q", "SELECT sum(a) AS s FROM t").unwrap();
+    for _ in 0..6 {
+        assert_eq!(c.execute("q").unwrap(), "s\n6\n");
+    }
+    let stats = c.stats().unwrap();
+    assert!(
+        stat(&stats, "plan_cache_hits") >= 5.0,
+        "expected cache hits:\n{stats}"
+    );
+    assert!(stat(&stats, "plan_cache_hit_rate") > 0.0);
+    assert!(stat(&stats, "prepared_statements") >= 1.0);
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut a = ElephantClient::connect(addr).unwrap();
+    let mut b = ElephantClient::connect(addr).unwrap();
+    a.query_raw("CREATE TABLE t (a int)").unwrap();
+    a.query_raw("INSERT INTO t VALUES (1), (2)").unwrap();
+
+    // Work enqueued around the SHUTDOWN still gets answered: client `a`
+    // races queries against client `b`'s shutdown.
+    let racer = thread::spawn(move || {
+        let mut last = String::new();
+        for _ in 0..20 {
+            match a.query_raw("SELECT count(*) AS n FROM t") {
+                Ok(body) => last = body,
+                // Once draining, new work is refused with a structured code.
+                Err(ClientError::Server(e)) => {
+                    assert_eq!(e.code, "ERR_DRAINING");
+                    break;
+                }
+                Err(other) => panic!("transport error: {other}"),
+            }
+        }
+        last
+    });
+    thread::sleep(Duration::from_millis(20));
+    assert_eq!(b.shutdown().unwrap(), "draining");
+    let last = racer.join().unwrap();
+    // Every answered query was answered correctly — nothing half-dropped.
+    assert_eq!(last, "n\n2\n");
+
+    // STATS is still answered while draining.
+    let stats = b.stats().unwrap();
+    assert!(stat(&stats, "queries") >= 2.0);
+    drop(b);
+    handle.join();
+}
+
+#[test]
+fn protocol_errors_keep_the_session_and_server_alive() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut c = ElephantClient::connect(addr).unwrap();
+
+    // Unknown verb → structured error, connection still usable.
+    match c.send("FROBNICATE now") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "ERR_UNKNOWN_VERB"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Malformed command → structured error.
+    match c.send("PREPARE onlyaname") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "ERR_PARSE"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // SQL error → structured error.
+    match c.query_raw("SELECT FROM WHERE") {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "ERR_EXEC"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Same connection still serves work.
+    assert_eq!(c.query_raw("SELECT 1 AS one").unwrap(), "one\n1\n");
+
+    // Oversized frame → refused, drained, connection survives.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let n = elephant_server::MAX_FRAME + 1;
+    writeln!(raw, "!{n}").unwrap();
+    let junk = vec![b'x'; n];
+    raw.write_all(&junk).unwrap();
+    raw.write_all(b"\n").unwrap();
+    raw.write_all(b"STATS\n").unwrap();
+    raw.flush().unwrap();
+    let mut response = String::new();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Read both responses: the oversized error and the STATS answer.
+    let mut buf = [0u8; 4096];
+    while !response.contains("commands_served") {
+        let k = raw.read(&mut buf).unwrap();
+        assert!(k > 0, "server hung up early: {response}");
+        response.push_str(&String::from_utf8_lossy(&buf[..k]));
+    }
+    assert!(response.starts_with('-'), "{response}");
+    assert!(response.contains("ERR_OVERSIZED"), "{response}");
+
+    // Mid-frame disconnect: declare 10 bytes, send 3, hang up.
+    let mut dead = TcpStream::connect(addr).unwrap();
+    dead.write_all(b"!10\nabc").unwrap();
+    drop(dead);
+    // Disconnect right after a full command, without reading the reply.
+    let mut ghost = TcpStream::connect(addr).unwrap();
+    ghost.write_all(b"QUERY SELECT 1 AS one\n").unwrap();
+    ghost.flush().unwrap();
+    drop(ghost);
+    thread::sleep(Duration::from_millis(50));
+
+    // The server is still healthy after all of that.
+    assert_eq!(c.query_raw("SELECT 2 AS two").unwrap(), "two\n2\n");
+    c.shutdown().unwrap();
+    drop(c);
+    drop(raw);
+    handle.join();
+}

@@ -251,7 +251,10 @@ mod tests {
             t.types,
             vec![DataType::Int, DataType::Float, DataType::Text]
         );
-        assert_eq!(t.rows[0], vec![Value::Int(1), Value::Float(1.5), "x".into()]);
+        assert_eq!(
+            t.rows[0],
+            vec![Value::Int(1), Value::Float(1.5), "x".into()]
+        );
     }
 
     #[test]

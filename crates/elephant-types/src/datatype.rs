@@ -99,7 +99,11 @@ mod tests {
             DataType::Serial,
             DataType::Array(Box::new(DataType::Int)),
         ] {
-            assert_eq!(DataType::parse_sql(&dt.sql_name()), Some(dt.clone()), "{dt}");
+            assert_eq!(
+                DataType::parse_sql(&dt.sql_name()),
+                Some(dt.clone()),
+                "{dt}"
+            );
         }
     }
 

@@ -10,9 +10,11 @@
 pub mod csv;
 pub mod datatype;
 pub mod error;
+pub mod rng;
 pub mod value;
 
 pub use csv::{read_csv, read_csv_str, write_csv, CsvOptions, CsvTable};
 pub use datatype::DataType;
 pub use error::{Error, Result};
+pub use rng::Prng;
 pub use value::Value;

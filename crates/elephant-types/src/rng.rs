@@ -1,0 +1,164 @@
+//! A tiny deterministic PRNG shared by the whole workspace.
+//!
+//! The repository must build and test fully offline, so nothing may depend
+//! on the external `rand` crate. Every layer that needs randomness — the
+//! synthetic dataset generators, `train_test_split`, model weight
+//! initialization, property-style tests — uses this one implementation:
+//! an xorshift* core (the exact generator `datagen` has always used, so
+//! dataset bytes stay stable across releases) with a SplitMix64 stream
+//! deriver for splitting one seed into independent substreams.
+//!
+//! Not cryptographically secure; strictly for reproducible simulation.
+
+/// Deterministic xorshift* generator.
+///
+/// Same seed → same sequence, forever. Seed 0 is remapped to a fixed
+/// odd constant because xorshift has an all-zero fixed point.
+#[derive(Debug, Clone)]
+pub struct Prng(u64);
+
+/// SplitMix64 step: mixes a counter into a well-distributed 64-bit value.
+/// Used to derive independent substream seeds from one master seed.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// Seeded constructor; seed 0 is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Prng {
+        Prng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Substream `stream` of master seed `seed`: two SplitMix64 steps give
+    /// independent sequences even for adjacent seeds/streams.
+    pub fn from_stream(seed: u64, stream: u64) -> Prng {
+        let mut s = seed ^ stream.wrapping_mul(0xA0761D6478BD642F);
+        let mixed = splitmix64(&mut s) ^ splitmix64(&mut s);
+        Prng::new(mixed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Weighted choice: returns an index with probability proportional to
+    /// `weights[i]`.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight() {
+        let mut p = Prng::new(1);
+        for _ in 0..100 {
+            assert_ne!(p.weighted(&[0.0, 1.0, 0.0]), 0);
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut p = Prng::new(3);
+        for _ in 0..1000 {
+            let u = p.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Prng::from_stream(7, 0);
+        let mut b = Prng::from_stream(7, 1);
+        let same = (0..50).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut p = Prng::new(9);
+        let mut xs: Vec<usize> = (0..100).collect();
+        p.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted);
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut p = Prng::new(11);
+        for _ in 0..500 {
+            let f = p.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = p.range_i64(-5, 5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+}

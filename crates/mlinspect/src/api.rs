@@ -208,6 +208,135 @@ impl PipelineInspector {
     }
 }
 
+/// One operator's bias verdict in an [`InspectionReport`]: how much the
+/// operator shifted a sensitive column's value ratios versus its input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpBiasVerdict {
+    /// The inspected operator.
+    pub node: NodeId,
+    /// Operator label (e.g. `selection`, `join`).
+    pub label: &'static str,
+    /// 1-based pipeline source line.
+    pub line: usize,
+    /// The sensitive column.
+    pub column: String,
+    /// Largest absolute ratio change at this operator.
+    pub max_abs_change: f64,
+    /// True when the change stays below the threshold.
+    pub passed: bool,
+}
+
+/// The serving layer's inspection result: check verdicts plus one line per
+/// (distribution-changing operator × sensitive column), renderable as a
+/// plain-text wire body.
+#[derive(Debug, Clone)]
+pub struct InspectionReport {
+    /// Check verdicts (`NoBiasIntroducedFor`, one per requested column set).
+    pub check_results: Vec<CheckResult>,
+    /// Per-operation bias verdicts.
+    pub ops: Vec<OpBiasVerdict>,
+    /// Model accuracies for end-to-end pipelines.
+    pub accuracies: Vec<f64>,
+}
+
+impl InspectionReport {
+    /// True when no operator exceeded the threshold.
+    pub fn all_passed(&self) -> bool {
+        self.check_results.iter().all(CheckResult::passed)
+    }
+
+    /// Render as stable, line-oriented text (one `op ...` line per verdict),
+    /// the body the server returns for `INSPECT`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let verdict = if self.all_passed() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "inspection verdict={verdict} checks={} ops={}",
+            self.check_results.len(),
+            self.ops.len()
+        );
+        for acc in &self.accuracies {
+            let _ = writeln!(out, "accuracy {acc:.4}");
+        }
+        for op in &self.ops {
+            let _ = writeln!(
+                out,
+                "op id={} label={} line={} column={} max_change={:.4} verdict={}",
+                op.node,
+                op.label,
+                op.line,
+                op.column,
+                op.max_abs_change,
+                if op.passed { "ok" } else { "biased" }
+            );
+        }
+        out
+    }
+}
+
+/// Run a pipeline end-to-end on the SQL backend and report per-operation
+/// bias verdicts — the single entry the serving layer (`elephant-server`'s
+/// `INSPECT` verb) calls.
+///
+/// `files` registers in-memory CSVs under the paths the pipeline reads;
+/// `columns`/`threshold` parameterize `NoBiasIntroducedFor`.
+pub fn inspect_pipeline_in_sql(
+    source: &str,
+    files: &[(String, String)],
+    columns: &[&str],
+    threshold: f64,
+    engine: &mut Engine,
+    mode: SqlMode,
+    materialize: bool,
+) -> Result<InspectionReport> {
+    let mut inspector = PipelineInspector::on_pipeline(source);
+    for (path, content) in files {
+        inspector = inspector.with_file(path.clone(), content.clone());
+    }
+    let result = inspector
+        .no_bias_introduced_for(columns, threshold)
+        .execute_in_sql(engine, mode, materialize)?;
+
+    let mut ops = Vec::new();
+    for node in &result.dag.nodes {
+        if !node.kind.can_change_distribution() {
+            continue;
+        }
+        let Some(input) = node.kind.inputs().first().copied() else {
+            continue;
+        };
+        for column in columns {
+            let (Some(before), Some(after)) = (
+                result.inspections.histogram(input, column),
+                result.inspections.histogram(node.id, column),
+            ) else {
+                continue;
+            };
+            let change = crate::inspection::HistogramChange {
+                column: column.to_string(),
+                before: before.clone(),
+                after: after.clone(),
+            };
+            let max = change.max_abs_change();
+            ops.push(OpBiasVerdict {
+                node: node.id,
+                label: node.kind.label(),
+                line: node.line,
+                column: column.to_string(),
+                max_abs_change: max,
+                passed: max < threshold,
+            });
+        }
+    }
+    Ok(InspectionReport {
+        check_results: result.check_results,
+        ops,
+        accuracies: result.accuracies,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +387,31 @@ mod tests {
             .transpile_only(SqlMode::Cte)
             .unwrap();
         assert!(sql.container.len() > 5);
+    }
+
+    #[test]
+    fn server_entry_reports_per_op_verdicts() {
+        let mut engine = Engine::new(EngineProfile::in_memory());
+        let files = vec![
+            ("patients.csv".to_string(), datagen::patients_csv(150, 1)),
+            ("histories.csv".to_string(), datagen::histories_csv(150, 1)),
+        ];
+        let report = inspect_pipeline_in_sql(
+            pipelines::HEALTHCARE,
+            &files,
+            &["age_group"],
+            0.3,
+            &mut engine,
+            SqlMode::Cte,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.check_results.len(), 1);
+        assert!(!report.ops.is_empty());
+        let text = report.render();
+        assert!(text.starts_with("inspection verdict="));
+        assert!(text.contains("op id="));
+        // One op line per verdict entry, all for the inspected column.
+        assert_eq!(text.matches("column=age_group").count(), report.ops.len());
     }
 }

@@ -247,9 +247,7 @@ impl<'a> PandasBackend<'a> {
                     .iter()
                     .find(|c| c.starts_with(CTID_PREFIX))
                     .map(|c| c.to_string())
-                    .ok_or_else(|| {
-                        MlError::Internal("split without lineage column".to_string())
-                    })?;
+                    .ok_or_else(|| MlError::Internal("split without lineage column".to_string()))?;
                 let ids = df.column(&ctid_col)?;
                 let mask_vals: Vec<Value> = ids
                     .values()
@@ -383,10 +381,13 @@ impl<'a> PandasBackend<'a> {
                         .collect::<dataframe::Result<Vec<_>>>()
                 })
                 .collect::<dataframe::Result<Vec<_>>>()?;
-            self.artifacts
-                .inspections
-                .lineage
-                .insert(id, RowLineageSample { ctid_columns: ctid_cols, rows });
+            self.artifacts.inspections.lineage.insert(
+                id,
+                RowLineageSample {
+                    ctid_columns: ctid_cols,
+                    rows,
+                },
+            );
         }
         if let Some(k) = self.config.first_rows_k() {
             let visible = visible_columns(&df);
@@ -572,9 +573,7 @@ mod tests {
     fn config(sensitive: &[&str]) -> RunConfig {
         RunConfig {
             inspections: vec![
-                Inspection::HistogramForColumns(
-                    sensitive.iter().map(|s| s.to_string()).collect(),
-                ),
+                Inspection::HistogramForColumns(sensitive.iter().map(|s| s.to_string()).collect()),
                 Inspection::RowLineage(3),
                 Inspection::MaterializeFirstOutputRows(3),
             ],
@@ -628,10 +627,7 @@ mod tests {
             .find(|n| n.kind.label() == "selection")
             .unwrap();
         let input = selection.kind.inputs()[0];
-        let before = artifacts
-            .inspections
-            .histogram(input, "age_group")
-            .unwrap();
+        let before = artifacts.inspections.histogram(input, "age_group").unwrap();
         let after = artifacts
             .inspections
             .histogram(selection.id, "age_group")

@@ -180,10 +180,7 @@ impl<'a> SqlBackend<'a> {
             // for which recalculating can be avoided, as well as all fitting
             // parameters are materialised" (§3.4.2).
             let materialized = self.materialize;
-            let engine = self
-                .engine
-                .as_deref_mut()
-                .expect("dry_run checked above");
+            let engine = self.engine.as_deref_mut().expect("dry_run checked above");
             engine.execute(&format!("DROP VIEW IF EXISTS {}", entry.name))?;
             engine.execute(&SqlQueryContainer::view_ddl(&entry, materialized))?;
         }
@@ -202,11 +199,7 @@ impl<'a> SqlBackend<'a> {
                 // Schema deduction: full parse when executing, ten-row sample
                 // when only transpiling.
                 let csv = if self.dry_run() {
-                    let sample: String = text
-                        .lines()
-                        .take(11)
-                        .collect::<Vec<_>>()
-                        .join("\n");
+                    let sample: String = text.lines().take(11).collect::<Vec<_>>().join("\n");
                     etypes::read_csv_str(&sample, &opts)?
                 } else {
                     etypes::read_csv_str(&text, &opts)?
@@ -283,7 +276,8 @@ impl<'a> SqlBackend<'a> {
                 test_percent,
                 seed,
             } => {
-                self.gen.split(id, line, *input, *part, *test_percent, *seed)?;
+                self.gen
+                    .split(id, line, *input, *part, *test_percent, *seed)?;
             }
             OpKind::FeatureTransform {
                 input,
@@ -526,9 +520,7 @@ mod tests {
     fn config(sensitive: &[&str]) -> RunConfig {
         RunConfig {
             inspections: vec![
-                Inspection::HistogramForColumns(
-                    sensitive.iter().map(|s| s.to_string()).collect(),
-                ),
+                Inspection::HistogramForColumns(sensitive.iter().map(|s| s.to_string()).collect()),
                 Inspection::RowLineage(3),
                 Inspection::MaterializeFirstOutputRows(3),
             ],
@@ -571,9 +563,8 @@ mod tests {
                 let files = files();
                 let cfg = config(&["race"]);
                 let mut engine = Engine::new(EngineProfile::in_memory());
-                let artifacts =
-                    SqlBackend::run(&cap.dag, &files, &cfg, &mut engine, mode, false)
-                        .unwrap_or_else(|e| panic!("{name} ({mode:?}): {e}"));
+                let artifacts = SqlBackend::run(&cap.dag, &files, &cfg, &mut engine, mode, false)
+                    .unwrap_or_else(|e| panic!("{name} ({mode:?}): {e}"));
                 let acc = artifacts.accuracy().unwrap();
                 assert!((0.0..=1.0).contains(&acc), "{name}: {acc}");
             }

@@ -118,7 +118,12 @@ impl Capture {
     fn run(&mut self, module: &Module) -> Result<()> {
         for stmt in &module.stmts {
             match stmt {
-                Stmt::Import { names, module, is_from, .. } => {
+                Stmt::Import {
+                    names,
+                    module,
+                    is_from,
+                    ..
+                } => {
                     if *is_from {
                         for (name, alias) in names {
                             let bound = alias.clone().unwrap_or_else(|| name.clone());
@@ -318,11 +323,9 @@ impl Capture {
 
     fn binary(&mut self, line: usize, op: BinOp, l: PyObj, r: PyObj) -> Result<PyObj> {
         match (&l, &r) {
-            (PyObj::Scalar(a), PyObj::Scalar(b)) => {
-                fold_scalars(op, a, b).map(PyObj::Scalar).ok_or_else(|| {
-                    MlError::capture(line, format!("cannot evaluate {a} {op} {b}"))
-                })
-            }
+            (PyObj::Scalar(a), PyObj::Scalar(b)) => fold_scalars(op, a, b)
+                .map(PyObj::Scalar)
+                .ok_or_else(|| MlError::capture(line, format!("cannot evaluate {a} {op} {b}"))),
             (PyObj::SeriesExpr { frame, .. }, _) | (_, PyObj::SeriesExpr { frame, .. }) => {
                 let frame = *frame;
                 let le = self.to_sexpr(line, frame, &l)?;
@@ -342,9 +345,7 @@ impl Capture {
 
     fn unary(&mut self, line: usize, op: UnaryOp, v: PyObj) -> Result<PyObj> {
         match v {
-            PyObj::Scalar(Value::Int(i)) if op == UnaryOp::Neg => {
-                Ok(PyObj::Scalar(Value::Int(-i)))
-            }
+            PyObj::Scalar(Value::Int(i)) if op == UnaryOp::Neg => Ok(PyObj::Scalar(Value::Int(-i))),
             PyObj::Scalar(Value::Float(f)) if op == UnaryOp::Neg => {
                 Ok(PyObj::Scalar(Value::Float(-f)))
             }
@@ -424,7 +425,12 @@ impl Capture {
                     parts.push(self.stringify(line, &v)?);
                 }
                 Ok(Some(PyObj::Scalar(Value::text(
-                    parts.iter().filter(|p| !p.is_empty()).cloned().collect::<Vec<_>>().join("/"),
+                    parts
+                        .iter()
+                        .filter(|p| !p.is_empty())
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join("/"),
                 ))))
             }
             _ => Err(MlError::unsupported(line, format!("module call {path}"))),
@@ -494,7 +500,10 @@ impl Capture {
             }
             "KerasClassifier" | "MLPClassifier" => {
                 let epochs = self.kwarg_int(line, args, "epochs")?.unwrap_or(30) as usize;
-                Ok(PyObj::Model(ModelKind::NeuralNetwork { hidden: 16, epochs }))
+                Ok(PyObj::Model(ModelKind::NeuralNetwork {
+                    hidden: 16,
+                    epochs,
+                }))
             }
             "Pipeline" => self.make_pipeline(line, args),
             "ColumnTransformer" => self.make_column_transformer(line, args),
@@ -597,9 +606,7 @@ impl Capture {
                 let n = match args.first() {
                     None => 5, // pandas default
                     Some(a) => match self.eval(line, &a.value)? {
-                        PyObj::Scalar(v) => {
-                            v.as_i64().map_err(MlError::Value)?.max(0) as u64
-                        }
+                        PyObj::Scalar(v) => v.as_i64().map_err(MlError::Value)?.max(0) as u64,
                         _ => return Err(MlError::unsupported(line, "head() argument")),
                     },
                 };
@@ -870,7 +877,10 @@ impl Capture {
 
     fn pipeline_fit(&mut self, line: usize, pid: usize, args: &[Arg]) -> Result<PyObj> {
         let PyObj::Frame(x) = self.eval(line, &args[0].value)? else {
-            return Err(MlError::capture(line, "fit on non-frame features".to_string()));
+            return Err(MlError::capture(
+                line,
+                "fit on non-frame features".to_string(),
+            ));
         };
         let labels = self.labels_from(line, &args[1])?;
         let state = self.pipelines[pid].clone();
@@ -897,7 +907,10 @@ impl Capture {
 
     fn pipeline_score(&mut self, line: usize, pid: usize, args: &[Arg]) -> Result<PyObj> {
         let PyObj::Frame(x) = self.eval(line, &args[0].value)? else {
-            return Err(MlError::capture(line, "score on non-frame features".to_string()));
+            return Err(MlError::capture(
+                line,
+                "score on non-frame features".to_string(),
+            ));
         };
         let labels = self.labels_from(line, &args[1])?;
         let state = self.pipelines[pid].clone();
@@ -1080,11 +1093,7 @@ mod tests {
     fn captures_adult_simple_and_complex() {
         for src in [pipelines::ADULT_SIMPLE, pipelines::ADULT_COMPLEX] {
             let cap = capture(src).unwrap();
-            assert!(cap
-                .dag
-                .nodes
-                .iter()
-                .any(|n| n.kind.label() == "model_fit"));
+            assert!(cap.dag.nodes.iter().any(|n| n.kind.label() == "model_fit"));
         }
     }
 
@@ -1112,10 +1121,8 @@ mod tests {
 
     #[test]
     fn selection_with_compound_condition() {
-        let cap = capture(
-            "t = pd.read_csv('x.csv')\nt = t[(t['d'] <= 30) & (t['d'] >= -30)]",
-        )
-        .unwrap();
+        let cap =
+            capture("t = pd.read_csv('x.csv')\nt = t[(t['d'] <= 30) & (t['d'] >= -30)]").unwrap();
         let filter = cap
             .dag
             .nodes
@@ -1136,10 +1143,8 @@ mod tests {
 
     #[test]
     fn cross_frame_series_combination_is_rejected() {
-        let err = capture(
-            "a = pd.read_csv('a.csv')\nb = pd.read_csv('b.csv')\na['x'] = b['y']",
-        )
-        .unwrap_err();
+        let err = capture("a = pd.read_csv('a.csv')\nb = pd.read_csv('b.csv')\na['x'] = b['y']")
+            .unwrap_err();
         assert!(matches!(err, MlError::Unsupported { .. }));
     }
 

@@ -22,11 +22,7 @@ pub fn evaluate_illegal_features(dag: &Dag, blacklist: &[String]) -> CheckResult
     }
     let mut illegal: Vec<String> = used
         .into_iter()
-        .filter(|c| {
-            blacklist
-                .iter()
-                .any(|b| b.eq_ignore_ascii_case(c.as_str()))
-        })
+        .filter(|c| blacklist.iter().any(|b| b.eq_ignore_ascii_case(c.as_str())))
         .collect();
     illegal.sort();
     CheckResult {

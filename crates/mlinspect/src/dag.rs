@@ -422,7 +422,13 @@ mod tests {
     #[test]
     fn dag_is_topological_by_construction() {
         let mut dag = Dag::default();
-        let a = dag.push(1, OpKind::ReadCsv { file: "x.csv".into(), na_values: None });
+        let a = dag.push(
+            1,
+            OpKind::ReadCsv {
+                file: "x.csv".into(),
+                na_values: None,
+            },
+        );
         let b = dag.push(2, OpKind::DropNa { input: a });
         assert!(dag.node(b).kind.inputs().iter().all(|i| *i < b));
     }
@@ -460,7 +466,13 @@ mod tests {
     #[test]
     fn describe_mentions_labels() {
         let mut dag = Dag::default();
-        dag.push(1, OpKind::ReadCsv { file: "a".into(), na_values: None });
+        dag.push(
+            1,
+            OpKind::ReadCsv {
+                file: "a".into(),
+                na_values: None,
+            },
+        );
         assert!(dag.describe().contains("read_csv"));
     }
 }

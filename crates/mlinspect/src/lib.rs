@@ -43,7 +43,10 @@ pub mod inspection;
 pub mod pipelines;
 pub mod sqlgen;
 
-pub use api::{InspectorResult, PipelineInspector, SqlMode};
+pub use api::{
+    inspect_pipeline_in_sql, InspectionReport, InspectorResult, OpBiasVerdict, PipelineInspector,
+    SqlMode,
+};
 pub use checks::{CheckOutcome, CheckResult};
 pub use dag::{Dag, DagNode, OpKind};
 pub use error::{MlError, Result};

@@ -107,9 +107,7 @@ impl SqlQueryContainer {
     pub fn view_script(&self, materialize: bool) -> String {
         self.entries
             .iter()
-            .map(|e| {
-                SqlQueryContainer::view_ddl(e, materialize && e.materialize_candidate)
-            })
+            .map(|e| SqlQueryContainer::view_ddl(e, materialize && e.materialize_candidate))
             .collect::<Vec<_>>()
             .join("\n")
     }
@@ -134,7 +132,10 @@ mod tests {
     fn view_mode_is_bare_select() {
         let mut c = SqlQueryContainer::new();
         c.push("a", "SELECT 1 AS x", false);
-        assert_eq!(c.query(SqlMode::View, "SELECT x FROM a"), "SELECT x FROM a;");
+        assert_eq!(
+            c.query(SqlMode::View, "SELECT x FROM a"),
+            "SELECT x FROM a;"
+        );
     }
 
     #[test]

@@ -458,7 +458,11 @@ impl SqlGen {
         let body = if conds.is_empty() {
             format!("SELECT * FROM {}", it.sql_name)
         } else {
-            format!("SELECT * FROM {}\nWHERE {}", it.sql_name, conds.join(" AND "))
+            format!(
+                "SELECT * FROM {}\nWHERE {}",
+                it.sql_name,
+                conds.join(" AND ")
+            )
         };
         let mut te = TableExpr {
             sql_name: name,
@@ -494,8 +498,7 @@ impl SqlGen {
                     )
                 }
                 (ty, f, t)
-                    if !matches!(ty, DataType::Text)
-                        && f.data_type().as_ref() == Some(ty) =>
+                    if !matches!(ty, DataType::Text) && f.data_type().as_ref() == Some(ty) =>
                 {
                     format!(
                         "(CASE WHEN {cq} = {} THEN {} ELSE {cq} END) AS {cq}",
@@ -530,10 +533,7 @@ impl SqlGen {
             if Some(&it.types[i]) == fill_ty.as_ref()
                 || (it.types[i] == DataType::Float && fill_ty == Some(DataType::Int))
             {
-                select.push(format!(
-                    "COALESCE({cq}, {}) AS {cq}",
-                    value.sql_literal()
-                ));
+                select.push(format!("COALESCE({cq}, {}) AS {cq}", value.sql_literal()));
             } else {
                 select.push(cq);
             }
@@ -579,19 +579,9 @@ impl SqlGen {
         let name = self.name_for(id, line);
         let keys: Vec<String> = by
             .iter()
-            .map(|k| {
-                format!(
-                    "{}{}",
-                    quote_ident(k),
-                    if ascending { "" } else { " DESC" }
-                )
-            })
+            .map(|k| format!("{}{}", quote_ident(k), if ascending { "" } else { " DESC" }))
             .collect();
-        let body = format!(
-            "SELECT * FROM {} ORDER BY {}",
-            it.sql_name,
-            keys.join(", ")
-        );
+        let body = format!("SELECT * FROM {} ORDER BY {}", it.sql_name, keys.join(", "));
         let te = TableExpr {
             sql_name: name,
             ..it
@@ -706,9 +696,8 @@ impl SqlGen {
             None => Some(it.sql_name.clone()),
         };
         let name = self.name_for(id, line);
-        let (entries, body, out) = sklearn_ops::featurisation_sql(
-            &name, &it, steps, fit_owner, fit_input.as_deref(),
-        )?;
+        let (entries, body, out) =
+            sklearn_ops::featurisation_sql(&name, &it, steps, fit_owner, fit_input.as_deref())?;
         for (fit_name, fit_body) in entries {
             self.container.push(fit_name, fit_body, true);
         }

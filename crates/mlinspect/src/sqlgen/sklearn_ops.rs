@@ -54,8 +54,7 @@ pub fn featurisation_sql(
                         step.name
                     )));
                 }
-                let fit_name =
-                    format!("fit_mlinid{fit_owner}_s{si}_{}_t{ti}", sanitize(col));
+                let fit_name = format!("fit_mlinid{fit_owner}_s{si}_{}_t{ti}", sanitize(col));
                 match t {
                     TransformerKind::SimpleImputer(kind) => {
                         if let Some(src) = fit_input {
@@ -73,10 +72,8 @@ pub fn featurisation_sql(
                             };
                             fits.push((fit_name.clone(), body));
                         }
-                        expr_t =
-                            format!("COALESCE({expr_t}, (SELECT fill FROM {fit_name}))");
-                        expr_f =
-                            format!("COALESCE({expr_f}, (SELECT fill FROM {fit_name}))");
+                        expr_t = format!("COALESCE({expr_t}, (SELECT fill FROM {fit_name}))");
+                        expr_f = format!("COALESCE({expr_f}, (SELECT fill FROM {fit_name}))");
                     }
                     TransformerKind::StandardScaler => {
                         if let Some(src) = fit_input {
@@ -115,12 +112,8 @@ pub fn featurisation_sql(
                         );
                     }
                     TransformerKind::Binarizer(threshold) => {
-                        expr_t = format!(
-                            "(CASE WHEN ({expr_t}) >= {threshold} THEN 1 ELSE 0 END)"
-                        );
-                        expr_f = format!(
-                            "(CASE WHEN ({expr_f}) >= {threshold} THEN 1 ELSE 0 END)"
-                        );
+                        expr_t = format!("(CASE WHEN ({expr_t}) >= {threshold} THEN 1 ELSE 0 END)");
+                        expr_f = format!("(CASE WHEN ({expr_f}) >= {threshold} THEN 1 ELSE 0 END)");
                     }
                     TransformerKind::OneHotEncoder => {
                         if let Some(src) = fit_input {
@@ -285,7 +278,10 @@ mod tests {
     fn one_hot_must_be_last() {
         let steps = vec![step(
             "bad",
-            vec![TransformerKind::OneHotEncoder, TransformerKind::StandardScaler],
+            vec![
+                TransformerKind::OneHotEncoder,
+                TransformerKind::StandardScaler,
+            ],
             &["smoker"],
         )];
         assert!(featurisation_sql("feat", &input(), &steps, 1, Some("x")).is_err());

@@ -220,9 +220,7 @@ impl Expr {
     pub fn dotted_path(&self) -> Option<String> {
         match self {
             Expr::Name(n) => Some(n.clone()),
-            Expr::Attribute { value, attr } => {
-                Some(format!("{}.{}", value.dotted_path()?, attr))
-            }
+            Expr::Attribute { value, attr } => Some(format!("{}.{}", value.dotted_path()?, attr)),
             _ => None,
         }
     }

@@ -539,13 +539,7 @@ mod tests {
         };
         assert_eq!(op, BinOp::Gt);
         // 1.2 * data[...] groups under Mul.
-        assert!(matches!(
-            *right,
-            Expr::Binary {
-                op: BinOp::Mul,
-                ..
-            }
-        ));
+        assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]

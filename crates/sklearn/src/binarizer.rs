@@ -114,7 +114,9 @@ mod tests {
 
     #[test]
     fn label_binarize_rejects_unknown_labels() {
-        assert!(label_binarize(&[Value::text("???")], &[Value::text("a"), Value::text("b")]).is_err());
+        assert!(
+            label_binarize(&[Value::text("???")], &[Value::text("a"), Value::text("b")]).is_err()
+        );
         assert!(label_binarize(&[], &[Value::text("a")]).is_err());
     }
 }

@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn transform_requires_fit() {
         let ct = ColumnTransformer::new().with("s", StandardScaler::new(), &["income"]);
-        assert!(matches!(
-            ct.transform(&frame()),
-            Err(SkError::NotFitted(_))
-        ));
+        assert!(matches!(ct.transform(&frame()), Err(SkError::NotFitted(_))));
     }
 
     #[test]

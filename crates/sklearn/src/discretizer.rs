@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn uniform_bins_over_fitted_range() {
         let mut d = KBinsDiscretizer::new(4);
-        let out = d.fit_transform(&[floats(&[0.0, 1.0, 2.0, 3.0, 4.0])]).unwrap();
+        let out = d
+            .fit_transform(&[floats(&[0.0, 1.0, 2.0, 3.0, 4.0])])
+            .unwrap();
         let bins: Vec<i64> = out[0].iter().map(|v| v.as_i64().unwrap()).collect();
         // step = 1.0; max value clamps into the last bin.
         assert_eq!(bins, vec![0, 1, 2, 3, 3]);

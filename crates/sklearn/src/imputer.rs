@@ -183,7 +183,8 @@ mod tests {
 
         // Tie between 'a' and 'b' -> smaller value wins.
         let mut imp = SimpleImputer::new(ImputeStrategy::MostFrequent);
-        imp.fit(&[vec![Value::text("b"), Value::text("a")]]).unwrap();
+        imp.fit(&[vec![Value::text("b"), Value::text("a")]])
+            .unwrap();
         assert_eq!(imp.fill_values().unwrap()[0], Value::text("a"));
     }
 

@@ -2,9 +2,10 @@
 
 use crate::error::{Result, SkError};
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use etypes::Prng;
+
+/// Substream id for the epoch shuffler (distinct from split/MLP streams).
+const STREAM_LOGREG: u64 = 2;
 
 /// Binary logistic regression trained with mini-batch SGD.
 #[derive(Debug, Clone)]
@@ -69,9 +70,9 @@ impl LogisticRegression {
         self.weights = vec![0.0; d];
         self.bias = 0.0;
         let mut order: Vec<usize> = (0..x.nrows()).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::from_stream(self.seed, STREAM_LOGREG);
         for _ in 0..self.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for &i in &order {
                 let row = x.row(i);
                 let p = sigmoid(dot(&self.weights, row) + self.bias);

@@ -8,9 +8,11 @@
 
 use crate::error::{Result, SkError};
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use etypes::Prng;
+
+/// Substream id for weight init + epoch shuffling (distinct from the
+/// split/logreg streams so a shared user seed stays decorrelated).
+const STREAM_MLP: u64 = 3;
 
 /// One-hidden-layer binary classifier: `sigmoid(W2 · relu(W1 x + b1) + b2)`.
 #[derive(Debug, Clone)]
@@ -65,22 +67,21 @@ impl MlpClassifier {
             return Err(SkError::Invalid("empty training set or zero hidden".into()));
         }
         let d = x.ncols();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::from_stream(self.seed, STREAM_MLP);
         let scale = (2.0 / d.max(1) as f64).sqrt();
         self.w1 = (0..self.hidden)
-            .map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| (0..d).map(|_| rng.range_f64(-scale, scale)).collect())
             .collect();
         self.b1 = vec![0.0; self.hidden];
         let scale2 = (2.0 / self.hidden as f64).sqrt();
         self.w2 = (0..self.hidden)
-            .map(|_| rng.gen_range(-scale2..scale2))
+            .map(|_| rng.range_f64(-scale2, scale2))
             .collect();
         self.b2 = 0.0;
 
         let mut order: Vec<usize> = (0..x.nrows()).collect();
         for _ in 0..self.epochs {
-            use rand::seq::SliceRandom;
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for &i in &order {
                 let row = x.row(i);
                 // Forward.
@@ -95,13 +96,7 @@ impl MlpClassifier {
                 let p = sigmoid(z2);
                 // Backward (cross-entropy).
                 let dz2 = p - y[i];
-                for (j, ((w2j, hj), hpj)) in self
-                    .w2
-                    .iter_mut()
-                    .zip(&h)
-                    .zip(&hp)
-                    .enumerate()
-                {
+                for (j, ((w2j, hj), hpj)) in self.w2.iter_mut().zip(&h).zip(&hp).enumerate() {
                     let dh = *w2j * dz2 * hpj;
                     *w2j -= self.learning_rate * dz2 * hj;
                     if dh != 0.0 {
@@ -139,8 +134,7 @@ impl MlpClassifier {
                     .zip(&self.b1)
                     .zip(&self.w2)
                     .map(|((wj, bj), w2j)| {
-                        let z: f64 =
-                            wj.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + bj;
+                        let z: f64 = wj.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + bj;
                         w2j * z.max(0.0)
                     })
                     .sum::<f64>()
@@ -196,7 +190,11 @@ mod tests {
         let mut m = MlpClassifier::new(16);
         m.epochs = 200;
         m.fit(&x, &y).unwrap();
-        assert!(m.score(&x, &y).unwrap() > 0.9, "{}", m.score(&x, &y).unwrap());
+        assert!(
+            m.score(&x, &y).unwrap() > 0.9,
+            "{}",
+            m.score(&x, &y).unwrap()
+        );
     }
 
     #[test]

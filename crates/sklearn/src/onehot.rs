@@ -60,10 +60,8 @@ impl Transformer for OneHotEncoder {
         let mut out = Vec::new();
         for (col, cats) in columns.iter().zip(categories) {
             for cat in cats {
-                let indicator: Vec<Value> = col
-                    .iter()
-                    .map(|v| Value::Int((v == cat) as i64))
-                    .collect();
+                let indicator: Vec<Value> =
+                    col.iter().map(|v| Value::Int((v == cat) as i64)).collect();
                 out.push(indicator);
             }
         }
@@ -92,7 +90,8 @@ mod tests {
     #[test]
     fn unknown_values_encode_all_zero() {
         let mut enc = OneHotEncoder::new();
-        enc.fit(&[vec![Value::text("a"), Value::text("b")]]).unwrap();
+        enc.fit(&[vec![Value::text("a"), Value::text("b")]])
+            .unwrap();
         let out = enc.transform(&[vec![Value::text("zzz")]]).unwrap();
         assert_eq!(out[0][0], Value::Int(0));
         assert_eq!(out[1][0], Value::Int(0));

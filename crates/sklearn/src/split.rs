@@ -2,8 +2,11 @@
 
 use crate::error::{Result, SkError};
 use dataframe::DataFrame;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use etypes::Prng;
+
+/// Substream id separating the splitter from the model RNGs that may share
+/// the same user-facing seed.
+const STREAM_SPLIT: u64 = 1;
 
 /// Randomly split a frame into train and test parts (sklearn default
 /// `test_size=0.25`). A fixed seed gives reproducible experiments; the
@@ -21,8 +24,8 @@ pub fn train_test_split(
     }
     let n = df.len();
     let mut indices: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    indices.shuffle(&mut rng);
+    let mut rng = Prng::from_stream(seed, STREAM_SPLIT);
+    rng.shuffle(&mut indices);
     let n_test = ((n as f64) * test_size).ceil() as usize;
     let n_test = n_test.min(n);
     let (test_idx, train_idx) = indices.split_at(n_test);

@@ -14,11 +14,11 @@
 use crate::ast::{self, Expr, Query, SelectBody, SelectItem, Statement, TableRef};
 use crate::catalog::Catalog;
 use crate::error::{Result, SqlError};
-use crate::plan::{
-    AggCall, AggFunc, BExpr, BoundCte, ColumnMeta, EquiKey, JoinKind, PlanNode, PlanRoot, Schema,
-    ScanSource, CTID_SENTINEL,
-};
 use crate::functions::ScalarFunc;
+use crate::plan::{
+    AggCall, AggFunc, BExpr, BoundCte, ColumnMeta, EquiKey, JoinKind, PlanNode, PlanRoot,
+    ScanSource, Schema, CTID_SENTINEL,
+};
 use crate::profile::EngineProfile;
 use etypes::{DataType, Value};
 use std::collections::HashMap;
@@ -216,15 +216,11 @@ impl<'a> Binder<'a> {
         }
 
         let has_aggs = !body.group_by.is_empty()
-            || body
-                .projection
-                .iter()
-                .any(|item| matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr)))
+            || body.projection.iter().any(
+                |item| matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr)),
+            )
             || body.having.as_ref().is_some_and(contains_aggregate)
-            || body
-                .order_by
-                .iter()
-                .any(|o| contains_aggregate(&o.expr));
+            || body.order_by.iter().any(|o| contains_aggregate(&o.expr));
 
         if has_aggs {
             self.bind_aggregate_query(body, plan, schema)
@@ -505,9 +501,7 @@ impl<'a> Binder<'a> {
                     }
                     "median" => (AggFunc::Median, DataType::Float),
                     "array_agg" => (AggFunc::ArrayAgg, DataType::Array(Box::new(arg_ty.clone()))),
-                    other => {
-                        return Err(SqlError::bind(format!("unknown aggregate {other}")))
-                    }
+                    other => return Err(SqlError::bind(format!("unknown aggregate {other}"))),
                 };
                 (f, Some(bound), ty)
             };
@@ -835,10 +829,7 @@ impl<'a> Binder<'a> {
                     0 => {
                         return Err(SqlError::bind(format!(
                             "unknown column {}{name}",
-                            table
-                                .as_ref()
-                                .map(|t| format!("{t}."))
-                                .unwrap_or_default()
+                            table.as_ref().map(|t| format!("{t}.")).unwrap_or_default()
                         )))
                     }
                     _ => {
@@ -948,9 +939,9 @@ impl<'a> Binder<'a> {
                     // fills. Rare in generated SQL; supported for
                     // completeness.
                     let mut iter = bound.into_iter();
-                    let first = iter.next().ok_or_else(|| {
-                        SqlError::bind("empty dynamic ARRAY[] is unsupported")
-                    })?;
+                    let first = iter
+                        .next()
+                        .ok_or_else(|| SqlError::bind("empty dynamic ARRAY[] is unsupported"))?;
                     let mut acc = BExpr::Func {
                         func: ScalarFunc::ArrayFill,
                         args: vec![first, BExpr::Lit(Value::Int(1))],
@@ -1105,9 +1096,7 @@ fn rewrite_post_agg(
                 func,
                 args: args
                     .iter()
-                    .map(|a| {
-                        rewrite_post_agg(a, group_by, agg_asts, n_groups, binder, agg_schema)
-                    })
+                    .map(|a| rewrite_post_agg(a, group_by, agg_asts, n_groups, binder, agg_schema))
                     .collect::<Result<Vec<_>>>()?,
             }
         }
@@ -1180,8 +1169,14 @@ fn rewrite_post_agg(
 fn exprs_equivalent(a: &Expr, b: &Expr) -> bool {
     match (a, b) {
         (
-            Expr::Column { name: an, table: at },
-            Expr::Column { name: bn, table: bt },
+            Expr::Column {
+                name: an,
+                table: at,
+            },
+            Expr::Column {
+                name: bn,
+                table: bt,
+            },
         ) => an == bn && (at == bt || at.is_none() || bt.is_none()),
         _ => a == b,
     }
@@ -1303,9 +1298,7 @@ fn window_row_number_keys(expr: &Expr) -> Option<Vec<(Expr, bool)>> {
             name,
             window_order: Some(order),
             ..
-        } if name == "row_number" => {
-            Some(order.iter().map(|o| (o.expr.clone(), o.desc)).collect())
-        }
+        } if name == "row_number" => Some(order.iter().map(|o| (o.expr.clone(), o.desc)).collect()),
         _ => None,
     }
 }

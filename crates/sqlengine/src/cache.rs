@@ -1,0 +1,202 @@
+//! An LRU plan cache: parse + bind + optimize once, re-execute many times.
+//!
+//! The serving layer's `PREPARE`/`EXECUTE` verbs (and any embedded caller
+//! using [`crate::Engine::query_cached`]) skip the whole query frontend on
+//! repeated statements. Entries are keyed by the exact SQL text and hold the
+//! fully bound and optimized [`PlanRoot`] plus its output schema; plans
+//! reference base tables by name, so data changes (INSERT/COPY) never
+//! invalidate them, while DDL (CREATE/DROP of tables or views) clears the
+//! cache wholesale — the PostgreSQL approach of invalidating on catalog
+//! changes, simplified to a full flush.
+
+use crate::plan::{PlanRoot, Schema};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A cached, ready-to-execute query plan.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The bound + optimized plan (shared so execution can proceed while
+    /// the cache keeps its copy).
+    pub root: Rc<PlanRoot>,
+    /// Output schema of the plan body.
+    pub schema: Schema,
+}
+
+/// Hit/miss counters (monotonic; survive invalidation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan from scratch.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Full flushes triggered by DDL.
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Least-recently-used plan cache keyed by SQL text.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    /// LRU order: least-recently used at the front.
+    entries: VecDeque<(String, CachedPlan)>,
+    stats: PlanCacheStats,
+}
+
+/// Default number of cached plans per engine.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Create a cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Look up `sql`, bumping the entry to most-recently-used and counting a
+    /// hit; counts a miss when absent.
+    pub fn get(&mut self, sql: &str) -> Option<CachedPlan> {
+        match self.entries.iter().position(|(k, _)| k == sql) {
+            Some(i) => {
+                let entry = self.entries.remove(i).expect("position was valid");
+                let plan = entry.1.clone();
+                self.entries.push_back(entry);
+                self.stats.hits += 1;
+                Some(plan)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching LRU order or counters (used by PREPARE to test
+    /// whether planning is needed).
+    pub fn contains(&self, sql: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == sql)
+    }
+
+    /// Insert a freshly planned query, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, sql: impl Into<String>, plan: CachedPlan) {
+        let sql = sql.into();
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == sql) {
+            self.entries.remove(i);
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.stats.evictions += 1;
+        }
+        self.entries.push_back((sql, plan));
+    }
+
+    /// Drop every entry (DDL invalidation); counters survive.
+    pub fn invalidate(&mut self) {
+        if !self.entries.is_empty() {
+            self.stats.invalidations += 1;
+        }
+        self.entries.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Monotonic hit/miss/eviction counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanNode;
+
+    fn dummy_plan() -> CachedPlan {
+        CachedPlan {
+            root: Rc::new(PlanRoot {
+                ctes: Vec::new(),
+                subplans: Vec::new(),
+                body: PlanNode::Values {
+                    rows: Vec::new(),
+                    schema: Schema::default(),
+                },
+            }),
+            schema: Schema::default(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get("SELECT 1").is_none());
+        c.insert("SELECT 1", dummy_plan());
+        assert!(c.get("SELECT 1").is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert("a", dummy_plan());
+        c.insert("b", dummy_plan());
+        assert!(c.get("a").is_some()); // refresh 'a'; 'b' is now LRU
+        c.insert("c", dummy_plan()); // evicts 'b'
+        assert!(c.contains("a"));
+        assert!(!c.contains("b"));
+        assert!(c.contains("c"));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_but_keeps_counters() {
+        let mut c = PlanCache::new(4);
+        c.insert("a", dummy_plan());
+        let _ = c.get("a");
+        c.invalidate();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_existing_entry() {
+        let mut c = PlanCache::new(2);
+        c.insert("a", dummy_plan());
+        c.insert("a", dummy_plan());
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::ast::Statement;
 use crate::binder::bind_select;
+use crate::cache::{CachedPlan, PlanCache, PlanCacheStats};
 use crate::catalog::{Catalog, ViewDef};
 use crate::error::{Result, SqlError};
 use crate::exec::{execute_root, ExecContext, ExecStats};
@@ -10,6 +11,7 @@ use crate::parser::parse_script;
 use crate::profile::EngineProfile;
 use crate::storage::{Relation, Table};
 use etypes::{CsvOptions, DataType, Value};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Accumulated engine counters (sums over all executed queries).
@@ -38,6 +40,8 @@ pub struct Engine {
     profile: EngineProfile,
     stats: EngineStats,
     queries_run: u64,
+    plan_cache: PlanCache,
+    prepared: HashMap<String, String>,
 }
 
 impl Engine {
@@ -48,6 +52,8 @@ impl Engine {
             profile,
             stats: EngineStats::default(),
             queries_run: 0,
+            plan_cache: PlanCache::default(),
+            prepared: HashMap::new(),
         }
     }
 
@@ -106,7 +112,9 @@ impl Engine {
             Statement::CreateTable { name, columns } => {
                 let (names, types): (Vec<String>, Vec<DataType>) =
                     columns.into_iter().map(|c| (c.name, c.ty)).unzip();
-                self.catalog.create_table(Table::empty(name, names, types))?;
+                self.catalog
+                    .create_table(Table::empty(name, names, types))?;
+                self.plan_cache.invalidate();
                 Ok(no_rows(0))
             }
             Statement::Drop {
@@ -115,6 +123,7 @@ impl Engine {
                 if_exists,
             } => {
                 self.catalog.drop(&name, is_view, if_exists)?;
+                self.plan_cache.invalidate();
                 Ok(no_rows(0))
             }
             Statement::Insert {
@@ -158,6 +167,7 @@ impl Engine {
                     query,
                     materialized: data,
                 })?;
+                self.plan_cache.invalidate();
                 Ok(no_rows(0))
             }
             Statement::Select(query) => {
@@ -176,7 +186,16 @@ impl Engine {
         if self.profile.enable_optimizer {
             optimize(&mut root);
         }
-        let ctx = ExecContext::new(&self.catalog, &self.profile, &root);
+        self.run_bound(&root, &schema)
+    }
+
+    /// Execute an already bound + optimized plan.
+    fn run_bound(
+        &mut self,
+        root: &crate::plan::PlanRoot,
+        schema: &crate::plan::Schema,
+    ) -> Result<Relation> {
+        let ctx = ExecContext::new(&self.catalog, &self.profile, root);
         let rows = execute_root(&ctx)?;
         let run_stats = ctx.stats.borrow().clone();
         self.stats.pages_read += run_stats.pages_read;
@@ -186,6 +205,89 @@ impl Engine {
         self.stats.rows_processed += run_stats.rows_processed;
         self.queries_run += 1;
         Relation::new(schema.names(), schema.types(), rows)
+    }
+
+    /// Plan `sql` (which must be a single SELECT) into the plan cache
+    /// without executing it, unless already cached. Returns true when
+    /// planning happened, false on a cache hit.
+    pub fn prepare_cached(&mut self, sql: &str) -> Result<bool> {
+        if self.plan_cache.contains(sql) {
+            return Ok(false);
+        }
+        let plan = self.plan_select(sql)?;
+        self.plan_cache.insert(sql, plan);
+        Ok(true)
+    }
+
+    /// Run a single SELECT through the LRU plan cache: parse + bind +
+    /// optimize only on a miss, re-execute the cached plan on a hit.
+    pub fn query_cached(&mut self, sql: &str) -> Result<Relation> {
+        let cached = match self.plan_cache.get(sql) {
+            Some(hit) => hit,
+            None => {
+                let plan = self.plan_select(sql)?;
+                self.plan_cache.insert(sql, plan.clone());
+                plan
+            }
+        };
+        // Clone the Rc so execution does not borrow the cache.
+        let root = Rc::clone(&cached.root);
+        self.run_bound(&root, &cached.schema)
+    }
+
+    fn plan_select(&mut self, sql: &str) -> Result<CachedPlan> {
+        let stmt = crate::parser::parse_statement(sql)?;
+        let Statement::Select(query) = stmt else {
+            return Err(SqlError::bind(
+                "only SELECT statements can be prepared/cached",
+            ));
+        };
+        let (mut root, schema) = bind_select(&self.catalog, &self.profile, &query)?;
+        if self.profile.enable_optimizer {
+            optimize(&mut root);
+        }
+        Ok(CachedPlan {
+            root: Rc::new(root),
+            schema,
+        })
+    }
+
+    /// Register a named prepared statement (PostgreSQL `PREPARE name AS
+    /// SELECT ...`): validated and planned eagerly into the plan cache.
+    pub fn prepare(&mut self, name: impl Into<String>, sql: impl Into<String>) -> Result<()> {
+        let (name, sql) = (name.into(), sql.into());
+        self.prepare_cached(&sql)?;
+        self.prepared.insert(name, sql);
+        Ok(())
+    }
+
+    /// Execute a named prepared statement through the plan cache.
+    pub fn execute_prepared(&mut self, name: &str) -> Result<Relation> {
+        let sql = self
+            .prepared
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SqlError::bind(format!("unknown prepared statement '{name}'")))?;
+        self.query_cached(&sql)
+    }
+
+    /// Drop a named prepared statement (PostgreSQL `DEALLOCATE`). The plan
+    /// may stay cached; only the name binding is removed.
+    pub fn deallocate(&mut self, name: &str) -> Result<()> {
+        self.prepared
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| SqlError::bind(format!("unknown prepared statement '{name}'")))
+    }
+
+    /// Plan-cache hit/miss counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Render the optimized plan of a SELECT (EXPLAIN).
@@ -376,9 +478,7 @@ impl<'a> BindShim<'a> {
                 .into_iter()
                 .next()
                 .ok_or_else(|| SqlError::bind("empty INSERT expression"))?),
-            _ => Err(SqlError::bind(
-                "INSERT values must be constant expressions",
-            )),
+            _ => Err(SqlError::bind("INSERT values must be constant expressions")),
         }
     }
 }
@@ -405,8 +505,10 @@ mod tests {
     #[test]
     fn create_insert_select() {
         let mut e = engine();
-        e.execute_script("CREATE TABLE t (a int, b text); INSERT INTO t VALUES (1, 'x'), (2, 'y');")
-            .unwrap();
+        e.execute_script(
+            "CREATE TABLE t (a int, b text); INSERT INTO t VALUES (1, 'x'), (2, 'y');",
+        )
+        .unwrap();
         let r = e.query("SELECT b FROM t WHERE a > 1").unwrap();
         assert_eq!(r.rows, vec![vec![Value::text("y")]]);
     }
@@ -455,7 +557,10 @@ mod tests {
                  SELECT o.s FROM curr c JOIN orig o ON c.id = o.id",
             )
             .unwrap();
-        assert_eq!(r.sorted_rows(), vec![vec![Value::Int(20)], vec![Value::Int(30)]]);
+        assert_eq!(
+            r.sorted_rows(),
+            vec![vec![Value::Int(20)], vec![Value::Int(30)]]
+        );
     }
 
     #[test]
@@ -600,9 +705,7 @@ mod tests {
             .query("SELECT count(*) AS n FROM p WHERE smoker IS NULL")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(1));
-        let r = e
-            .query("SELECT count(complications) AS n FROM p")
-            .unwrap();
+        let r = e.query("SELECT count(complications) AS n FROM p").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(1));
     }
 
@@ -658,10 +761,8 @@ mod tests {
     #[test]
     fn one_hot_shape_with_row_number_and_array_ops() {
         let mut e = engine();
-        e.execute_script(
-            "CREATE TABLE t (c text); INSERT INTO t VALUES ('b'), ('a'), ('b');",
-        )
-        .unwrap();
+        e.execute_script("CREATE TABLE t (c text); INSERT INTO t VALUES ('b'), ('a'), ('b');")
+            .unwrap();
         let r = e
             .query(
                 "WITH fit AS (
@@ -673,28 +774,18 @@ mod tests {
                  FROM t JOIN fit ON t.c = fit.v",
             )
             .unwrap();
-        let find = |c: &str| {
-            r.rows
-                .iter()
-                .find(|row| row[0] == Value::text(c))
-                .unwrap()[1]
-                .clone()
-        };
-        assert_eq!(
-            find("a"),
-            Value::Array(vec![Value::Int(1), Value::Int(0)])
-        );
-        assert_eq!(
-            find("b"),
-            Value::Array(vec![Value::Int(0), Value::Int(1)])
-        );
+        let find = |c: &str| r.rows.iter().find(|row| row[0] == Value::text(c)).unwrap()[1].clone();
+        assert_eq!(find("a"), Value::Array(vec![Value::Int(1), Value::Int(0)]));
+        assert_eq!(find("b"), Value::Array(vec![Value::Int(0), Value::Int(1)]));
     }
 
     #[test]
     fn standard_scaler_and_kbins_sql_shapes() {
         let mut e = engine();
-        e.execute_script("CREATE TABLE t (x double precision); INSERT INTO t VALUES (1.0), (2.0), (3.0), (4.0);")
-            .unwrap();
+        e.execute_script(
+            "CREATE TABLE t (x double precision); INSERT INTO t VALUES (1.0), (2.0), (3.0), (4.0);",
+        )
+        .unwrap();
         // Standard scaler (paper Listing 17): (x - avg) / stddev_pop.
         let r = e
             .query(
@@ -836,6 +927,67 @@ mod tests {
         .unwrap();
         let r = e.query("SELECT x, y FROM a, b").unwrap();
         assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_query() {
+        let mut e = engine();
+        e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2);")
+            .unwrap();
+        let sql = "SELECT a FROM t WHERE a > 1";
+        let first = e.query_cached(sql).unwrap();
+        let second = e.query_cached(sql).unwrap();
+        assert_eq!(first, second);
+        let stats = e.plan_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cached_plan_sees_new_rows() {
+        // Plans reference tables by name, so DML needs no invalidation.
+        let mut e = engine();
+        e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (1);")
+            .unwrap();
+        let sql = "SELECT count(*) AS n FROM t";
+        assert_eq!(e.query_cached(sql).unwrap().rows[0][0], Value::Int(1));
+        e.execute("INSERT INTO t VALUES (2), (3)").unwrap();
+        assert_eq!(e.query_cached(sql).unwrap().rows[0][0], Value::Int(3));
+        assert_eq!(e.plan_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn ddl_invalidates_plan_cache() {
+        let mut e = engine();
+        e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (1);")
+            .unwrap();
+        e.query_cached("SELECT a FROM t").unwrap();
+        assert_eq!(e.plan_cache_len(), 1);
+        e.execute("DROP TABLE t").unwrap();
+        assert_eq!(e.plan_cache_len(), 0);
+        // Re-planning after the drop reports the missing table.
+        assert!(e.query_cached("SELECT a FROM t").is_err());
+    }
+
+    #[test]
+    fn prepared_statements_round_trip() {
+        let mut e = engine();
+        e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (5), (7);")
+            .unwrap();
+        e.prepare("q", "SELECT max(a) AS m FROM t").unwrap();
+        assert_eq!(e.execute_prepared("q").unwrap().rows[0][0], Value::Int(7));
+        assert_eq!(e.execute_prepared("q").unwrap().rows[0][0], Value::Int(7));
+        assert!(e.plan_cache_stats().hits >= 1);
+        e.deallocate("q").unwrap();
+        assert!(e.execute_prepared("q").is_err());
+        assert!(e.deallocate("q").is_err());
+    }
+
+    #[test]
+    fn only_select_is_cacheable() {
+        let mut e = engine();
+        assert!(e.prepare("p", "CREATE TABLE t (a int)").is_err());
+        assert!(e.query_cached("CREATE TABLE t (a int)").is_err());
     }
 
     #[test]

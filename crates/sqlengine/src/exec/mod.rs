@@ -85,11 +85,7 @@ impl<'a> ExecContext<'a> {
                 .into_iter()
                 .next()
                 .ok_or_else(|| SqlError::exec("scalar subquery returned zero columns"))?,
-            n => {
-                return Err(SqlError::exec(format!(
-                    "scalar subquery returned {n} rows"
-                )))
-            }
+            n => return Err(SqlError::exec(format!("scalar subquery returned {n} rows"))),
         };
         self.subplan_cache.borrow_mut()[i] = Some(value.clone());
         Ok(value)
@@ -274,29 +270,24 @@ pub fn execute(plan: &PlanNode, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
     Ok(rows)
 }
 
-fn exec_scan(
-    source: &ScanSource,
-    projection: &[usize],
-    ctx: &ExecContext<'_>,
-) -> Result<Vec<Row>> {
-    let project =
-        |rows: &[Row]| -> Vec<Row> {
-            rows.iter()
-                .enumerate()
-                .map(|(rid, row)| {
-                    projection
-                        .iter()
-                        .map(|&c| {
-                            if c == CTID_SENTINEL {
-                                Value::Int(rid as i64)
-                            } else {
-                                row[c].clone()
-                            }
-                        })
-                        .collect()
-                })
-                .collect()
-        };
+fn exec_scan(source: &ScanSource, projection: &[usize], ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    let project = |rows: &[Row]| -> Vec<Row> {
+        rows.iter()
+            .enumerate()
+            .map(|(rid, row)| {
+                projection
+                    .iter()
+                    .map(|&c| {
+                        if c == CTID_SENTINEL {
+                            Value::Int(rid as i64)
+                        } else {
+                            row[c].clone()
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
     match source {
         ScanSource::Table(name) => {
             let table = ctx
@@ -343,11 +334,7 @@ fn null_last_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
 
 type KeyOpt = Option<Vec<Value>>;
 
-fn join_key(
-    exprs: &[(&BExpr, bool)],
-    row: &Row,
-    ctx: &ExecContext<'_>,
-) -> Result<KeyOpt> {
+fn join_key(exprs: &[(&BExpr, bool)], row: &Row, ctx: &ExecContext<'_>) -> Result<KeyOpt> {
     let mut key = Vec::with_capacity(exprs.len());
     for (e, null_safe) in exprs {
         let v = eval(e, row, ctx)?;

@@ -174,19 +174,15 @@ mod tests {
 
     fn setup(profile: EngineProfile) -> Engine {
         let mut e = Engine::new(profile);
-        e.execute_script(
-            "CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1, 2), (3, 4);",
-        )
-        .unwrap();
+        e.execute_script("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1, 2), (3, 4);")
+            .unwrap();
         e
     }
 
     #[test]
     fn explain_shows_pushed_filter_under_project() {
         let mut e = setup(EngineProfile::in_memory());
-        let plan = e
-            .explain("SELECT a * 2 AS d FROM t WHERE a > 1")
-            .unwrap();
+        let plan = e.explain("SELECT a * 2 AS d FROM t WHERE a > 1").unwrap();
         // Filter sits below Project after pushdown.
         let proj_pos = plan.find("Project").unwrap();
         let filter_pos = plan.find("Filter").unwrap();
@@ -222,12 +218,13 @@ mod tests {
         e.execute_script("CREATE TABLE s (a int, x text); INSERT INTO s VALUES (1, 'p');")
             .unwrap();
         let plan = e
-            .explain(
-                "SELECT t.a, count(*) AS n FROM t INNER JOIN s ON t.a = s.a GROUP BY t.a",
-            )
+            .explain("SELECT t.a, count(*) AS n FROM t INNER JOIN s ON t.a = s.a GROUP BY t.a")
             .unwrap();
         assert!(plan.contains("InnerJoin"), "{plan}");
-        assert!(plan.contains("Aggregate groups=1 aggs=[count(*)]"), "{plan}");
+        assert!(
+            plan.contains("Aggregate groups=1 aggs=[count(*)]"),
+            "{plan}"
+        );
     }
 
     #[test]

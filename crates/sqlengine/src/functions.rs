@@ -74,15 +74,16 @@ impl ScalarFunc {
     /// Best-effort static result type given argument types.
     pub fn return_type(&self, args: &[DataType]) -> DataType {
         match self {
-            ScalarFunc::Coalesce | ScalarFunc::Least | ScalarFunc::Greatest | ScalarFunc::NullIf => {
-                args.first().cloned().unwrap_or(DataType::Text)
-            }
+            ScalarFunc::Coalesce
+            | ScalarFunc::Least
+            | ScalarFunc::Greatest
+            | ScalarFunc::NullIf => args.first().cloned().unwrap_or(DataType::Text),
             ScalarFunc::Floor | ScalarFunc::Ceil | ScalarFunc::Trunc => DataType::Float,
-            ScalarFunc::Abs | ScalarFunc::Round => {
-                args.first().cloned().unwrap_or(DataType::Float)
-            }
+            ScalarFunc::Abs | ScalarFunc::Round => args.first().cloned().unwrap_or(DataType::Float),
             ScalarFunc::Sqrt | ScalarFunc::Ln | ScalarFunc::Exp => DataType::Float,
-            ScalarFunc::Lower | ScalarFunc::Upper | ScalarFunc::Replace
+            ScalarFunc::Lower
+            | ScalarFunc::Upper
+            | ScalarFunc::Replace
             | ScalarFunc::RegexpReplace => DataType::Text,
             ScalarFunc::Length => DataType::Int,
             ScalarFunc::ArrayFill => {
@@ -197,14 +198,20 @@ fn unary_text(args: &[Value], f: impl Fn(&str) -> String) -> Result<Value> {
 fn two(args: &[Value]) -> Result<[&Value; 2]> {
     match args {
         [a, b] => Ok([a, b]),
-        _ => Err(SqlError::exec(format!("expected 2 arguments, got {}", args.len()))),
+        _ => Err(SqlError::exec(format!(
+            "expected 2 arguments, got {}",
+            args.len()
+        ))),
     }
 }
 
 fn three(args: &[Value]) -> Result<[&Value; 3]> {
     match args {
         [a, b, c] => Ok([a, b, c]),
-        _ => Err(SqlError::exec(format!("expected 3 arguments, got {}", args.len()))),
+        _ => Err(SqlError::exec(format!(
+            "expected 3 arguments, got {}",
+            args.len()
+        ))),
     }
 }
 
@@ -293,10 +300,7 @@ mod tests {
     #[test]
     fn regexp_replace_whole_string_anchor() {
         // The paper's Listing 12: '^Medium$' -> 'Low'.
-        assert_eq!(
-            regexp_replace("Medium", "^Medium$", "Low").unwrap(),
-            "Low"
-        );
+        assert_eq!(regexp_replace("Medium", "^Medium$", "Low").unwrap(), "Low");
         assert_eq!(
             regexp_replace("MediumX", "^Medium$", "Low").unwrap(),
             "MediumX"

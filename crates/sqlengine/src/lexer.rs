@@ -262,10 +262,7 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(
-            kinds("'it''s'")[0],
-            Tok::Literal(Value::text("it's"))
-        );
+        assert_eq!(kinds("'it''s'")[0], Tok::Literal(Value::text("it's")));
     }
 
     #[test]
@@ -299,7 +296,10 @@ mod tests {
     #[test]
     fn comments_skipped_and_lines_tracked() {
         let toks = tokenize("SELECT 1 -- the original data\nFROM t").unwrap();
-        let from = toks.iter().find(|t| t.kind == Tok::Word("from".into())).unwrap();
+        let from = toks
+            .iter()
+            .find(|t| t.kind == Tok::Word("from".into()))
+            .unwrap();
         assert_eq!(from.line, 2);
     }
 

@@ -25,11 +25,12 @@
 
 pub mod ast;
 pub mod binder;
+pub mod cache;
 pub mod catalog;
 pub mod engine;
-pub mod explain;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod functions;
 pub mod lexer;
 pub mod optimizer;
@@ -39,6 +40,7 @@ pub mod profile;
 pub mod storage;
 pub mod token;
 
+pub use cache::{PlanCache, PlanCacheStats};
 pub use engine::{Engine, EngineStats, ExecOutcome};
 pub use error::{Result, SqlError};
 pub use profile::EngineProfile;

@@ -1097,9 +1097,7 @@ mod tests {
 
     #[test]
     fn scalar_subquery_in_projection() {
-        let s = parse_statement(
-            "SELECT COALESCE(x, (SELECT avg(x) FROM t)) FROM t",
-        );
+        let s = parse_statement("SELECT COALESCE(x, (SELECT avg(x) FROM t)) FROM t");
         assert!(s.is_ok(), "{s:?}");
     }
 

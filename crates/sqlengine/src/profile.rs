@@ -104,7 +104,9 @@ impl EngineProfile {
     /// Busy-wait for the interpretation overhead of `rows` rows.
     pub fn charge_rows(&self, rows: usize) {
         if self.per_row_overhead_nanos > 0 && rows > 0 {
-            busy_wait(Duration::from_nanos(rows as u64 * self.per_row_overhead_nanos));
+            busy_wait(Duration::from_nanos(
+                rows as u64 * self.per_row_overhead_nanos,
+            ));
         }
     }
 }

@@ -15,7 +15,10 @@ fn main() {
     let rows = 50_000;
     let taxi = datagen::taxi_csv(rows, 2019);
     println!("taxi rows: {rows}");
-    println!("{:<10} {:>14} {:>14} {:>14}", "#columns", "pandas", "pg-cte", "umbra-cte");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "#columns", "pandas", "pg-cte", "umbra-cte"
+    );
 
     for k in 1..=INSPECTED_COLUMNS.len() {
         let columns: Vec<&str> = INSPECTED_COLUMNS[..k].to_vec();
@@ -46,9 +49,6 @@ fn main() {
             .expect("umbra");
         let t_umbra = t0.elapsed();
 
-        println!(
-            "{k:<10} {:>14?} {:>14?} {:>14?}",
-            t_pandas, t_pg, t_umbra
-        );
+        println!("{k:<10} {:>14?} {:>14?} {:>14?}", t_pandas, t_pg, t_umbra);
     }
 }

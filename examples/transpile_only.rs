@@ -12,7 +12,11 @@ use blue_elephants::mlinspect::{pipelines, PipelineInspector, SqlMode};
 
 fn main() {
     let view_mode = std::env::args().any(|a| a == "view");
-    let mode = if view_mode { SqlMode::View } else { SqlMode::Cte };
+    let mode = if view_mode {
+        SqlMode::View
+    } else {
+        SqlMode::Cte
+    };
 
     let transpiled = PipelineInspector::on_pipeline(pipelines::HEALTHCARE)
         .with_file("patients.csv", datagen::patients_csv(20, 1))
@@ -20,6 +24,9 @@ fn main() {
         .transpile_only(mode)
         .expect("transpilation");
 
-    println!("-- {} table expressions generated", transpiled.container.len());
+    println!(
+        "-- {} table expressions generated",
+        transpiled.container.len()
+    );
     println!("{}", transpiled.script(mode, view_mode));
 }

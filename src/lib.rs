@@ -15,6 +15,7 @@
 
 pub use dataframe;
 pub use datagen;
+pub use elephant_server;
 pub use etypes;
 pub use mlinspect;
 pub use pyparser;

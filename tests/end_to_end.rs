@@ -34,7 +34,10 @@ fn full_matrix_of_modes_and_profiles() {
         let baseline = inspector(src, 0).execute().unwrap();
         assert_sane(&format!("{name} pandas"), &baseline);
         // SQL: two profiles x two modes x materialization.
-        for profile in [EngineProfile::disk_based_no_latency(), EngineProfile::in_memory()] {
+        for profile in [
+            EngineProfile::disk_based_no_latency(),
+            EngineProfile::in_memory(),
+        ] {
             for (mode, materialize) in [
                 (SqlMode::Cte, false),
                 (SqlMode::View, false),

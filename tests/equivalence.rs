@@ -27,9 +27,7 @@ fn normalize(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
             r.into_iter()
                 .map(|v| match v {
                     Value::Bool(b) => Value::Int(b as i64),
-                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => {
-                        Value::Int(f as i64)
-                    }
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => Value::Int(f as i64),
                     other => other,
                 })
                 .collect()

@@ -56,8 +56,7 @@ fn backends_agree_on_extended_ops() {
     for mode in [SqlMode::Cte, SqlMode::View] {
         let sql = run_sql(mode);
         for node in &pandas.dag.nodes {
-            let (Some(p), Some(s)) =
-                (pandas.relations.get(&node.id), sql.relations.get(&node.id))
+            let (Some(p), Some(s)) = (pandas.relations.get(&node.id), sql.relations.get(&node.id))
             else {
                 continue;
             };
@@ -80,10 +79,7 @@ fn fillna_replaces_only_compatible_nulls() {
     let rel = &result.relations[&fillna.id];
     let city = rel.columns.iter().position(|c| c == "city").unwrap();
     assert!(rel.rows.iter().all(|r| !r[city].is_null()));
-    assert!(rel
-        .rows
-        .iter()
-        .any(|r| r[city] == Value::text("unknown")));
+    assert!(rel.rows.iter().any(|r| r[city] == Value::text("unknown")));
 }
 
 #[test]
@@ -100,7 +96,11 @@ fn head_respects_sorted_order() {
     let ages: Vec<i64> = rel
         .rows
         .iter()
-        .map(|r| r[rel.columns.iter().position(|c| c == "age").unwrap()].as_i64().unwrap())
+        .map(|r| {
+            r[rel.columns.iter().position(|c| c == "age").unwrap()]
+                .as_i64()
+                .unwrap()
+        })
         .collect();
     assert_eq!(ages, vec![54, 47, 39]);
 }

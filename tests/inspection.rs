@@ -50,10 +50,7 @@ fn bias_detected_for_projected_away_column() {
         .iter()
         .all(|v| v.column == "age_group"));
     let violation = &check.bias_violations[0];
-    assert_eq!(
-        result.dag.node(violation.node).kind.label(),
-        "selection"
-    );
+    assert_eq!(result.dag.node(violation.node).kind.label(), "selection");
     assert!((violation.max_abs_change - 0.25).abs() < 1e-9);
 }
 
@@ -82,10 +79,7 @@ fn race_change_stays_under_threshold() {
         .iter()
         .find(|n| n.kind.label() == "selection")
         .unwrap();
-    let h = result
-        .inspections
-        .histogram(selection.id, "race")
-        .unwrap();
+    let h = result.inspections.histogram(selection.id, "race").unwrap();
     assert_eq!(h.total(), 4);
     assert_eq!(h.ratio(&Value::text("race_2")), 0.5);
     assert_eq!(h.ratio(&Value::text("race_3")), 0.25);
@@ -183,5 +177,8 @@ fn pandas_baseline_detects_the_same_violation() {
         .execute()
         .unwrap();
     assert!(!baseline.check_results[0].passed());
-    assert_eq!(baseline.check_results[0].bias_violations[0].column, "age_group");
+    assert_eq!(
+        baseline.check_results[0].bias_violations[0].column,
+        "age_group"
+    );
 }

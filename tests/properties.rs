@@ -1,91 +1,142 @@
-//! Property-based tests over the system's core invariants.
+//! Property-style tests over the system's core invariants.
+//!
+//! Previously driven by `proptest`; now driven by the workspace's own
+//! deterministic [`Prng`] so the whole test suite runs offline. Each
+//! property draws a few hundred random cases from a fixed seed, which keeps
+//! failures reproducible without an external shrinking framework (the
+//! drawn inputs are small enough to debug directly).
 
 use blue_elephants::dataframe::{DataFrame, Series};
 use blue_elephants::mlinspect::backends::split_hash;
 use blue_elephants::sqlengine::{Engine, EngineProfile};
-use etypes::{read_csv_str, write_csv, CsvOptions, Value};
-use proptest::prelude::*;
+use etypes::{read_csv_str, write_csv, CsvOptions, Prng, Value};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-1000i64..1000).prop_map(Value::Int),
-        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 8.0)),
-        "[a-z]{0,6}".prop_map(Value::text),
-    ]
+const CASES: usize = 300;
+
+fn arb_value(rng: &mut Prng) -> Value {
+    match rng.below(5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Int(rng.range_i64(-1000, 1000)),
+        3 => Value::Float(rng.range_i64(-1000, 1000) as f64 / 8.0),
+        _ => Value::text(arb_lowercase(rng, 0, 6)),
+    }
 }
 
-proptest! {
-    /// Value's total order is antisymmetric and transitive (sort safety).
-    #[test]
-    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+fn arb_lowercase(rng: &mut Prng, min: usize, max: usize) -> String {
+    let len = min + rng.below(max - min + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
+
+/// Value's total order is antisymmetric and transitive (sort safety).
+#[test]
+fn value_ordering_is_total() {
+    use std::cmp::Ordering;
+    let mut rng = Prng::new(101);
+    for _ in 0..CASES * 3 {
+        let (a, b, c) = (
+            arb_value(&mut rng),
+            arb_value(&mut rng),
+            arb_value(&mut rng),
+        );
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse(), "{a:?} vs {b:?}");
         if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+            assert_ne!(a.cmp(&c), Ordering::Greater, "{a:?} {b:?} {c:?}");
         }
     }
+}
 
-    /// Equal values hash equally (group-by key safety).
-    #[test]
-    fn value_hash_consistent_with_eq(a in arb_value(), b in arb_value()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let hash = |v: &Value| {
-            let mut h = DefaultHasher::new();
-            v.hash(&mut h);
-            h.finish()
-        };
+/// Equal values hash equally (group-by key safety).
+#[test]
+fn value_hash_consistent_with_eq() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let hash = |v: &Value| {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    };
+    let mut rng = Prng::new(102);
+    for _ in 0..CASES * 3 {
+        let (a, b) = (arb_value(&mut rng), arb_value(&mut rng));
         if a == b {
-            prop_assert_eq!(hash(&a), hash(&b));
+            assert_eq!(hash(&a), hash(&b), "{a:?} vs {b:?}");
         }
     }
+}
 
-    /// CSV write → read round-trips rows (modulo numeric re-typing).
-    #[test]
-    fn csv_round_trip(rows in proptest::collection::vec(
-        (0i64..100, "[a-z]{1,5}", proptest::option::of("[a-z ,]{0,8}")),
-        1..20,
-    )) {
+/// CSV write → read round-trips rows (modulo numeric re-typing).
+#[test]
+fn csv_round_trip() {
+    let mut rng = Prng::new(103);
+    for _ in 0..CASES {
+        let nrows = 1 + rng.below(19);
         let columns = vec!["n".to_string(), "w".to_string(), "t".to_string()];
-        let data: Vec<Vec<Value>> = rows
-            .iter()
-            .map(|(n, w, t)| {
+        let data: Vec<Vec<Value>> = (0..nrows)
+            .map(|_| {
+                // Optional third field from a wider alphabet (incl. ',' and
+                // spaces) exercising quoting; empty ⇒ NULL.
+                let t = if rng.chance(0.5) {
+                    let len = rng.below(9);
+                    let s: String = (0..len)
+                        .map(|_| match rng.below(28) {
+                            26 => ',',
+                            27 => ' ',
+                            k => (b'a' + k as u8) as char,
+                        })
+                        .collect();
+                    if s.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::text(s)
+                    }
+                } else {
+                    Value::Null
+                };
                 vec![
-                    Value::Int(*n),
-                    Value::text(w.clone()),
-                    t.as_ref()
-                        .filter(|s| !s.is_empty())
-                        .map(|s| Value::text(s.clone()))
-                        .unwrap_or(Value::Null),
+                    Value::Int(rng.range_i64(0, 100)),
+                    Value::text(arb_lowercase(&mut rng, 1, 5)),
+                    t,
                 ]
             })
             .collect();
         let text = write_csv(&columns, &data, ',');
         let parsed = read_csv_str(&text, &CsvOptions::default()).unwrap();
-        prop_assert_eq!(parsed.rows, data);
+        assert_eq!(parsed.rows, data, "csv:\n{text}");
     }
+}
 
-    /// The shared split hash partitions any ctid set: every row lands in
-    /// exactly one side, and both backends use the same rule.
-    #[test]
-    fn split_is_a_partition(ctids in proptest::collection::vec(0i64..1_000_000, 1..200), seed in 0u64..1000) {
-        for &c in &ctids {
+/// The shared split hash partitions any ctid set: every row lands in
+/// exactly one side, and both backends use the same rule.
+#[test]
+fn split_is_a_partition() {
+    let mut rng = Prng::new(104);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
+        let n = 1 + rng.below(199);
+        for _ in 0..n {
+            let c = rng.range_i64(0, 1_000_000);
             let h = split_hash(c, seed);
-            prop_assert!((0..100).contains(&h));
+            assert!((0..100).contains(&h));
             let in_test = h < 25;
             let in_train = h >= 25;
-            prop_assert!(in_test != in_train);
+            assert!(in_test != in_train);
         }
     }
+}
 
-    /// SQL GROUP BY count equals the dataframe groupby count on the same
-    /// data — a cross-substrate metamorphic test.
-    #[test]
-    fn sql_and_dataframe_group_counts_agree(
-        values in proptest::collection::vec(0i64..5, 1..60),
-    ) {
+/// SQL GROUP BY count equals the dataframe groupby count on the same
+/// data — a cross-substrate metamorphic test.
+#[test]
+fn sql_and_dataframe_group_counts_agree() {
+    let mut rng = Prng::new(105);
+    for _ in 0..40 {
+        let values: Vec<i64> = (0..1 + rng.below(59))
+            .map(|_| rng.range_i64(0, 5))
+            .collect();
+
         // Dataframe side.
         let df = DataFrame::from_columns(vec![Series::new(
             "g",
@@ -126,16 +177,20 @@ proptest! {
             .iter()
             .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
             .collect();
-        prop_assert_eq!(df_counts, sql_counts);
+        assert_eq!(df_counts, sql_counts);
     }
+}
 
-    /// Filters commute with ratio measurement: a WHERE TRUE filter never
-    /// changes histogram ratios (operators that keep all rows introduce no
-    /// bias — the paper's §3.2 claim, as a property).
-    #[test]
-    fn row_preserving_filter_conserves_ratios(
-        values in proptest::collection::vec(0i64..4, 1..50),
-    ) {
+/// Filters commute with ratio measurement: a WHERE TRUE filter never
+/// changes histogram ratios (operators that keep all rows introduce no
+/// bias — the paper's §3.2 claim, as a property).
+#[test]
+fn row_preserving_filter_conserves_ratios() {
+    let mut rng = Prng::new(106);
+    for _ in 0..40 {
+        let values: Vec<i64> = (0..1 + rng.below(49))
+            .map(|_| rng.range_i64(0, 4))
+            .collect();
         let mut engine = Engine::new(EngineProfile::disk_based_no_latency());
         engine.execute("CREATE TABLE t (s int)").unwrap();
         let inserts: Vec<String> = values.iter().map(|v| format!("({v})")).collect();
@@ -151,17 +206,21 @@ proptest! {
                  SELECT s, count(*) FROM kept GROUP BY s",
             )
             .unwrap();
-        prop_assert_eq!(before.sorted_rows(), after.sorted_rows());
+        assert_eq!(before.sorted_rows(), after.sorted_rows());
     }
+}
 
-    /// Selections never invent tuples: every (value, count) after a filter
-    /// is bounded by its count before — the monotonicity the bias check's
-    /// join-back relies on.
-    #[test]
-    fn selection_counts_are_monotone(
-        values in proptest::collection::vec((0i64..4, 0i64..10), 1..50),
-        threshold in 0i64..10,
-    ) {
+/// Selections never invent tuples: every (value, count) after a filter
+/// is bounded by its count before — the monotonicity the bias check's
+/// join-back relies on.
+#[test]
+fn selection_counts_are_monotone() {
+    let mut rng = Prng::new(107);
+    for _ in 0..40 {
+        let values: Vec<(i64, i64)> = (0..1 + rng.below(49))
+            .map(|_| (rng.range_i64(0, 4), rng.range_i64(0, 10)))
+            .collect();
+        let threshold = rng.range_i64(0, 10);
         let mut engine = Engine::new(EngineProfile::in_memory());
         engine.execute("CREATE TABLE t (s int, v int)").unwrap();
         let inserts: Vec<String> = values.iter().map(|(s, v)| format!("({s}, {v})")).collect();
@@ -182,7 +241,7 @@ proptest! {
                 .iter()
                 .find(|r| r[0] == row[0])
                 .expect("group existed before");
-            prop_assert!(row[1].as_i64().unwrap() <= b[1].as_i64().unwrap());
+            assert!(row[1].as_i64().unwrap() <= b[1].as_i64().unwrap());
         }
     }
 }

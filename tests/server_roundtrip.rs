@@ -1,0 +1,34 @@
+//! Façade-level smoke test: the serving layer is reachable through the
+//! top-level crate and agrees with the embedded engine it wraps.
+
+use blue_elephants::elephant_server::{start, ElephantClient, ServerConfig};
+use blue_elephants::sqlengine::{Engine, EngineProfile};
+
+#[test]
+fn served_results_match_embedded_engine() {
+    let sql_setup = "CREATE TABLE v (x int); INSERT INTO v VALUES (3), (1), (2);";
+    let sql_query = "SELECT x FROM v ORDER BY x";
+
+    let mut embedded = Engine::new(EngineProfile::in_memory());
+    embedded.execute_script(sql_setup).unwrap();
+    let rel = embedded.query(sql_query).unwrap();
+    let expected = blue_elephants::etypes::csv::write_csv(&rel.columns, &rel.rows, ',');
+
+    let handle = start(ServerConfig::default()).unwrap();
+    let mut client = ElephantClient::connect(handle.local_addr()).unwrap();
+    client.query_raw("CREATE TABLE v (x int)").unwrap();
+    client
+        .query_raw("INSERT INTO v VALUES (3), (1), (2)")
+        .unwrap();
+    assert_eq!(client.query_raw(sql_query).unwrap(), expected);
+
+    client.prepare("q", sql_query).unwrap();
+    assert_eq!(client.execute("q").unwrap(), expected);
+    assert_eq!(client.execute("q").unwrap(), expected);
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("plan_cache_hits"), "{stats}");
+
+    client.shutdown().unwrap();
+    drop(client);
+    handle.join();
+}

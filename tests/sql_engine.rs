@@ -24,7 +24,9 @@ fn copy_from_a_real_file() {
         ))
         .unwrap();
     assert_eq!(out.rows_affected, 3);
-    let r = e.query("SELECT count(*) AS n FROM t WHERE a IS NULL").unwrap();
+    let r = e
+        .query("SELECT count(*) AS n FROM t WHERE a IS NULL")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(1));
     std::fs::remove_file(&path).ok();
 }
@@ -41,13 +43,17 @@ fn full_outer_join() {
         .query("SELECT a.k, va, vb FROM a FULL OUTER JOIN b ON a.k = b.k")
         .unwrap();
     assert_eq!(r.rows.len(), 3);
-    assert!(r.rows.iter().any(|row| row[1].is_null() || row[2].is_null()));
+    assert!(r
+        .rows
+        .iter()
+        .any(|row| row[1].is_null() || row[2].is_null()));
 }
 
 #[test]
 fn nested_cte_scopes() {
     let mut e = engine();
-    e.execute_script("CREATE TABLE t (v int); INSERT INTO t VALUES (1), (2);").unwrap();
+    e.execute_script("CREATE TABLE t (v int); INSERT INTO t VALUES (1), (2);")
+        .unwrap();
     // Inner WITH shadows nothing but must resolve before the outer one.
     let r = e
         .query(
@@ -92,17 +98,20 @@ fn distinct_and_count_distinct() {
 #[test]
 fn division_by_zero_is_a_runtime_error() {
     let mut e = engine();
-    e.execute_script("CREATE TABLE t (v int); INSERT INTO t VALUES (0);").unwrap();
+    e.execute_script("CREATE TABLE t (v int); INSERT INTO t VALUES (0);")
+        .unwrap();
     assert!(e.query("SELECT 1 / v FROM t").is_err());
 }
 
 #[test]
 fn cast_failures_surface() {
     let mut e = engine();
-    e.execute_script("CREATE TABLE t (s text); INSERT INTO t VALUES ('abc');").unwrap();
+    e.execute_script("CREATE TABLE t (s text); INSERT INTO t VALUES ('abc');")
+        .unwrap();
     assert!(e.query("SELECT s::int FROM t").is_err());
     let mut e2 = engine();
-    e2.execute_script("CREATE TABLE t (s text); INSERT INTO t VALUES ('42');").unwrap();
+    e2.execute_script("CREATE TABLE t (s text); INSERT INTO t VALUES ('42');")
+        .unwrap();
     assert_eq!(
         e2.query("SELECT s::int AS n FROM t").unwrap().rows[0][0],
         Value::Int(42)
@@ -114,10 +123,16 @@ fn order_by_output_alias() {
     let mut e = engine();
     e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (3), (1), (2);")
         .unwrap();
-    let r = e.query("SELECT a * 10 AS d FROM t ORDER BY d DESC").unwrap();
+    let r = e
+        .query("SELECT a * 10 AS d FROM t ORDER BY d DESC")
+        .unwrap();
     assert_eq!(
         r.rows,
-        vec![vec![Value::Int(30)], vec![Value::Int(20)], vec![Value::Int(10)]]
+        vec![
+            vec![Value::Int(30)],
+            vec![Value::Int(20)],
+            vec![Value::Int(10)]
+        ]
     );
 }
 
@@ -167,7 +182,8 @@ fn deep_view_chains_resolve() {
     // The VIEW-mode transpilation stacks dozens of views; make sure long
     // chains bind and execute.
     let mut e = engine();
-    e.execute_script("CREATE TABLE t (v int); INSERT INTO t VALUES (1);").unwrap();
+    e.execute_script("CREATE TABLE t (v int); INSERT INTO t VALUES (1);")
+        .unwrap();
     let mut prev = "t".to_string();
     for i in 0..40 {
         let name = format!("v{i}");
@@ -184,7 +200,8 @@ fn deep_view_chains_resolve() {
 #[test]
 fn self_referencing_cte_is_rejected_not_hung() {
     let mut e = engine();
-    e.execute_script("CREATE TABLE c (v int); INSERT INTO c VALUES (1);").unwrap();
+    e.execute_script("CREATE TABLE c (v int); INSERT INTO c VALUES (1);")
+        .unwrap();
     // `c` in scope refers to the CTE itself -> cycle -> bind error.
     let result = e.query("WITH c AS (SELECT v FROM c) SELECT v FROM c");
     assert!(result.is_err());

@@ -65,9 +65,10 @@ fn cte_script_executes_on_a_fresh_engine() {
         load_setup(&mut engine, &t);
         // Every prefix of the container is an executable query (paper §4).
         for entry in t.container.entries() {
-            let q = t
-                .container
-                .query(SqlMode::Cte, &format!("SELECT count(*) AS n FROM {}", entry.name));
+            let q = t.container.query(
+                SqlMode::Cte,
+                &format!("SELECT count(*) AS n FROM {}", entry.name),
+            );
             let rel = engine
                 .query(&q)
                 .unwrap_or_else(|e| panic!("{name} / {}: {e}", entry.name));

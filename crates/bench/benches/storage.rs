@@ -1,0 +1,142 @@
+//! Microbenchmarks of the durable storage layer: WAL append throughput
+//! under each fsync policy, checkpointing, and cold-start recovery of a
+//! 100k-row store from the WAL versus from a snapshot.
+
+use bench::microbench::Group;
+use elephant_store::{FsyncPolicy, Store, StoreConfig, TableImage, WalRecord};
+use etypes::{DataType, Value};
+use std::path::PathBuf;
+
+const RECOVERY_ROWS: usize = 100_000;
+const BATCH: usize = 1_000;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elephant-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf, fsync: FsyncPolicy) -> Store {
+    let (store, _tables, _report) =
+        Store::open(StoreConfig::new(dir).with_fsync(fsync)).expect("open store");
+    store
+}
+
+fn schema_record() -> WalRecord {
+    WalRecord::CreateTable {
+        name: "t".into(),
+        columns: vec!["id".into(), "v".into()],
+        types: vec![DataType::Int, DataType::Int],
+    }
+}
+
+fn batch(start: usize, n: usize) -> WalRecord {
+    WalRecord::Insert {
+        table: "t".into(),
+        rows: (start..start + n)
+            .map(|i| vec![Value::Int(i as i64), Value::Int((i % 997) as i64)])
+            .collect(),
+    }
+}
+
+/// Append cost of one 1000-row insert record per fsync policy. `always`
+/// pays a real fsync per acknowledged record — that gap *is* the paper's
+/// durability tax.
+fn bench_wal_append() {
+    let mut group = Group::new("wal_append_1k_rows");
+    group.sample_size(10);
+    for (label, fsync) in [
+        ("fsync_off", FsyncPolicy::Off),
+        ("fsync_every_100", FsyncPolicy::EveryN(100)),
+        ("fsync_always", FsyncPolicy::Always),
+    ] {
+        let dir = fresh_dir(label);
+        let mut store = open(&dir, fsync);
+        store.log(&schema_record()).unwrap();
+        let mut next = 0usize;
+        group.bench_function(label, || {
+            store.log(&batch(next, BATCH)).unwrap();
+            next += BATCH;
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Checkpoint cost: folding a 100k-row table into a columnar snapshot.
+fn bench_checkpoint() {
+    let mut group = Group::new("checkpoint_100k_rows");
+    group.sample_size(5);
+    let dir = fresh_dir("checkpoint");
+    let mut store = open(&dir, FsyncPolicy::Off);
+    let image = TableImage {
+        name: "t".into(),
+        columns: vec!["id".into(), "v".into()],
+        types: vec![DataType::Int, DataType::Int],
+        serial_next: Vec::new(),
+        rows: (0..RECOVERY_ROWS)
+            .map(|i| vec![Value::Int(i as i64), Value::Int((i % 997) as i64)])
+            .collect(),
+    };
+    group.bench_function("snapshot_write", || {
+        std::hint::black_box(store.checkpoint(&[&image]).unwrap());
+    });
+    drop(group);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cold-start recovery of 100k rows: replaying the whole WAL versus
+/// loading a snapshot with an empty WAL — the case `CHECKPOINT` buys.
+fn bench_recovery() {
+    let mut group = Group::new("recovery_100k_rows");
+    group.sample_size(5);
+
+    // Store A: everything still in the WAL.
+    let wal_dir = fresh_dir("recover-wal");
+    {
+        let mut store = open(&wal_dir, FsyncPolicy::Off);
+        store.log(&schema_record()).unwrap();
+        for start in (0..RECOVERY_ROWS).step_by(BATCH) {
+            store.log(&batch(start, BATCH)).unwrap();
+        }
+    }
+    group.bench_function("wal_replay", || {
+        let (_store, tables, report) =
+            Store::open(StoreConfig::new(&wal_dir).with_fsync(FsyncPolicy::Off)).unwrap();
+        assert_eq!(tables[0].rows.len(), RECOVERY_ROWS);
+        std::hint::black_box(report);
+    });
+
+    // Store B: same rows, but checkpointed into a snapshot first.
+    let snap_dir = fresh_dir("recover-snap");
+    {
+        let mut store = open(&snap_dir, FsyncPolicy::Off);
+        store.log(&schema_record()).unwrap();
+        for start in (0..RECOVERY_ROWS).step_by(BATCH) {
+            store.log(&batch(start, BATCH)).unwrap();
+        }
+    }
+    {
+        let (mut store, tables, _report) =
+            Store::open(StoreConfig::new(&snap_dir).with_fsync(FsyncPolicy::Off)).unwrap();
+        let refs: Vec<&TableImage> = tables.iter().collect();
+        store.checkpoint(&refs).unwrap();
+    }
+    group.bench_function("snapshot_load", || {
+        let (_store, tables, report) =
+            Store::open(StoreConfig::new(&snap_dir).with_fsync(FsyncPolicy::Off)).unwrap();
+        assert_eq!(tables[0].rows.len(), RECOVERY_ROWS);
+        std::hint::black_box(report);
+    });
+
+    drop(group);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}
+
+fn main() {
+    bench_wal_append();
+    bench_checkpoint();
+    bench_recovery();
+}

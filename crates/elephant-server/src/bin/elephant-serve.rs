@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! elephant-serve [--addr HOST:PORT] [--disk] [--rows N] [--seed N]
-//!                [--queue N] [--no-data]
+//!                [--queue N] [--no-data] [--data-dir PATH] [--fsync POLICY]
 //! ```
 //!
 //! By default binds 127.0.0.1:5462, uses the in-memory profile, and
 //! pre-registers the standard synthetic pipeline datasets so `INSPECT`
-//! works immediately.
+//! works immediately. With `--data-dir` the server recovers whatever the
+//! directory holds on startup and write-ahead-logs every acknowledged
+//! DDL/DML; `--fsync` picks the WAL durability policy (`always`, `off`,
+//! or `every_n:N`).
 
 use elephant_server::{start, ServerConfig};
+use sqlengine::FsyncPolicy;
+use std::path::PathBuf;
 use std::process::exit;
 
 fn main() {
@@ -19,6 +24,8 @@ fn main() {
     let mut seed: u64 = 7;
     let mut queue: usize = 64;
     let mut with_data = true;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,10 +42,13 @@ fn main() {
             "--seed" => seed = parse(&value("--seed"), "--seed"),
             "--queue" => queue = parse(&value("--queue"), "--queue"),
             "--no-data" => with_data = false,
+            "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--fsync" => fsync = parse(&value("--fsync"), "--fsync"),
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] [--rows N] \
-                     [--seed N] [--queue N] [--no-data]"
+                     [--seed N] [--queue N] [--no-data] [--data-dir PATH] \
+                     [--fsync always|off|every_n:N]"
                 );
                 return;
             }
@@ -49,11 +59,14 @@ fn main() {
         }
     }
 
+    let durable = data_dir.is_some();
     let mut config = ServerConfig {
         addr,
         queue_capacity: queue,
         in_memory,
         files: Vec::new(),
+        data_dir,
+        fsync,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);
@@ -62,14 +75,15 @@ fn main() {
     let handle = match start(config) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("bind failed: {e}");
+            eprintln!("startup failed: {e}");
             exit(1);
         }
     };
     println!(
-        "elephant-serve listening on {} ({} profile); send SHUTDOWN to stop",
+        "elephant-serve listening on {} ({} profile, {} storage); send SHUTDOWN to stop",
         handle.local_addr(),
         if in_memory { "in-memory" } else { "disk-based" },
+        if durable { "durable" } else { "volatile" },
     );
     handle.join();
     println!("elephant-serve drained, bye");

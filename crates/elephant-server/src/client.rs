@@ -128,6 +128,11 @@ impl ElephantClient {
         self.send("STATS")
     }
 
+    /// Snapshot all tables and truncate the WAL; errors on volatile servers.
+    pub fn checkpoint(&mut self) -> ClientResult<String> {
+        self.send("CHECKPOINT")
+    }
+
     /// Ask the server to drain; returns `draining`.
     pub fn shutdown(&mut self) -> ClientResult<String> {
         self.send("SHUTDOWN")

@@ -18,8 +18,10 @@
 use crate::metrics::Metrics;
 use crate::protocol::{codes, Command};
 use mlinspect::SqlMode;
-use sqlengine::{Engine, EngineProfile};
+use sqlengine::{Engine, EngineProfile, FsyncPolicy};
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::Arc;
@@ -55,16 +57,23 @@ pub(crate) struct ExecutorConfig {
     pub files: Vec<(String, String)>,
     /// Bound of the job queue (backpressure threshold).
     pub queue_capacity: usize,
+    /// Directory for WAL + snapshots; `None` keeps the engine volatile.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy for the durable store (ignored without `data_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 /// Spawn the executor thread; returns the job sender and the join handle.
 /// The thread exits when every clone of the returned sender is dropped.
+/// Fails when the durable store cannot be opened or recovered — the thread
+/// reports engine construction over a handshake channel before serving.
 pub(crate) fn spawn(
     cfg: ExecutorConfig,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
-) -> (SyncSender<Job>, JoinHandle<()>) {
+) -> io::Result<(SyncSender<Job>, JoinHandle<()>)> {
     let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
+    let (init_tx, init_rx) = mpsc::channel::<Result<(), String>>();
     let handle = thread::Builder::new()
         .name("elephant-executor".into())
         .spawn(move || {
@@ -74,8 +83,22 @@ pub(crate) fn spawn(
             } else {
                 EngineProfile::disk_based()
             };
+            let engine = match &cfg.data_dir {
+                Some(dir) => Engine::open_durable(profile, dir, cfg.fsync),
+                None => Ok(Engine::new(profile)),
+            };
+            let engine = match engine {
+                Ok(engine) => {
+                    let _ = init_tx.send(Ok(()));
+                    engine
+                }
+                Err(e) => {
+                    let _ = init_tx.send(Err(e.to_string()));
+                    return;
+                }
+            };
             let mut state = ExecutorState {
-                engine: Engine::new(profile),
+                engine,
                 files: cfg.files,
                 prepared: HashMap::new(),
                 metrics,
@@ -106,9 +129,18 @@ pub(crate) fn spawn(
                     Job::CloseSession { session } => state.close_session(session),
                 }
             }
-        })
-        .expect("spawn executor thread");
-    (tx, handle)
+        })?;
+    match init_rx.recv() {
+        Ok(Ok(())) => Ok((tx, handle)),
+        Ok(Err(msg)) => {
+            let _ = handle.join();
+            Err(io::Error::other(format!("storage recovery failed: {msg}")))
+        }
+        Err(_) => {
+            let _ = handle.join();
+            Err(io::Error::other("executor thread died during startup"))
+        }
+    }
 }
 
 struct ExecutorState {
@@ -170,6 +202,28 @@ impl ExecutorState {
                 threshold,
                 source,
             } => {
+                // `@name` selects one of the stock benchmark pipelines
+                // instead of shipping the source over the wire.
+                let source = match source.strip_prefix('@') {
+                    Some(name) => {
+                        let name = name.trim();
+                        let stock = mlinspect::pipelines::all();
+                        match stock.iter().find(|(n, _)| *n == name) {
+                            Some((_, src)) => (*src).to_string(),
+                            None => {
+                                let known: Vec<&str> = stock.iter().map(|(n, _)| *n).collect();
+                                return Err((
+                                    codes::INSPECT,
+                                    format!(
+                                        "inspect unknown-pipeline: '{name}' (known: {})",
+                                        known.join(", ")
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    None => source,
+                };
                 let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
                 let report = mlinspect::inspect_pipeline_in_sql(
                     &source,
@@ -180,17 +234,51 @@ impl ExecutorState {
                     SqlMode::Cte,
                     false,
                 )
-                .map_err(|e| (codes::INSPECT, e.to_string()))?;
+                .map_err(|e| (codes::INSPECT, format!("inspect {e}")))?;
                 Ok(report.render())
             }
             Command::Stats => {
                 let prepared_total: usize = self.prepared.values().map(Vec::len).sum();
-                Ok(self.metrics.render(
+                let mut body = self.metrics.render(
                     self.engine.plan_cache_stats(),
                     self.engine.plan_cache_len(),
                     prepared_total,
-                ))
+                );
+                use std::fmt::Write as _;
+                for (table, n) in self.engine.plan_cache_table_invalidations() {
+                    let _ = write!(body, "\nplan_cache_invalidations.{table} {n}");
+                }
+                let durable = u8::from(self.engine.is_durable());
+                let _ = write!(body, "\nstorage_durable {durable}");
+                if let Some(stats) = self.engine.storage_stats() {
+                    let _ = write!(
+                        body,
+                        "\nwal_records_appended {}",
+                        stats.wal.records_appended
+                    );
+                    let _ = write!(body, "\nwal_fsyncs {}", stats.wal.fsyncs);
+                    let _ = write!(body, "\nwal_bytes {}", stats.wal.bytes);
+                    let _ = write!(body, "\nstorage_checkpoints {}", stats.checkpoints);
+                }
+                if let Some(rec) = self.engine.recovery_report() {
+                    let _ = write!(body, "\nrecovered_snapshot_tables {}", rec.snapshot_tables);
+                    let _ = write!(body, "\nrecovered_snapshot_rows {}", rec.snapshot_rows);
+                    let _ = write!(body, "\nrecovered_wal_records {}", rec.wal_records_applied);
+                    let _ = write!(body, "\nrecovered_wal_torn_bytes {}", rec.wal_torn_bytes);
+                }
+                Ok(body)
             }
+            Command::Checkpoint => match self.engine.checkpoint() {
+                Ok(Some(stats)) => Ok(format!(
+                    "checkpoint tables={} rows={} snapshot_bytes={} wal_truncated={}",
+                    stats.tables, stats.rows, stats.snapshot_bytes, stats.wal_bytes_truncated
+                )),
+                Ok(None) => Err((
+                    codes::EXEC,
+                    "checkpoint requires durable storage (start the server with --data-dir)".into(),
+                )),
+                Err(e) => Err((codes::EXEC, e.to_string())),
+            },
             Command::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Ok("draining".into())
@@ -228,19 +316,29 @@ mod tests {
         rrx.recv().expect("reply")
     }
 
-    #[test]
-    fn executor_round_trip_and_scoped_prepare() {
-        let metrics = Arc::new(Metrics::default());
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, join) = spawn(
+    fn spawn_volatile(
+        metrics: &Arc<Metrics>,
+        shutdown: &Arc<AtomicBool>,
+    ) -> (SyncSender<Job>, JoinHandle<()>) {
+        spawn(
             ExecutorConfig {
                 in_memory: true,
                 files: Vec::new(),
                 queue_capacity: 4,
+                data_dir: None,
+                fsync: FsyncPolicy::Always,
             },
-            Arc::clone(&metrics),
-            Arc::clone(&shutdown),
-        );
+            Arc::clone(metrics),
+            Arc::clone(shutdown),
+        )
+        .expect("volatile executor spawns")
+    }
+
+    #[test]
+    fn executor_round_trip_and_scoped_prepare() {
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, join) = spawn_volatile(&metrics, &shutdown);
         let r = send(
             &tx,
             &metrics,
@@ -293,5 +391,112 @@ mod tests {
         assert_eq!(r.unwrap(), "a\n1\n2\n");
         drop(tx);
         join.join().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_on_volatile_engine_is_a_clean_error() {
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, join) = spawn_volatile(&metrics, &shutdown);
+        let r = send(&tx, &metrics, 1, Command::Checkpoint);
+        let (code, msg) = r.unwrap_err();
+        assert_eq!(code, codes::EXEC);
+        assert!(msg.contains("--data-dir"), "{msg}");
+        // Volatile STATS still reports the storage flag.
+        let r = send(&tx, &metrics, 1, Command::Stats);
+        let body = r.unwrap();
+        assert!(body.contains("storage_durable 0"), "{body}");
+        assert!(!body.contains("wal_records_appended"), "{body}");
+        drop(tx);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn inspect_unknown_stock_pipeline_is_structured() {
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, join) = spawn_volatile(&metrics, &shutdown);
+        let r = send(
+            &tx,
+            &metrics,
+            1,
+            Command::Inspect {
+                columns: vec!["age".into()],
+                threshold: 0.3,
+                source: "@no_such_pipeline".into(),
+            },
+        );
+        let (code, msg) = r.unwrap_err();
+        assert_eq!(code, codes::INSPECT);
+        assert!(
+            msg.starts_with("inspect unknown-pipeline: 'no_such_pipeline'"),
+            "{msg}"
+        );
+        assert!(msg.contains("healthcare"), "{msg}");
+        drop(tx);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn durable_executor_checkpoints_and_recovers() {
+        let dir = std::env::temp_dir().join(format!(
+            "elephant-server-exec-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable_cfg = || ExecutorConfig {
+            in_memory: true,
+            files: Vec::new(),
+            queue_capacity: 4,
+            data_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Always,
+        };
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, join) = spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        send(
+            &tx,
+            &metrics,
+            1,
+            Command::Query("CREATE TABLE t (a int)".into()),
+        )
+        .unwrap();
+        send(
+            &tx,
+            &metrics,
+            1,
+            Command::Query("INSERT INTO t VALUES (1), (2)".into()),
+        )
+        .unwrap();
+        let r = send(&tx, &metrics, 1, Command::Checkpoint).unwrap();
+        assert!(r.starts_with("checkpoint tables=1 rows=2"), "{r}");
+        send(
+            &tx,
+            &metrics,
+            1,
+            Command::Query("INSERT INTO t VALUES (3)".into()),
+        )
+        .unwrap();
+        drop(tx);
+        join.join().unwrap();
+
+        // Second incarnation over the same directory sees all three rows.
+        let metrics = Arc::new(Metrics::default());
+        let (tx, join) = spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        let r = send(
+            &tx,
+            &metrics,
+            1,
+            Command::Query("SELECT a FROM t ORDER BY a".into()),
+        );
+        assert_eq!(r.unwrap(), "a\n1\n2\n3\n");
+        let body = send(&tx, &metrics, 1, Command::Stats).unwrap();
+        assert!(body.contains("storage_durable 1"), "{body}");
+        assert!(body.contains("recovered_snapshot_tables 1"), "{body}");
+        assert!(body.contains("recovered_wal_records 1"), "{body}");
+        drop(tx);
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,8 +12,14 @@
 //! | `PREPARE` / `EXECUTE` | plan once via the engine's LRU plan cache, run many times |
 //! | `EXPLAIN` | render the optimized plan |
 //! | `INSPECT` | run an ML pipeline through the SQL backend with bias checks |
-//! | `STATS` | counters, queue depth, latency percentiles, plan-cache hit rate |
+//! | `STATS` | counters, queue depth, latency percentiles, plan-cache hit rate, storage/recovery stats |
+//! | `CHECKPOINT` | snapshot all tables to the data directory and truncate the WAL |
 //! | `SHUTDOWN` | graceful drain |
+//!
+//! Started with a `--data-dir` (or [`ServerConfig::data_dir`]), the server
+//! write-ahead-logs every acknowledged DDL/DML through `elephant-store` and
+//! recovers snapshot + WAL on startup — a `kill -9` loses nothing that was
+//! acknowledged under `--fsync always`. See `docs/STORAGE.md`.
 //!
 //! # Architecture
 //!

@@ -75,6 +75,8 @@ pub struct Metrics {
     pub inspects: AtomicU64,
     /// STATS commands served.
     pub stats_calls: AtomicU64,
+    /// CHECKPOINT commands served.
+    pub checkpoints: AtomicU64,
     /// Error responses of any kind (protocol or execution).
     pub errors: AtomicU64,
     /// Connections accepted over the server's lifetime.
@@ -97,6 +99,7 @@ impl Metrics {
             "EXPLAIN" => &self.explains,
             "INSPECT" => &self.inspects,
             "STATS" => &self.stats_calls,
+            "CHECKPOINT" => &self.checkpoints,
             _ => return,
         };
         c.fetch_add(1, Ordering::Relaxed);
@@ -110,6 +113,7 @@ impl Metrics {
             + self.explains.load(Ordering::Relaxed)
             + self.inspects.load(Ordering::Relaxed)
             + self.stats_calls.load(Ordering::Relaxed)
+            + self.checkpoints.load(Ordering::Relaxed)
     }
 
     /// Render the `STATS` body: one `key value` pair per line.
@@ -131,6 +135,7 @@ impl Metrics {
         line("explains", self.explains.load(o).to_string());
         line("inspects", self.inspects.load(o).to_string());
         line("stats_calls", self.stats_calls.load(o).to_string());
+        line("checkpoints_served", self.checkpoints.load(o).to_string());
         line("errors", self.errors.load(o).to_string());
         line("sessions_opened", opened.to_string());
         line("sessions_open", opened.saturating_sub(closed).to_string());
@@ -143,6 +148,7 @@ impl Metrics {
         line("plan_cache_hits", plan.hits.to_string());
         line("plan_cache_misses", plan.misses.to_string());
         line("plan_cache_evictions", plan.evictions.to_string());
+        line("plan_cache_invalidations", plan.invalidations.to_string());
         line("plan_cache_hit_rate", format!("{:.4}", plan.hit_rate()));
         line("prepared_statements", prepared.to_string());
         s.pop();

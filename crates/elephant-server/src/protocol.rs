@@ -72,6 +72,8 @@ pub enum Command {
     },
     /// Server + engine counters.
     Stats,
+    /// Snapshot all tables to durable storage and truncate the WAL.
+    Checkpoint,
     /// Begin graceful drain: stop accepting, finish in-flight work.
     Shutdown,
 }
@@ -87,6 +89,7 @@ impl Command {
             Command::Explain(_) => "EXPLAIN",
             Command::Inspect { .. } => "INSPECT",
             Command::Stats => "STATS",
+            Command::Checkpoint => "CHECKPOINT",
             Command::Shutdown => "SHUTDOWN",
         }
     }
@@ -326,6 +329,7 @@ pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
             })
         }
         "STATS" => Ok(Command::Stats),
+        "CHECKPOINT" => Ok(Command::Checkpoint),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err((codes::UNKNOWN, format!("unknown verb '{other}'"))),
     }
@@ -446,6 +450,7 @@ mod tests {
             Command::Explain("SELECT 1".into())
         );
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("CHECKPOINT").unwrap(), Command::Checkpoint);
         assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
         match parse_command("INSPECT race,sex 0.25\ndf = pd.read_csv(\"x.csv\")").unwrap() {
             Command::Inspect {

@@ -3,8 +3,10 @@
 use crate::executor::{self, ExecutorConfig};
 use crate::metrics::Metrics;
 use crate::session::run_session;
+use sqlengine::FsyncPolicy;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -25,6 +27,12 @@ pub struct ServerConfig {
     pub in_memory: bool,
     /// Virtual files served to `INSPECT` pipelines' `read_csv` calls.
     pub files: Vec<(String, String)>,
+    /// Directory for the write-ahead log and snapshots. `None` (the
+    /// default) keeps the server volatile; `Some` makes every acknowledged
+    /// DDL/DML durable and enables `CHECKPOINT`.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy for the durable store (ignored without `data_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +42,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             in_memory: true,
             files: Vec::new(),
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -117,10 +127,12 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             in_memory: config.in_memory,
             files: config.files,
             queue_capacity: config.queue_capacity,
+            data_dir: config.data_dir,
+            fsync: config.fsync,
         },
         Arc::clone(&metrics),
         Arc::clone(&shutdown),
-    );
+    )?;
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);

@@ -1,0 +1,155 @@
+//! Crash-recovery smoke test against the real `elephant-serve` binary:
+//! load data, checkpoint, write past the checkpoint, `kill -9`, restart on
+//! the same directory, and require every acknowledged write back — ctids,
+//! serial counters, and the pipeline inspection report byte-identical.
+
+use elephant_server::ElephantClient;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Start the server binary durably on `dir`; returns after it prints its
+/// bound address. Pipeline data is seeded deterministically so inspection
+/// reports are comparable across incarnations.
+fn serve(dir: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_elephant-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--rows",
+            "60",
+            "--seed",
+            "7",
+            "--fsync",
+            "always",
+            "--data-dir",
+        ])
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn elephant-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read startup line");
+    // "elephant-serve listening on <addr> (... profile, durable storage); ..."
+    assert!(line.contains("durable storage"), "{line}");
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("no address in startup line: {line}"))
+        .parse()
+        .expect("parse bound address");
+    (child, addr)
+}
+
+fn stat(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("missing '{key}' in stats:\n{stats}"))
+        .parse()
+        .unwrap()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "elephant-recovery-smoke-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn kill_nine_loses_no_acknowledged_writes() {
+    let dir = fresh_dir("kill9");
+
+    // First incarnation: checkpointed rows AND a WAL tail past the
+    // checkpoint, both acknowledged under fsync=always.
+    let (mut child, addr) = serve(&dir);
+    let mut c = ElephantClient::connect(addr).unwrap();
+    c.query_raw("CREATE TABLE t (id serial, a int)").unwrap();
+    c.query_raw("INSERT INTO t (a) VALUES (10), (20), (30)")
+        .unwrap();
+    let ck = c.checkpoint().unwrap();
+    assert!(ck.starts_with("checkpoint tables=1 rows=3"), "{ck}");
+    c.query_raw("INSERT INTO t (a) VALUES (40), (50)").unwrap();
+    let rows_before = c
+        .query_raw("SELECT ctid, id, a FROM t ORDER BY id")
+        .unwrap();
+    let report_before = c.inspect(&["age_group"], 0.3, "@healthcare").unwrap();
+    assert!(
+        report_before.contains("inspection verdict="),
+        "{report_before}"
+    );
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Second incarnation on the same directory: snapshot + WAL replay.
+    let (mut child, addr) = serve(&dir);
+    let mut c = ElephantClient::connect(addr).unwrap();
+    let rows_after = c
+        .query_raw("SELECT ctid, id, a FROM t ORDER BY id")
+        .unwrap();
+    assert_eq!(rows_after, rows_before, "recovered rows (and ctids) differ");
+    // The serial counter recovered too: numbering continues, not restarts.
+    c.query_raw("INSERT INTO t (a) VALUES (60)").unwrap();
+    assert_eq!(c.query_raw("SELECT max(id) AS m FROM t").unwrap(), "m\n6\n");
+    // Inspection over recovered state is byte-identical.
+    let report_after = c.inspect(&["age_group"], 0.3, "@healthcare").unwrap();
+    assert_eq!(report_after, report_before, "inspection report changed");
+    // STATS reports what recovery found.
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "storage_durable"), 1, "{stats}");
+    assert!(stat(&stats, "recovered_snapshot_tables") >= 1, "{stats}");
+    assert!(stat(&stats, "recovered_wal_records") >= 1, "{stats}");
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn volatile_server_refuses_checkpoint_but_durable_flag_is_reported() {
+    // No --data-dir: run in-process via the library for speed.
+    let handle = elephant_server::start(elephant_server::ServerConfig::default()).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+    match c.checkpoint() {
+        Err(elephant_server::ClientError::Server(e)) => {
+            assert_eq!(e.code, "ERR_EXEC");
+            assert!(e.message.contains("--data-dir"), "{}", e.message);
+        }
+        other => panic!("expected checkpoint refusal, got {other:?}"),
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "storage_durable"), 0, "{stats}");
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+}
+
+#[test]
+fn inspect_unknown_pipeline_is_a_structured_error() {
+    let handle = elephant_server::start(elephant_server::ServerConfig::default()).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+    match c.inspect(&["age_group"], 0.3, "@definitely_not_a_pipeline") {
+        Err(elephant_server::ClientError::Server(e)) => {
+            assert_eq!(e.code, "ERR_INSPECT");
+            assert!(
+                e.message
+                    .starts_with("inspect unknown-pipeline: 'definitely_not_a_pipeline'"),
+                "{}",
+                e.message
+            );
+            assert!(e.message.contains("healthcare"), "{}", e.message);
+        }
+        other => panic!("expected structured inspect error, got {other:?}"),
+    }
+    // The session survives the error.
+    assert_eq!(c.query_raw("SELECT 1 AS one").unwrap(), "one\n1\n");
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+}

@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/`crc32` flavour).
+//!
+//! The workspace builds fully offline, so the checksum is hand-rolled: a
+//! compile-time 256-entry table and the standard reflected algorithm. The
+//! test vectors below pin the output to the canonical polynomial so WAL and
+//! snapshot files stay readable across builds.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (single-shot).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x40;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,65 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors raised by the durable storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// On-disk state that cannot be interpreted (bad magic, failed
+    /// checksum, unparsable record) — *not* raised for tolerated torn
+    /// tails, which recovery reports instead.
+    Corrupt(String),
+    /// Binary codec failure while decoding cells.
+    Codec(etypes::Error),
+    /// The caller asked for something inconsistent (e.g. replaying an
+    /// insert into a table the log never created).
+    Invalid(String),
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(message: impl Into<String>) -> StoreError {
+        StoreError::Corrupt(message.into())
+    }
+
+    pub(crate) fn invalid(message: impl Into<String>) -> StoreError {
+        StoreError::Invalid(message.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage io error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StoreError::Codec(e) => write!(f, "storage codec error: {e}"),
+            StoreError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<etypes::Error> for StoreError {
+    fn from(e: etypes::Error) -> Self {
+        StoreError::Codec(e)
+    }
+}

@@ -1,0 +1,573 @@
+//! The write-ahead log.
+//!
+//! One append-only file per store. Layout:
+//!
+//! ```text
+//! file    := magic "ELWAL001" record*
+//! record  := len:u32 LE  crc:u32 LE  payload[len]
+//! payload := lsn:u64 LE  kind:u8  body
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. `lsn` is a store-wide monotonically
+//! increasing sequence number; snapshots remember the last LSN they contain
+//! so replay after a checkpoint skips already-applied records.
+//!
+//! Replay is **torn-tail tolerant**: a trailing record whose header is
+//! incomplete, whose declared length runs past end-of-file, or whose CRC
+//! does not match is treated as the torn result of a crash mid-append — the
+//! log is cut at the last valid record boundary and the dropped byte count
+//! is reported. The writer then truncates the file there, so new appends
+//! continue from consistent state.
+
+use crate::crc32::crc32;
+use crate::error::{Result, StoreError};
+use crate::FsyncPolicy;
+use etypes::binary::{put_str, put_u32, put_u64, put_value};
+use etypes::{ByteReader, DataType, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic for WAL files (8 bytes, versioned).
+pub const WAL_MAGIC: &[u8; 8] = b"ELWAL001";
+
+/// Hard ceiling on one record's payload (64 MiB): a declared length above
+/// this is corruption, not a real record.
+pub const MAX_RECORD: usize = 64 << 20;
+
+/// One logged mutation. `Insert` rows are logged *post*-serial-fill and
+/// *post*-coercion, so replay appends them verbatim and reconstructs the
+/// exact in-memory state (including ctid assignment, which is row order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `CREATE TABLE`: schema of the new table.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names in order.
+        columns: Vec<String>,
+        /// Column types in order.
+        types: Vec<DataType>,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// A batch of appended rows (one `INSERT`/`COPY` statement).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Full-width rows in append order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// A batch of in-place row overwrites, addressed by ctid (row index).
+    Update {
+        /// Target table.
+        table: String,
+        /// `(ctid, new full-width row)` pairs.
+        rows: Vec<(u64, Vec<Value>)>,
+    },
+    /// A batch of row deletions, addressed by ctid (row index).
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row indices to remove.
+        ctids: Vec<u64>,
+    },
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::CreateTable { .. } => 0,
+            WalRecord::DropTable { .. } => 1,
+            WalRecord::Insert { .. } => 2,
+            WalRecord::Update { .. } => 3,
+            WalRecord::Delete { .. } => 4,
+        }
+    }
+
+    /// Encode the payload (without the frame header) for `lsn`.
+    fn encode(&self, lsn: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        put_u64(&mut buf, lsn);
+        buf.push(self.kind());
+        match self {
+            WalRecord::CreateTable {
+                name,
+                columns,
+                types,
+            } => {
+                put_str(&mut buf, name);
+                put_u32(&mut buf, columns.len() as u32);
+                for (c, t) in columns.iter().zip(types) {
+                    put_str(&mut buf, c);
+                    etypes::binary::put_datatype(&mut buf, t);
+                }
+            }
+            WalRecord::DropTable { name } => put_str(&mut buf, name),
+            WalRecord::Insert { table, rows } => {
+                put_str(&mut buf, table);
+                put_u32(&mut buf, rows.len() as u32);
+                for row in rows {
+                    put_u32(&mut buf, row.len() as u32);
+                    for v in row {
+                        put_value(&mut buf, v);
+                    }
+                }
+            }
+            WalRecord::Update { table, rows } => {
+                put_str(&mut buf, table);
+                put_u32(&mut buf, rows.len() as u32);
+                for (ctid, row) in rows {
+                    put_u64(&mut buf, *ctid);
+                    put_u32(&mut buf, row.len() as u32);
+                    for v in row {
+                        put_value(&mut buf, v);
+                    }
+                }
+            }
+            WalRecord::Delete { table, ctids } => {
+                put_str(&mut buf, table);
+                put_u32(&mut buf, ctids.len() as u32);
+                for id in ctids {
+                    put_u64(&mut buf, *id);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decode one payload into `(lsn, record)`.
+    fn decode(payload: &[u8]) -> Result<(u64, WalRecord)> {
+        let mut r = ByteReader::new(payload);
+        let lsn = r.u64()?;
+        let kind = r.u8()?;
+        let rec = match kind {
+            0 => {
+                let name = r.str()?;
+                let n = r.u32()? as usize;
+                let mut columns = Vec::with_capacity(n);
+                let mut types = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(r.str()?);
+                    types.push(r.datatype()?);
+                }
+                WalRecord::CreateTable {
+                    name,
+                    columns,
+                    types,
+                }
+            }
+            1 => WalRecord::DropTable { name: r.str()? },
+            2 => {
+                let table = r.str()?;
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let width = r.u32()? as usize;
+                    let mut row = Vec::with_capacity(width.min(1 << 16));
+                    for _ in 0..width {
+                        row.push(r.value()?);
+                    }
+                    rows.push(row);
+                }
+                WalRecord::Insert { table, rows }
+            }
+            3 => {
+                let table = r.str()?;
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let ctid = r.u64()?;
+                    let width = r.u32()? as usize;
+                    let mut row = Vec::with_capacity(width.min(1 << 16));
+                    for _ in 0..width {
+                        row.push(r.value()?);
+                    }
+                    rows.push((ctid, row));
+                }
+                WalRecord::Update { table, rows }
+            }
+            4 => {
+                let table = r.str()?;
+                let n = r.u32()? as usize;
+                let mut ctids = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    ctids.push(r.u64()?);
+                }
+                WalRecord::Delete { table, ctids }
+            }
+            other => {
+                return Err(StoreError::corrupt(format!(
+                    "unknown WAL record kind {other}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(StoreError::corrupt(format!(
+                "{} trailing bytes after WAL record",
+                r.remaining()
+            )));
+        }
+        Ok((lsn, rec))
+    }
+}
+
+/// Monotonic writer-side counters, surfaced through `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub records_appended: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Current WAL file size in bytes.
+    pub bytes: u64,
+}
+
+/// Append-only WAL writer.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    unsynced: u64,
+    next_lsn: u64,
+    stats: WalStats,
+}
+
+impl WalWriter {
+    /// Open (creating if absent) the WAL at `path`, truncating it to
+    /// `valid_len` — the last consistent record boundary found by replay —
+    /// and continuing LSNs from `next_lsn`.
+    pub fn open(
+        path: &Path,
+        fsync: FsyncPolicy,
+        valid_len: u64,
+        next_lsn: u64,
+    ) -> Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(valid_len.max(WAL_MAGIC.len() as u64))?;
+        if valid_len < WAL_MAGIC.len() as u64 {
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+        }
+        let bytes = file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            fsync,
+            unsynced: 0,
+            next_lsn,
+            stats: WalStats {
+                records_appended: 0,
+                fsyncs: 0,
+                bytes,
+            },
+        })
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The LSN the next append will use.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Writer counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Append one record; returns its LSN. Durability depends on the
+    /// configured [`FsyncPolicy`].
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        let lsn = self.next_lsn;
+        let payload = rec.encode(lsn);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.next_lsn += 1;
+        self.unsynced += 1;
+        self.stats.records_appended += 1;
+        self.stats.bytes += frame.len() as u64;
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Force written records to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Truncate the log after a checkpoint: every record is now covered by
+    /// the snapshot. LSNs keep counting — they are store-wide, not per-file.
+    pub fn truncate(&mut self) -> Result<u64> {
+        let dropped = self.stats.bytes.saturating_sub(WAL_MAGIC.len() as u64);
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.unsynced = 0;
+        self.stats.bytes = WAL_MAGIC.len() as u64;
+        Ok(dropped)
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        // Clean shutdown flushes even under lax fsync policies.
+        let _ = self.file.sync_data();
+    }
+}
+
+/// The outcome of scanning a WAL file.
+#[derive(Debug, Default)]
+pub struct WalReadOutcome {
+    /// Valid records in file order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte offset of the end of the last valid record (the consistent
+    /// boundary the writer should truncate to).
+    pub valid_len: u64,
+    /// Bytes after `valid_len` dropped as a torn tail.
+    pub torn_bytes: u64,
+    /// True when the tail was dropped because of a CRC mismatch (as opposed
+    /// to an incomplete header/payload).
+    pub crc_mismatch: bool,
+}
+
+/// Scan the WAL at `path`. A missing file yields an empty outcome. A file
+/// that does not start with [`WAL_MAGIC`] is an error (it is not a WAL); a
+/// corrupt or incomplete *tail* is tolerated and reported.
+pub fn read_wal(path: &Path) -> Result<WalReadOutcome> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReadOutcome::default()),
+        Err(e) => return Err(e.into()),
+    }
+    if data.is_empty() {
+        return Ok(WalReadOutcome::default());
+    }
+    if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(StoreError::corrupt(format!(
+            "{} is not a WAL file (bad magic)",
+            path.display()
+        )));
+    }
+    let mut out = WalReadOutcome {
+        valid_len: WAL_MAGIC.len() as u64,
+        ..WalReadOutcome::default()
+    };
+    let mut pos = WAL_MAGIC.len();
+    while pos < data.len() {
+        let remaining = data.len() - pos;
+        if remaining < 8 {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD || remaining - 8 < len {
+            break; // torn payload (or garbage length)
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            out.crc_mismatch = true;
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(entry) => out.records.push(entry),
+            Err(_) => {
+                // Checksum matched but the payload does not parse: written
+                // by a different version or deliberately corrupted. Stop at
+                // the boundary like any other torn tail.
+                out.crc_mismatch = true;
+                break;
+            }
+        }
+        pos += 8 + len;
+        out.valid_len = pos as u64;
+    }
+    out.torn_bytes = (data.len() as u64).saturating_sub(out.valid_len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("elwal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                name: "t".into(),
+                columns: vec!["id".into(), "v".into()],
+                types: vec![DataType::Serial, DataType::Text],
+            },
+            WalRecord::Insert {
+                table: "t".into(),
+                rows: vec![
+                    vec![Value::Int(1), Value::text("a")],
+                    vec![Value::Int(2), Value::Null],
+                ],
+            },
+            WalRecord::Update {
+                table: "t".into(),
+                rows: vec![(0, vec![Value::Int(1), Value::text("a2")])],
+            },
+            WalRecord::Delete {
+                table: "t".into(),
+                ctids: vec![1],
+            },
+            WalRecord::DropTable { name: "t".into() },
+        ]
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("roundtrip");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        assert_eq!(w.stats().records_appended, 5);
+        assert!(w.stats().fsyncs >= 5);
+        drop(w);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.torn_bytes, 0);
+        assert!(!out.crc_mismatch);
+        let lsns: Vec<u64> = out.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![1, 2, 3, 4, 5]);
+        let recs: Vec<WalRecord> = out.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(recs, sample_records());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_writer_resumes() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Cut 3 bytes into the last record.
+        let out_full = read_wal(&path).unwrap();
+        assert_eq!(out_full.valid_len, full);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.records.len(), 4, "last record torn away");
+        assert!(out.torn_bytes > 0);
+        assert!(!out.crc_mismatch);
+        // Reopen the writer at the valid boundary and append again.
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, out.valid_len, 10).unwrap();
+        w.append(&WalRecord::DropTable { name: "t".into() })
+            .unwrap();
+        drop(w);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.records.len(), 5);
+        assert_eq!(out.records.last().unwrap().0, 10);
+        assert_eq!(out.torn_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = tmp("crc");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        drop(w);
+        let mut data = std::fs::read(&path).unwrap();
+        // Walk the frames to the third record and flip a byte inside its
+        // payload (not its header) so the failure is a checksum mismatch.
+        let mut pos = WAL_MAGIC.len();
+        for _ in 0..2 {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+        }
+        data[pos + 8] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let out = read_wal(&path).unwrap();
+        assert!(out.crc_mismatch);
+        assert!(out.records.len() < 5);
+        assert!(out.torn_bytes > 0);
+    }
+
+    #[test]
+    fn every_n_policy_batches_fsyncs() {
+        let path = tmp("everyn");
+        let mut w = WalWriter::open(&path, FsyncPolicy::EveryN(3), 0, 1).unwrap();
+        for _ in 0..7 {
+            w.append(&WalRecord::DropTable { name: "x".into() })
+                .unwrap();
+        }
+        assert_eq!(w.stats().fsyncs, 2, "7 appends at every_n=3 -> 2 syncs");
+    }
+
+    #[test]
+    fn truncate_resets_bytes_but_not_lsns() {
+        let path = tmp("trunc");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        let dropped = w.truncate().unwrap();
+        assert!(dropped > 0);
+        assert_eq!(w.stats().bytes, WAL_MAGIC.len() as u64);
+        let lsn = w
+            .append(&WalRecord::DropTable { name: "t".into() })
+            .unwrap();
+        assert_eq!(lsn, 6, "LSNs continue across truncation");
+        drop(w);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_empty_not_error() {
+        let path = tmp("missing");
+        let out = read_wal(&path).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.valid_len, 0);
+    }
+
+    #[test]
+    fn non_wal_file_is_an_error() {
+        let path = tmp("notwal");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(read_wal(&path).is_err());
+    }
+}

@@ -17,6 +17,8 @@ pub enum Error {
     },
     /// Malformed CSV input.
     Csv(String),
+    /// Malformed binary encoding (WAL records, snapshot pages).
+    Codec(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -28,6 +30,7 @@ impl fmt::Display for Error {
                 write!(f, "type mismatch: expected {expected}, got {got}")
             }
             Error::Csv(msg) => write!(f, "csv error: {msg}"),
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
         }
     }

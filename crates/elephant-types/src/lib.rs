@@ -7,12 +7,14 @@
 //! with SQL-style null semantics. This crate also owns the CSV reader/writer
 //! used both by the `pandas.read_csv` emulation and by the engine's `COPY`.
 
+pub mod binary;
 pub mod csv;
 pub mod datatype;
 pub mod error;
 pub mod rng;
 pub mod value;
 
+pub use binary::ByteReader;
 pub use csv::{read_csv, read_csv_str, write_csv, CsvOptions, CsvTable};
 pub use datatype::DataType;
 pub use error::{Error, Result};

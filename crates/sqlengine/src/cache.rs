@@ -5,12 +5,17 @@
 //! repeated statements. Entries are keyed by the exact SQL text and hold the
 //! fully bound and optimized [`PlanRoot`] plus its output schema; plans
 //! reference base tables by name, so data changes (INSERT/COPY) never
-//! invalidate them, while DDL (CREATE/DROP of tables or views) clears the
-//! cache wholesale — the PostgreSQL approach of invalidating on catalog
-//! changes, simplified to a full flush.
+//! invalidate them. DDL invalidates per dependency: every entry records
+//! which catalog objects it reads ([`CachedPlan::tables`] — base tables,
+//! views, and materialized views, collected from both the query text and
+//! the bound plan so tables hidden under inlined views are included), and
+//! `CREATE`/`DROP` of an object evicts only the entries that depend on it.
+//! Per-table eviction counts are kept for observability
+//! ([`PlanCache::table_invalidations`]).
 
-use crate::plan::{PlanRoot, Schema};
-use std::collections::VecDeque;
+use crate::ast;
+use crate::plan::{PlanNode, PlanRoot, ScanSource, Schema};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// A cached, ready-to-execute query plan.
@@ -21,6 +26,18 @@ pub struct CachedPlan {
     pub root: Rc<PlanRoot>,
     /// Output schema of the plan body.
     pub schema: Schema,
+    /// Names of catalog objects (tables, views) this plan reads; DDL on any
+    /// of them invalidates the entry. Sorted and deduplicated.
+    pub tables: Vec<String>,
+}
+
+impl CachedPlan {
+    /// True when this plan reads the named catalog object.
+    pub fn depends_on(&self, name: &str) -> bool {
+        self.tables
+            .binary_search_by(|t| t.as_str().cmp(name))
+            .is_ok()
+    }
 }
 
 /// Hit/miss counters (monotonic; survive invalidation).
@@ -32,7 +49,8 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries evicted by capacity pressure.
     pub evictions: u64,
-    /// Full flushes triggered by DDL.
+    /// Entries dropped by DDL invalidation (full flushes count every entry
+    /// they drop; targeted invalidation counts only the dependents).
     pub invalidations: u64,
 }
 
@@ -55,6 +73,8 @@ pub struct PlanCache {
     /// LRU order: least-recently used at the front.
     entries: VecDeque<(String, CachedPlan)>,
     stats: PlanCacheStats,
+    /// Entries dropped per table name by targeted invalidation.
+    table_invalidations: HashMap<String, u64>,
 }
 
 /// Default number of cached plans per engine.
@@ -73,6 +93,7 @@ impl PlanCache {
             capacity: capacity.max(1),
             entries: VecDeque::new(),
             stats: PlanCacheStats::default(),
+            table_invalidations: HashMap::new(),
         }
     }
 
@@ -114,12 +135,38 @@ impl PlanCache {
         self.entries.push_back((sql, plan));
     }
 
-    /// Drop every entry (DDL invalidation); counters survive.
+    /// Drop every entry (wholesale invalidation); counters survive.
     pub fn invalidate(&mut self) {
-        if !self.entries.is_empty() {
-            self.stats.invalidations += 1;
-        }
+        self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
+    }
+
+    /// Drop only the entries that depend on the named catalog object
+    /// (targeted DDL invalidation). Returns how many entries were dropped
+    /// and records the count against the table's invalidation counter.
+    pub fn invalidate_table(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(_, plan)| !plan.depends_on(name));
+        let dropped = before - self.entries.len();
+        if dropped > 0 {
+            self.stats.invalidations += dropped as u64;
+            *self
+                .table_invalidations
+                .entry(name.to_string())
+                .or_default() += dropped as u64;
+        }
+        dropped
+    }
+
+    /// Per-table targeted-invalidation counts, sorted by table name.
+    pub fn table_invalidations(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .table_invalidations
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Number of live entries.
@@ -138,12 +185,142 @@ impl PlanCache {
     }
 }
 
+/// Collect the catalog objects a query reads: the union of every named FROM
+/// reference in the AST (which still sees view names before the binder
+/// inlines them) and every base-table / materialized-view scan in the bound
+/// plan (which sees the tables hidden *under* inlined views). CTE names can
+/// leak in from the AST side; a spurious dependency only risks one extra
+/// eviction, never a stale plan. Returns a sorted, deduplicated list.
+pub fn collect_table_deps(query: &ast::Query, root: &PlanRoot) -> Vec<String> {
+    let mut deps = BTreeSet::new();
+    ast_query_deps(query, &mut deps);
+    plan_deps(&root.body, &mut deps);
+    for cte in &root.ctes {
+        plan_deps(&cte.plan, &mut deps);
+    }
+    for sub in &root.subplans {
+        plan_deps(sub, &mut deps);
+    }
+    deps.into_iter().collect()
+}
+
+fn ast_query_deps(query: &ast::Query, deps: &mut BTreeSet<String>) {
+    for cte in &query.ctes {
+        ast_query_deps(&cte.query, deps);
+    }
+    let body = &query.body;
+    for item in &body.projection {
+        if let ast::SelectItem::Expr { expr, .. } = item {
+            ast_expr_deps(expr, deps);
+        }
+    }
+    if let Some(from) = &body.from {
+        ast_table_ref_deps(from, deps);
+    }
+    for e in body
+        .selection
+        .iter()
+        .chain(body.group_by.iter())
+        .chain(body.having.iter())
+    {
+        ast_expr_deps(e, deps);
+    }
+    for item in &body.order_by {
+        ast_expr_deps(&item.expr, deps);
+    }
+}
+
+fn ast_table_ref_deps(table_ref: &ast::TableRef, deps: &mut BTreeSet<String>) {
+    match table_ref {
+        ast::TableRef::Named { name, .. } => {
+            deps.insert(name.clone());
+        }
+        ast::TableRef::Subquery { query, .. } => ast_query_deps(query, deps),
+        ast::TableRef::Join {
+            left, right, on, ..
+        } => {
+            ast_table_ref_deps(left, deps);
+            ast_table_ref_deps(right, deps);
+            if let Some(on) = on {
+                ast_expr_deps(on, deps);
+            }
+        }
+    }
+}
+
+fn ast_expr_deps(expr: &ast::Expr, deps: &mut BTreeSet<String>) {
+    match expr {
+        ast::Expr::Column { .. } | ast::Expr::Literal(_) => {}
+        ast::Expr::Binary { left, right, .. } => {
+            ast_expr_deps(left, deps);
+            ast_expr_deps(right, deps);
+        }
+        ast::Expr::Unary { operand, .. } => ast_expr_deps(operand, deps),
+        ast::Expr::Function { args, .. } => {
+            for a in args {
+                ast_expr_deps(a, deps);
+            }
+        }
+        ast::Expr::Case { whens, else_expr } => {
+            for (w, t) in whens {
+                ast_expr_deps(w, deps);
+                ast_expr_deps(t, deps);
+            }
+            if let Some(e) = else_expr {
+                ast_expr_deps(e, deps);
+            }
+        }
+        ast::Expr::Cast { expr, .. } => ast_expr_deps(expr, deps),
+        ast::Expr::InList { expr, list, .. } => {
+            ast_expr_deps(expr, deps);
+            for e in list {
+                ast_expr_deps(e, deps);
+            }
+        }
+        ast::Expr::IsNull { expr, .. } => ast_expr_deps(expr, deps),
+        ast::Expr::ScalarSubquery(q) => ast_query_deps(q, deps),
+        ast::Expr::ArrayLiteral(items) => {
+            for e in items {
+                ast_expr_deps(e, deps);
+            }
+        }
+    }
+}
+
+fn plan_deps(node: &PlanNode, deps: &mut BTreeSet<String>) {
+    match node {
+        PlanNode::Scan { source, .. } => match source {
+            ScanSource::Table(name) | ScanSource::MaterializedView(name) => {
+                deps.insert(name.clone());
+            }
+            ScanSource::Cte(_) => {}
+        },
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Aggregate { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Limit { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::WindowRowNumber { input, .. }
+        | PlanNode::Unnest { input, .. } => plan_deps(input, deps),
+        PlanNode::Join { left, right, .. } => {
+            plan_deps(left, deps);
+            plan_deps(right, deps);
+        }
+        PlanNode::Values { .. } => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::plan::PlanNode;
 
     fn dummy_plan() -> CachedPlan {
+        plan_reading(&[])
+    }
+
+    fn plan_reading(tables: &[&str]) -> CachedPlan {
         CachedPlan {
             root: Rc::new(PlanRoot {
                 ctes: Vec::new(),
@@ -154,6 +331,7 @@ mod tests {
                 },
             }),
             schema: Schema::default(),
+            tables: tables.iter().map(|s| s.to_string()).collect(),
         }
     }
 
@@ -198,5 +376,31 @@ mod tests {
         c.insert("a", dummy_plan());
         c.insert("a", dummy_plan());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn targeted_invalidation_drops_only_dependents() {
+        let mut c = PlanCache::new(8);
+        c.insert("q1", plan_reading(&["orders", "users"]));
+        c.insert("q2", plan_reading(&["users"]));
+        c.insert("q3", plan_reading(&["products"]));
+        assert_eq!(c.invalidate_table("users"), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains("q3"));
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.table_invalidations(), vec![("users".to_string(), 2)]);
+        // A table nothing depends on is a free no-op.
+        assert_eq!(c.invalidate_table("missing"), 0);
+        assert_eq!(c.stats().invalidations, 2);
+        assert!(c.table_invalidations().iter().all(|(t, _)| t != "missing"));
+    }
+
+    #[test]
+    fn depends_on_uses_sorted_lookup() {
+        let p = plan_reading(&["a", "m", "z"]);
+        assert!(p.depends_on("a"));
+        assert!(p.depends_on("m"));
+        assert!(p.depends_on("z"));
+        assert!(!p.depends_on("q"));
     }
 }

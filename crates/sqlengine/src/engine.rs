@@ -2,16 +2,19 @@
 
 use crate::ast::Statement;
 use crate::binder::bind_select;
-use crate::cache::{CachedPlan, PlanCache, PlanCacheStats};
+use crate::cache::{collect_table_deps, CachedPlan, PlanCache, PlanCacheStats};
 use crate::catalog::{Catalog, ViewDef};
+use crate::durable::{DurableBackend, MemoryBackend, StorageBackend};
 use crate::error::{Result, SqlError};
 use crate::exec::{execute_root, ExecContext, ExecStats};
 use crate::optimizer::optimize;
 use crate::parser::parse_script;
 use crate::profile::EngineProfile;
 use crate::storage::{Relation, Table};
+use elephant_store::{CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, WalRecord};
 use etypes::{CsvOptions, DataType, Value};
 use std::collections::HashMap;
+use std::path::Path;
 use std::rc::Rc;
 
 /// Accumulated engine counters (sums over all executed queries).
@@ -42,11 +45,34 @@ pub struct Engine {
     queries_run: u64,
     plan_cache: PlanCache,
     prepared: HashMap<String, String>,
+    backend: Box<dyn StorageBackend>,
 }
 
 impl Engine {
-    /// Create an engine with the given execution profile.
+    /// Create a volatile engine with the given execution profile.
     pub fn new(profile: EngineProfile) -> Engine {
+        Engine::with_backend(profile, Box::new(MemoryBackend))
+    }
+
+    /// Create a durable engine backed by a WAL + snapshot store in `dir`,
+    /// recovering whatever a previous life left there: DDL and DML are
+    /// logged before they are acknowledged, and [`Engine::checkpoint`]
+    /// compacts the log into a columnar snapshot. (Views are not persisted;
+    /// recreate them after a restart.)
+    pub fn open_durable(
+        profile: EngineProfile,
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+    ) -> Result<Engine> {
+        let (backend, tables) = DurableBackend::open(dir, fsync)?;
+        let mut engine = Engine::with_backend(profile, Box::new(backend));
+        for table in tables {
+            engine.catalog.create_table(table)?;
+        }
+        Ok(engine)
+    }
+
+    fn with_backend(profile: EngineProfile, backend: Box<dyn StorageBackend>) -> Engine {
         Engine {
             catalog: Catalog::new(),
             profile,
@@ -54,6 +80,7 @@ impl Engine {
             queries_run: 0,
             plan_cache: PlanCache::default(),
             prepared: HashMap::new(),
+            backend,
         }
     }
 
@@ -83,9 +110,35 @@ impl Engine {
         &self.catalog
     }
 
-    /// Mutable catalog access (bulk-loading helpers).
+    /// Mutable catalog access (bulk-loading helpers). Changes made through
+    /// this handle bypass the WAL: on a durable engine they are volatile
+    /// until the next [`Engine::checkpoint`].
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
+    }
+
+    /// True when this engine logs mutations to durable storage.
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_durable()
+    }
+
+    /// What recovery found when a durable engine was opened; `None` on
+    /// volatile engines.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.backend.recovery_report()
+    }
+
+    /// Live storage counters (WAL appends, fsyncs, checkpoints); `None` on
+    /// volatile engines.
+    pub fn storage_stats(&self) -> Option<StoreStats> {
+        self.backend.store_stats()
+    }
+
+    /// Snapshot every base table and truncate the WAL. Returns `None` on a
+    /// volatile engine (nothing to checkpoint). Materialized state created
+    /// through [`Engine::catalog_mut`] becomes durable here too.
+    pub fn checkpoint(&mut self) -> Result<Option<CheckpointStats>> {
+        self.backend.checkpoint(&self.catalog)
     }
 
     /// Execute one statement.
@@ -112,9 +165,17 @@ impl Engine {
             Statement::CreateTable { name, columns } => {
                 let (names, types): (Vec<String>, Vec<DataType>) =
                     columns.into_iter().map(|c| (c.name, c.ty)).unzip();
-                self.catalog
-                    .create_table(Table::empty(name, names, types))?;
-                self.plan_cache.invalidate();
+                self.catalog.create_table(Table::empty(
+                    name.clone(),
+                    names.clone(),
+                    types.clone(),
+                ))?;
+                self.backend.log(&WalRecord::CreateTable {
+                    name: name.clone(),
+                    columns: names,
+                    types,
+                })?;
+                self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
             }
             Statement::Drop {
@@ -122,8 +183,13 @@ impl Engine {
                 is_view,
                 if_exists,
             } => {
+                let was_table = !is_view && self.catalog.table(&name).is_some();
                 self.catalog.drop(&name, is_view, if_exists)?;
-                self.plan_cache.invalidate();
+                if was_table {
+                    self.backend
+                        .log(&WalRecord::DropTable { name: name.clone() })?;
+                }
+                self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
             }
             Statement::Insert {
@@ -163,11 +229,11 @@ impl Engine {
                     None
                 };
                 self.catalog.create_view(ViewDef {
-                    name,
+                    name: name.clone(),
                     query,
                     materialized: data,
                 })?;
-                self.plan_cache.invalidate();
+                self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
             }
             Statement::Select(query) => {
@@ -246,9 +312,11 @@ impl Engine {
         if self.profile.enable_optimizer {
             optimize(&mut root);
         }
+        let tables = collect_table_deps(&query, &root);
         Ok(CachedPlan {
             root: Rc::new(root),
             schema,
+            tables,
         })
     }
 
@@ -288,6 +356,11 @@ impl Engine {
     /// Number of plans currently cached.
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.len()
+    }
+
+    /// Per-table targeted plan-cache invalidation counts (sorted by name).
+    pub fn plan_cache_table_invalidations(&self) -> Vec<(String, u64)> {
+        self.plan_cache.table_invalidations()
     }
 
     /// Render the optimized plan of a SELECT (EXPLAIN).
@@ -351,6 +424,7 @@ impl Engine {
             .table_mut(table)
             .ok_or_else(|| SqlError::catalog(format!("unknown table '{table}'")))?;
         let width = table_ref.data.columns.len();
+        let first_new_row = table_ref.data.rows.len();
         let mut count = 0usize;
         for row in evaluated {
             let full_row = match columns {
@@ -376,6 +450,15 @@ impl Engine {
             };
             table_ref.append(full_row)?;
             count += 1;
+        }
+        // Log the rows as stored (post serial-fill/coercion) so replay
+        // reproduces the exact in-memory state, ctids included.
+        if count > 0 && self.backend.is_durable() {
+            let rows = table_ref.data.rows[first_new_row..].to_vec();
+            self.backend.log(&WalRecord::Insert {
+                table: table.to_string(),
+                rows,
+            })?;
         }
         self.profile.charge_io(count);
         self.stats.pages_written += self.profile.pages_for(count);
@@ -407,6 +490,7 @@ impl Engine {
                 .collect::<Result<Vec<_>>>()?,
             None => (0..width).collect(),
         };
+        let first_new_row = table_ref.data.rows.len();
         let mut count = 0usize;
         for row in csv.rows {
             if row.len() != target_indices.len() {
@@ -422,6 +506,13 @@ impl Engine {
             }
             table_ref.append(full)?;
             count += 1;
+        }
+        if count > 0 && self.backend.is_durable() {
+            let rows = table_ref.data.rows[first_new_row..].to_vec();
+            self.backend.log(&WalRecord::Insert {
+                table: table.to_string(),
+                rows,
+            })?;
         }
         self.profile.charge_io(count);
         self.stats.pages_written += self.profile.pages_for(count);
@@ -988,6 +1079,165 @@ mod tests {
         let mut e = engine();
         assert!(e.prepare("p", "CREATE TABLE t (a int)").is_err());
         assert!(e.query_cached("CREATE TABLE t (a int)").is_err());
+    }
+
+    #[test]
+    fn targeted_invalidation_keeps_unrelated_plans() {
+        let mut e = engine();
+        e.execute_script(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1);
+             CREATE TABLE u (b int); INSERT INTO u VALUES (2);",
+        )
+        .unwrap();
+        e.query_cached("SELECT a FROM t").unwrap();
+        e.query_cached("SELECT b FROM u").unwrap();
+        assert_eq!(e.plan_cache_len(), 2);
+        e.execute("DROP TABLE t").unwrap();
+        // Only the plan reading t is evicted.
+        assert_eq!(e.plan_cache_len(), 1);
+        e.query_cached("SELECT b FROM u").unwrap();
+        assert_eq!(e.plan_cache_stats().hits, 1);
+        assert_eq!(
+            e.plan_cache_table_invalidations(),
+            vec![("t".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn view_drop_invalidates_plans_reading_it() {
+        // Inline views vanish from the bound plan; the AST walk must still
+        // record the dependency so DROP VIEW evicts the plan.
+        let mut e = engine();
+        e.execute_script(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1);
+             CREATE VIEW v AS SELECT a * 2 AS d FROM t;",
+        )
+        .unwrap();
+        e.query_cached("SELECT d FROM v").unwrap();
+        assert_eq!(e.plan_cache_len(), 1);
+        e.execute("DROP VIEW v").unwrap();
+        assert_eq!(e.plan_cache_len(), 0);
+        assert!(e.query_cached("SELECT d FROM v").is_err());
+    }
+
+    #[test]
+    fn table_under_inlined_view_invalidates_too() {
+        // The plan walk catches the base table hidden under the view.
+        let mut e = engine();
+        e.execute_script(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1);
+             CREATE VIEW v AS SELECT a FROM t;",
+        )
+        .unwrap();
+        e.query_cached("SELECT a FROM v").unwrap();
+        e.execute("DROP TABLE t").unwrap();
+        assert_eq!(e.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn subquery_dependencies_are_tracked() {
+        let mut e = engine();
+        e.execute_script(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1);
+             CREATE TABLE s (b int); INSERT INTO s VALUES (5);",
+        )
+        .unwrap();
+        e.query_cached("SELECT a FROM t WHERE a < (SELECT max(b) FROM s)")
+            .unwrap();
+        e.execute("DROP TABLE s").unwrap();
+        assert_eq!(e.plan_cache_len(), 0, "scalar-subquery dep evicted");
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sqlengine-durable-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_engine_recovers_tables_and_serials() {
+        let dir = durable_dir("roundtrip");
+        {
+            let mut e =
+                Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Off).unwrap();
+            assert!(e.is_durable());
+            e.execute_script(
+                "CREATE TABLE t (index_ serial, v text);
+                 INSERT INTO t (v) VALUES ('a'), ('b');",
+            )
+            .unwrap();
+        }
+        let mut e =
+            Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Off).unwrap();
+        let report = e.recovery_report().unwrap().clone();
+        assert_eq!(report.wal_records_applied, 2);
+        let r = e.query("SELECT index_, v FROM t ORDER BY index_").unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::text("a")],
+                vec![Value::Int(2), Value::text("b")]
+            ]
+        );
+        // Serial counter resumes where it left off.
+        e.execute("INSERT INTO t (v) VALUES ('c')").unwrap();
+        let r = e.query("SELECT max(index_) AS m FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn durable_engine_checkpoint_and_wal_tail() {
+        let dir = durable_dir("ckpt");
+        {
+            let mut e =
+                Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Off).unwrap();
+            e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2);")
+                .unwrap();
+            let stats = e.checkpoint().unwrap().expect("durable engine");
+            assert_eq!(stats.tables, 1);
+            assert_eq!(stats.rows, 2);
+            e.execute("INSERT INTO t VALUES (3)").unwrap();
+        }
+        let mut e =
+            Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Off).unwrap();
+        let report = e.recovery_report().unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.snapshot_rows, 2);
+        assert_eq!(report.wal_records_applied, 1);
+        let r = e.query("SELECT count(*) AS n FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+        assert!(e.storage_stats().is_some());
+    }
+
+    #[test]
+    fn durable_engine_drop_table_replays() {
+        let dir = durable_dir("drop");
+        {
+            let mut e =
+                Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Off).unwrap();
+            e.execute_script(
+                "CREATE TABLE keep (a int); INSERT INTO keep VALUES (1);
+                 CREATE TABLE gone (b int); INSERT INTO gone VALUES (2);
+                 DROP TABLE gone;",
+            )
+            .unwrap();
+            // DROP TABLE IF EXISTS of a missing table must not log.
+            e.execute("DROP TABLE IF EXISTS never_existed").unwrap();
+        }
+        let mut e =
+            Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Off).unwrap();
+        assert_eq!(e.catalog().table_names(), vec!["keep"]);
+        assert!(e.query("SELECT b FROM gone").is_err());
+        assert!(e.recovery_report().unwrap().notes.is_empty());
+    }
+
+    #[test]
+    fn volatile_engine_has_no_storage() {
+        let e = engine();
+        assert!(!e.is_durable());
+        assert!(e.recovery_report().is_none());
+        assert!(e.storage_stats().is_none());
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub enum SqlError {
     Value(etypes::Error),
     /// Propagated I/O error (COPY).
     Io(std::io::Error),
+    /// Durable-storage failure (WAL append, checkpoint, recovery).
+    Storage(elephant_store::StoreError),
 }
 
 impl SqlError {
@@ -57,6 +59,7 @@ impl fmt::Display for SqlError {
             SqlError::Catalog(m) => write!(f, "catalog error: {m}"),
             SqlError::Value(e) => write!(f, "value error: {e}"),
             SqlError::Io(e) => write!(f, "io error: {e}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -72,5 +75,11 @@ impl From<etypes::Error> for SqlError {
 impl From<std::io::Error> for SqlError {
     fn from(e: std::io::Error) -> Self {
         SqlError::Io(e)
+    }
+}
+
+impl From<elephant_store::StoreError> for SqlError {
+    fn from(e: elephant_store::StoreError) -> Self {
+        SqlError::Storage(e)
     }
 }

@@ -27,6 +27,7 @@ pub mod ast;
 pub mod binder;
 pub mod cache;
 pub mod catalog;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -41,7 +42,13 @@ pub mod storage;
 pub mod token;
 
 pub use cache::{PlanCache, PlanCacheStats};
+pub use durable::{DurableBackend, MemoryBackend, StorageBackend};
 pub use engine::{Engine, EngineStats, ExecOutcome};
 pub use error::{Result, SqlError};
 pub use profile::EngineProfile;
 pub use storage::Relation;
+
+// Storage types surface through the engine API (recovery reports, fsync
+// policies), so re-export them: dependents need no direct `elephant-store`
+// dependency.
+pub use elephant_store::{CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, WalStats};

@@ -1,0 +1,126 @@
+//! Tracing-overhead benchmark: the gate for "always-on-cheap".
+//!
+//! Runs the same cached SELECT hot loop with phase tracing enabled (the
+//! default) and disabled, and fails — exits non-zero — when the enabled
+//! median is more than [`MAX_OVERHEAD_PCT`] slower. Also measures what
+//! `EXPLAIN ANALYZE` (per-operator profiling) costs relative to a plain
+//! query. Writes the numbers to `BENCH_trace.json` at the workspace root.
+//!
+//! Samples for the two tracing configurations are interleaved so clock
+//! drift and cache warm-up hit both sides equally.
+
+use sqlengine::{Engine, EngineProfile};
+use std::time::Instant;
+
+/// Tracing may not slow the hot query path by more than this.
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+const ROWS: usize = 10_000;
+const QUERY: &str =
+    "SELECT grp, count(*) AS n, sum(v) AS s FROM t WHERE v >= 100 GROUP BY grp ORDER BY grp";
+const SAMPLES: usize = 31;
+const ITERS_PER_SAMPLE: u32 = 20;
+
+fn build_engine() -> Engine {
+    let mut engine = Engine::new(EngineProfile::in_memory());
+    engine
+        .execute("CREATE TABLE t (grp int, v int)")
+        .expect("create");
+    let mut values = String::from("INSERT INTO t VALUES ");
+    for i in 0..ROWS {
+        if i > 0 {
+            values.push(',');
+        }
+        values.push_str(&format!("({}, {})", i % 7, (i * 37) % 1000));
+    }
+    engine.execute(&values).expect("insert");
+    engine
+}
+
+/// One timed sample: `ITERS_PER_SAMPLE` runs of the hot query, ns/iter.
+fn sample(engine: &mut Engine) -> u64 {
+    let started = Instant::now();
+    for _ in 0..ITERS_PER_SAMPLE {
+        let rel = engine.query(QUERY).expect("query");
+        assert_eq!(rel.rows.len(), 7);
+    }
+    started.elapsed().as_nanos() as u64 / u64::from(ITERS_PER_SAMPLE)
+}
+
+fn median(mut ns: Vec<u64>) -> u64 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn main() {
+    let mut engine = build_engine();
+
+    // Warm up: populate the plan cache and fault everything in.
+    for _ in 0..20 {
+        engine.query(QUERY).expect("warmup");
+    }
+
+    let mut on = Vec::with_capacity(SAMPLES);
+    let mut off = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        engine.set_tracing(true);
+        on.push(sample(&mut engine));
+        engine.set_tracing(false);
+        off.push(sample(&mut engine));
+    }
+    engine.set_tracing(true);
+
+    let traced_ns = median(on);
+    let untraced_ns = median(off);
+    let overhead_pct = (traced_ns as f64 / untraced_ns as f64 - 1.0) * 100.0;
+
+    // EXPLAIN ANALYZE pays per-operator profiling on top of execution.
+    let analyze_ns = median(
+        (0..SAMPLES)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..ITERS_PER_SAMPLE {
+                    let text = engine.explain_analyze(QUERY).expect("analyze");
+                    assert!(text.contains("Execution: rows=7"));
+                }
+                started.elapsed().as_nanos() as u64 / u64::from(ITERS_PER_SAMPLE)
+            })
+            .collect(),
+    );
+    let analyze_over_query_pct = (analyze_ns as f64 / traced_ns as f64 - 1.0) * 100.0;
+
+    let phase_counts: Vec<String> = sqlengine::Phase::ALL
+        .iter()
+        .map(|p| format!("\"{}\": {}", p.name(), engine.trace().phase(*p).count()))
+        .collect();
+
+    println!("== trace_overhead ==");
+    println!("query traced      : {traced_ns} ns/iter");
+    println!("query untraced    : {untraced_ns} ns/iter");
+    println!("overhead          : {overhead_pct:.2}% (limit {MAX_OVERHEAD_PCT}%)");
+    println!("explain analyze   : {analyze_ns} ns/iter ({analyze_over_query_pct:+.2}% vs QUERY)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace\",\n  \"rows\": {ROWS},\n  \"samples\": {SAMPLES},\n  \
+         \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \"query_traced_ns\": {traced_ns},\n  \
+         \"query_untraced_ns\": {untraced_ns},\n  \"tracing_overhead_pct\": {overhead_pct:.3},\n  \
+         \"overhead_limit_pct\": {MAX_OVERHEAD_PCT},\n  \"explain_analyze_ns\": {analyze_ns},\n  \
+         \"explain_analyze_over_query_pct\": {analyze_over_query_pct:.3},\n  \
+         \"phase_sample_counts\": {{ {} }}\n}}\n",
+        phase_counts.join(", ")
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let path = root.join("BENCH_trace.json");
+    std::fs::write(&path, json).expect("write BENCH_trace.json");
+    println!("wrote {}", path.display());
+
+    if overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: tracing overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% budget"
+        );
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! elephant-serve [--addr HOST:PORT] [--disk] [--rows N] [--seed N]
 //!                [--queue N] [--no-data] [--data-dir PATH] [--fsync POLICY]
+//!                [--slow-query-us N]
 //! ```
 //!
 //! By default binds 127.0.0.1:5462, uses the in-memory profile, and
@@ -26,6 +27,7 @@ fn main() {
     let mut with_data = true;
     let mut data_dir: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
+    let mut slow_query_us: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,11 +46,14 @@ fn main() {
             "--no-data" => with_data = false,
             "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--fsync" => fsync = parse(&value("--fsync"), "--fsync"),
+            "--slow-query-us" => {
+                slow_query_us = Some(parse(&value("--slow-query-us"), "--slow-query-us"));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] [--rows N] \
                      [--seed N] [--queue N] [--no-data] [--data-dir PATH] \
-                     [--fsync always|off|every_n:N]"
+                     [--fsync always|off|every_n:N] [--slow-query-us N]"
                 );
                 return;
             }
@@ -67,6 +72,7 @@ fn main() {
         files: Vec::new(),
         data_dir,
         fsync,
+        slow_query_us,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);

@@ -109,6 +109,21 @@ impl ElephantClient {
         self.send(&format!("EXPLAIN {sql}"))
     }
 
+    /// Execute the query and return the plan annotated with per-operator
+    /// runtime row counts and timings.
+    pub fn explain_analyze(&mut self, sql: &str) -> ClientResult<String> {
+        self.send(&format!("EXPLAIN ANALYZE {sql}"))
+    }
+
+    /// The most recent `n` finished-command spans (server default when
+    /// `None`), newest first.
+    pub fn trace(&mut self, n: Option<usize>) -> ClientResult<String> {
+        match n {
+            Some(n) => self.send(&format!("TRACE {n}")),
+            None => self.send("TRACE"),
+        }
+    }
+
     /// Inspect an ML pipeline via the SQL backend; returns the per-check,
     /// per-operator verdict report.
     pub fn inspect(

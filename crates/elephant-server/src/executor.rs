@@ -17,6 +17,7 @@
 
 use crate::metrics::Metrics;
 use crate::protocol::{codes, Command};
+use etypes::SpanRing;
 use mlinspect::SqlMode;
 use sqlengine::{Engine, EngineProfile, FsyncPolicy};
 use std::collections::HashMap;
@@ -26,7 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What the executor sends back: a response body, or an error code + message.
 pub(crate) type Reply = Result<String, (&'static str, String)>;
@@ -61,7 +62,13 @@ pub(crate) struct ExecutorConfig {
     pub data_dir: Option<PathBuf>,
     /// Fsync policy for the durable store (ignored without `data_dir`).
     pub fsync: FsyncPolicy,
+    /// Log commands slower than this many microseconds, with their
+    /// operator profile when one is available. `None` disables the log.
+    pub slow_query_us: Option<u64>,
 }
+
+/// How many finished-command spans the executor keeps for `TRACE`.
+const SPAN_RING_CAPACITY: usize = 256;
 
 /// Spawn the executor thread; returns the job sender and the join handle.
 /// The thread exits when every clone of the returned sender is dropped.
@@ -103,7 +110,14 @@ pub(crate) fn spawn(
                 prepared: HashMap::new(),
                 metrics,
                 shutdown,
+                ring: SpanRing::new(SPAN_RING_CAPACITY),
+                slow_query_us: cfg.slow_query_us,
             };
+            if state.slow_query_us.is_some() {
+                // The slow-query log wants operator profiles for QUERY too,
+                // not just EXPLAIN ANALYZE.
+                state.engine.set_capture_profiles(true);
+            }
             while let Ok(job) = rx.recv() {
                 state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 match job {
@@ -114,14 +128,17 @@ pub(crate) fn spawn(
                     } => {
                         let started = Instant::now();
                         let verb = command.verb();
+                        let detail = command.summary();
                         let result = state.dispatch(session, command);
-                        state.metrics.latency.record(started.elapsed());
+                        let elapsed = started.elapsed();
+                        state.metrics.record_latency(verb, elapsed);
                         match &result {
                             Ok(_) => state.metrics.count_verb(verb),
                             Err(_) => {
-                                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                                state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
                             }
                         }
+                        state.finish_span(verb, detail, elapsed, result.is_ok());
                         // A dropped receiver means the session died mid-query;
                         // nothing to do — the answer has nowhere to go.
                         let _ = reply.send(result);
@@ -150,9 +167,34 @@ struct ExecutorState {
     prepared: HashMap<u64, Vec<String>>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    /// Recent finished-command spans, served by `TRACE`.
+    ring: SpanRing,
+    slow_query_us: Option<u64>,
 }
 
 impl ExecutorState {
+    /// Record the finished command in the span ring and, when it crossed
+    /// the slow-query threshold, log it with its operator profile.
+    fn finish_span(&mut self, verb: &str, detail: String, elapsed: Duration, ok: bool) {
+        let us = elapsed.as_micros() as u64;
+        self.ring.push(verb, &detail, us, ok);
+        if let Some(threshold) = self.slow_query_us {
+            if us >= threshold {
+                eprintln!(
+                    "[slow-query] verb={verb} us={us} ok={} {detail}",
+                    u8::from(ok)
+                );
+                if verb == "QUERY" || verb == "EXECUTE" {
+                    if let Some(profile) = self.engine.last_profile() {
+                        for line in profile.render().lines() {
+                            eprintln!("[slow-query]   {line}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn dispatch(&mut self, session: u64, command: Command) -> Reply {
         match command {
             Command::Query(sql) => {
@@ -193,10 +235,25 @@ impl ExecutorState {
                 }
                 Ok(format!("deallocated {name}"))
             }
-            Command::Explain(sql) => self
-                .engine
-                .explain(&sql)
-                .map_err(|e| (codes::EXEC, e.to_string())),
+            Command::Explain { sql, analyze } => {
+                let out = if analyze {
+                    self.engine.explain_analyze(&sql)
+                } else {
+                    self.engine.explain(&sql)
+                };
+                out.map_err(|e| (codes::EXEC, e.to_string()))
+            }
+            Command::Trace(n) => {
+                let spans = self.ring.recent(n);
+                if spans.is_empty() {
+                    return Ok("no spans recorded".into());
+                }
+                Ok(spans
+                    .iter()
+                    .map(|s| s.render())
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
             Command::Inspect {
                 columns,
                 threshold,
@@ -248,6 +305,12 @@ impl ExecutorState {
                 for (table, n) in self.engine.plan_cache_table_invalidations() {
                     let _ = write!(body, "\nplan_cache_invalidations.{table} {n}");
                 }
+                let phases = self.engine.trace().render_stats();
+                if !phases.is_empty() {
+                    let _ = write!(body, "\n{phases}");
+                }
+                let _ = write!(body, "\ntrace_spans_recorded {}", self.ring.pushed());
+                let _ = write!(body, "\ntrace_spans_retained {}", self.ring.len());
                 let durable = u8::from(self.engine.is_durable());
                 let _ = write!(body, "\nstorage_durable {durable}");
                 if let Some(stats) = self.engine.storage_stats() {
@@ -327,6 +390,7 @@ mod tests {
                 queue_capacity: 4,
                 data_dir: None,
                 fsync: FsyncPolicy::Always,
+                slow_query_us: None,
             },
             Arc::clone(metrics),
             Arc::clone(shutdown),
@@ -451,6 +515,7 @@ mod tests {
             queue_capacity: 4,
             data_dir: Some(dir.clone()),
             fsync: FsyncPolicy::Always,
+            slow_query_us: None,
         };
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));

@@ -1,17 +1,21 @@
-//! Lock-free server metrics: per-verb counters, a queue-depth gauge and a
-//! log2-bucketed latency histogram with percentile estimation.
+//! Lock-free server metrics: per-verb counters and latency histograms, a
+//! queue-depth gauge and a log2-bucketed latency histogram with percentile
+//! estimation.
 //!
 //! Everything is atomics so sessions and the executor update without
-//! contention; `STATS` renders a snapshot as `key value` lines.
+//! contention; `STATS` renders a snapshot as `key value` lines. Bucket
+//! edges are shared with the engine's phase histograms via
+//! [`etypes::bucket_index`].
 
 use sqlengine::PlanCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-const BUCKETS: usize = 40;
+const BUCKETS: usize = etypes::HIST_BUCKETS;
 
 /// Histogram over microsecond latencies with power-of-two bucket edges:
-/// bucket `i` holds samples in `[2^i, 2^(i+1))` µs (bucket 0 holds `< 2` µs).
+/// bucket `i` holds samples in `[2^i, 2^(i+1))` µs, and bucket 0 holds
+/// everything below 2 µs — sub-microsecond samples included.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
@@ -31,8 +35,7 @@ impl LatencyHistogram {
     /// Record one sample.
     pub fn record(&self, elapsed: Duration) {
         let us = elapsed.as_micros() as u64;
-        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[etypes::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -53,11 +56,32 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return 1u64 << i;
+                return 1u64 << (i + 1);
             }
         }
-        1u64 << (BUCKETS - 1)
+        1u64 << BUCKETS
     }
+}
+
+/// Verbs with their own counter and latency histogram, plus `OTHER` for
+/// everything else (SHUTDOWN, DEALLOCATE) so `commands_served` reconciles.
+const VERBS: [&str; 9] = [
+    "QUERY",
+    "PREPARE",
+    "EXECUTE",
+    "EXPLAIN",
+    "INSPECT",
+    "STATS",
+    "CHECKPOINT",
+    "TRACE",
+    "OTHER",
+];
+
+fn verb_index(verb: &str) -> usize {
+    VERBS
+        .iter()
+        .position(|v| *v == verb)
+        .unwrap_or(VERBS.len() - 1)
 }
 
 /// Shared server counters; one instance per server, updated everywhere.
@@ -77,16 +101,27 @@ pub struct Metrics {
     pub stats_calls: AtomicU64,
     /// CHECKPOINT commands served.
     pub checkpoints: AtomicU64,
-    /// Error responses of any kind (protocol or execution).
-    pub errors: AtomicU64,
+    /// TRACE commands served.
+    pub traces: AtomicU64,
+    /// Commands served by verbs without their own counter (SHUTDOWN,
+    /// DEALLOCATE), so `commands_served` reconciles with reality.
+    pub other_commands: AtomicU64,
+    /// Error responses produced before execution (framing, oversized,
+    /// unknown verb, draining).
+    pub protocol_errors: AtomicU64,
+    /// Error responses produced by command execution.
+    pub exec_errors: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub sessions_opened: AtomicU64,
     /// Connections fully closed.
     pub sessions_closed: AtomicU64,
     /// Jobs currently queued for (or running on) the executor.
     pub queue_depth: AtomicU64,
-    /// End-to-end executor latency per job.
+    /// End-to-end executor latency per job, all verbs combined.
     pub latency: LatencyHistogram,
+    /// Executor latency per verb (same order as the verb counters, with the
+    /// last slot collecting the `OTHER` verbs).
+    verb_latency: [LatencyHistogram; VERBS.len()],
 }
 
 impl Metrics {
@@ -100,12 +135,30 @@ impl Metrics {
             "INSPECT" => &self.inspects,
             "STATS" => &self.stats_calls,
             "CHECKPOINT" => &self.checkpoints,
-            _ => return,
+            "TRACE" => &self.traces,
+            _ => &self.other_commands,
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Total commands served across verbs (SHUTDOWN/DEALLOCATE excluded).
+    /// Record one job's end-to-end latency under its verb (and the
+    /// all-verbs histogram).
+    pub fn record_latency(&self, verb: &str, elapsed: Duration) {
+        self.latency.record(elapsed);
+        self.verb_latency[verb_index(verb)].record(elapsed);
+    }
+
+    /// The per-verb latency histogram (tests, rendering).
+    pub fn verb_latency(&self, verb: &str) -> &LatencyHistogram {
+        &self.verb_latency[verb_index(verb)]
+    }
+
+    /// Total error responses (protocol + execution).
+    pub fn total_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed) + self.exec_errors.load(Ordering::Relaxed)
+    }
+
+    /// Total commands served across all verbs.
     pub fn total_served(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
             + self.prepares.load(Ordering::Relaxed)
@@ -114,6 +167,8 @@ impl Metrics {
             + self.inspects.load(Ordering::Relaxed)
             + self.stats_calls.load(Ordering::Relaxed)
             + self.checkpoints.load(Ordering::Relaxed)
+            + self.traces.load(Ordering::Relaxed)
+            + self.other_commands.load(Ordering::Relaxed)
     }
 
     /// Render the `STATS` body: one `key value` pair per line.
@@ -136,7 +191,11 @@ impl Metrics {
         line("inspects", self.inspects.load(o).to_string());
         line("stats_calls", self.stats_calls.load(o).to_string());
         line("checkpoints_served", self.checkpoints.load(o).to_string());
-        line("errors", self.errors.load(o).to_string());
+        line("traces", self.traces.load(o).to_string());
+        line("other_commands", self.other_commands.load(o).to_string());
+        line("errors", self.total_errors().to_string());
+        line("protocol_errors", self.protocol_errors.load(o).to_string());
+        line("exec_errors", self.exec_errors.load(o).to_string());
         line("sessions_opened", opened.to_string());
         line("sessions_open", opened.saturating_sub(closed).to_string());
         line("queue_depth", self.queue_depth.load(o).to_string());
@@ -144,6 +203,21 @@ impl Metrics {
         line("latency_p50_us", self.latency.percentile(0.50).to_string());
         line("latency_p95_us", self.latency.percentile(0.95).to_string());
         line("latency_p99_us", self.latency.percentile(0.99).to_string());
+        for (verb, hist) in VERBS.iter().zip(self.verb_latency.iter()) {
+            if hist.count() == 0 {
+                continue;
+            }
+            let verb = verb.to_ascii_lowercase();
+            line(&format!("latency_{verb}_count"), hist.count().to_string());
+            line(
+                &format!("latency_{verb}_p50_us"),
+                hist.percentile(0.50).to_string(),
+            );
+            line(
+                &format!("latency_{verb}_p95_us"),
+                hist.percentile(0.95).to_string(),
+            );
+        }
         line("plan_cache_entries", plan_entries.to_string());
         line("plan_cache_hits", plan.hits.to_string());
         line("plan_cache_misses", plan.misses.to_string());
@@ -183,6 +257,18 @@ mod tests {
     }
 
     #[test]
+    fn sub_microsecond_samples_land_in_bucket_zero() {
+        // Regression: `64 - leading_zeros(1)` put 1µs samples in bucket 1,
+        // reporting every percentile one bucket (2×) too high.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(100)); // rounds to 0µs
+        h.record(Duration::from_micros(1));
+        assert_eq!(h.count(), 2);
+        // Both samples sit in bucket 0, whose upper edge is 2µs.
+        assert_eq!(h.percentile(1.0), 2);
+    }
+
+    #[test]
     fn render_contains_all_keys() {
         let m = Metrics::default();
         m.count_verb("QUERY");
@@ -194,8 +280,41 @@ mod tests {
             "plan_cache_hit_rate 0.0000",
             "prepared_statements 2",
             "latency_p99_us 0",
+            "other_commands 0",
+            "protocol_errors 0",
+            "exec_errors 0",
         ] {
             assert!(body.contains(key), "missing '{key}' in:\n{body}");
         }
+    }
+
+    #[test]
+    fn shutdown_and_deallocate_reconcile_into_totals() {
+        let m = Metrics::default();
+        m.count_verb("QUERY");
+        m.count_verb("SHUTDOWN");
+        m.count_verb("DEALLOCATE");
+        m.count_verb("TRACE");
+        assert_eq!(m.total_served(), 4);
+        assert_eq!(m.other_commands.load(Ordering::Relaxed), 2);
+        let body = m.render(PlanCacheStats::default(), 0, 0);
+        assert!(body.contains("commands_served 4"), "{body}");
+        assert!(body.contains("other_commands 2"), "{body}");
+        assert!(body.contains("traces 1"), "{body}");
+    }
+
+    #[test]
+    fn per_verb_latency_renders_only_active_verbs() {
+        let m = Metrics::default();
+        m.record_latency("QUERY", Duration::from_micros(50));
+        m.record_latency("SHUTDOWN", Duration::from_micros(10));
+        assert_eq!(m.latency.count(), 2);
+        assert_eq!(m.verb_latency("QUERY").count(), 1);
+        assert_eq!(m.verb_latency("SHUTDOWN").count(), 1); // folded into OTHER
+        let body = m.render(PlanCacheStats::default(), 0, 0);
+        assert!(body.contains("latency_query_count 1"), "{body}");
+        assert!(body.contains("latency_query_p95_us"), "{body}");
+        assert!(body.contains("latency_other_count 1"), "{body}");
+        assert!(!body.contains("latency_prepare_count"), "{body}");
     }
 }

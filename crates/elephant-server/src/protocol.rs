@@ -24,6 +24,9 @@ use std::io::{self, BufRead, Read, Write};
 /// drained and refused with [`codes::OVERSIZED`]; the session stays up.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// Spans returned by a bare `TRACE` (no explicit count).
+pub const DEFAULT_TRACE_SPANS: usize = 20;
+
 /// Machine-readable error codes carried in the first token of an error body.
 pub mod codes {
     /// Malformed frame or unparsable command line.
@@ -59,8 +62,16 @@ pub enum Command {
     Execute(String),
     /// Drop a prepared statement.
     Deallocate(String),
-    /// Render the optimized plan without executing.
-    Explain(String),
+    /// Render the optimized plan; with `analyze`, execute the query and
+    /// annotate each operator with its runtime rows/time.
+    Explain {
+        /// The SELECT text.
+        sql: String,
+        /// True for `EXPLAIN ANALYZE`.
+        analyze: bool,
+    },
+    /// Return the most recent `n` finished spans from the executor's ring.
+    Trace(usize),
     /// Run an ML pipeline through the SQL backend with bias checks.
     Inspect {
         /// Sensitive columns to histogram after every operator.
@@ -86,11 +97,34 @@ impl Command {
             Command::Prepare { .. } => "PREPARE",
             Command::Execute(_) => "EXECUTE",
             Command::Deallocate(_) => "DEALLOCATE",
-            Command::Explain(_) => "EXPLAIN",
+            Command::Explain { .. } => "EXPLAIN",
+            Command::Trace(_) => "TRACE",
             Command::Inspect { .. } => "INSPECT",
             Command::Stats => "STATS",
             Command::Checkpoint => "CHECKPOINT",
             Command::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// One-line human summary used as span detail and in the slow-query
+    /// log. Never includes pipeline source (it can be large and multiline).
+    pub fn summary(&self) -> String {
+        match self {
+            Command::Query(sql) => sql.clone(),
+            Command::Prepare { name, sql } => format!("{name}: {sql}"),
+            Command::Execute(name) | Command::Deallocate(name) => name.clone(),
+            Command::Explain { sql, analyze } => {
+                if *analyze {
+                    format!("ANALYZE {sql}")
+                } else {
+                    sql.clone()
+                }
+            }
+            Command::Trace(n) => format!("last {n}"),
+            Command::Inspect {
+                columns, threshold, ..
+            } => format!("columns={} threshold={threshold}", columns.join(",")),
+            Command::Stats | Command::Checkpoint | Command::Shutdown => String::new(),
         }
     }
 }
@@ -293,11 +327,35 @@ pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
             Ok(Command::Deallocate(args.to_string()))
         }
         "EXPLAIN" => {
-            let sql = full_args();
+            let mut sql = full_args();
+            let analyze = {
+                let trimmed = sql.trim_start();
+                let is_analyze = trimmed
+                    .split_whitespace()
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("ANALYZE"));
+                if is_analyze {
+                    let pos = sql
+                        .to_ascii_uppercase()
+                        .find("ANALYZE")
+                        .expect("word found");
+                    sql = sql[pos + "ANALYZE".len()..].trim_start().to_string();
+                }
+                is_analyze
+            };
             if sql.trim().is_empty() {
                 return Err((codes::PARSE, "EXPLAIN requires SQL text".into()));
             }
-            Ok(Command::Explain(sql))
+            Ok(Command::Explain { sql, analyze })
+        }
+        "TRACE" => {
+            if args.is_empty() {
+                return Ok(Command::Trace(DEFAULT_TRACE_SPANS));
+            }
+            let n: usize = args
+                .parse()
+                .map_err(|_| (codes::PARSE, "usage: TRACE [n]".to_string()))?;
+            Ok(Command::Trace(n.max(1)))
         }
         "INSPECT" => {
             let mut head = args.split_whitespace();
@@ -447,7 +505,35 @@ mod tests {
         );
         assert_eq!(
             parse_command("EXPLAIN SELECT 1").unwrap(),
-            Command::Explain("SELECT 1".into())
+            Command::Explain {
+                sql: "SELECT 1".into(),
+                analyze: false
+            }
+        );
+        assert_eq!(
+            parse_command("EXPLAIN ANALYZE SELECT 1").unwrap(),
+            Command::Explain {
+                sql: "SELECT 1".into(),
+                analyze: true
+            }
+        );
+        assert_eq!(
+            parse_command("explain analyze SELECT 1").unwrap(),
+            Command::Explain {
+                sql: "SELECT 1".into(),
+                analyze: true
+            }
+        );
+        assert_eq!(
+            parse_command("TRACE").unwrap(),
+            Command::Trace(DEFAULT_TRACE_SPANS)
+        );
+        assert_eq!(parse_command("TRACE 5").unwrap(), Command::Trace(5));
+        assert_eq!(parse_command("TRACE 0").unwrap(), Command::Trace(1));
+        assert_eq!(parse_command("TRACE five").unwrap_err().0, codes::PARSE);
+        assert_eq!(
+            parse_command("EXPLAIN ANALYZE").unwrap_err().0,
+            codes::PARSE
         );
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
         assert_eq!(parse_command("CHECKPOINT").unwrap(), Command::Checkpoint);

@@ -33,6 +33,9 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// Fsync policy for the durable store (ignored without `data_dir`).
     pub fsync: FsyncPolicy,
+    /// Log commands slower than this many microseconds to stderr, with
+    /// their operator profile. `None` (the default) disables the log.
+    pub slow_query_us: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +47,7 @@ impl Default for ServerConfig {
             files: Vec::new(),
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            slow_query_us: None,
         }
     }
 }
@@ -129,6 +133,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             queue_capacity: config.queue_capacity,
             data_dir: config.data_dir,
             fsync: config.fsync,
+            slow_query_us: config.slow_query_us,
         },
         Arc::clone(&metrics),
         Arc::clone(&shutdown),

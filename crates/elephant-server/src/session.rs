@@ -56,7 +56,7 @@ pub(crate) fn run_session(
                 continue;
             }
             Err(FrameError::Oversized(n)) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 let msg = format!("frame of {n} bytes exceeds limit");
                 if write_err(&mut writer, codes::OVERSIZED, &msg).is_err() {
                     break;
@@ -64,7 +64,7 @@ pub(crate) fn run_session(
                 continue;
             }
             Err(FrameError::BadLength(what)) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 let msg = format!("bad length header '{what}'");
                 if write_err(&mut writer, codes::PARSE, &msg).is_err() {
                     break;
@@ -77,7 +77,7 @@ pub(crate) fn run_session(
         let command = match parse_command(&frame) {
             Ok(c) => c,
             Err((code, msg)) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 if write_err(&mut writer, code, &msg).is_err() {
                     break;
                 }
@@ -89,7 +89,7 @@ pub(crate) fn run_session(
         // so clients can observe the drain).
         if shutdown.load(Ordering::SeqCst) && !matches!(command, Command::Shutdown | Command::Stats)
         {
-            metrics.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             if write_err(&mut writer, codes::DRAINING, "server is draining").is_err() {
                 break;
             }

@@ -73,6 +73,22 @@ fn embedded_inspection() -> String {
     .render()
 }
 
+/// Blank out `time_us=<digits>` values: inspection reports carry per-line
+/// wall-clock timings, which never reproduce across runs. Row counts and
+/// verdicts stay untouched, so comparisons remain strict about results.
+fn strip_times(report: &str) -> String {
+    let mut out = String::with_capacity(report.len());
+    let mut rest = report;
+    while let Some(i) = rest.find("time_us=") {
+        let after = i + "time_us=".len();
+        out.push_str(&rest[..after]);
+        out.push('_');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
 fn stat(stats: &str, key: &str) -> f64 {
     stats
         .lines()
@@ -144,8 +160,9 @@ fn concurrent_clients_match_embedded_engine() {
         workers.push(thread::spawn(move || {
             let mut c = ElephantClient::connect(addr).unwrap();
             let report = c.inspect(&["age_group"], 0.3, HEALTHCARE_PIPELINE).unwrap();
-            assert_eq!(report, expected_report);
+            assert_eq!(strip_times(&report), strip_times(&expected_report));
             assert!(report.contains("inspection verdict="), "{report}");
+            assert!(report.contains("line no="), "{report}");
         }));
     }
     for w in workers {
@@ -161,6 +178,96 @@ fn concurrent_clients_match_embedded_engine() {
 
     assert_eq!(admin.shutdown().unwrap(), "draining");
     drop(admin);
+    handle.join();
+}
+
+#[test]
+fn trace_and_explain_analyze_over_the_wire() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+
+    // An empty ring answers gracefully... well, almost empty: the TRACE
+    // itself is recorded *after* it renders, so the first call sees nothing.
+    assert_eq!(c.trace(None).unwrap(), "no spans recorded");
+
+    c.query_raw("CREATE TABLE t (a int, b int)").unwrap();
+    c.query_raw("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+        .unwrap();
+
+    // EXPLAIN ANALYZE executes and annotates every operator with its real
+    // cardinality — 2 rows survive the filter, 1 comes out of the agg.
+    let analyzed = c
+        .explain_analyze("SELECT count(*) AS n FROM t WHERE b >= 20")
+        .unwrap();
+    assert!(analyzed.contains("Aggregate"), "{analyzed}");
+    assert!(analyzed.contains("(rows=1 time="), "{analyzed}");
+    assert!(analyzed.contains("Filter"), "{analyzed}");
+    assert!(analyzed.contains("(rows=2 time="), "{analyzed}");
+    assert!(analyzed.contains("Execution: rows=1 time="), "{analyzed}");
+    // Plain EXPLAIN still renders the unannotated plan.
+    let plain = c
+        .explain("SELECT count(*) AS n FROM t WHERE b >= 20")
+        .unwrap();
+    assert!(!plain.contains("rows="), "{plain}");
+
+    // A failing statement is traced too, as ok=0.
+    let _ = c.query_raw("SELECT nope FROM t");
+
+    // TRACE returns recent spans newest-first with the wire span format.
+    let spans = c.trace(Some(10)).unwrap();
+    let lines: Vec<&str> = spans.lines().collect();
+    assert!(lines.len() >= 5, "{spans}");
+    assert!(lines.iter().all(|l| l.starts_with("span seq=")), "{spans}");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("name=EXPLAIN") && l.contains("detail=ANALYZE")),
+        "{spans}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("ok=0") && l.contains("nope")),
+        "{spans}"
+    );
+    // Newest first: the failing query comes before the CREATE TABLE.
+    let seqs: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            l.strip_prefix("span seq=")
+                .and_then(|r| r.split(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] > w[1]), "{spans}");
+    // TRACE 1 returns exactly one span.
+    assert_eq!(c.trace(Some(1)).unwrap().lines().count(), 1);
+
+    // STATS carries the new counters: per-phase engine histograms,
+    // per-verb latency, the error split, and the span-ring gauges.
+    let stats = c.stats().unwrap();
+    assert!(stat(&stats, "phase_execute_count") >= 1.0, "{stats}");
+    assert!(stat(&stats, "phase_parse_count") >= 3.0, "{stats}");
+    assert!(stat(&stats, "latency_query_count") >= 3.0, "{stats}");
+    assert!(stat(&stats, "latency_explain_count") >= 2.0, "{stats}");
+    assert!(stat(&stats, "traces") >= 2.0, "{stats}");
+    assert!(stat(&stats, "exec_errors") >= 1.0, "{stats}");
+    assert_eq!(stat(&stats, "protocol_errors"), 0.0, "{stats}");
+    assert!(stat(&stats, "trace_spans_recorded") >= 5.0, "{stats}");
+    assert!(stat(&stats, "trace_spans_retained") >= 5.0, "{stats}");
+
+    // `QUERY EXPLAIN ANALYZE ...` also works as plain SQL, returning the
+    // annotated plan as a one-column relation.
+    let via_query = c
+        .query_raw("EXPLAIN ANALYZE SELECT count(*) AS n FROM t WHERE b >= 20")
+        .unwrap();
+    assert!(via_query.starts_with("QUERY PLAN\n"), "{via_query}");
+    assert!(via_query.contains("(rows=2 time="), "{via_query}");
+
+    c.shutdown().unwrap();
+    drop(c);
     handle.join();
 }
 

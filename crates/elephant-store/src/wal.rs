@@ -224,6 +224,11 @@ pub struct WalStats {
     pub fsyncs: u64,
     /// Current WAL file size in bytes.
     pub bytes: u64,
+    /// Total wall-clock time spent in [`WalWriter::append`] (µs), fsync
+    /// time included. Callers diff this to attribute WAL cost per record.
+    pub append_us: u64,
+    /// Total wall-clock time spent inside `fsync` (µs).
+    pub fsync_us: u64,
 }
 
 /// Append-only WAL writer.
@@ -266,9 +271,8 @@ impl WalWriter {
             unsynced: 0,
             next_lsn,
             stats: WalStats {
-                records_appended: 0,
-                fsyncs: 0,
                 bytes,
+                ..WalStats::default()
             },
         })
     }
@@ -291,6 +295,7 @@ impl WalWriter {
     /// Append one record; returns its LSN. Durability depends on the
     /// configured [`FsyncPolicy`].
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        let started = std::time::Instant::now();
         let lsn = self.next_lsn;
         let payload = rec.encode(lsn);
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -311,14 +316,17 @@ impl WalWriter {
             }
             FsyncPolicy::Off => {}
         }
+        self.stats.append_us += started.elapsed().as_micros() as u64;
         Ok(lsn)
     }
 
     /// Force written records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
         self.file.sync_data()?;
         self.unsynced = 0;
         self.stats.fsyncs += 1;
+        self.stats.fsync_us += started.elapsed().as_micros() as u64;
         Ok(())
     }
 
@@ -328,8 +336,10 @@ impl WalWriter {
         let dropped = self.stats.bytes.saturating_sub(WAL_MAGIC.len() as u64);
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        let started = std::time::Instant::now();
         self.file.sync_data()?;
         self.stats.fsyncs += 1;
+        self.stats.fsync_us += started.elapsed().as_micros() as u64;
         self.unsynced = 0;
         self.stats.bytes = WAL_MAGIC.len() as u64;
         Ok(dropped)

@@ -12,6 +12,7 @@ pub mod csv;
 pub mod datatype;
 pub mod error;
 pub mod rng;
+pub mod span;
 pub mod value;
 
 pub use binary::ByteReader;
@@ -19,4 +20,5 @@ pub use csv::{read_csv, read_csv_str, write_csv, CsvOptions, CsvTable};
 pub use datatype::DataType;
 pub use error::{Error, Result};
 pub use rng::Prng;
+pub use span::{bucket_index, Histogram, Span, SpanRing, HIST_BUCKETS};
 pub use value::Value;

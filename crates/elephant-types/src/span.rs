@@ -1,0 +1,270 @@
+//! The shared span model for the tracing subsystem.
+//!
+//! Every layer that measures wall-time speaks the same two shapes:
+//!
+//! * [`Histogram`] — a single-threaded log2-bucketed microsecond histogram
+//!   (the engine's per-phase accumulators). The server keeps its own atomic
+//!   variant but shares [`bucket_index`] so both agree on bucket edges:
+//!   bucket `i` holds samples in `[2^i, 2^(i+1))` µs and bucket 0 holds
+//!   everything below 2 µs, sub-microsecond samples included.
+//! * [`Span`] — one finished unit of work (a served command, a traced
+//!   statement) kept in a [`SpanRing`] for the `TRACE` verb.
+
+use std::collections::VecDeque;
+
+/// Number of log2 buckets: `2^39` µs ≈ 6.4 days, far beyond any latency.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Bucket index for a microsecond sample: `floor(log2(us))`, with all
+/// sub-2µs samples (including `us == 0`) in bucket 0 and everything at or
+/// above `2^(HIST_BUCKETS-1)` clamped into the last bucket.
+#[inline]
+pub fn bucket_index(us: u64) -> usize {
+    (us.max(1).ilog2() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Single-threaded log2 latency histogram over microseconds.
+///
+/// Cheap enough for the hot path: recording is one bucket increment and two
+/// adds. Percentiles report the *upper edge* of the bucket the target sample
+/// falls in (`2^(i+1)` µs), so a histogram holding only 1 µs samples reports
+/// `p100 = 2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    total_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            total_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample in microseconds.
+    #[inline]
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        self.count += 1;
+        self.total_us += us;
+    }
+
+    /// Record one sample as a [`std::time::Duration`].
+    #[inline]
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        self.record_us(elapsed.as_micros() as u64);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bucket edge (µs) below which at least `p` (in `[0,1]`) of the
+    /// samples fall; 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HIST_BUCKETS
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_us += other.total_us;
+    }
+}
+
+/// One finished unit of work, as surfaced by the server's `TRACE` verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Monotonic sequence number (1-based, assigned by the ring).
+    pub seq: u64,
+    /// What ran (a verb like `QUERY`, a phase name, ...).
+    pub name: String,
+    /// Free-form detail (SQL text, statement name, ...), single line.
+    pub detail: String,
+    /// Wall-clock duration in microseconds.
+    pub elapsed_us: u64,
+    /// False when the work ended in an error response.
+    pub ok: bool,
+}
+
+impl Span {
+    /// Render as one stable `key=value` line (the `TRACE` wire format).
+    pub fn render(&self) -> String {
+        format!(
+            "span seq={} name={} us={} ok={} detail={}",
+            self.seq,
+            self.name,
+            self.elapsed_us,
+            u8::from(self.ok),
+            self.detail
+        )
+    }
+}
+
+/// Fixed-capacity ring of recent [`Span`]s (oldest evicted first).
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    capacity: usize,
+    next_seq: u64,
+    spans: VecDeque<Span>,
+}
+
+impl SpanRing {
+    /// Create a ring holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            capacity: capacity.max(1),
+            next_seq: 1,
+            spans: VecDeque::with_capacity(capacity.clamp(1, 1024)),
+        }
+    }
+
+    /// Maximum spans retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no span has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total spans ever pushed (the next span gets `pushed() + 1` as seq).
+    pub fn pushed(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Record one finished span; `detail` is flattened to a single line and
+    /// truncated so `TRACE` output stays line-oriented and bounded.
+    pub fn push(&mut self, name: impl Into<String>, detail: &str, elapsed_us: u64, ok: bool) {
+        const MAX_DETAIL: usize = 120;
+        let mut flat: String = detail
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+            .take(MAX_DETAIL)
+            .collect();
+        flat.truncate(flat.trim_end().len());
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(Span {
+            seq: self.next_seq,
+            name: name.into(),
+            detail: flat,
+            elapsed_us,
+            ok,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The most recent `n` spans, newest first.
+    pub fn recent(&self, n: usize) -> Vec<&Span> {
+        self.spans.iter().rev().take(n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_edges_match_documentation() {
+        // Bucket 0 holds < 2µs, sub-µs included.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_reports() {
+        let mut h = Histogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total_us(), 102);
+        assert_eq!(h.mean_us(), 34);
+        // Two of three samples sit in bucket 0, upper edge 2µs.
+        assert_eq!(h.percentile(0.5), 2);
+        assert!(h.percentile(1.0) >= 128);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record_us(10);
+        b.record_us(20);
+        b.record_us(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total_us(), 60);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let mut r = SpanRing::new(2);
+        r.push("QUERY", "one", 5, true);
+        r.push("QUERY", "two", 6, true);
+        r.push("STATS", "three", 7, false);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pushed(), 3);
+        let recent = r.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].seq, 3);
+        assert_eq!(recent[0].name, "STATS");
+        assert!(!recent[0].ok);
+        assert_eq!(recent[1].seq, 2);
+    }
+
+    #[test]
+    fn ring_flattens_multiline_detail() {
+        let mut r = SpanRing::new(4);
+        r.push("QUERY", "SELECT 1\nFROM t\r\n", 1, true);
+        let line = r.recent(1)[0].render();
+        assert!(line.contains("detail=SELECT 1 FROM t"), "{line}");
+        assert!(!line.contains('\n'), "{line}");
+    }
+}

@@ -226,6 +226,35 @@ pub struct OpBiasVerdict {
     pub passed: bool,
 }
 
+/// One pipeline line's runtime trace inside an [`InspectionReport`]: where
+/// the time went and where rows were gained or lost, in DAG order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineTrace {
+    /// The traced operator.
+    pub node: NodeId,
+    /// 1-based pipeline source line.
+    pub line: usize,
+    /// Operator label (e.g. `selection`, `join`).
+    pub label: &'static str,
+    /// Wall-clock execution time of this operator, microseconds.
+    pub time_us: u64,
+    /// Rows entering the operator (first input's inspected cardinality),
+    /// `None` when no histogram covered the input.
+    pub rows_in: Option<u64>,
+    /// Rows leaving the operator, `None` when uninspected.
+    pub rows_out: Option<u64>,
+}
+
+impl LineTrace {
+    /// Rows gained (positive) or lost (negative) at this operator.
+    pub fn row_delta(&self) -> Option<i64> {
+        match (self.rows_in, self.rows_out) {
+            (Some(i), Some(o)) => Some(o as i64 - i as i64),
+            _ => None,
+        }
+    }
+}
+
 /// The serving layer's inspection result: check verdicts plus one line per
 /// (distribution-changing operator × sensitive column), renderable as a
 /// plain-text wire body.
@@ -237,6 +266,8 @@ pub struct InspectionReport {
     pub ops: Vec<OpBiasVerdict>,
     /// Model accuracies for end-to-end pipelines.
     pub accuracies: Vec<f64>,
+    /// Per-pipeline-line timing and row-count deltas, in DAG order.
+    pub lines: Vec<LineTrace>,
 }
 
 impl InspectionReport {
@@ -270,6 +301,26 @@ impl InspectionReport {
                 op.column,
                 op.max_abs_change,
                 if op.passed { "ok" } else { "biased" }
+            );
+        }
+        for trace in &self.lines {
+            let fmt_rows = |r: Option<u64>| match r {
+                Some(n) => n.to_string(),
+                None => "?".to_string(),
+            };
+            let delta = match trace.row_delta() {
+                Some(d) => format!("{d:+}"),
+                None => "?".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "line no={} op={} time_us={} rows_in={} rows_out={} delta={}",
+                trace.line,
+                trace.label,
+                trace.time_us,
+                fmt_rows(trace.rows_in),
+                fmt_rows(trace.rows_out),
+                delta
             );
         }
         out
@@ -330,10 +381,36 @@ pub fn inspect_pipeline_in_sql(
             });
         }
     }
+    // Per-line runtime trace: operator timing from the backend run, row
+    // cardinalities from the first inspected column's histograms.
+    let mut node_time: HashMap<NodeId, u64> = HashMap::new();
+    for (id, _, elapsed) in &result.op_timings {
+        *node_time.entry(*id).or_default() += elapsed.as_micros() as u64;
+    }
+    let node_rows = |id: NodeId| -> Option<u64> {
+        columns
+            .iter()
+            .find_map(|c| result.inspections.histogram(id, c))
+            .map(|h| h.total())
+    };
+    let mut lines = Vec::with_capacity(result.dag.nodes.len());
+    for node in &result.dag.nodes {
+        let rows_in = node.kind.inputs().first().copied().and_then(&node_rows);
+        lines.push(LineTrace {
+            node: node.id,
+            line: node.line,
+            label: node.kind.label(),
+            time_us: node_time.get(&node.id).copied().unwrap_or(0),
+            rows_in,
+            rows_out: node_rows(node.id),
+        });
+    }
+
     Ok(InspectionReport {
         check_results: result.check_results,
         ops,
         accuracies: result.accuracies,
+        lines,
     })
 }
 
@@ -413,5 +490,20 @@ mod tests {
         assert!(text.contains("op id="));
         // One op line per verdict entry, all for the inspected column.
         assert_eq!(text.matches("column=age_group").count(), report.ops.len());
+
+        // Per-line runtime trace: one entry per DAG node, with row deltas
+        // where histograms covered the operator.
+        assert!(!report.lines.is_empty());
+        assert!(report.lines.iter().any(|l| l.rows_out.is_some()));
+        assert!(report.lines.iter().any(|l| l.row_delta().is_some()));
+        // The selection drops rows, so some delta must be negative.
+        assert!(report
+            .lines
+            .iter()
+            .filter_map(LineTrace::row_delta)
+            .any(|d| d < 0));
+        assert_eq!(text.matches("line no=").count(), report.lines.len());
+        assert!(text.contains("time_us="), "{text}");
+        assert!(text.contains("delta="), "{text}");
     }
 }

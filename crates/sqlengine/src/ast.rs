@@ -56,6 +56,13 @@ pub enum Statement {
     },
     /// A `SELECT` query (with optional `WITH` clause).
     Select(Query),
+    /// `EXPLAIN [ANALYZE] <select>`.
+    Explain {
+        /// Execute the query and annotate the plan with runtime statistics.
+        analyze: bool,
+        /// The query being explained.
+        query: Query,
+    },
 }
 
 /// A column definition in DDL.

@@ -8,14 +8,15 @@ use crate::durable::{DurableBackend, MemoryBackend, StorageBackend};
 use crate::error::{Result, SqlError};
 use crate::exec::{execute_root, ExecContext, ExecStats};
 use crate::optimizer::optimize;
-use crate::parser::parse_script;
 use crate::profile::EngineProfile;
 use crate::storage::{Relation, Table};
+use crate::trace::{EngineTrace, Phase, QueryProfile};
 use elephant_store::{CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, WalRecord};
 use etypes::{CsvOptions, DataType, Value};
 use std::collections::HashMap;
 use std::path::Path;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Accumulated engine counters (sums over all executed queries).
 pub type EngineStats = ExecStats;
@@ -46,6 +47,9 @@ pub struct Engine {
     plan_cache: PlanCache,
     prepared: HashMap<String, String>,
     backend: Box<dyn StorageBackend>,
+    trace: EngineTrace,
+    capture_profiles: bool,
+    last_profile: Option<QueryProfile>,
 }
 
 impl Engine {
@@ -81,7 +85,37 @@ impl Engine {
             plan_cache: PlanCache::default(),
             prepared: HashMap::new(),
             backend,
+            trace: EngineTrace::default(),
+            capture_profiles: false,
+            last_profile: None,
         }
+    }
+
+    /// Per-phase latency histograms (lex/parse/bind/optimize/execute and,
+    /// when durable, WAL-append/fsync). Tracing is on by default.
+    pub fn trace(&self) -> &EngineTrace {
+        &self.trace
+    }
+
+    /// Turn phase-span recording on or off (the overhead bench's baseline).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Reset the per-phase histograms (between benchmark rounds).
+    pub fn reset_trace(&mut self) {
+        self.trace.reset();
+    }
+
+    /// Capture a per-operator [`QueryProfile`] for every query from now on
+    /// (slow-query logging); `EXPLAIN ANALYZE` captures one regardless.
+    pub fn set_capture_profiles(&mut self, on: bool) {
+        self.capture_profiles = on;
+    }
+
+    /// The operator profile of the most recent query, when capture was on.
+    pub fn last_profile(&self) -> Option<&QueryProfile> {
+        self.last_profile.as_ref()
     }
 
     /// The active profile.
@@ -151,12 +185,55 @@ impl Engine {
 
     /// Execute a `;`-separated script, returning one outcome per statement.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
-        let statements = parse_script(sql)?;
+        let statements = self.parse_traced(sql)?;
         let mut outcomes = Vec::with_capacity(statements.len());
         for stmt in statements {
             outcomes.push(self.execute_statement(stmt)?);
         }
         Ok(outcomes)
+    }
+
+    /// Lex and parse with each phase attributed to its own trace histogram.
+    fn parse_traced(&mut self, sql: &str) -> Result<Vec<Statement>> {
+        let t = self.trace.timer();
+        let tokens = crate::lexer::tokenize(sql)?;
+        self.trace.record(Phase::Lex, t);
+        let t = self.trace.timer();
+        let statements = crate::parser::parse_tokens(tokens)?;
+        self.trace.record(Phase::Parse, t);
+        Ok(statements)
+    }
+
+    /// [`Engine::parse_traced`] for a single statement.
+    fn parse_one_traced(&mut self, sql: &str) -> Result<Statement> {
+        let mut stmts = self.parse_traced(sql)?;
+        match stmts.len() {
+            1 => Ok(stmts.remove(0)),
+            n => Err(SqlError::parse(1, format!("expected 1 statement, got {n}"))),
+        }
+    }
+
+    /// Log one mutation, attributing the whole append (fsync included) to
+    /// the WAL-append phase and the fsync share to its own phase.
+    fn log_durable(&mut self, record: &WalRecord) -> Result<()> {
+        if !self.backend.is_durable() || !self.trace.enabled() {
+            return self.backend.log(record);
+        }
+        let before = self
+            .backend
+            .store_stats()
+            .map(|s| (s.wal.fsyncs, s.wal.fsync_us));
+        let started = Instant::now();
+        self.backend.log(record)?;
+        self.trace
+            .record_duration(Phase::WalAppend, started.elapsed());
+        if let (Some((fsyncs, fsync_us)), Some(after)) = (before, self.backend.store_stats()) {
+            if after.wal.fsyncs > fsyncs {
+                self.trace
+                    .record_us(Phase::Fsync, after.wal.fsync_us.saturating_sub(fsync_us));
+            }
+        }
+        Ok(())
     }
 
     /// Execute one parsed statement.
@@ -170,7 +247,7 @@ impl Engine {
                     names.clone(),
                     types.clone(),
                 ))?;
-                self.backend.log(&WalRecord::CreateTable {
+                self.log_durable(&WalRecord::CreateTable {
                     name: name.clone(),
                     columns: names,
                     types,
@@ -186,8 +263,7 @@ impl Engine {
                 let was_table = !is_view && self.catalog.table(&name).is_some();
                 self.catalog.drop(&name, is_view, if_exists)?;
                 if was_table {
-                    self.backend
-                        .log(&WalRecord::DropTable { name: name.clone() })?;
+                    self.log_durable(&WalRecord::DropTable { name: name.clone() })?;
                 }
                 self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
@@ -243,16 +319,59 @@ impl Engine {
                     rows_affected: 0,
                 })
             }
+            Statement::Explain { analyze, query } => {
+                let text = if analyze {
+                    let (_, profile) = self.run_query_profiled(&query)?;
+                    profile.render()
+                } else {
+                    let (mut root, _) = bind_select(&self.catalog, &self.profile, &query)?;
+                    if self.profile.enable_optimizer {
+                        optimize(&mut root);
+                    }
+                    crate::explain::render_plan(&root)
+                };
+                let rows: Vec<Vec<Value>> = text.lines().map(|l| vec![Value::text(l)]).collect();
+                Ok(ExecOutcome {
+                    relation: Some(Relation::new(
+                        vec!["QUERY PLAN".to_string()],
+                        vec![DataType::Text],
+                        rows,
+                    )?),
+                    rows_affected: 0,
+                })
+            }
         }
     }
 
     /// Bind, optimize and execute a query to a [`Relation`].
     pub fn run_query(&mut self, query: &crate::ast::Query) -> Result<Relation> {
+        let t = self.trace.timer();
         let (mut root, schema) = bind_select(&self.catalog, &self.profile, query)?;
+        self.trace.record(Phase::Bind, t);
         if self.profile.enable_optimizer {
+            let t = self.trace.timer();
             optimize(&mut root);
+            self.trace.record(Phase::Optimize, t);
         }
         self.run_bound(&root, &schema)
+    }
+
+    /// Run a query with operator profiling forced on, returning both the
+    /// result and its [`QueryProfile`] (the `EXPLAIN ANALYZE` path).
+    fn run_query_profiled(
+        &mut self,
+        query: &crate::ast::Query,
+    ) -> Result<(Relation, QueryProfile)> {
+        let prev = self.capture_profiles;
+        self.capture_profiles = true;
+        let result = self.run_query(query);
+        self.capture_profiles = prev;
+        let relation = result?;
+        let profile = self
+            .last_profile
+            .clone()
+            .ok_or_else(|| SqlError::exec("operator profiling captured nothing"))?;
+        Ok((relation, profile))
     }
 
     /// Execute an already bound + optimized plan.
@@ -261,8 +380,16 @@ impl Engine {
         root: &crate::plan::PlanRoot,
         schema: &crate::plan::Schema,
     ) -> Result<Relation> {
-        let ctx = ExecContext::new(&self.catalog, &self.profile, root);
+        let mut ctx = ExecContext::new(&self.catalog, &self.profile, root);
+        if self.capture_profiles {
+            ctx.enable_profiling();
+        }
+        let started = (self.trace.enabled() || self.capture_profiles).then(Instant::now);
         let rows = execute_root(&ctx)?;
+        let elapsed_us = started.map(|t| t.elapsed().as_micros() as u64);
+        if let Some(us) = elapsed_us {
+            self.trace.record_us(Phase::Execute, us);
+        }
         let run_stats = ctx.stats.borrow().clone();
         self.stats.pages_read += run_stats.pages_read;
         self.stats.pages_written += run_stats.pages_written;
@@ -270,6 +397,14 @@ impl Engine {
         self.stats.shared_scans += run_stats.shared_scans;
         self.stats.rows_processed += run_stats.rows_processed;
         self.queries_run += 1;
+        if let Some(profiles) = ctx.take_profiles() {
+            self.last_profile = Some(crate::explain::build_query_profile(
+                root,
+                &profiles,
+                elapsed_us.unwrap_or(0),
+                rows.len() as u64,
+            ));
+        }
         Relation::new(schema.names(), schema.types(), rows)
     }
 
@@ -302,15 +437,19 @@ impl Engine {
     }
 
     fn plan_select(&mut self, sql: &str) -> Result<CachedPlan> {
-        let stmt = crate::parser::parse_statement(sql)?;
+        let stmt = self.parse_one_traced(sql)?;
         let Statement::Select(query) = stmt else {
             return Err(SqlError::bind(
                 "only SELECT statements can be prepared/cached",
             ));
         };
+        let t = self.trace.timer();
         let (mut root, schema) = bind_select(&self.catalog, &self.profile, &query)?;
+        self.trace.record(Phase::Bind, t);
         if self.profile.enable_optimizer {
+            let t = self.trace.timer();
             optimize(&mut root);
+            self.trace.record(Phase::Optimize, t);
         }
         let tables = collect_table_deps(&query, &root);
         Ok(CachedPlan {
@@ -374,6 +513,25 @@ impl Engine {
             optimize(&mut root);
         }
         Ok(crate::explain::render_plan(&root))
+    }
+
+    /// Execute a SELECT and render its plan annotated with per-operator
+    /// runtime statistics (`EXPLAIN ANALYZE`).
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        let (_, profile) = self.query_profiled(sql)?;
+        Ok(profile.render())
+    }
+
+    /// Run a single SELECT with operator profiling, returning the result
+    /// and its [`QueryProfile`].
+    pub fn query_profiled(&mut self, sql: &str) -> Result<(Relation, QueryProfile)> {
+        let stmt = self.parse_one_traced(sql)?;
+        let Statement::Select(query) = stmt else {
+            return Err(SqlError::bind(
+                "EXPLAIN ANALYZE supports SELECT statements only",
+            ));
+        };
+        self.run_query_profiled(&query)
     }
 
     /// Parse and run a single SELECT, returning its relation.
@@ -455,7 +613,7 @@ impl Engine {
         // reproduces the exact in-memory state, ctids included.
         if count > 0 && self.backend.is_durable() {
             let rows = table_ref.data.rows[first_new_row..].to_vec();
-            self.backend.log(&WalRecord::Insert {
+            self.log_durable(&WalRecord::Insert {
                 table: table.to_string(),
                 rows,
             })?;
@@ -509,7 +667,7 @@ impl Engine {
         }
         if count > 0 && self.backend.is_durable() {
             let rows = table_ref.data.rows[first_new_row..].to_vec();
-            self.backend.log(&WalRecord::Insert {
+            self.log_durable(&WalRecord::Insert {
                 table: table.to_string(),
                 rows,
             })?;
@@ -1258,5 +1416,151 @@ mod tests {
                 vec![Value::Int(2), Value::Null]
             ]
         );
+    }
+
+    // ---- tracing & EXPLAIN ANALYZE ----------------------------------------
+
+    /// Orders/customers fixture for the join+filter+agg profile tests.
+    fn analyze_fixture(mut e: Engine) -> Engine {
+        e.execute_script(
+            "CREATE TABLE orders (id int, cust int, amount int);
+             INSERT INTO orders VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30), (4, 3, 5);
+             CREATE TABLE custs (id int, region text);
+             INSERT INTO custs VALUES (1, 'n'), (2, 's'), (3, 'n');",
+        )
+        .unwrap();
+        e
+    }
+
+    const ANALYZE_SQL: &str = "WITH big AS (SELECT cust, amount FROM orders WHERE amount > 9)
+         SELECT region, count(*) AS n
+         FROM big INNER JOIN custs ON big.cust = custs.id
+         GROUP BY region";
+
+    /// Operator row counts must equal the cardinalities the same engine
+    /// reports through plain queries, under both CTE personalities.
+    fn assert_analyze_cardinalities(mut e: Engine) {
+        let count = |e: &mut Engine, sql: &str| -> u64 {
+            match &e.query(sql).unwrap().rows[0][0] {
+                Value::Int(n) => *n as u64,
+                other => panic!("expected int count, got {other:?}"),
+            }
+        };
+        let scan_rows = count(&mut e, "SELECT count(*) FROM orders");
+        let filter_rows = count(&mut e, "SELECT count(*) FROM orders WHERE amount > 9");
+        let join_rows = count(
+            &mut e,
+            "SELECT count(*) FROM orders INNER JOIN custs ON orders.cust = custs.id
+             WHERE amount > 9",
+        );
+
+        let (rel, profile) = e.query_profiled(ANALYZE_SQL).unwrap();
+        assert_eq!(rel.rows.len(), 2, "two regions survive");
+        assert_eq!(profile.result_rows, rel.rows.len() as u64);
+        assert_eq!(profile.find("Scan Table orders").unwrap().rows, scan_rows);
+        assert_eq!(profile.find("Filter").unwrap().rows, filter_rows);
+        let join = profile.find("InnerJoin").unwrap();
+        assert_eq!(join.rows, join_rows);
+        let agg = profile.find("Aggregate").unwrap();
+        assert_eq!(agg.rows, rel.rows.len() as u64);
+        assert_eq!(agg.rows_in, join_rows, "aggregate consumes the join output");
+        for op in &profile.ops {
+            assert!(op.executed, "every operator ran: {}", op.label);
+        }
+    }
+
+    #[test]
+    fn explain_analyze_cardinalities_materialized_ctes() {
+        let e = analyze_fixture(pg());
+        assert_analyze_cardinalities(e);
+        // The CTE block itself is visible with its materialized cardinality.
+        let mut e = analyze_fixture(pg());
+        let (_, profile) = e.query_profiled(ANALYZE_SQL).unwrap();
+        let cte = profile.find("CTE 0 [big] (materialized)").unwrap();
+        assert_eq!(cte.rows, 3);
+        assert!(cte.executed);
+    }
+
+    #[test]
+    fn explain_analyze_cardinalities_inlined_ctes() {
+        let e = analyze_fixture(engine());
+        assert_analyze_cardinalities(e);
+        // Inlining leaves no CTE block in the profile.
+        let mut e = analyze_fixture(engine());
+        let (_, profile) = e.query_profiled(ANALYZE_SQL).unwrap();
+        assert!(profile.find("CTE").is_none());
+    }
+
+    #[test]
+    fn explain_analyze_statement_renders_annotated_plan() {
+        let mut e = analyze_fixture(pg());
+        let rel = e.query(&format!("EXPLAIN ANALYZE {ANALYZE_SQL}")).unwrap();
+        assert_eq!(rel.columns, vec!["QUERY PLAN"]);
+        let text: Vec<String> = rel
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(s) => s.clone(),
+                other => panic!("plan line should be text, got {other:?}"),
+            })
+            .collect();
+        let text = text.join("\n");
+        assert!(
+            text.contains("CTE 0 [big] (materialized) (rows=3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Aggregate groups=1 aggs=[count(*)] (rows=2"),
+            "{text}"
+        );
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("Execution: rows=2"), "{text}");
+
+        // Plain EXPLAIN through the statement path matches Engine::explain.
+        let plain = e.query(&format!("EXPLAIN {ANALYZE_SQL}")).unwrap();
+        let plain: Vec<String> = plain
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(s) => s.clone(),
+                other => panic!("plan line should be text, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(plain.join("\n"), e.explain(ANALYZE_SQL).unwrap().trim_end());
+    }
+
+    #[test]
+    fn phase_trace_accumulates_and_can_be_disabled() {
+        let mut e = analyze_fixture(engine());
+        assert!(e.trace().enabled());
+        // The fixture script already recorded lex/parse and execute samples.
+        assert!(e.trace().phase(Phase::Lex).count() >= 1);
+        assert!(e.trace().phase(Phase::Parse).count() >= 1);
+        let executes = e.trace().phase(Phase::Execute).count();
+        e.query(ANALYZE_SQL).unwrap();
+        assert_eq!(e.trace().phase(Phase::Execute).count(), executes + 1);
+        assert!(e.trace().phase(Phase::Bind).count() >= 1);
+        assert!(e.trace().phase(Phase::Optimize).count() >= 1);
+        let stats = e.trace().render_stats();
+        assert!(stats.contains("phase_execute_count"), "{stats}");
+
+        e.set_tracing(false);
+        e.reset_trace();
+        e.query(ANALYZE_SQL).unwrap();
+        assert_eq!(e.trace().phase(Phase::Execute).count(), 0);
+        assert!(e.trace().render_stats().is_empty());
+    }
+
+    #[test]
+    fn durable_engine_traces_wal_phases() {
+        let dir = durable_dir("trace_wal");
+        let mut e =
+            Engine::open_durable(EngineProfile::in_memory(), &dir, FsyncPolicy::Always).unwrap();
+        e.execute_script("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2);")
+            .unwrap();
+        assert!(e.trace().phase(Phase::WalAppend).count() >= 2);
+        assert!(e.trace().phase(Phase::Fsync).count() >= 2);
+        let wal = e.storage_stats().unwrap().wal;
+        assert!(wal.append_us >= wal.fsync_us);
     }
 }

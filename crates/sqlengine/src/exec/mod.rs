@@ -23,6 +23,39 @@ use std::rc::Rc;
 /// One tuple.
 pub type Row = Vec<Value>;
 
+/// Runtime counters for one plan node under operator profiling.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Rows produced across all executions of this node.
+    pub rows_out: u64,
+    /// Inclusive wall-clock time (children included), microseconds.
+    pub elapsed_us: u64,
+    /// Times the node ran (CTE plans and cached subplans run once).
+    pub executions: u64,
+}
+
+/// Per-node profiles captured during one execution, keyed by the node's
+/// address inside the borrowed [`PlanRoot`] (stable for the whole run and
+/// for the profile build that follows, which walks the same plan).
+#[derive(Debug, Default, Clone)]
+pub struct NodeProfiles {
+    map: HashMap<usize, NodeProfile>,
+}
+
+impl NodeProfiles {
+    /// The profile recorded for `node`, if it ever executed.
+    pub fn get(&self, node: &PlanNode) -> Option<NodeProfile> {
+        self.map.get(&(node as *const PlanNode as usize)).copied()
+    }
+
+    fn record(&mut self, key: usize, rows: u64, elapsed: std::time::Duration) {
+        let p = self.map.entry(key).or_default();
+        p.rows_out += rows;
+        p.elapsed_us += elapsed.as_micros() as u64;
+        p.executions += 1;
+    }
+}
+
 /// Counters the engine exposes for tests and the operation-level benchmark.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ExecStats {
@@ -54,6 +87,9 @@ pub struct ExecContext<'a> {
     subplan_cache: RefCell<Vec<Option<Value>>>,
     /// Counters.
     pub stats: RefCell<ExecStats>,
+    /// Per-node runtime profiles; `None` (the default) keeps the hot path
+    /// down to a single branch per operator.
+    profiles: Option<RefCell<NodeProfiles>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -66,7 +102,18 @@ impl<'a> ExecContext<'a> {
             cte_results: RefCell::new(vec![None; root.ctes.len()]),
             subplan_cache: RefCell::new(vec![None; root.subplans.len()]),
             stats: RefCell::new(ExecStats::default()),
+            profiles: None,
         }
+    }
+
+    /// Turn on per-node profiling (`EXPLAIN ANALYZE`, slow-query capture).
+    pub fn enable_profiling(&mut self) {
+        self.profiles = Some(RefCell::new(NodeProfiles::default()));
+    }
+
+    /// Take the captured profiles, if profiling was enabled.
+    pub fn take_profiles(&mut self) -> Option<NodeProfiles> {
+        self.profiles.take().map(RefCell::into_inner)
     }
 
     /// The cached value of scalar subquery `i`, executing it on first use.
@@ -131,6 +178,7 @@ pub fn execute_to_relation(
 
 /// Execute one plan node to rows.
 pub fn execute(plan: &PlanNode, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    let profile_timer = ctx.profiles.as_ref().map(|_| std::time::Instant::now());
     let rows = match plan {
         PlanNode::Scan {
             source, projection, ..
@@ -267,6 +315,13 @@ pub fn execute(plan: &PlanNode, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
     };
     ctx.stats.borrow_mut().rows_processed += rows.len() as u64;
     ctx.profile.charge_rows(rows.len());
+    if let (Some(profiles), Some(t)) = (ctx.profiles.as_ref(), profile_timer) {
+        profiles.borrow_mut().record(
+            plan as *const PlanNode as usize,
+            rows.len() as u64,
+            t.elapsed(),
+        );
+    }
     Ok(rows)
 }
 

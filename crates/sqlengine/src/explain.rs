@@ -3,7 +3,9 @@
 //! benchmarks.
 
 use crate::ast::BinaryOp;
+use crate::exec::NodeProfiles;
 use crate::plan::{AggFunc, BExpr, PlanNode, PlanRoot, ScanSource};
+use crate::trace::{OpProfile, QueryProfile};
 use std::fmt::Write as _;
 
 /// Render a bound plan as an indented operator tree.
@@ -21,8 +23,87 @@ pub fn render_plan(root: &PlanRoot) -> String {
     out
 }
 
-fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
-    let pad = "  ".repeat(depth);
+/// Assemble a [`QueryProfile`] from the per-node counters of one execution,
+/// in the exact order [`render_plan`] renders the tree (CTE blocks, then
+/// init-plans, then the body).
+pub(crate) fn build_query_profile(
+    root: &PlanRoot,
+    profiles: &NodeProfiles,
+    total_us: u64,
+    result_rows: u64,
+) -> QueryProfile {
+    let mut ops = Vec::new();
+    for (i, cte) in root.ctes.iter().enumerate() {
+        let head = profiles.get(&cte.plan);
+        ops.push(OpProfile {
+            depth: 0,
+            label: format!("CTE {} [{}] (materialized)", i, cte.name),
+            rows_in: head.map_or(0, |p| p.rows_out),
+            rows: head.map_or(0, |p| p.rows_out),
+            time_us: head.map_or(0, |p| p.elapsed_us),
+            executed: head.is_some(),
+        });
+        profile_node(&cte.plan, 1, profiles, &mut ops);
+    }
+    for (i, sub) in root.subplans.iter().enumerate() {
+        let head = profiles.get(sub);
+        ops.push(OpProfile {
+            depth: 0,
+            label: format!("InitPlan ${i}"),
+            rows_in: head.map_or(0, |p| p.rows_out),
+            rows: head.map_or(0, |p| p.rows_out),
+            time_us: head.map_or(0, |p| p.elapsed_us),
+            executed: head.is_some(),
+        });
+        profile_node(sub, 1, profiles, &mut ops);
+    }
+    profile_node(&root.body, 0, profiles, &mut ops);
+    QueryProfile {
+        ops,
+        total_us,
+        result_rows,
+    }
+}
+
+fn profile_node(node: &PlanNode, depth: usize, profiles: &NodeProfiles, ops: &mut Vec<OpProfile>) {
+    let p = profiles.get(node);
+    let kids = node_children(node);
+    let rows_in = kids
+        .iter()
+        .filter_map(|k| profiles.get(k))
+        .map(|p| p.rows_out)
+        .sum();
+    ops.push(OpProfile {
+        depth,
+        label: node_label(node),
+        rows_in,
+        rows: p.map_or(0, |p| p.rows_out),
+        time_us: p.map_or(0, |p| p.elapsed_us),
+        executed: p.is_some(),
+    });
+    for kid in kids {
+        profile_node(kid, depth + 1, profiles, ops);
+    }
+}
+
+/// Direct inputs of a node, in rendering order.
+fn node_children(node: &PlanNode) -> Vec<&PlanNode> {
+    match node {
+        PlanNode::Scan { .. } | PlanNode::Values { .. } => Vec::new(),
+        PlanNode::Filter { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Aggregate { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Limit { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::WindowRowNumber { input, .. }
+        | PlanNode::Unnest { input, .. } => vec![input],
+        PlanNode::Join { left, right, .. } => vec![left, right],
+    }
+}
+
+/// One node's `EXPLAIN` line text, without indentation.
+fn node_label(node: &PlanNode) -> String {
     match node {
         PlanNode::Scan {
             source, projection, ..
@@ -32,19 +113,11 @@ fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
                 ScanSource::MaterializedView(v) => format!("MatView {v}"),
                 ScanSource::Cte(i) => format!("CTE {i}"),
             };
-            let _ = writeln!(out, "{pad}Scan {name} cols={}", projection.len());
+            format!("Scan {name} cols={}", projection.len())
         }
-        PlanNode::Filter { input, predicate } => {
-            let _ = writeln!(out, "{pad}Filter {}", render_expr(predicate));
-            render_node(input, depth + 1, out);
-        }
-        PlanNode::Project { input, exprs, .. } => {
-            let _ = writeln!(out, "{pad}Project [{} exprs]", exprs.len());
-            render_node(input, depth + 1, out);
-        }
+        PlanNode::Filter { predicate, .. } => format!("Filter {}", render_expr(predicate)),
+        PlanNode::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
         PlanNode::Join {
-            left,
-            right,
             kind,
             equi,
             residual,
@@ -61,53 +134,38 @@ fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
                     )
                 })
                 .collect();
-            let _ = writeln!(
-                out,
-                "{pad}{kind:?}Join on [{}]{}",
+            format!(
+                "{kind:?}Join on [{}]{}",
                 keys.join(", "),
                 if residual.is_some() { " +residual" } else { "" }
-            );
-            render_node(left, depth + 1, out);
-            render_node(right, depth + 1, out);
+            )
         }
         PlanNode::Aggregate {
-            input,
-            group_exprs,
-            aggs,
-            ..
+            group_exprs, aggs, ..
         } => {
             let fns: Vec<String> = aggs.iter().map(|a| agg_name(&a.func).to_string()).collect();
-            let _ = writeln!(
-                out,
-                "{pad}Aggregate groups={} aggs=[{}]",
+            format!(
+                "Aggregate groups={} aggs=[{}]",
                 group_exprs.len(),
                 fns.join(", ")
-            );
-            render_node(input, depth + 1, out);
+            )
         }
-        PlanNode::Sort { input, keys } => {
-            let _ = writeln!(out, "{pad}Sort [{} keys]", keys.len());
-            render_node(input, depth + 1, out);
+        PlanNode::Sort { keys, .. } => format!("Sort [{} keys]", keys.len()),
+        PlanNode::Limit { n, .. } => format!("Limit {n}"),
+        PlanNode::Distinct { .. } => "Distinct".to_string(),
+        PlanNode::WindowRowNumber { keys, .. } => {
+            format!("WindowRowNumber [{} keys]", keys.len())
         }
-        PlanNode::Limit { input, n } => {
-            let _ = writeln!(out, "{pad}Limit {n}");
-            render_node(input, depth + 1, out);
-        }
-        PlanNode::Distinct { input } => {
-            let _ = writeln!(out, "{pad}Distinct");
-            render_node(input, depth + 1, out);
-        }
-        PlanNode::WindowRowNumber { input, keys, .. } => {
-            let _ = writeln!(out, "{pad}WindowRowNumber [{} keys]", keys.len());
-            render_node(input, depth + 1, out);
-        }
-        PlanNode::Unnest { input, column, .. } => {
-            let _ = writeln!(out, "{pad}Unnest col#{column}");
-            render_node(input, depth + 1, out);
-        }
-        PlanNode::Values { rows, .. } => {
-            let _ = writeln!(out, "{pad}Values [{} rows]", rows.len());
-        }
+        PlanNode::Unnest { column, .. } => format!("Unnest col#{column}"),
+        PlanNode::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
+    }
+}
+
+fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}{}", node_label(node));
+    for kid in node_children(node) {
+        render_node(kid, depth + 1, out);
     }
 }
 

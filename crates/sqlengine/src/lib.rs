@@ -40,6 +40,7 @@ pub mod plan;
 pub mod profile;
 pub mod storage;
 pub mod token;
+pub mod trace;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use durable::{DurableBackend, MemoryBackend, StorageBackend};
@@ -47,6 +48,7 @@ pub use engine::{Engine, EngineStats, ExecOutcome};
 pub use error::{Result, SqlError};
 pub use profile::EngineProfile;
 pub use storage::Relation;
+pub use trace::{EngineTrace, OpProfile, Phase, QueryProfile};
 
 // Storage types surface through the engine API (recovery reports, fsync
 // policies), so re-export them: dependents need no direct `elephant-store`

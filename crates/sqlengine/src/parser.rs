@@ -8,7 +8,12 @@ use etypes::{DataType, Value};
 
 /// Parse a script of one or more `;`-separated statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
-    let tokens = tokenize(sql)?;
+    parse_tokens(tokenize(sql)?)
+}
+
+/// Parse a pre-lexed token stream (the engine lexes separately so the trace
+/// layer can attribute lex and parse time to their own phases).
+pub fn parse_tokens(tokens: Vec<Token>) -> Result<Vec<Statement>> {
     let mut p = Parser { tokens, pos: 0 };
     let mut out = Vec::new();
     loop {
@@ -157,6 +162,19 @@ impl Parser {
         }
         if self.at_kw("select") || self.at_kw("with") {
             return Ok(Statement::Select(self.query()?));
+        }
+        if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            if !(self.at_kw("select") || self.at_kw("with")) {
+                return Err(SqlError::parse(
+                    self.line(),
+                    "EXPLAIN supports SELECT statements only",
+                ));
+            }
+            return Ok(Statement::Explain {
+                analyze,
+                query: self.query()?,
+            });
         }
         Err(SqlError::parse(
             self.line(),

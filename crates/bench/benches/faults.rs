@@ -1,0 +1,89 @@
+//! Failpoint-overhead benchmark: the gate for "free when disabled".
+//!
+//! The fault registry promises that a disarmed [`etypes::fault::fire`] is
+//! one relaxed atomic load. This bench measures that cost directly —
+//! billions of production-path hits must not notice the instrumentation —
+//! and fails (exits non-zero) when the disabled path exceeds
+//! [`MAX_DISABLED_NS`] per call. For context it also measures the slow
+//! path taken while an unrelated site is armed (registry lookup under a
+//! mutex) and an armed `prob:0` site that never fires. Writes the numbers
+//! to `BENCH_faults.json` at the workspace root.
+
+use etypes::fault::{self, FaultPolicy};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Budget for a disarmed fire(): generous multiple of a relaxed load so CI
+/// noise cannot flake it, but far below anything doing real work (a mutex
+/// lock, a map lookup, a syscall).
+const MAX_DISABLED_NS: f64 = 25.0;
+
+const CALLS: u64 = 20_000_000;
+const SAMPLES: usize = 7;
+
+/// ns per fire() over `CALLS` calls of the named site.
+fn sample(site: &str) -> f64 {
+    let started = Instant::now();
+    for _ in 0..CALLS {
+        let r = fault::fire(black_box(site));
+        debug_assert!(r.is_ok());
+        black_box(&r);
+    }
+    started.elapsed().as_nanos() as f64 / CALLS as f64
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    // Initialize the registry (applies ELEPHANT_FAULTS, which must be
+    // unset here) and verify nothing is armed.
+    fault::clear_all();
+    assert_eq!(fault::armed(), 0, "bench requires a disarmed registry");
+    let _ = fault::fire("warmup");
+
+    // Fast path: zero sites armed anywhere — one relaxed load.
+    let disabled_ns = median((0..SAMPLES).map(|_| sample("wal.append")).collect());
+
+    // Slow path, miss: an unrelated site is armed, so every fire() takes
+    // the registry mutex and misses the lookup.
+    fault::set("some.other.site", FaultPolicy::Error);
+    let unrelated_armed_ns = median((0..SAMPLES).map(|_| sample("wal.append")).collect());
+    fault::clear_all();
+
+    // Slow path, hit: the site itself is armed with prob:0 — full policy
+    // evaluation (PRNG draw) on every call, never fires.
+    fault::set("wal.append", FaultPolicy::Prob(0.0));
+    let armed_prob0_ns = median((0..SAMPLES).map(|_| sample("wal.append")).collect());
+    fault::clear_all();
+
+    println!("== faults_overhead ==");
+    println!("disabled fire()        : {disabled_ns:.2} ns/call (budget {MAX_DISABLED_NS} ns)");
+    println!("unrelated site armed   : {unrelated_armed_ns:.2} ns/call");
+    println!("armed prob:0           : {armed_prob0_ns:.2} ns/call");
+
+    let json = format!(
+        "{{\n  \"bench\": \"faults\",\n  \"calls_per_sample\": {CALLS},\n  \
+         \"samples\": {SAMPLES},\n  \"disabled_ns_per_call\": {disabled_ns:.3},\n  \
+         \"disabled_budget_ns\": {MAX_DISABLED_NS},\n  \
+         \"unrelated_armed_ns_per_call\": {unrelated_armed_ns:.3},\n  \
+         \"armed_prob0_ns_per_call\": {armed_prob0_ns:.3}\n}}\n"
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let path = root.join("BENCH_faults.json");
+    std::fs::write(&path, json).expect("write BENCH_faults.json");
+    println!("wrote {}", path.display());
+
+    if disabled_ns > MAX_DISABLED_NS {
+        eprintln!(
+            "FAIL: disabled failpoint costs {disabled_ns:.2} ns/call, \
+             over the {MAX_DISABLED_NS} ns budget"
+        );
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! elephant-serve [--addr HOST:PORT] [--disk] [--rows N] [--seed N]
 //!                [--queue N] [--no-data] [--data-dir PATH] [--fsync POLICY]
-//!                [--slow-query-us N]
+//!                [--slow-query-us N] [--statement-timeout-ms N]
 //! ```
 //!
 //! By default binds 127.0.0.1:5462, uses the in-memory profile, and
@@ -28,6 +28,7 @@ fn main() {
     let mut data_dir: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut slow_query_us: Option<u64> = None;
+    let mut statement_timeout_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,11 +50,18 @@ fn main() {
             "--slow-query-us" => {
                 slow_query_us = Some(parse(&value("--slow-query-us"), "--slow-query-us"));
             }
+            "--statement-timeout-ms" => {
+                statement_timeout_ms = Some(parse(
+                    &value("--statement-timeout-ms"),
+                    "--statement-timeout-ms",
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] [--rows N] \
                      [--seed N] [--queue N] [--no-data] [--data-dir PATH] \
-                     [--fsync always|off|every_n:N] [--slow-query-us N]"
+                     [--fsync always|off|every_n:N] [--slow-query-us N] \
+                     [--statement-timeout-ms N]"
                 );
                 return;
             }
@@ -73,6 +81,7 @@ fn main() {
         data_dir,
         fsync,
         slow_query_us,
+        statement_timeout_ms,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);

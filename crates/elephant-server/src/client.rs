@@ -7,11 +7,16 @@
 //! the server produced them), which is what the integration tests compare
 //! byte-for-byte against the embedded engine.
 
-use crate::protocol::encode_request;
+use crate::protocol::{codes, encode_request};
+use etypes::Prng;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
 use std::time::Duration;
+
+/// Default response timeout used by [`ElephantClient::connect`].
+const DEFAULT_RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A structured error response from the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +25,18 @@ pub struct ServerError {
     pub code: String,
     /// Human-readable message.
     pub message: String,
+}
+
+impl ServerError {
+    /// True for transient conditions worth retrying with backoff:
+    /// `ERR_BUSY` (admission control refused the command) and
+    /// `ERR_TIMEOUT` (the statement was cancelled by the server's
+    /// statement timeout). Execution errors, read-only degradation, and
+    /// protocol errors are deterministic — retrying them verbatim cannot
+    /// succeed, so they are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        self.code == codes::BUSY || self.code == codes::TIMEOUT
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -54,8 +71,61 @@ impl From<io::Error> for ClientError {
     }
 }
 
+impl ClientError {
+    /// True when the failure is a retryable server response (see
+    /// [`ServerError::is_retryable`]); transport errors are not retried by
+    /// [`ElephantClient::send_with_retry`] because the connection state is
+    /// unknown.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Server(e) if e.is_retryable())
+    }
+}
+
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Seeded, jittered exponential backoff for retrying transient server
+/// errors (`ERR_BUSY`, `ERR_TIMEOUT`).
+///
+/// Attempt `k` (0-based) sleeps a uniformly random duration in
+/// `[0, min(cap, base * 2^k))` — "full jitter", which decorrelates
+/// competing clients hammering a saturated server. The jitter stream is
+/// seeded, so a fixed seed gives a reproducible retry schedule (the chaos
+/// harness depends on this).
+#[derive(Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "never retry").
+    pub attempts: u32,
+    /// Backoff base; attempt `k` draws from `[0, base * 2^k)`.
+    pub base: Duration,
+    /// Ceiling on a single sleep.
+    pub cap: Duration,
+    prng: Prng,
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total tries, backoff base `base`, a 1 s
+    /// sleep cap, and jitter seeded by `seed`.
+    pub fn new(attempts: u32, base: Duration, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            base,
+            cap: Duration::from_secs(1),
+            prng: Prng::new(seed),
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based count of failures
+    /// so far): uniform in `[0, min(cap, base * 2^attempt))`.
+    pub fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let ceiling = exp.min(self.cap).as_micros() as u64;
+        if ceiling == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.prng.next_u64() % ceiling)
+    }
+}
 
 /// One connection to an elephant server.
 pub struct ElephantClient {
@@ -64,11 +134,21 @@ pub struct ElephantClient {
 }
 
 impl ElephantClient {
-    /// Connect to `addr` with a 30s response timeout.
+    /// Connect to `addr` with the default 30 s response timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ElephantClient> {
+        ElephantClient::with_timeout(addr, Some(DEFAULT_RESPONSE_TIMEOUT))
+    }
+
+    /// Connect to `addr` with an explicit response timeout; `None` waits
+    /// indefinitely. A response slower than the timeout surfaces as
+    /// [`ClientError::Io`] with kind `WouldBlock`/`TimedOut`.
+    pub fn with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> io::Result<ElephantClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(ElephantClient {
             writer: stream,
@@ -81,6 +161,30 @@ impl ElephantClient {
         self.writer.write_all(encode_request(command).as_bytes())?;
         self.writer.flush()?;
         self.read_response()
+    }
+
+    /// [`send`](ElephantClient::send), retried under `policy` while the
+    /// server answers with a retryable error (`ERR_BUSY`, `ERR_TIMEOUT`).
+    /// Deterministic failures — execution errors, `ERR_READ_ONLY`,
+    /// protocol errors — and transport errors return immediately.
+    pub fn send_with_retry(
+        &mut self,
+        command: &str,
+        policy: &mut RetryPolicy,
+    ) -> ClientResult<String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.send(command) {
+                Err(e) if e.is_retryable() && attempt + 1 < policy.attempts => {
+                    let sleep = policy.backoff(attempt);
+                    attempt += 1;
+                    if !sleep.is_zero() {
+                        thread::sleep(sleep);
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Run a SQL statement; returns CSV for SELECTs, `ok <n>` otherwise.

@@ -19,7 +19,7 @@ use crate::metrics::Metrics;
 use crate::protocol::{codes, Command};
 use etypes::SpanRing;
 use mlinspect::SqlMode;
-use sqlengine::{Engine, EngineProfile, FsyncPolicy};
+use sqlengine::{Engine, EngineProfile, FsyncPolicy, SqlError};
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
@@ -65,6 +65,9 @@ pub(crate) struct ExecutorConfig {
     /// Log commands slower than this many microseconds, with their
     /// operator profile when one is available. `None` disables the log.
     pub slow_query_us: Option<u64>,
+    /// Cancel statements cooperatively after this many milliseconds;
+    /// `None` lets statements run unbounded.
+    pub statement_timeout_ms: Option<u64>,
 }
 
 /// How many finished-command spans the executor keeps for `TRACE`.
@@ -117,6 +120,11 @@ pub(crate) fn spawn(
                 // The slow-query log wants operator profiles for QUERY too,
                 // not just EXPLAIN ANALYZE.
                 state.engine.set_capture_profiles(true);
+            }
+            if let Some(ms) = cfg.statement_timeout_ms {
+                state
+                    .engine
+                    .set_statement_timeout(Some(Duration::from_millis(ms)));
             }
             while let Ok(job) = rx.recv() {
                 state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
@@ -195,13 +203,26 @@ impl ExecutorState {
         }
     }
 
+    /// Map an engine error to its wire code. Timeouts and read-only
+    /// degradation carry their own codes so clients can tell retryable
+    /// conditions from fatal ones; everything else is a plain `ERR_EXEC`.
+    fn classify(&self, e: SqlError) -> (&'static str, String) {
+        match e {
+            SqlError::Timeout { .. } => {
+                self.metrics
+                    .statements_timed_out
+                    .fetch_add(1, Ordering::Relaxed);
+                (codes::TIMEOUT, e.to_string())
+            }
+            SqlError::ReadOnly(_) => (codes::READ_ONLY, e.to_string()),
+            _ => (codes::EXEC, e.to_string()),
+        }
+    }
+
     fn dispatch(&mut self, session: u64, command: Command) -> Reply {
         match command {
             Command::Query(sql) => {
-                let out = self
-                    .engine
-                    .execute(&sql)
-                    .map_err(|e| (codes::EXEC, e.to_string()))?;
+                let out = self.engine.execute(&sql).map_err(|e| self.classify(e))?;
                 Ok(match out.relation {
                     Some(rel) => etypes::csv::write_csv(&rel.columns, &rel.rows, ','),
                     None => format!("ok {}", out.rows_affected),
@@ -222,7 +243,7 @@ impl ExecutorState {
                 let rel = self
                     .engine
                     .execute_prepared(&scoped_name(session, &name))
-                    .map_err(|e| (codes::EXEC, e.to_string()))?;
+                    .map_err(|e| self.classify(e))?;
                 Ok(etypes::csv::write_csv(&rel.columns, &rel.rows, ','))
             }
             Command::Deallocate(name) => {
@@ -241,7 +262,7 @@ impl ExecutorState {
                 } else {
                     self.engine.explain(&sql)
                 };
-                out.map_err(|e| (codes::EXEC, e.to_string()))
+                out.map_err(|e| self.classify(e))
             }
             Command::Trace(n) => {
                 let spans = self.ring.recent(n);
@@ -282,6 +303,12 @@ impl ExecutorState {
                     None => source,
                 };
                 let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                // Inspection materializes scratch tables it recreates on
+                // every run — running it unlogged keeps those out of the
+                // WAL and lets INSPECT keep serving when durable storage
+                // has degraded the engine to read-only.
+                let was_unlogged = self.engine.unlogged();
+                self.engine.set_unlogged(true);
                 let report = mlinspect::inspect_pipeline_in_sql(
                     &source,
                     &self.files,
@@ -290,8 +317,9 @@ impl ExecutorState {
                     &mut self.engine,
                     SqlMode::Cte,
                     false,
-                )
-                .map_err(|e| (codes::INSPECT, format!("inspect {e}")))?;
+                );
+                self.engine.set_unlogged(was_unlogged);
+                let report = report.map_err(|e| (codes::INSPECT, format!("inspect {e}")))?;
                 Ok(report.render())
             }
             Command::Stats => {
@@ -311,6 +339,8 @@ impl ExecutorState {
                 }
                 let _ = write!(body, "\ntrace_spans_recorded {}", self.ring.pushed());
                 let _ = write!(body, "\ntrace_spans_retained {}", self.ring.len());
+                let _ = write!(body, "\nhealth {}", self.engine.health().render());
+                let _ = write!(body, "\nfaults_injected {}", etypes::fault::injected());
                 let durable = u8::from(self.engine.is_durable());
                 let _ = write!(body, "\nstorage_durable {durable}");
                 if let Some(stats) = self.engine.storage_stats() {
@@ -340,7 +370,7 @@ impl ExecutorState {
                     codes::EXEC,
                     "checkpoint requires durable storage (start the server with --data-dir)".into(),
                 )),
-                Err(e) => Err((codes::EXEC, e.to_string())),
+                Err(e) => Err(self.classify(e)),
             },
             Command::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -391,6 +421,7 @@ mod tests {
                 data_dir: None,
                 fsync: FsyncPolicy::Always,
                 slow_query_us: None,
+                statement_timeout_ms: None,
             },
             Arc::clone(metrics),
             Arc::clone(shutdown),
@@ -516,6 +547,7 @@ mod tests {
             data_dir: Some(dir.clone()),
             fsync: FsyncPolicy::Always,
             slow_query_us: None,
+            statement_timeout_ms: None,
         };
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));

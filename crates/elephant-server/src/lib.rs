@@ -63,7 +63,7 @@ pub mod protocol;
 pub mod server;
 mod session;
 
-pub use client::{ClientError, ClientResult, ElephantClient, ServerError};
+pub use client::{ClientError, ClientResult, ElephantClient, RetryPolicy, ServerError};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{Command, MAX_FRAME};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -117,6 +117,11 @@ pub struct Metrics {
     pub sessions_closed: AtomicU64,
     /// Jobs currently queued for (or running on) the executor.
     pub queue_depth: AtomicU64,
+    /// Commands refused with `ERR_BUSY` because the executor queue stayed
+    /// full past the admission wait.
+    pub busy_rejections: AtomicU64,
+    /// Statements cancelled by the per-statement timeout.
+    pub statements_timed_out: AtomicU64,
     /// End-to-end executor latency per job, all verbs combined.
     pub latency: LatencyHistogram,
     /// Executor latency per verb (same order as the verb counters, with the
@@ -199,6 +204,11 @@ impl Metrics {
         line("sessions_opened", opened.to_string());
         line("sessions_open", opened.saturating_sub(closed).to_string());
         line("queue_depth", self.queue_depth.load(o).to_string());
+        line("busy_rejections", self.busy_rejections.load(o).to_string());
+        line(
+            "statements_timed_out",
+            self.statements_timed_out.load(o).to_string(),
+        );
         line("latency_count", self.latency.count().to_string());
         line("latency_p50_us", self.latency.percentile(0.50).to_string());
         line("latency_p95_us", self.latency.percentile(0.95).to_string());
@@ -283,6 +293,8 @@ mod tests {
             "other_commands 0",
             "protocol_errors 0",
             "exec_errors 0",
+            "busy_rejections 0",
+            "statements_timed_out 0",
         ] {
             assert!(body.contains(key), "missing '{key}' in:\n{body}");
         }

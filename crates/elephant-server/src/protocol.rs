@@ -43,6 +43,16 @@ pub mod codes {
     pub const DRAINING: &str = "ERR_DRAINING";
     /// Internal server error (executor gone, poisoned state, ...).
     pub const INTERNAL: &str = "ERR_INTERNAL";
+    /// Executor queue full past the admission wait; **retryable** — back
+    /// off and resend the same command.
+    pub const BUSY: &str = "ERR_BUSY";
+    /// Durable storage failed and the engine degraded to read-only; writes
+    /// are refused until `CHECKPOINT` re-arms. **Not** retryable.
+    pub const READ_ONLY: &str = "ERR_READ_ONLY";
+    /// Statement exceeded the server's statement timeout and was cancelled
+    /// cooperatively; **retryable** (though likely to time out again
+    /// unchanged).
+    pub const TIMEOUT: &str = "ERR_TIMEOUT";
 }
 
 /// A parsed client command.

@@ -36,6 +36,10 @@ pub struct ServerConfig {
     /// Log commands slower than this many microseconds to stderr, with
     /// their operator profile. `None` (the default) disables the log.
     pub slow_query_us: Option<u64>,
+    /// Cancel statements cooperatively after this many milliseconds with a
+    /// retryable `ERR_TIMEOUT`. `None` (the default) lets statements run
+    /// unbounded.
+    pub statement_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +52,7 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             slow_query_us: None,
+            statement_timeout_ms: None,
         }
     }
 }
@@ -134,6 +139,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             data_dir: config.data_dir,
             fsync: config.fsync,
             slow_query_us: config.slow_query_us,
+            statement_timeout_ms: config.statement_timeout_ms,
         },
         Arc::clone(&metrics),
         Arc::clone(&shutdown),

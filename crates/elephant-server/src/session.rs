@@ -20,12 +20,21 @@ use crate::protocol::{
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, SyncSender};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Poll interval for noticing the shutdown flag while blocked on a read.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long admission control waits for a queue slot before refusing the
+/// command with [`codes::BUSY`]. Short: the point is to convert unbounded
+/// head-of-line blocking into a bounded, retryable signal.
+const ADMISSION_WAIT: Duration = Duration::from_millis(250);
+
+/// Sleep between queue retries inside the admission wait.
+const ADMISSION_POLL: Duration = Duration::from_millis(10);
 
 /// Run one connection to completion. Consumes the stream; returns when the
 /// client disconnects, a transport error occurs, or the server drains.
@@ -96,20 +105,52 @@ pub(crate) fn run_session(
             continue;
         }
 
+        // Admission control: try for a queue slot within a bounded wait,
+        // then refuse with the retryable ERR_BUSY instead of blocking the
+        // client indefinitely behind a saturated executor.
         let (reply_tx, reply_rx) = mpsc::channel();
-        metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-        if tx
-            .send(Job::Command {
-                session: session_id,
-                command,
-                reply: reply_tx,
-            })
-            .is_err()
-        {
-            // Executor gone — only possible deep into shutdown.
-            metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            let _ = write_err(&mut writer, codes::INTERNAL, "executor unavailable");
-            break;
+        let mut job = Job::Command {
+            session: session_id,
+            command,
+            reply: reply_tx,
+        };
+        let admission_deadline = Instant::now() + ADMISSION_WAIT;
+        let admitted = loop {
+            metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+            match tx.try_send(job) {
+                Ok(()) => break Ok(()),
+                Err(TrySendError::Full(j)) => {
+                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    if Instant::now() >= admission_deadline {
+                        break Err(true);
+                    }
+                    job = j;
+                    thread::sleep(ADMISSION_POLL);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    break Err(false);
+                }
+            }
+        };
+        match admitted {
+            Ok(()) => {}
+            Err(true) => {
+                metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "executor queue full after {} ms; retry with backoff",
+                    ADMISSION_WAIT.as_millis()
+                );
+                if write_err(&mut writer, codes::BUSY, &msg).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(false) => {
+                // Executor gone — only possible deep into shutdown.
+                let _ = write_err(&mut writer, codes::INTERNAL, "executor unavailable");
+                break;
+            }
         }
         match reply_rx.recv() {
             Ok(Ok(body)) => {

@@ -19,6 +19,9 @@ pub enum StoreError {
     /// The caller asked for something inconsistent (e.g. replaying an
     /// insert into a table the log never created).
     Invalid(String),
+    /// A deterministic failpoint fired (`etypes::fault`); carries the site
+    /// name. Only ever raised while fault injection is armed.
+    Injected(etypes::fault::InjectedFault),
 }
 
 impl StoreError {
@@ -38,6 +41,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
             StoreError::Codec(e) => write!(f, "storage codec error: {e}"),
             StoreError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
+            StoreError::Injected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -47,8 +51,15 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Codec(e) => Some(e),
+            StoreError::Injected(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<etypes::fault::InjectedFault> for StoreError {
+    fn from(e: etypes::fault::InjectedFault) -> Self {
+        StoreError::Injected(e)
     }
 }
 

@@ -178,6 +178,17 @@ fn decode_table(blob: &[u8]) -> Result<TableImage> {
 
 /// Write a snapshot of `tables` at WAL position `last_lsn` to `path`
 /// (atomically, via a `.tmp` sibling). Returns the byte size written.
+///
+/// ## Failpoints
+///
+/// Three `etypes::fault` sites cover the checkpoint's I/O edges; each
+/// failure leaves the previous snapshot intact:
+///
+/// * `snapshot.write` — fails the tmp-file write/fsync (tmp removed).
+/// * `snapshot.rename` — fails the atomic rename (tmp removed).
+/// * `snapshot.dir_fsync` — fails persisting the directory entry; the
+///   rename already happened, so the new snapshot is in place but its
+///   durability across power loss is unknown — reported as an error.
 pub fn write_snapshot(path: &Path, last_lsn: u64, tables: &[&TableImage]) -> Result<u64> {
     let tmp = path.with_extension("tmp");
     let mut buf = Vec::with_capacity(4096);
@@ -191,12 +202,21 @@ pub fn write_snapshot(path: &Path, last_lsn: u64, tables: &[&TableImage]) -> Res
         buf.extend_from_slice(&blob);
     }
     let bytes = buf.len() as u64;
+    if let Err(fault) = etypes::fault::fire("snapshot.write") {
+        let _ = fs::remove_file(&tmp);
+        return Err(fault.into());
+    }
     {
         let mut f = File::create(&tmp)?;
         f.write_all(&buf)?;
         f.sync_all()?;
     }
+    if let Err(fault) = etypes::fault::fire("snapshot.rename") {
+        let _ = fs::remove_file(&tmp);
+        return Err(fault.into());
+    }
     fs::rename(&tmp, path)?;
+    etypes::fault::fire("snapshot.dir_fsync")?;
     // Persist the rename itself (directory entry) where the platform allows.
     if let Some(dir) = path.parent() {
         if let Ok(d) = File::open(dir) {
@@ -209,7 +229,11 @@ pub fn write_snapshot(path: &Path, last_lsn: u64, tables: &[&TableImage]) -> Res
 /// Load the snapshot at `path`. `Ok(None)` when the file does not exist;
 /// an error when it exists but is unreadable or corrupt (the caller decides
 /// whether to fall back to WAL-only recovery).
+///
+/// Failpoint `snapshot.load` simulates a corrupt/unreadable snapshot
+/// without byte-surgery, driving the caller's set-aside path.
 pub fn load_snapshot(path: &Path) -> Result<Option<(u64, Vec<TableImage>)>> {
+    etypes::fault::fire("snapshot.load")?;
     let mut data = Vec::new();
     match File::open(path) {
         Ok(mut f) => {

@@ -232,6 +232,18 @@ pub struct WalStats {
 }
 
 /// Append-only WAL writer.
+///
+/// ## Failpoints
+///
+/// Three `etypes::fault` sites cover the writer's I/O edges:
+///
+/// * `wal.append` — fails before any bytes are written (clean failure).
+/// * `wal.short_write` — writes only a prefix of the frame and fails,
+///   leaving a genuine torn tail on disk (what a crash mid-append leaves);
+///   the writer poisons itself until [`WalWriter::truncate`] resets it.
+/// * `wal.fsync` — fails the durability step; the just-written frame is
+///   cut back out so a later crash cannot resurrect an unacknowledged
+///   record.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
@@ -240,6 +252,11 @@ pub struct WalWriter {
     unsynced: u64,
     next_lsn: u64,
     stats: WalStats,
+    /// Set when the on-disk tail no longer ends at a record boundary (torn
+    /// append, failed rollback): further appends would be silently dropped
+    /// by replay, so they are refused until `truncate` restores a clean
+    /// boundary.
+    poisoned: Option<String>,
 }
 
 impl WalWriter {
@@ -274,6 +291,7 @@ impl WalWriter {
                 bytes,
                 ..WalStats::default()
             },
+            poisoned: None,
         })
     }
 
@@ -293,28 +311,73 @@ impl WalWriter {
     }
 
     /// Append one record; returns its LSN. Durability depends on the
-    /// configured [`FsyncPolicy`].
+    /// configured [`FsyncPolicy`]. A failed append never leaves a record
+    /// that replay would apply: either no bytes landed, the frame was cut
+    /// back out after an fsync failure, or a torn tail remains that replay
+    /// drops at the last valid boundary.
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        if let Some(reason) = &self.poisoned {
+            return Err(StoreError::invalid(format!(
+                "WAL writer poisoned ({reason}); checkpoint to truncate and recover"
+            )));
+        }
         let started = std::time::Instant::now();
+        etypes::fault::fire("wal.append")?;
         let lsn = self.next_lsn;
         let payload = rec.encode(lsn);
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
+        if let Err(fault) = etypes::fault::fire("wal.short_write") {
+            // Torn-frame simulation: persist only a prefix of the frame —
+            // the exact disk state a crash mid-append leaves — then fail.
+            // The torn bytes stay for recovery to find and truncate.
+            let cut = (frame.len() / 2).max(1);
+            self.file.write_all(&frame[..cut])?;
+            let _ = self.file.sync_data();
+            self.stats.bytes += cut as u64;
+            self.poisoned = Some(format!("torn append at lsn {lsn}"));
+            return Err(fault.into());
+        }
+        let frame_start = self.stats.bytes;
+        let unsynced_before = self.unsynced;
         self.file.write_all(&frame)?;
         self.next_lsn += 1;
         self.unsynced += 1;
         self.stats.records_appended += 1;
         self.stats.bytes += frame.len() as u64;
-        match self.fsync {
-            FsyncPolicy::Always => self.sync()?,
+        let synced = match self.fsync {
+            FsyncPolicy::Always => self.sync(),
             FsyncPolicy::EveryN(n) => {
                 if self.unsynced >= n.max(1) {
-                    self.sync()?;
+                    self.sync()
+                } else {
+                    Ok(())
                 }
             }
-            FsyncPolicy::Off => {}
+            FsyncPolicy::Off => Ok(()),
+        };
+        if let Err(e) = synced {
+            // The frame's durability is unknown. Cut it back out so a crash
+            // after this failed (and therefore unacknowledged) append
+            // cannot resurrect the record on replay.
+            let rolled_back = self
+                .file
+                .set_len(frame_start)
+                .and_then(|()| self.file.seek(SeekFrom::Start(frame_start)).map(|_| ()));
+            match rolled_back {
+                Ok(()) => {
+                    self.stats.bytes = frame_start;
+                    self.stats.records_appended -= 1;
+                    self.next_lsn = lsn;
+                    self.unsynced = unsynced_before;
+                }
+                Err(_) => {
+                    self.poisoned = Some(format!("failed fsync rollback at lsn {lsn}"));
+                }
+            }
+            return Err(e);
         }
         self.stats.append_us += started.elapsed().as_micros() as u64;
         Ok(lsn)
@@ -323,6 +386,7 @@ impl WalWriter {
     /// Force written records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
         let started = std::time::Instant::now();
+        etypes::fault::fire("wal.fsync")?;
         self.file.sync_data()?;
         self.unsynced = 0;
         self.stats.fsyncs += 1;
@@ -332,6 +396,7 @@ impl WalWriter {
 
     /// Truncate the log after a checkpoint: every record is now covered by
     /// the snapshot. LSNs keep counting — they are store-wide, not per-file.
+    /// Also clears any poison: the file is back at a clean record boundary.
     pub fn truncate(&mut self) -> Result<u64> {
         let dropped = self.stats.bytes.saturating_sub(WAL_MAGIC.len() as u64);
         self.file.set_len(WAL_MAGIC.len() as u64)?;
@@ -342,6 +407,7 @@ impl WalWriter {
         self.stats.fsync_us += started.elapsed().as_micros() as u64;
         self.unsynced = 0;
         self.stats.bytes = WAL_MAGIC.len() as u64;
+        self.poisoned = None;
         Ok(dropped)
     }
 }

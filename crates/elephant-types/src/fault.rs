@@ -1,0 +1,391 @@
+//! Deterministic failpoints.
+//!
+//! A failpoint is a named site in production code where a test (or an
+//! operator, via the `ELEPHANT_FAULTS` environment variable) can inject a
+//! failure: `fire("wal.append")` returns an error when the site is armed
+//! and `Ok(())` otherwise. Policies are deterministic — probabilistic
+//! injection draws from the workspace [`Prng`] under a configurable seed —
+//! so a failing chaos schedule replays exactly.
+//!
+//! The registry is process-global (faults cut across crate boundaries: the
+//! store fires them, the server reads the counters) and designed so the
+//! **disabled path costs one relaxed atomic load**: when no site is armed,
+//! [`fire`] reads a single counter and returns. Everything else — the site
+//! table, the PRNG, environment parsing — lives behind a mutex on the slow
+//! path.
+//!
+//! Policy grammar (used programmatically and in `ELEPHANT_FAULTS`):
+//!
+//! ```text
+//! spec   := site '=' policy (',' site '=' policy)*
+//! policy := 'off' | 'error' | 'error_once' | 'prob:P' | 'delay_us:N'
+//! ```
+//!
+//! `error` fails every hit, `error_once` fails exactly one hit then
+//! disarms, `prob:P` fails each hit with probability `P` (seeded, see
+//! [`set_seed`] / `ELEPHANT_FAULT_SEED`), and `delay_us:N` sleeps `N`
+//! microseconds per hit without failing (latency injection).
+
+use crate::rng::Prng;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable holding a failpoint spec applied on first use.
+pub const FAULTS_ENV: &str = "ELEPHANT_FAULTS";
+/// Environment variable seeding probabilistic policies.
+pub const FAULT_SEED_ENV: &str = "ELEPHANT_FAULT_SEED";
+
+/// Sentinel meaning "registry not initialized yet": forces the first
+/// [`fire`] onto the slow path so the environment spec gets applied.
+const UNINIT: u64 = u64::MAX;
+
+/// Number of currently armed (non-`Off`) sites; `UNINIT` before first use.
+static ARMED_SITES: AtomicU64 = AtomicU64::new(UNINIT);
+/// Total faults injected (errors and delays) since process start.
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+/// What a site does when hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPolicy {
+    /// Disarmed: hits pass through.
+    Off,
+    /// Every hit fails.
+    Error,
+    /// Exactly one hit fails, then the site disarms itself.
+    ErrorOnce,
+    /// Each hit fails with this probability (seeded, deterministic).
+    Prob(f64),
+    /// Each hit sleeps this many microseconds and then succeeds.
+    DelayUs(u64),
+}
+
+impl FromStr for FaultPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultPolicy, String> {
+        let s = s.trim();
+        match s {
+            "off" => return Ok(FaultPolicy::Off),
+            "error" => return Ok(FaultPolicy::Error),
+            "error_once" => return Ok(FaultPolicy::ErrorOnce),
+            _ => {}
+        }
+        if let Some(p) = s.strip_prefix("prob:") {
+            return match p.parse::<f64>() {
+                Ok(p) if (0.0..=1.0).contains(&p) => Ok(FaultPolicy::Prob(p)),
+                _ => Err(format!("bad probability '{p}' (expected 0..=1)")),
+            };
+        }
+        if let Some(n) = s.strip_prefix("delay_us:") {
+            return match n.parse::<u64>() {
+                Ok(n) => Ok(FaultPolicy::DelayUs(n)),
+                Err(_) => Err(format!("bad delay '{n}' (expected microseconds)")),
+            };
+        }
+        Err(format!(
+            "bad fault policy '{s}' (expected off, error, error_once, prob:P, or delay_us:N)"
+        ))
+    }
+}
+
+/// The error a fired failpoint produces. Carries the site name so layers
+/// above can report *which* injected fault they absorbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: String,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}", self.site)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+#[derive(Debug)]
+struct SiteState {
+    policy: FaultPolicy,
+    hits: u64,
+}
+
+#[derive(Debug)]
+struct Registry {
+    sites: HashMap<String, SiteState>,
+    prng: Prng,
+}
+
+impl Registry {
+    fn armed_count(&self) -> u64 {
+        self.sites
+            .values()
+            .filter(|s| s.policy != FaultPolicy::Off)
+            .count() as u64
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    REGISTRY.get_or_init(|| {
+        let seed = std::env::var(FAULT_SEED_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0xE1EFA);
+        let mut reg = Registry {
+            sites: HashMap::new(),
+            prng: Prng::new(seed),
+        };
+        if let Ok(spec) = std::env::var(FAULTS_ENV) {
+            // A malformed env spec must not take the process down; report
+            // and continue with whatever parsed.
+            if let Err(e) = apply_spec(&mut reg, &spec) {
+                eprintln!("[faults] ignoring bad {FAULTS_ENV} entry: {e}");
+            }
+        }
+        ARMED_SITES.store(reg.armed_count(), Ordering::Relaxed);
+        Mutex::new(reg)
+    })
+}
+
+fn apply_spec(reg: &mut Registry, spec: &str) -> Result<usize, String> {
+    let mut applied = 0;
+    for part in spec.split([',', ';']) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (site, policy) = part
+            .split_once('=')
+            .ok_or_else(|| format!("'{part}' is not site=policy"))?;
+        let policy: FaultPolicy = policy.parse()?;
+        reg.sites
+            .insert(site.trim().to_string(), SiteState { policy, hits: 0 });
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+/// Hit the failpoint `site`.
+///
+/// Returns `Err` when an armed error policy fires; sleeps and returns `Ok`
+/// for delay policies; returns `Ok` immediately — one relaxed atomic load —
+/// when no site in the process is armed.
+#[inline]
+pub fn fire(site: &str) -> Result<(), InjectedFault> {
+    if ARMED_SITES.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    fire_slow(site)
+}
+
+#[cold]
+fn fire_slow(site: &str) -> Result<(), InjectedFault> {
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    let Some(state) = reg.sites.get(site) else {
+        return Ok(());
+    };
+    let policy = state.policy;
+    let inject = match policy {
+        FaultPolicy::Off => false,
+        FaultPolicy::Error | FaultPolicy::ErrorOnce | FaultPolicy::DelayUs(_) => true,
+        FaultPolicy::Prob(p) => reg.prng.chance(p),
+    };
+    if !inject {
+        return Ok(());
+    }
+    let state = reg.sites.get_mut(site).expect("looked up above");
+    state.hits += 1;
+    if policy == FaultPolicy::ErrorOnce {
+        state.policy = FaultPolicy::Off;
+        let armed = reg.armed_count();
+        ARMED_SITES.store(armed, Ordering::Relaxed);
+    }
+    drop(reg);
+    INJECTED.fetch_add(1, Ordering::Relaxed);
+    match policy {
+        FaultPolicy::DelayUs(us) => {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+            Ok(())
+        }
+        _ => Err(InjectedFault {
+            site: site.to_string(),
+        }),
+    }
+}
+
+/// Arm (or disarm, with [`FaultPolicy::Off`]) one site.
+pub fn set(site: &str, policy: FaultPolicy) {
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    reg.sites
+        .insert(site.to_string(), SiteState { policy, hits: 0 });
+    let armed = reg.armed_count();
+    ARMED_SITES.store(armed, Ordering::Relaxed);
+}
+
+/// Disarm one site (keeps its hit counter).
+pub fn clear(site: &str) {
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    if let Some(state) = reg.sites.get_mut(site) {
+        state.policy = FaultPolicy::Off;
+    }
+    let armed = reg.armed_count();
+    ARMED_SITES.store(armed, Ordering::Relaxed);
+}
+
+/// Disarm every site and forget their hit counters. The cumulative
+/// [`injected`] total is preserved (it is a process-lifetime metric).
+pub fn clear_all() {
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    reg.sites.clear();
+    ARMED_SITES.store(0, Ordering::Relaxed);
+}
+
+/// Apply a `site=policy,site=policy` spec (the `ELEPHANT_FAULTS` grammar).
+/// Returns how many sites were configured.
+pub fn configure(spec: &str) -> Result<usize, String> {
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    let n = apply_spec(&mut reg, spec)?;
+    let armed = reg.armed_count();
+    ARMED_SITES.store(armed, Ordering::Relaxed);
+    Ok(n)
+}
+
+/// Reseed the PRNG behind probabilistic policies (chaos-schedule replay).
+pub fn set_seed(seed: u64) {
+    let mut reg = registry().lock().expect("fault registry poisoned");
+    reg.prng = Prng::new(seed);
+}
+
+/// Total faults injected (errors fired plus delays served) since process
+/// start. Monotonic; surfaced in server `STATS`.
+pub fn injected() -> u64 {
+    // Touch the registry so env-armed processes report accurately even
+    // before the first fire.
+    let _ = registry();
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Times `site` actually injected (not mere pass-through hits). Zero for
+/// unknown sites.
+pub fn hits(site: &str) -> u64 {
+    let reg = registry().lock().expect("fault registry poisoned");
+    reg.sites.get(site).map_or(0, |s| s.hits)
+}
+
+/// Number of currently armed sites (tests, diagnostics).
+pub fn armed() -> u64 {
+    let _ = registry();
+    ARMED_SITES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that arm sites serialize on
+    /// this lock so parallel test threads cannot see each other's faults.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_all();
+        guard
+    }
+
+    #[test]
+    fn policies_parse() {
+        assert_eq!("off".parse::<FaultPolicy>().unwrap(), FaultPolicy::Off);
+        assert_eq!("error".parse::<FaultPolicy>().unwrap(), FaultPolicy::Error);
+        assert_eq!(
+            "error_once".parse::<FaultPolicy>().unwrap(),
+            FaultPolicy::ErrorOnce
+        );
+        assert_eq!(
+            "prob:0.25".parse::<FaultPolicy>().unwrap(),
+            FaultPolicy::Prob(0.25)
+        );
+        assert_eq!(
+            "delay_us:150".parse::<FaultPolicy>().unwrap(),
+            FaultPolicy::DelayUs(150)
+        );
+        assert!("prob:1.5".parse::<FaultPolicy>().is_err());
+        assert!("explode".parse::<FaultPolicy>().is_err());
+    }
+
+    #[test]
+    fn unarmed_sites_pass_through() {
+        let _g = locked();
+        assert!(fire("test.nowhere").is_ok());
+        assert_eq!(armed(), 0);
+    }
+
+    #[test]
+    fn error_fires_until_cleared() {
+        let _g = locked();
+        set("test.err", FaultPolicy::Error);
+        assert!(fire("test.err").is_err());
+        assert!(fire("test.err").is_err());
+        assert_eq!(hits("test.err"), 2);
+        clear("test.err");
+        assert!(fire("test.err").is_ok());
+        assert_eq!(hits("test.err"), 2, "pass-throughs are not hits");
+        clear_all();
+    }
+
+    #[test]
+    fn error_once_disarms_itself() {
+        let _g = locked();
+        set("test.once", FaultPolicy::ErrorOnce);
+        assert_eq!(armed(), 1);
+        let err = fire("test.once").unwrap_err();
+        assert_eq!(err.site, "test.once");
+        assert_eq!(err.to_string(), "injected fault at test.once");
+        assert!(fire("test.once").is_ok());
+        assert_eq!(armed(), 0, "fired once then disarmed");
+        assert_eq!(hits("test.once"), 1);
+        clear_all();
+    }
+
+    #[test]
+    fn prob_is_seeded_and_deterministic() {
+        let _g = locked();
+        let run = || {
+            set_seed(42);
+            set("test.prob", FaultPolicy::Prob(0.5));
+            let pattern: Vec<bool> = (0..64).map(|_| fire("test.prob").is_err()).collect();
+            clear_all();
+            pattern
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same schedule");
+        let fails = a.iter().filter(|x| **x).count();
+        assert!((10..=54).contains(&fails), "p=0.5 fired {fails}/64");
+    }
+
+    #[test]
+    fn delay_injects_latency_not_failure() {
+        let _g = locked();
+        set("test.delay", FaultPolicy::DelayUs(2_000));
+        let before = injected();
+        let started = std::time::Instant::now();
+        assert!(fire("test.delay").is_ok());
+        assert!(started.elapsed() >= std::time::Duration::from_micros(1_500));
+        assert_eq!(injected(), before + 1, "delays count as injections");
+        clear_all();
+    }
+
+    #[test]
+    fn configure_spec_round_trips() {
+        let _g = locked();
+        let n = configure("test.a=error_once, test.b=delay_us:1; test.c=off").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(armed(), 2, "off entries do not arm");
+        assert!(configure("garbage").is_err());
+        assert!(configure("test.x=warp_speed").is_err());
+        clear_all();
+    }
+}

@@ -11,6 +11,7 @@ pub mod binary;
 pub mod csv;
 pub mod datatype;
 pub mod error;
+pub mod fault;
 pub mod rng;
 pub mod span;
 pub mod value;

@@ -25,7 +25,9 @@ pub trait StorageBackend {
     /// Record one mutation. Called *after* the in-memory apply succeeded
     /// and *before* the statement is acknowledged to the caller; durable
     /// backends must not return until the record is as safe as their fsync
-    /// policy promises.
+    /// policy promises. An `Err` obliges the caller to roll the in-memory
+    /// apply back (the engine does, then degrades to read-only): a failed
+    /// log must leave neither memory nor replay with the mutation.
     fn log(&mut self, record: &WalRecord) -> Result<()>;
 
     /// Snapshot the given catalog and truncate the log. `None` means the
@@ -94,11 +96,17 @@ impl StorageBackend for DurableBackend {
     }
 
     fn checkpoint(&mut self, catalog: &Catalog) -> Result<Option<CheckpointStats>> {
-        let images: Vec<TableImage> = catalog
-            .table_names()
-            .into_iter()
-            .map(|name| table_to_image(catalog.table(name).expect("name came from the catalog")))
-            .collect();
+        // This runs on the executor thread: a typed error degrades one
+        // checkpoint, a panic would take the whole server down.
+        let mut images: Vec<TableImage> = Vec::new();
+        for name in catalog.table_names() {
+            let table = catalog.table(name).ok_or_else(|| {
+                crate::error::SqlError::catalog(format!(
+                    "table '{name}' vanished from the catalog mid-checkpoint"
+                ))
+            })?;
+            images.push(table_to_image(table));
+        }
         let refs: Vec<&TableImage> = images.iter().collect();
         Ok(Some(self.store.checkpoint(&refs)?))
     }

@@ -16,10 +16,40 @@ use etypes::{CsvOptions, DataType, Value};
 use std::collections::HashMap;
 use std::path::Path;
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Accumulated engine counters (sums over all executed queries).
 pub type EngineStats = ExecStats;
+
+/// The engine's durability health.
+///
+/// A durable engine starts `Healthy`. The first WAL append or fsync failure
+/// rolls the in-memory mutation back and degrades the engine to
+/// `ReadOnly`: reads and inspection keep serving, writes fail fast with
+/// [`SqlError::ReadOnly`] instead of silently diverging memory from disk. A
+/// successful [`Engine::checkpoint`] re-arms to `Healthy` — the checkpoint
+/// rewrites the snapshot from (consistent) memory and truncates the WAL,
+/// discarding any torn tail the failure left behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Writes are accepted and logged.
+    Healthy,
+    /// Writes are refused; carries the cause of the degradation.
+    ReadOnly {
+        /// Human-readable description of the failure that degraded us.
+        reason: String,
+    },
+}
+
+impl Health {
+    /// One-line render for `STATS` / diagnostics.
+    pub fn render(&self) -> String {
+        match self {
+            Health::Healthy => "healthy".to_string(),
+            Health::ReadOnly { reason } => format!("read_only ({reason})"),
+        }
+    }
+}
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +80,13 @@ pub struct Engine {
     trace: EngineTrace,
     capture_profiles: bool,
     last_profile: Option<QueryProfile>,
+    health: Health,
+    /// When set, mutations bypass the WAL *and* the read-only gate: the
+    /// inspection path recreates its tables on every run, so logging them
+    /// would only bloat the WAL — and refusing them would take inspection
+    /// down with the first durability failure.
+    unlogged: bool,
+    statement_timeout: Option<Duration>,
 }
 
 impl Engine {
@@ -88,7 +125,40 @@ impl Engine {
             trace: EngineTrace::default(),
             capture_profiles: false,
             last_profile: None,
+            health: Health::Healthy,
+            unlogged: false,
+            statement_timeout: None,
         }
+    }
+
+    /// The engine's durability health. Volatile engines are always
+    /// [`Health::Healthy`] (there is no disk to diverge from).
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// Bypass the WAL and the read-only gate for subsequent mutations
+    /// (the inspection path: its tables are recreated on every run, so
+    /// they are deliberately not durable). Restore with `false`.
+    pub fn set_unlogged(&mut self, unlogged: bool) {
+        self.unlogged = unlogged;
+    }
+
+    /// Whether mutations currently bypass the WAL.
+    pub fn unlogged(&self) -> bool {
+        self.unlogged
+    }
+
+    /// Enforce a per-statement wall-clock budget: statements whose
+    /// execution exceeds it are cancelled cooperatively and fail with
+    /// [`SqlError::Timeout`]. `None` disables the budget.
+    pub fn set_statement_timeout(&mut self, timeout: Option<Duration>) {
+        self.statement_timeout = timeout;
+    }
+
+    /// The configured per-statement timeout.
+    pub fn statement_timeout(&self) -> Option<Duration> {
+        self.statement_timeout
     }
 
     /// Per-phase latency histograms (lex/parse/bind/optimize/execute and,
@@ -171,8 +241,18 @@ impl Engine {
     /// Snapshot every base table and truncate the WAL. Returns `None` on a
     /// volatile engine (nothing to checkpoint). Materialized state created
     /// through [`Engine::catalog_mut`] becomes durable here too.
+    ///
+    /// A successful checkpoint re-arms a [`Health::ReadOnly`] engine: the
+    /// snapshot was written from memory (which rollback kept consistent)
+    /// and the WAL — torn tail and all — was truncated, so the failure
+    /// that degraded us has been compacted away. A failed checkpoint
+    /// leaves both the health state and the previous snapshot untouched.
     pub fn checkpoint(&mut self) -> Result<Option<CheckpointStats>> {
-        self.backend.checkpoint(&self.catalog)
+        let stats = self.backend.checkpoint(&self.catalog)?;
+        if stats.is_some() && self.health != Health::Healthy {
+            self.health = Health::Healthy;
+        }
+        Ok(stats)
     }
 
     /// Execute one statement.
@@ -215,23 +295,44 @@ impl Engine {
 
     /// Log one mutation, attributing the whole append (fsync included) to
     /// the WAL-append phase and the fsync share to its own phase.
+    ///
+    /// This is also the health gate: a [`Health::ReadOnly`] engine refuses
+    /// the log *before* touching the backend, and a backend failure
+    /// transitions the engine to read-only. Either way an `Err` obliges
+    /// the caller to roll the already-applied in-memory mutation back —
+    /// every call site does, so memory never diverges from what replay
+    /// will reconstruct. Unlogged mode (inspection) bypasses both.
     fn log_durable(&mut self, record: &WalRecord) -> Result<()> {
-        if !self.backend.is_durable() || !self.trace.enabled() {
-            return self.backend.log(record);
+        if self.unlogged || !self.backend.is_durable() {
+            return Ok(());
         }
-        let before = self
-            .backend
-            .store_stats()
-            .map(|s| (s.wal.fsyncs, s.wal.fsync_us));
-        let started = Instant::now();
-        self.backend.log(record)?;
-        self.trace
-            .record_duration(Phase::WalAppend, started.elapsed());
-        if let (Some((fsyncs, fsync_us)), Some(after)) = (before, self.backend.store_stats()) {
-            if after.wal.fsyncs > fsyncs {
-                self.trace
-                    .record_us(Phase::Fsync, after.wal.fsync_us.saturating_sub(fsync_us));
+        if let Health::ReadOnly { reason } = &self.health {
+            return Err(SqlError::ReadOnly(reason.clone()));
+        }
+        let result = if self.trace.enabled() {
+            let before = self
+                .backend
+                .store_stats()
+                .map(|s| (s.wal.fsyncs, s.wal.fsync_us));
+            let started = Instant::now();
+            let result = self.backend.log(record);
+            self.trace
+                .record_duration(Phase::WalAppend, started.elapsed());
+            if let (Some((fsyncs, fsync_us)), Some(after)) = (before, self.backend.store_stats()) {
+                if after.wal.fsyncs > fsyncs {
+                    self.trace
+                        .record_us(Phase::Fsync, after.wal.fsync_us.saturating_sub(fsync_us));
+                }
             }
+            result
+        } else {
+            self.backend.log(record)
+        };
+        if let Err(e) = result {
+            self.health = Health::ReadOnly {
+                reason: e.to_string(),
+            };
+            return Err(e);
         }
         Ok(())
     }
@@ -247,11 +348,16 @@ impl Engine {
                     names.clone(),
                     types.clone(),
                 ))?;
-                self.log_durable(&WalRecord::CreateTable {
+                if let Err(e) = self.log_durable(&WalRecord::CreateTable {
                     name: name.clone(),
                     columns: names,
                     types,
-                })?;
+                }) {
+                    // Unlogged DDL must not outlive the failed statement:
+                    // replay would never recreate it.
+                    let _ = self.catalog.drop(&name, false, true);
+                    return Err(e);
+                }
                 self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
             }
@@ -260,10 +366,18 @@ impl Engine {
                 is_view,
                 if_exists,
             } => {
-                let was_table = !is_view && self.catalog.table(&name).is_some();
+                // Keep a copy so a failed WAL append can resurrect the
+                // table: an unlogged drop would survive in memory but not
+                // in replay.
+                let saved = (!is_view)
+                    .then(|| self.catalog.table(&name).cloned())
+                    .flatten();
                 self.catalog.drop(&name, is_view, if_exists)?;
-                if was_table {
-                    self.log_durable(&WalRecord::DropTable { name: name.clone() })?;
+                if let Some(saved) = saved {
+                    if let Err(e) = self.log_durable(&WalRecord::DropTable { name: name.clone() }) {
+                        let _ = self.catalog.create_table(saved);
+                        return Err(e);
+                    }
                 }
                 self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
@@ -383,6 +497,9 @@ impl Engine {
         let mut ctx = ExecContext::new(&self.catalog, &self.profile, root);
         if self.capture_profiles {
             ctx.enable_profiling();
+        }
+        if let Some(timeout) = self.statement_timeout {
+            ctx.set_deadline(Instant::now() + timeout, timeout.as_millis() as u64);
         }
         let started = (self.trace.enabled() || self.capture_profiles).then(Instant::now);
         let rows = execute_root(&ctx)?;
@@ -583,6 +700,7 @@ impl Engine {
             .ok_or_else(|| SqlError::catalog(format!("unknown table '{table}'")))?;
         let width = table_ref.data.columns.len();
         let first_new_row = table_ref.data.rows.len();
+        let saved_serials = table_ref.serial_next.clone();
         let mut count = 0usize;
         for row in evaluated {
             let full_row = match columns {
@@ -613,14 +731,32 @@ impl Engine {
         // reproduces the exact in-memory state, ctids included.
         if count > 0 && self.backend.is_durable() {
             let rows = table_ref.data.rows[first_new_row..].to_vec();
-            self.log_durable(&WalRecord::Insert {
+            if let Err(e) = self.log_durable(&WalRecord::Insert {
                 table: table.to_string(),
                 rows,
-            })?;
+            }) {
+                self.rollback_append(table, first_new_row, saved_serials);
+                return Err(e);
+            }
         }
         self.profile.charge_io(count);
         self.stats.pages_written += self.profile.pages_for(count);
         Ok(no_rows(count))
+    }
+
+    /// Undo an in-memory append whose WAL record failed to land: cut the
+    /// rows back out and restore the serial counters, so the visible state
+    /// matches what replay will reconstruct.
+    fn rollback_append(
+        &mut self,
+        table: &str,
+        first_new_row: usize,
+        saved_serials: Vec<(usize, i64)>,
+    ) {
+        if let Some(t) = self.catalog.table_mut(table) {
+            t.data.rows.truncate(first_new_row);
+            t.serial_next = saved_serials;
+        }
     }
 
     /// Bulk-load parsed CSV content into an existing table (the COPY path,
@@ -649,6 +785,7 @@ impl Engine {
             None => (0..width).collect(),
         };
         let first_new_row = table_ref.data.rows.len();
+        let saved_serials = table_ref.serial_next.clone();
         let mut count = 0usize;
         for row in csv.rows {
             if row.len() != target_indices.len() {
@@ -667,10 +804,13 @@ impl Engine {
         }
         if count > 0 && self.backend.is_durable() {
             let rows = table_ref.data.rows[first_new_row..].to_vec();
-            self.log_durable(&WalRecord::Insert {
+            if let Err(e) = self.log_durable(&WalRecord::Insert {
                 table: table.to_string(),
                 rows,
-            })?;
+            }) {
+                self.rollback_append(table, first_new_row, saved_serials);
+                return Err(e);
+            }
         }
         self.profile.charge_io(count);
         self.stats.pages_written += self.profile.pages_for(count);

@@ -27,6 +27,15 @@ pub enum SqlError {
     Io(std::io::Error),
     /// Durable-storage failure (WAL append, checkpoint, recovery).
     Storage(elephant_store::StoreError),
+    /// The engine is degraded to read-only (a prior durability failure);
+    /// carries the reason. Writes are refused until a checkpoint re-arms.
+    ReadOnly(String),
+    /// The statement exceeded its configured timeout and was cancelled
+    /// cooperatively by the executor.
+    Timeout {
+        /// The configured per-statement budget in milliseconds.
+        ms: u64,
+    },
 }
 
 impl SqlError {
@@ -60,6 +69,8 @@ impl fmt::Display for SqlError {
             SqlError::Value(e) => write!(f, "value error: {e}"),
             SqlError::Io(e) => write!(f, "io error: {e}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::ReadOnly(reason) => write!(f, "read_only: {reason}"),
+            SqlError::Timeout { ms } => write!(f, "statement timeout after {ms} ms"),
         }
     }
 }

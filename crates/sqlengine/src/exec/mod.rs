@@ -16,9 +16,14 @@ use crate::profile::EngineProfile;
 use crate::storage::Relation;
 use etypes::Value;
 use eval::{eval, truthy};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Rows produced between deadline checks under cooperative cancellation:
+/// large enough that the clock read is amortized away, small enough that a
+/// runaway join is cancelled promptly.
+const TICK_ROWS: u64 = 1024;
 
 /// One tuple.
 pub type Row = Vec<Value>;
@@ -90,6 +95,12 @@ pub struct ExecContext<'a> {
     /// Per-node runtime profiles; `None` (the default) keeps the hot path
     /// down to a single branch per operator.
     profiles: Option<RefCell<NodeProfiles>>,
+    /// Cooperative-cancellation deadline plus the configured budget in
+    /// milliseconds (carried for the error message). `None` (the default)
+    /// keeps [`ExecContext::tick`] to a single branch.
+    deadline: Option<(std::time::Instant, u64)>,
+    /// Rows produced since the last deadline check.
+    ticked: Cell<u64>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -103,7 +114,38 @@ impl<'a> ExecContext<'a> {
             subplan_cache: RefCell::new(vec![None; root.subplans.len()]),
             stats: RefCell::new(ExecStats::default()),
             profiles: None,
+            deadline: None,
+            ticked: Cell::new(0),
         }
+    }
+
+    /// Arm cooperative cancellation: operators abort with
+    /// [`SqlError::Timeout`] once `deadline` passes. The clock is checked
+    /// every [`TICK_ROWS`] produced rows, so cancellation latency is
+    /// bounded by the time to produce that many rows, not by statement
+    /// completion.
+    pub fn set_deadline(&mut self, deadline: std::time::Instant, budget_ms: u64) {
+        self.deadline = Some((deadline, budget_ms));
+    }
+
+    /// Charge `produced` rows against the cancellation budget. Costs one
+    /// branch when no deadline is armed; reads the clock once per
+    /// [`TICK_ROWS`] rows otherwise.
+    #[inline]
+    pub fn tick(&self, produced: usize) -> Result<()> {
+        let Some((deadline, ms)) = self.deadline else {
+            return Ok(());
+        };
+        let acc = self.ticked.get() + produced as u64;
+        if acc < TICK_ROWS {
+            self.ticked.set(acc);
+            return Ok(());
+        }
+        self.ticked.set(0);
+        if std::time::Instant::now() >= deadline {
+            return Err(SqlError::Timeout { ms });
+        }
+        Ok(())
     }
 
     /// Turn on per-node profiling (`EXPLAIN ANALYZE`, slow-query capture).
@@ -315,6 +357,7 @@ pub fn execute(plan: &PlanNode, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
     };
     ctx.stats.borrow_mut().rows_processed += rows.len() as u64;
     ctx.profile.charge_rows(rows.len());
+    ctx.tick(rows.len())?;
     if let (Some(profiles), Some(t)) = (ctx.profiles.as_ref(), profile_timer) {
         profiles.borrow_mut().record(
             plan as *const PlanNode as usize,
@@ -418,6 +461,9 @@ fn exec_join(
     if kind == JoinKind::Cross || (equi.is_empty() && kind == JoinKind::Inner) {
         let mut out = Vec::new();
         for l in &lrows {
+            // The cross product can dwarf its inputs; charge the budget per
+            // produced pair, not per operator output.
+            ctx.tick(rrows.len())?;
             for r in &rrows {
                 let mut row = l.clone();
                 row.extend(r.iter().cloned());
@@ -454,6 +500,7 @@ fn exec_join(
     let mut out = Vec::new();
     let mut right_matched = vec![false; rrows.len()];
     for l in &lrows {
+        ctx.tick(1)?;
         let key = join_key(&lexprs, l, ctx)?;
         let matches = key.as_ref().and_then(|k| table.get(k));
         let mut any = false;

@@ -44,7 +44,7 @@ pub mod trace;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use durable::{DurableBackend, MemoryBackend, StorageBackend};
-pub use engine::{Engine, EngineStats, ExecOutcome};
+pub use engine::{Engine, EngineStats, ExecOutcome, Health};
 pub use error::{Result, SqlError};
 pub use profile::EngineProfile;
 pub use storage::Relation;

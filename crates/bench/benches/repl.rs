@@ -1,0 +1,194 @@
+//! Replication-overhead benchmark: the gate for "streaming is free-ish".
+//!
+//! Runs the same single-row INSERT hot loop against two live deployments —
+//! a standalone durable server, and a leader with one connected follower —
+//! and fails (exits non-zero) when the leader's median write latency is
+//! more than [`MAX_OVERHEAD_PCT`] above the standalone's. The WAL feeder
+//! tails the log and ships frames off the commit path, so a connected
+//! follower should cost the writer close to nothing.
+//!
+//! Also measures steady-state catch-up (how long the follower needs to
+//! drain the backlog once writes stop) and a follower read sample, and
+//! writes everything to `BENCH_repl.json` at the workspace root.
+//!
+//! Samples for the two deployments are interleaved so clock drift, page
+//! cache, and background load hit both sides equally.
+
+use elephant_server::{start, ElephantClient, ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A connected follower may not slow leader writes by more than this.
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+const SAMPLES: usize = 61;
+const ITERS_PER_SAMPLE: u32 = 30;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("elephant-bench-repl-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One timed sample: `ITERS_PER_SAMPLE` acknowledged single-row inserts,
+/// ns/insert — each one a full WAL append + fsync + ack round trip.
+fn sample(c: &mut ElephantClient, next: &mut i64) -> u64 {
+    let started = Instant::now();
+    for _ in 0..ITERS_PER_SAMPLE {
+        c.query_raw(&format!("INSERT INTO bench VALUES ({next})"))
+            .expect("insert");
+        *next += 1;
+    }
+    started.elapsed().as_nanos() as u64 / u64::from(ITERS_PER_SAMPLE)
+}
+
+fn median(mut ns: Vec<u64>) -> u64 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn committed_lsn(leader: &mut ElephantClient) -> u64 {
+    ElephantClient::parse_watermark(&leader.lag().expect("LAG"), "committed_lsn")
+        .expect("committed_lsn")
+}
+
+fn applied_lsn(follower: &mut ElephantClient) -> u64 {
+    ElephantClient::parse_watermark(&follower.lag().expect("LAG"), "applied_lsn")
+        .expect("applied_lsn")
+}
+
+fn shutdown(mut c: ElephantClient, handle: ServerHandle) {
+    c.shutdown().expect("SHUTDOWN");
+    drop(c);
+    handle.join();
+}
+
+fn main() {
+    let solo_dir = tmp("standalone");
+    let lead_dir = tmp("leader");
+
+    let solo_handle = start(ServerConfig {
+        data_dir: Some(solo_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("start standalone");
+    let lead_handle = start(ServerConfig {
+        data_dir: Some(lead_dir.clone()),
+        repl_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    })
+    .expect("start leader");
+    let repl_addr = lead_handle.repl_addr().expect("repl addr").to_string();
+    let follower_handle = start(ServerConfig {
+        replicate_from: Some(repl_addr),
+        ..ServerConfig::default()
+    })
+    .expect("start follower");
+
+    let mut solo = ElephantClient::connect(solo_handle.local_addr()).expect("connect");
+    let mut lead = ElephantClient::connect(lead_handle.local_addr()).expect("connect");
+    let mut follower = ElephantClient::connect(follower_handle.local_addr()).expect("connect");
+
+    for c in [&mut solo, &mut lead] {
+        c.query_raw("CREATE TABLE bench (v int)").expect("create");
+    }
+
+    // Warm up both write paths (plan cache, WAL file, follower stream).
+    let (mut solo_next, mut lead_next) = (0i64, 0i64);
+    for _ in 0..20 {
+        sample(&mut solo, &mut solo_next);
+        sample(&mut lead, &mut lead_next);
+    }
+
+    // Paired comparison: each sample measures both deployments back to
+    // back and contributes one leader/standalone ratio. A scheduler or
+    // fsync hiccup that lands inside one half skews only that pair, and
+    // the median over pairs discards it — far more robust on a shared
+    // box than comparing two independently-taken medians.
+    let mut solo_ns = Vec::with_capacity(SAMPLES);
+    let mut lead_ns = Vec::with_capacity(SAMPLES);
+    let mut ratios = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let s = sample(&mut solo, &mut solo_next);
+        let l = sample(&mut lead, &mut lead_next);
+        solo_ns.push(s);
+        lead_ns.push(l);
+        ratios.push(l as f64 / s as f64);
+    }
+    let solo_med = median(solo_ns);
+    let lead_med = median(lead_ns);
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+
+    // Steady-state catch-up: writes just stopped; how stale is the replica?
+    let target = committed_lsn(&mut lead);
+    let catch_up_started = Instant::now();
+    while applied_lsn(&mut follower) < target {
+        assert!(
+            catch_up_started.elapsed() < Duration::from_secs(30),
+            "follower never caught up"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let catch_up_ns = catch_up_started.elapsed().as_nanos() as u64;
+
+    // Follower read sample: the replica serves the whole table.
+    let rows_written = lead_next;
+    let read_ns = median(
+        (0..SAMPLES)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..ITERS_PER_SAMPLE {
+                    let body = follower
+                        .query_raw("SELECT count(*) AS n FROM bench")
+                        .expect("follower read");
+                    assert_eq!(body, format!("n\n{rows_written}\n"));
+                }
+                started.elapsed().as_nanos() as u64 / u64::from(ITERS_PER_SAMPLE)
+            })
+            .collect(),
+    );
+
+    let stats = lead.stats().expect("STATS");
+    let bytes_shipped = ElephantClient::parse_watermark(&stats, "repl_bytes_shipped").unwrap_or(0);
+
+    println!("== repl_overhead ==");
+    println!("standalone write  : {solo_med} ns/insert");
+    println!("leader write      : {lead_med} ns/insert (1 follower connected)");
+    println!("overhead          : {overhead_pct:.2}% (limit {MAX_OVERHEAD_PCT}%)");
+    println!("catch-up after stop: {catch_up_ns} ns");
+    println!("follower read     : {read_ns} ns/query");
+    println!("bytes shipped     : {bytes_shipped}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"repl\",\n  \"samples\": {SAMPLES},\n  \
+         \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \"followers\": 1,\n  \
+         \"standalone_insert_ns\": {solo_med},\n  \"leader_insert_ns\": {lead_med},\n  \
+         \"leader_overhead_pct\": {overhead_pct:.3},\n  \
+         \"overhead_limit_pct\": {MAX_OVERHEAD_PCT},\n  \
+         \"catch_up_after_stop_ns\": {catch_up_ns},\n  \
+         \"follower_read_ns\": {read_ns},\n  \"rows_replicated\": {rows_written},\n  \
+         \"bytes_shipped\": {bytes_shipped}\n}}\n"
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let path = root.join("BENCH_repl.json");
+    std::fs::write(&path, json).expect("write BENCH_repl.json");
+    println!("wrote {}", path.display());
+
+    shutdown(follower, follower_handle);
+    shutdown(lead, lead_handle);
+    shutdown(solo, solo_handle);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&lead_dir);
+
+    if overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: replication overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% budget"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The follower side: connect, bootstrap, apply, ack — forever.
+//!
+//! The loop owns no engine. Every state change goes through an `apply`
+//! callback as a [`ReplOp`]; the serving layer routes ops onto whatever
+//! thread owns the engine (in `elephant-server`, the executor's job
+//! queue). The callback returning `Err` means the local state diverged
+//! from the leader's log — the loop responds by zeroing its applied LSN
+//! and reconnecting, which forces a full snapshot re-bootstrap: shipped
+//! state is always reconstructible, so self-healing beats limping.
+//!
+//! Every shipped byte is re-verified here: snapshot bytes run through the
+//! store's checksummed decoder, frames through [`elephant_store::decode_frame`]
+//! (length + CRC + payload decode). A corrupt message is *never* applied —
+//! the loop drops the connection and re-syncs from the leader instead.
+
+use crate::state::FollowerStatus;
+use crate::ReplOp;
+use elephant_store::decode_frame;
+use elephant_store::snapshot::decode_snapshot;
+use etypes::Prng;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::proto;
+
+/// How a follower reaches (and keeps reaching) its leader.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Leader replication address (`host:port`).
+    pub leader_addr: String,
+    /// Per-attempt TCP connect budget.
+    pub connect_timeout: Duration,
+    /// Seed for the reconnect backoff jitter (deterministic chaos runs).
+    pub backoff_seed: u64,
+}
+
+impl FollowerConfig {
+    /// Config with a 3 s connect timeout and a fixed default seed.
+    pub fn new(leader_addr: impl Into<String>) -> FollowerConfig {
+        FollowerConfig {
+            leader_addr: leader_addr.into(),
+            connect_timeout: Duration::from_secs(3),
+            backoff_seed: 0x5eed,
+        }
+    }
+}
+
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Ack batching: acks are observability (the leader's `min_acked_lsn`),
+/// not correctness (resume uses the hello LSN) — so they flush every
+/// [`ACK_EVERY_FRAMES`] applied frames or [`ACK_EVERY`], whichever comes
+/// first, instead of once per frame. Keeps the steady-state hot path to
+/// one ack write per batch rather than one per insert.
+const ACK_EVERY_FRAMES: u64 = 64;
+const ACK_EVERY: Duration = Duration::from_millis(50);
+/// Backoff after a failed connect/session: full jitter over an exponential
+/// base, capped — the retrying-client shape, scaled for a daemon loop.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+const BACKOFF_CAP: Duration = Duration::from_secs(1);
+/// Handshake patience: how long to wait for the leader's agreement magic.
+const AGREEMENT_BUDGET: Duration = Duration::from_secs(5);
+
+/// Connect like `TcpStream::connect`, but bound each address attempt by
+/// `timeout` (a dead host otherwise blocks for the OS default, minutes).
+pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last_err = None;
+    for sock in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sock, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("'{addr}' resolved to no addresses"),
+        )
+    }))
+}
+
+/// Run the follower loop on its own thread until `shutdown`. Progress is
+/// published into `status`; every state change goes through `apply`.
+pub fn spawn<F>(
+    config: FollowerConfig,
+    status: Arc<FollowerStatus>,
+    shutdown: Arc<AtomicBool>,
+    apply: F,
+) -> JoinHandle<()>
+where
+    F: FnMut(ReplOp) -> Result<(), String> + Send + 'static,
+{
+    thread::Builder::new()
+        .name("repl-follow".into())
+        .spawn(move || run(config, status, shutdown, apply))
+        .expect("spawn repl-follow thread")
+}
+
+fn run<F>(
+    config: FollowerConfig,
+    status: Arc<FollowerStatus>,
+    shutdown: Arc<AtomicBool>,
+    mut apply: F,
+) where
+    F: FnMut(ReplOp) -> Result<(), String>,
+{
+    let mut prng = Prng::new(config.backoff_seed);
+    let mut failures: u32 = 0;
+    let mut first_attempt = true;
+    while !shutdown.load(Ordering::Acquire) {
+        if !first_attempt {
+            status.reconnects.fetch_add(1, Ordering::Relaxed);
+            backoff(&mut prng, failures, &shutdown);
+        }
+        first_attempt = false;
+        match session(&config, &status, &shutdown, &mut apply) {
+            SessionEnd::Shutdown => break,
+            SessionEnd::CleanStretch => failures = 0,
+            SessionEnd::Failed => failures = failures.saturating_add(1),
+        }
+    }
+    status.connected.store(false, Ordering::Release);
+}
+
+enum SessionEnd {
+    /// The shutdown flag was observed.
+    Shutdown,
+    /// The session made progress before dropping: reset the backoff.
+    CleanStretch,
+    /// Connect or handshake failed outright: back off harder.
+    Failed,
+}
+
+fn session<F>(
+    config: &FollowerConfig,
+    status: &FollowerStatus,
+    shutdown: &AtomicBool,
+    apply: &mut F,
+) -> SessionEnd
+where
+    F: FnMut(ReplOp) -> Result<(), String>,
+{
+    let mut stream = match connect_with_timeout(&config.leader_addr, config.connect_timeout) {
+        Ok(s) => s,
+        Err(e) => {
+            status.set_error(format!("connect {}: {e}", config.leader_addr));
+            return SessionEnd::Failed;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    let mut applied = status.applied_lsn.load(Ordering::Acquire);
+    if proto::write_hello(&mut stream, applied).is_err() {
+        return SessionEnd::Failed;
+    }
+    let deadline = Instant::now() + AGREEMENT_BUDGET;
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return SessionEnd::Shutdown;
+        }
+        match proto::read_agreement(&mut stream) {
+            Ok(true) => break,
+            Ok(false) if Instant::now() < deadline => continue,
+            Ok(false) => {
+                status.set_error("leader handshake timed out");
+                return SessionEnd::Failed;
+            }
+            Err(e) => {
+                status.set_error(format!("leader handshake: {e}"));
+                return SessionEnd::Failed;
+            }
+        }
+    }
+    status.connected.store(true, Ordering::Release);
+    let mut progressed = false;
+    let mut acked = applied;
+    let mut last_ack = Instant::now();
+
+    let end = loop {
+        if shutdown.load(Ordering::Acquire) {
+            break SessionEnd::Shutdown;
+        }
+        // Flush a pending batched ack on every idle beat and whenever the
+        // batch thresholds trip (checked again after each apply below).
+        if acked < applied
+            && (applied - acked >= ACK_EVERY_FRAMES || last_ack.elapsed() >= ACK_EVERY)
+        {
+            if proto::write_ack(&mut stream, applied).is_err() {
+                break end_of_stream(progressed);
+            }
+            acked = applied;
+            last_ack = Instant::now();
+        }
+        let message = match proto::read_message(&mut stream) {
+            Ok(Some(m)) => m,
+            Ok(None) => continue,
+            Err(e) => {
+                status.set_error(format!("leader stream: {e}"));
+                break end_of_stream(progressed);
+            }
+        };
+        match message {
+            proto::Message::Snapshot { lsn: _, bytes } => {
+                // Authoritative LSN comes from the checksummed bytes, not
+                // the envelope.
+                let (snap_lsn, tables) = match decode_snapshot(&bytes) {
+                    Ok(decoded) => decoded,
+                    Err(e) => {
+                        status.set_error(format!("corrupt snapshot rejected: {e}"));
+                        break end_of_stream(progressed);
+                    }
+                };
+                if let Err(e) = apply(ReplOp::Reset {
+                    snapshot_lsn: snap_lsn,
+                    tables,
+                }) {
+                    status.set_error(format!("snapshot apply: {e}"));
+                    break end_of_stream(progressed);
+                }
+                applied = snap_lsn;
+                status.applied_lsn.store(applied, Ordering::Release);
+                status.leader_lsn.fetch_max(applied, Ordering::AcqRel);
+                status
+                    .bytes_received
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                status.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
+                progressed = true;
+                // A finished bootstrap is worth announcing immediately.
+                if proto::write_ack(&mut stream, applied).is_err() {
+                    break end_of_stream(progressed);
+                }
+                acked = applied;
+                last_ack = Instant::now();
+            }
+            proto::Message::Frame { bytes } => {
+                let (lsn, record) = match decode_frame(&bytes) {
+                    Ok(decoded) => decoded,
+                    Err(e) => {
+                        status.set_error(format!("corrupt frame rejected: {e}"));
+                        break end_of_stream(progressed);
+                    }
+                };
+                if lsn <= applied {
+                    // Duplicate after a reconnect race: refresh the ack.
+                    if proto::write_ack(&mut stream, applied).is_ok() {
+                        acked = applied;
+                        last_ack = Instant::now();
+                    }
+                    continue;
+                }
+                if lsn != applied + 1 {
+                    status.set_error(format!(
+                        "feed hole: expected lsn {}, got {lsn}",
+                        applied + 1
+                    ));
+                    break end_of_stream(progressed);
+                }
+                if let Err(e) = apply(ReplOp::Apply {
+                    frames: vec![(lsn, record)],
+                }) {
+                    // Local state diverged from the leader's log: zero the
+                    // applied LSN so the reconnect forces a snapshot
+                    // re-bootstrap instead of limping on bad state.
+                    status.set_error(format!("frame apply (lsn {lsn}): {e}"));
+                    status.applied_lsn.store(0, Ordering::Release);
+                    break end_of_stream(progressed);
+                }
+                applied = lsn;
+                status.applied_lsn.store(applied, Ordering::Release);
+                status.leader_lsn.fetch_max(applied, Ordering::AcqRel);
+                status
+                    .bytes_received
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                progressed = true;
+                // Ack rides the batch flush at the top of the loop.
+            }
+            proto::Message::Heartbeat { committed_lsn } => {
+                status.leader_lsn.fetch_max(committed_lsn, Ordering::AcqRel);
+            }
+        }
+    };
+    status.connected.store(false, Ordering::Release);
+    end
+}
+
+fn end_of_stream(progressed: bool) -> SessionEnd {
+    if progressed {
+        SessionEnd::CleanStretch
+    } else {
+        SessionEnd::Failed
+    }
+}
+
+/// Seeded full-jitter exponential backoff, shutdown-aware.
+fn backoff(prng: &mut Prng, failures: u32, shutdown: &AtomicBool) {
+    let exp = BACKOFF_BASE
+        .as_millis()
+        .saturating_mul(1u128 << failures.min(8)) as u64;
+    let cap = exp.min(BACKOFF_CAP.as_millis() as u64).max(1);
+    let jittered = (prng.unit() * cap as f64) as u64;
+    let mut remaining = Duration::from_millis(jittered.max(BACKOFF_BASE.as_millis() as u64 / 2));
+    let beat = Duration::from_millis(20);
+    while remaining > Duration::ZERO && !shutdown.load(Ordering::Acquire) {
+        let step = remaining.min(beat);
+        thread::sleep(step);
+        remaining -= step;
+    }
+}

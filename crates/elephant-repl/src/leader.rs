@@ -1,0 +1,288 @@
+//! The leader side: accept followers, bootstrap them, stream the WAL.
+//!
+//! The feeder never touches the engine — it works entirely off a
+//! [`WalHandle`] (paths + the committed-LSN watermark), reading the
+//! snapshot file and tailing the WAL file directly. That makes replication
+//! a pure sidecar: the engine thread pays nothing beyond the atomic store
+//! its WAL writer already does per append.
+//!
+//! ## Feeding protocol
+//!
+//! For each follower, after the hello exchange:
+//!
+//! 1. **Bootstrap**: if the on-disk snapshot covers LSNs past the
+//!    follower's last applied LSN, ship the whole snapshot file — the
+//!    frames between the follower's LSN and the snapshot LSN may already
+//!    have been truncated away by a checkpoint, and the snapshot subsumes
+//!    them anyway.
+//! 2. **Steady state**: tail the WAL, shipping frames in exact LSN order
+//!    (`lsn == follower_lsn + 1`, no holes). Only frames at or below the
+//!    writer's committed watermark are ever read, so a frame rolled back by
+//!    a failed fsync cannot reach a follower.
+//! 3. **Truncation**: when the checkpoint truncation counter moves (or the
+//!    file visibly shrinks), the tail offset is stale — reset it and
+//!    re-decide from step 1.
+//!
+//! A continuity gap that the snapshot cannot cover never happens under
+//! this ordering (checkpoints persist the snapshot *before* truncating),
+//! but the feeder still treats it as "retry from step 1" rather than
+//! trusting the invariant.
+
+use crate::proto;
+use crate::state::{FollowerEntry, LeaderRegistry};
+use elephant_store::{TailPoll, WalHandle};
+use std::fs::File;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often the feeder polls the WAL while idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+/// Heartbeat cadence while no frames are flowing.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+/// Socket timeouts: reads poll (shutdown-aware), writes bound a stalled peer.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running replication listener.
+pub struct LeaderHandle {
+    registry: Arc<LeaderRegistry>,
+    local_addr: std::net::SocketAddr,
+    join: JoinHandle<()>,
+}
+
+impl LeaderHandle {
+    /// Per-follower progress counters.
+    pub fn registry(&self) -> Arc<LeaderRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The replication listener's bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Wait for the accept loop to exit (after the shutdown flag is set).
+    /// Feeder threads exit on their own within a socket-timeout beat.
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Start the replication listener on `listener`, feeding every follower
+/// that connects from the store behind `handle`. The accept loop and every
+/// feeder observe `shutdown`.
+pub fn spawn(
+    listener: TcpListener,
+    handle: WalHandle,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<LeaderHandle> {
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let registry = Arc::new(LeaderRegistry::default());
+    let accept_registry = Arc::clone(&registry);
+    let join = thread::Builder::new()
+        .name("repl-accept".into())
+        .spawn(move || {
+            while !shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let entry = accept_registry.register(peer.to_string());
+                        let handle = handle.clone();
+                        let shutdown = Arc::clone(&shutdown);
+                        let name = format!("repl-feed-{peer}");
+                        let _ = thread::Builder::new().name(name).spawn(move || {
+                            feed_follower(stream, handle, entry, shutdown);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(25)),
+                }
+            }
+        })?;
+    Ok(LeaderHandle {
+        registry,
+        local_addr,
+        join,
+    })
+}
+
+/// Read just the header of a snapshot file: its covered LSN.
+fn peek_snapshot_lsn(path: &Path) -> Option<u64> {
+    let mut f = File::open(path).ok()?;
+    let mut head = [0u8; 16];
+    f.read_exact(&mut head).ok()?;
+    if &head[..8] != elephant_store::snapshot::SNAPSHOT_MAGIC {
+        return None;
+    }
+    Some(u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")))
+}
+
+/// One follower's feeder: handshake, bootstrap, stream, until the
+/// connection drops or shutdown.
+fn feed_follower(
+    mut stream: TcpStream,
+    handle: WalHandle,
+    entry: Arc<FollowerEntry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    // Hello: the follower leads with its last applied LSN.
+    let mut follower_lsn = loop {
+        if shutdown.load(Ordering::Acquire) {
+            entry.connected.store(false, Ordering::Release);
+            return;
+        }
+        match proto::read_hello(&mut stream) {
+            Ok(Some(lsn)) => break lsn,
+            Ok(None) => continue,
+            Err(_) => {
+                entry.connected.store(false, Ordering::Release);
+                return;
+            }
+        }
+    };
+    if proto::write_agreement(&mut stream).is_err() {
+        entry.connected.store(false, Ordering::Release);
+        return;
+    }
+
+    // Acks arrive asynchronously on the same socket: drain them on a
+    // sidecar thread so a slow follower never stalls the feed.
+    if let Ok(ack_stream) = stream.try_clone() {
+        let ack_entry = Arc::clone(&entry);
+        let ack_shutdown = Arc::clone(&shutdown);
+        let _ = thread::Builder::new()
+            .name("repl-acks".into())
+            .spawn(move || drain_acks(ack_stream, ack_entry, ack_shutdown));
+    }
+
+    let mut tailer = handle.tailer();
+    let mut seen_truncations = handle.truncations();
+    let mut last_heartbeat = Instant::now();
+    // A snapshot only becomes relevant at session start, after a checkpoint
+    // truncation, or when the tail shows a hole — peeking it every loop
+    // iteration would put a file open on the steady-state ship path.
+    let mut check_snapshot = true;
+
+    while !shutdown.load(Ordering::Acquire) {
+        // A checkpoint truncation makes the tail offset stale even if the
+        // file has already regrown past it.
+        let truncations = handle.truncations();
+        if truncations != seen_truncations {
+            seen_truncations = truncations;
+            tailer.reset();
+            check_snapshot = true;
+        }
+
+        // Bootstrap (or re-bootstrap) from the snapshot whenever it covers
+        // LSNs the follower is missing.
+        if check_snapshot {
+            if peek_snapshot_lsn(handle.snapshot_path()).is_some_and(|lsn| lsn > follower_lsn) {
+                let Ok(bytes) = std::fs::read(handle.snapshot_path()) else {
+                    thread::sleep(POLL_INTERVAL);
+                    continue; // retry with check_snapshot still set
+                };
+                // Re-extract the LSN from the bytes actually read: the file
+                // may have been atomically replaced since the peek.
+                let Some(snap_lsn) = (bytes.len() >= 16)
+                    .then(|| u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")))
+                else {
+                    thread::sleep(POLL_INTERVAL);
+                    continue; // retry with check_snapshot still set
+                };
+                if snap_lsn > follower_lsn {
+                    if proto::write_snapshot(&mut stream, snap_lsn, &bytes).is_err() {
+                        break;
+                    }
+                    entry
+                        .bytes_shipped
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    entry.snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                    follower_lsn = snap_lsn;
+                    last_heartbeat = Instant::now();
+                }
+            }
+            check_snapshot = false;
+        }
+
+        let mut shipped = false;
+        match tailer.poll(handle.committed_lsn()) {
+            Ok(TailPoll::Truncated) => {
+                check_snapshot = true;
+                continue;
+            }
+            Ok(TailPoll::Frames(frames)) => {
+                let mut gap = false;
+                for frame in frames {
+                    if frame.lsn <= follower_lsn {
+                        continue; // already covered (snapshot or earlier ship)
+                    }
+                    if frame.lsn != follower_lsn + 1 {
+                        // Hole in the feed: the missing frames can only live
+                        // in a snapshot. Re-decide from the top.
+                        gap = true;
+                        tailer.reset();
+                        check_snapshot = true;
+                        break;
+                    }
+                    if proto::write_frame(&mut stream, &frame.bytes).is_err() {
+                        entry.connected.store(false, Ordering::Release);
+                        return;
+                    }
+                    entry
+                        .bytes_shipped
+                        .fetch_add(frame.bytes.len() as u64, Ordering::Relaxed);
+                    follower_lsn = frame.lsn;
+                    shipped = true;
+                    last_heartbeat = Instant::now();
+                }
+                if gap {
+                    thread::sleep(POLL_INTERVAL);
+                    continue;
+                }
+            }
+            Err(_) => {
+                // Transient read error (file mid-swap): retry after a beat.
+                thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        }
+
+        if !shipped {
+            if last_heartbeat.elapsed() >= HEARTBEAT_EVERY {
+                if proto::write_heartbeat(&mut stream, handle.committed_lsn()).is_err() {
+                    break;
+                }
+                last_heartbeat = Instant::now();
+            }
+            thread::sleep(POLL_INTERVAL);
+        }
+    }
+    entry.connected.store(false, Ordering::Release);
+}
+
+/// Sidecar loop: fold follower acks into the registry entry.
+fn drain_acks(mut stream: TcpStream, entry: Arc<FollowerEntry>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::Acquire) && entry.connected.load(Ordering::Acquire) {
+        match proto::read_ack(&mut stream) {
+            Ok(Some(lsn)) => {
+                entry.acked_lsn.fetch_max(lsn, Ordering::AcqRel);
+            }
+            Ok(None) => {}
+            Err(_) => {
+                entry.connected.store(false, Ordering::Release);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! WAL-shipping replication for the Blue Elephants engine.
+//!
+//! The paper's inspection workloads (`INSPECT`, histogram reports, the
+//! repeated SELECTs a pipeline audit fans out) are read-dominated — the
+//! exact shape PostgreSQL deployments scale with streaming replicas. This
+//! crate gives the reproduction that topology: one **leader** owns the
+//! durable store and every write; N **followers** bootstrap from the
+//! leader's columnar snapshot, then apply committed WAL frames in strict
+//! LSN order into read-only engines, serving byte-identical query and
+//! inspection results.
+//!
+//! The crate is deliberately engine-agnostic (like `elephant-store`
+//! itself): the leader side works entirely off an
+//! [`elephant_store::WalHandle`] — snapshot + WAL paths plus the writer's
+//! committed-LSN watermark — and the follower side hands every state
+//! change to an `apply` callback as a [`ReplOp`]. `elephant-server` wires
+//! those to its executor thread; tests wire them to plain closures.
+//!
+//! ## Safety invariants
+//!
+//! * **Only committed frames ship.** The feeder never reads past the WAL
+//!   writer's watermark, which advances only after an append fully
+//!   succeeded — a frame rolled back by a failed fsync is invisible.
+//! * **No holes.** LSNs are assigned sequentially, so the feeder and the
+//!   follower both enforce `lsn == applied + 1`; anything else forces a
+//!   snapshot re-bootstrap (checkpoints truncate the WAL, so history can
+//!   legitimately vanish — the snapshot subsumes it).
+//! * **End-to-end checksums.** Snapshots and frames ship verbatim in their
+//!   on-disk formats and the follower re-verifies every CRC before
+//!   applying; corruption is rejected and re-synced, never applied.
+//! * **Self-healing.** Any divergence (apply error, desync, corrupt
+//!   message) drops the connection and re-bootstraps; a follower restart
+//!   re-handshakes with its last applied LSN and catches up from there.
+//!
+//! See `docs/REPLICATION.md` for the full topology and staleness
+//! guarantees.
+
+pub mod follower;
+pub mod leader;
+pub mod proto;
+pub mod state;
+
+pub use follower::{connect_with_timeout, FollowerConfig};
+pub use leader::LeaderHandle;
+pub use state::{FollowerStatus, FollowerView, LeaderRegistry};
+
+use elephant_store::{TableImage, WalRecord};
+
+/// One state change the follower loop asks its host to apply. Both
+/// variants carry only `Send` data, so the host can move them onto
+/// whatever thread owns the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplOp {
+    /// Replace all local state with a snapshot (bootstrap / re-sync).
+    Reset {
+        /// The last LSN the snapshot covers; apply resumes after it.
+        snapshot_lsn: u64,
+        /// Every base table, rows in ctid order.
+        tables: Vec<TableImage>,
+    },
+    /// Apply decoded WAL records in order.
+    Apply {
+        /// `(lsn, record)` pairs, contiguous and ascending.
+        frames: Vec<(u64, WalRecord)>,
+    },
+}

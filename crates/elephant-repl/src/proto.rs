@@ -1,0 +1,294 @@
+//! The `ELREPL01` wire protocol.
+//!
+//! A follower connects to the leader's replication listener and the two
+//! sides exchange fixed little-endian binary messages:
+//!
+//! ```text
+//! follower → leader   hello     := magic "ELREPL01"  last_lsn:u64
+//! leader   → follower agreement := magic "ELREPL01"
+//! leader   → follower 'S' snapshot_lsn:u64 nbytes:u64 bytes   (bootstrap)
+//! leader   → follower 'F' len:u32 frame[len]                  (one WAL frame)
+//! leader   → follower 'H' committed_lsn:u64                   (heartbeat)
+//! follower → leader   'A' acked_lsn:u64                       (applied ack)
+//! ```
+//!
+//! Snapshot bytes are the leader's snapshot file verbatim (`ELSNP001`
+//! format, per-table CRCs included); frame bytes are one on-disk WAL frame
+//! verbatim (`len crc payload`). The follower re-verifies both checksums
+//! before applying anything, so corruption anywhere along the path —
+//! leader disk, socket, follower memory — is detected end to end, never
+//! applied.
+//!
+//! Reads are timeout-aware: both loops poll with a socket read timeout so
+//! shutdown flags are honored. A timeout on a message *boundary* (the tag
+//! byte, or the hello magic) is reported as "no message yet"; a timeout
+//! mid-message means the peer stalled and is treated as a broken
+//! connection.
+
+use std::io::{self, Read, Write};
+
+/// Protocol magic, exchanged both ways during the handshake.
+pub const REPL_MAGIC: &[u8; 8] = b"ELREPL01";
+
+/// Sanity cap on a shipped snapshot (16 GiB): larger is a corrupt header.
+pub const MAX_SNAPSHOT_BYTES: u64 = 16 << 30;
+
+/// Sanity cap on one shipped frame: the WAL's own record cap plus header.
+pub const MAX_FRAME_BYTES: u32 = (elephant_store::wal::MAX_RECORD as u32) + 16;
+
+/// One leader → follower message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Full snapshot bootstrap: replace everything, then resume after `lsn`.
+    Snapshot {
+        /// The last LSN the snapshot covers.
+        lsn: u64,
+        /// The snapshot file, verbatim.
+        bytes: Vec<u8>,
+    },
+    /// One committed WAL frame, verbatim.
+    Frame {
+        /// `len crc payload` bytes as written by the leader's WAL.
+        bytes: Vec<u8>,
+    },
+    /// The leader's committed-LSN watermark (also keeps the stream live).
+    Heartbeat {
+        /// Highest LSN the leader has acknowledged.
+        committed_lsn: u64,
+    },
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// True for the error kinds a socket read timeout produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Follower side: open the conversation.
+pub fn write_hello(w: &mut impl Write, last_lsn: u64) -> io::Result<()> {
+    w.write_all(REPL_MAGIC)?;
+    put_u64(w, last_lsn)?;
+    w.flush()
+}
+
+/// Leader side: read the follower's hello. `Ok(None)` when the socket
+/// timed out before the first byte arrived.
+pub fn read_hello(r: &mut impl Read) -> io::Result<Option<u64>> {
+    let mut magic = [0u8; 8];
+    match r.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if &magic != REPL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a replication client (bad magic)",
+        ));
+    }
+    Ok(Some(get_u64(r)?))
+}
+
+/// Leader side: accept the handshake.
+pub fn write_agreement(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(REPL_MAGIC)?;
+    w.flush()
+}
+
+/// Follower side: read the leader's agreement magic. `Ok(false)` on a
+/// boundary timeout (no bytes yet).
+pub fn read_agreement(r: &mut impl Read) -> io::Result<bool> {
+    let mut magic = [0u8; 8];
+    match r.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return Ok(false),
+        Err(e) => return Err(e),
+    }
+    if &magic != REPL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a replication leader (bad magic)",
+        ));
+    }
+    Ok(true)
+}
+
+/// Ship a snapshot.
+pub fn write_snapshot(w: &mut impl Write, lsn: u64, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(b"S")?;
+    put_u64(w, lsn)?;
+    put_u64(w, bytes.len() as u64)?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Ship one WAL frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(b"F")?;
+    put_u32(w, frame.len() as u32)?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Ship a heartbeat.
+pub fn write_heartbeat(w: &mut impl Write, committed_lsn: u64) -> io::Result<()> {
+    w.write_all(b"H")?;
+    put_u64(w, committed_lsn)?;
+    w.flush()
+}
+
+/// Acknowledge everything up to `lsn` as applied.
+pub fn write_ack(w: &mut impl Write, lsn: u64) -> io::Result<()> {
+    w.write_all(b"A")?;
+    put_u64(w, lsn)?;
+    w.flush()
+}
+
+/// Follower side: read the next leader message. `Ok(None)` when the socket
+/// timed out on the message boundary; mid-message timeouts are errors (the
+/// stream is desynchronized, reconnect).
+pub fn read_message(r: &mut impl Read) -> io::Result<Option<Message>> {
+    let mut tag = [0u8; 1];
+    match r.read_exact(&mut tag) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    match tag[0] {
+        b'S' => {
+            let lsn = get_u64(r)?;
+            let nbytes = get_u64(r)?;
+            if nbytes > MAX_SNAPSHOT_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("snapshot message declares {nbytes} bytes"),
+                ));
+            }
+            let mut bytes = vec![0u8; nbytes as usize];
+            r.read_exact(&mut bytes)?;
+            Ok(Some(Message::Snapshot { lsn, bytes }))
+        }
+        b'F' => {
+            let len = get_u32(r)?;
+            if len > MAX_FRAME_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame message declares {len} bytes"),
+                ));
+            }
+            let mut bytes = vec![0u8; len as usize];
+            r.read_exact(&mut bytes)?;
+            Ok(Some(Message::Frame { bytes }))
+        }
+        b'H' => Ok(Some(Message::Heartbeat {
+            committed_lsn: get_u64(r)?,
+        })),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown replication message tag {other:#04x}"),
+        )),
+    }
+}
+
+/// Leader side: read the next follower ack. `Ok(None)` on a boundary
+/// timeout.
+pub fn read_ack(r: &mut impl Read) -> io::Result<Option<u64>> {
+    let mut tag = [0u8; 1];
+    match r.read_exact(&mut tag) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if tag[0] != b'A' {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown ack tag {:#04x}", tag[0]),
+        ));
+    }
+    Ok(Some(get_u64(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn messages_round_trip() {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 7, b"snapbytes").unwrap();
+        write_frame(&mut buf, b"framebytes").unwrap();
+        write_heartbeat(&mut buf, 42).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_message(&mut r).unwrap().unwrap(),
+            Message::Snapshot {
+                lsn: 7,
+                bytes: b"snapbytes".to_vec()
+            }
+        );
+        assert_eq!(
+            read_message(&mut r).unwrap().unwrap(),
+            Message::Frame {
+                bytes: b"framebytes".to_vec()
+            }
+        );
+        assert_eq!(
+            read_message(&mut r).unwrap().unwrap(),
+            Message::Heartbeat { committed_lsn: 42 }
+        );
+    }
+
+    #[test]
+    fn hello_and_ack_round_trip() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 11).unwrap();
+        assert_eq!(read_hello(&mut Cursor::new(buf)).unwrap(), Some(11));
+        let mut buf = Vec::new();
+        write_ack(&mut buf, 13).unwrap();
+        assert_eq!(read_ack(&mut Cursor::new(buf)).unwrap(), Some(13));
+    }
+
+    #[test]
+    fn bad_magic_and_tags_are_errors() {
+        assert!(read_hello(&mut Cursor::new(b"NOTMAGIC\0\0\0\0\0\0\0\0".to_vec())).is_err());
+        assert!(read_agreement(&mut Cursor::new(b"NOTMAGIC".to_vec())).is_err());
+        assert!(read_message(&mut Cursor::new(b"Zjunk".to_vec())).is_err());
+        assert!(read_ack(&mut Cursor::new(b"Zjunk".to_vec())).is_err());
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected() {
+        let mut buf = Vec::new();
+        buf.push(b'F');
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_message(&mut Cursor::new(buf)).is_err());
+        let mut buf = Vec::new();
+        buf.push(b'S');
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_message(&mut Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared replication state, readable from any thread.
+//!
+//! Both sides publish progress through plain atomics so the serving layer
+//! (`STATS`, `REPLICA`, `LAG`) can render replication health without
+//! touching the engine thread or the replication sockets.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One follower as the leader sees it.
+#[derive(Debug, Default)]
+pub struct FollowerEntry {
+    /// Peer address (`ip:port` of the replication connection).
+    pub peer: String,
+    /// Highest LSN the follower acknowledged as applied.
+    pub acked_lsn: AtomicU64,
+    /// Frame + snapshot bytes shipped over this connection.
+    pub bytes_shipped: AtomicU64,
+    /// Snapshot bootstraps shipped (reconnects after a checkpoint, first
+    /// contact, or continuity gaps).
+    pub snapshots_sent: AtomicU64,
+    /// False once the feeder lost the connection.
+    pub connected: AtomicBool,
+}
+
+/// A point-in-time copy of one [`FollowerEntry`], for rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FollowerView {
+    /// Peer address.
+    pub peer: String,
+    /// Highest acknowledged LSN.
+    pub acked_lsn: u64,
+    /// Bytes shipped.
+    pub bytes_shipped: u64,
+    /// Snapshot bootstraps shipped.
+    pub snapshots_sent: u64,
+    /// Whether the feeder connection is live.
+    pub connected: bool,
+}
+
+/// Every follower the leader has ever fed (live and disconnected).
+#[derive(Debug, Default)]
+pub struct LeaderRegistry {
+    followers: Mutex<Vec<Arc<FollowerEntry>>>,
+}
+
+impl LeaderRegistry {
+    /// Register a new follower connection.
+    pub fn register(&self, peer: impl Into<String>) -> Arc<FollowerEntry> {
+        let entry = Arc::new(FollowerEntry {
+            peer: peer.into(),
+            connected: AtomicBool::new(true),
+            ..FollowerEntry::default()
+        });
+        self.followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&entry));
+        entry
+    }
+
+    /// Copy out every follower's current counters.
+    pub fn views(&self) -> Vec<FollowerView> {
+        self.followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|f| FollowerView {
+                peer: f.peer.clone(),
+                acked_lsn: f.acked_lsn.load(Ordering::Acquire),
+                bytes_shipped: f.bytes_shipped.load(Ordering::Relaxed),
+                snapshots_sent: f.snapshots_sent.load(Ordering::Relaxed),
+                connected: f.connected.load(Ordering::Acquire),
+            })
+            .collect()
+    }
+
+    /// Connected follower count.
+    pub fn connected(&self) -> usize {
+        self.views().iter().filter(|v| v.connected).count()
+    }
+
+    /// The lowest acknowledged LSN across connected followers (`None` when
+    /// no follower is connected) — the replication watermark an operator
+    /// would alert on.
+    pub fn min_acked_lsn(&self) -> Option<u64> {
+        self.views()
+            .iter()
+            .filter(|v| v.connected)
+            .map(|v| v.acked_lsn)
+            .min()
+    }
+}
+
+/// The follower's own progress, published for `LAG`/`STATS`.
+#[derive(Debug, Default)]
+pub struct FollowerStatus {
+    /// Highest LSN applied into the local engine.
+    pub applied_lsn: AtomicU64,
+    /// The leader's committed LSN as of the last heartbeat/frame.
+    pub leader_lsn: AtomicU64,
+    /// Frame + snapshot bytes received.
+    pub bytes_received: AtomicU64,
+    /// Snapshot bootstraps applied.
+    pub snapshots_loaded: AtomicU64,
+    /// Connection attempts after the first.
+    pub reconnects: AtomicU64,
+    /// Whether the stream to the leader is currently live.
+    pub connected: AtomicBool,
+    /// The most recent connection/apply error, for diagnostics.
+    pub last_error: Mutex<Option<String>>,
+}
+
+impl FollowerStatus {
+    /// Apply lag in LSNs (leader committed minus locally applied). Zero
+    /// while fully caught up; also zero before the first heartbeat.
+    pub fn lag_lsns(&self) -> u64 {
+        self.leader_lsn
+            .load(Ordering::Acquire)
+            .saturating_sub(self.applied_lsn.load(Ordering::Acquire))
+    }
+
+    /// Record an error for diagnostics.
+    pub fn set_error(&self, e: impl Into<String>) {
+        *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = Some(e.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tracks_views_and_min_ack() {
+        let reg = LeaderRegistry::default();
+        assert_eq!(reg.min_acked_lsn(), None);
+        let a = reg.register("1.2.3.4:5");
+        let b = reg.register("5.6.7.8:9");
+        a.acked_lsn.store(10, Ordering::Release);
+        b.acked_lsn.store(7, Ordering::Release);
+        assert_eq!(reg.connected(), 2);
+        assert_eq!(reg.min_acked_lsn(), Some(7));
+        b.connected.store(false, Ordering::Release);
+        assert_eq!(reg.connected(), 1);
+        assert_eq!(reg.min_acked_lsn(), Some(10));
+        let views = reg.views();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].peer, "1.2.3.4:5");
+    }
+
+    #[test]
+    fn follower_lag_saturates() {
+        let s = FollowerStatus::default();
+        s.leader_lsn.store(12, Ordering::Release);
+        s.applied_lsn.store(9, Ordering::Release);
+        assert_eq!(s.lag_lsns(), 3);
+        s.applied_lsn.store(20, Ordering::Release);
+        assert_eq!(s.lag_lsns(), 0, "never negative");
+    }
+}

@@ -1,0 +1,300 @@
+//! Leader ↔ follower loopback over real sockets and a real store.
+
+use elephant_repl::{follower, leader, FollowerConfig, FollowerStatus, ReplOp};
+use elephant_store::{FsyncPolicy, Store, StoreConfig, TableImage, WalRecord};
+use etypes::{DataType, Value};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elrepl-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ok() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn create_t() -> WalRecord {
+    WalRecord::CreateTable {
+        name: "t".into(),
+        columns: vec!["id".into(), "v".into()],
+        types: vec![DataType::Serial, DataType::Text],
+    }
+}
+
+fn insert(i: i64) -> WalRecord {
+    WalRecord::Insert {
+        table: "t".into(),
+        rows: vec![vec![Value::Int(i), Value::text(format!("row-{i}"))]],
+    }
+}
+
+/// The journal a test follower keeps: every op the loop asked it to apply.
+#[derive(Default)]
+struct Journal {
+    resets: Vec<(u64, usize)>, // (snapshot_lsn, table count)
+    applied: Vec<u64>,         // frame lsns in apply order
+}
+
+fn spawn_follower(
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+) -> (Arc<FollowerStatus>, Arc<Mutex<Journal>>) {
+    let status = Arc::new(FollowerStatus::default());
+    let journal = Arc::new(Mutex::new(Journal::default()));
+    let j = Arc::clone(&journal);
+    follower::spawn(
+        FollowerConfig::new(addr),
+        Arc::clone(&status),
+        shutdown,
+        move |op| {
+            let mut j = j.lock().unwrap();
+            match op {
+                ReplOp::Reset {
+                    snapshot_lsn,
+                    tables,
+                } => j.resets.push((snapshot_lsn, tables.len())),
+                ReplOp::Apply { frames } => j.applied.extend(frames.iter().map(|(l, _)| *l)),
+            }
+            Ok(())
+        },
+    );
+    (status, journal)
+}
+
+#[test]
+fn streams_committed_frames_in_order_and_acks_flow_back() {
+    let dir = tmp_dir("stream");
+    let (mut store, _, _) =
+        Store::open(StoreConfig::new(&dir).with_fsync(FsyncPolicy::Off)).unwrap();
+    store.log(&create_t()).unwrap();
+    store.log(&insert(1)).unwrap();
+    store.log(&insert(2)).unwrap();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let lead = leader::spawn(listener, store.wal_handle(), Arc::clone(&shutdown)).unwrap();
+    let (status, journal) = spawn_follower(addr, Arc::clone(&shutdown));
+
+    // Pre-connection history arrives first...
+    wait_until("initial catch-up", || {
+        status.applied_lsn.load(Ordering::Acquire) == 3
+    });
+    // ...then live appends stream through.
+    store.log(&insert(3)).unwrap();
+    store.log(&insert(4)).unwrap();
+    wait_until("live frames", || {
+        status.applied_lsn.load(Ordering::Acquire) == 5
+    });
+    wait_until("acks reach the leader", || {
+        lead.registry().min_acked_lsn() == Some(5)
+    });
+
+    let j = journal.lock().unwrap();
+    assert_eq!(j.applied, vec![1, 2, 3, 4, 5], "strict LSN order, no holes");
+    assert!(j.resets.is_empty(), "no snapshot existed, none shipped");
+    drop(j);
+
+    let views = lead.registry().views();
+    assert_eq!(views.len(), 1);
+    assert!(views[0].connected);
+    assert!(views[0].bytes_shipped > 0);
+    assert_eq!(status.lag_lsns(), 0);
+
+    shutdown.store(true, Ordering::Release);
+    lead.join();
+}
+
+#[test]
+fn checkpoint_forces_snapshot_bootstrap() {
+    let dir = tmp_dir("snapboot");
+    let (mut store, _, _) =
+        Store::open(StoreConfig::new(&dir).with_fsync(FsyncPolicy::Off)).unwrap();
+    store.log(&create_t()).unwrap();
+    store.log(&insert(1)).unwrap();
+    // Fold everything into a snapshot; the WAL history is gone.
+    let image = TableImage {
+        name: "t".into(),
+        columns: vec!["id".into(), "v".into()],
+        types: vec![DataType::Serial, DataType::Text],
+        serial_next: vec![(0, 2)],
+        rows: vec![vec![Value::Int(1), Value::text("row-1")]],
+    };
+    store.checkpoint(&[&image]).unwrap();
+    store.log(&insert(2)).unwrap();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let lead = leader::spawn(listener, store.wal_handle(), Arc::clone(&shutdown)).unwrap();
+    let (status, journal) = spawn_follower(addr, Arc::clone(&shutdown));
+
+    wait_until("snapshot + tail catch-up", || {
+        status.applied_lsn.load(Ordering::Acquire) == 3
+    });
+    let j = journal.lock().unwrap();
+    assert_eq!(j.resets, vec![(2, 1)], "bootstrap covered LSNs 1-2");
+    assert_eq!(
+        j.applied,
+        vec![3],
+        "only the post-checkpoint frame streamed"
+    );
+    drop(j);
+    assert_eq!(status.snapshots_loaded.load(Ordering::Relaxed), 1);
+
+    // A checkpoint *while connected* truncates the WAL under the tailer;
+    // the follower must re-sync through a fresh snapshot, not see a hole.
+    let image2 = TableImage {
+        rows: vec![
+            vec![Value::Int(1), Value::text("row-1")],
+            vec![Value::Int(2), Value::text("row-2")],
+        ],
+        serial_next: vec![(0, 3)],
+        ..image
+    };
+    store.checkpoint(&[&image2]).unwrap();
+    store.log(&insert(3)).unwrap();
+    wait_until("post-truncation catch-up", || {
+        status.applied_lsn.load(Ordering::Acquire) == 4
+    });
+    wait_until("acks after re-sync", || {
+        lead.registry().min_acked_lsn() == Some(4)
+    });
+
+    shutdown.store(true, Ordering::Release);
+    lead.join();
+}
+
+#[test]
+fn follower_restart_resumes_from_applied_lsn() {
+    let dir = tmp_dir("resume");
+    let (mut store, _, _) =
+        Store::open(StoreConfig::new(&dir).with_fsync(FsyncPolicy::Off)).unwrap();
+    store.log(&create_t()).unwrap();
+    store.log(&insert(1)).unwrap();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let lead = leader::spawn(listener, store.wal_handle(), Arc::clone(&shutdown)).unwrap();
+
+    // First follower life.
+    let first_shutdown = Arc::new(AtomicBool::new(false));
+    let (status1, _journal1) = spawn_follower(addr.clone(), Arc::clone(&first_shutdown));
+    wait_until("first life catch-up", || {
+        status1.applied_lsn.load(Ordering::Acquire) == 2
+    });
+    first_shutdown.store(true, Ordering::Release);
+
+    // Leader keeps writing while the follower is down.
+    store.log(&insert(2)).unwrap();
+    store.log(&insert(3)).unwrap();
+
+    // Second life resumes from LSN 2: only 3 and 4 are re-shipped.
+    let status2 = Arc::new(FollowerStatus::default());
+    status2.applied_lsn.store(2, Ordering::Release);
+    let journal2 = Arc::new(Mutex::new(Journal::default()));
+    let j2 = Arc::clone(&journal2);
+    follower::spawn(
+        FollowerConfig::new(addr),
+        Arc::clone(&status2),
+        Arc::clone(&shutdown),
+        move |op| {
+            let mut j = j2.lock().unwrap();
+            match op {
+                ReplOp::Reset {
+                    snapshot_lsn,
+                    tables,
+                } => j.resets.push((snapshot_lsn, tables.len())),
+                ReplOp::Apply { frames } => j.applied.extend(frames.iter().map(|(l, _)| *l)),
+            }
+            Ok(())
+        },
+    );
+    wait_until("second life catch-up", || {
+        status2.applied_lsn.load(Ordering::Acquire) == 4
+    });
+    let j = journal2.lock().unwrap();
+    assert!(j.resets.is_empty(), "no snapshot: plain WAL resume");
+    assert_eq!(j.applied, vec![3, 4], "nothing before the handshake LSN");
+    drop(j);
+
+    shutdown.store(true, Ordering::Release);
+    lead.join();
+}
+
+#[test]
+fn apply_error_forces_snapshot_resync() {
+    let dir = tmp_dir("resync");
+    let (mut store, _, _) =
+        Store::open(StoreConfig::new(&dir).with_fsync(FsyncPolicy::Off)).unwrap();
+    store.log(&create_t()).unwrap();
+    store.log(&insert(1)).unwrap();
+    let image = TableImage {
+        name: "t".into(),
+        columns: vec!["id".into(), "v".into()],
+        types: vec![DataType::Serial, DataType::Text],
+        serial_next: vec![(0, 2)],
+        rows: vec![vec![Value::Int(1), Value::text("row-1")]],
+    };
+    store.checkpoint(&[&image]).unwrap();
+    store.log(&insert(2)).unwrap();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let lead = leader::spawn(listener, store.wal_handle(), Arc::clone(&shutdown)).unwrap();
+
+    // A follower whose first frame apply fails (simulated divergence): it
+    // must zero its LSN, reconnect, and take the snapshot path.
+    let status = Arc::new(FollowerStatus::default());
+    let journal = Arc::new(Mutex::new(Journal::default()));
+    let failed_once = Arc::new(AtomicBool::new(false));
+    let j = Arc::clone(&journal);
+    let f = Arc::clone(&failed_once);
+    follower::spawn(
+        FollowerConfig::new(addr),
+        Arc::clone(&status),
+        Arc::clone(&shutdown),
+        move |op| {
+            let mut j = j.lock().unwrap();
+            match op {
+                ReplOp::Reset {
+                    snapshot_lsn,
+                    tables,
+                } => j.resets.push((snapshot_lsn, tables.len())),
+                ReplOp::Apply { frames } => {
+                    if !f.swap(true, Ordering::AcqRel) {
+                        return Err("simulated divergence".into());
+                    }
+                    j.applied.extend(frames.iter().map(|(l, _)| *l));
+                }
+            }
+            Ok(())
+        },
+    );
+
+    wait_until("self-healing resync", || {
+        status.applied_lsn.load(Ordering::Acquire) == 3
+    });
+    let j = journal.lock().unwrap();
+    assert!(
+        j.resets.len() >= 2,
+        "re-bootstrap after divergence, got {:?}",
+        j.resets
+    );
+    assert_eq!(j.applied, vec![3]);
+
+    shutdown.store(true, Ordering::Release);
+    lead.join();
+}

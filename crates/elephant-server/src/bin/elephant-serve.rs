@@ -4,6 +4,8 @@
 //! elephant-serve [--addr HOST:PORT] [--disk] [--rows N] [--seed N]
 //!                [--queue N] [--no-data] [--data-dir PATH] [--fsync POLICY]
 //!                [--slow-query-us N] [--statement-timeout-ms N]
+//!                [--repl-addr HOST:PORT] [--replicate-from HOST:PORT]
+//!                [--auto-checkpoint-wal-bytes N]
 //! ```
 //!
 //! By default binds 127.0.0.1:5462, uses the in-memory profile, and
@@ -12,6 +14,12 @@
 //! directory holds on startup and write-ahead-logs every acknowledged
 //! DDL/DML; `--fsync` picks the WAL durability policy (`always`, `off`,
 //! or `every_n:N`).
+//!
+//! Replication: `--repl-addr` (with `--data-dir`) makes this server a
+//! leader streaming committed WAL frames to followers; `--replicate-from`
+//! makes it a read-only follower of the leader replicating at that
+//! address. `--auto-checkpoint-wal-bytes` checkpoints automatically once
+//! the WAL outgrows the budget.
 
 use elephant_server::{start, ServerConfig};
 use sqlengine::FsyncPolicy;
@@ -29,6 +37,9 @@ fn main() {
     let mut fsync = FsyncPolicy::Always;
     let mut slow_query_us: Option<u64> = None;
     let mut statement_timeout_ms: Option<u64> = None;
+    let mut repl_addr: Option<String> = None;
+    let mut replicate_from: Option<String> = None;
+    let mut auto_checkpoint_wal_bytes: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,12 +67,21 @@ fn main() {
                     "--statement-timeout-ms",
                 ));
             }
+            "--repl-addr" => repl_addr = Some(value("--repl-addr")),
+            "--replicate-from" => replicate_from = Some(value("--replicate-from")),
+            "--auto-checkpoint-wal-bytes" => {
+                auto_checkpoint_wal_bytes = Some(parse(
+                    &value("--auto-checkpoint-wal-bytes"),
+                    "--auto-checkpoint-wal-bytes",
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] [--rows N] \
                      [--seed N] [--queue N] [--no-data] [--data-dir PATH] \
                      [--fsync always|off|every_n:N] [--slow-query-us N] \
-                     [--statement-timeout-ms N]"
+                     [--statement-timeout-ms N] [--repl-addr HOST:PORT] \
+                     [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N]"
                 );
                 return;
             }
@@ -73,6 +93,7 @@ fn main() {
     }
 
     let durable = data_dir.is_some();
+    let config_role_follower = replicate_from.clone();
     let mut config = ServerConfig {
         addr,
         queue_capacity: queue,
@@ -82,6 +103,9 @@ fn main() {
         fsync,
         slow_query_us,
         statement_timeout_ms,
+        repl_addr,
+        replicate_from,
+        auto_checkpoint_wal_bytes,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);
@@ -94,8 +118,13 @@ fn main() {
             exit(1);
         }
     };
+    let role = match (handle.repl_addr(), config_role_follower) {
+        (Some(repl), _) => format!("leader, replicating on {repl}"),
+        (None, Some(upstream)) => format!("follower of {upstream}"),
+        (None, None) => "standalone".to_string(),
+    };
     println!(
-        "elephant-serve listening on {} ({} profile, {} storage); send SHUTDOWN to stop",
+        "elephant-serve listening on {} ({} profile, {} storage, {role}); send SHUTDOWN to stop",
         handle.local_addr(),
         if in_memory { "in-memory" } else { "disk-based" },
         if durable { "durable" } else { "volatile" },

@@ -17,9 +17,11 @@
 
 use crate::metrics::Metrics;
 use crate::protocol::{codes, Command};
+use crate::repl::{ReplRole, ReplState};
+use elephant_repl::ReplOp;
 use etypes::SpanRing;
 use mlinspect::SqlMode;
-use sqlengine::{Engine, EngineProfile, FsyncPolicy, SqlError};
+use sqlengine::{Engine, EngineProfile, FsyncPolicy, SqlError, WalHandle};
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
@@ -48,6 +50,16 @@ pub(crate) enum Job {
         /// The closed session's id.
         session: u64,
     },
+    /// A replication op from the follower apply loop. The engine is not
+    /// `Send`, so shipped state changes ride the same queue as client
+    /// commands and apply between them on the executor thread.
+    Repl {
+        /// The decoded snapshot or WAL frames to apply.
+        op: ReplOp,
+        /// Where the follower loop blocks for the outcome; an `Err` makes
+        /// it re-bootstrap from a fresh snapshot.
+        reply: mpsc::Sender<Result<(), String>>,
+    },
 }
 
 /// Executor construction parameters.
@@ -68,22 +80,29 @@ pub(crate) struct ExecutorConfig {
     /// Cancel statements cooperatively after this many milliseconds;
     /// `None` lets statements run unbounded.
     pub statement_timeout_ms: Option<u64>,
+    /// Checkpoint automatically once the WAL grows past this many bytes.
+    pub auto_checkpoint_wal_bytes: Option<u64>,
+    /// Replication topology shared with `REPLICA`/`LAG`/`STATS`. Follower
+    /// role pins the engine read-only for the server's whole life.
+    pub repl: Arc<ReplState>,
 }
 
 /// How many finished-command spans the executor keeps for `TRACE`.
 const SPAN_RING_CAPACITY: usize = 256;
 
-/// Spawn the executor thread; returns the job sender and the join handle.
-/// The thread exits when every clone of the returned sender is dropped.
-/// Fails when the durable store cannot be opened or recovered — the thread
-/// reports engine construction over a handshake channel before serving.
+/// Spawn the executor thread; returns the job sender, the join handle, and
+/// — for durable engines — the store's [`WalHandle`] so `start()` can wire
+/// the replication listener. The thread exits when every clone of the
+/// returned sender is dropped. Fails when the durable store cannot be
+/// opened or recovered — the thread reports engine construction over a
+/// handshake channel before serving.
 pub(crate) fn spawn(
     cfg: ExecutorConfig,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
-) -> io::Result<(SyncSender<Job>, JoinHandle<()>)> {
+) -> io::Result<(SyncSender<Job>, JoinHandle<()>, Option<WalHandle>)> {
     let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
-    let (init_tx, init_rx) = mpsc::channel::<Result<(), String>>();
+    let (init_tx, init_rx) = mpsc::channel::<Result<Option<WalHandle>, String>>();
     let handle = thread::Builder::new()
         .name("elephant-executor".into())
         .spawn(move || {
@@ -97,16 +116,20 @@ pub(crate) fn spawn(
                 Some(dir) => Engine::open_durable(profile, dir, cfg.fsync),
                 None => Ok(Engine::new(profile)),
             };
-            let engine = match engine {
-                Ok(engine) => {
-                    let _ = init_tx.send(Ok(()));
-                    engine
-                }
+            let mut engine = match engine {
+                Ok(engine) => engine,
                 Err(e) => {
                     let _ = init_tx.send(Err(e.to_string()));
                     return;
                 }
             };
+            if cfg.repl.role() == ReplRole::Follower {
+                // A follower's only writer is the leader's WAL; every
+                // client write is refused for the process's whole life.
+                engine.pin_read_only("replica: writes must go to the leader");
+            }
+            engine.set_auto_checkpoint_wal_bytes(cfg.auto_checkpoint_wal_bytes);
+            let _ = init_tx.send(Ok(engine.wal_handle()));
             let mut state = ExecutorState {
                 engine,
                 files: cfg.files,
@@ -115,6 +138,7 @@ pub(crate) fn spawn(
                 shutdown,
                 ring: SpanRing::new(SPAN_RING_CAPACITY),
                 slow_query_us: cfg.slow_query_us,
+                repl: cfg.repl,
             };
             if state.slow_query_us.is_some() {
                 // The slow-query log wants operator profiles for QUERY too,
@@ -127,13 +151,16 @@ pub(crate) fn spawn(
                     .set_statement_timeout(Some(Duration::from_millis(ms)));
             }
             while let Ok(job) = rx.recv() {
-                state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 match job {
                     Job::Command {
                         session,
                         command,
                         reply,
                     } => {
+                        // Only Command jobs were counted into the gauge by
+                        // their session; decrementing for CloseSession/Repl
+                        // would underflow it.
+                        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         let started = Instant::now();
                         let verb = command.verb();
                         let detail = command.summary();
@@ -152,11 +179,14 @@ pub(crate) fn spawn(
                         let _ = reply.send(result);
                     }
                     Job::CloseSession { session } => state.close_session(session),
+                    Job::Repl { op, reply } => {
+                        let _ = reply.send(state.apply_repl(op));
+                    }
                 }
             }
         })?;
     match init_rx.recv() {
-        Ok(Ok(())) => Ok((tx, handle)),
+        Ok(Ok(wal)) => Ok((tx, handle, wal)),
         Ok(Err(msg)) => {
             let _ = handle.join();
             Err(io::Error::other(format!("storage recovery failed: {msg}")))
@@ -178,9 +208,40 @@ struct ExecutorState {
     /// Recent finished-command spans, served by `TRACE`.
     ring: SpanRing,
     slow_query_us: Option<u64>,
+    repl: Arc<ReplState>,
 }
 
 impl ExecutorState {
+    /// Apply one replication op from the follower loop. Keeps a span so
+    /// `TRACE` shows shipped writes interleaved with client commands.
+    fn apply_repl(&mut self, op: ReplOp) -> Result<(), String> {
+        let started = Instant::now();
+        let (label, detail, result) = match op {
+            ReplOp::Reset {
+                snapshot_lsn,
+                tables,
+            } => (
+                "REPL_RESET",
+                format!("snapshot_lsn={snapshot_lsn} tables={}", tables.len()),
+                self.engine.reset_from_images(tables),
+            ),
+            ReplOp::Apply { frames } => {
+                let detail = match (frames.first(), frames.last()) {
+                    (Some((lo, _)), Some((hi, _))) => format!("lsn={lo}..={hi}"),
+                    _ => String::new(),
+                };
+                let result = frames
+                    .into_iter()
+                    .try_for_each(|(_, record)| self.engine.apply_wal_record(record));
+                ("REPL_APPLY", detail, result)
+            }
+        };
+        let ok = result.is_ok();
+        self.ring
+            .push(label, &detail, started.elapsed().as_micros() as u64, ok);
+        result.map_err(|e| e.to_string())
+    }
+
     /// Record the finished command in the span ring and, when it crossed
     /// the slow-query threshold, log it with its operator profile.
     fn finish_span(&mut self, verb: &str, detail: String, elapsed: Duration, ok: bool) {
@@ -359,6 +420,12 @@ impl ExecutorState {
                     let _ = write!(body, "\nrecovered_wal_records {}", rec.wal_records_applied);
                     let _ = write!(body, "\nrecovered_wal_torn_bytes {}", rec.wal_torn_bytes);
                 }
+                let _ = write!(
+                    body,
+                    "\nauto_checkpoints {}",
+                    self.engine.auto_checkpoints()
+                );
+                let _ = write!(body, "\n{}", self.repl.stats_lines(self.committed_lsn()));
                 Ok(body)
             }
             Command::Checkpoint => match self.engine.checkpoint() {
@@ -372,11 +439,18 @@ impl ExecutorState {
                 )),
                 Err(e) => Err(self.classify(e)),
             },
+            Command::Replica => Ok(self.repl.render_replica(self.committed_lsn())),
+            Command::Lag => Ok(self.repl.render_lag(self.committed_lsn())),
             Command::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Ok("draining".into())
             }
         }
+    }
+
+    /// The WAL writer's committed-LSN watermark (durable engines only).
+    fn committed_lsn(&self) -> Option<u64> {
+        self.engine.wal_handle().map(|h| h.committed_lsn())
     }
 
     fn close_session(&mut self, session: u64) {
@@ -413,7 +487,7 @@ mod tests {
         metrics: &Arc<Metrics>,
         shutdown: &Arc<AtomicBool>,
     ) -> (SyncSender<Job>, JoinHandle<()>) {
-        spawn(
+        let (tx, join, wal) = spawn(
             ExecutorConfig {
                 in_memory: true,
                 files: Vec::new(),
@@ -422,11 +496,15 @@ mod tests {
                 fsync: FsyncPolicy::Always,
                 slow_query_us: None,
                 statement_timeout_ms: None,
+                auto_checkpoint_wal_bytes: None,
+                repl: Arc::new(ReplState::standalone()),
             },
             Arc::clone(metrics),
             Arc::clone(shutdown),
         )
-        .expect("volatile executor spawns")
+        .expect("volatile executor spawns");
+        assert!(wal.is_none(), "volatile engines have no WAL handle");
+        (tx, join)
     }
 
     #[test]
@@ -548,10 +626,14 @@ mod tests {
             fsync: FsyncPolicy::Always,
             slow_query_us: None,
             statement_timeout_ms: None,
+            auto_checkpoint_wal_bytes: None,
+            repl: Arc::new(ReplState::standalone()),
         };
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, join) = spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        let (tx, join, wal) =
+            spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        assert!(wal.is_some(), "durable engines expose their WAL handle");
         send(
             &tx,
             &metrics,
@@ -580,7 +662,8 @@ mod tests {
 
         // Second incarnation over the same directory sees all three rows.
         let metrics = Arc::new(Metrics::default());
-        let (tx, join) = spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        let (tx, join, _) =
+            spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
         let r = send(
             &tx,
             &metrics,

@@ -65,7 +65,7 @@ impl LatencyHistogram {
 
 /// Verbs with their own counter and latency histogram, plus `OTHER` for
 /// everything else (SHUTDOWN, DEALLOCATE) so `commands_served` reconciles.
-const VERBS: [&str; 9] = [
+const VERBS: [&str; 11] = [
     "QUERY",
     "PREPARE",
     "EXECUTE",
@@ -74,6 +74,8 @@ const VERBS: [&str; 9] = [
     "STATS",
     "CHECKPOINT",
     "TRACE",
+    "REPLICA",
+    "LAG",
     "OTHER",
 ];
 
@@ -103,6 +105,10 @@ pub struct Metrics {
     pub checkpoints: AtomicU64,
     /// TRACE commands served.
     pub traces: AtomicU64,
+    /// REPLICA commands served.
+    pub replica_calls: AtomicU64,
+    /// LAG commands served.
+    pub lag_calls: AtomicU64,
     /// Commands served by verbs without their own counter (SHUTDOWN,
     /// DEALLOCATE), so `commands_served` reconciles with reality.
     pub other_commands: AtomicU64,
@@ -141,6 +147,8 @@ impl Metrics {
             "STATS" => &self.stats_calls,
             "CHECKPOINT" => &self.checkpoints,
             "TRACE" => &self.traces,
+            "REPLICA" => &self.replica_calls,
+            "LAG" => &self.lag_calls,
             _ => &self.other_commands,
         };
         c.fetch_add(1, Ordering::Relaxed);
@@ -173,6 +181,8 @@ impl Metrics {
             + self.stats_calls.load(Ordering::Relaxed)
             + self.checkpoints.load(Ordering::Relaxed)
             + self.traces.load(Ordering::Relaxed)
+            + self.replica_calls.load(Ordering::Relaxed)
+            + self.lag_calls.load(Ordering::Relaxed)
             + self.other_commands.load(Ordering::Relaxed)
     }
 
@@ -197,6 +207,8 @@ impl Metrics {
         line("stats_calls", self.stats_calls.load(o).to_string());
         line("checkpoints_served", self.checkpoints.load(o).to_string());
         line("traces", self.traces.load(o).to_string());
+        line("replica_calls", self.replica_calls.load(o).to_string());
+        line("lag_calls", self.lag_calls.load(o).to_string());
         line("other_commands", self.other_commands.load(o).to_string());
         line("errors", self.total_errors().to_string());
         line("protocol_errors", self.protocol_errors.load(o).to_string());

@@ -46,8 +46,10 @@ pub mod codes {
     /// Executor queue full past the admission wait; **retryable** — back
     /// off and resend the same command.
     pub const BUSY: &str = "ERR_BUSY";
-    /// Durable storage failed and the engine degraded to read-only; writes
-    /// are refused until `CHECKPOINT` re-arms. **Not** retryable.
+    /// Writes are refused: either durable storage failed and the engine
+    /// degraded to read-only (a `CHECKPOINT` re-arms it), or the server is
+    /// a replication follower (permanent — send the write to the leader).
+    /// **Not** retryable on the same server.
     pub const READ_ONLY: &str = "ERR_READ_ONLY";
     /// Statement exceeded the server's statement timeout and was cancelled
     /// cooperatively; **retryable** (though likely to time out again
@@ -95,6 +97,11 @@ pub enum Command {
     Stats,
     /// Snapshot all tables to durable storage and truncate the WAL.
     Checkpoint,
+    /// Replication topology: role, followers, shipped bytes, watermarks.
+    Replica,
+    /// Replication lag watermarks (committed vs. applied LSNs), the
+    /// smallest surface a read-routing client needs to poll.
+    Lag,
     /// Begin graceful drain: stop accepting, finish in-flight work.
     Shutdown,
 }
@@ -112,6 +119,8 @@ impl Command {
             Command::Inspect { .. } => "INSPECT",
             Command::Stats => "STATS",
             Command::Checkpoint => "CHECKPOINT",
+            Command::Replica => "REPLICA",
+            Command::Lag => "LAG",
             Command::Shutdown => "SHUTDOWN",
         }
     }
@@ -134,7 +143,11 @@ impl Command {
             Command::Inspect {
                 columns, threshold, ..
             } => format!("columns={} threshold={threshold}", columns.join(",")),
-            Command::Stats | Command::Checkpoint | Command::Shutdown => String::new(),
+            Command::Stats
+            | Command::Checkpoint
+            | Command::Replica
+            | Command::Lag
+            | Command::Shutdown => String::new(),
         }
     }
 }
@@ -398,6 +411,8 @@ pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
         }
         "STATS" => Ok(Command::Stats),
         "CHECKPOINT" => Ok(Command::Checkpoint),
+        "REPLICA" => Ok(Command::Replica),
+        "LAG" => Ok(Command::Lag),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err((codes::UNKNOWN, format!("unknown verb '{other}'"))),
     }
@@ -547,6 +562,8 @@ mod tests {
         );
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
         assert_eq!(parse_command("CHECKPOINT").unwrap(), Command::Checkpoint);
+        assert_eq!(parse_command("REPLICA").unwrap(), Command::Replica);
+        assert_eq!(parse_command("lag").unwrap(), Command::Lag);
         assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
         match parse_command("INSPECT race,sex 0.25\ndf = pd.read_csv(\"x.csv\")").unwrap() {
             Command::Inspect {

@@ -1,14 +1,16 @@
 //! The TCP server: listener, accept loop, and lifecycle handle.
 
-use crate::executor::{self, ExecutorConfig};
+use crate::executor::{self, ExecutorConfig, Job};
 use crate::metrics::Metrics;
+use crate::repl::ReplState;
 use crate::session::run_session;
+use elephant_repl::{follower, leader, FollowerConfig, FollowerStatus};
 use sqlengine::FsyncPolicy;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -40,6 +42,17 @@ pub struct ServerConfig {
     /// retryable `ERR_TIMEOUT`. `None` (the default) lets statements run
     /// unbounded.
     pub statement_timeout_ms: Option<u64>,
+    /// Bind a replication listener here (leader mode) and stream committed
+    /// WAL frames to every follower that connects. Requires `data_dir`.
+    /// Use port 0 to let the OS pick (tests do).
+    pub repl_addr: Option<String>,
+    /// Follow the leader replicating at this address (follower mode): the
+    /// engine stays volatile, pins itself read-only, and applies the
+    /// leader's WAL. Mutually exclusive with `data_dir` and `repl_addr`.
+    pub replicate_from: Option<String>,
+    /// Checkpoint automatically once the WAL grows past this many bytes
+    /// (counted after each acknowledged write). `None` disables.
+    pub auto_checkpoint_wal_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +66,9 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::Always,
             slow_query_us: None,
             statement_timeout_ms: None,
+            repl_addr: None,
+            replicate_from: None,
+            auto_checkpoint_wal_bytes: None,
         }
     }
 }
@@ -93,12 +109,19 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     accept_join: Option<JoinHandle<()>>,
     executor_join: Option<JoinHandle<()>>,
+    repl_leader: Option<leader::LeaderHandle>,
+    follower_join: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (with the OS-assigned port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replication listener's bound address (leader mode only).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_leader.as_ref().map(|l| l.local_addr())
     }
 
     /// Shared server counters (live view).
@@ -117,21 +140,60 @@ impl ServerHandle {
         if let Some(h) = self.accept_join.take() {
             let _ = h.join();
         }
+        // The follower loop must drop its queue sender before the executor
+        // can observe disconnection and exit.
+        if let Some(h) = self.follower_join.take() {
+            let _ = h.join();
+        }
         if let Some(h) = self.executor_join.take() {
             let _ = h.join();
+        }
+        if let Some(l) = self.repl_leader.take() {
+            l.join();
         }
     }
 }
 
 /// Bind and start serving; returns immediately with a [`ServerHandle`].
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    if config.replicate_from.is_some() && config.data_dir.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "follower mode is volatile — it bootstraps from the leader; drop --data-dir",
+        ));
+    }
+    if config.replicate_from.is_some() && config.repl_addr.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a server is a leader or a follower, not both",
+        ));
+    }
+    if config.repl_addr.is_some() && config.data_dir.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "replication streams the WAL; a leader needs --data-dir",
+        ));
+    }
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let follower_status = config
+        .replicate_from
+        .as_ref()
+        .map(|_| Arc::new(FollowerStatus::default()));
+    let repl = Arc::new(match (&config.replicate_from, &config.repl_addr) {
+        (Some(upstream), _) => ReplState::follower(
+            upstream.clone(),
+            Arc::clone(follower_status.as_ref().expect("status built above")),
+        ),
+        (None, Some(_)) => ReplState::leader(),
+        (None, None) => ReplState::standalone(),
+    });
+
     let metrics = Arc::new(Metrics::default());
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, executor_join) = executor::spawn(
+    let (tx, executor_join, wal_handle) = executor::spawn(
         ExecutorConfig {
             in_memory: config.in_memory,
             files: config.files,
@@ -140,10 +202,50 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             fsync: config.fsync,
             slow_query_us: config.slow_query_us,
             statement_timeout_ms: config.statement_timeout_ms,
+            auto_checkpoint_wal_bytes: config.auto_checkpoint_wal_bytes,
+            repl: Arc::clone(&repl),
         },
         Arc::clone(&metrics),
         Arc::clone(&shutdown),
     )?;
+
+    let repl_leader = match &config.repl_addr {
+        Some(bind) => {
+            let wal = wal_handle.expect("leader mode requires a durable engine");
+            let repl_listener = TcpListener::bind(bind)?;
+            let handle = leader::spawn(repl_listener, wal, Arc::clone(&shutdown))?;
+            repl.set_registry(handle.registry());
+            Some(handle)
+        }
+        None => None,
+    };
+
+    let follower_join = match (&config.replicate_from, follower_status) {
+        (Some(upstream), Some(status)) => {
+            // Shipped ops ride the executor queue like client commands; the
+            // closure's sender clone keeps the executor alive until the
+            // follower loop observes shutdown and exits.
+            let repl_tx = tx.clone();
+            Some(follower::spawn(
+                FollowerConfig::new(upstream.clone()),
+                status,
+                Arc::clone(&shutdown),
+                move |op| {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    repl_tx
+                        .send(Job::Repl {
+                            op,
+                            reply: reply_tx,
+                        })
+                        .map_err(|_| "executor is gone".to_string())?;
+                    reply_rx
+                        .recv()
+                        .map_err(|_| "executor dropped the repl op".to_string())?
+                },
+            ))
+        }
+        _ => None,
+    };
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);
@@ -199,5 +301,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         shutdown,
         accept_join: Some(accept_join),
         executor_join: Some(executor_join),
+        repl_leader,
+        follower_join,
     })
 }

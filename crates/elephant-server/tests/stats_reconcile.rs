@@ -1,0 +1,157 @@
+//! STATS accounting reconciliation: drive one of every protocol verb over
+//! the wire and prove `commands_served` equals the sum of the rendered
+//! per-verb counters — no verb is double-counted, none falls through the
+//! floor. The verb → counter map is an exhaustive `match` on [`Command`],
+//! so adding a protocol verb refuses to compile until it is wired into a
+//! counter and into this test.
+
+use elephant_server::{start, Command, ElephantClient, ServerConfig};
+use std::path::PathBuf;
+
+/// The `STATS` key that must account for each verb. Exhaustive on purpose
+/// — no wildcard arm, so a new [`Command`] variant breaks this build.
+fn counter_key(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Query(_) => "queries",
+        Command::Prepare { .. } => "prepares",
+        Command::Execute(_) => "executes",
+        Command::Deallocate(_) => "other_commands",
+        Command::Explain { .. } => "explains",
+        Command::Trace(_) => "traces",
+        Command::Inspect { .. } => "inspects",
+        Command::Stats => "stats_calls",
+        Command::Checkpoint => "checkpoints_served",
+        Command::Replica => "replica_calls",
+        Command::Lag => "lag_calls",
+        Command::Shutdown => "other_commands",
+    }
+}
+
+/// Every per-verb key `commands_served` is defined as the sum of.
+const PER_VERB_KEYS: [&str; 11] = [
+    "queries",
+    "prepares",
+    "executes",
+    "explains",
+    "inspects",
+    "stats_calls",
+    "checkpoints_served",
+    "traces",
+    "replica_calls",
+    "lag_calls",
+    "other_commands",
+];
+
+fn stat(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("missing '{key}' in stats:\n{stats}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn commands_served_reconciles_with_every_per_verb_counter() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("elephant-reconcile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(
+        ServerConfig {
+            data_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        }
+        .with_standard_pipeline_data(60, 7),
+    )
+    .unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+
+    // One of every verb (SHUTDOWN rides at teardown — its count lands
+    // after the last STATS render, so it is exercised but not asserted).
+    c.query_raw("CREATE TABLE t (a int)").unwrap();
+    c.query_raw("INSERT INTO t VALUES (1), (2)").unwrap();
+    c.query_raw("SELECT a FROM t ORDER BY a").unwrap();
+    c.prepare("q", "SELECT sum(a) AS s FROM t").unwrap();
+    c.execute("q").unwrap();
+    c.send("DEALLOCATE q").unwrap();
+    c.send("EXPLAIN SELECT a FROM t WHERE a > 1").unwrap();
+    c.send("TRACE 5").unwrap();
+    c.inspect(&["age_group"], 0.3, "@healthcare").unwrap();
+    c.checkpoint().unwrap();
+    c.replica().unwrap();
+    c.lag().unwrap();
+    c.stats().unwrap();
+
+    let body = c.stats().unwrap();
+    // The render is one atomic-ish read of all counters; the in-flight
+    // STATS counts itself only after rendering, so the body is stable.
+    let served = stat(&body, "commands_served");
+    let sum: u64 = PER_VERB_KEYS.iter().map(|k| stat(&body, k)).sum();
+    assert_eq!(
+        served, sum,
+        "commands_served does not reconcile with the per-verb counters:\n{body}"
+    );
+
+    // Exact per-verb expectations: catches double counting and verbs
+    // landing in the wrong bucket.
+    for (key, want) in [
+        ("queries", 3),
+        ("prepares", 1),
+        ("executes", 1),
+        ("explains", 1),
+        ("traces", 1),
+        ("inspects", 1),
+        ("checkpoints_served", 1),
+        ("replica_calls", 1),
+        ("lag_calls", 1),
+        ("stats_calls", 1),    // the first STATS; the rendering one is in flight
+        ("other_commands", 1), // DEALLOCATE
+    ] {
+        assert_eq!(stat(&body, key), want, "counter '{key}' off:\n{body}");
+    }
+    assert_eq!(served, 13);
+
+    // Compile-time completeness: route a sample of every variant through
+    // the exhaustive map and pin the bucket each one must land in.
+    let samples = [
+        (Command::Query("SELECT 1".into()), "queries"),
+        (
+            Command::Prepare {
+                name: "q".into(),
+                sql: "SELECT 1".into(),
+            },
+            "prepares",
+        ),
+        (Command::Execute("q".into()), "executes"),
+        (Command::Deallocate("q".into()), "other_commands"),
+        (
+            Command::Explain {
+                sql: "SELECT 1".into(),
+                analyze: false,
+            },
+            "explains",
+        ),
+        (Command::Trace(5), "traces"),
+        (
+            Command::Inspect {
+                columns: vec!["age_group".into()],
+                threshold: 0.3,
+                source: "@healthcare".into(),
+            },
+            "inspects",
+        ),
+        (Command::Stats, "stats_calls"),
+        (Command::Checkpoint, "checkpoints_served"),
+        (Command::Replica, "replica_calls"),
+        (Command::Lag, "lag_calls"),
+        (Command::Shutdown, "other_commands"),
+    ];
+    for (cmd, want) in &samples {
+        assert_eq!(counter_key(cmd), *want, "verb {} mis-bucketed", cmd.verb());
+    }
+
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

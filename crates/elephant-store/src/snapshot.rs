@@ -242,11 +242,15 @@ pub fn load_snapshot(path: &Path) -> Result<Option<(u64, Vec<TableImage>)>> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     }
+    decode_snapshot(&data).map(Some)
+}
+
+/// Decode an in-memory snapshot image (magic included). Replication
+/// followers bootstrap from snapshot bytes shipped over a socket, so the
+/// decoder is split from the file read.
+pub fn decode_snapshot(data: &[u8]) -> Result<(u64, Vec<TableImage>)> {
     if data.len() < SNAPSHOT_MAGIC.len() || &data[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-        return Err(StoreError::corrupt(format!(
-            "{} is not a snapshot (bad magic)",
-            path.display()
-        )));
+        return Err(StoreError::corrupt("not a snapshot (bad magic)"));
     }
     let mut r = ByteReader::new(&data[SNAPSHOT_MAGIC.len()..]);
     let last_lsn = r.u64()?;
@@ -269,7 +273,7 @@ pub fn load_snapshot(path: &Path) -> Result<Option<(u64, Vec<TableImage>)>> {
             r.remaining()
         )));
     }
-    Ok(Some((last_lsn, tables)))
+    Ok((last_lsn, tables))
 }
 
 #[cfg(test)]

@@ -1,0 +1,286 @@
+//! Incremental WAL reading for replication.
+//!
+//! A [`WalTailer`] follows a live WAL file from a byte offset, returning
+//! complete, CRC-valid frames as raw bytes (header included) so the leader
+//! can ship them verbatim and the follower can re-verify the CRC end to
+//! end. It never reads past the caller-supplied committed-LSN watermark
+//! (see [`crate::wal::WalShared`]): a frame the writer has appended but not
+//! yet acknowledged — or is about to roll back after a failed fsync — stays
+//! invisible, and the tailer's offset stays parked at the last shipped
+//! frame boundary so a rollback + rewrite at the same offset is re-read
+//! cleanly.
+//!
+//! Checkpoint truncation makes a byte offset stale: the file is cut back to
+//! its magic and regrows with *different* frames. The tailer detects the
+//! easy case itself (file shorter than the offset) and reports
+//! [`TailPoll::Truncated`]; the racy case (file already regrown past the
+//! offset) is the feeder's job — it watches `WalShared::truncations` and
+//! calls [`WalTailer::reset`] whenever the counter moves.
+
+use crate::crc32::crc32;
+use crate::error::{Result, StoreError};
+use crate::wal::{MAX_RECORD, WAL_MAGIC};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// One complete WAL frame, byte-identical to its on-disk form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailFrame {
+    /// The frame's LSN (decoded from the payload head).
+    pub lsn: u64,
+    /// The full frame: `len:u32 crc:u32 payload` — ready to ship.
+    pub bytes: Vec<u8>,
+}
+
+/// What one [`WalTailer::poll`] observed.
+#[derive(Debug)]
+pub enum TailPoll {
+    /// Zero or more new committed frames past the previous offset.
+    Frames(Vec<TailFrame>),
+    /// The file shrank below the tail offset (checkpoint truncation): the
+    /// offset was reset to the start; the caller must re-decide between
+    /// snapshot bootstrap and tailing before polling again.
+    Truncated,
+}
+
+/// A cursor over a live WAL file. See the module docs for the safety
+/// contract shared with [`crate::wal::WalWriter`].
+///
+/// The file handle is cached across polls — checkpoints truncate with
+/// `set_len` on the same inode, so growth and shrinkage both stay visible
+/// through a held descriptor, and a steady-state poll costs a `fstat`
+/// instead of a path lookup. Any reset or read error drops the cache and
+/// the next poll reopens from the path.
+#[derive(Debug)]
+pub struct WalTailer {
+    path: PathBuf,
+    pos: u64,
+    magic_checked: bool,
+    file: Option<File>,
+}
+
+impl WalTailer {
+    /// Tail the WAL at `path` from the first frame.
+    pub fn open(path: impl Into<PathBuf>) -> WalTailer {
+        WalTailer {
+            path: path.into(),
+            pos: WAL_MAGIC.len() as u64,
+            magic_checked: false,
+            file: None,
+        }
+    }
+
+    /// The WAL file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current byte offset (next unread position).
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Forget all progress and start over from the first frame. Called by
+    /// the feeder when `WalShared::truncations` moves.
+    pub fn reset(&mut self) {
+        self.pos = WAL_MAGIC.len() as u64;
+        self.magic_checked = false;
+        self.file = None;
+    }
+
+    /// Read every complete, CRC-valid frame between the current offset and
+    /// the end of file whose LSN is `<= committed_lsn`. Stops (without
+    /// advancing) at the first incomplete, corrupt, or uncommitted frame —
+    /// all three look identical to an append still in flight and resolve on
+    /// a later poll. A missing file reads as empty.
+    pub fn poll(&mut self, committed_lsn: u64) -> Result<TailPoll> {
+        if self.file.is_none() {
+            self.file = match File::open(&self.path) {
+                Ok(f) => Some(f),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Ok(TailPoll::Frames(Vec::new()))
+                }
+                Err(e) => return Err(e.into()),
+            };
+        }
+        let result = self.poll_cached(committed_lsn);
+        if result.is_err() {
+            // A failed descriptor (or a half-read magic) is not worth
+            // salvaging: reopen from the path on the next poll.
+            self.file = None;
+            self.magic_checked = false;
+        }
+        result
+    }
+
+    fn poll_cached(&mut self, committed_lsn: u64) -> Result<TailPoll> {
+        let file = self.file.as_mut().expect("opened above");
+        let len = file.metadata()?.len();
+        if len < self.pos {
+            self.reset();
+            return Ok(TailPoll::Truncated);
+        }
+        if !self.magic_checked {
+            if len < WAL_MAGIC.len() as u64 {
+                return Ok(TailPoll::Frames(Vec::new()));
+            }
+            file.seek(SeekFrom::Start(0))?;
+            let mut magic = [0u8; 8];
+            file.read_exact(&mut magic)?;
+            if &magic != WAL_MAGIC {
+                return Err(StoreError::corrupt(format!(
+                    "{} is not a WAL file (bad magic)",
+                    self.path.display()
+                )));
+            }
+            self.magic_checked = true;
+        }
+        if len == self.pos {
+            return Ok(TailPoll::Frames(Vec::new()));
+        }
+        file.seek(SeekFrom::Start(self.pos))?;
+        let mut data = Vec::with_capacity((len - self.pos) as usize);
+        file.read_to_end(&mut data)?;
+        let mut frames = Vec::new();
+        let mut p = 0usize;
+        while data.len() - p >= 8 {
+            let flen = u32::from_le_bytes(data[p..p + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[p + 4..p + 8].try_into().expect("4 bytes"));
+            if flen > MAX_RECORD || data.len() - p - 8 < flen {
+                break; // garbage length or frame still being written
+            }
+            let payload = &data[p + 8..p + 8 + flen];
+            if crc32(payload) != crc || flen < 9 {
+                break; // mid-write bytes; resolves (or truncates) later
+            }
+            let lsn = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            if lsn > committed_lsn {
+                break; // appended but not yet acknowledged: not shippable
+            }
+            frames.push(TailFrame {
+                lsn,
+                bytes: data[p..p + 8 + flen].to_vec(),
+            });
+            p += 8 + flen;
+        }
+        self.pos += p as u64;
+        Ok(TailPoll::Frames(frames))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{decode_frame, WalRecord, WalWriter};
+    use crate::FsyncPolicy;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eltail-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn drop_rec(name: &str) -> WalRecord {
+        WalRecord::DropTable { name: name.into() }
+    }
+
+    #[test]
+    fn tails_only_committed_frames() {
+        let path = tmp("committed");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        let shared = w.shared();
+        let mut t = WalTailer::open(&path);
+        for name in ["a", "b", "c"] {
+            w.append(&drop_rec(name)).unwrap();
+        }
+        // Pretend only the first two are acknowledged.
+        let TailPoll::Frames(frames) = t.poll(2).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert_eq!(frames.iter().map(|f| f.lsn).collect::<Vec<_>>(), [1, 2]);
+        // The third arrives once the watermark covers it.
+        let TailPoll::Frames(frames) = t.poll(shared.committed_lsn()).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].lsn, 3);
+        let (lsn, rec) = decode_frame(&frames[0].bytes).unwrap();
+        assert_eq!(lsn, 3);
+        assert_eq!(rec, drop_rec("c"));
+        // Nothing new: empty poll.
+        let TailPoll::Frames(frames) = t.poll(shared.committed_lsn()).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn detects_file_shrink_as_truncation() {
+        let path = tmp("shrink");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        for name in ["a", "b"] {
+            w.append(&drop_rec(name)).unwrap();
+        }
+        let mut t = WalTailer::open(&path);
+        let TailPoll::Frames(frames) = t.poll(2).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert_eq!(frames.len(), 2);
+        w.truncate().unwrap();
+        assert!(matches!(t.poll(2).unwrap(), TailPoll::Truncated));
+        // After the reset the (empty) file reads cleanly again.
+        w.append(&drop_rec("c")).unwrap();
+        let TailPoll::Frames(frames) = t.poll(3).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert_eq!(frames.iter().map(|f| f.lsn).collect::<Vec<_>>(), [3]);
+    }
+
+    #[test]
+    fn stops_at_torn_tail_without_advancing() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        w.append(&drop_rec("a")).unwrap();
+        w.append(&drop_rec("b")).unwrap();
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let mut t = WalTailer::open(&path);
+        let TailPoll::Frames(frames) = t.poll(u64::MAX).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert_eq!(frames.len(), 1, "torn second frame withheld");
+        let pos = t.pos();
+        let TailPoll::Frames(frames) = t.poll(u64::MAX).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert!(frames.is_empty());
+        assert_eq!(t.pos(), pos, "offset parked at last valid boundary");
+        // Writer reopens at the valid boundary and completes the append:
+        // the tailer resumes from the very same offset.
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, pos, 2).unwrap();
+        w.append(&drop_rec("b2")).unwrap();
+        let TailPoll::Frames(frames) = t.poll(u64::MAX).unwrap() else {
+            panic!("unexpected truncation");
+        };
+        assert_eq!(frames.iter().map(|f| f.lsn).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let mut t = WalTailer::open(tmp("missing"));
+        assert!(matches!(t.poll(10).unwrap(), TailPoll::Frames(f) if f.is_empty()));
+    }
+
+    #[test]
+    fn non_wal_file_is_an_error() {
+        let path = tmp("notwal");
+        std::fs::write(&path, b"clearly not a wal file").unwrap();
+        let mut t = WalTailer::open(&path);
+        assert!(t.poll(10).is_err());
+    }
+}

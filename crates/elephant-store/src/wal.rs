@@ -27,6 +27,8 @@ use etypes::{ByteReader, DataType, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// File magic for WAL files (8 bytes, versioned).
 pub const WAL_MAGIC: &[u8; 8] = b"ELWAL001";
@@ -139,8 +141,9 @@ impl WalRecord {
         buf
     }
 
-    /// Decode one payload into `(lsn, record)`.
-    fn decode(payload: &[u8]) -> Result<(u64, WalRecord)> {
+    /// Decode one payload into `(lsn, record)`. Public so replication
+    /// followers can decode shipped frames with the exact replay codec.
+    pub fn decode(payload: &[u8]) -> Result<(u64, WalRecord)> {
         let mut r = ByteReader::new(payload);
         let lsn = r.u64()?;
         let kind = r.u8()?;
@@ -215,6 +218,75 @@ impl WalRecord {
     }
 }
 
+/// Encode one record into a complete on-disk frame (`len crc payload`),
+/// exactly as [`WalWriter::append`] would write it. Replication tests and
+/// tooling use this to fabricate byte-accurate frames.
+pub fn encode_frame(rec: &WalRecord, lsn: u64) -> Vec<u8> {
+    let payload = rec.encode(lsn);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decode one complete frame (`len crc payload`) into `(lsn, record)`,
+/// re-verifying the declared length and CRC. Followers run every shipped
+/// frame through this before applying it, so a corrupt frame is rejected
+/// with an error rather than applied.
+pub fn decode_frame(frame: &[u8]) -> Result<(u64, WalRecord)> {
+    if frame.len() < 8 {
+        return Err(StoreError::corrupt("WAL frame shorter than its header"));
+    }
+    let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD || frame.len() != 8 + len {
+        return Err(StoreError::corrupt(format!(
+            "WAL frame declares {len} payload bytes but carries {}",
+            frame.len().saturating_sub(8)
+        )));
+    }
+    let payload = &frame[8..];
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt("WAL frame CRC mismatch"));
+    }
+    WalRecord::decode(payload)
+}
+
+/// Writer progress shared across threads: the replication feeder polls this
+/// (through a [`crate::WalHandle`]) to learn which WAL frames are safe to
+/// ship. `committed_lsn` advances only *after* an append fully succeeded
+/// under the configured fsync policy — a frame rolled back by a failed
+/// fsync never moves the watermark, so the tailer can never ship a record
+/// the engine did not acknowledge. `truncations` counts checkpoint
+/// truncations so tailers detect that their byte offset went stale even if
+/// the file has already regrown past it.
+#[derive(Debug, Default)]
+pub struct WalShared {
+    committed_lsn: AtomicU64,
+    truncations: AtomicU64,
+}
+
+impl WalShared {
+    /// Highest LSN whose frame is fully appended and acknowledged.
+    pub fn committed_lsn(&self) -> u64 {
+        self.committed_lsn.load(Ordering::Acquire)
+    }
+
+    /// Checkpoint truncations since the writer opened.
+    pub fn truncations(&self) -> u64 {
+        self.truncations.load(Ordering::Acquire)
+    }
+
+    fn set_committed(&self, lsn: u64) {
+        self.committed_lsn.store(lsn, Ordering::Release);
+    }
+
+    fn bump_truncations(&self) {
+        self.truncations.fetch_add(1, Ordering::Release);
+    }
+}
+
 /// Monotonic writer-side counters, surfaced through `STATS`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalStats {
@@ -252,6 +324,7 @@ pub struct WalWriter {
     unsynced: u64,
     next_lsn: u64,
     stats: WalStats,
+    shared: Arc<WalShared>,
     /// Set when the on-disk tail no longer ends at a record boundary (torn
     /// append, failed rollback): further appends would be silently dropped
     /// by replay, so they are refused until `truncate` restores a clean
@@ -281,6 +354,8 @@ impl WalWriter {
             file.write_all(WAL_MAGIC)?;
         }
         let bytes = file.seek(SeekFrom::End(0))?;
+        let shared = Arc::new(WalShared::default());
+        shared.set_committed(next_lsn.saturating_sub(1));
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -291,8 +366,14 @@ impl WalWriter {
                 bytes,
                 ..WalStats::default()
             },
+            shared,
             poisoned: None,
         })
+    }
+
+    /// The cross-thread progress view ([`WalShared`]) for this writer.
+    pub fn shared(&self) -> Arc<WalShared> {
+        Arc::clone(&self.shared)
     }
 
     /// The WAL file path.
@@ -379,6 +460,7 @@ impl WalWriter {
             }
             return Err(e);
         }
+        self.shared.set_committed(lsn);
         self.stats.append_us += started.elapsed().as_micros() as u64;
         Ok(lsn)
     }
@@ -408,6 +490,7 @@ impl WalWriter {
         self.unsynced = 0;
         self.stats.bytes = WAL_MAGIC.len() as u64;
         self.poisoned = None;
+        self.shared.bump_truncations();
         Ok(dropped)
     }
 }
@@ -630,6 +713,64 @@ mod tests {
         drop(w);
         let out = read_wal(&path).unwrap();
         assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn shared_watermark_tracks_acknowledged_appends() {
+        let path = tmp("shared");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 5).unwrap();
+        let shared = w.shared();
+        assert_eq!(shared.committed_lsn(), 4, "open resumes at next_lsn - 1");
+        assert_eq!(shared.truncations(), 0);
+        w.append(&WalRecord::DropTable { name: "x".into() })
+            .unwrap();
+        assert_eq!(shared.committed_lsn(), 5);
+        w.truncate().unwrap();
+        assert_eq!(shared.truncations(), 1);
+        assert_eq!(shared.committed_lsn(), 5, "LSNs survive truncation");
+    }
+
+    #[test]
+    fn failed_fsync_never_advances_watermark() {
+        let path = tmp("sharedfail");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
+        let shared = w.shared();
+        w.append(&WalRecord::DropTable { name: "x".into() })
+            .unwrap();
+        assert_eq!(shared.committed_lsn(), 1);
+        etypes::fault::configure("wal.fsync=error_once").unwrap();
+        let err = w.append(&WalRecord::DropTable { name: "y".into() });
+        etypes::fault::clear("wal.fsync");
+        assert!(err.is_err());
+        assert_eq!(
+            shared.committed_lsn(),
+            1,
+            "rolled-back frame must not be shippable"
+        );
+        let lsn = w
+            .append(&WalRecord::DropTable { name: "z".into() })
+            .unwrap();
+        assert_eq!(lsn, 2, "LSN reused after rollback");
+        assert_eq!(shared.committed_lsn(), 2);
+    }
+
+    #[test]
+    fn frame_codec_round_trips_and_rejects_corruption() {
+        for (i, rec) in sample_records().iter().enumerate() {
+            let lsn = (i + 1) as u64;
+            let frame = encode_frame(rec, lsn);
+            let (got_lsn, got) = decode_frame(&frame).unwrap();
+            assert_eq!(got_lsn, lsn);
+            assert_eq!(&got, rec);
+            // A flipped payload byte must be caught by the CRC.
+            let mut bad = frame.clone();
+            let last = bad.len() - 1;
+            bad[last] ^= 0x40;
+            assert!(decode_frame(&bad).is_err());
+            // A truncated frame must be caught by the length check.
+            assert!(decode_frame(&frame[..frame.len() - 1]).is_err());
+        }
+        assert!(decode_frame(&[1, 2, 3]).is_err());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Seeded WAL corruption fuzz: truncate and bit-flip committed WAL files
+//! at random offsets, then drive both consumers — crash recovery
+//! (`Store::open`) and the replication tailer (`WalTailer::poll` +
+//! `decode_frame`) — and hold them to the corruption contract:
+//!
+//! 1. neither path ever panics, whatever the bytes,
+//! 2. neither path ever surfaces a corrupt frame: everything recovered or
+//!    tailed is a *prefix* of what was logged (stop at the torn tail, no
+//!    holes, no mutated rows),
+//! 3. flipping any single bit of a frame makes `decode_frame` reject it
+//!    (the CRC is re-verified end to end, not trusted from the wire).
+//!
+//! The schedule is seeded through `ELEPHANT_FAULT_SEED` (CI runs a fixed
+//! seed matrix), so a failure reproduces exactly.
+
+use elephant_store::{
+    decode_frame, encode_frame, FsyncPolicy, Store, StoreConfig, TailPoll, WalRecord, WalTailer,
+    WAL_FILE,
+};
+use etypes::{DataType, Prng, Value};
+use std::path::PathBuf;
+
+fn seed() -> u64 {
+    std::env::var("ELEPHANT_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE1EFA)
+}
+
+fn tmp(name: &str, iter: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "elstore-fuzz-{}-{name}-{}-{iter}",
+        std::process::id(),
+        seed()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn create_t() -> WalRecord {
+    WalRecord::CreateTable {
+        name: "t".into(),
+        columns: vec!["id".into(), "v".into()],
+        types: vec![DataType::Int, DataType::Text],
+    }
+}
+
+fn insert_row(id: i64) -> WalRecord {
+    WalRecord::Insert {
+        table: "t".into(),
+        rows: vec![vec![Value::Int(id), Value::text(format!("row-{id}"))]],
+    }
+}
+
+/// Log `create_t` plus `n` inserts and return the WAL path.
+fn build_wal(dir: &PathBuf, n: usize) -> PathBuf {
+    let (mut store, tables, _) =
+        Store::open(StoreConfig::new(dir).with_fsync(FsyncPolicy::Always)).unwrap();
+    assert!(tables.is_empty());
+    store.log(&create_t()).unwrap();
+    for id in 0..n as i64 {
+        store.log(&insert_row(id)).unwrap();
+    }
+    dir.join(WAL_FILE)
+}
+
+/// Assert the recovered/tailed rows of `t` are exactly the first `k`
+/// logged rows for some `k` — a prefix, with no holes and no mutations.
+fn assert_prefix(rows: &[Vec<Value>], context: &str) {
+    for (i, row) in rows.iter().enumerate() {
+        let id = i as i64;
+        assert_eq!(
+            row,
+            &vec![Value::Int(id), Value::text(format!("row-{id}"))],
+            "{context}: row {i} is not the logged row {i} — a corrupt or \
+             out-of-order frame was applied"
+        );
+    }
+}
+
+#[test]
+fn recovery_of_mutilated_wal_never_panics_and_never_applies_garbage() {
+    let mut rng = Prng::from_stream(seed(), 11);
+    for iter in 0..60 {
+        let dir = tmp("recover", iter);
+        let n = 2 + rng.below(9);
+        let wal = build_wal(&dir, n);
+        let mut bytes = std::fs::read(&wal).unwrap();
+
+        // Half the runs truncate (a torn tail), half flip 1-4 random bits
+        // anywhere in the file (header, lengths, CRCs, payloads).
+        if rng.below(2) == 0 {
+            bytes.truncate(rng.below(bytes.len() + 1));
+        } else {
+            for _ in 0..1 + rng.below(4) {
+                let i = rng.below(bytes.len());
+                bytes[i] ^= 1 << rng.below(8);
+            }
+        }
+        std::fs::write(&wal, &bytes).unwrap();
+
+        // Recovery either reports a clean prefix or refuses the file
+        // outright (e.g. a flipped magic byte); it never panics and never
+        // fabricates rows.
+        // An Err is a clean refusal (e.g. a flipped magic byte) — also
+        // within contract.
+        if let Ok((_store, tables, report)) =
+            Store::open(StoreConfig::new(&dir).with_fsync(FsyncPolicy::Always))
+        {
+            assert!(tables.len() <= 1, "iter {iter}: phantom table recovered");
+            if let Some(t) = tables.first() {
+                assert_eq!(t.name, "t");
+                assert!(t.rows.len() <= n, "iter {iter}: more rows than were logged");
+                assert_prefix(&t.rows, &format!("iter {iter} recovery"));
+            }
+            assert_eq!(
+                report.wal_records_applied as usize,
+                tables.first().map_or(0, |t| t.rows.len() + 1),
+                "iter {iter}: applied-record count disagrees with state"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn tailer_over_mutilated_wal_ships_only_a_verified_prefix() {
+    let mut rng = Prng::from_stream(seed(), 12);
+    for iter in 0..60 {
+        let dir = tmp("tail", iter);
+        let n = 2 + rng.below(9);
+        let wal = build_wal(&dir, n);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        if rng.below(2) == 0 {
+            bytes.truncate(rng.below(bytes.len() + 1));
+        } else {
+            for _ in 0..1 + rng.below(4) {
+                let i = rng.below(bytes.len());
+                bytes[i] ^= 1 << rng.below(8);
+            }
+        }
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let mut tailer = WalTailer::open(&wal);
+        match tailer.poll(u64::MAX) {
+            Ok(TailPoll::Frames(frames)) => {
+                // Whatever survives must decode CRC-clean into a gapless
+                // LSN prefix — exactly what a follower would apply.
+                let mut rows = Vec::new();
+                for (want_lsn, frame) in (1u64..).zip(&frames) {
+                    assert_eq!(frame.lsn, want_lsn, "iter {iter}: LSN hole shipped");
+                    let (lsn, rec) = decode_frame(&frame.bytes)
+                        .unwrap_or_else(|e| panic!("iter {iter}: shipped corrupt frame: {e}"));
+                    assert_eq!(lsn, want_lsn);
+                    match (want_lsn, rec) {
+                        (1, rec) => assert_eq!(rec, create_t(), "iter {iter}"),
+                        (_, WalRecord::Insert { table, rows: r }) => {
+                            assert_eq!(table, "t");
+                            rows.extend(r);
+                        }
+                        (_, rec) => panic!("iter {iter}: fabricated record {rec:?}"),
+                    }
+                }
+                assert_prefix(&rows, &format!("iter {iter} tail"));
+            }
+            Ok(TailPoll::Truncated) => {} // offset reset; fine
+            Err(_) => {}                  // bad magic etc.; refused cleanly
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn any_single_bit_flip_is_rejected_by_decode_frame() {
+    let mut rng = Prng::from_stream(seed(), 13);
+    let frame = encode_frame(&insert_row(7), 42);
+    let (lsn, rec) = decode_frame(&frame).unwrap();
+    assert_eq!((lsn, rec), (42, insert_row(7)));
+    // Exhaustive over byte positions, seeded over bit choice.
+    for i in 0..frame.len() {
+        let mut bad = frame.clone();
+        bad[i] ^= 1 << rng.below(8);
+        assert!(
+            decode_frame(&bad).is_err(),
+            "flip at byte {i} went undetected"
+        );
+    }
+    // Truncations of a lone frame are rejected too (short header or
+    // declared-length mismatch).
+    for len in 0..frame.len() {
+        assert!(
+            decode_frame(&frame[..len]).is_err(),
+            "truncation to {len} bytes went undetected"
+        );
+    }
+}

@@ -16,7 +16,7 @@ use crate::error::Result;
 use crate::storage::{Relation, Table};
 use elephant_store::{
     CheckpointStats, FsyncPolicy, RecoveryReport, Store, StoreConfig, StoreStats, TableImage,
-    WalRecord,
+    WalHandle, WalRecord,
 };
 use std::path::Path;
 
@@ -42,6 +42,12 @@ pub trait StorageBackend {
 
     /// True when mutations survive a process kill.
     fn is_durable(&self) -> bool;
+
+    /// The backend's replication surface (WAL + snapshot paths and the
+    /// committed-LSN watermark); `None` when there is nothing to ship.
+    fn wal_handle(&self) -> Option<WalHandle> {
+        None
+    }
 }
 
 /// The volatile backend: every operation is a no-op.
@@ -122,10 +128,14 @@ impl StorageBackend for DurableBackend {
     fn is_durable(&self) -> bool {
         true
     }
+
+    fn wal_handle(&self) -> Option<WalHandle> {
+        Some(self.store.wal_handle())
+    }
 }
 
 /// Convert a recovered image into a live table (ctid order preserved).
-fn image_to_table(img: TableImage) -> Table {
+pub(crate) fn image_to_table(img: TableImage) -> Table {
     Table {
         name: img.name,
         data: Relation {

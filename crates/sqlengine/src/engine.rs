@@ -11,7 +11,9 @@ use crate::optimizer::optimize;
 use crate::profile::EngineProfile;
 use crate::storage::{Relation, Table};
 use crate::trace::{EngineTrace, Phase, QueryProfile};
-use elephant_store::{CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, WalRecord};
+use elephant_store::{
+    CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, TableImage, WalHandle, WalRecord,
+};
 use etypes::{CsvOptions, DataType, Value};
 use std::collections::HashMap;
 use std::path::Path;
@@ -87,6 +89,15 @@ pub struct Engine {
     /// down with the first durability failure.
     unlogged: bool,
     statement_timeout: Option<Duration>,
+    /// Set by [`Engine::pin_read_only`]: the read-only state is a *role*
+    /// (replica serving shipped WAL), not a recoverable failure, so writes
+    /// are refused up front — even on volatile engines, which never reach
+    /// the WAL-side health gate — and `CHECKPOINT` does not re-arm.
+    pinned_read_only: bool,
+    /// Checkpoint automatically once the WAL grows past this many bytes.
+    auto_checkpoint_wal_bytes: Option<u64>,
+    /// Auto-checkpoints taken so far (surfaced in `STATS`).
+    auto_checkpoints: u64,
 }
 
 impl Engine {
@@ -128,6 +139,9 @@ impl Engine {
             health: Health::Healthy,
             unlogged: false,
             statement_timeout: None,
+            pinned_read_only: false,
+            auto_checkpoint_wal_bytes: None,
+            auto_checkpoints: 0,
         }
     }
 
@@ -135,6 +149,41 @@ impl Engine {
     /// [`Health::Healthy`] (there is no disk to diverge from).
     pub fn health(&self) -> &Health {
         &self.health
+    }
+
+    /// Pin the engine into [`Health::ReadOnly`] permanently: replicas serve
+    /// reads and apply shipped WAL records, but refuse every client write —
+    /// including on volatile backends, where the WAL-side health gate never
+    /// fires — and no `CHECKPOINT` re-arms them. There is deliberately no
+    /// unpin: promotion means restarting in leader mode.
+    pub fn pin_read_only(&mut self, reason: impl Into<String>) {
+        self.health = Health::ReadOnly {
+            reason: reason.into(),
+        };
+        self.pinned_read_only = true;
+    }
+
+    /// True when [`Engine::pin_read_only`] was called.
+    pub fn is_pinned_read_only(&self) -> bool {
+        self.pinned_read_only
+    }
+
+    /// Checkpoint automatically once the WAL file grows past `bytes`
+    /// (checked after each logged mutation). Bounds both recovery time and
+    /// replication-bootstrap size. `None` disables the policy.
+    pub fn set_auto_checkpoint_wal_bytes(&mut self, bytes: Option<u64>) {
+        self.auto_checkpoint_wal_bytes = bytes.filter(|b| *b > 0);
+    }
+
+    /// Auto-checkpoints taken since open.
+    pub fn auto_checkpoints(&self) -> u64 {
+        self.auto_checkpoints
+    }
+
+    /// The durable backend's replication surface (WAL + snapshot paths and
+    /// the committed-LSN watermark); `None` on volatile engines.
+    pub fn wal_handle(&self) -> Option<WalHandle> {
+        self.backend.wal_handle()
     }
 
     /// Bypass the WAL and the read-only gate for subsequent mutations
@@ -249,10 +298,110 @@ impl Engine {
     /// leaves both the health state and the previous snapshot untouched.
     pub fn checkpoint(&mut self) -> Result<Option<CheckpointStats>> {
         let stats = self.backend.checkpoint(&self.catalog)?;
-        if stats.is_some() && self.health != Health::Healthy {
+        if stats.is_some() && self.health != Health::Healthy && !self.pinned_read_only {
             self.health = Health::Healthy;
         }
         Ok(stats)
+    }
+
+    /// Apply one shipped WAL record to the catalog (the replication
+    /// follower's write path). Bypasses the WAL and the read-only gate —
+    /// the record *is* the leader's log — and mirrors the recovery replay
+    /// in `elephant-store` exactly: inserts land verbatim (rows were logged
+    /// post-serial-fill, so ctids and serial counters reproduce), updates
+    /// and deletes address rows by ctid. DDL invalidates dependent cached
+    /// plans, exactly as the leader's own DDL did.
+    pub fn apply_wal_record(&mut self, record: WalRecord) -> Result<()> {
+        match record {
+            WalRecord::CreateTable {
+                name,
+                columns,
+                types,
+            } => {
+                self.catalog
+                    .create_table(Table::empty(name.clone(), columns, types))?;
+                self.plan_cache.invalidate_table(&name);
+            }
+            WalRecord::DropTable { name } => {
+                self.catalog.drop(&name, false, false)?;
+                self.plan_cache.invalidate_table(&name);
+            }
+            WalRecord::Insert { table, rows } => {
+                let t = self
+                    .catalog
+                    .table_mut(&table)
+                    .ok_or_else(|| SqlError::catalog(format!("unknown table '{table}'")))?;
+                let width = t.data.columns.len();
+                for row in &rows {
+                    if row.len() != width {
+                        return Err(SqlError::exec(format!(
+                            "replicated row arity {} vs table '{table}' arity {width}",
+                            row.len()
+                        )));
+                    }
+                }
+                for row in &rows {
+                    for (idx, next) in &mut t.serial_next {
+                        if let Some(Value::Int(v)) = row.get(*idx) {
+                            *next = (*next).max(v + 1);
+                        }
+                    }
+                }
+                t.data.rows.extend(rows);
+            }
+            WalRecord::Update { table, rows } => {
+                let t = self
+                    .catalog
+                    .table_mut(&table)
+                    .ok_or_else(|| SqlError::catalog(format!("unknown table '{table}'")))?;
+                for (ctid, row) in rows {
+                    let slot = t.data.rows.get_mut(ctid as usize).ok_or_else(|| {
+                        SqlError::exec(format!("update of missing ctid {ctid} in '{table}'"))
+                    })?;
+                    *slot = row;
+                }
+            }
+            WalRecord::Delete { table, ctids } => {
+                let t = self
+                    .catalog
+                    .table_mut(&table)
+                    .ok_or_else(|| SqlError::catalog(format!("unknown table '{table}'")))?;
+                let mut ids: Vec<usize> = ctids.iter().map(|c| *c as usize).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                for id in ids.into_iter().rev() {
+                    if id >= t.data.rows.len() {
+                        return Err(SqlError::exec(format!(
+                            "delete of missing ctid {id} in '{table}'"
+                        )));
+                    }
+                    t.data.rows.remove(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace the whole catalog with the given table images (replication
+    /// snapshot bootstrap). Views and every cached plan are dropped: the
+    /// follower's state is now whatever the leader's snapshot says it is.
+    pub fn reset_from_images(&mut self, images: Vec<TableImage>) -> Result<()> {
+        let names: Vec<String> = self
+            .catalog
+            .table_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        for name in names {
+            self.catalog.drop(&name, false, false)?;
+        }
+        self.catalog.clear_views();
+        for image in images {
+            self.catalog
+                .create_table(crate::durable::image_to_table(image))?;
+        }
+        self.plan_cache.invalidate();
+        Ok(())
     }
 
     /// Execute one statement.
@@ -339,6 +488,37 @@ impl Engine {
 
     /// Execute one parsed statement.
     pub fn execute_statement(&mut self, stmt: Statement) -> Result<ExecOutcome> {
+        let is_table_write = statement_writes_tables(&stmt);
+        if is_table_write && self.pinned_read_only && !self.unlogged {
+            if let Health::ReadOnly { reason } = &self.health {
+                return Err(SqlError::ReadOnly(reason.clone()));
+            }
+        }
+        let outcome = self.execute_statement_inner(stmt)?;
+        if is_table_write && !self.unlogged {
+            self.maybe_auto_checkpoint();
+        }
+        Ok(outcome)
+    }
+
+    /// Checkpoint when the WAL has outgrown the configured budget. The
+    /// triggering statement already succeeded and is durable, so a failed
+    /// auto-checkpoint is not its failure: compaction is retried after the
+    /// next logged write (and `log_durable` degrades health on real WAL
+    /// faults anyway).
+    fn maybe_auto_checkpoint(&mut self) {
+        let Some(budget) = self.auto_checkpoint_wal_bytes else {
+            return;
+        };
+        let Some(stats) = self.backend.store_stats() else {
+            return;
+        };
+        if stats.wal.bytes >= budget && self.checkpoint().map(|s| s.is_some()).unwrap_or(false) {
+            self.auto_checkpoints += 1;
+        }
+    }
+
+    fn execute_statement_inner(&mut self, stmt: Statement) -> Result<ExecOutcome> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let (names, types): (Vec<String>, Vec<DataType>) =
@@ -876,6 +1056,17 @@ fn no_rows(n: usize) -> ExecOutcome {
     ExecOutcome {
         relation: None,
         rows_affected: n,
+    }
+}
+
+/// True for statements that mutate base tables (what the WAL would log).
+/// View DDL stays out: views are volatile, engine-local, and never shipped
+/// to replicas, so a pinned read-only engine may still manage them.
+fn statement_writes_tables(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::CreateTable { .. } | Statement::Insert { .. } | Statement::Copy { .. } => true,
+        Statement::Drop { is_view, .. } => !is_view,
+        Statement::CreateView { .. } | Statement::Select(_) | Statement::Explain { .. } => false,
     }
 }
 

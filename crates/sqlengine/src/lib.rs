@@ -53,4 +53,7 @@ pub use trace::{EngineTrace, OpProfile, Phase, QueryProfile};
 // Storage types surface through the engine API (recovery reports, fsync
 // policies), so re-export them: dependents need no direct `elephant-store`
 // dependency.
-pub use elephant_store::{CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, WalStats};
+pub use elephant_store::{
+    CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, TableImage, WalHandle, WalRecord,
+    WalStats,
+};

@@ -1,0 +1,174 @@
+//! Row vs. columnar execution: the paired-ratio benchmark behind the
+//! vectorized engine's performance claim.
+//!
+//! The same cached queries — filter, project, grouped aggregate, and an
+//! equi-join — run over 100k-row datagen tables under `ExecMode::Row` and
+//! `ExecMode::Columnar` on the same engine, with samples interleaved so
+//! clock drift and cache warm-up hit both sides equally. Writes
+//! `BENCH_exec.json` at the workspace root and fails — exits non-zero —
+//! when the columnar engine is not at least [`MIN_SPEEDUP`]× faster on the
+//! filter and aggregate workloads (the paper's batch-friendly shapes).
+
+use etypes::CsvOptions;
+use sqlengine::{Engine, EngineProfile, ExecMode};
+use std::time::Instant;
+
+/// Columnar must beat row-at-a-time by at least this factor on the gated
+/// (filter, aggregate) workloads.
+const MIN_SPEEDUP: f64 = 1.5;
+
+const ROWS: usize = 100_000;
+const SAMPLES: usize = 15;
+const ITERS_PER_SAMPLE: u32 = 3;
+
+struct Workload {
+    name: &'static str,
+    sql: &'static str,
+    /// Gate `MIN_SPEEDUP` on this workload's ratio.
+    gated: bool,
+}
+
+const WORKLOADS: [Workload; 4] = [
+    Workload {
+        name: "filter",
+        sql: "SELECT passenger_count, trip_distance FROM taxi \
+              WHERE trip_distance > 2.0 AND passenger_count = 1",
+        gated: true,
+    },
+    Workload {
+        name: "project",
+        sql: "SELECT trip_distance * 1.609 AS km, fare_amount + 1.0 AS f, \
+              \"PULocationID\" - \"DOLocationID\" AS hop FROM taxi",
+        gated: false,
+    },
+    Workload {
+        name: "agg",
+        sql: "SELECT payment_type, count(*) AS n, sum(fare_amount) AS s, \
+              avg(trip_distance) AS m FROM taxi GROUP BY payment_type",
+        gated: true,
+    },
+    Workload {
+        name: "join",
+        sql: "SELECT p.race, h.smoker, h.complications FROM patients p \
+              INNER JOIN histories h ON p.ssn = h.ssn \
+              WHERE h.complications >= 2",
+        gated: false,
+    },
+];
+
+fn build_engine() -> Engine {
+    let mut e = Engine::new(EngineProfile::in_memory());
+    let opts = CsvOptions::default().with_na("?");
+    e.execute(
+        "CREATE TABLE taxi (\"VendorID\" int, passenger_count int, trip_distance float, \
+         \"PULocationID\" int, \"DOLocationID\" int, payment_type int, fare_amount float)",
+    )
+    .expect("create taxi");
+    e.copy_from_str("taxi", None, &datagen::taxi_csv(ROWS, 42), &opts)
+        .expect("load taxi");
+    e.execute(
+        "CREATE TABLE patients (id int, first_name text, last_name text, race text, \
+         county text, num_children int, income int, age_group text, ssn text)",
+    )
+    .expect("create patients");
+    e.copy_from_str("patients", None, &datagen::patients_csv(ROWS, 42), &opts)
+        .expect("load patients");
+    e.execute("CREATE TABLE histories (smoker text, complications int, ssn text)")
+        .expect("create histories");
+    e.copy_from_str("histories", None, &datagen::histories_csv(ROWS, 42), &opts)
+        .expect("load histories");
+    e
+}
+
+/// One timed sample of a cached query under the engine's current mode,
+/// ns/iter. Returns the row count too so both modes can be cross-checked.
+fn sample(e: &mut Engine, sql: &str) -> (u64, usize) {
+    let mut rows = 0;
+    let started = Instant::now();
+    for _ in 0..ITERS_PER_SAMPLE {
+        rows = std::hint::black_box(e.query_cached(sql).expect("query"))
+            .rows
+            .len();
+    }
+    (
+        started.elapsed().as_nanos() as u64 / u64::from(ITERS_PER_SAMPLE),
+        rows,
+    )
+}
+
+fn median(mut ns: Vec<u64>) -> u64 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn main() {
+    let mut e = build_engine();
+    let mut entries = Vec::new();
+    let mut gate_failed = false;
+
+    println!("== exec: row vs columnar ({ROWS} rows) ==");
+    for w in &WORKLOADS {
+        // Warm both plan-cache entries (the cache is keyed by mode).
+        e.set_exec_mode(ExecMode::Row);
+        let warm_rows = e.query_cached(w.sql).expect("warmup").rows.len();
+        e.set_exec_mode(ExecMode::Columnar);
+        e.query_cached(w.sql).expect("warmup");
+
+        let mut row_ns = Vec::with_capacity(SAMPLES);
+        let mut col_ns = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            e.set_exec_mode(ExecMode::Row);
+            let (ns, rows) = sample(&mut e, w.sql);
+            assert_eq!(rows, warm_rows, "{}: row-mode cardinality drifted", w.name);
+            row_ns.push(ns);
+            e.set_exec_mode(ExecMode::Columnar);
+            let (ns, rows) = sample(&mut e, w.sql);
+            assert_eq!(rows, warm_rows, "{}: columnar cardinality differs", w.name);
+            col_ns.push(ns);
+        }
+        let row_ns = median(row_ns);
+        let col_ns = median(col_ns);
+        let speedup = row_ns as f64 / col_ns as f64;
+        let gate = if w.gated {
+            format!(" (gate >= {MIN_SPEEDUP}x)")
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<8} row {row_ns:>10} ns/iter  columnar {col_ns:>10} ns/iter  \
+             speedup {speedup:.2}x{gate}",
+            w.name
+        );
+        if w.gated && speedup < MIN_SPEEDUP {
+            gate_failed = true;
+        }
+        entries.push(format!(
+            "    {{ \"op\": \"{}\", \"rows\": {warm_rows}, \"row_ns\": {row_ns}, \
+             \"columnar_ns\": {col_ns}, \"speedup\": {speedup:.3}, \"gated\": {} }}",
+            w.name, w.gated
+        ));
+    }
+    assert!(
+        e.stats().batches_executed > 0 && e.stats().colexec_fallbacks == 0,
+        "benchmark queries must be fully vectorized"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec\",\n  \"rows\": {ROWS},\n  \"samples\": {SAMPLES},\n  \
+         \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \"min_speedup_gate\": {MIN_SPEEDUP},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let path = root.join("BENCH_exec.json");
+    std::fs::write(&path, json).expect("write BENCH_exec.json");
+    println!("wrote {}", path.display());
+
+    if gate_failed {
+        eprintln!("FAIL: columnar execution missed the {MIN_SPEEDUP}x gate on a gated workload");
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,16 @@
 //! `elephant-serve` — stand-alone server binary.
 //!
 //! ```text
-//! elephant-serve [--addr HOST:PORT] [--disk] [--rows N] [--seed N]
-//!                [--queue N] [--no-data] [--data-dir PATH] [--fsync POLICY]
-//!                [--slow-query-us N] [--statement-timeout-ms N]
-//!                [--repl-addr HOST:PORT] [--replicate-from HOST:PORT]
-//!                [--auto-checkpoint-wal-bytes N]
+//! elephant-serve [--addr HOST:PORT] [--disk] [--exec-mode MODE] [--rows N]
+//!                [--seed N] [--queue N] [--no-data] [--data-dir PATH]
+//!                [--fsync POLICY] [--slow-query-us N]
+//!                [--statement-timeout-ms N] [--repl-addr HOST:PORT]
+//!                [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N]
 //! ```
+//!
+//! `--exec-mode row|columnar|auto` picks the default query execution
+//! engine (row-at-a-time, batch-at-a-time columnar, or plan-driven
+//! choice); clients override it per session with `SET exec_mode <mode>`.
 //!
 //! By default binds 127.0.0.1:5462, uses the in-memory profile, and
 //! pre-registers the standard synthetic pipeline datasets so `INSPECT`
@@ -22,13 +26,14 @@
 //! the WAL outgrows the budget.
 
 use elephant_server::{start, ServerConfig};
-use sqlengine::FsyncPolicy;
+use sqlengine::{ExecMode, FsyncPolicy};
 use std::path::PathBuf;
 use std::process::exit;
 
 fn main() {
     let mut addr = "127.0.0.1:5462".to_string();
     let mut in_memory = true;
+    let mut exec_mode = ExecMode::default();
     let mut rows: usize = 200;
     let mut seed: u64 = 7;
     let mut queue: usize = 64;
@@ -52,6 +57,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = value("--addr"),
             "--disk" => in_memory = false,
+            "--exec-mode" => exec_mode = parse(&value("--exec-mode"), "--exec-mode"),
             "--rows" => rows = parse(&value("--rows"), "--rows"),
             "--seed" => seed = parse(&value("--seed"), "--seed"),
             "--queue" => queue = parse(&value("--queue"), "--queue"),
@@ -77,7 +83,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: elephant-serve [--addr HOST:PORT] [--disk] [--rows N] \
+                    "usage: elephant-serve [--addr HOST:PORT] [--disk] \
+                     [--exec-mode row|columnar|auto] [--rows N] \
                      [--seed N] [--queue N] [--no-data] [--data-dir PATH] \
                      [--fsync always|off|every_n:N] [--slow-query-us N] \
                      [--statement-timeout-ms N] [--repl-addr HOST:PORT] \
@@ -98,6 +105,7 @@ fn main() {
         addr,
         queue_capacity: queue,
         in_memory,
+        exec_mode,
         files: Vec::new(),
         data_dir,
         fsync,
@@ -124,7 +132,8 @@ fn main() {
         (None, None) => "standalone".to_string(),
     };
     println!(
-        "elephant-serve listening on {} ({} profile, {} storage, {role}); send SHUTDOWN to stop",
+        "elephant-serve listening on {} ({} profile, {exec_mode} execution, {} storage, {role}); \
+         send SHUTDOWN to stop",
         handle.local_addr(),
         if in_memory { "in-memory" } else { "disk-based" },
         if durable { "durable" } else { "volatile" },

@@ -21,7 +21,7 @@ use crate::repl::{ReplRole, ReplState};
 use elephant_repl::ReplOp;
 use etypes::SpanRing;
 use mlinspect::SqlMode;
-use sqlengine::{Engine, EngineProfile, FsyncPolicy, SqlError, WalHandle};
+use sqlengine::{Engine, EngineProfile, ExecMode, FsyncPolicy, SqlError, WalHandle};
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
@@ -66,6 +66,9 @@ pub(crate) enum Job {
 pub(crate) struct ExecutorConfig {
     /// Use the in-memory (Umbra-like) profile instead of disk-based.
     pub in_memory: bool,
+    /// Default execution mode for every session; sessions override it with
+    /// `SET exec_mode <row|columnar|auto>` for their own commands only.
+    pub exec_mode: ExecMode,
     /// Virtual files visible to `INSPECT` pipelines (`read_csv` targets).
     pub files: Vec<(String, String)>,
     /// Bound of the job queue (backpressure threshold).
@@ -133,6 +136,8 @@ pub(crate) fn spawn(
             let mut state = ExecutorState {
                 engine,
                 files: cfg.files,
+                default_exec_mode: cfg.exec_mode,
+                session_modes: HashMap::new(),
                 prepared: HashMap::new(),
                 metrics,
                 shutdown,
@@ -201,6 +206,11 @@ pub(crate) fn spawn(
 struct ExecutorState {
     engine: Engine,
     files: Vec<(String, String)>,
+    /// Server-wide execution mode (`--exec-mode`), used by sessions
+    /// without an override.
+    default_exec_mode: ExecMode,
+    /// Per-session `SET exec_mode` overrides, dropped with the session.
+    session_modes: HashMap<u64, ExecMode>,
     /// Prepared-statement names per live session (engine-scoped form).
     prepared: HashMap<u64, Vec<String>>,
     metrics: Arc<Metrics>,
@@ -281,6 +291,15 @@ impl ExecutorState {
     }
 
     fn dispatch(&mut self, session: u64, command: Command) -> Reply {
+        // One engine serves every session, so the issuing session's
+        // execution mode (its `SET exec_mode` override, else the server
+        // default) is applied before each command runs.
+        let mode = self
+            .session_modes
+            .get(&session)
+            .copied()
+            .unwrap_or(self.default_exec_mode);
+        self.engine.set_exec_mode(mode);
         match command {
             Command::Query(sql) => {
                 let out = self.engine.execute(&sql).map_err(|e| self.classify(e))?;
@@ -383,6 +402,19 @@ impl ExecutorState {
                 let report = report.map_err(|e| (codes::INSPECT, format!("inspect {e}")))?;
                 Ok(report.render())
             }
+            Command::Set { name, value } => match name.as_str() {
+                "exec_mode" => {
+                    let mode: ExecMode = value
+                        .parse()
+                        .map_err(|e: String| (codes::PARSE, format!("set exec_mode: {e}")))?;
+                    self.session_modes.insert(session, mode);
+                    Ok(format!("set exec_mode {mode}"))
+                }
+                other => Err((
+                    codes::PARSE,
+                    format!("unknown session variable '{other}' (known: exec_mode)"),
+                )),
+            },
             Command::Stats => {
                 let prepared_total: usize = self.prepared.values().map(Vec::len).sum();
                 let mut body = self.metrics.render(
@@ -398,6 +430,14 @@ impl ExecutorState {
                 if !phases.is_empty() {
                     let _ = write!(body, "\n{phases}");
                 }
+                let engine_stats = self.engine.stats();
+                let _ = write!(body, "\nexec_mode {}", self.engine.exec_mode());
+                let _ = write!(body, "\nbatches_executed {}", engine_stats.batches_executed);
+                let _ = write!(
+                    body,
+                    "\ncolexec_fallbacks {}",
+                    engine_stats.colexec_fallbacks
+                );
                 let _ = write!(body, "\ntrace_spans_recorded {}", self.ring.pushed());
                 let _ = write!(body, "\ntrace_spans_retained {}", self.ring.len());
                 let _ = write!(body, "\nhealth {}", self.engine.health().render());
@@ -454,6 +494,7 @@ impl ExecutorState {
     }
 
     fn close_session(&mut self, session: u64) {
+        self.session_modes.remove(&session);
         if let Some(names) = self.prepared.remove(&session) {
             for name in names {
                 let _ = self.engine.deallocate(&name);
@@ -490,6 +531,7 @@ mod tests {
         let (tx, join, wal) = spawn(
             ExecutorConfig {
                 in_memory: true,
+                exec_mode: ExecMode::default(),
                 files: Vec::new(),
                 queue_capacity: 4,
                 data_dir: None,
@@ -620,6 +662,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let durable_cfg = || ExecutorConfig {
             in_memory: true,
+            exec_mode: ExecMode::default(),
             files: Vec::new(),
             queue_capacity: 4,
             data_dir: Some(dir.clone()),

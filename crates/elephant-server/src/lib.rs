@@ -12,6 +12,7 @@
 //! | `PREPARE` / `EXECUTE` | plan once via the engine's LRU plan cache, run many times |
 //! | `EXPLAIN` | render the optimized plan |
 //! | `INSPECT` | run an ML pipeline through the SQL backend with bias checks |
+//! | `SET` | per-session options, e.g. `SET exec_mode row\|columnar\|auto` |
 //! | `STATS` | counters, queue depth, latency percentiles, plan-cache hit rate, storage/recovery/replication stats |
 //! | `CHECKPOINT` | snapshot all tables to the data directory and truncate the WAL |
 //! | `REPLICA` | replication topology: role, followers, shipped bytes, watermarks |

@@ -65,12 +65,13 @@ impl LatencyHistogram {
 
 /// Verbs with their own counter and latency histogram, plus `OTHER` for
 /// everything else (SHUTDOWN, DEALLOCATE) so `commands_served` reconciles.
-const VERBS: [&str; 11] = [
+const VERBS: [&str; 12] = [
     "QUERY",
     "PREPARE",
     "EXECUTE",
     "EXPLAIN",
     "INSPECT",
+    "SET",
     "STATS",
     "CHECKPOINT",
     "TRACE",
@@ -99,6 +100,8 @@ pub struct Metrics {
     pub explains: AtomicU64,
     /// INSPECT commands served.
     pub inspects: AtomicU64,
+    /// SET commands served.
+    pub set_calls: AtomicU64,
     /// STATS commands served.
     pub stats_calls: AtomicU64,
     /// CHECKPOINT commands served.
@@ -144,6 +147,7 @@ impl Metrics {
             "EXECUTE" => &self.executes,
             "EXPLAIN" => &self.explains,
             "INSPECT" => &self.inspects,
+            "SET" => &self.set_calls,
             "STATS" => &self.stats_calls,
             "CHECKPOINT" => &self.checkpoints,
             "TRACE" => &self.traces,
@@ -178,6 +182,7 @@ impl Metrics {
             + self.executes.load(Ordering::Relaxed)
             + self.explains.load(Ordering::Relaxed)
             + self.inspects.load(Ordering::Relaxed)
+            + self.set_calls.load(Ordering::Relaxed)
             + self.stats_calls.load(Ordering::Relaxed)
             + self.checkpoints.load(Ordering::Relaxed)
             + self.traces.load(Ordering::Relaxed)
@@ -204,6 +209,7 @@ impl Metrics {
         line("executes", self.executes.load(o).to_string());
         line("explains", self.explains.load(o).to_string());
         line("inspects", self.inspects.load(o).to_string());
+        line("set_calls", self.set_calls.load(o).to_string());
         line("stats_calls", self.stats_calls.load(o).to_string());
         line("checkpoints_served", self.checkpoints.load(o).to_string());
         line("traces", self.traces.load(o).to_string());

@@ -5,7 +5,7 @@ use crate::metrics::Metrics;
 use crate::repl::ReplState;
 use crate::session::run_session;
 use elephant_repl::{follower, leader, FollowerConfig, FollowerStatus};
-use sqlengine::FsyncPolicy;
+use sqlengine::{ExecMode, FsyncPolicy};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -27,6 +27,9 @@ pub struct ServerConfig {
     /// In-memory (Umbra-like) engine profile when true, disk-based
     /// (PostgreSQL-like) when false.
     pub in_memory: bool,
+    /// Default execution mode (`row`, `columnar`, or `auto`) for every
+    /// session; clients override per session with `SET exec_mode`.
+    pub exec_mode: ExecMode,
     /// Virtual files served to `INSPECT` pipelines' `read_csv` calls.
     pub files: Vec<(String, String)>,
     /// Directory for the write-ahead log and snapshots. `None` (the
@@ -61,6 +64,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             queue_capacity: 64,
             in_memory: true,
+            exec_mode: ExecMode::default(),
             files: Vec::new(),
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -196,6 +200,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let (tx, executor_join, wal_handle) = executor::spawn(
         ExecutorConfig {
             in_memory: config.in_memory,
+            exec_mode: config.exec_mode,
             files: config.files,
             queue_capacity: config.queue_capacity,
             data_dir: config.data_dir,

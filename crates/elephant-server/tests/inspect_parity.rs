@@ -1,0 +1,119 @@
+//! `INSPECT` parity across execution engines: every stock pipeline must
+//! produce a byte-identical inspection report whether the session runs on
+//! the row engine or the vectorized columnar engine — same verdicts, same
+//! per-operator bias numbers, same row cardinalities. Only the `time_us=`
+//! values may differ, so they are normalized before comparison.
+
+use elephant_server::{start, ElephantClient, ServerConfig};
+
+/// Replace every `time_us=<digits>` with `time_us=_`; timings are the one
+/// legitimately nondeterministic part of a report.
+fn strip_times(report: &str) -> String {
+    let mut out = String::with_capacity(report.len());
+    let mut rest = report;
+    while let Some(i) = rest.find("time_us=") {
+        let after = i + "time_us=".len();
+        out.push_str(&rest[..after]);
+        out.push('_');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+fn stat(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("missing '{key}' in stats:\n{stats}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn stock_pipelines_report_identically_under_columnar_execution() {
+    let handle = start(ServerConfig::default().with_standard_pipeline_data(90, 11)).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+
+    let pipelines: [(&str, &[&str]); 4] = [
+        ("@healthcare", &["race", "age_group"]),
+        ("@compas", &["race", "sex"]),
+        ("@adult simple", &["race", "sex"]),
+        ("@adult complex", &["race", "sex"]),
+    ];
+
+    // Row engine first (the server default), then the same session switched
+    // to columnar; the engine is shared, so reports must match run-to-run.
+    let mut row_reports = Vec::new();
+    for (pipeline, columns) in &pipelines {
+        let report = c.inspect(columns, 0.3, pipeline).unwrap();
+        assert!(report.contains("inspection verdict="), "{report}");
+        row_reports.push(report);
+    }
+    let batches_before = stat(&c.stats().unwrap(), "batches_executed");
+
+    assert_eq!(
+        c.send("SET exec_mode columnar").unwrap(),
+        "set exec_mode columnar"
+    );
+    for ((pipeline, columns), row_report) in pipelines.iter().zip(&row_reports) {
+        let col_report = c.inspect(columns, 0.3, pipeline).unwrap();
+        assert_eq!(
+            strip_times(&col_report),
+            strip_times(row_report),
+            "inspection diverged under columnar execution: {pipeline}"
+        );
+    }
+
+    // The columnar pass really was vectorized: the engine counted batches.
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("exec_mode columnar"), "{stats}");
+    assert!(
+        stat(&stats, "batches_executed") > batches_before,
+        "columnar INSPECT executed no batches:\n{stats}"
+    );
+
+    // Auto mode must agree too (it picks per plan, bridging nothing).
+    assert_eq!(c.send("SET exec_mode auto").unwrap(), "set exec_mode auto");
+    let (pipeline, columns) = &pipelines[0];
+    let auto_report = c.inspect(columns, 0.3, pipeline).unwrap();
+    assert_eq!(strip_times(&auto_report), strip_times(&row_reports[0]));
+
+    // Unknown variables and bad values are structured parse errors and do
+    // not disturb the session's current mode.
+    let err = c.send("SET exec_mode sideways").unwrap_err();
+    assert!(err.to_string().contains("exec_mode"), "{err}");
+    let err = c.send("SET jit on").unwrap_err();
+    assert!(
+        err.to_string().contains("unknown session variable"),
+        "{err}"
+    );
+    assert!(c.stats().unwrap().contains("exec_mode auto"));
+
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+}
+
+/// A fresh session starts from the server default, not from another
+/// session's `SET`.
+#[test]
+fn set_exec_mode_is_session_scoped() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let mut a = ElephantClient::connect(handle.local_addr()).unwrap();
+    let mut b = ElephantClient::connect(handle.local_addr()).unwrap();
+
+    a.query_raw("CREATE TABLE t (x int)").unwrap();
+    a.query_raw("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    a.send("SET exec_mode columnar").unwrap();
+    assert!(a.stats().unwrap().contains("exec_mode columnar"));
+    // Session b still reports the server default.
+    assert!(b.stats().unwrap().contains("exec_mode row"));
+    assert_eq!(b.query_raw("SELECT sum(x) AS s FROM t").unwrap(), "s\n6\n");
+    assert_eq!(a.query_raw("SELECT sum(x) AS s FROM t").unwrap(), "s\n6\n");
+
+    a.shutdown().unwrap();
+    drop(a);
+    drop(b);
+    handle.join();
+}

@@ -19,6 +19,7 @@ fn counter_key(cmd: &Command) -> &'static str {
         Command::Explain { .. } => "explains",
         Command::Trace(_) => "traces",
         Command::Inspect { .. } => "inspects",
+        Command::Set { .. } => "set_calls",
         Command::Stats => "stats_calls",
         Command::Checkpoint => "checkpoints_served",
         Command::Replica => "replica_calls",
@@ -28,12 +29,13 @@ fn counter_key(cmd: &Command) -> &'static str {
 }
 
 /// Every per-verb key `commands_served` is defined as the sum of.
-const PER_VERB_KEYS: [&str; 11] = [
+const PER_VERB_KEYS: [&str; 12] = [
     "queries",
     "prepares",
     "executes",
     "explains",
     "inspects",
+    "set_calls",
     "stats_calls",
     "checkpoints_served",
     "traces",
@@ -70,6 +72,10 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
     // after the last STATS render, so it is exercised but not asserted).
     c.query_raw("CREATE TABLE t (a int)").unwrap();
     c.query_raw("INSERT INTO t VALUES (1), (2)").unwrap();
+    assert_eq!(
+        c.send("SET exec_mode columnar").unwrap(),
+        "set exec_mode columnar"
+    );
     c.query_raw("SELECT a FROM t ORDER BY a").unwrap();
     c.prepare("q", "SELECT sum(a) AS s FROM t").unwrap();
     c.execute("q").unwrap();
@@ -104,12 +110,20 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
         ("checkpoints_served", 1),
         ("replica_calls", 1),
         ("lag_calls", 1),
+        ("set_calls", 1),
         ("stats_calls", 1),    // the first STATS; the rendering one is in flight
         ("other_commands", 1), // DEALLOCATE
     ] {
         assert_eq!(stat(&body, key), want, "counter '{key}' off:\n{body}");
     }
-    assert_eq!(served, 13);
+    assert_eq!(served, 14);
+
+    // The session switched itself to columnar above, so STATS reports the
+    // session's mode and the engine counted vectorized batches. The
+    // fallback counter must render too (INSPECT pipelines may bridge).
+    assert!(body.contains("exec_mode columnar"), "{body}");
+    assert!(stat(&body, "batches_executed") > 0, "{body}");
+    let _ = stat(&body, "colexec_fallbacks");
 
     // Compile-time completeness: route a sample of every variant through
     // the exhaustive map and pin the bucket each one must land in.
@@ -139,6 +153,13 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
                 source: "@healthcare".into(),
             },
             "inspects",
+        ),
+        (
+            Command::Set {
+                name: "exec_mode".into(),
+                value: "auto".into(),
+            },
+            "set_calls",
         ),
         (Command::Stats, "stats_calls"),
         (Command::Checkpoint, "checkpoints_served"),

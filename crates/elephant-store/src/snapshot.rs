@@ -29,7 +29,8 @@
 use crate::crc32::crc32;
 use crate::error::{Result, StoreError};
 use crate::TableImage;
-use etypes::binary::{put_i64, put_str, put_u32, put_u64, put_value};
+use etypes::binary::{put_i64, put_str, put_u32, put_u64};
+use etypes::chunk::Column;
 use etypes::{ByteReader, Value};
 use std::fs::{self, File};
 use std::io::{Read, Write};
@@ -38,53 +39,8 @@ use std::path::Path;
 /// File magic for snapshot files (8 bytes, versioned).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ELSNP001";
 
-/// Page encodings.
-const PAGE_GENERIC: u8 = 0;
-const PAGE_INT: u8 = 1;
-const PAGE_FLOAT: u8 = 2;
-const PAGE_BOOL: u8 = 3;
-const PAGE_TEXT: u8 = 4;
-
-fn pick_page_tag(rows: &[Vec<Value>], col: usize) -> u8 {
-    let mut tag: Option<u8> = None;
-    for row in rows {
-        let want = match &row[col] {
-            Value::Null => continue,
-            Value::Int(_) => PAGE_INT,
-            Value::Float(_) => PAGE_FLOAT,
-            Value::Bool(_) => PAGE_BOOL,
-            Value::Text(_) => PAGE_TEXT,
-            Value::Array(_) => return PAGE_GENERIC,
-        };
-        match tag {
-            None => tag = Some(want),
-            Some(t) if t == want => {}
-            Some(_) => return PAGE_GENERIC,
-        }
-    }
-    tag.unwrap_or(PAGE_GENERIC)
-}
-
 fn encode_column(buf: &mut Vec<u8>, rows: &[Vec<Value>], col: usize) {
-    let tag = pick_page_tag(rows, col);
-    buf.push(tag);
-    let mut bitmap = vec![0u8; rows.len().div_ceil(8)];
-    for (i, row) in rows.iter().enumerate() {
-        if row[col].is_null() {
-            bitmap[i / 8] |= 1 << (i % 8);
-        }
-    }
-    buf.extend_from_slice(&bitmap);
-    for row in rows {
-        match (&row[col], tag) {
-            (Value::Null, _) => {}
-            (Value::Int(v), PAGE_INT) => put_i64(buf, *v),
-            (Value::Float(v), PAGE_FLOAT) => etypes::binary::put_f64(buf, *v),
-            (Value::Bool(v), PAGE_BOOL) => buf.push(*v as u8),
-            (Value::Text(v), PAGE_TEXT) => put_str(buf, v),
-            (v, _) => put_value(buf, v),
-        }
-    }
+    Column::from_rows(rows, col).encode_page(buf);
 }
 
 fn decode_column(
@@ -93,21 +49,9 @@ fn decode_column(
     rows: &mut [Vec<Value>],
     col: usize,
 ) -> Result<()> {
-    let tag = r.u8()?;
-    let bitmap = r.bytes(nrows.div_ceil(8))?.to_vec();
+    let page = Column::decode_page(r, nrows)?;
     for (i, row) in rows.iter_mut().enumerate().take(nrows) {
-        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-            row[col] = Value::Null;
-            continue;
-        }
-        row[col] = match tag {
-            PAGE_INT => Value::Int(r.i64()?),
-            PAGE_FLOAT => Value::Float(r.f64()?),
-            PAGE_BOOL => Value::Bool(r.u8()? != 0),
-            PAGE_TEXT => Value::Text(r.str()?),
-            PAGE_GENERIC => r.value()?,
-            other => return Err(StoreError::corrupt(format!("unknown page tag {other}"))),
-        };
+        row[col] = page.get(i);
     }
     Ok(())
 }

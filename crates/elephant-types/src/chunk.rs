@@ -1,0 +1,562 @@
+//! In-memory columnar chunks: typed vectors plus null bitmaps.
+//!
+//! A [`Column`] is the in-memory twin of one ELSNP001 snapshot *page*: the
+//! same five encodings (`int` = raw i64, `float` = raw f64 bits, `bool`,
+//! `text`, and a generic tagged-[`Value`] fallback for mixed or array
+//! columns), the same null bitmap convention (bit `i` of byte `i/8`, LSB
+//! first, a **set** bit marks NULL), and a byte-identical serialized form —
+//! [`Column::encode_page`] produces exactly the page bytes the snapshot
+//! writer has always emitted, and [`Column::decode_page`] reads them back.
+//! Snapshots therefore load straight into executable chunks, and the
+//! vectorized executor's working representation round-trips through
+//! checkpoints without a conversion layer.
+//!
+//! Dense layout: the typed vectors hold one slot per row, with null
+//! positions occupied by a type default (0, 0.0, false, "") so kernels can
+//! iterate without branching on validity; nullness lives only in the
+//! bitmap. The serialized page still stores non-null cells only, exactly as
+//! before.
+//!
+//! A [`ColumnChunk`] is a batch of rows as a set of reference-counted
+//! columns — the unit the batch-at-a-time executor passes between
+//! operators. `Rc` makes column-preserving operators (projection of a bare
+//! column reference, filters that keep a column untouched) free.
+
+use crate::binary::{put_f64, put_i64, put_str, put_value};
+use crate::error::{Error, Result};
+use crate::{ByteReader, Value};
+use std::rc::Rc;
+
+/// Page-encoding tags shared with the ELSNP001 snapshot format.
+pub mod page_tag {
+    /// Tagged [`crate::Value`] cells (mixed, array, or all-null columns).
+    pub const GENERIC: u8 = 0;
+    /// Raw little-endian i64 cells.
+    pub const INT: u8 = 1;
+    /// Raw little-endian f64 bit patterns.
+    pub const FLOAT: u8 = 2;
+    /// One byte per cell (0 or 1).
+    pub const BOOL: u8 = 3;
+    /// u32-length-prefixed UTF-8 cells.
+    pub const TEXT: u8 = 4;
+}
+
+/// Null bitmap of one column: bit `i` of byte `i/8` (LSB first), **set**
+/// means NULL — the exact on-disk convention of ELSNP001 pages.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NullBitmap {
+    bytes: Vec<u8>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap covering `len` rows.
+    pub fn new_valid(len: usize) -> NullBitmap {
+        NullBitmap {
+            bytes: vec![0u8; len.div_ceil(8)],
+            len,
+            nulls: 0,
+        }
+    }
+
+    /// Rebuild from raw page bytes (must span `ceil(len/8)` bytes).
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> NullBitmap {
+        let nulls = (0..len)
+            .filter(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+            .count();
+        NullBitmap { bytes, len, nulls }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.bytes[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Mark row `i` NULL.
+    #[inline]
+    pub fn set_null(&mut self, i: usize) {
+        let mask = 1 << (i % 8);
+        if self.bytes[i / 8] & mask == 0 {
+            self.bytes[i / 8] |= mask;
+            self.nulls += 1;
+        }
+    }
+
+    /// Number of NULL rows (kernels skip the null branch when this is 0).
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// True when no row is NULL.
+    pub fn all_valid(&self) -> bool {
+        self.nulls == 0
+    }
+
+    /// The raw bitmap bytes, as stored in a snapshot page.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// The typed cell storage of one [`Column`], dense (one slot per row, null
+/// positions hold a type default). Variants map 1:1 onto the snapshot page
+/// tags in [`page_tag`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// All non-null cells are `Value::Int`.
+    Int(Vec<i64>),
+    /// All non-null cells are `Value::Float`.
+    Float(Vec<f64>),
+    /// All non-null cells are `Value::Bool`.
+    Bool(Vec<bool>),
+    /// All non-null cells are `Value::Text`.
+    Text(Vec<String>),
+    /// Mixed, array-typed, or all-null cells, stored as tagged values.
+    Generic(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Generic(v) => v.len(),
+        }
+    }
+
+    /// The snapshot page tag this storage serializes under.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ColumnData::Int(_) => page_tag::INT,
+            ColumnData::Float(_) => page_tag::FLOAT,
+            ColumnData::Bool(_) => page_tag::BOOL,
+            ColumnData::Text(_) => page_tag::TEXT,
+            ColumnData::Generic(_) => page_tag::GENERIC,
+        }
+    }
+}
+
+/// One column of a batch: dense typed storage plus a null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    nulls: NullBitmap,
+}
+
+impl Column {
+    /// Build from explicit storage and bitmap (lengths must agree).
+    pub fn new(data: ColumnData, nulls: NullBitmap) -> Column {
+        debug_assert_eq!(data.len(), nulls.len());
+        Column { data, nulls }
+    }
+
+    /// Build column `col` from row-major `rows`, choosing the densest
+    /// typed representation every non-null cell fits — the same choice the
+    /// snapshot writer makes (arrays or mixed types fall back to generic;
+    /// an all-null column is generic).
+    pub fn from_rows(rows: &[Vec<Value>], col: usize) -> Column {
+        Column::from_cells(rows.len(), |i| &rows[i][col])
+    }
+
+    /// Build from a slice of cells (one column already extracted).
+    pub fn from_values(cells: &[Value]) -> Column {
+        Column::from_cells(cells.len(), |i| &cells[i])
+    }
+
+    fn from_cells<'a>(len: usize, cell: impl Fn(usize) -> &'a Value) -> Column {
+        // Mirror the snapshot writer's pick_page_tag: first non-null cell
+        // proposes a tag, any disagreement (or an array) forces generic.
+        let mut tag: Option<u8> = None;
+        for i in 0..len {
+            let want = match cell(i) {
+                Value::Null => continue,
+                Value::Int(_) => page_tag::INT,
+                Value::Float(_) => page_tag::FLOAT,
+                Value::Bool(_) => page_tag::BOOL,
+                Value::Text(_) => page_tag::TEXT,
+                Value::Array(_) => {
+                    tag = Some(page_tag::GENERIC);
+                    break;
+                }
+            };
+            match tag {
+                None => tag = Some(want),
+                Some(t) if t == want => {}
+                Some(_) => {
+                    tag = Some(page_tag::GENERIC);
+                    break;
+                }
+            }
+        }
+        let tag = tag.unwrap_or(page_tag::GENERIC);
+        let mut nulls = NullBitmap::new_valid(len);
+        let data = match tag {
+            page_tag::INT => {
+                let mut v = Vec::with_capacity(len);
+                for i in 0..len {
+                    match cell(i) {
+                        Value::Int(x) => v.push(*x),
+                        _ => {
+                            nulls.set_null(i);
+                            v.push(0);
+                        }
+                    }
+                }
+                ColumnData::Int(v)
+            }
+            page_tag::FLOAT => {
+                let mut v = Vec::with_capacity(len);
+                for i in 0..len {
+                    match cell(i) {
+                        Value::Float(x) => v.push(*x),
+                        _ => {
+                            nulls.set_null(i);
+                            v.push(0.0);
+                        }
+                    }
+                }
+                ColumnData::Float(v)
+            }
+            page_tag::BOOL => {
+                let mut v = Vec::with_capacity(len);
+                for i in 0..len {
+                    match cell(i) {
+                        Value::Bool(x) => v.push(*x),
+                        _ => {
+                            nulls.set_null(i);
+                            v.push(false);
+                        }
+                    }
+                }
+                ColumnData::Bool(v)
+            }
+            page_tag::TEXT => {
+                let mut v = Vec::with_capacity(len);
+                for i in 0..len {
+                    match cell(i) {
+                        Value::Text(x) => v.push(x.clone()),
+                        _ => {
+                            nulls.set_null(i);
+                            v.push(String::new());
+                        }
+                    }
+                }
+                ColumnData::Text(v)
+            }
+            _ => {
+                let mut v = Vec::with_capacity(len);
+                for i in 0..len {
+                    let c = cell(i);
+                    if c.is_null() {
+                        nulls.set_null(i);
+                    }
+                    v.push(c.clone());
+                }
+                ColumnData::Generic(v)
+            }
+        };
+        Column { data, nulls }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True when the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap.
+    pub fn nulls(&self) -> &NullBitmap {
+        &self.nulls
+    }
+
+    /// True when row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.is_null(i)
+    }
+
+    /// Materialize cell `i` as a [`Value`] (NULL positions yield
+    /// `Value::Null` regardless of the dense slot's default).
+    pub fn get(&self, i: usize) -> Value {
+        if self.nulls.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Text(v) => Value::Text(v[i].clone()),
+            ColumnData::Generic(v) => v[i].clone(),
+        }
+    }
+
+    /// Serialize as one ELSNP001 snapshot page: tag byte, null bitmap,
+    /// then non-null cells only — byte-identical to the snapshot writer's
+    /// historical output.
+    pub fn encode_page(&self, buf: &mut Vec<u8>) {
+        buf.push(self.data.tag());
+        buf.extend_from_slice(self.nulls.as_bytes());
+        match &self.data {
+            ColumnData::Int(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if !self.nulls.is_null(i) {
+                        put_i64(buf, *x);
+                    }
+                }
+            }
+            ColumnData::Float(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if !self.nulls.is_null(i) {
+                        put_f64(buf, *x);
+                    }
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if !self.nulls.is_null(i) {
+                        buf.push(*x as u8);
+                    }
+                }
+            }
+            ColumnData::Text(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if !self.nulls.is_null(i) {
+                        put_str(buf, x);
+                    }
+                }
+            }
+            ColumnData::Generic(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    if !self.nulls.is_null(i) {
+                        put_value(buf, x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode one snapshot page spanning `nrows` rows.
+    pub fn decode_page(r: &mut ByteReader<'_>, nrows: usize) -> Result<Column> {
+        let tag = r.u8()?;
+        let bitmap = r.bytes(nrows.div_ceil(8))?.to_vec();
+        let nulls = NullBitmap::from_bytes(bitmap, nrows);
+        let data = match tag {
+            page_tag::INT => {
+                let mut v = Vec::with_capacity(nrows);
+                for i in 0..nrows {
+                    v.push(if nulls.is_null(i) { 0 } else { r.i64()? });
+                }
+                ColumnData::Int(v)
+            }
+            page_tag::FLOAT => {
+                let mut v = Vec::with_capacity(nrows);
+                for i in 0..nrows {
+                    v.push(if nulls.is_null(i) { 0.0 } else { r.f64()? });
+                }
+                ColumnData::Float(v)
+            }
+            page_tag::BOOL => {
+                let mut v = Vec::with_capacity(nrows);
+                for i in 0..nrows {
+                    v.push(if nulls.is_null(i) {
+                        false
+                    } else {
+                        r.u8()? != 0
+                    });
+                }
+                ColumnData::Bool(v)
+            }
+            page_tag::TEXT => {
+                let mut v = Vec::with_capacity(nrows);
+                for i in 0..nrows {
+                    v.push(if nulls.is_null(i) {
+                        String::new()
+                    } else {
+                        r.str()?
+                    });
+                }
+                ColumnData::Text(v)
+            }
+            page_tag::GENERIC => {
+                let mut v = Vec::with_capacity(nrows);
+                for i in 0..nrows {
+                    v.push(if nulls.is_null(i) {
+                        Value::Null
+                    } else {
+                        r.value()?
+                    });
+                }
+                ColumnData::Generic(v)
+            }
+            other => return Err(Error::Codec(format!("unknown page tag {other}"))),
+        };
+        Ok(Column { data, nulls })
+    }
+}
+
+/// A batch of rows as reference-counted columns — the unit of work of the
+/// vectorized executor.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnChunk {
+    columns: Vec<Rc<Column>>,
+    len: usize,
+}
+
+impl ColumnChunk {
+    /// Build from shared columns (all must have the same length; a
+    /// zero-column chunk carries `len` as its row count).
+    pub fn new(columns: Vec<Rc<Column>>, len: usize) -> ColumnChunk {
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        ColumnChunk { columns, len }
+    }
+
+    /// Columnarize `width` columns of row-major `rows`.
+    pub fn from_rows(rows: &[Vec<Value>], width: usize) -> ColumnChunk {
+        let columns = (0..width)
+            .map(|c| Rc::new(Column::from_rows(rows, c)))
+            .collect();
+        ColumnChunk {
+            columns,
+            len: rows.len(),
+        }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &Rc<Column> {
+        &self.columns[i]
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[Rc<Column>] {
+        &self.columns
+    }
+
+    /// Materialize row `i` as a `Vec<Value>`.
+    pub fn get_row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Materialize the whole batch row-major (the fallback bridge).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|i| self.get_row(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cells: &[Value]) -> Column {
+        let col = Column::from_values(cells);
+        let mut buf = Vec::new();
+        col.encode_page(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let back = Column::decode_page(&mut r, cells.len()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(col, back);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(&back.get(i), c);
+        }
+        back
+    }
+
+    #[test]
+    fn typed_columns_round_trip() {
+        let ints = roundtrip(&[Value::Int(1), Value::Null, Value::Int(-3)]);
+        assert_eq!(ints.data().tag(), page_tag::INT);
+        assert_eq!(ints.nulls().null_count(), 1);
+
+        let floats = roundtrip(&[Value::Float(-0.0), Value::Float(1.5), Value::Null]);
+        assert_eq!(floats.data().tag(), page_tag::FLOAT);
+        // -0.0 survives bit-exactly.
+        match floats.data() {
+            ColumnData::Float(v) => assert!(v[0].is_sign_negative()),
+            other => panic!("expected float storage, got {other:?}"),
+        }
+
+        let bools = roundtrip(&[Value::Bool(true), Value::Bool(false)]);
+        assert_eq!(bools.data().tag(), page_tag::BOOL);
+
+        let texts = roundtrip(&[Value::text("a"), Value::Null, Value::text("")]);
+        assert_eq!(texts.data().tag(), page_tag::TEXT);
+    }
+
+    #[test]
+    fn mixed_and_all_null_columns_are_generic() {
+        let mixed = roundtrip(&[Value::Int(1), Value::text("two")]);
+        assert_eq!(mixed.data().tag(), page_tag::GENERIC);
+
+        let arrays = roundtrip(&[Value::Array(vec![Value::Int(3)])]);
+        assert_eq!(arrays.data().tag(), page_tag::GENERIC);
+
+        let nulls = roundtrip(&[Value::Null, Value::Null]);
+        assert_eq!(nulls.data().tag(), page_tag::GENERIC);
+        assert_eq!(nulls.nulls().null_count(), 2);
+
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn chunk_round_trips_rows() {
+        let rows = vec![
+            vec![Value::Int(1), Value::text("a"), Value::Null],
+            vec![Value::Int(2), Value::Null, Value::Float(0.5)],
+        ];
+        let chunk = ColumnChunk::from_rows(&rows, 3);
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.width(), 3);
+        assert_eq!(chunk.get_row(1), rows[1]);
+        assert_eq!(chunk.to_rows(), rows);
+    }
+
+    #[test]
+    fn bitmap_counts_and_flags() {
+        let mut b = NullBitmap::new_valid(10);
+        assert!(b.all_valid());
+        b.set_null(3);
+        b.set_null(3);
+        b.set_null(9);
+        assert_eq!(b.null_count(), 2);
+        assert!(b.is_null(3) && b.is_null(9) && !b.is_null(0));
+        let rebuilt = NullBitmap::from_bytes(b.as_bytes().to_vec(), 10);
+        assert_eq!(rebuilt, b);
+    }
+}

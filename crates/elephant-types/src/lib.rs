@@ -8,6 +8,7 @@
 //! used both by the `pandas.read_csv` emulation and by the engine's `COPY`.
 
 pub mod binary;
+pub mod chunk;
 pub mod csv;
 pub mod datatype;
 pub mod error;
@@ -17,6 +18,7 @@ pub mod span;
 pub mod value;
 
 pub use binary::ByteReader;
+pub use chunk::{Column, ColumnChunk, ColumnData, NullBitmap};
 pub use csv::{read_csv, read_csv_str, write_csv, CsvOptions, CsvTable};
 pub use datatype::DataType;
 pub use error::{Error, Result};

@@ -1,0 +1,99 @@
+//! Vectorized aggregation.
+//!
+//! Group keys and aggregate arguments are evaluated once per batch as whole
+//! columns, then accumulators ([`Acc`], shared with the row engine so both
+//! produce bit-identical results) are fed per row. Global aggregates skip
+//! the hash table entirely.
+
+use super::kernels::{eval_col, Evaluated};
+use super::{exec_node, rows_to_chunks};
+use crate::error::Result;
+use crate::exec::{Acc, ExecContext, Row};
+use crate::plan::{AggCall, BExpr, PlanNode};
+use etypes::{ColumnChunk, Value};
+use std::collections::HashMap;
+
+/// Evaluate each aggregate's argument (if any) as a dense column over the
+/// whole batch.
+fn arg_columns(
+    aggs: &[AggCall],
+    chunk: &ColumnChunk,
+    sel: &[usize],
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Option<Evaluated>>> {
+    aggs.iter()
+        .map(|call| match &call.arg {
+            Some(e) => Ok(Some(eval_col(e, chunk, sel, ctx)?)),
+            None => Ok(None),
+        })
+        .collect()
+}
+
+pub(super) fn exec_aggregate(
+    input: &PlanNode,
+    group_exprs: &[BExpr],
+    aggs: &[AggCall],
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<ColumnChunk>> {
+    let chunks = exec_node(input, ctx)?;
+    let width = group_exprs.len() + aggs.len();
+
+    if group_exprs.is_empty() {
+        // Global aggregate: one accumulator set, no hash table.
+        let mut accs: Vec<Acc> = aggs.iter().map(Acc::new).collect();
+        for chunk in &chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            let sel: Vec<usize> = (0..chunk.len()).collect();
+            let args = arg_columns(aggs, chunk, &sel, ctx)?;
+            for i in 0..chunk.len() {
+                for (acc, arg) in accs.iter_mut().zip(&args) {
+                    acc.update(arg.as_ref().map(|a| a.get(i)))?;
+                }
+            }
+        }
+        // Over empty input this still yields one row of defaults, like the
+        // row engine.
+        let row: Row = accs.into_iter().map(Acc::finish).collect();
+        return Ok(vec![ColumnChunk::from_rows(&[row], width)]);
+    }
+
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for chunk in &chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        let sel: Vec<usize> = (0..chunk.len()).collect();
+        let key_cols: Vec<Evaluated> = group_exprs
+            .iter()
+            .map(|g| eval_col(g, chunk, &sel, ctx))
+            .collect::<Result<_>>()?;
+        let args = arg_columns(aggs, chunk, &sel, ctx)?;
+        for i in 0..chunk.len() {
+            let key: Vec<Value> = key_cols.iter().map(|k| k.get(i)).collect();
+            let accs = match groups.get_mut(&key) {
+                Some(a) => a,
+                None => {
+                    order.push(key.clone());
+                    groups
+                        .entry(key)
+                        .or_insert_with(|| aggs.iter().map(Acc::new).collect())
+                }
+            };
+            for (acc, arg) in accs.iter_mut().zip(&args) {
+                acc.update(arg.as_ref().map(|a| a.get(i)))?;
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group recorded in order");
+        let mut row = key;
+        row.extend(accs.into_iter().map(Acc::finish));
+        rows.push(row);
+    }
+    Ok(rows_to_chunks(&rows, width))
+}

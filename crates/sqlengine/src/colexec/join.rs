@@ -1,0 +1,113 @@
+//! Vectorized hash equi-join.
+//!
+//! Both inputs are concatenated into single chunks (a hash join is a
+//! pipeline breaker on its build side anyway), keys are evaluated as whole
+//! columns, and the probe emits `(left, right)` index pairs in exactly the
+//! row engine's output order; output batches are then gathered from the
+//! pairs, with `None` slots padding outer-join misses with NULLs.
+
+use super::kernels::{eval_col, gather_opt};
+use super::{concat_chunks, exec_node, BATCH_ROWS};
+use crate::error::Result;
+use crate::exec::eval::{eval, truthy};
+use crate::exec::ExecContext;
+use crate::plan::{BExpr, EquiKey, JoinKind, PlanNode};
+use etypes::chunk::Column;
+use etypes::{ColumnChunk, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The row's composite key, or `None` when a non-null-safe key is NULL
+/// (such rows never match, mirroring `exec::join_key`).
+fn row_key(key_cols: &[Rc<Column>], equi: &[EquiKey], i: usize) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(key_cols.len());
+    for (kc, k) in key_cols.iter().zip(equi) {
+        let v = kc.get(i);
+        if v.is_null() && !k.null_safe {
+            return None;
+        }
+        key.push(v);
+    }
+    Some(key)
+}
+
+pub(super) fn exec_join(
+    left: &PlanNode,
+    right: &PlanNode,
+    kind: JoinKind,
+    equi: &[EquiKey],
+    residual: Option<&BExpr>,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<ColumnChunk>> {
+    debug_assert!(kind != JoinKind::Cross && !equi.is_empty());
+    let lchunk = concat_chunks(&exec_node(left, ctx)?);
+    let rchunk = concat_chunks(&exec_node(right, ctx)?);
+
+    let lsel: Vec<usize> = (0..lchunk.len()).collect();
+    let rsel: Vec<usize> = (0..rchunk.len()).collect();
+    let lkeys: Vec<Rc<Column>> = equi
+        .iter()
+        .map(|k| Ok(eval_col(&k.left, &lchunk, &lsel, ctx)?.materialize(lchunk.len())))
+        .collect::<Result<_>>()?;
+    let rkeys: Vec<Rc<Column>> = equi
+        .iter()
+        .map(|k| Ok(eval_col(&k.right, &rchunk, &rsel, ctx)?.materialize(rchunk.len())))
+        .collect::<Result<_>>()?;
+
+    // Build on right, probe with left (same as the row engine).
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rchunk.len());
+    for j in 0..rchunk.len() {
+        if let Some(k) = row_key(&rkeys, equi, j) {
+            table.entry(k).or_default().push(j);
+        }
+    }
+
+    let mut pairs: Vec<(Option<usize>, Option<usize>)> = Vec::new();
+    let mut right_matched = vec![false; rchunk.len()];
+    for i in 0..lchunk.len() {
+        ctx.tick(1)?;
+        let matches = row_key(&lkeys, equi, i).and_then(|k| table.get(&k));
+        let mut any = false;
+        if let Some(matches) = matches {
+            for &j in matches {
+                if let Some(res) = residual {
+                    // Residuals see the combined row; defer to the row
+                    // evaluator on a materialized pair (rare path).
+                    let mut row = lchunk.get_row(i);
+                    row.extend(rchunk.get_row(j));
+                    if !truthy(&eval(res, &row, ctx)?) {
+                        continue;
+                    }
+                }
+                any = true;
+                right_matched[j] = true;
+                pairs.push((Some(i), Some(j)));
+            }
+        }
+        if !any && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            pairs.push((Some(i), None));
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (j, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                pairs.push((None, Some(j)));
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(pairs.len().div_ceil(BATCH_ROWS));
+    for window in pairs.chunks(BATCH_ROWS) {
+        let lidx: Vec<Option<usize>> = window.iter().map(|p| p.0).collect();
+        let ridx: Vec<Option<usize>> = window.iter().map(|p| p.1).collect();
+        let mut cols = Vec::with_capacity(lchunk.width() + rchunk.width());
+        for c in lchunk.columns() {
+            cols.push(Rc::new(gather_opt(c, &lidx)));
+        }
+        for c in rchunk.columns() {
+            cols.push(Rc::new(gather_opt(c, &ridx)));
+        }
+        out.push(ColumnChunk::new(cols, window.len()));
+    }
+    Ok(out)
+}

@@ -4,6 +4,7 @@ use crate::ast::Statement;
 use crate::binder::bind_select;
 use crate::cache::{collect_table_deps, CachedPlan, PlanCache, PlanCacheStats};
 use crate::catalog::{Catalog, ViewDef};
+use crate::colexec::{self, ExecMode};
 use crate::durable::{DurableBackend, MemoryBackend, StorageBackend};
 use crate::error::{Result, SqlError};
 use crate::exec::{execute_root, ExecContext, ExecStats};
@@ -98,6 +99,8 @@ pub struct Engine {
     auto_checkpoint_wal_bytes: Option<u64>,
     /// Auto-checkpoints taken so far (surfaced in `STATS`).
     auto_checkpoints: u64,
+    /// Which execution subsystem runs queries (row, columnar, or auto).
+    exec_mode: ExecMode,
 }
 
 impl Engine {
@@ -142,7 +145,20 @@ impl Engine {
             pinned_read_only: false,
             auto_checkpoint_wal_bytes: None,
             auto_checkpoints: 0,
+            exec_mode: ExecMode::default(),
         }
+    }
+
+    /// The active execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Select which execution subsystem runs queries. Cached plans are
+    /// keyed by `(mode, sql)`, so switching modes never re-executes a plan
+    /// whose Auto decision was made under the other mode.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
     }
 
     /// The engine's durability health. Volatile engines are always
@@ -681,8 +697,17 @@ impl Engine {
         if let Some(timeout) = self.statement_timeout {
             ctx.set_deadline(Instant::now() + timeout, timeout.as_millis() as u64);
         }
+        let columnar = match self.exec_mode {
+            ExecMode::Row => false,
+            ExecMode::Columnar => true,
+            ExecMode::Auto => colexec::fully_vectorized(root),
+        };
         let started = (self.trace.enabled() || self.capture_profiles).then(Instant::now);
-        let rows = execute_root(&ctx)?;
+        let rows = if columnar {
+            colexec::execute_root(&ctx)?
+        } else {
+            execute_root(&ctx)?
+        };
         let elapsed_us = started.map(|t| t.elapsed().as_micros() as u64);
         if let Some(us) = elapsed_us {
             self.trace.record_us(Phase::Execute, us);
@@ -693,6 +718,8 @@ impl Engine {
         self.stats.ctes_materialized += run_stats.ctes_materialized;
         self.stats.shared_scans += run_stats.shared_scans;
         self.stats.rows_processed += run_stats.rows_processed;
+        self.stats.batches_executed += run_stats.batches_executed;
+        self.stats.colexec_fallbacks += run_stats.colexec_fallbacks;
         self.queries_run += 1;
         if let Some(profiles) = ctx.take_profiles() {
             self.last_profile = Some(crate::explain::build_query_profile(
@@ -705,26 +732,36 @@ impl Engine {
         Relation::new(schema.names(), schema.types(), rows)
     }
 
+    /// The plan-cache key for `sql` under the current execution mode. Modes
+    /// share the cache but not entries: `Auto`'s columnar-or-row decision is
+    /// taken per execution, so a plan prepared under one mode must not serve
+    /// another.
+    fn cache_key(&self, sql: &str) -> String {
+        format!("{}\u{1f}{sql}", self.exec_mode)
+    }
+
     /// Plan `sql` (which must be a single SELECT) into the plan cache
     /// without executing it, unless already cached. Returns true when
     /// planning happened, false on a cache hit.
     pub fn prepare_cached(&mut self, sql: &str) -> Result<bool> {
-        if self.plan_cache.contains(sql) {
+        let key = self.cache_key(sql);
+        if self.plan_cache.contains(&key) {
             return Ok(false);
         }
         let plan = self.plan_select(sql)?;
-        self.plan_cache.insert(sql, plan);
+        self.plan_cache.insert(key, plan);
         Ok(true)
     }
 
     /// Run a single SELECT through the LRU plan cache: parse + bind +
     /// optimize only on a miss, re-execute the cached plan on a hit.
     pub fn query_cached(&mut self, sql: &str) -> Result<Relation> {
-        let cached = match self.plan_cache.get(sql) {
+        let key = self.cache_key(sql);
+        let cached = match self.plan_cache.get(&key) {
             Some(hit) => hit,
             None => {
                 let plan = self.plan_select(sql)?;
-                self.plan_cache.insert(sql, plan.clone());
+                self.plan_cache.insert(key, plan.clone());
                 plan
             }
         };

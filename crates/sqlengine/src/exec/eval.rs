@@ -114,7 +114,7 @@ pub fn truthy(v: &Value) -> bool {
     matches!(v, Value::Bool(true))
 }
 
-fn three_valued_and(l: &Value, r: &Value) -> Value {
+pub(crate) fn three_valued_and(l: &Value, r: &Value) -> Value {
     match (l, r) {
         (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
         (Value::Null, _) | (_, Value::Null) => Value::Null,
@@ -123,7 +123,7 @@ fn three_valued_and(l: &Value, r: &Value) -> Value {
     }
 }
 
-fn three_valued_or(l: &Value, r: &Value) -> Value {
+pub(crate) fn three_valued_or(l: &Value, r: &Value) -> Value {
     match (l, r) {
         (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
         (Value::Null, _) | (_, Value::Null) => Value::Null,
@@ -143,7 +143,7 @@ pub fn fold_binary_const(op: BinaryOp, l: &Value, r: &Value) -> Option<Value> {
     }
 }
 
-fn binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     use BinaryOp::*;
     // Concat has PG-ish NULL behaviour for arrays (NULL || a = a).
     if op == Concat {

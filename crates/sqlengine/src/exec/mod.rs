@@ -33,6 +33,9 @@ pub type Row = Vec<Value>;
 pub struct NodeProfile {
     /// Rows produced across all executions of this node.
     pub rows_out: u64,
+    /// Columnar batches produced across all executions; stays 0 for nodes
+    /// run by the row engine (including fallback-bridge subtrees).
+    pub batches_out: u64,
     /// Inclusive wall-clock time (children included), microseconds.
     pub elapsed_us: u64,
     /// Times the node ran (CTE plans and cached subplans run once).
@@ -54,8 +57,21 @@ impl NodeProfiles {
     }
 
     fn record(&mut self, key: usize, rows: u64, elapsed: std::time::Duration) {
+        self.record_batched(key, rows, 0, elapsed);
+    }
+
+    /// Record one execution of a node, with the number of columnar batches
+    /// it produced (0 for row-engine executions).
+    pub(crate) fn record_batched(
+        &mut self,
+        key: usize,
+        rows: u64,
+        batches: u64,
+        elapsed: std::time::Duration,
+    ) {
         let p = self.map.entry(key).or_default();
         p.rows_out += rows;
+        p.batches_out += batches;
         p.elapsed_us += elapsed.as_micros() as u64;
         p.executions += 1;
     }
@@ -76,6 +92,12 @@ pub struct ExecStats {
     pub shared_scans: u64,
     /// Total rows produced by plan operators.
     pub rows_processed: u64,
+    /// Columnar batches produced by vectorized operators (stays 0 under the
+    /// row engine).
+    pub batches_executed: u64,
+    /// Times the columnar executor bridged a subtree back to the row engine
+    /// because its top operator is not vectorized.
+    pub colexec_fallbacks: u64,
 }
 
 /// Shared execution state for one query.
@@ -180,10 +202,38 @@ impl<'a> ExecContext<'a> {
         Ok(value)
     }
 
-    fn cte_rows(&self, i: usize) -> Result<Rc<Vec<Row>>> {
+    pub(crate) fn cte_rows(&self, i: usize) -> Result<Rc<Vec<Row>>> {
         self.cte_results.borrow()[i]
             .clone()
             .ok_or_else(|| SqlError::exec("CTE referenced before materialization"))
+    }
+
+    /// Install CTE `i`'s materialized rows (the columnar driver fills these
+    /// the same way [`execute_root`] does).
+    pub(crate) fn store_cte_rows(&self, i: usize, rows: Vec<Row>) {
+        self.cte_results.borrow_mut()[i] = Some(Rc::new(rows));
+    }
+
+    /// True when per-node profiling is armed for this execution.
+    pub(crate) fn profiling(&self) -> bool {
+        self.profiles.is_some()
+    }
+
+    /// Record one execution of the node at `key` with batch-aware counters
+    /// (the columnar executor's profiling hook); no-op unless profiling is
+    /// armed.
+    pub(crate) fn record_node_profile(
+        &self,
+        key: usize,
+        rows: u64,
+        batches: u64,
+        elapsed: std::time::Duration,
+    ) {
+        if let Some(profiles) = &self.profiles {
+            profiles
+                .borrow_mut()
+                .record_batched(key, rows, batches, elapsed);
+        }
     }
 }
 
@@ -419,7 +469,7 @@ fn exec_scan(source: &ScanSource, projection: &[usize], ctx: &ExecContext<'_>) -
 }
 
 /// PostgreSQL default ordering: NULLs sort as the largest value.
-fn null_last_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+pub(crate) fn null_last_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
     match (a.is_null(), b.is_null()) {
         (true, true) => std::cmp::Ordering::Equal,
         (true, false) => std::cmp::Ordering::Greater,
@@ -538,7 +588,9 @@ fn exec_join(
 
 // ---- aggregation --------------------------------------------------------------
 
-enum Acc {
+/// One aggregate accumulator; shared with the columnar executor so both
+/// engines produce identical aggregate results.
+pub(crate) enum Acc {
     CountStar(i64),
     Count(i64),
     CountDistinct(std::collections::HashSet<Value>),
@@ -552,7 +604,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(call: &AggCall) -> Acc {
+    pub(crate) fn new(call: &AggCall) -> Acc {
         match &call.func {
             AggFunc::CountStar => Acc::CountStar(0),
             AggFunc::Count { distinct: true } => {
@@ -573,7 +625,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, value: Option<Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, value: Option<Value>) -> Result<()> {
         match self {
             Acc::CountStar(n) => *n += 1,
             Acc::Count(n) => {
@@ -650,7 +702,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::CountStar(n) | Acc::Count(n) => Value::Int(n),
             Acc::CountDistinct(set) => Value::Int(set.len() as i64),

@@ -27,6 +27,7 @@ pub mod ast;
 pub mod binder;
 pub mod cache;
 pub mod catalog;
+pub mod colexec;
 pub mod durable;
 pub mod engine;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod token;
 pub mod trace;
 
 pub use cache::{PlanCache, PlanCacheStats};
+pub use colexec::ExecMode;
 pub use durable::{DurableBackend, MemoryBackend, StorageBackend};
 pub use engine::{Engine, EngineStats, ExecOutcome, Health};
 pub use error::{Result, SqlError};

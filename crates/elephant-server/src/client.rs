@@ -118,13 +118,38 @@ impl RetryPolicy {
     /// The sleep before retry number `attempt` (0-based count of failures
     /// so far): uniform in `[0, min(cap, base * 2^attempt))`.
     pub fn backoff(&mut self, attempt: u32) -> Duration {
+        self.backoff_salted(attempt, 0)
+    }
+
+    /// [`backoff`](RetryPolicy::backoff), with the jitter draw xor-folded
+    /// with `salt`. Clients salt with the shard id reported by a busy
+    /// server, so retries against *different* saturated shards decorrelate
+    /// even when the clients share a seed (the chaos harness starts many
+    /// clients from one seed). Salt `0` is the identity: `backoff ==
+    /// backoff_salted(_, 0)`.
+    pub fn backoff_salted(&mut self, attempt: u32, salt: u64) -> Duration {
         let exp = self.base.saturating_mul(1u32 << attempt.min(16));
         let ceiling = exp.min(self.cap).as_micros() as u64;
         if ceiling == 0 {
             return Duration::ZERO;
         }
-        Duration::from_micros(self.prng.next_u64() % ceiling)
+        let draw = self.prng.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Duration::from_micros(draw % ceiling)
     }
+}
+
+/// Pull the shard id out of a busy-server message. The router formats
+/// admission failures as `executor queue full after N ms (shard=K); ...`;
+/// anything else (older servers, other retryable errors) salts with 0.
+fn busy_shard_salt(message: &str) -> u64 {
+    let Some(idx) = message.find("shard=") else {
+        return 0;
+    };
+    let digits: String = message[idx + "shard=".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap_or(0)
 }
 
 /// One connection to an elephant server.
@@ -202,7 +227,16 @@ impl ElephantClient {
         loop {
             match self.send(command) {
                 Err(e) if e.is_retryable() && attempt + 1 < policy.attempts => {
-                    let sleep = policy.backoff(attempt);
+                    // ERR_BUSY from a sharded server names the saturated
+                    // shard; salt the jitter with it so clients retrying
+                    // against different shards decorrelate.
+                    let salt = match &e {
+                        ClientError::Server(se) if se.code == codes::BUSY => {
+                            busy_shard_salt(&se.message)
+                        }
+                        _ => 0,
+                    };
+                    let sleep = policy.backoff_salted(attempt, salt);
                     attempt += 1;
                     if !sleep.is_zero() {
                         thread::sleep(sleep);
@@ -494,5 +528,47 @@ impl ReplicatedClient {
             }
         }
         self.leader.send(command)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_salt_zero_is_identity() {
+        let mut plain = RetryPolicy::new(5, Duration::from_millis(10), 42);
+        let mut salted = RetryPolicy::new(5, Duration::from_millis(10), 42);
+        for attempt in 0..4 {
+            assert_eq!(plain.backoff(attempt), salted.backoff_salted(attempt, 0));
+        }
+    }
+
+    #[test]
+    fn backoff_salts_diverge_but_stay_deterministic() {
+        // Same seed, different shard salts: the schedules must differ
+        // (that is the point of salting) yet each schedule must be
+        // reproducible from (seed, salt).
+        let schedule = |salt: u64| -> Vec<Duration> {
+            let mut p = RetryPolicy::new(8, Duration::from_millis(10), 7);
+            (0..6).map(|a| p.backoff_salted(a, salt)).collect()
+        };
+        assert_eq!(schedule(1), schedule(1), "salted schedule must be stable");
+        assert_ne!(schedule(1), schedule(2), "different salts must decorrelate");
+        assert_ne!(schedule(0), schedule(3));
+    }
+
+    #[test]
+    fn busy_shard_salt_parses_router_message() {
+        assert_eq!(
+            busy_shard_salt("executor queue full after 250 ms (shard=3); retry with backoff"),
+            3
+        );
+        assert_eq!(
+            busy_shard_salt("executor queue full; retry with backoff"),
+            0
+        );
+        assert_eq!(busy_shard_salt("shard=17"), 17);
+        assert_eq!(busy_shard_salt("shard=x"), 0);
     }
 }

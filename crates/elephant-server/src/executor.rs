@@ -1,27 +1,42 @@
-//! The single-threaded query executor.
+//! The per-shard single-threaded query executor.
 //!
 //! [`sqlengine::Engine`] is deliberately not `Send` (its catalog shares
-//! view definitions via `Rc`), so the server gives it a dedicated thread:
-//! the engine is *constructed on* that thread and never leaves it. Session
-//! threads submit [`Job`]s over a **bounded** `std::sync::mpsc` channel —
-//! the bound is the server's backpressure: when the executor falls behind,
-//! `send` blocks the session (and therefore the client) instead of letting
-//! the queue grow without limit.
+//! view definitions via `Rc`), so the server gives each shard's engine a
+//! dedicated thread: the engine is *constructed on* that thread and never
+//! leaves it. The shard router submits [`Job`]s over a **bounded**
+//! `std::sync::mpsc` channel — the bound is the server's backpressure:
+//! when an executor falls behind, admission control converts the full
+//! queue into a retryable `ERR_BUSY` instead of letting it grow without
+//! limit.
+//!
+//! **Group commit**: the executor drains its queue in batches (one
+//! blocking `recv`, then up to [`GROUP_MAX`] opportunistic `try_recv`s)
+//! and brackets each batch with the engine's commit group. Under an
+//! `always` fsync policy every statement in the batch defers its fsync
+//! *and its acknowledgment*; closing the group issues one fsync for all of
+//! them, then the buffered replies are released. One disk flush thus
+//! acknowledges many concurrent commits (`wal_group_commits` /
+//! `wal_commits_per_fsync` in `STATS`) without weakening durability: no
+//! client sees an `ok` before its records are synced. If the closing fsync
+//! fails, the engine unwinds the batch's in-memory effects and every reply
+//! that depended on the failed window is rewritten to the storage error.
 //!
 //! Shutdown is cooperative and loses nothing: `SHUTDOWN` travels through
 //! the queue like any command; the executor flips the shared flag (stopping
 //! the accept loop), answers `draining`, and keeps serving until every
-//! sender — the accept loop's prototype and all session clones — has been
-//! dropped, at which point `recv` disconnects and the thread exits. Every
-//! job enqueued before the last sender dropped still gets its response.
+//! sender — the router owned by the accept loop and all session clones —
+//! has been dropped, at which point `recv` disconnects and the thread
+//! exits. Every job enqueued before the last sender dropped still gets its
+//! response.
 
 use crate::metrics::Metrics;
 use crate::protocol::{codes, Command};
 use crate::repl::{ReplRole, ReplState};
+use crate::shard::ShardStats;
 use elephant_repl::ReplOp;
 use etypes::SpanRing;
 use mlinspect::SqlMode;
-use sqlengine::{Engine, EngineProfile, ExecMode, FsyncPolicy, SqlError, WalHandle};
+use sqlengine::{Engine, EngineProfile, ExecMode, FsyncPolicy, SqlError, TableImage, WalHandle};
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
@@ -60,6 +75,45 @@ pub(crate) enum Job {
         /// it re-bootstrap from a fresh snapshot.
         reply: mpsc::Sender<Result<(), String>>,
     },
+    /// Scatter leg of a cross-shard read: export the named tables as
+    /// images for a coordinator shard to install.
+    ExportTables {
+        /// Base tables owned by this shard.
+        names: Vec<String>,
+        /// Where the router waits for the images.
+        reply: mpsc::Sender<Result<Vec<TableImage>, (&'static str, String)>>,
+    },
+    /// Gather leg of a cross-shard read: install foreign images, run the
+    /// whole command locally, remove the images, answer.
+    Gather {
+        /// Originating session id (selects the session's exec mode).
+        session: u64,
+        /// The read-only command to run over local + foreign tables.
+        command: Command,
+        /// Exported tables from the other involved shards.
+        images: Vec<TableImage>,
+        /// Where the router waits for the answer.
+        reply: mpsc::Sender<Reply>,
+    },
+    /// Snapshot this shard's health and WAL counters for composed `STATS`.
+    ShardInfo {
+        /// Where the router waits for the snapshot.
+        reply: mpsc::Sender<ShardSnapshot>,
+    },
+}
+
+/// Per-shard counters surfaced in composed `STATS` output.
+pub(crate) struct ShardSnapshot {
+    /// The engine's health line (`healthy` / `read_only (...)`).
+    pub health: String,
+    /// WAL records appended (0 for volatile shards).
+    pub wal_records: u64,
+    /// WAL fsyncs issued (0 for volatile shards).
+    pub wal_fsyncs: u64,
+    /// Group-commit windows that acknowledged at least one deferred record.
+    pub wal_group_commits: u64,
+    /// Records acknowledged by those group fsyncs.
+    pub wal_group_records: u64,
 }
 
 /// Executor construction parameters.
@@ -88,26 +142,58 @@ pub(crate) struct ExecutorConfig {
     /// Replication topology shared with `REPLICA`/`LAG`/`STATS`. Follower
     /// role pins the engine read-only for the server's whole life.
     pub repl: Arc<ReplState>,
+    /// This executor's shard id (names the thread, labels diagnostics).
+    pub shard_id: usize,
+    /// Gauges shared with the shard router.
+    pub lane: Arc<ShardStats>,
 }
 
 /// How many finished-command spans the executor keeps for `TRACE`.
 const SPAN_RING_CAPACITY: usize = 256;
 
-/// Spawn the executor thread; returns the job sender, the join handle, and
-/// — for durable engines — the store's [`WalHandle`] so `start()` can wire
-/// the replication listener. The thread exits when every clone of the
-/// returned sender is dropped. Fails when the durable store cannot be
-/// opened or recovered — the thread reports engine construction over a
-/// handshake channel before serving.
+/// Upper bound on one batch drained into a single commit group. Bounds
+/// both reply latency under load and the unwind window of a failed group
+/// fsync.
+const GROUP_MAX: usize = 32;
+
+/// A command's buffered outcome, released after the commit group closes.
+struct DeferredReply {
+    reply: mpsc::Sender<Reply>,
+    verb: &'static str,
+    detail: String,
+    elapsed: Duration,
+    result: Reply,
+    /// Whether this command pushed group-undo entries (i.e. has durable
+    /// effects pending the closing fsync).
+    grew: bool,
+    /// Engine group epoch at dispatch: entries from an older epoch were
+    /// already made durable (e.g. by a mid-batch checkpoint) and survive a
+    /// failed closing fsync.
+    epoch: u64,
+}
+
+/// Spawn one shard's executor thread; returns the job sender, the join
+/// handle, the store's [`WalHandle`] (durable engines only, so `start()`
+/// can wire the replication listener), and the recovered base-table names
+/// (so the router can seed shard ownership). The thread exits when every
+/// clone of the returned sender is dropped. Fails when the durable store
+/// cannot be opened or recovered — the thread reports engine construction
+/// over a handshake channel before serving.
+#[allow(clippy::type_complexity)]
 pub(crate) fn spawn(
     cfg: ExecutorConfig,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
-) -> io::Result<(SyncSender<Job>, JoinHandle<()>, Option<WalHandle>)> {
+) -> io::Result<(
+    SyncSender<Job>,
+    JoinHandle<()>,
+    Option<WalHandle>,
+    Vec<String>,
+)> {
     let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
-    let (init_tx, init_rx) = mpsc::channel::<Result<Option<WalHandle>, String>>();
+    let (init_tx, init_rx) = mpsc::channel::<Result<(Option<WalHandle>, Vec<String>), String>>();
     let handle = thread::Builder::new()
-        .name("elephant-executor".into())
+        .name(format!("elephant-executor-{}", cfg.shard_id))
         .spawn(move || {
             // The engine must be created here: it is not Send.
             let profile = if cfg.in_memory {
@@ -132,7 +218,13 @@ pub(crate) fn spawn(
                 engine.pin_read_only("replica: writes must go to the leader");
             }
             engine.set_auto_checkpoint_wal_bytes(cfg.auto_checkpoint_wal_bytes);
-            let _ = init_tx.send(Ok(engine.wal_handle()));
+            let recovered: Vec<String> = engine
+                .catalog()
+                .table_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            let _ = init_tx.send(Ok((engine.wal_handle(), recovered)));
             let mut state = ExecutorState {
                 engine,
                 files: cfg.files,
@@ -144,6 +236,8 @@ pub(crate) fn spawn(
                 ring: SpanRing::new(SPAN_RING_CAPACITY),
                 slow_query_us: cfg.slow_query_us,
                 repl: cfg.repl,
+                lane: cfg.lane,
+                auto_checkpoint_wal_bytes: cfg.auto_checkpoint_wal_bytes,
             };
             if state.slow_query_us.is_some() {
                 // The slow-query log wants operator profiles for QUERY too,
@@ -155,43 +249,124 @@ pub(crate) fn spawn(
                     .engine
                     .set_statement_timeout(Some(Duration::from_millis(ms)));
             }
-            while let Ok(job) = rx.recv() {
-                match job {
-                    Job::Command {
-                        session,
-                        command,
-                        reply,
-                    } => {
-                        // Only Command jobs were counted into the gauge by
-                        // their session; decrementing for CloseSession/Repl
-                        // would underflow it.
-                        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        let started = Instant::now();
-                        let verb = command.verb();
-                        let detail = command.summary();
-                        let result = state.dispatch(session, command);
-                        let elapsed = started.elapsed();
-                        state.metrics.record_latency(verb, elapsed);
-                        match &result {
-                            Ok(_) => state.metrics.count_verb(verb),
-                            Err(_) => {
-                                state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
-                            }
+            // Batch-at-a-time service loop: block for one job, drain up to
+            // GROUP_MAX more without blocking, run the batch inside one
+            // commit group, then release the buffered replies.
+            while let Ok(first) = rx.recv() {
+                let mut batch = Vec::with_capacity(GROUP_MAX);
+                batch.push(first);
+                while batch.len() < GROUP_MAX {
+                    match rx.try_recv() {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
+                    }
+                }
+                state.engine.begin_commit_group();
+                let mut deferred: Vec<DeferredReply> = Vec::with_capacity(batch.len());
+                for job in batch {
+                    match job {
+                        Job::Command {
+                            session,
+                            command,
+                            reply,
+                        } => {
+                            // Only client-facing jobs were counted into the
+                            // gauges; decrementing for CloseSession/Repl
+                            // would underflow them.
+                            state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            state.lane.dec_queue_depth();
+                            state.lane.commands.fetch_add(1, Ordering::Relaxed);
+                            let started = Instant::now();
+                            let verb = command.verb();
+                            let detail = command.summary();
+                            let pending_before = state.engine.group_pending();
+                            let epoch = state.engine.group_epoch();
+                            let result = state.dispatch(session, command);
+                            deferred.push(DeferredReply {
+                                reply,
+                                verb,
+                                detail,
+                                elapsed: started.elapsed(),
+                                result,
+                                grew: state.engine.group_pending() > pending_before,
+                                epoch,
+                            });
                         }
-                        state.finish_span(verb, detail, elapsed, result.is_ok());
-                        // A dropped receiver means the session died mid-query;
-                        // nothing to do — the answer has nowhere to go.
-                        let _ = reply.send(result);
+                        Job::CloseSession { session } => state.close_session(session),
+                        Job::Repl { op, reply } => {
+                            let _ = reply.send(state.apply_repl(op));
+                        }
+                        Job::ExportTables { names, reply } => {
+                            state.lane.dec_queue_depth();
+                            state.lane.commands.fetch_add(1, Ordering::Relaxed);
+                            let images = state
+                                .engine
+                                .export_table_images(&names)
+                                .map_err(|e| state.classify(e));
+                            let _ = reply.send(images);
+                        }
+                        Job::Gather {
+                            session,
+                            command,
+                            images,
+                            reply,
+                        } => {
+                            // Gathers are read-only: they defer nothing, so
+                            // answering inside the group window is safe.
+                            state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            state.lane.dec_queue_depth();
+                            state.lane.commands.fetch_add(1, Ordering::Relaxed);
+                            let started = Instant::now();
+                            let verb = command.verb();
+                            let detail = command.summary();
+                            let result = state.gather(session, command, images);
+                            let elapsed = started.elapsed();
+                            state.metrics.record_latency(verb, elapsed);
+                            match &result {
+                                Ok(_) => state.metrics.count_verb(verb),
+                                Err(_) => {
+                                    state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            state.finish_span(verb, detail, elapsed, result.is_ok());
+                            let _ = reply.send(result);
+                        }
+                        Job::ShardInfo { reply } => {
+                            let _ = reply.send(state.shard_snapshot());
+                        }
                     }
-                    Job::CloseSession { session } => state.close_session(session),
-                    Job::Repl { op, reply } => {
-                        let _ = reply.send(state.apply_repl(op));
+                }
+                // One fsync acknowledges the whole batch. On failure the
+                // engine has already unwound every in-memory effect from
+                // the failed window; rewrite the replies that depended on
+                // it so no client sees an `ok` for a lost write.
+                let pre_end_epoch = state.engine.group_epoch();
+                let group_err = match state.engine.end_commit_group() {
+                    Ok(_) => None,
+                    Err(e) => Some(state.classify(e)),
+                };
+                for mut d in deferred {
+                    if let Some((code, msg)) = &group_err {
+                        if d.grew && d.epoch == pre_end_epoch && d.result.is_ok() {
+                            d.result = Err((code, msg.clone()));
+                        }
                     }
+                    state.metrics.record_latency(d.verb, d.elapsed);
+                    match &d.result {
+                        Ok(_) => state.metrics.count_verb(d.verb),
+                        Err(_) => {
+                            state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    state.finish_span(d.verb, d.detail, d.elapsed, d.result.is_ok());
+                    // A dropped receiver means the session died mid-query;
+                    // nothing to do — the answer has nowhere to go.
+                    let _ = d.reply.send(d.result);
                 }
             }
         })?;
     match init_rx.recv() {
-        Ok(Ok(wal)) => Ok((tx, handle, wal)),
+        Ok(Ok((wal, recovered))) => Ok((tx, handle, wal, recovered)),
         Ok(Err(msg)) => {
             let _ = handle.join();
             Err(io::Error::other(format!("storage recovery failed: {msg}")))
@@ -219,6 +394,11 @@ struct ExecutorState {
     ring: SpanRing,
     slow_query_us: Option<u64>,
     repl: Arc<ReplState>,
+    /// Gauges shared with the shard router.
+    lane: Arc<ShardStats>,
+    /// The configured auto-checkpoint threshold, restored after gathers
+    /// (which hold auto-checkpoint off while foreign tables are installed).
+    auto_checkpoint_wal_bytes: Option<u64>,
 }
 
 impl ExecutorState {
@@ -500,7 +680,53 @@ impl ExecutorState {
                 let _ = self.engine.deallocate(&name);
             }
         }
-        self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        // `sessions_closed` is counted once per session by the router (a
+        // CloseSession broadcast reaches every shard).
+    }
+
+    /// Gather leg of a cross-shard read: install the foreign images, run
+    /// the command against the combined catalog, then remove the images —
+    /// always, even on error, so they never outlive the query.
+    fn gather(&mut self, session: u64, command: Command, images: Vec<TableImage>) -> Reply {
+        // Foreign images must never leak into this shard's snapshots: hold
+        // auto-checkpoint off while they are installed.
+        self.engine.set_auto_checkpoint_wal_bytes(None);
+        let mut installed: Vec<String> = Vec::with_capacity(images.len());
+        let mut result: Reply = Ok(String::new());
+        for image in images {
+            let name = image.name.clone();
+            match self.engine.install_foreign_table(image) {
+                Ok(()) => installed.push(name),
+                Err(e) => {
+                    result = Err((
+                        codes::INTERNAL,
+                        format!("scatter-gather install of '{name}' failed: {e}"),
+                    ));
+                    break;
+                }
+            }
+        }
+        if result.is_ok() {
+            result = self.dispatch(session, command);
+        }
+        for name in &installed {
+            self.engine.remove_foreign_table(name);
+        }
+        self.engine
+            .set_auto_checkpoint_wal_bytes(self.auto_checkpoint_wal_bytes);
+        result
+    }
+
+    /// Health + WAL counters for composed `STATS`.
+    fn shard_snapshot(&self) -> ShardSnapshot {
+        let wal = self.engine.storage_stats().map(|s| s.wal);
+        ShardSnapshot {
+            health: self.engine.health().render(),
+            wal_records: wal.as_ref().map_or(0, |w| w.records_appended),
+            wal_fsyncs: wal.as_ref().map_or(0, |w| w.fsyncs),
+            wal_group_commits: wal.as_ref().map_or(0, |w| w.group_commits),
+            wal_group_records: wal.as_ref().map_or(0, |w| w.group_committed_records),
+        }
     }
 }
 
@@ -528,7 +754,7 @@ mod tests {
         metrics: &Arc<Metrics>,
         shutdown: &Arc<AtomicBool>,
     ) -> (SyncSender<Job>, JoinHandle<()>) {
-        let (tx, join, wal) = spawn(
+        let (tx, join, wal, recovered) = spawn(
             ExecutorConfig {
                 in_memory: true,
                 exec_mode: ExecMode::default(),
@@ -540,12 +766,15 @@ mod tests {
                 statement_timeout_ms: None,
                 auto_checkpoint_wal_bytes: None,
                 repl: Arc::new(ReplState::standalone()),
+                shard_id: 0,
+                lane: Arc::new(ShardStats::default()),
             },
             Arc::clone(metrics),
             Arc::clone(shutdown),
         )
         .expect("volatile executor spawns");
         assert!(wal.is_none(), "volatile engines have no WAL handle");
+        assert!(recovered.is_empty(), "volatile engines recover nothing");
         (tx, join)
     }
 
@@ -671,10 +900,12 @@ mod tests {
             statement_timeout_ms: None,
             auto_checkpoint_wal_bytes: None,
             repl: Arc::new(ReplState::standalone()),
+            shard_id: 0,
+            lane: Arc::new(ShardStats::default()),
         };
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, join, wal) =
+        let (tx, join, wal, _) =
             spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
         assert!(wal.is_some(), "durable engines expose their WAL handle");
         send(
@@ -703,10 +934,12 @@ mod tests {
         drop(tx);
         join.join().unwrap();
 
-        // Second incarnation over the same directory sees all three rows.
+        // Second incarnation over the same directory sees all three rows
+        // and reports the recovered table over the handshake.
         let metrics = Arc::new(Metrics::default());
-        let (tx, join, _) =
+        let (tx, join, _, recovered) =
             spawn(durable_cfg(), Arc::clone(&metrics), Arc::clone(&shutdown)).unwrap();
+        assert_eq!(recovered, vec!["t".to_string()]);
         let r = send(
             &tx,
             &metrics,

@@ -35,22 +35,31 @@
 //! # Architecture
 //!
 //! The engine is not `Send` (its catalog shares view definitions through
-//! `Rc`), so concurrency comes from pipelining, not data parallelism:
+//! `Rc`), so each engine is pinned to its own executor thread; with
+//! `--shards N` the server runs N of them and a shard router assigns
+//! tables to shards by name hash (see [`shard_of`] and `docs/SHARDING.md`):
 //!
 //! ```text
-//! client ──TCP──▶ session thread ──bounded mpsc──▶ executor thread (owns Engine)
-//! client ──TCP──▶ session thread ──────┘                 │
-//!                      ◀───────────── reply channel ─────┘
+//! client ──TCP──▶ session thread ──▶ shard router ──bounded mpsc──▶ executor 0 (Engine + WAL 0)
+//! client ──TCP──▶ session thread ──▶      │        ──bounded mpsc──▶ executor 1 (Engine + WAL 1)
+//!                      ◀── reply channel ─┘
 //! ```
+//!
+//! Single-shard statements route directly; cross-shard read-only queries
+//! run scatter-gather (foreign tables are exported to a coordinator shard
+//! which runs the whole plan); cross-shard writes are refused with the
+//! typed `ERR_CROSS_SHARD`. Each executor drains its queue in batches
+//! wrapped in a WAL **group commit**: one fsync acknowledges every write
+//! in the batch (`wal_group_commits` in `STATS`).
 //!
 //! Each connection gets a session thread that parses frames and holds the
 //! session id; prepared statements are namespaced per session inside the
-//! executor. The job queue is a **bounded** `sync_channel`: a slow executor
-//! blocks sessions (and their clients) instead of buffering unboundedly.
-//! `SHUTDOWN` travels through the queue, so everything enqueued before it
-//! still completes — the executor flips a flag that stops the accept loop,
-//! sessions finish and hang up, and when the last queue sender drops the
-//! executor exits.
+//! executor. The job queues are **bounded** `sync_channel`s: a slow
+//! executor triggers admission control (retryable `ERR_BUSY`) instead of
+//! buffering unboundedly. `SHUTDOWN` travels through the queue, so
+//! everything enqueued before it still completes — the executor flips a
+//! flag that stops the accept loop, sessions finish and hang up, and when
+//! the last queue sender drops the executors exit.
 //!
 //! # Quick start
 //!
@@ -74,6 +83,7 @@ pub mod protocol;
 mod repl;
 pub mod server;
 mod session;
+mod shard;
 
 pub use client::{
     ClientError, ClientResult, ElephantClient, ReplicatedClient, RetryPolicy, ServerError,
@@ -82,3 +92,4 @@ pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{Command, MAX_FRAME};
 pub use repl::ReplRole;
 pub use server::{start, ServerConfig, ServerHandle};
+pub use shard::shard_of;

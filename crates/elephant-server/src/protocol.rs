@@ -55,6 +55,10 @@ pub mod codes {
     /// cooperatively; **retryable** (though likely to time out again
     /// unchanged).
     pub const TIMEOUT: &str = "ERR_TIMEOUT";
+    /// The statement writes (or prepares against) tables owned by more than
+    /// one shard. **Not** retryable: split the statement per shard or keep
+    /// co-written tables on one shard (same `shard_of` bucket).
+    pub const CROSS_SHARD: &str = "ERR_CROSS_SHARD";
 }
 
 /// A parsed client command.

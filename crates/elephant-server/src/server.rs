@@ -4,6 +4,7 @@ use crate::executor::{self, ExecutorConfig, Job};
 use crate::metrics::Metrics;
 use crate::repl::ReplState;
 use crate::session::run_session;
+use crate::shard::{Lane, ShardRouter, ShardStats};
 use elephant_repl::{follower, leader, FollowerConfig, FollowerStatus};
 use sqlengine::{ExecMode, FsyncPolicy};
 use std::io;
@@ -56,6 +57,11 @@ pub struct ServerConfig {
     /// Checkpoint automatically once the WAL grows past this many bytes
     /// (counted after each acknowledged write). `None` disables.
     pub auto_checkpoint_wal_bytes: Option<u64>,
+    /// Engine shards. Each shard is an independent engine on its own
+    /// executor thread (durable servers give each its own WAL/snapshot
+    /// subdirectory); tables are routed to shards by name hash. Must be at
+    /// least 1; values above 1 are mutually exclusive with replication.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
             repl_addr: None,
             replicate_from: None,
             auto_checkpoint_wal_bytes: None,
+            shards: 1,
         }
     }
 }
@@ -112,7 +119,7 @@ pub struct ServerHandle {
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     accept_join: Option<JoinHandle<()>>,
-    executor_join: Option<JoinHandle<()>>,
+    executor_joins: Vec<JoinHandle<()>>,
     repl_leader: Option<leader::LeaderHandle>,
     follower_join: Option<JoinHandle<()>>,
 }
@@ -139,7 +146,8 @@ impl ServerHandle {
     }
 
     /// Wait for the drain to finish: the accept loop stops, every session
-    /// runs to completion, then the executor exhausts its queue and exits.
+    /// runs to completion, then each shard's executor exhausts its queue
+    /// and exits.
     pub fn join(mut self) {
         if let Some(h) = self.accept_join.take() {
             let _ = h.join();
@@ -149,7 +157,7 @@ impl ServerHandle {
         if let Some(h) = self.follower_join.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.executor_join.take() {
+        for h in self.executor_joins.drain(..) {
             let _ = h.join();
         }
         if let Some(l) = self.repl_leader.take() {
@@ -178,6 +186,20 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             "replication streams the WAL; a leader needs --data-dir",
         ));
     }
+    if config.shards == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a server needs at least one shard (--shards 1)",
+        ));
+    }
+    if config.shards > 1 && (config.repl_addr.is_some() || config.replicate_from.is_some()) {
+        // WAL shipping replicates exactly one log; a sharded server has
+        // one per shard. Combining them is follow-up work.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "replication and --shards > 1 are mutually exclusive",
+        ));
+    }
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -197,22 +219,56 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 
     let metrics = Arc::new(Metrics::default());
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, executor_join, wal_handle) = executor::spawn(
-        ExecutorConfig {
-            in_memory: config.in_memory,
-            exec_mode: config.exec_mode,
-            files: config.files,
-            queue_capacity: config.queue_capacity,
-            data_dir: config.data_dir,
-            fsync: config.fsync,
-            slow_query_us: config.slow_query_us,
-            statement_timeout_ms: config.statement_timeout_ms,
-            auto_checkpoint_wal_bytes: config.auto_checkpoint_wal_bytes,
-            repl: Arc::clone(&repl),
-        },
-        Arc::clone(&metrics),
-        Arc::clone(&shutdown),
-    )?;
+    // One executor (engine + WAL directory) per shard. With one shard the
+    // layout is unchanged from pre-sharding servers — existing data dirs
+    // keep working; with more, each shard gets its own subdirectory.
+    let mut lanes: Vec<Lane> = Vec::with_capacity(config.shards);
+    let mut executor_joins: Vec<JoinHandle<()>> = Vec::with_capacity(config.shards);
+    let mut recovered_per_shard: Vec<Vec<String>> = Vec::with_capacity(config.shards);
+    let mut wal_handle = None;
+    for shard_id in 0..config.shards {
+        let data_dir = config.data_dir.as_ref().map(|dir| {
+            if config.shards > 1 {
+                dir.join(format!("shard-{shard_id}"))
+            } else {
+                dir.clone()
+            }
+        });
+        let lane_stats = Arc::new(ShardStats::default());
+        let (tx, join, wal, recovered) = executor::spawn(
+            ExecutorConfig {
+                in_memory: config.in_memory,
+                exec_mode: config.exec_mode,
+                files: config.files.clone(),
+                queue_capacity: config.queue_capacity,
+                data_dir,
+                fsync: config.fsync,
+                slow_query_us: config.slow_query_us,
+                statement_timeout_ms: config.statement_timeout_ms,
+                auto_checkpoint_wal_bytes: config.auto_checkpoint_wal_bytes,
+                repl: Arc::clone(&repl),
+                shard_id,
+                lane: Arc::clone(&lane_stats),
+            },
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+        )?;
+        if shard_id == 0 {
+            // Replication (shards == 1 only) ships shard 0's WAL.
+            wal_handle = wal;
+        }
+        lanes.push(Lane {
+            tx,
+            stats: lane_stats,
+        });
+        executor_joins.push(join);
+        recovered_per_shard.push(recovered);
+    }
+    let tx = lanes[0].tx.clone();
+    let router = Arc::new(ShardRouter::new(lanes, Arc::clone(&metrics)));
+    for (shard_id, names) in recovered_per_shard.into_iter().enumerate() {
+        router.seed(shard_id, &names);
+    }
 
     let repl_leader = match &config.repl_addr {
         Some(bind) => {
@@ -254,6 +310,9 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);
+    // The accept loop owns the router (and with it every lane sender):
+    // dropping it at drain end is what lets the executors observe
+    // disconnection and exit. It must never be stored in the handle.
     let accept_join = thread::Builder::new()
         .name("elephant-accept".into())
         .spawn(move || {
@@ -267,12 +326,12 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                         accept_metrics
                             .sessions_opened
                             .fetch_add(1, Ordering::Relaxed);
-                        let tx = tx.clone();
+                        let router = Arc::clone(&router);
                         let metrics = Arc::clone(&accept_metrics);
                         let shutdown = Arc::clone(&accept_shutdown);
                         match thread::Builder::new()
                             .name(format!("elephant-session-{id}"))
-                            .spawn(move || run_session(stream, id, tx, metrics, shutdown))
+                            .spawn(move || run_session(stream, id, router, metrics, shutdown))
                         {
                             Ok(h) => sessions.push(h),
                             Err(_) => {
@@ -292,11 +351,12 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                 }
             }
             // Draining: no new connections; wait for live sessions, then
-            // drop our queue sender so the executor can finish and exit.
+            // drop the router (every lane sender with it) so the executors
+            // can finish their queues and exit.
             for h in sessions {
                 let _ = h.join();
             }
-            drop(tx);
+            drop(router);
         })
         .expect("spawn accept thread");
 
@@ -305,7 +365,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         metrics,
         shutdown,
         accept_join: Some(accept_join),
-        executor_join: Some(executor_join),
+        executor_joins,
         repl_leader,
         follower_join,
     })

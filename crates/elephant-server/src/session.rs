@@ -1,47 +1,38 @@
 //! Per-connection session threads.
 //!
 //! A session owns one TCP connection: it reads frames, parses commands,
-//! forwards them to the executor over the bounded queue (blocking when the
-//! queue is full — that *is* the backpressure), and writes responses back.
-//! Protocol-level failures (unknown verb, malformed or oversized frame)
-//! are answered with a structured error and the connection stays open;
-//! only transport errors end the session.
+//! and submits them to the [`ShardRouter`], which owns admission control
+//! and table-affine routing — sessions are shard-agnostic and the wire
+//! protocol is unchanged by sharding. Protocol-level failures (unknown
+//! verb, malformed or oversized frame) are answered with a structured
+//! error and the connection stays open; only transport errors and a dead
+//! executor end the session.
 //!
 //! Reads use a short socket timeout so an idle session notices the
 //! shutdown flag: once the server is draining, idle connections are closed
 //! instead of holding the drain hostage, while a command already submitted
 //! still gets its response.
 
-use crate::executor::Job;
 use crate::metrics::Metrics;
 use crate::protocol::{
     codes, parse_command, write_err, write_ok, Command, FrameError, FrameReader,
 };
+use crate::shard::ShardRouter;
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Poll interval for noticing the shutdown flag while blocked on a read.
 const READ_POLL: Duration = Duration::from_millis(100);
-
-/// How long admission control waits for a queue slot before refusing the
-/// command with [`codes::BUSY`]. Short: the point is to convert unbounded
-/// head-of-line blocking into a bounded, retryable signal.
-const ADMISSION_WAIT: Duration = Duration::from_millis(250);
-
-/// Sleep between queue retries inside the admission wait.
-const ADMISSION_POLL: Duration = Duration::from_millis(10);
 
 /// Run one connection to completion. Consumes the stream; returns when the
 /// client disconnects, a transport error occurs, or the server drains.
 pub(crate) fn run_session(
     stream: TcpStream,
     session_id: u64,
-    tx: SyncSender<Job>,
+    router: Arc<ShardRouter>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
 ) {
@@ -105,73 +96,23 @@ pub(crate) fn run_session(
             continue;
         }
 
-        // Admission control: try for a queue slot within a bounded wait,
-        // then refuse with the retryable ERR_BUSY instead of blocking the
-        // client indefinitely behind a saturated executor.
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let mut job = Job::Command {
-            session: session_id,
-            command,
-            reply: reply_tx,
-        };
-        let admission_deadline = Instant::now() + ADMISSION_WAIT;
-        let admitted = loop {
-            metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-            match tx.try_send(job) {
-                Ok(()) => break Ok(()),
-                Err(TrySendError::Full(j)) => {
-                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    if Instant::now() >= admission_deadline {
-                        break Err(true);
-                    }
-                    job = j;
-                    thread::sleep(ADMISSION_POLL);
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    break Err(false);
-                }
-            }
-        };
-        match admitted {
-            Ok(()) => {}
-            Err(true) => {
-                metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                let msg = format!(
-                    "executor queue full after {} ms; retry with backoff",
-                    ADMISSION_WAIT.as_millis()
-                );
-                if write_err(&mut writer, codes::BUSY, &msg).is_err() {
-                    break;
-                }
-                continue;
-            }
-            Err(false) => {
-                // Executor gone — only possible deep into shutdown.
-                let _ = write_err(&mut writer, codes::INTERNAL, "executor unavailable");
-                break;
-            }
-        }
-        match reply_rx.recv() {
-            Ok(Ok(body)) => {
+        match router.submit(session_id, command) {
+            Ok(body) => {
                 if write_ok(&mut writer, &body).is_err() {
                     break;
                 }
             }
-            Ok(Err((code, msg))) => {
-                if write_err(&mut writer, code, &msg).is_err() {
+            Err((code, msg)) => {
+                let fatal = code == codes::INTERNAL;
+                if write_err(&mut writer, code, &msg).is_err() || fatal {
+                    // INTERNAL means an executor is gone — only possible
+                    // deep into shutdown; drop the connection.
                     break;
                 }
-            }
-            Err(_) => {
-                let _ = write_err(&mut writer, codes::INTERNAL, "executor dropped the job");
-                break;
             }
         }
     }
 
-    // Best effort: free this session's prepared statements.
-    let _ = tx.send(Job::CloseSession {
-        session: session_id,
-    });
+    // Best effort: free this session's prepared statements on every shard.
+    router.close_session(session_id);
 }

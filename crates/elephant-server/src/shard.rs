@@ -1,0 +1,742 @@
+//! The shard router: table-affine statement routing over N executor lanes.
+//!
+//! With `--shards N` the server runs N independent engines, each on its own
+//! executor thread over its own WAL/snapshot directory. Tables are assigned
+//! to shards by a stable FNV-1a hash of the table name ([`shard_of`]), so
+//! placement is deterministic across restarts and across servers with the
+//! same shard count; DDL additionally registers ownership in a shared
+//! catalog map (needed for views, whose home shard is the shard of the
+//! tables they read, not of their own name).
+//!
+//! Routing rules, in order:
+//!
+//! * Statements whose dependencies resolve to **one** shard (the common
+//!   case) are forwarded to that shard's lane unchanged.
+//! * **Read-only** statements spanning several shards run scatter-gather:
+//!   the foreign shards export the touched tables as images, the
+//!   coordinator shard (the one owning most of the touched names) installs
+//!   them as WAL-bypassing foreign tables, runs the full query locally, and
+//!   drops them again. Results are byte-identical to a single-shard server
+//!   because one engine executes the complete plan over identical tables
+//!   (ctids included).
+//! * **Writes** spanning several shards are refused with the typed
+//!   [`codes::CROSS_SHARD`] error — there is no distributed transaction
+//!   (yet; see `docs/SHARDING.md` for the follow-up).
+//! * SQL the router cannot parse falls back to shard 0 (the coordinator
+//!   shard), counted in `shard_fallbacks`, where the engine produces the
+//!   canonical error text.
+//!
+//! Sessions are shard-agnostic: every session talks to the router, which
+//! also owns admission control (bounded wait for a queue slot, then the
+//! retryable `ERR_BUSY` naming the saturated shard so clients can salt
+//! their backoff per shard).
+
+use crate::executor::{Job, Reply, ShardSnapshot};
+use crate::metrics::Metrics;
+use crate::protocol::{codes, Command};
+use sqlengine::{parse_sql, statement_deps, TableImage};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long admission control waits for a queue slot before refusing the
+/// command with [`codes::BUSY`]. Short: the point is to convert unbounded
+/// head-of-line blocking into a bounded, retryable signal.
+const ADMISSION_WAIT: Duration = Duration::from_millis(250);
+
+/// Sleep between queue retries inside the admission wait.
+const ADMISSION_POLL: Duration = Duration::from_millis(10);
+
+/// The shard owning `name`: FNV-1a over the bytes, mod the shard count.
+/// Deterministic, so base-table placement needs no coordination and
+/// survives restarts (recovery re-seeds ownership from each shard's own
+/// catalog, which holds exactly the tables hashed to it).
+pub fn shard_of(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Per-shard gauges rendered as `shard{k}.*` STATS lines. Shared between
+/// the router (increments on admit) and the executor thread (decrements on
+/// dequeue, counts processed commands).
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Jobs queued for (or running on) this shard's executor.
+    pub queue_depth: AtomicU64,
+    /// Jobs this shard's executor has dequeued over its lifetime.
+    pub commands: AtomicU64,
+}
+
+impl ShardStats {
+    /// Decrement the queue gauge, saturating at zero (unit tests feed jobs
+    /// straight into the queue without going through the router).
+    pub fn dec_queue_depth(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+}
+
+/// One shard's submission endpoint.
+pub(crate) struct Lane {
+    /// The executor's bounded job queue.
+    pub tx: SyncSender<Job>,
+    /// Gauges shared with the executor thread.
+    pub stats: Arc<ShardStats>,
+}
+
+/// What the ownership map knows about a name.
+#[derive(Debug, Clone, Copy)]
+struct Owner {
+    shard: usize,
+    is_view: bool,
+}
+
+/// Whether an admitted job counts into the server-wide queue gauge (client
+/// commands) or only into the lane gauge (internal scatter-gather legs).
+#[derive(Clone, Copy, PartialEq)]
+enum Admission {
+    Client,
+    Internal,
+}
+
+/// How a statement's dependencies resolved against the ownership map.
+enum Resolution {
+    /// The router could not parse the SQL; shard 0's engine will produce
+    /// the canonical error text.
+    Unparsed,
+    /// All dependencies live on one shard (or the statement touches
+    /// nothing known — constants, unknown names).
+    Single {
+        shard: usize,
+        changes: Vec<OwnershipChange>,
+    },
+    /// Dependencies span shards; `resolved` maps each known touched name
+    /// to its owner.
+    Multi {
+        resolved: BTreeMap<String, Owner>,
+        any_write: bool,
+    },
+}
+
+/// Ownership-map updates applied after the owning shard acknowledged the
+/// statement.
+enum OwnershipChange {
+    Create { name: String, is_view: bool },
+    Drop { name: String },
+}
+
+/// Routes commands from shard-agnostic sessions to shard-affine executors.
+pub(crate) struct ShardRouter {
+    lanes: Vec<Lane>,
+    /// Shared catalog map: which shard owns each table/view name.
+    ownership: Mutex<HashMap<String, Owner>>,
+    /// Which shard holds each prepared statement, keyed by (session, name).
+    prepare_shards: Mutex<HashMap<(u64, String), usize>>,
+    /// Statements routed to shard 0 because the router could not parse
+    /// them.
+    fallbacks: AtomicU64,
+    /// Cross-shard read-only queries answered via export + gather.
+    scatter_gathers: AtomicU64,
+    /// Cross-shard writes refused with [`codes::CROSS_SHARD`].
+    cross_shard_rejects: AtomicU64,
+    metrics: Arc<Metrics>,
+}
+
+impl ShardRouter {
+    /// Build a router over already-spawned lanes.
+    pub fn new(lanes: Vec<Lane>, metrics: Arc<Metrics>) -> ShardRouter {
+        assert!(!lanes.is_empty(), "a server needs at least one shard");
+        ShardRouter {
+            lanes,
+            ownership: Mutex::new(HashMap::new()),
+            prepare_shards: Mutex::new(HashMap::new()),
+            fallbacks: AtomicU64::new(0),
+            scatter_gathers: AtomicU64::new(0),
+            cross_shard_rejects: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    /// Register recovered base tables as owned by `shard` (called once per
+    /// shard at startup, before any session exists). Views are volatile —
+    /// they are never recovered, so recovery seeding is tables only.
+    pub fn seed(&self, shard: usize, names: &[String]) {
+        let mut own = self.ownership.lock().expect("ownership lock");
+        for name in names {
+            own.insert(
+                name.clone(),
+                Owner {
+                    shard,
+                    is_view: false,
+                },
+            );
+        }
+    }
+
+    /// Route one client command and wait for its reply.
+    pub fn submit(&self, session: u64, command: Command) -> Reply {
+        if command == Command::Stats {
+            return self.stats(session);
+        }
+        if self.lanes.len() == 1 {
+            return self.run_on(0, session, command);
+        }
+        match command {
+            Command::Query(_) | Command::Explain { .. } => self.route_sql(session, command),
+            Command::Prepare { .. } => self.route_prepare(session, command),
+            Command::Execute(ref name) => {
+                let shard = self.prepared_shard(session, name);
+                self.run_on(shard, session, command)
+            }
+            Command::Deallocate(ref name) => {
+                let shard = self.prepared_shard(session, name);
+                let key = (session, name.clone());
+                let reply = self.run_on(shard, session, command);
+                if reply.is_ok() {
+                    self.prepare_shards
+                        .lock()
+                        .expect("prepare lock")
+                        .remove(&key);
+                }
+                reply
+            }
+            Command::Set { .. } => self.broadcast_set(session, command),
+            Command::Checkpoint => self.broadcast_checkpoint(session),
+            // Single-shard surfaces: trace spans, inspection scratch
+            // tables, replication topology, and the shared drain flag all
+            // live on (or are reachable from) shard 0.
+            Command::Trace(_)
+            | Command::Inspect { .. }
+            | Command::Replica
+            | Command::Lag
+            | Command::Shutdown => self.run_on(0, session, command),
+            Command::Stats => unreachable!("handled above"),
+        }
+    }
+
+    /// A session disconnected: drop its prepared statements and exec-mode
+    /// override on every shard.
+    pub fn close_session(&self, session: u64) {
+        for lane in &self.lanes {
+            let _ = lane.tx.send(Job::CloseSession { session });
+        }
+        self.prepare_shards
+            .lock()
+            .expect("prepare lock")
+            .retain(|(s, _), _| *s != session);
+        self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn prepared_shard(&self, session: u64, name: &str) -> usize {
+        self.prepare_shards
+            .lock()
+            .expect("prepare lock")
+            .get(&(session, name.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Admit one job to a shard's queue within the bounded admission wait.
+    fn admit(
+        &self,
+        shard: usize,
+        mut job: Job,
+        admission: Admission,
+    ) -> Result<(), (&'static str, String)> {
+        let lane = &self.lanes[shard];
+        if admission == Admission::Client {
+            self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
+        lane.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let undo = |busy: bool| {
+            if admission == Admission::Client {
+                self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            lane.stats.dec_queue_depth();
+            if busy {
+                self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let deadline = Instant::now() + ADMISSION_WAIT;
+        loop {
+            match lane.tx.try_send(job) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(j)) => {
+                    if Instant::now() >= deadline {
+                        undo(true);
+                        return Err((
+                            codes::BUSY,
+                            format!(
+                                "executor queue full after {} ms (shard={shard}); retry with backoff",
+                                ADMISSION_WAIT.as_millis()
+                            ),
+                        ));
+                    }
+                    job = j;
+                    thread::sleep(ADMISSION_POLL);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    undo(false);
+                    return Err((codes::INTERNAL, "executor unavailable".into()));
+                }
+            }
+        }
+    }
+
+    /// Run one command on one shard and wait for the reply.
+    fn run_on(&self, shard: usize, session: u64, command: Command) -> Reply {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.admit(
+            shard,
+            Job::Command {
+                session,
+                command,
+                reply: reply_tx,
+            },
+            Admission::Client,
+        )?;
+        reply_rx
+            .recv()
+            .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))?
+    }
+
+    /// Resolve the dependency set of a (possibly `;`-separated) SQL text
+    /// against the ownership map.
+    fn resolve(&self, sql: &str) -> Resolution {
+        let stmts = match parse_sql(sql) {
+            Ok(stmts) => stmts,
+            Err(_) => return Resolution::Unparsed,
+        };
+        let n = self.lanes.len();
+        let mut resolved: BTreeMap<String, Owner> = BTreeMap::new();
+        let mut targets: BTreeSet<usize> = BTreeSet::new();
+        let mut changes: Vec<OwnershipChange> = Vec::new();
+        let mut any_write = false;
+        let own = self.ownership.lock().expect("ownership lock");
+        for stmt in &stmts {
+            let deps = statement_deps(stmt);
+            any_write |= deps.is_write();
+            for w in &deps.writes {
+                let created_view = deps
+                    .creates
+                    .as_ref()
+                    .is_some_and(|(name, is_view)| *is_view && name == w);
+                let owner = match own.get(w) {
+                    Some(o) => Some(*o),
+                    // A new view has no shard of its own: it lives with
+                    // the tables it reads (resolved below), so the owning
+                    // shard can plan it locally.
+                    None if created_view => None,
+                    None => Some(Owner {
+                        shard: shard_of(w, n),
+                        is_view: false,
+                    }),
+                };
+                if let Some(o) = owner {
+                    resolved.insert(w.clone(), o);
+                    targets.insert(o.shard);
+                }
+            }
+            for r in &deps.reads {
+                // Unknown pure reads are ignored on purpose: the routed
+                // shard's binder produces the canonical "unknown table"
+                // error text, identical to a single-shard server's.
+                if let Some(o) = own.get(r) {
+                    resolved.insert(r.clone(), *o);
+                    targets.insert(o.shard);
+                }
+            }
+            if let Some((name, is_view)) = &deps.creates {
+                changes.push(OwnershipChange::Create {
+                    name: name.clone(),
+                    is_view: *is_view,
+                });
+            }
+            if let Some((name, _)) = &deps.drops {
+                changes.push(OwnershipChange::Drop { name: name.clone() });
+            }
+        }
+        drop(own);
+        match targets.len() {
+            0 => Resolution::Single { shard: 0, changes },
+            1 => Resolution::Single {
+                shard: *targets.iter().next().expect("one target"),
+                changes,
+            },
+            _ => Resolution::Multi {
+                resolved,
+                any_write,
+            },
+        }
+    }
+
+    /// Route a `QUERY` or `EXPLAIN` by its dependency set.
+    fn route_sql(&self, session: u64, command: Command) -> Reply {
+        let sql = match &command {
+            Command::Query(sql) | Command::Explain { sql, .. } => sql.clone(),
+            _ => unreachable!("route_sql only sees QUERY/EXPLAIN"),
+        };
+        match self.resolve(&sql) {
+            Resolution::Unparsed => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.run_on(0, session, command)
+            }
+            Resolution::Single { shard, changes } => {
+                let reply = self.run_on(shard, session, command);
+                if reply.is_ok() {
+                    self.apply_changes(shard, changes);
+                }
+                reply
+            }
+            Resolution::Multi {
+                resolved,
+                any_write,
+            } => {
+                if any_write {
+                    self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Err((
+                        codes::CROSS_SHARD,
+                        format!(
+                            "statement writes across shards ({}); cross-shard writes are \
+                             unsupported — keep co-written tables on one shard",
+                            render_placement(&resolved)
+                        ),
+                    ));
+                }
+                self.scatter_gather(session, command, &resolved)
+            }
+        }
+    }
+
+    /// Route a `PREPARE`: prepared statements are pinned to one shard.
+    fn route_prepare(&self, session: u64, command: Command) -> Reply {
+        let (name, sql) = match &command {
+            Command::Prepare { name, sql } => (name.clone(), sql.clone()),
+            _ => unreachable!("route_prepare only sees PREPARE"),
+        };
+        let shard = match self.resolve(&sql) {
+            Resolution::Unparsed => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+            Resolution::Single { shard, .. } => shard,
+            Resolution::Multi { resolved, .. } => {
+                self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err((
+                    codes::CROSS_SHARD,
+                    format!(
+                        "prepared statements are single-shard; this one reads across \
+                         shards ({})",
+                        render_placement(&resolved)
+                    ),
+                ));
+            }
+        };
+        let reply = self.run_on(shard, session, command);
+        if reply.is_ok() {
+            self.prepare_shards
+                .lock()
+                .expect("prepare lock")
+                .insert((session, name), shard);
+        }
+        reply
+    }
+
+    /// Answer a cross-shard read-only query: export every foreign table to
+    /// the coordinator shard, run the whole query there, drop the copies.
+    fn scatter_gather(
+        &self,
+        session: u64,
+        command: Command,
+        resolved: &BTreeMap<String, Owner>,
+    ) -> Reply {
+        // Coordinator: the shard owning most of the touched names (fewest
+        // exports); ties break toward the lowest shard id.
+        let mut counts = vec![0usize; self.lanes.len()];
+        for owner in resolved.values() {
+            counts[owner.shard] += 1;
+        }
+        let coordinator = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(shard, count)| (**count, std::cmp::Reverse(*shard)))
+            .map(|(shard, _)| shard)
+            .unwrap_or(0);
+        let mut per_shard: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for (name, owner) in resolved {
+            if owner.shard == coordinator {
+                continue;
+            }
+            if owner.is_view {
+                // Views have no rows to export; planning them needs the
+                // owning shard's catalog. Cross-shard view reads are a
+                // documented limitation.
+                self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err((
+                    codes::CROSS_SHARD,
+                    format!(
+                        "query joins view '{name}' (shard {}) with tables on shard \
+                         {coordinator}; cross-shard view reads are unsupported",
+                        owner.shard
+                    ),
+                ));
+            }
+            per_shard.entry(owner.shard).or_default().push(name.clone());
+        }
+        // Scatter: all exports run in parallel on their shard threads.
+        let mut waits = Vec::with_capacity(per_shard.len());
+        for (shard, names) in per_shard {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            self.admit(
+                shard,
+                Job::ExportTables {
+                    names,
+                    reply: reply_tx,
+                },
+                Admission::Internal,
+            )?;
+            waits.push(reply_rx);
+        }
+        let mut images: Vec<TableImage> = Vec::new();
+        for reply_rx in waits {
+            let exported = reply_rx
+                .recv()
+                .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))??;
+            images.extend(exported);
+        }
+        self.scatter_gathers.fetch_add(1, Ordering::Relaxed);
+        // Gather: the coordinator installs the images, runs the query, and
+        // removes them before answering.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.admit(
+            coordinator,
+            Job::Gather {
+                session,
+                command,
+                images,
+                reply: reply_tx,
+            },
+            Admission::Client,
+        )?;
+        reply_rx
+            .recv()
+            .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))?
+    }
+
+    /// Apply DDL ownership changes after the owning shard acknowledged.
+    fn apply_changes(&self, shard: usize, changes: Vec<OwnershipChange>) {
+        if changes.is_empty() {
+            return;
+        }
+        let mut own = self.ownership.lock().expect("ownership lock");
+        for change in changes {
+            match change {
+                OwnershipChange::Create { name, is_view } => {
+                    own.insert(name, Owner { shard, is_view });
+                }
+                OwnershipChange::Drop { name } => {
+                    own.remove(&name);
+                }
+            }
+        }
+    }
+
+    /// `SET` affects per-session state held by every executor, so it is
+    /// broadcast; the first error (or the first body) answers. With more
+    /// than one shard each broadcast counts once per shard in the per-verb
+    /// metrics (documented in `docs/SHARDING.md`).
+    fn broadcast_set(&self, session: u64, command: Command) -> Reply {
+        let mut first: Option<String> = None;
+        for shard in 0..self.lanes.len() {
+            let body = self.run_on(shard, session, command.clone())?;
+            first.get_or_insert(body);
+        }
+        Ok(first.unwrap_or_default())
+    }
+
+    /// `CHECKPOINT` runs on every shard in parallel; the per-shard summary
+    /// lines are summed into one.
+    fn broadcast_checkpoint(&self, session: u64) -> Reply {
+        let mut waits = Vec::with_capacity(self.lanes.len());
+        for shard in 0..self.lanes.len() {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            self.admit(
+                shard,
+                Job::Command {
+                    session,
+                    command: Command::Checkpoint,
+                    reply: reply_tx,
+                },
+                Admission::Client,
+            )?;
+            waits.push(reply_rx);
+        }
+        let mut bodies = Vec::with_capacity(waits.len());
+        for reply_rx in waits {
+            bodies.push(
+                reply_rx
+                    .recv()
+                    .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))??,
+            );
+        }
+        Ok(sum_checkpoints(&bodies).unwrap_or_else(|| bodies.swap_remove(0)))
+    }
+
+    /// `STATS`: shard 0's full body plus per-shard gauges and the sharding
+    /// aggregates (always present, even with one shard, so dashboards need
+    /// no shard-count special case).
+    fn stats(&self, session: u64) -> Reply {
+        let mut body = self.run_on(0, session, Command::Stats)?;
+        let mut waits = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if lane.tx.send(Job::ShardInfo { reply: reply_tx }).is_err() {
+                return Err((codes::INTERNAL, "executor unavailable".into()));
+            }
+            waits.push(reply_rx);
+        }
+        let mut snapshots: Vec<ShardSnapshot> = Vec::with_capacity(waits.len());
+        for reply_rx in waits {
+            snapshots.push(
+                reply_rx
+                    .recv()
+                    .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))?,
+            );
+        }
+        use std::fmt::Write as _;
+        for (k, snap) in snapshots.iter().enumerate() {
+            let queued = self.lanes[k].stats.queue_depth.load(Ordering::Relaxed);
+            let commands = self.lanes[k].stats.commands.load(Ordering::Relaxed);
+            let _ = write!(body, "\nshard{k}.queue_depth {queued}");
+            let _ = write!(body, "\nshard{k}.commands {commands}");
+            let _ = write!(body, "\nshard{k}.health {}", snap.health);
+            let _ = write!(
+                body,
+                "\nshard{k}.wal_group_commits {}",
+                snap.wal_group_commits
+            );
+        }
+        let records: u64 = snapshots.iter().map(|s| s.wal_records).sum();
+        let fsyncs: u64 = snapshots.iter().map(|s| s.wal_fsyncs).sum();
+        let group_commits: u64 = snapshots.iter().map(|s| s.wal_group_commits).sum();
+        let group_records: u64 = snapshots.iter().map(|s| s.wal_group_records).sum();
+        let per_fsync = if fsyncs == 0 {
+            0.0
+        } else {
+            records as f64 / fsyncs as f64
+        };
+        let _ = write!(body, "\nshards {}", self.lanes.len());
+        let _ = write!(
+            body,
+            "\nshard_fallbacks {}",
+            self.fallbacks.load(Ordering::Relaxed)
+        );
+        let _ = write!(
+            body,
+            "\nshard_scatter_gather {}",
+            self.scatter_gathers.load(Ordering::Relaxed)
+        );
+        let _ = write!(
+            body,
+            "\ncross_shard_rejects {}",
+            self.cross_shard_rejects.load(Ordering::Relaxed)
+        );
+        let _ = write!(body, "\nwal_group_commits {group_commits}");
+        let _ = write!(body, "\nwal_group_committed_records {group_records}");
+        let _ = write!(body, "\nwal_commits_per_fsync {per_fsync:.2}");
+        Ok(body)
+    }
+}
+
+/// Render a resolved placement for error messages: `a=shard0, b=shard2`.
+fn render_placement(resolved: &BTreeMap<String, Owner>) -> String {
+    resolved
+        .iter()
+        .map(|(name, owner)| format!("{name}=shard{}", owner.shard))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Sum per-shard `checkpoint tables=.. rows=.. snapshot_bytes=..
+/// wal_truncated=..` summaries into one line; `None` when a body does not
+/// match the expected shape.
+fn sum_checkpoints(bodies: &[String]) -> Option<String> {
+    let mut totals = [0u64; 4];
+    for body in bodies {
+        for (slot, key) in ["tables=", "rows=", "snapshot_bytes=", "wal_truncated="]
+            .iter()
+            .enumerate()
+        {
+            let value = body
+                .split(key)
+                .nth(1)?
+                .split_whitespace()
+                .next()?
+                .parse::<u64>()
+                .ok()?;
+            totals[slot] += value;
+        }
+    }
+    Some(format!(
+        "checkpoint tables={} rows={} snapshot_bytes={} wal_truncated={}",
+        totals[0], totals[1], totals[2], totals[3]
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_bounded() {
+        for name in ["t1", "t2", "orders", "lineitem", "a", ""] {
+            let s = shard_of(name, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(name, 4), "placement must be deterministic");
+        }
+        assert_eq!(shard_of("anything", 1), 0);
+        assert_eq!(shard_of("anything", 0), 0, "shards=0 clamps to one shard");
+    }
+
+    #[test]
+    fn shard_of_spreads_names() {
+        // Not a statistical test — just require that the hash is not
+        // degenerate over a realistic name population.
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[shard_of(&format!("table_{i}"), 4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "64 names must cover 4 shards");
+    }
+
+    #[test]
+    fn checkpoint_summaries_sum() {
+        let bodies = vec![
+            "checkpoint tables=2 rows=10 snapshot_bytes=100 wal_truncated=7".to_string(),
+            "checkpoint tables=1 rows=5 snapshot_bytes=50 wal_truncated=3".to_string(),
+        ];
+        assert_eq!(
+            sum_checkpoints(&bodies).unwrap(),
+            "checkpoint tables=3 rows=15 snapshot_bytes=150 wal_truncated=10"
+        );
+        assert!(sum_checkpoints(&["nonsense".to_string()]).is_none());
+    }
+
+    #[test]
+    fn queue_gauge_decrement_saturates() {
+        let stats = ShardStats::default();
+        stats.dec_queue_depth();
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 0);
+        stats.queue_depth.fetch_add(2, Ordering::Relaxed);
+        stats.dec_queue_depth();
+        assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 1);
+    }
+}

@@ -182,6 +182,116 @@ fn fault_storm_loses_no_acknowledged_write_and_resurrects_none() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The storm again, on a **two-shard** server with one stormed table per
+/// shard. The fault registry is process-global, so both shards' WALs
+/// misbehave at once; the invariants must hold per shard: acked writes on
+/// either shard survive restart, refused ones on either shard stay dead,
+/// and a broadcast CHECKPOINT re-arms every shard.
+#[test]
+fn fault_storm_with_two_shards_holds_per_shard_invariants() {
+    let _g = locked();
+    let seed = seed();
+    fault::set_seed(seed);
+    let dir = tmp_dir("storm2");
+    let config = || ServerConfig {
+        data_dir: Some(dir.clone()),
+        shards: 2,
+        ..ServerConfig::default()
+    };
+
+    // One table per shard (candidate scan; FNV placement is stable).
+    let ta = (0..64)
+        .map(|i| format!("ca{i}"))
+        .find(|n| elephant_server::shard_of(n, 2) == 0)
+        .unwrap();
+    let tb = (0..64)
+        .map(|i| format!("ca{i}"))
+        .find(|n| elephant_server::shard_of(n, 2) == 1)
+        .unwrap();
+
+    let handle = start(config()).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+    c.query_raw(&format!("CREATE TABLE {ta} (v int)")).unwrap();
+    c.query_raw(&format!("CREATE TABLE {tb} (v int)")).unwrap();
+
+    fault::set("wal.append", FaultPolicy::Prob(0.25));
+    let mut acked: [Vec<i64>; 2] = [Vec::new(), Vec::new()];
+    let mut refused = 0u64;
+    for v in 0..40i64 {
+        if v == 20 {
+            fault::set("wal.append", FaultPolicy::Error);
+        }
+        let (idx, table) = if v % 2 == 0 { (0, &ta) } else { (1, &tb) };
+        match c.query_raw(&format!("INSERT INTO {table} VALUES ({v})")) {
+            Ok(_) => acked[idx].push(v),
+            Err(ClientError::Server(e)) => {
+                assert!(
+                    e.code == "ERR_EXEC" || e.code == "ERR_READ_ONLY",
+                    "unexpected error during storm: {e}"
+                );
+                assert!(!e.is_retryable());
+                refused += 1;
+                if v == 20 {
+                    fault::set("wal.append", FaultPolicy::Prob(0.25));
+                }
+                // Broadcast checkpoint: re-arms whichever shard degraded.
+                c.checkpoint().unwrap();
+            }
+            Err(e) => panic!("transport error during storm: {e}"),
+        }
+    }
+    assert!(
+        refused >= 1,
+        "the guaranteed fault at v=20 must have refused"
+    );
+    fault::clear_all();
+    c.checkpoint().unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stat(&stats, "faults_injected") >= 1, "{stats}");
+    for k in 0..2 {
+        let health = stats
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("shard{k}.health ")))
+            .unwrap_or_else(|| panic!("missing shard{k}.health:\n{stats}"));
+        assert_eq!(health, "healthy", "shard {k} still degraded:\n{stats}");
+    }
+
+    let expect = |rows: &[i64]| {
+        let mut s = String::from("v\n");
+        for v in rows {
+            s.push_str(&format!("{v}\n"));
+        }
+        s
+    };
+    for (table, rows) in [(&ta, &acked[0]), (&tb, &acked[1])] {
+        assert_eq!(
+            c.query_raw(&format!("SELECT v FROM {table} ORDER BY v"))
+                .unwrap(),
+            expect(rows),
+            "{table}: acked writes visible, refused ones not"
+        );
+    }
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+
+    // Restart: per-shard recovery returns exactly the acked rows.
+    let handle = start(config()).unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+    for (table, rows) in [(&ta, &acked[0]), (&tb, &acked[1])] {
+        assert_eq!(
+            c.query_raw(&format!("SELECT v FROM {table} ORDER BY v"))
+                .unwrap(),
+            expect(rows),
+            "{table}: recovery changed the acked row set"
+        );
+    }
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn degraded_server_serves_reads_and_inspection_until_rearmed() {
     let _g = locked();

@@ -5,7 +5,7 @@
 //! so adding a protocol verb refuses to compile until it is wired into a
 //! counter and into this test.
 
-use elephant_server::{start, Command, ElephantClient, ServerConfig};
+use elephant_server::{shard_of, start, ClientError, Command, ElephantClient, ServerConfig};
 use std::path::PathBuf;
 
 /// The `STATS` key that must account for each verb. Exhaustive on purpose
@@ -125,6 +125,23 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
     assert!(stat(&body, "batches_executed") > 0, "{body}");
     let _ = stat(&body, "colexec_fallbacks");
 
+    // Sharding counters render even on a default single-shard server, so
+    // dashboards need no conditional parsing. This server is durable, so
+    // the group-commit counters are live (one fsync may cover several
+    // acknowledged writes); a single shard can never fall back, scatter,
+    // or reject.
+    assert_eq!(stat(&body, "shards"), 1);
+    assert_eq!(stat(&body, "shard_fallbacks"), 0);
+    assert_eq!(stat(&body, "shard_scatter_gather"), 0);
+    assert_eq!(stat(&body, "cross_shard_rejects"), 0);
+    let _ = stat(&body, "shard0.queue_depth");
+    assert!(stat(&body, "shard0.commands") > 0, "{body}");
+    assert!(body.contains("\nshard0.health "), "{body}");
+    let _ = stat(&body, "shard0.wal_group_commits");
+    let _ = stat(&body, "wal_group_commits");
+    let _ = stat(&body, "wal_group_committed_records");
+    assert!(body.contains("\nwal_commits_per_fsync "), "{body}");
+
     // Compile-time completeness: route a sample of every variant through
     // the exhaustive map and pin the bucket each one must land in.
     let samples = [
@@ -175,4 +192,83 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
     drop(c);
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// On a multi-shard server, STATS grows one line group per shard plus the
+/// router counters, and a cross-shard write is refused with the typed
+/// `ERR_CROSS_SHARD` while the reject counter ticks.
+#[test]
+fn sharded_stats_render_per_shard_lines_and_count_rejects() {
+    const SHARDS: usize = 4;
+    let handle = start(ServerConfig {
+        shards: SHARDS,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+
+    // Two tables the router provably places on different shards.
+    let names: Vec<String> = (0..32).map(|i| format!("t{i}")).collect();
+    let a = names[0].clone();
+    let b = names
+        .iter()
+        .find(|n| shard_of(n, SHARDS) != shard_of(&a, SHARDS))
+        .expect("32 names must hit at least two of four shards")
+        .clone();
+
+    c.query_raw(&format!("CREATE TABLE {a} (x int)")).unwrap();
+    c.query_raw(&format!("CREATE TABLE {b} (x int)")).unwrap();
+    c.query_raw(&format!("INSERT INTO {a} VALUES (1), (2)"))
+        .unwrap();
+    c.query_raw(&format!("INSERT INTO {b} VALUES (2), (10)"))
+        .unwrap();
+
+    // Cross-shard read-only query: served via scatter-gather.
+    let body = c
+        .query_raw(&format!(
+            "SELECT count(*) AS n FROM {a} INNER JOIN {b} ON {a}.x = {b}.x"
+        ))
+        .unwrap();
+    assert_eq!(body, "n\n1\n");
+
+    // Cross-shard write (a script touching two write targets on different
+    // shards): typed refusal, nothing executed.
+    let err = c
+        .query_raw(&format!(
+            "INSERT INTO {a} VALUES (7); INSERT INTO {b} VALUES (7)"
+        ))
+        .unwrap_err();
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, "ERR_CROSS_SHARD", "{e}");
+            assert!(e.message.contains("shard"), "{e}");
+        }
+        other => panic!("expected a server error, got {other}"),
+    }
+    assert_eq!(
+        c.query_raw(&format!("SELECT count(*) AS n FROM {a}"))
+            .unwrap(),
+        "n\n2\n",
+        "refused write must not have executed"
+    );
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "shards"), SHARDS as u64);
+    assert_eq!(stat(&stats, "cross_shard_rejects"), 1, "{stats}");
+    assert!(stat(&stats, "shard_scatter_gather") >= 1, "{stats}");
+    let _ = stat(&stats, "shard_fallbacks");
+    for k in 0..SHARDS {
+        let _ = stat(&stats, &format!("shard{k}.queue_depth"));
+        let _ = stat(&stats, &format!("shard{k}.commands"));
+        let _ = stat(&stats, &format!("shard{k}.wal_group_commits"));
+        assert!(stats.contains(&format!("\nshard{k}.health ")), "{stats}");
+    }
+    // Volatile server: the group-commit counters render but stay zero.
+    assert_eq!(stat(&stats, "wal_group_commits"), 0);
+    assert_eq!(stat(&stats, "wal_group_committed_records"), 0);
+    assert!(stats.contains("\nwal_commits_per_fsync 0.00"), "{stats}");
+
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
 }

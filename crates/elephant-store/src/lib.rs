@@ -350,6 +350,23 @@ impl Store {
         self.wal.sync()
     }
 
+    /// Open a group-commit window: see [`WalWriter::begin_group`].
+    pub fn begin_group(&mut self) {
+        self.wal.begin_group()
+    }
+
+    /// Close the group-commit window with one fsync covering every record
+    /// deferred inside it; returns how many records that fsync
+    /// acknowledged. See [`WalWriter::end_group`].
+    pub fn end_group(&mut self) -> Result<u64> {
+        self.wal.end_group()
+    }
+
+    /// Records deferred in the open group window (0 outside one).
+    pub fn group_pending(&self) -> u64 {
+        self.wal.group_pending()
+    }
+
     /// Write a snapshot of `tables` and truncate the WAL. The snapshot
     /// covers every record logged so far; replay after this checkpoint
     /// starts from the snapshot alone.

@@ -301,6 +301,23 @@ pub struct WalStats {
     pub append_us: u64,
     /// Total wall-clock time spent inside `fsync` (µs).
     pub fsync_us: u64,
+    /// Group-commit windows closed with at least one deferred record
+    /// (each paid exactly one fsync).
+    pub group_commits: u64,
+    /// Records whose durability was acknowledged by a group fsync rather
+    /// than their own. `group_committed_records / group_commits` is the
+    /// commits-per-fsync amortization factor.
+    pub group_committed_records: u64,
+}
+
+/// Bookkeeping for one open group-commit window: everything needed to cut
+/// the whole batch back out if the single closing fsync fails.
+#[derive(Debug)]
+struct GroupState {
+    start_bytes: u64,
+    start_lsn: u64,
+    start_unsynced: u64,
+    deferred: u64,
 }
 
 /// Append-only WAL writer.
@@ -330,6 +347,8 @@ pub struct WalWriter {
     /// by replay, so they are refused until `truncate` restores a clean
     /// boundary.
     poisoned: Option<String>,
+    /// Open group-commit window, if any (see [`WalWriter::begin_group`]).
+    group: Option<GroupState>,
 }
 
 impl WalWriter {
@@ -368,7 +387,77 @@ impl WalWriter {
             },
             shared,
             poisoned: None,
+            group: None,
         })
+    }
+
+    /// Open a group-commit window. While a window is open under
+    /// [`FsyncPolicy::Always`], appends skip their per-record fsync *and*
+    /// the commit watermark: the record is written but not acknowledged
+    /// until [`WalWriter::end_group`] issues one fsync for the whole batch.
+    /// Under `EveryN`/`Off` the window is a no-op — those policies already
+    /// acknowledge without a per-record fsync. Idempotent while open.
+    pub fn begin_group(&mut self) {
+        if self.group.is_none() {
+            self.group = Some(GroupState {
+                start_bytes: self.stats.bytes,
+                start_lsn: self.next_lsn,
+                start_unsynced: self.unsynced,
+                deferred: 0,
+            });
+        }
+    }
+
+    /// Close the group-commit window: one fsync covers every record
+    /// deferred since [`WalWriter::begin_group`], then the watermark jumps
+    /// over the batch. Returns how many records the fsync acknowledged
+    /// (0 when nothing was deferred — no fsync is issued then). On fsync
+    /// failure the *entire batch* is cut back out (`set_len` to the window
+    /// start, which also removes any torn tail a mid-window short write
+    /// left) and the LSNs are reused, exactly like the single-record
+    /// rollback in [`WalWriter::append`].
+    pub fn end_group(&mut self) -> Result<u64> {
+        let Some(g) = self.group.take() else {
+            return Ok(0);
+        };
+        if g.deferred == 0 {
+            return Ok(0);
+        }
+        match self.sync() {
+            Ok(()) => {
+                self.shared.set_committed(self.next_lsn - 1);
+                self.stats.group_commits += 1;
+                self.stats.group_committed_records += g.deferred;
+                Ok(g.deferred)
+            }
+            Err(e) => {
+                let rolled_back = self
+                    .file
+                    .set_len(g.start_bytes)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(g.start_bytes)).map(|_| ()));
+                match rolled_back {
+                    Ok(()) => {
+                        self.stats.bytes = g.start_bytes;
+                        self.stats.records_appended -= g.deferred;
+                        self.next_lsn = g.start_lsn;
+                        self.unsynced = g.start_unsynced;
+                        // The cut lands on the window-start record boundary,
+                        // so any torn tail inside the window went with it.
+                        self.poisoned = None;
+                    }
+                    Err(_) => {
+                        self.poisoned =
+                            Some(format!("failed group rollback at lsn {}", g.start_lsn));
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Records deferred in the currently open group window (0 outside one).
+    pub fn group_pending(&self) -> u64 {
+        self.group.as_ref().map_or(0, |g| g.deferred)
     }
 
     /// The cross-thread progress view ([`WalShared`]) for this writer.
@@ -428,16 +517,25 @@ impl WalWriter {
         self.unsynced += 1;
         self.stats.records_appended += 1;
         self.stats.bytes += frame.len() as u64;
-        let synced = match self.fsync {
-            FsyncPolicy::Always => self.sync(),
-            FsyncPolicy::EveryN(n) => {
-                if self.unsynced >= n.max(1) {
-                    self.sync()
-                } else {
-                    Ok(())
+        // Inside a group window, `Always` defers both the fsync and the
+        // acknowledgment to `end_group`'s single sync. The lax policies
+        // already acknowledge without a per-record fsync, so the window
+        // changes nothing for them.
+        let deferred = matches!(self.fsync, FsyncPolicy::Always) && self.group.is_some();
+        let synced = if deferred {
+            Ok(())
+        } else {
+            match self.fsync {
+                FsyncPolicy::Always => self.sync(),
+                FsyncPolicy::EveryN(n) => {
+                    if self.unsynced >= n.max(1) {
+                        self.sync()
+                    } else {
+                        Ok(())
+                    }
                 }
+                FsyncPolicy::Off => Ok(()),
             }
-            FsyncPolicy::Off => Ok(()),
         };
         if let Err(e) = synced {
             // The frame's durability is unknown. Cut it back out so a crash
@@ -460,7 +558,13 @@ impl WalWriter {
             }
             return Err(e);
         }
-        self.shared.set_committed(lsn);
+        if deferred {
+            if let Some(g) = &mut self.group {
+                g.deferred += 1;
+            }
+        } else {
+            self.shared.set_committed(lsn);
+        }
         self.stats.append_us += started.elapsed().as_micros() as u64;
         Ok(lsn)
     }
@@ -490,6 +594,18 @@ impl WalWriter {
         self.unsynced = 0;
         self.stats.bytes = WAL_MAGIC.len() as u64;
         self.poisoned = None;
+        // A checkpoint inside a group window covers the deferred records
+        // with the snapshot; re-anchor the window at the now-empty log so a
+        // later group rollback cannot unwind snapshot-covered state.
+        if let Some(g) = &mut self.group {
+            if g.deferred > 0 {
+                self.shared.set_committed(self.next_lsn - 1);
+            }
+            g.start_bytes = self.stats.bytes;
+            g.start_lsn = self.next_lsn;
+            g.start_unsynced = 0;
+            g.deferred = 0;
+        }
         self.shared.bump_truncations();
         Ok(dropped)
     }
@@ -578,6 +694,11 @@ pub fn read_wal(path: &Path) -> Result<WalReadOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The failpoint registry is process-global; tests that arm
+    /// `wal.fsync` serialize on this so one test's `error_once` cannot be
+    /// consumed by another's sync.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("elwal-test-{}-{name}", std::process::id()));
@@ -732,6 +853,7 @@ mod tests {
 
     #[test]
     fn failed_fsync_never_advances_watermark() {
+        let _guard = FAULT_LOCK.lock().unwrap();
         let path = tmp("sharedfail");
         let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
         let shared = w.shared();
@@ -771,6 +893,123 @@ mod tests {
             assert!(decode_frame(&frame[..frame.len() - 1]).is_err());
         }
         assert!(decode_frame(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_and_defers_watermark() {
+        let path = tmp("group");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
+        let shared = w.shared();
+        w.begin_group();
+        for name in ["a", "b", "c"] {
+            w.append(&WalRecord::DropTable { name: name.into() })
+                .unwrap();
+        }
+        assert_eq!(w.stats().fsyncs, 0, "appends deferred their fsync");
+        assert_eq!(
+            shared.committed_lsn(),
+            0,
+            "deferred records are not acknowledged"
+        );
+        assert_eq!(w.group_pending(), 3);
+        assert_eq!(w.end_group().unwrap(), 3);
+        assert_eq!(w.stats().fsyncs, 1, "one fsync acknowledged the batch");
+        assert_eq!(shared.committed_lsn(), 3);
+        assert_eq!(w.stats().group_commits, 1);
+        assert_eq!(w.stats().group_committed_records, 3);
+        // Empty window: no fsync, no counters.
+        w.begin_group();
+        assert_eq!(w.end_group().unwrap(), 0);
+        assert_eq!(w.stats().fsyncs, 1);
+        assert_eq!(w.stats().group_commits, 1);
+        drop(w);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.torn_bytes, 0);
+    }
+
+    #[test]
+    fn group_commit_is_noop_for_lax_policies() {
+        let path = tmp("grouplax");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Off, 0, 1).unwrap();
+        let shared = w.shared();
+        w.begin_group();
+        w.append(&WalRecord::DropTable { name: "x".into() })
+            .unwrap();
+        assert_eq!(
+            shared.committed_lsn(),
+            1,
+            "lax policies acknowledge per append"
+        );
+        assert_eq!(w.group_pending(), 0);
+        assert_eq!(w.end_group().unwrap(), 0);
+        assert_eq!(w.stats().group_commits, 0);
+    }
+
+    #[test]
+    fn failed_group_fsync_rolls_back_whole_batch() {
+        let _guard = FAULT_LOCK.lock().unwrap();
+        let path = tmp("groupfail");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
+        let shared = w.shared();
+        w.append(&WalRecord::DropTable { name: "pre".into() })
+            .unwrap();
+        let bytes_before = w.stats().bytes;
+        w.begin_group();
+        w.append(&WalRecord::DropTable { name: "a".into() })
+            .unwrap();
+        w.append(&WalRecord::DropTable { name: "b".into() })
+            .unwrap();
+        etypes::fault::configure("wal.fsync=error_once").unwrap();
+        let err = w.end_group();
+        etypes::fault::clear("wal.fsync");
+        assert!(err.is_err());
+        assert_eq!(
+            shared.committed_lsn(),
+            1,
+            "rolled-back batch never acknowledged"
+        );
+        assert_eq!(w.stats().bytes, bytes_before, "batch frames cut back out");
+        assert_eq!(w.stats().records_appended, 1);
+        // LSNs are reused, the writer keeps working.
+        let lsn = w
+            .append(&WalRecord::DropTable { name: "c".into() })
+            .unwrap();
+        assert_eq!(lsn, 2);
+        drop(w);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.torn_bytes, 0);
+    }
+
+    #[test]
+    fn truncate_inside_group_reanchors_window() {
+        let _guard = FAULT_LOCK.lock().unwrap();
+        let path = tmp("grouptrunc");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
+        let shared = w.shared();
+        w.begin_group();
+        w.append(&WalRecord::DropTable { name: "a".into() })
+            .unwrap();
+        w.truncate().unwrap();
+        assert_eq!(
+            shared.committed_lsn(),
+            1,
+            "snapshot-covered record acknowledged"
+        );
+        assert_eq!(w.group_pending(), 0);
+        w.append(&WalRecord::DropTable { name: "b".into() })
+            .unwrap();
+        etypes::fault::configure("wal.fsync=error_once").unwrap();
+        let err = w.end_group();
+        etypes::fault::clear("wal.fsync");
+        assert!(err.is_err());
+        assert_eq!(
+            shared.committed_lsn(),
+            1,
+            "only the post-truncate record unwound"
+        );
+        assert_eq!(w.stats().bytes, WAL_MAGIC.len() as u64);
     }
 
     #[test]

@@ -204,7 +204,7 @@ pub fn collect_table_deps(query: &ast::Query, root: &PlanRoot) -> Vec<String> {
     deps.into_iter().collect()
 }
 
-fn ast_query_deps(query: &ast::Query, deps: &mut BTreeSet<String>) {
+pub(crate) fn ast_query_deps(query: &ast::Query, deps: &mut BTreeSet<String>) {
     for cte in &query.ctes {
         ast_query_deps(&cte.query, deps);
     }
@@ -248,7 +248,7 @@ fn ast_table_ref_deps(table_ref: &ast::TableRef, deps: &mut BTreeSet<String>) {
     }
 }
 
-fn ast_expr_deps(expr: &ast::Expr, deps: &mut BTreeSet<String>) {
+pub(crate) fn ast_expr_deps(expr: &ast::Expr, deps: &mut BTreeSet<String>) {
     match expr {
         ast::Expr::Column { .. } | ast::Expr::Literal(_) => {}
         ast::Expr::Binary { left, right, .. } => {

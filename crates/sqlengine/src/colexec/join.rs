@@ -17,18 +17,29 @@ use etypes::{ColumnChunk, Value};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-/// The row's composite key, or `None` when a non-null-safe key is NULL
-/// (such rows never match, mirroring `exec::join_key`).
-fn row_key(key_cols: &[Rc<Column>], equi: &[EquiKey], i: usize) -> Option<Vec<Value>> {
-    let mut key = Vec::with_capacity(key_cols.len());
+/// Fill `key` with the row's composite key; `false` when a non-null-safe
+/// key is NULL (such rows never match, mirroring `exec::join_key`). The
+/// buffer is caller-owned so probing allocates nothing per row.
+fn fill_row_key(key_cols: &[Rc<Column>], equi: &[EquiKey], i: usize, key: &mut Vec<Value>) -> bool {
+    key.clear();
     for (kc, k) in key_cols.iter().zip(equi) {
         let v = kc.get(i);
         if v.is_null() && !k.null_safe {
-            return None;
+            return false;
         }
         key.push(v);
     }
-    Some(key)
+    true
+}
+
+/// The build-side hash table. The overwhelmingly common single-column
+/// equi-join keys the map by a bare [`Value`] — no per-row `Vec`
+/// allocation on either the build or the probe side; composite keys fall
+/// back to `Vec<Value>` keys, probed through a reused buffer
+/// (`Vec<Value>: Borrow<[Value]>` makes the lookup allocation-free too).
+enum KeyTable {
+    Single(HashMap<Value, Vec<usize>>),
+    Multi(HashMap<Vec<Value>, Vec<usize>>),
 }
 
 pub(super) fn exec_join(
@@ -54,19 +65,53 @@ pub(super) fn exec_join(
         .map(|k| Ok(eval_col(&k.right, &rchunk, &rsel, ctx)?.materialize(rchunk.len())))
         .collect::<Result<_>>()?;
 
-    // Build on right, probe with left (same as the row engine).
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rchunk.len());
-    for j in 0..rchunk.len() {
-        if let Some(k) = row_key(&rkeys, equi, j) {
-            table.entry(k).or_default().push(j);
+    // Build on right, probe with left (same as the row engine). The table
+    // is pre-sized from the build-side row count so growth never rehashes.
+    let table = if equi.len() == 1 {
+        let null_safe = equi[0].null_safe;
+        let mut t: HashMap<Value, Vec<usize>> = HashMap::with_capacity(rchunk.len());
+        for j in 0..rchunk.len() {
+            let v = rkeys[0].get(j);
+            if v.is_null() && !null_safe {
+                continue;
+            }
+            t.entry(v).or_default().push(j);
         }
-    }
+        KeyTable::Single(t)
+    } else {
+        let mut t: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rchunk.len());
+        let mut key = Vec::with_capacity(equi.len());
+        for j in 0..rchunk.len() {
+            if fill_row_key(&rkeys, equi, j, &mut key) {
+                t.entry(std::mem::take(&mut key)).or_default().push(j);
+                key.reserve(equi.len());
+            }
+        }
+        KeyTable::Multi(t)
+    };
 
-    let mut pairs: Vec<(Option<usize>, Option<usize>)> = Vec::new();
+    let mut pairs: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(lchunk.len());
     let mut right_matched = vec![false; rchunk.len()];
+    let mut probe_key: Vec<Value> = Vec::with_capacity(equi.len());
     for i in 0..lchunk.len() {
         ctx.tick(1)?;
-        let matches = row_key(&lkeys, equi, i).and_then(|k| table.get(&k));
+        let matches = match &table {
+            KeyTable::Single(t) => {
+                let v = lkeys[0].get(i);
+                if v.is_null() && !equi[0].null_safe {
+                    None
+                } else {
+                    t.get(&v)
+                }
+            }
+            KeyTable::Multi(t) => {
+                if fill_row_key(&lkeys, equi, i, &mut probe_key) {
+                    t.get(probe_key.as_slice())
+                } else {
+                    None
+                }
+            }
+        };
         let mut any = false;
         if let Some(matches) = matches {
             for &j in matches {

@@ -48,6 +48,21 @@ pub trait StorageBackend {
     fn wal_handle(&self) -> Option<WalHandle> {
         None
     }
+
+    /// Open a group-commit window: under an `always` fsync policy,
+    /// subsequent [`StorageBackend::log`] calls defer their fsync *and*
+    /// acknowledgment until [`StorageBackend::end_group`] issues one fsync
+    /// for the whole batch. A no-op for volatile backends and lax fsync
+    /// policies.
+    fn begin_group(&mut self) {}
+
+    /// Close the group-commit window; returns how many deferred records
+    /// the closing fsync acknowledged (0 when nothing was deferred). On
+    /// `Err`, every deferred record was cut back out of the log and the
+    /// caller must unwind the matching in-memory effects.
+    fn end_group(&mut self) -> Result<u64> {
+        Ok(0)
+    }
 }
 
 /// The volatile backend: every operation is a no-op.
@@ -132,6 +147,14 @@ impl StorageBackend for DurableBackend {
     fn wal_handle(&self) -> Option<WalHandle> {
         Some(self.store.wal_handle())
     }
+
+    fn begin_group(&mut self) {
+        self.store.begin_group();
+    }
+
+    fn end_group(&mut self) -> Result<u64> {
+        Ok(self.store.end_group()?)
+    }
 }
 
 /// Convert a recovered image into a live table (ctid order preserved).
@@ -148,7 +171,7 @@ pub(crate) fn image_to_table(img: TableImage) -> Table {
 }
 
 /// Clone a live table into a snapshot image.
-fn table_to_image(table: &Table) -> TableImage {
+pub(crate) fn table_to_image(table: &Table) -> TableImage {
     TableImage {
         name: table.name.clone(),
         columns: table.data.columns.clone(),

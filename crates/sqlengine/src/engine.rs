@@ -101,6 +101,44 @@ pub struct Engine {
     auto_checkpoints: u64,
     /// Which execution subsystem runs queries (row, columnar, or auto).
     exec_mode: ExecMode,
+    /// True between [`Engine::begin_commit_group`] and
+    /// [`Engine::end_commit_group`]: logged mutations record an undo entry
+    /// so a failed group fsync can unwind them all.
+    in_commit_group: bool,
+    /// Undo entries for mutations whose WAL frames are deferred in the open
+    /// group window, in apply order.
+    group_undo: Vec<GroupUndo>,
+    /// Bumped whenever `group_undo` is retired without unwinding (group
+    /// fsync succeeded, or a checkpoint made the entries snapshot-durable).
+    /// Callers holding per-statement marks compare epochs to know whether
+    /// "this statement deferred its commit" is still true.
+    group_epoch: u64,
+}
+
+/// How to undo one logged-but-not-yet-group-committed mutation. Mirrors the
+/// per-statement rollback paths exactly: cut appended rows back out,
+/// drop an unlogged CREATE, resurrect an unlogged DROP.
+enum GroupUndo {
+    /// `CREATE TABLE name` — undo by dropping it.
+    Create {
+        /// The created table's name.
+        name: String,
+    },
+    /// `DROP TABLE` — undo by recreating the saved table.
+    Drop {
+        /// The dropped table, rows and serials included.
+        saved: Table,
+    },
+    /// `INSERT`/`COPY` — undo by truncating back to the pre-statement row
+    /// count and restoring serial counters.
+    Append {
+        /// Target table.
+        table: String,
+        /// Row count before the statement.
+        first_new_row: usize,
+        /// Serial counters before the statement.
+        saved_serials: Vec<(usize, i64)>,
+    },
 }
 
 impl Engine {
@@ -146,6 +184,90 @@ impl Engine {
             auto_checkpoint_wal_bytes: None,
             auto_checkpoints: 0,
             exec_mode: ExecMode::default(),
+            in_commit_group: false,
+            group_undo: Vec::new(),
+            group_epoch: 0,
+        }
+    }
+
+    /// Open a group-commit window: until [`Engine::end_commit_group`],
+    /// logged mutations on an `always`-fsync durable backend defer their
+    /// fsync *and* their durability acknowledgment to the window's single
+    /// closing fsync. Each such mutation records an undo entry so the whole
+    /// window can be unwound if that fsync fails. A no-op on volatile
+    /// engines and lax fsync policies (their appends never fsync per
+    /// record, so there is nothing to defer).
+    pub fn begin_commit_group(&mut self) {
+        self.in_commit_group = true;
+        self.backend.begin_group();
+    }
+
+    /// Close the group-commit window with one fsync; returns how many
+    /// deferred WAL records it acknowledged. On failure every deferred
+    /// record was already cut out of the log, so the matching in-memory
+    /// effects are unwound here (in reverse apply order), dependent cached
+    /// plans are invalidated, and the engine degrades to
+    /// [`Health::ReadOnly`] — the same contract as a failed per-statement
+    /// append.
+    pub fn end_commit_group(&mut self) -> Result<u64> {
+        self.in_commit_group = false;
+        match self.backend.end_group() {
+            Ok(n) => {
+                if !self.group_undo.is_empty() {
+                    self.group_undo.clear();
+                    self.group_epoch += 1;
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                for undo in std::mem::take(&mut self.group_undo).into_iter().rev() {
+                    match undo {
+                        GroupUndo::Create { name } => {
+                            let _ = self.catalog.drop(&name, false, true);
+                            self.plan_cache.invalidate_table(&name);
+                        }
+                        GroupUndo::Drop { saved } => {
+                            let name = saved.name.clone();
+                            let _ = self.catalog.create_table(saved);
+                            self.plan_cache.invalidate_table(&name);
+                        }
+                        GroupUndo::Append {
+                            table,
+                            first_new_row,
+                            saved_serials,
+                        } => self.rollback_append(&table, first_new_row, saved_serials),
+                    }
+                }
+                self.group_epoch += 1;
+                if !self.pinned_read_only {
+                    self.health = Health::ReadOnly {
+                        reason: e.to_string(),
+                    };
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Statements whose durability is deferred in the open group window.
+    pub fn group_pending(&self) -> usize {
+        self.group_undo.len()
+    }
+
+    /// See [`Engine::end_commit_group`]: marks taken under an older epoch
+    /// refer to entries that were already retired (committed or
+    /// snapshot-covered), not to anything a group failure would unwind.
+    pub fn group_epoch(&self) -> u64 {
+        self.group_epoch
+    }
+
+    /// Record how to undo a mutation whose WAL frame is deferred in the
+    /// open group window. Outside a window — or when nothing was actually
+    /// logged (volatile backend, unlogged mode) — there is nothing a group
+    /// failure could unwind, so nothing is recorded.
+    fn note_group_undo(&mut self, undo: GroupUndo) {
+        if self.in_commit_group && !self.unlogged && self.backend.is_durable() {
+            self.group_undo.push(undo);
         }
     }
 
@@ -317,6 +439,14 @@ impl Engine {
         if stats.is_some() && self.health != Health::Healthy && !self.pinned_read_only {
             self.health = Health::Healthy;
         }
+        if stats.is_some() && !self.group_undo.is_empty() {
+            // The snapshot covers every deferred mutation (it was written
+            // from memory, which includes them) and the WAL layer advanced
+            // its watermark over them at truncation — they are durable now,
+            // so a later group failure must not unwind them.
+            self.group_undo.clear();
+            self.group_epoch += 1;
+        }
         Ok(stats)
     }
 
@@ -418,6 +548,41 @@ impl Engine {
         }
         self.plan_cache.invalidate();
         Ok(())
+    }
+
+    /// Export the named base tables as [`TableImage`]s (schema, serial
+    /// counters, rows in ctid order) — the scatter phase of a cross-shard
+    /// read: the owning shard clones its tables so a coordinator can run
+    /// the full query over identical data. Views cannot be exported.
+    pub fn export_table_images(&self, names: &[String]) -> Result<Vec<TableImage>> {
+        names
+            .iter()
+            .map(|n| {
+                self.catalog
+                    .table(n)
+                    .map(crate::durable::table_to_image)
+                    .ok_or_else(|| SqlError::catalog(format!("unknown table '{n}'")))
+            })
+            .collect()
+    }
+
+    /// Install a shipped table image as a transient catalog table — the
+    /// gather phase of a cross-shard read. Bypasses the WAL (the owning
+    /// shard already made the data durable); pair with
+    /// [`Engine::remove_foreign_table`] once the query has run.
+    pub fn install_foreign_table(&mut self, image: TableImage) -> Result<()> {
+        let name = image.name.clone();
+        self.catalog
+            .create_table(crate::durable::image_to_table(image))?;
+        self.plan_cache.invalidate_table(&name);
+        Ok(())
+    }
+
+    /// Remove a table installed by [`Engine::install_foreign_table`],
+    /// invalidating any plan cached against it meanwhile.
+    pub fn remove_foreign_table(&mut self, name: &str) {
+        let _ = self.catalog.drop(name, false, true);
+        self.plan_cache.invalidate_table(name);
     }
 
     /// Execute one statement.
@@ -554,6 +719,7 @@ impl Engine {
                     let _ = self.catalog.drop(&name, false, true);
                     return Err(e);
                 }
+                self.note_group_undo(GroupUndo::Create { name: name.clone() });
                 self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
             }
@@ -574,6 +740,7 @@ impl Engine {
                         let _ = self.catalog.create_table(saved);
                         return Err(e);
                     }
+                    self.note_group_undo(GroupUndo::Drop { saved });
                 }
                 self.plan_cache.invalidate_table(&name);
                 Ok(no_rows(0))
@@ -955,6 +1122,11 @@ impl Engine {
                 self.rollback_append(table, first_new_row, saved_serials);
                 return Err(e);
             }
+            self.note_group_undo(GroupUndo::Append {
+                table: table.to_string(),
+                first_new_row,
+                saved_serials,
+            });
         }
         self.profile.charge_io(count);
         self.stats.pages_written += self.profile.pages_for(count);
@@ -1028,6 +1200,11 @@ impl Engine {
                 self.rollback_append(table, first_new_row, saved_serials);
                 return Err(e);
             }
+            self.note_group_undo(GroupUndo::Append {
+                table: table.to_string(),
+                first_new_row,
+                saved_serials,
+            });
         }
         self.profile.charge_io(count);
         self.stats.pages_written += self.profile.pages_for(count);

@@ -28,12 +28,14 @@ pub mod binder;
 pub mod cache;
 pub mod catalog;
 pub mod colexec;
+pub mod deps;
 pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod functions;
+pub mod fuzz;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
@@ -45,6 +47,7 @@ pub mod trace;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use colexec::ExecMode;
+pub use deps::{parse_sql, statement_deps, StatementDeps};
 pub use durable::{DurableBackend, MemoryBackend, StorageBackend};
 pub use engine::{Engine, EngineStats, ExecOutcome, Health};
 pub use error::{Result, SqlError};

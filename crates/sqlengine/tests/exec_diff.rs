@@ -1,162 +1,25 @@
 //! Differential fuzzing: the row and columnar engines must answer every
 //! query identically — same rows, same order, same errors.
 //!
-//! A seeded [`Prng`] generates NULL-heavy tables and random SELECTs over
-//! filters, projections, joins, aggregates, DISTINCT, ORDER BY, and LIMIT;
-//! each query runs once per execution mode on the same engine and the
-//! results are compared byte-for-byte (`Debug` of the relation rows). Both
-//! engine personalities run, so the fenced-CTE and inlined-CTE planners are
-//! each covered.
+//! The seeded corpus generator lives in [`sqlengine::fuzz`] (it is shared
+//! with the sharded-routing differential test in `elephant-server`): a
+//! [`Prng`] builds NULL-heavy tables and random SELECTs over filters,
+//! projections, joins, aggregates, DISTINCT, ORDER BY, and LIMIT; each
+//! query runs once per execution mode on the same engine and the results
+//! are compared byte-for-byte (`Debug` of the relation rows). Both engine
+//! personalities run, so the fenced-CTE and inlined-CTE planners are each
+//! covered.
 
 use etypes::Prng;
+use sqlengine::fuzz::{gen_query, seed_statements};
 use sqlengine::{Engine, EngineProfile, ExecMode};
-
-const ROWS_T1: usize = 240;
-const ROWS_T2: usize = 90;
 
 fn seed_engine(profile: EngineProfile, rng: &mut Prng) -> Engine {
     let mut e = Engine::new(profile);
-    e.execute_script(
-        "CREATE TABLE t1 (a int, b int, c float, d text);
-         CREATE TABLE t2 (k int, v int, w text);",
-    )
-    .unwrap();
-    let mut inserts = String::from("INSERT INTO t1 VALUES ");
-    for i in 0..ROWS_T1 {
-        if i > 0 {
-            inserts.push_str(", ");
-        }
-        let a = if rng.chance(0.25) {
-            "NULL".to_string()
-        } else {
-            rng.range_i64(-8, 20).to_string()
-        };
-        let b = if rng.chance(0.3) {
-            "NULL".to_string()
-        } else {
-            rng.range_i64(0, 6).to_string()
-        };
-        let c = if rng.chance(0.25) {
-            "NULL".to_string()
-        } else {
-            format!("{:.3}", rng.range_f64(-4.0, 9.0))
-        };
-        let d = if rng.chance(0.3) {
-            "NULL".to_string()
-        } else {
-            format!("'s{}'", rng.below(5))
-        };
-        inserts.push_str(&format!("({a}, {b}, {c}, {d})"));
+    for stmt in seed_statements(rng) {
+        e.execute(&stmt).unwrap();
     }
-    e.execute(&inserts).unwrap();
-    let mut inserts = String::from("INSERT INTO t2 VALUES ");
-    for j in 0..ROWS_T2 {
-        if j > 0 {
-            inserts.push_str(", ");
-        }
-        let k = if rng.chance(0.2) {
-            "NULL".to_string()
-        } else {
-            rng.range_i64(-8, 20).to_string()
-        };
-        let v = if rng.chance(0.3) {
-            "NULL".to_string()
-        } else {
-            rng.range_i64(-5, 5).to_string()
-        };
-        let w = if rng.chance(0.25) {
-            "NULL".to_string()
-        } else {
-            format!("'w{}'", rng.below(4))
-        };
-        inserts.push_str(&format!("({k}, {v}, {w})"));
-    }
-    e.execute(&inserts).unwrap();
     e
-}
-
-fn gen_num(rng: &mut Prng, depth: usize) -> String {
-    if depth == 0 || rng.chance(0.4) {
-        return match rng.below(3) {
-            0 => "a".to_string(),
-            1 => "b".to_string(),
-            _ => rng.range_i64(-5, 10).to_string(),
-        };
-    }
-    let l = gen_num(rng, depth - 1);
-    let r = gen_num(rng, depth - 1);
-    match rng.below(4) {
-        0 => format!("({l} + {r})"),
-        1 => format!("({l} - {r})"),
-        2 => format!("({l} * {r})"),
-        _ => format!("(CASE WHEN {} THEN {l} ELSE {r} END)", gen_pred(rng, 1)),
-    }
-}
-
-fn gen_pred(rng: &mut Prng, depth: usize) -> String {
-    if depth == 0 || rng.chance(0.35) {
-        return match rng.below(6) {
-            0 => format!("{} > {}", gen_num(rng, 1), gen_num(rng, 1)),
-            1 => format!("{} <= {}", gen_num(rng, 1), gen_num(rng, 1)),
-            2 => format!("{} = {}", gen_num(rng, 1), gen_num(rng, 1)),
-            3 => format!("c < {:.2}", rng.range_f64(-2.0, 6.0)),
-            4 => format!("d = 's{}'", rng.below(5)),
-            _ => match rng.below(3) {
-                0 => "a IS NULL".to_string(),
-                1 => "c IS NOT NULL".to_string(),
-                _ => format!("b IN ({}, NULL, {})", rng.below(4), rng.below(6)),
-            },
-        };
-    }
-    let l = gen_pred(rng, depth - 1);
-    let r = gen_pred(rng, depth - 1);
-    match rng.below(3) {
-        0 => format!("({l} AND {r})"),
-        1 => format!("({l} OR {r})"),
-        _ => format!("NOT ({l})"),
-    }
-}
-
-fn gen_query(rng: &mut Prng) -> String {
-    match rng.below(6) {
-        // Filter + project over t1.
-        0 => format!(
-            "SELECT {} AS x, {} AS y, d FROM t1 WHERE {}",
-            gen_num(rng, 2),
-            gen_num(rng, 2),
-            gen_pred(rng, 2),
-        ),
-        // Join (equi, all supported kinds) with residual-ish predicates.
-        1 => {
-            let kind = ["INNER", "LEFT", "RIGHT", "FULL"][rng.below(4)];
-            format!(
-                "SELECT t1.a, t1.d, t2.v, t2.w FROM t1 {kind} JOIN t2 ON t1.a = t2.k WHERE {}",
-                gen_pred(rng, 1),
-            )
-        }
-        // Grouped aggregate.
-        2 => format!(
-            "SELECT b, count(*) AS n, sum(a) AS s, avg(c) AS m, min(a) AS lo, max(c) AS hi \
-             FROM t1 WHERE {} GROUP BY b",
-            gen_pred(rng, 2),
-        ),
-        // Global aggregate (possibly over an empty filter result).
-        3 => format!(
-            "SELECT count(*) AS n, sum({}) AS s FROM t1 WHERE {}",
-            gen_num(rng, 2),
-            gen_pred(rng, 2),
-        ),
-        // DISTINCT + ORDER BY + LIMIT.
-        4 => format!(
-            "SELECT DISTINCT b, d FROM t1 WHERE {} ORDER BY b, d LIMIT {}",
-            gen_pred(rng, 2),
-            rng.below(8) + 1,
-        ),
-        // CTE over a join, aggregated.
-        _ => "WITH j AS (SELECT t1.b AS b, t2.v AS v FROM t1 INNER JOIN t2 ON t1.a = t2.k) \
-              SELECT b, count(*) AS n, sum(v) AS s FROM j GROUP BY b ORDER BY b LIMIT 10"
-            .to_string(),
-    }
 }
 
 /// Run one SQL text under a mode; errors collapse to their display text so

@@ -1,14 +1,19 @@
 //! Tracing-overhead benchmark: the gate for "always-on-cheap".
 //!
-//! Runs the same cached SELECT hot loop with phase tracing enabled (the
-//! default) and disabled, and fails — exits non-zero — when the enabled
-//! median is more than [`MAX_OVERHEAD_PCT`] slower. Also measures what
-//! `EXPLAIN ANALYZE` (per-operator profiling) costs relative to a plain
-//! query. Writes the numbers to `BENCH_trace.json` at the workspace root.
+//! Runs the same cached SELECT hot loop in three configurations —
+//! phase tracing enabled (the default), tracing disabled, and the full
+//! distributed-tracing path the sharded server drives per command
+//! (install a query-id [`TraceContext`], run, drain the per-statement
+//! phase spans) — and fails — exits non-zero — when either traced
+//! configuration's median is more than [`MAX_OVERHEAD_PCT`] slower than
+//! untraced. Also measures what `EXPLAIN ANALYZE` (per-operator
+//! profiling) costs relative to a plain query. Writes the numbers to
+//! `BENCH_trace.json` at the workspace root.
 //!
-//! Samples for the two tracing configurations are interleaved so clock
-//! drift and cache warm-up hit both sides equally.
+//! Samples for the tracing configurations are interleaved so clock
+//! drift and cache warm-up hit all sides equally.
 
+use etypes::{next_span_id, TraceContext};
 use sqlengine::{Engine, EngineProfile};
 use std::time::Instant;
 
@@ -62,17 +67,36 @@ fn main() {
 
     let mut on = Vec::with_capacity(SAMPLES);
     let mut off = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let mut propagated = Vec::with_capacity(SAMPLES);
+    for round in 0..SAMPLES {
         engine.set_tracing(true);
         on.push(sample(&mut engine));
         engine.set_tracing(false);
         off.push(sample(&mut engine));
+        // The sharded server's per-command ritual: install a query-scoped
+        // context, execute, drain the phase spans for the span tree.
+        engine.set_tracing(true);
+        let started = Instant::now();
+        for i in 0..ITERS_PER_SAMPLE {
+            engine.set_trace_context(Some(TraceContext {
+                query_id: (round as u64) * u64::from(ITERS_PER_SAMPLE) + u64::from(i) + 1,
+                parent_span: next_span_id(),
+            }));
+            let rel = engine.query(QUERY).expect("query");
+            assert_eq!(rel.rows.len(), 7);
+            let spans = engine.take_phase_spans();
+            assert!(!spans.is_empty(), "context run must surface phase spans");
+        }
+        propagated.push(started.elapsed().as_nanos() as u64 / u64::from(ITERS_PER_SAMPLE));
+        engine.set_trace_context(None);
     }
     engine.set_tracing(true);
 
     let traced_ns = median(on);
     let untraced_ns = median(off);
+    let propagated_ns = median(propagated);
     let overhead_pct = (traced_ns as f64 / untraced_ns as f64 - 1.0) * 100.0;
+    let propagated_overhead_pct = (propagated_ns as f64 / untraced_ns as f64 - 1.0) * 100.0;
 
     // EXPLAIN ANALYZE pays per-operator profiling on top of execution.
     let analyze_ns = median(
@@ -97,13 +121,17 @@ fn main() {
     println!("== trace_overhead ==");
     println!("query traced      : {traced_ns} ns/iter");
     println!("query untraced    : {untraced_ns} ns/iter");
+    println!("query w/ query-id : {propagated_ns} ns/iter");
     println!("overhead          : {overhead_pct:.2}% (limit {MAX_OVERHEAD_PCT}%)");
+    println!("query-id overhead : {propagated_overhead_pct:.2}% (limit {MAX_OVERHEAD_PCT}%)");
     println!("explain analyze   : {analyze_ns} ns/iter ({analyze_over_query_pct:+.2}% vs QUERY)");
 
     let json = format!(
         "{{\n  \"bench\": \"trace\",\n  \"rows\": {ROWS},\n  \"samples\": {SAMPLES},\n  \
          \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \"query_traced_ns\": {traced_ns},\n  \
-         \"query_untraced_ns\": {untraced_ns},\n  \"tracing_overhead_pct\": {overhead_pct:.3},\n  \
+         \"query_untraced_ns\": {untraced_ns},\n  \"query_propagated_ns\": {propagated_ns},\n  \
+         \"tracing_overhead_pct\": {overhead_pct:.3},\n  \
+         \"query_id_propagation_overhead_pct\": {propagated_overhead_pct:.3},\n  \
          \"overhead_limit_pct\": {MAX_OVERHEAD_PCT},\n  \"explain_analyze_ns\": {analyze_ns},\n  \
          \"explain_analyze_over_query_pct\": {analyze_over_query_pct:.3},\n  \
          \"phase_sample_counts\": {{ {} }}\n}}\n",
@@ -120,6 +148,13 @@ fn main() {
     if overhead_pct > MAX_OVERHEAD_PCT {
         eprintln!(
             "FAIL: tracing overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% budget"
+        );
+        std::process::exit(1);
+    }
+    if propagated_overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: query-id propagation overhead {propagated_overhead_pct:.2}% exceeds the \
+             {MAX_OVERHEAD_PCT}% budget"
         );
         std::process::exit(1);
     }

@@ -1,0 +1,90 @@
+//! `elephant-ctl` — one-shot protocol client for scripts, CI, and
+//! debugging.
+//!
+//! ```text
+//! elephant-ctl [--addr HOST:PORT] <command words...>
+//! ```
+//!
+//! Joins the remaining arguments into one protocol command, sends it over
+//! a fresh connection, prints the response body to stdout, and exits 0.
+//! Server errors print `<CODE> <message>` to stderr and exit 1; transport
+//! trouble exits 2. Examples:
+//!
+//! ```text
+//! elephant-ctl QUERY "SELECT count(*) AS n FROM t"
+//! elephant-ctl STATS
+//! elephant-ctl TRACE q42
+//! elephant-ctl SHUTDOWN
+//! ```
+//!
+//! Multi-line payloads (`INSPECT` pipeline sources) can be piped instead:
+//! `elephant-ctl --stdin` reads the entire command from stdin and sends it
+//! as one frame, letting the client pick length-prefixed framing.
+
+use elephant_server::{ClientError, ElephantClient};
+use std::io::Read;
+use std::process::exit;
+
+fn main() {
+    let mut addr = "127.0.0.1:5462".to_string();
+    let mut from_stdin = false;
+    let mut words: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--addr needs a value");
+                    exit(2);
+                });
+            }
+            "--stdin" => from_stdin = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: elephant-ctl [--addr HOST:PORT] <command words...>\n       \
+                     elephant-ctl [--addr HOST:PORT] --stdin   (read the frame from stdin)"
+                );
+                return;
+            }
+            _ => {
+                words.push(arg);
+                words.extend(args.by_ref());
+            }
+        }
+    }
+
+    let command = if from_stdin {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("reading stdin: {e}");
+            exit(2);
+        }
+        buf.trim_end_matches('\n').to_string()
+    } else {
+        words.join(" ")
+    };
+    if command.is_empty() {
+        eprintln!("no command given (try --help)");
+        exit(2);
+    }
+
+    let mut client = match ElephantClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            exit(2);
+        }
+    };
+    match client.send(&command) {
+        Ok(body) => println!("{body}"),
+        Err(ClientError::Server(e)) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2);
+        }
+    }
+}

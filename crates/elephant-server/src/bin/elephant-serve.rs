@@ -6,7 +6,7 @@
 //!                [--fsync POLICY] [--slow-query-us N]
 //!                [--statement-timeout-ms N] [--repl-addr HOST:PORT]
 //!                [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N]
-//!                [--shards N]
+//!                [--shards N] [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! `--exec-mode row|columnar|auto` picks the default query execution
@@ -31,6 +31,12 @@
 //! durable — its own WAL/snapshot subdirectory; tables are routed to
 //! shards by name hash. Incompatible with replication. See
 //! `docs/SHARDING.md`.
+//!
+//! Observability: `--metrics-addr HOST:PORT` starts a plain-HTTP metrics
+//! listener serving the Prometheus text format on `GET /metrics` — the
+//! same counters as the `STATS` verb, machine-readable. Distributed
+//! traces are available over the regular protocol with `TRACE` /
+//! `TRACE q<id>`. See `docs/OBSERVABILITY.md`.
 
 use elephant_server::{start, ServerConfig};
 use sqlengine::{ExecMode, FsyncPolicy};
@@ -53,6 +59,7 @@ fn main() {
     let mut replicate_from: Option<String> = None;
     let mut auto_checkpoint_wal_bytes: Option<u64> = None;
     let mut shards: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +97,7 @@ fn main() {
                 ));
             }
             "--shards" => shards = Some(parse(&value("--shards"), "--shards")),
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] \
@@ -98,7 +106,8 @@ fn main() {
                      [--fsync always|off|every_n:N] [--slow-query-us N] \
                      [--statement-timeout-ms N] [--repl-addr HOST:PORT] \
                      [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N] \
-                     [--shards N (default: available parallelism; 1 with replication)]"
+                     [--shards N (default: available parallelism; 1 with replication)] \
+                     [--metrics-addr HOST:PORT (Prometheus text format on GET /metrics)]"
                 );
                 return;
             }
@@ -134,6 +143,7 @@ fn main() {
         replicate_from,
         auto_checkpoint_wal_bytes,
         shards,
+        metrics_addr,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);
@@ -159,6 +169,9 @@ fn main() {
         if durable { "durable" } else { "volatile" },
         if shards == 1 { "" } else { "s" },
     );
+    if let Some(metrics) = handle.metrics_addr() {
+        println!("metrics exposition on http://{metrics}/metrics");
+    }
     handle.join();
     println!("elephant-serve drained, bye");
 }

@@ -279,13 +279,20 @@ impl ElephantClient {
         self.send(&format!("EXPLAIN ANALYZE {sql}"))
     }
 
-    /// The most recent `n` finished-command spans (server default when
-    /// `None`), newest first.
+    /// The most recent `n` finished root spans (server default when
+    /// `None`), newest first, across every shard ring.
     pub fn trace(&mut self, n: Option<usize>) -> ClientResult<String> {
         match n {
             Some(n) => self.send(&format!("TRACE {n}")),
             None => self.send("TRACE"),
         }
+    }
+
+    /// The full correlated span tree for one query id (as printed in the
+    /// `TRACE` listing and in slow-query log lines), rendered
+    /// hierarchically with per-shard time attribution.
+    pub fn trace_tree(&mut self, query_id: u64) -> ClientResult<String> {
+        self.send(&format!("TRACE q{query_id}"))
     }
 
     /// Inspect an ML pipeline via the SQL backend; returns the per-check,

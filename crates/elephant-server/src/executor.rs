@@ -21,6 +21,14 @@
 //! fails, the engine unwinds the batch's in-memory effects and every reply
 //! that depended on the failed window is rewritten to the storage error.
 //!
+//! **Tracing**: when a job carries a [`TraceContext`] (the router opens a
+//! root span per client command), the executor records child spans into
+//! the shard's shared ring — queue wait, the dispatch itself
+//! (`shard-exec` / `sg-gather`), the engine phases under it, foreign-image
+//! installs, and the command's share of the group-fsync window. All child
+//! spans are recorded when the batch's replies are released, so a `STATS`
+//! body rendered mid-batch matches an earlier `/metrics` scrape.
+//!
 //! Shutdown is cooperative and loses nothing: `SHUTDOWN` travels through
 //! the queue like any command; the executor flips the shared flag (stopping
 //! the accept loop), answers `draining`, and keeps serving until every
@@ -29,14 +37,16 @@
 //! exits. Every job enqueued before the last sender dropped still gets its
 //! response.
 
-use crate::metrics::Metrics;
-use crate::protocol::{codes, Command};
+use crate::metrics::{render_stats_text, HistSnapshot, Metric, Metrics};
+use crate::protocol::{codes, Command, TraceRequest};
 use crate::repl::{ReplRole, ReplState};
-use crate::shard::ShardStats;
+use crate::shard::{render_query_tree, render_recent_roots, ShardStats};
 use elephant_repl::ReplOp;
-use etypes::SpanRing;
+use etypes::{next_span_id, SharedSpanRing, SpanKind, SpanRecord, TraceContext};
 use mlinspect::SqlMode;
-use sqlengine::{Engine, EngineProfile, ExecMode, FsyncPolicy, SqlError, TableImage, WalHandle};
+use sqlengine::{
+    Engine, EngineProfile, ExecMode, FsyncPolicy, Phase, SqlError, TableImage, WalHandle,
+};
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
@@ -59,6 +69,10 @@ pub(crate) enum Job {
         command: Command,
         /// Where the session blocks waiting for the answer.
         reply: mpsc::Sender<Reply>,
+        /// Correlation ids of the router's root span, when tracing.
+        ctx: Option<TraceContext>,
+        /// When the router admitted the job (measures queue wait).
+        enqueued: Instant,
     },
     /// A session disconnected: drop its prepared statements.
     CloseSession {
@@ -82,6 +96,8 @@ pub(crate) enum Job {
         names: Vec<String>,
         /// Where the router waits for the images.
         reply: mpsc::Sender<Result<Vec<TableImage>, (&'static str, String)>>,
+        /// Correlation ids of the scatter-gather root span, when tracing.
+        ctx: Option<TraceContext>,
     },
     /// Gather leg of a cross-shard read: install foreign images, run the
     /// whole command locally, remove the images, answer.
@@ -94,11 +110,22 @@ pub(crate) enum Job {
         images: Vec<TableImage>,
         /// Where the router waits for the answer.
         reply: mpsc::Sender<Reply>,
+        /// Correlation ids of the scatter-gather root span, when tracing.
+        ctx: Option<TraceContext>,
+        /// When the router admitted the job (measures queue wait).
+        enqueued: Instant,
     },
     /// Snapshot this shard's health and WAL counters for composed `STATS`.
     ShardInfo {
         /// Where the router waits for the snapshot.
         reply: mpsc::Sender<ShardSnapshot>,
+    },
+    /// Collect this shard's typed engine samples for the `/metrics`
+    /// exporter. Deliberately uncounted: a scrape must not perturb the
+    /// counters it reports, or scrape-vs-`STATS` parity breaks.
+    MetricsSnapshot {
+        /// Where the scrape thread waits for the samples.
+        reply: mpsc::Sender<Vec<Metric>>,
     },
 }
 
@@ -146,15 +173,32 @@ pub(crate) struct ExecutorConfig {
     pub shard_id: usize,
     /// Gauges shared with the shard router.
     pub lane: Arc<ShardStats>,
+    /// Span ring shared with the router (the `TRACE` reader).
+    pub ring: Arc<SharedSpanRing>,
 }
-
-/// How many finished-command spans the executor keeps for `TRACE`.
-const SPAN_RING_CAPACITY: usize = 256;
 
 /// Upper bound on one batch drained into a single commit group. Bounds
 /// both reply latency under load and the unwind window of a failed group
 /// fsync.
 const GROUP_MAX: usize = 32;
+
+/// The trace bookkeeping of one deferred command, recorded into the shard
+/// ring when its reply is released.
+struct DeferredTrace {
+    /// The root span's correlation ids.
+    ctx: TraceContext,
+    /// Pre-allocated id of this command's `shard-exec`/`sg-gather` span
+    /// (engine-phase children parent to it).
+    exec_id: u64,
+    /// Time the job sat in the shard queue before dequeue, µs.
+    wait_us: u64,
+    /// `ShardExec` for routed commands, `SgGather` for gather legs.
+    kind: SpanKind,
+    /// Per-statement engine phase samples captured during dispatch.
+    phases: Vec<(Phase, u64)>,
+    /// Time spent installing foreign images (gather legs only), µs.
+    install_us: Option<u64>,
+}
 
 /// A command's buffered outcome, released after the commit group closes.
 struct DeferredReply {
@@ -170,6 +214,8 @@ struct DeferredReply {
     /// already made durable (e.g. by a mid-batch checkpoint) and survive a
     /// failed closing fsync.
     epoch: u64,
+    /// Span bookkeeping; `None` for untraced jobs (legacy single-span path).
+    trace: Option<DeferredTrace>,
 }
 
 /// Spawn one shard's executor thread; returns the job sender, the join
@@ -233,11 +279,12 @@ pub(crate) fn spawn(
                 prepared: HashMap::new(),
                 metrics,
                 shutdown,
-                ring: SpanRing::new(SPAN_RING_CAPACITY),
+                ring: cfg.ring,
                 slow_query_us: cfg.slow_query_us,
                 repl: cfg.repl,
                 lane: cfg.lane,
                 auto_checkpoint_wal_bytes: cfg.auto_checkpoint_wal_bytes,
+                shard_id: cfg.shard_id as u16,
             };
             if state.slow_query_us.is_some() {
                 // The slow-query log wants operator profiles for QUERY too,
@@ -269,6 +316,8 @@ pub(crate) fn spawn(
                             session,
                             command,
                             reply,
+                            ctx,
+                            enqueued,
                         } => {
                             // Only client-facing jobs were counted into the
                             // gauges; decrementing for CloseSession/Repl
@@ -276,12 +325,15 @@ pub(crate) fn spawn(
                             state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                             state.lane.dec_queue_depth();
                             state.lane.commands.fetch_add(1, Ordering::Relaxed);
+                            let wait_us = enqueued.elapsed().as_micros() as u64;
                             let started = Instant::now();
                             let verb = command.verb();
                             let detail = command.summary();
                             let pending_before = state.engine.group_pending();
                             let epoch = state.engine.group_epoch();
+                            let trace = state.install_context(ctx, SpanKind::ShardExec, wait_us);
                             let result = state.dispatch(session, command);
+                            let trace = state.collect_phases(trace);
                             deferred.push(DeferredReply {
                                 reply,
                                 verb,
@@ -290,19 +342,33 @@ pub(crate) fn spawn(
                                 result,
                                 grew: state.engine.group_pending() > pending_before,
                                 epoch,
+                                trace,
                             });
                         }
                         Job::CloseSession { session } => state.close_session(session),
                         Job::Repl { op, reply } => {
                             let _ = reply.send(state.apply_repl(op));
                         }
-                        Job::ExportTables { names, reply } => {
+                        Job::ExportTables { names, reply, ctx } => {
                             state.lane.dec_queue_depth();
                             state.lane.commands.fetch_add(1, Ordering::Relaxed);
+                            let started = Instant::now();
+                            let detail = names.join(",");
                             let images = state
                                 .engine
                                 .export_table_images(&names)
                                 .map_err(|e| state.classify(e));
+                            if let Some(ctx) = ctx {
+                                state.ring.record(SpanRecord::child(
+                                    ctx,
+                                    SpanKind::SgExport,
+                                    state.shard_id,
+                                    "EXPORT",
+                                    &detail,
+                                    started.elapsed().as_micros() as u64,
+                                    images.is_ok(),
+                                ));
+                            }
                             let _ = reply.send(images);
                         }
                         Job::Gather {
@@ -310,29 +376,43 @@ pub(crate) fn spawn(
                             command,
                             images,
                             reply,
+                            ctx,
+                            enqueued,
                         } => {
-                            // Gathers are read-only: they defer nothing, so
-                            // answering inside the group window is safe.
                             state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                             state.lane.dec_queue_depth();
                             state.lane.commands.fetch_add(1, Ordering::Relaxed);
+                            let wait_us = enqueued.elapsed().as_micros() as u64;
                             let started = Instant::now();
                             let verb = command.verb();
                             let detail = command.summary();
-                            let result = state.gather(session, command, images);
-                            let elapsed = started.elapsed();
-                            state.metrics.record_latency(verb, elapsed);
-                            match &result {
-                                Ok(_) => state.metrics.count_verb(verb),
-                                Err(_) => {
-                                    state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
-                                }
+                            let epoch = state.engine.group_epoch();
+                            let trace = state.install_context(ctx, SpanKind::SgGather, wait_us);
+                            let (result, install_us) = state.gather(session, command, images);
+                            let mut trace = state.collect_phases(trace);
+                            if let Some(t) = trace.as_mut() {
+                                t.install_us = Some(install_us);
                             }
-                            state.finish_span(verb, detail, elapsed, result.is_ok());
-                            let _ = reply.send(result);
+                            // Gathers are read-only (`grew: false`): a
+                            // failed closing fsync never invalidates them,
+                            // but deferring the reply keeps span order
+                            // consistent — the root closes last.
+                            deferred.push(DeferredReply {
+                                reply,
+                                verb,
+                                detail,
+                                elapsed: started.elapsed(),
+                                result,
+                                grew: false,
+                                epoch,
+                                trace,
+                            });
                         }
                         Job::ShardInfo { reply } => {
                             let _ = reply.send(state.shard_snapshot());
+                        }
+                        Job::MetricsSnapshot { reply } => {
+                            let _ = reply.send(state.engine_samples());
                         }
                     }
                 }
@@ -341,10 +421,15 @@ pub(crate) fn spawn(
                 // the failed window; rewrite the replies that depended on
                 // it so no client sees an `ok` for a lost write.
                 let pre_end_epoch = state.engine.group_epoch();
+                let close_started = Instant::now();
                 let group_err = match state.engine.end_commit_group() {
                     Ok(_) => None,
                     Err(e) => Some(state.classify(e)),
                 };
+                // Every deferred durable command shares the same closing
+                // fsync window; each gets a span with the window's cost.
+                let fsync_us = close_started.elapsed().as_micros() as u64;
+                let durable = state.engine.is_durable();
                 for mut d in deferred {
                     if let Some((code, msg)) = &group_err {
                         if d.grew && d.epoch == pre_end_epoch && d.result.is_ok() {
@@ -358,7 +443,7 @@ pub(crate) fn spawn(
                             state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    state.finish_span(d.verb, d.detail, d.elapsed, d.result.is_ok());
+                    state.finish_command(&d, fsync_us, durable, group_err.is_none());
                     // A dropped receiver means the session died mid-query;
                     // nothing to do — the answer has nowhere to go.
                     let _ = d.reply.send(d.result);
@@ -390,8 +475,9 @@ struct ExecutorState {
     prepared: HashMap<u64, Vec<String>>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
-    /// Recent finished-command spans, served by `TRACE`.
-    ring: SpanRing,
+    /// This shard's span ring, shared with the router (`TRACE` walks every
+    /// shard's ring to reassemble distributed trees).
+    ring: Arc<SharedSpanRing>,
     slow_query_us: Option<u64>,
     repl: Arc<ReplState>,
     /// Gauges shared with the shard router.
@@ -399,9 +485,134 @@ struct ExecutorState {
     /// The configured auto-checkpoint threshold, restored after gathers
     /// (which hold auto-checkpoint off while foreign tables are installed).
     auto_checkpoint_wal_bytes: Option<u64>,
+    /// This executor's shard id, stamped on every span it records.
+    shard_id: u16,
 }
 
 impl ExecutorState {
+    /// Prepare the trace bookkeeping for one traced job and install the
+    /// engine's capture context (phase samples parent to the pre-allocated
+    /// exec span). Untraced jobs clear the engine context.
+    fn install_context(
+        &mut self,
+        ctx: Option<TraceContext>,
+        kind: SpanKind,
+        wait_us: u64,
+    ) -> Option<DeferredTrace> {
+        let trace = ctx.map(|ctx| DeferredTrace {
+            ctx,
+            exec_id: next_span_id(),
+            wait_us,
+            kind,
+            phases: Vec::new(),
+            install_us: None,
+        });
+        self.engine
+            .set_trace_context(trace.as_ref().map(|t| TraceContext {
+                query_id: t.ctx.query_id,
+                parent_span: t.exec_id,
+            }));
+        trace
+    }
+
+    /// Drain the engine's captured phase samples into the trace record.
+    fn collect_phases(&mut self, mut trace: Option<DeferredTrace>) -> Option<DeferredTrace> {
+        if let Some(t) = trace.as_mut() {
+            t.phases = self.engine.take_phase_spans();
+        }
+        trace
+    }
+
+    /// Record the finished command's spans and its slow-query log line.
+    /// Traced commands get the full child set (queue wait, exec, engine
+    /// phases, install, group fsync); untraced ones keep the legacy single
+    /// root span so direct-queue callers still show up in `TRACE`.
+    fn finish_command(&mut self, d: &DeferredReply, fsync_us: u64, durable: bool, synced: bool) {
+        let us = d.elapsed.as_micros() as u64;
+        let ok = d.result.is_ok();
+        match &d.trace {
+            Some(t) => {
+                self.ring.record(SpanRecord::child(
+                    t.ctx,
+                    SpanKind::QueueWait,
+                    self.shard_id,
+                    "queue-wait",
+                    "",
+                    t.wait_us,
+                    true,
+                ));
+                self.ring.record(SpanRecord {
+                    id: t.exec_id,
+                    parent: t.ctx.parent_span,
+                    query_id: t.ctx.query_id,
+                    kind: t.kind,
+                    shard: self.shard_id,
+                    name: d.verb.to_string(),
+                    detail: d.detail.clone(),
+                    elapsed_us: us,
+                    ok,
+                });
+                let exec_ctx = TraceContext {
+                    query_id: t.ctx.query_id,
+                    parent_span: t.exec_id,
+                };
+                for (phase, pus) in &t.phases {
+                    self.ring.record(SpanRecord::child(
+                        exec_ctx,
+                        SpanKind::EnginePhase,
+                        self.shard_id,
+                        phase.name(),
+                        "",
+                        *pus,
+                        true,
+                    ));
+                }
+                if let Some(install_us) = t.install_us {
+                    self.ring.record(SpanRecord::child(
+                        t.ctx,
+                        SpanKind::SgInstall,
+                        self.shard_id,
+                        "INSTALL",
+                        "foreign table images",
+                        install_us,
+                        ok,
+                    ));
+                }
+                if durable && d.grew {
+                    self.ring.record(SpanRecord::child(
+                        t.ctx,
+                        SpanKind::WalGroupFsync,
+                        self.shard_id,
+                        "group-fsync",
+                        "shared group-commit window",
+                        fsync_us,
+                        synced,
+                    ));
+                }
+            }
+            None => self.ring.push(d.verb, &d.detail, us, ok),
+        }
+        if let Some(threshold) = self.slow_query_us {
+            if us >= threshold {
+                let qid = d.trace.as_ref().map_or(0, |t| t.ctx.query_id);
+                eprintln!(
+                    "[slow-query] verb={} query_id=q{qid} shard={} us={us} ok={} {}",
+                    d.verb,
+                    self.shard_id,
+                    u8::from(ok),
+                    d.detail
+                );
+                if d.verb == "QUERY" || d.verb == "EXECUTE" {
+                    if let Some(profile) = self.engine.last_profile() {
+                        for line in profile.render().lines() {
+                            eprintln!("[slow-query]   {line}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Apply one replication op from the follower loop. Keeps a span so
     /// `TRACE` shows shipped writes interleaved with client commands.
     fn apply_repl(&mut self, op: ReplOp) -> Result<(), String> {
@@ -432,28 +643,6 @@ impl ExecutorState {
         result.map_err(|e| e.to_string())
     }
 
-    /// Record the finished command in the span ring and, when it crossed
-    /// the slow-query threshold, log it with its operator profile.
-    fn finish_span(&mut self, verb: &str, detail: String, elapsed: Duration, ok: bool) {
-        let us = elapsed.as_micros() as u64;
-        self.ring.push(verb, &detail, us, ok);
-        if let Some(threshold) = self.slow_query_us {
-            if us >= threshold {
-                eprintln!(
-                    "[slow-query] verb={verb} us={us} ok={} {detail}",
-                    u8::from(ok)
-                );
-                if verb == "QUERY" || verb == "EXECUTE" {
-                    if let Some(profile) = self.engine.last_profile() {
-                        for line in profile.render().lines() {
-                            eprintln!("[slow-query]   {line}");
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// Map an engine error to its wire code. Timeouts and read-only
     /// degradation carry their own codes so clients can tell retryable
     /// conditions from fatal ones; everything else is a plain `ERR_EXEC`.
@@ -468,6 +657,116 @@ impl ExecutorState {
             SqlError::ReadOnly(_) => (codes::READ_ONLY, e.to_string()),
             _ => (codes::EXEC, e.to_string()),
         }
+    }
+
+    /// This shard's engine-scoped samples, labeled `shard=<id>`: the plan
+    /// cache block, per-phase histograms, execution/trace/health/storage
+    /// state, and the replication lines. Shard 0's set is what `STATS` has
+    /// always rendered after the server block; `/metrics` exports every
+    /// shard's, distinguished by the label.
+    fn engine_samples(&self) -> Vec<Metric> {
+        let shard = self.shard_id.to_string();
+        let tag = |m: Metric| m.label("shard", shard.clone());
+        let prepared_total: usize = self.prepared.values().map(Vec::len).sum();
+        let mut v: Vec<Metric> = Metrics::plan_samples(
+            self.engine.plan_cache_stats(),
+            self.engine.plan_cache_len(),
+            prepared_total,
+        )
+        .into_iter()
+        .map(tag)
+        .collect();
+        for (table, n) in self.engine.plan_cache_table_invalidations() {
+            v.push(
+                Metric::counter(format!("plan_cache_invalidations.{table}"), n)
+                    .named("plan_cache_table_invalidations")
+                    .label("table", table)
+                    .label("shard", shard.clone()),
+            );
+        }
+        for phase in Phase::ALL {
+            let mut snap = HistSnapshot::from_histogram(self.engine.trace().phase(phase));
+            snap.emit_total = true;
+            snap.skip_if_empty = true;
+            v.push(tag(Metric::hist(format!("phase_{}", phase.name()), snap)));
+        }
+        let engine_stats = self.engine.stats();
+        v.push(tag(Metric::text(
+            "exec_mode",
+            self.engine.exec_mode().to_string(),
+        )));
+        v.push(tag(Metric::counter(
+            "batches_executed",
+            engine_stats.batches_executed,
+        )));
+        v.push(tag(Metric::counter(
+            "colexec_fallbacks",
+            engine_stats.colexec_fallbacks,
+        )));
+        v.push(tag(Metric::counter(
+            "trace_spans_recorded",
+            self.ring.pushed(),
+        )));
+        v.push(tag(Metric::gauge(
+            "trace_spans_retained",
+            self.ring.len() as u64,
+        )));
+        v.push(tag(Metric::gauge(
+            "trace_spans_open",
+            self.ring.open_len() as u64,
+        )));
+        v.push(tag(Metric::text("health", self.engine.health().render())));
+        v.push(tag(Metric::counter(
+            "faults_injected",
+            etypes::fault::injected(),
+        )));
+        v.push(tag(Metric::gauge(
+            "storage_durable",
+            u64::from(self.engine.is_durable()),
+        )));
+        if let Some(stats) = self.engine.storage_stats() {
+            v.push(tag(Metric::counter(
+                "wal_records_appended",
+                stats.wal.records_appended,
+            )));
+            v.push(tag(Metric::counter("wal_fsyncs", stats.wal.fsyncs)));
+            v.push(tag(Metric::gauge("wal_bytes", stats.wal.bytes)));
+            v.push(tag(Metric::counter(
+                "storage_checkpoints",
+                stats.checkpoints,
+            )));
+        }
+        if let Some(rec) = self.engine.recovery_report() {
+            v.push(tag(Metric::gauge(
+                "recovered_snapshot_tables",
+                rec.snapshot_tables as u64,
+            )));
+            v.push(tag(Metric::gauge(
+                "recovered_snapshot_rows",
+                rec.snapshot_rows,
+            )));
+            v.push(tag(Metric::gauge(
+                "recovered_wal_records",
+                rec.wal_records_applied,
+            )));
+            v.push(tag(Metric::gauge(
+                "recovered_wal_torn_bytes",
+                rec.wal_torn_bytes,
+            )));
+        }
+        v.push(tag(Metric::counter(
+            "auto_checkpoints",
+            self.engine.auto_checkpoints(),
+        )));
+        for line in self.repl.stats_lines(self.committed_lsn()).lines() {
+            if let Some((key, value)) = line.split_once(' ') {
+                match value.parse::<u64>() {
+                    Ok(n) => v.push(tag(Metric::gauge(key, n))),
+                    Err(_) => v.push(tag(Metric::text(key, value))),
+                }
+            }
+        }
+        v
     }
 
     fn dispatch(&mut self, session: u64, command: Command) -> Reply {
@@ -524,17 +823,17 @@ impl ExecutorState {
                 };
                 out.map_err(|e| self.classify(e))
             }
-            Command::Trace(n) => {
-                let spans = self.ring.recent(n);
-                if spans.is_empty() {
-                    return Ok("no spans recorded".into());
-                }
-                Ok(spans
-                    .iter()
-                    .map(|s| s.render())
-                    .collect::<Vec<_>>()
-                    .join("\n"))
+            // The router answers TRACE without an executor round-trip (it
+            // walks every shard's ring); this arm serves direct-queue
+            // callers (unit tests, embedded use) from the local ring only.
+            Command::Trace(TraceRequest::Recent(n)) => {
+                let spans = self.ring.recent(self.ring.len());
+                Ok(render_recent_roots(spans, n))
             }
+            Command::Trace(TraceRequest::Tree(query_id)) => Ok(render_query_tree(
+                query_id,
+                self.ring.spans_for_query(query_id),
+            )),
             Command::Inspect {
                 columns,
                 threshold,
@@ -596,57 +895,9 @@ impl ExecutorState {
                 )),
             },
             Command::Stats => {
-                let prepared_total: usize = self.prepared.values().map(Vec::len).sum();
-                let mut body = self.metrics.render(
-                    self.engine.plan_cache_stats(),
-                    self.engine.plan_cache_len(),
-                    prepared_total,
-                );
-                use std::fmt::Write as _;
-                for (table, n) in self.engine.plan_cache_table_invalidations() {
-                    let _ = write!(body, "\nplan_cache_invalidations.{table} {n}");
-                }
-                let phases = self.engine.trace().render_stats();
-                if !phases.is_empty() {
-                    let _ = write!(body, "\n{phases}");
-                }
-                let engine_stats = self.engine.stats();
-                let _ = write!(body, "\nexec_mode {}", self.engine.exec_mode());
-                let _ = write!(body, "\nbatches_executed {}", engine_stats.batches_executed);
-                let _ = write!(
-                    body,
-                    "\ncolexec_fallbacks {}",
-                    engine_stats.colexec_fallbacks
-                );
-                let _ = write!(body, "\ntrace_spans_recorded {}", self.ring.pushed());
-                let _ = write!(body, "\ntrace_spans_retained {}", self.ring.len());
-                let _ = write!(body, "\nhealth {}", self.engine.health().render());
-                let _ = write!(body, "\nfaults_injected {}", etypes::fault::injected());
-                let durable = u8::from(self.engine.is_durable());
-                let _ = write!(body, "\nstorage_durable {durable}");
-                if let Some(stats) = self.engine.storage_stats() {
-                    let _ = write!(
-                        body,
-                        "\nwal_records_appended {}",
-                        stats.wal.records_appended
-                    );
-                    let _ = write!(body, "\nwal_fsyncs {}", stats.wal.fsyncs);
-                    let _ = write!(body, "\nwal_bytes {}", stats.wal.bytes);
-                    let _ = write!(body, "\nstorage_checkpoints {}", stats.checkpoints);
-                }
-                if let Some(rec) = self.engine.recovery_report() {
-                    let _ = write!(body, "\nrecovered_snapshot_tables {}", rec.snapshot_tables);
-                    let _ = write!(body, "\nrecovered_snapshot_rows {}", rec.snapshot_rows);
-                    let _ = write!(body, "\nrecovered_wal_records {}", rec.wal_records_applied);
-                    let _ = write!(body, "\nrecovered_wal_torn_bytes {}", rec.wal_torn_bytes);
-                }
-                let _ = write!(
-                    body,
-                    "\nauto_checkpoints {}",
-                    self.engine.auto_checkpoints()
-                );
-                let _ = write!(body, "\n{}", self.repl.stats_lines(self.committed_lsn()));
-                Ok(body)
+                let mut samples = self.metrics.server_samples();
+                samples.extend(self.engine_samples());
+                Ok(render_stats_text(&samples))
             }
             Command::Checkpoint => match self.engine.checkpoint() {
                 Ok(Some(stats)) => Ok(format!(
@@ -686,11 +937,13 @@ impl ExecutorState {
 
     /// Gather leg of a cross-shard read: install the foreign images, run
     /// the command against the combined catalog, then remove the images —
-    /// always, even on error, so they never outlive the query.
-    fn gather(&mut self, session: u64, command: Command, images: Vec<TableImage>) -> Reply {
+    /// always, even on error, so they never outlive the query. Returns the
+    /// reply and the install time (µs) for the `sg-install` span.
+    fn gather(&mut self, session: u64, command: Command, images: Vec<TableImage>) -> (Reply, u64) {
         // Foreign images must never leak into this shard's snapshots: hold
         // auto-checkpoint off while they are installed.
         self.engine.set_auto_checkpoint_wal_bytes(None);
+        let install_started = Instant::now();
         let mut installed: Vec<String> = Vec::with_capacity(images.len());
         let mut result: Reply = Ok(String::new());
         for image in images {
@@ -706,6 +959,7 @@ impl ExecutorState {
                 }
             }
         }
+        let install_us = install_started.elapsed().as_micros() as u64;
         if result.is_ok() {
             result = self.dispatch(session, command);
         }
@@ -714,7 +968,7 @@ impl ExecutorState {
         }
         self.engine
             .set_auto_checkpoint_wal_bytes(self.auto_checkpoint_wal_bytes);
-        result
+        (result, install_us)
     }
 
     /// Health + WAL counters for composed `STATS`.
@@ -745,6 +999,8 @@ mod tests {
             session,
             command: cmd,
             reply: rtx,
+            ctx: None,
+            enqueued: Instant::now(),
         })
         .expect("executor alive");
         rrx.recv().expect("reply")
@@ -768,6 +1024,7 @@ mod tests {
                 repl: Arc::new(ReplState::standalone()),
                 shard_id: 0,
                 lane: Arc::new(ShardStats::default()),
+                ring: Arc::new(SharedSpanRing::new(64)),
             },
             Arc::clone(metrics),
             Arc::clone(shutdown),
@@ -882,6 +1139,69 @@ mod tests {
     }
 
     #[test]
+    fn traced_command_records_child_spans_into_shared_ring() {
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ring = Arc::new(SharedSpanRing::new(64));
+        let (tx, join, _, _) = spawn(
+            ExecutorConfig {
+                in_memory: true,
+                exec_mode: ExecMode::default(),
+                files: Vec::new(),
+                queue_capacity: 4,
+                data_dir: None,
+                fsync: FsyncPolicy::Always,
+                slow_query_us: None,
+                statement_timeout_ms: None,
+                auto_checkpoint_wal_bytes: None,
+                repl: Arc::new(ReplState::standalone()),
+                shard_id: 3,
+                lane: Arc::new(ShardStats::default()),
+                ring: Arc::clone(&ring),
+            },
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+        )
+        .unwrap();
+        let root = SpanRecord::root(42, 3, "QUERY", "CREATE TABLE t (a int)");
+        let ctx = TraceContext {
+            query_id: 42,
+            parent_span: root.id,
+        };
+        ring.begin_root(root);
+        let (rtx, rrx) = mpsc::channel();
+        metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        tx.send(Job::Command {
+            session: 1,
+            command: Command::Query("CREATE TABLE t (a int)".into()),
+            reply: rtx,
+            ctx: Some(ctx),
+            enqueued: Instant::now(),
+        })
+        .unwrap();
+        rrx.recv().unwrap().unwrap();
+        let spans = ring.spans_for_query(42);
+        let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SpanKind::QueueWait), "{kinds:?}");
+        assert!(kinds.contains(&SpanKind::ShardExec), "{kinds:?}");
+        assert!(kinds.contains(&SpanKind::EnginePhase), "{kinds:?}");
+        let exec = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::ShardExec)
+            .expect("exec span");
+        assert_eq!(exec.parent, ctx.parent_span);
+        assert_eq!(exec.shard, 3);
+        // Engine phases parent under the exec span, not the root.
+        let phase = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::EnginePhase)
+            .expect("phase span");
+        assert_eq!(phase.parent, exec.id);
+        drop(tx);
+        join.join().unwrap();
+    }
+
+    #[test]
     fn durable_executor_checkpoints_and_recovers() {
         let dir = std::env::temp_dir().join(format!(
             "elephant-server-exec-{}-{}",
@@ -902,6 +1222,7 @@ mod tests {
             repl: Arc::new(ReplState::standalone()),
             shard_id: 0,
             lane: Arc::new(ShardStats::default()),
+            ring: Arc::new(SharedSpanRing::new(64)),
         };
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));

@@ -14,6 +14,7 @@
 //! | `INSPECT` | run an ML pipeline through the SQL backend with bias checks |
 //! | `SET` | per-session options, e.g. `SET exec_mode row\|columnar\|auto` |
 //! | `STATS` | counters, queue depth, latency percentiles, plan-cache hit rate, storage/recovery/replication stats |
+//! | `TRACE` | distributed tracing: `TRACE [n]` lists recent root spans, `TRACE q<id>` renders one query's span tree (see `docs/OBSERVABILITY.md`) |
 //! | `CHECKPOINT` | snapshot all tables to the data directory and truncate the WAL |
 //! | `REPLICA` | replication topology: role, followers, shipped bytes, watermarks |
 //! | `LAG` | replication watermarks (committed vs. applied LSN) for read routing |
@@ -81,6 +82,7 @@ mod executor;
 pub mod metrics;
 pub mod protocol;
 mod repl;
+mod scrape;
 pub mod server;
 mod session;
 mod shard;
@@ -89,7 +91,7 @@ pub use client::{
     ClientError, ClientResult, ElephantClient, ReplicatedClient, RetryPolicy, ServerError,
 };
 pub use metrics::{LatencyHistogram, Metrics};
-pub use protocol::{Command, MAX_FRAME};
+pub use protocol::{Command, TraceRequest, MAX_FRAME};
 pub use repl::ReplRole;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::shard_of;

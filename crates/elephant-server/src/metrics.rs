@@ -1,15 +1,20 @@
-//! Lock-free server metrics: per-verb counters and latency histograms, a
-//! queue-depth gauge and a log2-bucketed latency histogram with percentile
-//! estimation.
+//! Lock-free server metrics and the typed metrics registry.
 //!
 //! Everything is atomics so sessions and the executor update without
-//! contention; `STATS` renders a snapshot as `key value` lines. Bucket
-//! edges are shared with the engine's phase histograms via
-//! [`etypes::bucket_index`].
+//! contention. Bucket edges are shared with the engine's phase histograms
+//! via [`etypes::bucket_index`].
+//!
+//! Both observability surfaces render from the **same** typed samples: a
+//! [`Metric`] carries its `STATS` key, its Prometheus name + labels, and a
+//! typed [`MetricValue`]. [`render_stats_text`] produces the line-oriented
+//! `STATS` body; [`render_prometheus`] produces the text exposition format
+//! (0.0.4) served on `GET /metrics`, with histograms as cumulative
+//! `_bucket{le=...}` series. One collection, two renderings — the surfaces
+//! cannot drift.
 
 use sqlengine::PlanCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 const BUCKETS: usize = etypes::HIST_BUCKETS;
 
@@ -20,6 +25,7 @@ const BUCKETS: usize = etypes::HIST_BUCKETS;
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
+    total_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -27,6 +33,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
         }
     }
 }
@@ -37,11 +44,17 @@ impl LatencyHistogram {
         let us = elapsed.as_micros() as u64;
         self.buckets[etypes::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
     }
 
     /// Upper bucket edge (µs) below which at least `p` (in `[0,1]`) of the
@@ -61,6 +74,343 @@ impl LatencyHistogram {
         }
         1u64 << BUCKETS
     }
+
+    /// A point-in-time copy of the buckets for the registry.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            total_us: self.total_us(),
+            percentiles: PCT_P50_P95,
+            emit_total: false,
+            skip_if_empty: false,
+        }
+    }
+}
+
+/// Percentile suffixes rendered for the all-verbs latency histogram.
+pub const PCT_P50_P95_P99: &[(&str, f64)] = &[("p50_us", 0.50), ("p95_us", 0.95), ("p99_us", 0.99)];
+
+/// Percentile suffixes rendered for per-verb and per-phase histograms.
+pub const PCT_P50_P95: &[(&str, f64)] = &[("p50_us", 0.50), ("p95_us", 0.95)];
+
+/// A point-in-time histogram copy with its rendering policy.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, log2 edges shared with [`etypes::bucket_index`].
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds (the Prometheus `_sum`).
+    pub total_us: u64,
+    /// `(suffix, p)` pairs rendered as `<key>_<suffix>` percentile lines.
+    pub percentiles: &'static [(&'static str, f64)],
+    /// Render a `<key>_total_us` STATS line (phase histograms do).
+    pub emit_total: bool,
+    /// Omit from STATS entirely while empty (per-verb and phase histograms).
+    pub skip_if_empty: bool,
+}
+
+impl HistSnapshot {
+    /// Build from an engine-side (single-threaded) histogram.
+    pub fn from_histogram(h: &etypes::Histogram) -> HistSnapshot {
+        HistSnapshot {
+            buckets: h.buckets().to_vec(),
+            count: h.count(),
+            total_us: h.total_us(),
+            percentiles: PCT_P50_P95,
+            emit_total: false,
+            skip_if_empty: false,
+        }
+    }
+
+    /// Upper bucket edge (µs) covering fraction `p` of the samples.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// The typed value of one metric sample.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Point-in-time integer value.
+    Gauge(u64),
+    /// Point-in-time float rendered with a fixed number of decimals.
+    GaugeF {
+        /// The value.
+        value: f64,
+        /// Decimals in the STATS rendering (`{:.d$}`).
+        decimals: usize,
+    },
+    /// Non-numeric state (health, exec mode, build version). Rendered as
+    /// `key value` in STATS and as an `_info`-style gauge on /metrics.
+    Text(String),
+    /// A latency histogram (cumulative buckets on /metrics; count +
+    /// percentile lines in STATS).
+    Histogram(HistSnapshot),
+}
+
+/// One named sample in the registry: the single source of truth both the
+/// `STATS` body and the Prometheus exposition render from.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// The `STATS` key (base key for histograms).
+    pub key: String,
+    /// Prometheus metric name without the `elephant_` prefix.
+    pub name: String,
+    /// Prometheus labels (`shard`, `table`, ...).
+    pub labels: Vec<(&'static str, String)>,
+    /// The sample.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// A counter whose Prometheus name equals its STATS key.
+    pub fn counter(key: impl Into<String>, v: u64) -> Metric {
+        let key = key.into();
+        Metric {
+            name: key.clone(),
+            key,
+            labels: Vec::new(),
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    /// A gauge whose Prometheus name equals its STATS key.
+    pub fn gauge(key: impl Into<String>, v: u64) -> Metric {
+        let key = key.into();
+        Metric {
+            name: key.clone(),
+            key,
+            labels: Vec::new(),
+            value: MetricValue::Gauge(v),
+        }
+    }
+
+    /// A fixed-decimals float gauge.
+    pub fn gaugef(key: impl Into<String>, value: f64, decimals: usize) -> Metric {
+        let key = key.into();
+        Metric {
+            name: key.clone(),
+            key,
+            labels: Vec::new(),
+            value: MetricValue::GaugeF { value, decimals },
+        }
+    }
+
+    /// A text sample.
+    pub fn text(key: impl Into<String>, v: impl Into<String>) -> Metric {
+        let key = key.into();
+        Metric {
+            name: key.clone(),
+            key,
+            labels: Vec::new(),
+            value: MetricValue::Text(v.into()),
+        }
+    }
+
+    /// A histogram sample.
+    pub fn hist(key: impl Into<String>, snap: HistSnapshot) -> Metric {
+        let key = key.into();
+        Metric {
+            name: key.clone(),
+            key,
+            labels: Vec::new(),
+            value: MetricValue::Histogram(snap),
+        }
+    }
+
+    /// Override the Prometheus name (when the STATS key embeds an id, e.g.
+    /// `shard0.commands` → `shard_commands{shard="0"}`).
+    pub fn named(mut self, name: impl Into<String>) -> Metric {
+        self.name = name.into();
+        self
+    }
+
+    /// Attach one Prometheus label.
+    pub fn label(mut self, k: &'static str, v: impl Into<String>) -> Metric {
+        self.labels.push((k, v.into()));
+        self
+    }
+}
+
+/// Render samples as the line-oriented `STATS` body (no trailing newline).
+pub fn render_stats_text(metrics: &[Metric]) -> String {
+    let mut s = String::new();
+    let mut line = |k: &str, v: &str| {
+        s.push_str(k);
+        s.push(' ');
+        s.push_str(v);
+        s.push('\n');
+    };
+    for m in metrics {
+        match &m.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => line(&m.key, &v.to_string()),
+            MetricValue::GaugeF { value, decimals } => line(&m.key, &format!("{value:.decimals$}")),
+            MetricValue::Text(v) => line(&m.key, v),
+            MetricValue::Histogram(h) => {
+                if h.skip_if_empty && h.count == 0 {
+                    continue;
+                }
+                line(&format!("{}_count", m.key), &h.count.to_string());
+                if h.emit_total {
+                    line(&format!("{}_total_us", m.key), &h.total_us.to_string());
+                }
+                for (suffix, p) in h.percentiles {
+                    line(
+                        &format!("{}_{suffix}", m.key),
+                        &h.percentile(*p).to_string(),
+                    );
+                }
+            }
+        }
+    }
+    s.pop();
+    s
+}
+
+/// Escape a Prometheus label value (`\`, `"`, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render `{k="v",...}` (empty string when there are no labels).
+fn render_labels(labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Render samples in the Prometheus text exposition format (0.0.4). Every
+/// name is prefixed `elephant_`; histograms become cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`, with the configured
+/// percentile estimates exported as companion gauges. Text samples become
+/// `<name>_info{value="..."} 1` gauges.
+///
+/// The exposition format requires all samples of a metric family to be
+/// contiguous. Per-shard collections repeat names with different labels,
+/// so samples are grouped by family (first-seen order) before rendering.
+pub fn render_prometheus(metrics: &[Metric]) -> String {
+    use std::collections::HashMap;
+    use std::fmt::Write as _;
+    // family name → (type kind, sample lines), in first-seen family order.
+    let mut order: Vec<String> = Vec::new();
+    let mut families: HashMap<String, (&'static str, Vec<String>)> = HashMap::new();
+    let mut push = |name: &str, kind: &'static str, line: String| {
+        if !families.contains_key(name) {
+            order.push(name.to_string());
+            families.insert(name.to_string(), (kind, Vec::new()));
+        }
+        families.get_mut(name).expect("family exists").1.push(line);
+    };
+    for m in metrics {
+        let labels = render_labels(&m.labels);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                push(
+                    &m.name,
+                    "counter",
+                    format!("elephant_{}{labels} {v}", m.name),
+                );
+            }
+            MetricValue::Gauge(v) => {
+                push(&m.name, "gauge", format!("elephant_{}{labels} {v}", m.name));
+            }
+            MetricValue::GaugeF { value, decimals } => {
+                push(
+                    &m.name,
+                    "gauge",
+                    format!("elephant_{}{labels} {value:.decimals$}", m.name),
+                );
+            }
+            MetricValue::Text(v) => {
+                let info = format!("{}_info", m.name);
+                let mut labels = m.labels.clone();
+                labels.push(("value", v.clone()));
+                let line = format!("elephant_{info}{} 1", render_labels(&labels));
+                push(&info, "gauge", line);
+            }
+            MetricValue::Histogram(h) => {
+                let last_nonzero = h.buckets.iter().rposition(|b| *b > 0).unwrap_or(0);
+                let mut cumulative = 0u64;
+                for (i, b) in h.buckets.iter().enumerate().take(last_nonzero + 1) {
+                    cumulative += b;
+                    let mut labels = m.labels.clone();
+                    labels.push(("le", (1u64 << (i + 1)).to_string()));
+                    push(
+                        &m.name,
+                        "histogram",
+                        format!(
+                            "elephant_{}_bucket{} {cumulative}",
+                            m.name,
+                            render_labels(&labels)
+                        ),
+                    );
+                }
+                let mut inf = m.labels.clone();
+                inf.push(("le", "+Inf".to_string()));
+                push(
+                    &m.name,
+                    "histogram",
+                    format!(
+                        "elephant_{}_bucket{} {}",
+                        m.name,
+                        render_labels(&inf),
+                        h.count
+                    ),
+                );
+                push(
+                    &m.name,
+                    "histogram",
+                    format!("elephant_{}_sum{labels} {}", m.name, h.total_us),
+                );
+                push(
+                    &m.name,
+                    "histogram",
+                    format!("elephant_{}_count{labels} {}", m.name, h.count),
+                );
+                for (suffix, p) in h.percentiles {
+                    let pname = format!("{}_{suffix}", m.name);
+                    let line = format!("elephant_{pname}{labels} {}", h.percentile(*p));
+                    push(&pname, "gauge", line);
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for name in order {
+        let (kind, lines) = &families[&name];
+        let _ = writeln!(out, "# TYPE elephant_{name} {kind}");
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Verbs with their own counter and latency histogram, plus `OTHER` for
@@ -88,7 +438,7 @@ fn verb_index(verb: &str) -> usize {
 }
 
 /// Shared server counters; one instance per server, updated everywhere.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Commands answered successfully, by verb.
     pub queries: AtomicU64,
@@ -131,11 +481,51 @@ pub struct Metrics {
     pub busy_rejections: AtomicU64,
     /// Statements cancelled by the per-statement timeout.
     pub statements_timed_out: AtomicU64,
+    /// `GET /metrics` scrapes served (counted into the scrape itself).
+    pub metrics_scrapes: AtomicU64,
     /// End-to-end executor latency per job, all verbs combined.
     pub latency: LatencyHistogram,
     /// Executor latency per verb (same order as the verb counters, with the
     /// last slot collecting the `OTHER` verbs).
     verb_latency: [LatencyHistogram; VERBS.len()],
+    /// Process start instant (drives `uptime_s`).
+    started: Instant,
+    /// Unix seconds when this server started.
+    started_at_unix: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            queries: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
+            executes: AtomicU64::new(0),
+            explains: AtomicU64::new(0),
+            inspects: AtomicU64::new(0),
+            set_calls: AtomicU64::new(0),
+            stats_calls: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            traces: AtomicU64::new(0),
+            replica_calls: AtomicU64::new(0),
+            lag_calls: AtomicU64::new(0),
+            other_commands: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            exec_errors: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            statements_timed_out: AtomicU64::new(0),
+            metrics_scrapes: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            verb_latency: std::array::from_fn(|_| LatencyHistogram::default()),
+            started: Instant::now(),
+            started_at_unix: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
 }
 
 impl Metrics {
@@ -175,6 +565,16 @@ impl Metrics {
         self.protocol_errors.load(Ordering::Relaxed) + self.exec_errors.load(Ordering::Relaxed)
     }
 
+    /// Seconds since this server started.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Unix seconds when this server started.
+    pub fn started_at_unix(&self) -> u64 {
+        self.started_at_unix
+    }
+
     /// Total commands served across all verbs.
     pub fn total_served(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
@@ -191,70 +591,94 @@ impl Metrics {
             + self.other_commands.load(Ordering::Relaxed)
     }
 
-    /// Render the `STATS` body: one `key value` pair per line.
-    pub fn render(&self, plan: PlanCacheStats, plan_entries: usize, prepared: usize) -> String {
+    /// Collect the server-wide samples (everything `Metrics` itself owns:
+    /// identity, verb counters, error counters, session gauges, latency
+    /// histograms). Engine- and router-scoped samples are appended by their
+    /// owners; all of them feed both `STATS` and `/metrics`.
+    pub fn server_samples(&self) -> Vec<Metric> {
         let o = Ordering::Relaxed;
         let opened = self.sessions_opened.load(o);
         let closed = self.sessions_closed.load(o);
-        let mut s = String::new();
-        let mut line = |k: &str, v: String| {
-            s.push_str(k);
-            s.push(' ');
-            s.push_str(&v);
-            s.push('\n');
-        };
-        line("commands_served", self.total_served().to_string());
-        line("queries", self.queries.load(o).to_string());
-        line("prepares", self.prepares.load(o).to_string());
-        line("executes", self.executes.load(o).to_string());
-        line("explains", self.explains.load(o).to_string());
-        line("inspects", self.inspects.load(o).to_string());
-        line("set_calls", self.set_calls.load(o).to_string());
-        line("stats_calls", self.stats_calls.load(o).to_string());
-        line("checkpoints_served", self.checkpoints.load(o).to_string());
-        line("traces", self.traces.load(o).to_string());
-        line("replica_calls", self.replica_calls.load(o).to_string());
-        line("lag_calls", self.lag_calls.load(o).to_string());
-        line("other_commands", self.other_commands.load(o).to_string());
-        line("errors", self.total_errors().to_string());
-        line("protocol_errors", self.protocol_errors.load(o).to_string());
-        line("exec_errors", self.exec_errors.load(o).to_string());
-        line("sessions_opened", opened.to_string());
-        line("sessions_open", opened.saturating_sub(closed).to_string());
-        line("queue_depth", self.queue_depth.load(o).to_string());
-        line("busy_rejections", self.busy_rejections.load(o).to_string());
-        line(
+        let mut v: Vec<Metric> = Vec::with_capacity(48);
+        v.push(Metric::gauge("uptime_s", self.uptime_s()));
+        v.push(Metric::gauge("started_at_unix", self.started_at_unix));
+        v.push(Metric::text("build_version", env!("CARGO_PKG_VERSION")).named("build"));
+        v.push(Metric::counter("commands_served", self.total_served()));
+        v.push(Metric::counter("queries", self.queries.load(o)));
+        v.push(Metric::counter("prepares", self.prepares.load(o)));
+        v.push(Metric::counter("executes", self.executes.load(o)));
+        v.push(Metric::counter("explains", self.explains.load(o)));
+        v.push(Metric::counter("inspects", self.inspects.load(o)));
+        v.push(Metric::counter("set_calls", self.set_calls.load(o)));
+        v.push(Metric::counter("stats_calls", self.stats_calls.load(o)));
+        v.push(Metric::counter(
+            "checkpoints_served",
+            self.checkpoints.load(o),
+        ));
+        v.push(Metric::counter("traces", self.traces.load(o)));
+        v.push(Metric::counter("replica_calls", self.replica_calls.load(o)));
+        v.push(Metric::counter("lag_calls", self.lag_calls.load(o)));
+        v.push(Metric::counter(
+            "other_commands",
+            self.other_commands.load(o),
+        ));
+        v.push(Metric::counter("errors", self.total_errors()));
+        v.push(Metric::counter(
+            "protocol_errors",
+            self.protocol_errors.load(o),
+        ));
+        v.push(Metric::counter("exec_errors", self.exec_errors.load(o)));
+        v.push(Metric::counter("sessions_opened", opened));
+        v.push(Metric::gauge(
+            "sessions_open",
+            opened.saturating_sub(closed),
+        ));
+        v.push(Metric::gauge("queue_depth", self.queue_depth.load(o)));
+        v.push(Metric::counter(
+            "busy_rejections",
+            self.busy_rejections.load(o),
+        ));
+        v.push(Metric::counter(
             "statements_timed_out",
-            self.statements_timed_out.load(o).to_string(),
-        );
-        line("latency_count", self.latency.count().to_string());
-        line("latency_p50_us", self.latency.percentile(0.50).to_string());
-        line("latency_p95_us", self.latency.percentile(0.95).to_string());
-        line("latency_p99_us", self.latency.percentile(0.99).to_string());
+            self.statements_timed_out.load(o),
+        ));
+        v.push(Metric::counter(
+            "metrics_scrapes",
+            self.metrics_scrapes.load(o),
+        ));
+        let mut all = self.latency.snapshot();
+        all.percentiles = PCT_P50_P95_P99;
+        v.push(Metric::hist("latency", all));
         for (verb, hist) in VERBS.iter().zip(self.verb_latency.iter()) {
-            if hist.count() == 0 {
-                continue;
-            }
+            let mut snap = hist.snapshot();
+            snap.skip_if_empty = true;
             let verb = verb.to_ascii_lowercase();
-            line(&format!("latency_{verb}_count"), hist.count().to_string());
-            line(
-                &format!("latency_{verb}_p50_us"),
-                hist.percentile(0.50).to_string(),
-            );
-            line(
-                &format!("latency_{verb}_p95_us"),
-                hist.percentile(0.95).to_string(),
-            );
+            v.push(Metric::hist(format!("latency_{verb}"), snap).label("verb", verb.clone()));
         }
-        line("plan_cache_entries", plan_entries.to_string());
-        line("plan_cache_hits", plan.hits.to_string());
-        line("plan_cache_misses", plan.misses.to_string());
-        line("plan_cache_evictions", plan.evictions.to_string());
-        line("plan_cache_invalidations", plan.invalidations.to_string());
-        line("plan_cache_hit_rate", format!("{:.4}", plan.hit_rate()));
-        line("prepared_statements", prepared.to_string());
-        s.pop();
-        s
+        v
+    }
+
+    /// Samples for the engine's plan cache and prepared-statement count
+    /// (engine-owned state, historically rendered with the server block).
+    pub fn plan_samples(plan: PlanCacheStats, plan_entries: usize, prepared: usize) -> Vec<Metric> {
+        vec![
+            Metric::gauge("plan_cache_entries", plan_entries as u64),
+            Metric::counter("plan_cache_hits", plan.hits),
+            Metric::counter("plan_cache_misses", plan.misses),
+            Metric::counter("plan_cache_evictions", plan.evictions),
+            Metric::counter("plan_cache_invalidations", plan.invalidations),
+            Metric::gaugef("plan_cache_hit_rate", plan.hit_rate(), 4),
+            Metric::gauge("prepared_statements", prepared as u64),
+        ]
+    }
+
+    /// Render the `STATS` body: one `key value` pair per line (the
+    /// historical entry point; equivalent to rendering `server_samples` +
+    /// `plan_samples`).
+    pub fn render(&self, plan: PlanCacheStats, plan_entries: usize, prepared: usize) -> String {
+        let mut samples = self.server_samples();
+        samples.extend(Self::plan_samples(plan, plan_entries, prepared));
+        render_stats_text(&samples)
     }
 }
 
@@ -276,6 +700,7 @@ mod tests {
         let p99 = h.percentile(0.99);
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
         assert!(p50 >= 100, "median bucket should cover 100us, got {p50}");
+        assert_eq!(h.total_us(), 20 * (1 + 10 + 100 + 1000 + 10_000));
     }
 
     #[test]
@@ -313,6 +738,10 @@ mod tests {
             "exec_errors 0",
             "busy_rejections 0",
             "statements_timed_out 0",
+            "metrics_scrapes 0",
+            "uptime_s ",
+            "started_at_unix ",
+            "build_version ",
         ] {
             assert!(body.contains(key), "missing '{key}' in:\n{body}");
         }
@@ -346,5 +775,68 @@ mod tests {
         assert!(body.contains("latency_query_p95_us"), "{body}");
         assert!(body.contains("latency_other_count 1"), "{body}");
         assert!(!body.contains("latency_prepare_count"), "{body}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::default();
+        m.count_verb("QUERY");
+        m.record_latency("QUERY", Duration::from_micros(100));
+        let samples = m.server_samples();
+        let text = render_prometheus(&samples);
+        assert!(text.contains("# TYPE elephant_queries counter"), "{text}");
+        assert!(text.contains("elephant_queries 1"), "{text}");
+        assert!(text.contains("# TYPE elephant_latency histogram"), "{text}");
+        assert!(text.contains("elephant_latency_count 1"), "{text}");
+        assert!(text.contains("elephant_latency_sum 100"), "{text}");
+        assert!(
+            text.contains("elephant_latency_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("elephant_build_info{value=\"")
+                || text.contains("elephant_build_info{value="),
+            "{text}"
+        );
+        // One TYPE line per name, buckets cumulative.
+        let type_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE elephant_latency "))
+            .collect();
+        assert_eq!(type_lines.len(), 1, "{text}");
+    }
+
+    #[test]
+    fn stats_text_and_prometheus_agree_on_values() {
+        let m = Metrics::default();
+        m.count_verb("QUERY");
+        m.count_verb("QUERY");
+        m.count_verb("STATS");
+        let samples = m.server_samples();
+        let stats = render_stats_text(&samples);
+        let prom = render_prometheus(&samples);
+        // Same collection: a counter must read identically on both surfaces.
+        assert!(stats.contains("\nqueries 2"), "{stats}");
+        assert!(prom.contains("\nelephant_queries 2\n"), "{prom}");
+        assert!(stats.contains("\ncommands_served 3"), "{stats}");
+        assert!(prom.contains("elephant_commands_served 3"), "{prom}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1)); // bucket 0
+        h.record(Duration::from_micros(3)); // bucket 1
+        h.record(Duration::from_micros(100)); // bucket 6
+        let m = Metric::hist("lat", h.snapshot());
+        let text = render_prometheus(&[m]);
+        assert!(text.contains("elephant_lat_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("elephant_lat_bucket{le=\"4\"} 2"), "{text}");
+        assert!(text.contains("elephant_lat_bucket{le=\"128\"} 3"), "{text}");
+        assert!(
+            text.contains("elephant_lat_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("elephant_lat_count 3"), "{text}");
     }
 }

@@ -61,6 +61,17 @@ pub mod codes {
     pub const CROSS_SHARD: &str = "ERR_CROSS_SHARD";
 }
 
+/// What a `TRACE` command asks for (the TRACE v2 grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRequest {
+    /// `TRACE [n]` — the most recent `n` root spans across all shard rings.
+    Recent(usize),
+    /// `TRACE q<id>` — the full span tree of one query, reassembled from
+    /// every shard's ring and rendered hierarchically with per-shard time
+    /// attribution.
+    Tree(u64),
+}
+
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -86,8 +97,8 @@ pub enum Command {
         /// True for `EXPLAIN ANALYZE`.
         analyze: bool,
     },
-    /// Return the most recent `n` finished spans from the executor's ring.
-    Trace(usize),
+    /// Inspect recorded spans: recent roots, or one query's span tree.
+    Trace(TraceRequest),
     /// Run an ML pipeline through the SQL backend with bias checks.
     Inspect {
         /// Sensitive columns to histogram after every operator.
@@ -152,7 +163,8 @@ impl Command {
                     sql.clone()
                 }
             }
-            Command::Trace(n) => format!("last {n}"),
+            Command::Trace(TraceRequest::Recent(n)) => format!("last {n}"),
+            Command::Trace(TraceRequest::Tree(id)) => format!("q{id}"),
             Command::Inspect {
                 columns, threshold, ..
             } => format!("columns={} threshold={threshold}", columns.join(",")),
@@ -387,12 +399,18 @@ pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
         }
         "TRACE" => {
             if args.is_empty() {
-                return Ok(Command::Trace(DEFAULT_TRACE_SPANS));
+                return Ok(Command::Trace(TraceRequest::Recent(DEFAULT_TRACE_SPANS)));
+            }
+            if let Some(id_text) = args.strip_prefix('q').or_else(|| args.strip_prefix('Q')) {
+                let id: u64 = id_text
+                    .parse()
+                    .map_err(|_| (codes::PARSE, "usage: TRACE [n | q<query_id>]".to_string()))?;
+                return Ok(Command::Trace(TraceRequest::Tree(id)));
             }
             let n: usize = args
                 .parse()
-                .map_err(|_| (codes::PARSE, "usage: TRACE [n]".to_string()))?;
-            Ok(Command::Trace(n.max(1)))
+                .map_err(|_| (codes::PARSE, "usage: TRACE [n | q<query_id>]".to_string()))?;
+            Ok(Command::Trace(TraceRequest::Recent(n.max(1))))
         }
         "INSPECT" => {
             let mut head = args.split_whitespace();
@@ -588,11 +606,26 @@ mod tests {
         );
         assert_eq!(
             parse_command("TRACE").unwrap(),
-            Command::Trace(DEFAULT_TRACE_SPANS)
+            Command::Trace(TraceRequest::Recent(DEFAULT_TRACE_SPANS))
         );
-        assert_eq!(parse_command("TRACE 5").unwrap(), Command::Trace(5));
-        assert_eq!(parse_command("TRACE 0").unwrap(), Command::Trace(1));
+        assert_eq!(
+            parse_command("TRACE 5").unwrap(),
+            Command::Trace(TraceRequest::Recent(5))
+        );
+        assert_eq!(
+            parse_command("TRACE 0").unwrap(),
+            Command::Trace(TraceRequest::Recent(1))
+        );
+        assert_eq!(
+            parse_command("TRACE q17").unwrap(),
+            Command::Trace(TraceRequest::Tree(17))
+        );
+        assert_eq!(
+            parse_command("TRACE Q3").unwrap(),
+            Command::Trace(TraceRequest::Tree(3))
+        );
         assert_eq!(parse_command("TRACE five").unwrap_err().0, codes::PARSE);
+        assert_eq!(parse_command("TRACE qx").unwrap_err().0, codes::PARSE);
         assert_eq!(
             parse_command("EXPLAIN ANALYZE").unwrap_err().0,
             codes::PARSE

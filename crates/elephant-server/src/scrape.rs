@@ -1,0 +1,145 @@
+//! The `/metrics` listener: a minimal plain-HTTP endpoint serving the
+//! Prometheus text exposition format (0.0.4), dependency-free.
+//!
+//! Deliberately not a web server: it answers exactly `GET /metrics` (and
+//! `GET /metrics?...`), closes the connection after every response, and
+//! parses only the request line. That is all a Prometheus scraper (or
+//! `curl`) needs, and it keeps the observability plane inside the no-new-
+//! dependencies budget of the rest of the server.
+//!
+//! The thread holds only a [`Weak`] reference to the router: the accept
+//! loop owns the strong [`Arc`], and dropping it at drain end is what lets
+//! the executors observe queue disconnection and exit. A scrape arriving
+//! mid-drain gets `503 Service Unavailable` instead of keeping the server
+//! alive.
+
+use crate::shard::ShardRouter;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-loop poll interval for the shutdown flag.
+const SCRAPE_POLL: Duration = Duration::from_millis(50);
+
+/// Cap on the request head we read; a scrape request line is tiny.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Per-connection socket timeout: a stalled scraper must not wedge the
+/// single-threaded listener.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Spawn the metrics listener thread. It serves until `shutdown` flips (or
+/// the router is gone and the process is tearing down).
+pub(crate) fn spawn(
+    listener: TcpListener,
+    router: Weak<ShardRouter>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    thread::Builder::new()
+        .name("elephant-metrics".into())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Serve inline: scrapes are rare (seconds apart) and
+                        // cheap; a slow peer is bounded by the socket timeout.
+                        let _ = serve_one(stream, &router);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(SCRAPE_POLL);
+                    }
+                    Err(_) => thread::sleep(SCRAPE_POLL),
+                }
+            }
+        })
+}
+
+/// Read one request, answer it, close.
+fn serve_one(mut stream: TcpStream, router: &Weak<ShardRouter>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request_line = read_request_line(&mut stream)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    if path != "/metrics" {
+        return respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics)\n",
+        );
+    }
+    match router.upgrade() {
+        Some(router) => match router.prometheus_body() {
+            Ok(body) => respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            ),
+            Err((code, msg)) => respond(
+                &mut stream,
+                "500 Internal Server Error",
+                "text/plain; charset=utf-8",
+                &format!("{code}: {msg}\n"),
+            ),
+        },
+        None => respond(
+            &mut stream,
+            "503 Service Unavailable",
+            "text/plain; charset=utf-8",
+            "server is draining\n",
+        ),
+    }
+}
+
+/// Read the whole request head (through the blank line) and return the
+/// request line. Consuming the headers matters: closing a socket with
+/// unread bytes turns the close into a TCP RST, which can discard the
+/// response before the scraper reads it.
+fn read_request_line(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let first = head.split(|b| *b == b'\n').next().unwrap_or(&[]);
+    Ok(String::from_utf8_lossy(first)
+        .trim_end_matches('\r')
+        .to_string())
+}
+
+/// Write a minimal HTTP/1.1 response and close the connection.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -3,9 +3,11 @@
 use crate::executor::{self, ExecutorConfig, Job};
 use crate::metrics::Metrics;
 use crate::repl::ReplState;
+use crate::scrape;
 use crate::session::run_session;
 use crate::shard::{Lane, ShardRouter, ShardStats};
 use elephant_repl::{follower, leader, FollowerConfig, FollowerStatus};
+use etypes::SharedSpanRing;
 use sqlengine::{ExecMode, FsyncPolicy};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -14,6 +16,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// Finished spans retained per shard ring. Large enough that a multi-span
+/// distributed query tree survives a busy `TRACE` window, small enough to
+/// bound memory (spans are a few hundred bytes each).
+const SPAN_RING_CAPACITY: usize = 512;
 
 /// Accept-loop poll interval for the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(50);
@@ -62,6 +69,10 @@ pub struct ServerConfig {
     /// subdirectory); tables are routed to shards by name hash. Must be at
     /// least 1; values above 1 are mutually exclusive with replication.
     pub shards: usize,
+    /// Bind a plain-HTTP metrics listener here and serve the Prometheus
+    /// text exposition on `GET /metrics`. `None` (the default) disables
+    /// the listener. Use port 0 to let the OS pick (tests do).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +91,7 @@ impl Default for ServerConfig {
             replicate_from: None,
             auto_checkpoint_wal_bytes: None,
             shards: 1,
+            metrics_addr: None,
         }
     }
 }
@@ -116,9 +128,11 @@ impl ServerConfig {
 /// [`join`]: ServerHandle::join
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     accept_join: Option<JoinHandle<()>>,
+    scrape_join: Option<JoinHandle<()>>,
     executor_joins: Vec<JoinHandle<()>>,
     repl_leader: Option<leader::LeaderHandle>,
     follower_join: Option<JoinHandle<()>>,
@@ -128,6 +142,11 @@ impl ServerHandle {
     /// The bound address (with the OS-assigned port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics listener's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The replication listener's bound address (leader mode only).
@@ -150,6 +169,12 @@ impl ServerHandle {
     /// and exits.
     pub fn join(mut self) {
         if let Some(h) = self.accept_join.take() {
+            let _ = h.join();
+        }
+        // The scrape thread polls the same shutdown flag the accept loop
+        // just observed; it holds only a Weak router reference, so it never
+        // keeps the executors alive.
+        if let Some(h) = self.scrape_join.take() {
             let _ = h.join();
         }
         // The follower loop must drop its queue sender before the executor
@@ -235,6 +260,9 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             }
         });
         let lane_stats = Arc::new(ShardStats::default());
+        // The span ring is shared between this shard's executor (writer)
+        // and the router (the TRACE reader / root-span owner).
+        let ring = Arc::new(SharedSpanRing::new(SPAN_RING_CAPACITY));
         let (tx, join, wal, recovered) = executor::spawn(
             ExecutorConfig {
                 in_memory: config.in_memory,
@@ -249,6 +277,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                 repl: Arc::clone(&repl),
                 shard_id,
                 lane: Arc::clone(&lane_stats),
+                ring: Arc::clone(&ring),
             },
             Arc::clone(&metrics),
             Arc::clone(&shutdown),
@@ -260,6 +289,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         lanes.push(Lane {
             tx,
             stats: lane_stats,
+            ring,
         });
         executor_joins.push(join);
         recovered_per_shard.push(recovered);
@@ -269,6 +299,23 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     for (shard_id, names) in recovered_per_shard.into_iter().enumerate() {
         router.seed(shard_id, &names);
     }
+
+    // The metrics listener holds only a Weak router reference: the accept
+    // loop owns the strong Arc, and dropping it at drain end must remain
+    // what lets the executors observe disconnection and exit.
+    let (metrics_addr, scrape_join) = match &config.metrics_addr {
+        Some(bind) => {
+            let metrics_listener = TcpListener::bind(bind)?;
+            let bound = metrics_listener.local_addr()?;
+            let join = scrape::spawn(
+                metrics_listener,
+                Arc::downgrade(&router),
+                Arc::clone(&shutdown),
+            )?;
+            (Some(bound), Some(join))
+        }
+        None => (None, None),
+    };
 
     let repl_leader = match &config.repl_addr {
         Some(bind) => {
@@ -362,9 +409,11 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         metrics,
         shutdown,
         accept_join: Some(accept_join),
+        scrape_join,
         executor_joins,
         repl_leader,
         follower_join,

@@ -30,12 +30,30 @@
 //! also owns admission control (bounded wait for a queue slot, then the
 //! retryable `ERR_BUSY` naming the saturated shard so clients can salt
 //! their backoff per shard).
+//!
+//! **Tracing**: the router is where a command becomes a *query*. Every
+//! routed command gets a process-unique `query_id` and a root
+//! [`SpanKind::Command`] span, opened on the ring of the shard that will
+//! execute it (the coordinator for scatter-gather, shard 0 for broadcasts)
+//! and closed when the reply comes back. The correlation ids travel with
+//! the job as a [`TraceContext`]; executors hang queue-wait, exec,
+//! engine-phase, export/install and group-fsync children under the root.
+//! `TRACE` is answered here, without an executor round-trip: the router
+//! walks every shard's ring, so `TRACE q<id>` reassembles the spans of one
+//! distributed query into a single tree with per-shard time attribution.
+//!
+//! The router also serves the machine-readable metrics plane:
+//! [`ShardRouter::prometheus_body`] collects the same typed samples that
+//! `STATS` renders — server counters, every shard's engine samples, lane
+//! gauges, and the sharding aggregates — and renders them in the
+//! Prometheus text exposition format for the `/metrics` listener.
 
 use crate::executor::{Job, Reply, ShardSnapshot};
-use crate::metrics::Metrics;
-use crate::protocol::{codes, Command};
+use crate::metrics::{render_prometheus, Metric, Metrics};
+use crate::protocol::{codes, Command, TraceRequest};
+use etypes::{SharedSpanRing, Span, SpanKind, SpanRecord, TraceContext};
 use sqlengine::{parse_sql, statement_deps, TableImage};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -90,6 +108,9 @@ pub(crate) struct Lane {
     pub tx: SyncSender<Job>,
     /// Gauges shared with the executor thread.
     pub stats: Arc<ShardStats>,
+    /// Span ring shared with the executor thread (the router opens roots
+    /// and answers `TRACE`; the executor records children).
+    pub ring: Arc<SharedSpanRing>,
 }
 
 /// What the ownership map knows about a name.
@@ -147,6 +168,8 @@ pub(crate) struct ShardRouter {
     scatter_gathers: AtomicU64,
     /// Cross-shard writes refused with [`codes::CROSS_SHARD`].
     cross_shard_rejects: AtomicU64,
+    /// Per-command query-id allocator (`q<N>` on the wire, 1-based).
+    next_query_id: AtomicU64,
     metrics: Arc<Metrics>,
 }
 
@@ -161,6 +184,7 @@ impl ShardRouter {
             fallbacks: AtomicU64::new(0),
             scatter_gathers: AtomicU64::new(0),
             cross_shard_rejects: AtomicU64::new(0),
+            next_query_id: AtomicU64::new(1),
             metrics,
         }
     }
@@ -183,23 +207,33 @@ impl ShardRouter {
 
     /// Route one client command and wait for its reply.
     pub fn submit(&self, session: u64, command: Command) -> Reply {
-        if command == Command::Stats {
-            return self.stats(session);
+        match command {
+            // TRACE is answered by the router itself: it is the only verb
+            // that needs every shard's ring, and answering it here keeps it
+            // out of the rings (a TRACE never traces itself). STATS keeps
+            // its composed multi-shard body.
+            Command::Trace(req) => return self.serve_trace(req),
+            Command::Stats => return self.stats(session),
+            _ => {}
         }
+        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         if self.lanes.len() == 1 {
-            return self.run_on(0, session, command);
+            return self.run_traced(0, session, command, query_id, started, None);
         }
         match command {
-            Command::Query(_) | Command::Explain { .. } => self.route_sql(session, command),
-            Command::Prepare { .. } => self.route_prepare(session, command),
+            Command::Query(_) | Command::Explain { .. } => {
+                self.route_sql(session, command, query_id, started)
+            }
+            Command::Prepare { .. } => self.route_prepare(session, command, query_id, started),
             Command::Execute(ref name) => {
                 let shard = self.prepared_shard(session, name);
-                self.run_on(shard, session, command)
+                self.run_traced(shard, session, command, query_id, started, None)
             }
             Command::Deallocate(ref name) => {
                 let shard = self.prepared_shard(session, name);
                 let key = (session, name.clone());
-                let reply = self.run_on(shard, session, command);
+                let reply = self.run_traced(shard, session, command, query_id, started, None);
                 if reply.is_ok() {
                     self.prepare_shards
                         .lock()
@@ -208,17 +242,15 @@ impl ShardRouter {
                 }
                 reply
             }
-            Command::Set { .. } => self.broadcast_set(session, command),
-            Command::Checkpoint => self.broadcast_checkpoint(session),
-            // Single-shard surfaces: trace spans, inspection scratch
-            // tables, replication topology, and the shared drain flag all
-            // live on (or are reachable from) shard 0.
-            Command::Trace(_)
-            | Command::Inspect { .. }
-            | Command::Replica
-            | Command::Lag
-            | Command::Shutdown => self.run_on(0, session, command),
-            Command::Stats => unreachable!("handled above"),
+            Command::Set { .. } => self.broadcast_set(session, command, query_id, started),
+            Command::Checkpoint => self.broadcast_checkpoint(session, query_id, started),
+            // Single-shard surfaces: inspection scratch tables, replication
+            // topology, and the shared drain flag all live on (or are
+            // reachable from) shard 0.
+            Command::Inspect { .. } | Command::Replica | Command::Lag | Command::Shutdown => {
+                self.run_traced(0, session, command, query_id, started, None)
+            }
+            Command::Trace(_) | Command::Stats => unreachable!("handled above"),
         }
     }
 
@@ -291,8 +323,15 @@ impl ShardRouter {
         }
     }
 
-    /// Run one command on one shard and wait for the reply.
-    fn run_on(&self, shard: usize, session: u64, command: Command) -> Reply {
+    /// Run one command on one shard and wait for the reply, threading the
+    /// optional trace context into the job.
+    fn run_on_ctx(
+        &self,
+        shard: usize,
+        session: u64,
+        command: Command,
+        ctx: Option<TraceContext>,
+    ) -> Reply {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.admit(
             shard,
@@ -300,12 +339,71 @@ impl ShardRouter {
                 session,
                 command,
                 reply: reply_tx,
+                ctx,
+                enqueued: Instant::now(),
             },
             Admission::Client,
         )?;
         reply_rx
             .recv()
             .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))?
+    }
+
+    /// Run one command on one shard without a trace context (STATS, and
+    /// paths that manage their own roots).
+    fn run_on(&self, shard: usize, session: u64, command: Command) -> Reply {
+        self.run_on_ctx(shard, session, command, None)
+    }
+
+    /// Open a root span for `query_id` on `shard`'s ring; returns the
+    /// context children hang under. The root is pinned (excluded from ring
+    /// eviction) until [`ShardRouter::finish_root`] closes it.
+    fn begin_root(&self, shard: usize, query_id: u64, command: &Command) -> TraceContext {
+        let rec = SpanRecord::root(query_id, shard as u16, command.verb(), &command.summary());
+        let ctx = TraceContext {
+            query_id,
+            parent_span: rec.id,
+        };
+        self.lanes[shard].ring.begin_root(rec);
+        ctx
+    }
+
+    /// Close the root span opened by [`ShardRouter::begin_root`].
+    fn finish_root(&self, shard: usize, ctx: TraceContext, started: Instant, ok: bool) {
+        self.lanes[shard].ring.finish_root(
+            ctx.parent_span,
+            started.elapsed().as_micros() as u64,
+            ok,
+        );
+    }
+
+    /// Run one command under a fresh root span on `shard`. `router` carries
+    /// the resolve duration and placement detail when the SQL router made a
+    /// decision worth a span of its own.
+    fn run_traced(
+        &self,
+        shard: usize,
+        session: u64,
+        command: Command,
+        query_id: u64,
+        started: Instant,
+        router: Option<(u64, String)>,
+    ) -> Reply {
+        let ctx = self.begin_root(shard, query_id, &command);
+        if let Some((us, detail)) = router {
+            self.lanes[shard].ring.record(SpanRecord::child(
+                ctx,
+                SpanKind::Router,
+                shard as u16,
+                "route",
+                &detail,
+                us,
+                true,
+            ));
+        }
+        let reply = self.run_on_ctx(shard, session, command, Some(ctx));
+        self.finish_root(shard, ctx, started, reply.is_ok());
+        reply
     }
 
     /// Resolve the dependency set of a (possibly `;`-separated) SQL text
@@ -379,18 +477,35 @@ impl ShardRouter {
     }
 
     /// Route a `QUERY` or `EXPLAIN` by its dependency set.
-    fn route_sql(&self, session: u64, command: Command) -> Reply {
+    fn route_sql(&self, session: u64, command: Command, query_id: u64, started: Instant) -> Reply {
         let sql = match &command {
             Command::Query(sql) | Command::Explain { sql, .. } => sql.clone(),
             _ => unreachable!("route_sql only sees QUERY/EXPLAIN"),
         };
-        match self.resolve(&sql) {
+        let resolve_started = Instant::now();
+        let resolution = self.resolve(&sql);
+        let resolve_us = resolve_started.elapsed().as_micros() as u64;
+        match resolution {
             Resolution::Unparsed => {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
-                self.run_on(0, session, command)
+                self.run_traced(
+                    0,
+                    session,
+                    command,
+                    query_id,
+                    started,
+                    Some((resolve_us, "fallback shard=0".into())),
+                )
             }
             Resolution::Single { shard, changes } => {
-                let reply = self.run_on(shard, session, command);
+                let reply = self.run_traced(
+                    shard,
+                    session,
+                    command,
+                    query_id,
+                    started,
+                    Some((resolve_us, format!("single shard={shard}"))),
+                );
                 if reply.is_ok() {
                     self.apply_changes(shard, changes);
                 }
@@ -411,13 +526,19 @@ impl ShardRouter {
                         ),
                     ));
                 }
-                self.scatter_gather(session, command, &resolved)
+                self.scatter_gather(session, command, &resolved, query_id, started, resolve_us)
             }
         }
     }
 
     /// Route a `PREPARE`: prepared statements are pinned to one shard.
-    fn route_prepare(&self, session: u64, command: Command) -> Reply {
+    fn route_prepare(
+        &self,
+        session: u64,
+        command: Command,
+        query_id: u64,
+        started: Instant,
+    ) -> Reply {
         let (name, sql) = match &command {
             Command::Prepare { name, sql } => (name.clone(), sql.clone()),
             _ => unreachable!("route_prepare only sees PREPARE"),
@@ -440,7 +561,7 @@ impl ShardRouter {
                 ));
             }
         };
-        let reply = self.run_on(shard, session, command);
+        let reply = self.run_traced(shard, session, command, query_id, started, None);
         if reply.is_ok() {
             self.prepare_shards
                 .lock()
@@ -452,11 +573,16 @@ impl ShardRouter {
 
     /// Answer a cross-shard read-only query: export every foreign table to
     /// the coordinator shard, run the whole query there, drop the copies.
+    /// The root span lives on the coordinator's ring; export spans land on
+    /// the exporting shards' rings with the same `query_id`.
     fn scatter_gather(
         &self,
         session: u64,
         command: Command,
         resolved: &BTreeMap<String, Owner>,
+        query_id: u64,
+        started: Instant,
+        resolve_us: u64,
     ) -> Reply {
         // Coordinator: the shard owning most of the touched names (fewest
         // exports); ties break toward the lowest shard id.
@@ -491,6 +617,34 @@ impl ShardRouter {
             }
             per_shard.entry(owner.shard).or_default().push(name.clone());
         }
+        let ctx = self.begin_root(coordinator, query_id, &command);
+        self.lanes[coordinator].ring.record(SpanRecord::child(
+            ctx,
+            SpanKind::Router,
+            coordinator as u16,
+            "route",
+            &format!(
+                "scatter-gather coordinator={coordinator} exports={}",
+                per_shard.len()
+            ),
+            resolve_us,
+            true,
+        ));
+        let reply = self.scatter_gather_inner(session, command, per_shard, ctx, coordinator);
+        self.finish_root(coordinator, ctx, started, reply.is_ok());
+        reply
+    }
+
+    /// The fallible phase of a scatter-gather, split out so the caller can
+    /// close the root span on every exit path.
+    fn scatter_gather_inner(
+        &self,
+        session: u64,
+        command: Command,
+        per_shard: BTreeMap<usize, Vec<String>>,
+        ctx: TraceContext,
+        coordinator: usize,
+    ) -> Reply {
         // Scatter: all exports run in parallel on their shard threads.
         let mut waits = Vec::with_capacity(per_shard.len());
         for (shard, names) in per_shard {
@@ -500,6 +654,7 @@ impl ShardRouter {
                 Job::ExportTables {
                     names,
                     reply: reply_tx,
+                    ctx: Some(ctx),
                 },
                 Admission::Internal,
             )?;
@@ -523,6 +678,8 @@ impl ShardRouter {
                 command,
                 images,
                 reply: reply_tx,
+                ctx: Some(ctx),
+                enqueued: Instant::now(),
             },
             Admission::Client,
         )?;
@@ -552,19 +709,46 @@ impl ShardRouter {
     /// `SET` affects per-session state held by every executor, so it is
     /// broadcast; the first error (or the first body) answers. With more
     /// than one shard each broadcast counts once per shard in the per-verb
-    /// metrics (documented in `docs/SHARDING.md`).
-    fn broadcast_set(&self, session: u64, command: Command) -> Reply {
+    /// metrics (documented in `docs/SHARDING.md`). The root span lives on
+    /// shard 0's ring; every shard's exec span is a child of it.
+    fn broadcast_set(
+        &self,
+        session: u64,
+        command: Command,
+        query_id: u64,
+        started: Instant,
+    ) -> Reply {
+        let ctx = self.begin_root(0, query_id, &command);
+        let mut reply: Reply = Ok(String::new());
         let mut first: Option<String> = None;
         for shard in 0..self.lanes.len() {
-            let body = self.run_on(shard, session, command.clone())?;
-            first.get_or_insert(body);
+            match self.run_on_ctx(shard, session, command.clone(), Some(ctx)) {
+                Ok(body) => {
+                    first.get_or_insert(body);
+                }
+                Err(e) => {
+                    reply = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(first.unwrap_or_default())
+        if reply.is_ok() {
+            reply = Ok(first.unwrap_or_default());
+        }
+        self.finish_root(0, ctx, started, reply.is_ok());
+        reply
     }
 
     /// `CHECKPOINT` runs on every shard in parallel; the per-shard summary
-    /// lines are summed into one.
-    fn broadcast_checkpoint(&self, session: u64) -> Reply {
+    /// lines are summed into one. The root span lives on shard 0's ring.
+    fn broadcast_checkpoint(&self, session: u64, query_id: u64, started: Instant) -> Reply {
+        let ctx = self.begin_root(0, query_id, &Command::Checkpoint);
+        let reply = self.broadcast_checkpoint_inner(session, ctx);
+        self.finish_root(0, ctx, started, reply.is_ok());
+        reply
+    }
+
+    fn broadcast_checkpoint_inner(&self, session: u64, ctx: TraceContext) -> Reply {
         let mut waits = Vec::with_capacity(self.lanes.len());
         for shard in 0..self.lanes.len() {
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -574,6 +758,8 @@ impl ShardRouter {
                     session,
                     command: Command::Checkpoint,
                     reply: reply_tx,
+                    ctx: Some(ctx),
+                    enqueued: Instant::now(),
                 },
                 Admission::Client,
             )?;
@@ -590,11 +776,73 @@ impl ShardRouter {
         Ok(sum_checkpoints(&bodies).unwrap_or_else(|| bodies.swap_remove(0)))
     }
 
+    /// Answer `TRACE` from the shard rings, without an executor round-trip.
+    /// The router counts the verb and its latency itself — the executors
+    /// never see the command, and the rings never record it (a fresh server
+    /// truthfully answers "no spans recorded").
+    fn serve_trace(&self, req: TraceRequest) -> Reply {
+        let started = Instant::now();
+        let body = match req {
+            TraceRequest::Recent(n) => {
+                let mut spans: Vec<Span> = Vec::new();
+                for lane in &self.lanes {
+                    let held = lane.ring.len();
+                    spans.extend(lane.ring.recent(held));
+                }
+                render_recent_roots(spans, n)
+            }
+            TraceRequest::Tree(query_id) => {
+                let mut spans: Vec<Span> = Vec::new();
+                for lane in &self.lanes {
+                    spans.extend(lane.ring.spans_for_query(query_id));
+                }
+                render_query_tree(query_id, spans)
+            }
+        };
+        self.metrics.record_latency("TRACE", started.elapsed());
+        self.metrics.count_verb("TRACE");
+        Ok(body)
+    }
+
     /// `STATS`: shard 0's full body plus per-shard gauges and the sharding
     /// aggregates (always present, even with one shard, so dashboards need
     /// no shard-count special case).
     fn stats(&self, session: u64) -> Reply {
+        // Snapshot the lane gauges BEFORE admitting the STATS job: the job
+        // itself ticks shard 0's dequeue counter, and the rendered body
+        // must match what a `/metrics` scrape read a moment earlier.
+        let gauges: Vec<(u64, u64)> = self
+            .lanes
+            .iter()
+            .map(|l| {
+                (
+                    l.stats.queue_depth.load(Ordering::Relaxed),
+                    l.stats.commands.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
         let mut body = self.run_on(0, session, Command::Stats)?;
+        let snapshots = self.shard_snapshots()?;
+        use std::fmt::Write as _;
+        for (k, snap) in snapshots.iter().enumerate() {
+            let (queued, commands) = gauges[k];
+            let _ = write!(body, "\nshard{k}.queue_depth {queued}");
+            let _ = write!(body, "\nshard{k}.commands {commands}");
+            let _ = write!(body, "\nshard{k}.health {}", snap.health);
+            let _ = write!(
+                body,
+                "\nshard{k}.wal_group_commits {}",
+                snap.wal_group_commits
+            );
+        }
+        for m in self.router_samples(&snapshots) {
+            let _ = write!(body, "\n{}", crate::metrics::render_stats_text(&[m]));
+        }
+        Ok(body)
+    }
+
+    /// One [`ShardSnapshot`] per lane (health + WAL counters).
+    fn shard_snapshots(&self) -> Result<Vec<ShardSnapshot>, (&'static str, String)> {
         let mut waits = Vec::with_capacity(self.lanes.len());
         for lane in &self.lanes {
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -611,19 +859,12 @@ impl ShardRouter {
                     .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))?,
             );
         }
-        use std::fmt::Write as _;
-        for (k, snap) in snapshots.iter().enumerate() {
-            let queued = self.lanes[k].stats.queue_depth.load(Ordering::Relaxed);
-            let commands = self.lanes[k].stats.commands.load(Ordering::Relaxed);
-            let _ = write!(body, "\nshard{k}.queue_depth {queued}");
-            let _ = write!(body, "\nshard{k}.commands {commands}");
-            let _ = write!(body, "\nshard{k}.health {}", snap.health);
-            let _ = write!(
-                body,
-                "\nshard{k}.wal_group_commits {}",
-                snap.wal_group_commits
-            );
-        }
+        Ok(snapshots)
+    }
+
+    /// The router-scoped samples (sharding and group-commit aggregates),
+    /// rendered at the tail of `STATS` and exported on `/metrics`.
+    fn router_samples(&self, snapshots: &[ShardSnapshot]) -> Vec<Metric> {
         let records: u64 = snapshots.iter().map(|s| s.wal_records).sum();
         let fsyncs: u64 = snapshots.iter().map(|s| s.wal_fsyncs).sum();
         let group_commits: u64 = snapshots.iter().map(|s| s.wal_group_commits).sum();
@@ -633,27 +874,164 @@ impl ShardRouter {
         } else {
             records as f64 / fsyncs as f64
         };
-        let _ = write!(body, "\nshards {}", self.lanes.len());
-        let _ = write!(
-            body,
-            "\nshard_fallbacks {}",
-            self.fallbacks.load(Ordering::Relaxed)
-        );
-        let _ = write!(
-            body,
-            "\nshard_scatter_gather {}",
-            self.scatter_gathers.load(Ordering::Relaxed)
-        );
-        let _ = write!(
-            body,
-            "\ncross_shard_rejects {}",
-            self.cross_shard_rejects.load(Ordering::Relaxed)
-        );
-        let _ = write!(body, "\nwal_group_commits {group_commits}");
-        let _ = write!(body, "\nwal_group_committed_records {group_records}");
-        let _ = write!(body, "\nwal_commits_per_fsync {per_fsync:.2}");
-        Ok(body)
+        vec![
+            Metric::gauge("shards", self.lanes.len() as u64),
+            Metric::counter("shard_fallbacks", self.fallbacks.load(Ordering::Relaxed)),
+            Metric::counter(
+                "shard_scatter_gather",
+                self.scatter_gathers.load(Ordering::Relaxed),
+            ),
+            Metric::counter(
+                "cross_shard_rejects",
+                self.cross_shard_rejects.load(Ordering::Relaxed),
+            ),
+            Metric::counter("wal_group_commits", group_commits),
+            Metric::counter("wal_group_committed_records", group_records),
+            Metric::gaugef("wal_commits_per_fsync", per_fsync, 2),
+        ]
     }
+
+    /// The full `/metrics` exposition body: server samples, every shard's
+    /// engine samples and gauges (labeled `shard="k"`), and the router
+    /// aggregates — the same typed samples `STATS` renders, in Prometheus
+    /// text format. The scrape counts itself *before* collecting, so the
+    /// exported `metrics_scrapes` includes the serving scrape — mirroring
+    /// `STATS`, which counts itself only after rendering, keeps both
+    /// surfaces stable under the "scrape, then STATS" comparison.
+    pub fn prometheus_body(&self) -> Result<String, (&'static str, String)> {
+        self.metrics.metrics_scrapes.fetch_add(1, Ordering::Relaxed);
+        let mut samples = self.metrics.server_samples();
+        for (k, lane) in self.lanes.iter().enumerate() {
+            let shard = k.to_string();
+            samples.push(
+                Metric::gauge(
+                    format!("shard{k}.queue_depth"),
+                    lane.stats.queue_depth.load(Ordering::Relaxed),
+                )
+                .named("shard_queue_depth")
+                .label("shard", shard.clone()),
+            );
+            samples.push(
+                Metric::counter(
+                    format!("shard{k}.commands"),
+                    lane.stats.commands.load(Ordering::Relaxed),
+                )
+                .named("shard_commands")
+                .label("shard", shard.clone()),
+            );
+            // Engine samples ride the job queue (the engine is not Send);
+            // the snapshot job is deliberately uncounted so scraping does
+            // not perturb what it reports.
+            let (reply_tx, reply_rx) = mpsc::channel();
+            lane.tx
+                .send(Job::MetricsSnapshot { reply: reply_tx })
+                .map_err(|_| (codes::INTERNAL, "executor unavailable".to_string()))?;
+            let engine = reply_rx
+                .recv()
+                .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))?;
+            samples.extend(engine);
+        }
+        let snapshots = self.shard_snapshots()?;
+        for (k, snap) in snapshots.iter().enumerate() {
+            let shard = k.to_string();
+            samples.push(
+                Metric::text(format!("shard{k}.health"), snap.health.clone())
+                    .named("shard_health")
+                    .label("shard", shard.clone()),
+            );
+            samples.push(
+                Metric::counter(
+                    format!("shard{k}.wal_group_commits"),
+                    snap.wal_group_commits,
+                )
+                .named("shard_wal_group_commits")
+                .label("shard", shard),
+            );
+        }
+        samples.extend(self.router_samples(&snapshots));
+        Ok(render_prometheus(&samples))
+    }
+}
+
+/// Render the most recent `n` finished **root** spans across all rings,
+/// newest first (the `TRACE [n]` listing). Children are reachable via
+/// `TRACE q<id>`; keeping the listing roots-only makes it a query log.
+pub(crate) fn render_recent_roots(mut spans: Vec<Span>, n: usize) -> String {
+    spans.retain(|s| s.parent == 0);
+    // Per-ring seq is the finish order; the span id breaks cross-ring ties
+    // (ids are process-global and allocation-ordered).
+    spans.sort_by_key(|s| std::cmp::Reverse((s.seq, s.id)));
+    spans.truncate(n);
+    if spans.is_empty() {
+        return "no spans recorded".to_string();
+    }
+    spans
+        .iter()
+        .map(Span::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render one query's span tree (the `TRACE q<id>` body): a header, the
+/// spans as an indented tree in id (allocation) order, per-shard time
+/// attribution, and the root's total.
+pub(crate) fn render_query_tree(query_id: u64, mut spans: Vec<Span>) -> String {
+    if spans.is_empty() {
+        return format!("no spans recorded for q{query_id}");
+    }
+    spans.sort_by_key(|s| s.id);
+    let ids: HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    let mut roots: Vec<&Span> = Vec::new();
+    for s in &spans {
+        // Spans whose parent was evicted render at top level rather than
+        // disappearing.
+        if s.parent == 0 || !ids.contains(&s.parent) {
+            roots.push(s);
+        } else {
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+    let mut out = format!("trace q{query_id} spans={}", spans.len());
+    let mut stack: Vec<(&Span, usize)> = roots.iter().rev().map(|s| (*s, 0)).collect();
+    while let Some((span, depth)) = stack.pop() {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&span.render());
+        if let Some(kids) = children.get(&span.id) {
+            for kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    // Per-shard attribution: executor-side work only. Queue wait is not
+    // shard work, and engine phases are inside their exec span already.
+    let mut per_shard: BTreeMap<u16, u64> = BTreeMap::new();
+    for s in &spans {
+        if matches!(
+            s.kind,
+            SpanKind::ShardExec
+                | SpanKind::SgExport
+                | SpanKind::SgInstall
+                | SpanKind::SgGather
+                | SpanKind::WalGroupFsync
+        ) {
+            *per_shard.entry(s.shard).or_insert(0) += s.elapsed_us;
+        }
+    }
+    if !per_shard.is_empty() {
+        out.push_str("\nshard_us");
+        for (shard, us) in &per_shard {
+            out.push_str(&format!(" shard{shard}={us}"));
+        }
+    }
+    if let Some(root) = spans
+        .iter()
+        .find(|s| s.parent == 0 && s.kind == SpanKind::Command)
+    {
+        out.push_str(&format!("\ntotal_us {}", root.elapsed_us));
+    }
+    out
 }
 
 /// Render a resolved placement for error messages: `a=shard0, b=shard2`.
@@ -694,6 +1072,7 @@ fn sum_checkpoints(bodies: &[String]) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use etypes::next_span_id;
 
     #[test]
     fn shard_of_is_stable_and_bounded() {
@@ -738,5 +1117,69 @@ mod tests {
         stats.queue_depth.fetch_add(2, Ordering::Relaxed);
         stats.dec_queue_depth();
         assert_eq!(stats.queue_depth.load(Ordering::Relaxed), 1);
+    }
+
+    fn span(id: u64, parent: u64, qid: u64, kind: SpanKind, shard: u16, us: u64) -> Span {
+        Span {
+            seq: id,
+            id,
+            parent,
+            query_id: qid,
+            kind,
+            shard,
+            name: "QUERY".into(),
+            detail: String::new(),
+            elapsed_us: us,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn recent_roots_lists_only_roots_newest_first() {
+        let spans = vec![
+            span(1, 0, 1, SpanKind::Command, 0, 100),
+            span(2, 1, 1, SpanKind::ShardExec, 0, 80),
+            span(3, 0, 2, SpanKind::Command, 0, 50),
+        ];
+        let body = render_recent_roots(spans, 10);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "{body}");
+        assert!(lines[0].contains("qid=q2"), "{body}");
+        assert!(lines[1].contains("qid=q1"), "{body}");
+        assert_eq!(render_recent_roots(Vec::new(), 10), "no spans recorded");
+    }
+
+    #[test]
+    fn query_tree_renders_hierarchy_and_shard_attribution() {
+        let spans = vec![
+            span(1, 0, 7, SpanKind::Command, 1, 500),
+            span(2, 1, 7, SpanKind::Router, 1, 10),
+            span(3, 1, 7, SpanKind::SgExport, 2, 40),
+            span(4, 1, 7, SpanKind::SgGather, 1, 300),
+            span(5, 4, 7, SpanKind::EnginePhase, 1, 200),
+        ];
+        let body = render_query_tree(7, spans);
+        assert!(body.starts_with("trace q7 spans=5"), "{body}");
+        let lines: Vec<&str> = body.lines().collect();
+        // The root is unindented, its children one level in, the phase two.
+        assert!(lines[1].starts_with("span "), "{body}");
+        assert!(lines[2].starts_with("  span "), "{body}");
+        let phase_line = lines.iter().find(|l| l.contains("engine-phase")).unwrap();
+        assert!(phase_line.starts_with("    span "), "{body}");
+        // Shard attribution: exec kinds only, engine phases excluded.
+        assert!(body.contains("shard_us shard1=300 shard2=40"), "{body}");
+        assert!(body.contains("total_us 500"), "{body}");
+        assert_eq!(render_query_tree(9, Vec::new()), "no spans recorded for q9");
+    }
+
+    #[test]
+    fn query_tree_keeps_orphans_visible() {
+        // Parent 99 is not in the set (evicted): the child renders at top
+        // level instead of vanishing.
+        let spans = vec![span(5, 99, 3, SpanKind::ShardExec, 0, 10)];
+        let body = render_query_tree(3, spans);
+        assert!(body.contains("spans=1"), "{body}");
+        assert!(body.lines().nth(1).unwrap().starts_with("span "), "{body}");
+        let _ = next_span_id();
     }
 }

@@ -1,0 +1,314 @@
+//! Exposition parity: the `/metrics` listener and the `STATS` verb are two
+//! renderings of the SAME registry, so every key STATS prints must appear
+//! on `/metrics` with the identical value (modulo the documented naming
+//! map). The scrape runs FIRST and the STATS render counts itself only
+//! after rendering, so the two snapshots are directly comparable on a
+//! quiesced server.
+//!
+//! Also covers exposition well-formedness (families contiguous under one
+//! `# TYPE` each), per-shard labels on a 4-shard server, and the tiny HTTP
+//! surface (404 / 405 / scrape counter).
+
+use elephant_server::{shard_of, start, ElephantClient, ServerConfig};
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+/// Plain HTTP/1.1 GET; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nAccept: */*\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status = head.lines().next().unwrap().to_string();
+    let content_type = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Type: "))
+        .unwrap_or("")
+        .to_string();
+    (status, content_type, body.to_string())
+}
+
+/// One parsed exposition sample: (family-qualified name, raw labels, value).
+struct Sample {
+    name: String,
+    labels: String,
+    value: String,
+}
+
+fn parse_exposition(body: &str) -> Vec<Sample> {
+    body.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| {
+            let (ident, value) = l
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("bad line: {l}"));
+            let (name, labels) = match ident.split_once('{') {
+                Some((n, rest)) => (n.to_string(), format!("{{{rest}")),
+                None => (ident.to_string(), String::new()),
+            };
+            Sample {
+                name,
+                labels,
+                value: value.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Map a STATS key to its candidate Prometheus family names (without the
+/// `elephant_` prefix). See docs/OBSERVABILITY.md for the naming map.
+fn prom_candidates(key: &str) -> Vec<String> {
+    let mapped = if key == "build_version" {
+        "build".to_string()
+    } else if let Some(rest) = key.strip_prefix("shard").and_then(|r| {
+        // `shard<k>.<field>` only; `shards`/`shard_fallbacks` pass through.
+        r.split_once('.')
+            .filter(|(k, _)| k.chars().all(|c| c.is_ascii_digit()))
+            .map(|(_, field)| field)
+    }) {
+        format!("shard_{rest}")
+    } else if key.starts_with("plan_cache_invalidations.") {
+        "plan_cache_table_invalidations".to_string()
+    } else {
+        key.to_string()
+    };
+    let mut cands = vec![mapped.clone()];
+    // Histogram totals export under the conventional `_sum` suffix.
+    if let Some(stem) = mapped.strip_suffix("_total_us") {
+        cands.push(format!("{stem}_sum"));
+    }
+    cands
+}
+
+#[test]
+fn every_stats_key_is_on_the_metrics_endpoint_with_the_same_value() {
+    const SHARDS: usize = 4;
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("elephant-metrics-parity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig {
+        shards: SHARDS,
+        data_dir: Some(dir.clone()),
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let metrics_addr = handle.metrics_addr().expect("metrics listener bound");
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+
+    // A workload that lights up most families: DDL/DML on two shards, a
+    // scatter-gather join, plan cache traffic with an invalidation, a mode
+    // switch, an error, and a TRACE.
+    let names: Vec<String> = (0..32).map(|i| format!("t{i}")).collect();
+    let a = names[0].clone();
+    let b = names
+        .iter()
+        .find(|n| shard_of(n, SHARDS) != shard_of(&a, SHARDS))
+        .unwrap()
+        .clone();
+    c.query_raw(&format!("CREATE TABLE {a} (x int)")).unwrap();
+    c.query_raw(&format!("CREATE TABLE {b} (x int)")).unwrap();
+    c.query_raw(&format!("INSERT INTO {a} VALUES (1), (2)"))
+        .unwrap();
+    c.query_raw(&format!("INSERT INTO {b} VALUES (2), (3)"))
+        .unwrap();
+    c.query_raw(&format!(
+        "SELECT count(*) AS n FROM {a} INNER JOIN {b} ON {a}.x = {b}.x"
+    ))
+    .unwrap();
+    c.prepare("p", &format!("SELECT sum(x) AS s FROM {a}"))
+        .unwrap();
+    c.execute("p").unwrap();
+    // A scratch table pinned to shard 0 (the shard STATS reads engine
+    // counters from): DROP after PREPARE drives the targeted per-table
+    // plan-cache invalidation counter.
+    let scratch = names
+        .iter()
+        .find(|n| shard_of(n, SHARDS) == 0 && **n != a && **n != b)
+        .unwrap()
+        .clone();
+    c.query_raw(&format!("CREATE TABLE {scratch} (y int)"))
+        .unwrap();
+    c.prepare("stale", &format!("SELECT count(*) AS n FROM {scratch}"))
+        .unwrap();
+    c.query_raw(&format!("DROP TABLE {scratch}")).unwrap();
+    assert_eq!(
+        c.send("SET exec_mode columnar").unwrap(),
+        "set exec_mode columnar"
+    );
+    c.query_raw(&format!("SELECT x FROM {a} ORDER BY x"))
+        .unwrap();
+    let _ = c.query_raw("SELECT nope FROM missing_table").unwrap_err();
+    c.trace(Some(5)).unwrap();
+
+    // Scrape FIRST (the scrape counter increments before collection, the
+    // STATS render counts itself after rendering: both snapshots agree).
+    let (status, content_type, prom) = http_get(metrics_addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(content_type.contains("version=0.0.4"), "{content_type}");
+    let stats = c.stats().unwrap();
+
+    let samples = parse_exposition(&prom);
+    let mut missing: Vec<String> = Vec::new();
+    for line in stats.lines() {
+        let (key, value) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("bad STATS line: {line}"));
+        // Wall-clock seconds tick between the two renders; open spans are
+        // a race against the in-flight STATS command itself.
+        if key == "uptime_s" || key.ends_with("trace_spans_open") {
+            continue;
+        }
+        let matched = prom_candidates(key).iter().any(|cand| {
+            let numeric = format!("elephant_{cand}");
+            let info = format!("elephant_{cand}_info");
+            let value_label = format!("value=\"{value}\"");
+            samples.iter().any(|s| {
+                (s.name == numeric && s.value == value)
+                    || (s.name == info && s.labels.contains(&value_label))
+            })
+        });
+        if !matched {
+            missing.push(format!("{key} {value}"));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "STATS keys absent (or with different values) on /metrics:\n{}\n\n--- STATS ---\n{stats}\n--- /metrics ---\n{prom}",
+        missing.join("\n")
+    );
+
+    // The workload's counters really are live on the exposition (guards
+    // against a parity pass on an all-zero registry).
+    let sample = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing {name} in:\n{prom}"))
+    };
+    assert!(
+        sample("elephant_commands_served")
+            .value
+            .parse::<u64>()
+            .unwrap()
+            >= 12
+    );
+    assert_eq!(sample("elephant_shard_scatter_gather").value, "1");
+    assert!(sample("elephant_exec_errors").value.parse::<u64>().unwrap() >= 1);
+    assert!(prom.contains("elephant_latency_bucket{le=\""), "{prom}");
+    assert!(
+        prom.contains("elephant_plan_cache_table_invalidations{"),
+        "{prom}"
+    );
+
+    // 4-shard labels: every shard reports its gauges.
+    for k in 0..SHARDS {
+        let want = format!("{{shard=\"{k}\"}}");
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "elephant_shard_commands" && s.labels == want),
+            "missing shard_commands for shard {k}:\n{prom}"
+        );
+    }
+
+    // Well-formedness: one `# TYPE` per family, all family samples
+    // contiguous directly under it, every sample prefixed `elephant_`.
+    let mut seen_types: HashSet<&str> = HashSet::new();
+    let mut current: Option<(&str, &str)> = None; // (family, kind)
+    for line in prom.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest.split_once(' ').unwrap();
+            assert!(seen_types.insert(family), "duplicate # TYPE for {family}");
+            current = Some((family, kind));
+        } else if !line.is_empty() {
+            let (family, kind) = current.expect("sample before any # TYPE");
+            assert!(line.starts_with("elephant_"), "unprefixed sample: {line}");
+            let ident = line.split([' ', '{']).next().unwrap();
+            let member = match kind {
+                "histogram" => {
+                    ident == format!("{family}_bucket")
+                        || ident == format!("{family}_sum")
+                        || ident == format!("{family}_count")
+                }
+                _ => ident == family,
+            };
+            assert!(member, "sample {ident} not in family {family} ({kind})");
+        }
+    }
+    // Histogram buckets are cumulative and capped by their _count.
+    let mut last_cumulative: HashMap<String, u64> = HashMap::new();
+    for s in &samples {
+        if s.name == "elephant_latency_bucket" {
+            let v: u64 = s.value.parse().unwrap();
+            let prev = last_cumulative.entry(s.name.clone()).or_insert(0);
+            assert!(v >= *prev, "bucket series not cumulative:\n{prom}");
+            *prev = v;
+        }
+    }
+    assert_eq!(
+        last_cumulative["elephant_latency_bucket"],
+        sample("elephant_latency_count")
+            .value
+            .parse::<u64>()
+            .unwrap(),
+        "+Inf bucket must equal _count"
+    );
+
+    // The tiny HTTP surface.
+    let (status, _, body) = http_get(metrics_addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("/metrics"), "{body}");
+
+    // Scrapes count themselves: the next exposition reports both scrapes
+    // that came before it (parity scrape + 404 probe hits /nope, so just
+    // the one) plus itself.
+    let (_, _, prom2) = http_get(metrics_addr, "/metrics");
+    let scrapes: u64 = parse_exposition(&prom2)
+        .iter()
+        .find(|s| s.name == "elephant_metrics_scrapes")
+        .unwrap()
+        .value
+        .parse()
+        .unwrap();
+    assert_eq!(scrapes, 2, "{prom2}");
+
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Non-GET requests are refused without crashing the listener.
+#[test]
+fn metrics_listener_rejects_non_get_and_survives() {
+    let handle = start(ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let metrics_addr = handle.metrics_addr().unwrap();
+
+    let mut s = TcpStream::connect(metrics_addr).unwrap();
+    write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+
+    // The listener still serves after the bad request.
+    let (status, _, body) = http_get(metrics_addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("elephant_uptime_s"), "{body}");
+
+    let mut c = ElephantClient::connect(handle.local_addr()).unwrap();
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+}

@@ -5,7 +5,9 @@
 //! so adding a protocol verb refuses to compile until it is wired into a
 //! counter and into this test.
 
-use elephant_server::{shard_of, start, ClientError, Command, ElephantClient, ServerConfig};
+use elephant_server::{
+    shard_of, start, ClientError, Command, ElephantClient, ServerConfig, TraceRequest,
+};
 use std::path::PathBuf;
 
 /// The `STATS` key that must account for each verb. Exhaustive on purpose
@@ -162,7 +164,8 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
             },
             "explains",
         ),
-        (Command::Trace(5), "traces"),
+        (Command::Trace(TraceRequest::Recent(5)), "traces"),
+        (Command::Trace(TraceRequest::Tree(3)), "traces"),
         (
             Command::Inspect {
                 columns: vec!["age_group".into()],

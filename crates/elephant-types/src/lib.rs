@@ -23,5 +23,8 @@ pub use csv::{read_csv, read_csv_str, write_csv, CsvOptions, CsvTable};
 pub use datatype::DataType;
 pub use error::{Error, Result};
 pub use rng::Prng;
-pub use span::{bucket_index, Histogram, Span, SpanRing, HIST_BUCKETS};
+pub use span::{
+    bucket_index, next_span_id, Histogram, SharedSpanRing, Span, SpanKind, SpanRecord, SpanRing,
+    TraceContext, HIST_BUCKETS,
+};
 pub use value::Value;

@@ -364,6 +364,19 @@ impl Engine {
         self.trace.reset();
     }
 
+    /// Install (or clear) the distributed-trace correlation context for the
+    /// next command; while set, each phase sample is also captured per
+    /// statement for the server's span tree.
+    pub fn set_trace_context(&mut self, ctx: Option<etypes::TraceContext>) {
+        self.trace.set_context(ctx);
+    }
+
+    /// Drain the `(phase, µs)` samples captured since the trace context was
+    /// installed.
+    pub fn take_phase_spans(&mut self) -> Vec<(crate::trace::Phase, u64)> {
+        self.trace.take_statement_spans()
+    }
+
     /// Capture a per-operator [`QueryProfile`] for every query from now on
     /// (slow-query logging); `EXPLAIN ANALYZE` captures one regardless.
     pub fn set_capture_profiles(&mut self, on: bool) {

@@ -8,7 +8,7 @@
 //! node) and therefore opt-in: it only runs under `EXPLAIN ANALYZE`,
 //! [`crate::Engine::query_profiled`], or when slow-query capture is enabled.
 
-use etypes::Histogram;
+use etypes::{Histogram, TraceContext};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -70,17 +70,30 @@ impl Phase {
 }
 
 /// Accumulated per-phase timing for one engine.
+///
+/// When a [`TraceContext`] is installed (the server sets one per served
+/// command), each phase sample is additionally captured as a per-statement
+/// `(Phase, µs)` pair so the executor can attach engine-phase spans to the
+/// command's distributed span tree.
 #[derive(Debug, Clone)]
 pub struct EngineTrace {
     enabled: bool,
     phases: [Histogram; Phase::ALL.len()],
+    ctx: Option<TraceContext>,
+    statement_spans: Vec<(Phase, u64)>,
 }
+
+/// Cap on captured per-statement phase samples (a multi-statement script
+/// records several samples per phase; the tree stays bounded).
+const MAX_STATEMENT_SPANS: usize = 64;
 
 impl Default for EngineTrace {
     fn default() -> Self {
         EngineTrace {
             enabled: true,
             phases: Default::default(),
+            ctx: None,
+            statement_spans: Vec::new(),
         }
     }
 }
@@ -111,7 +124,9 @@ impl EngineTrace {
     #[inline]
     pub fn record(&mut self, phase: Phase, timer: Option<Instant>) {
         if let Some(t) = timer {
-            self.phases[phase.index()].record(t.elapsed());
+            let us = t.elapsed().as_micros() as u64;
+            self.phases[phase.index()].record_us(us);
+            self.capture(phase, us);
         }
     }
 
@@ -120,7 +135,9 @@ impl EngineTrace {
     #[inline]
     pub fn record_duration(&mut self, phase: Phase, d: Duration) {
         if self.enabled {
-            self.phases[phase.index()].record(d);
+            let us = d.as_micros() as u64;
+            self.phases[phase.index()].record_us(us);
+            self.capture(phase, us);
         }
     }
 
@@ -129,7 +146,32 @@ impl EngineTrace {
     pub fn record_us(&mut self, phase: Phase, us: u64) {
         if self.enabled {
             self.phases[phase.index()].record_us(us);
+            self.capture(phase, us);
         }
+    }
+
+    #[inline]
+    fn capture(&mut self, phase: Phase, us: u64) {
+        if self.ctx.is_some() && self.statement_spans.len() < MAX_STATEMENT_SPANS {
+            self.statement_spans.push((phase, us));
+        }
+    }
+
+    /// Install (or clear) the correlation context for the next command.
+    /// Installing a context resets the per-statement capture buffer.
+    pub fn set_context(&mut self, ctx: Option<TraceContext>) {
+        self.ctx = ctx;
+        self.statement_spans.clear();
+    }
+
+    /// The currently installed correlation context.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+
+    /// Drain the phase samples captured since the context was installed.
+    pub fn take_statement_spans(&mut self) -> Vec<(Phase, u64)> {
+        std::mem::take(&mut self.statement_spans)
     }
 
     /// The histogram of one phase.

@@ -16,6 +16,13 @@
 //! commits as a group, and `STATS wal_commits_per_fsync` must exceed 1 —
 //! i.e. one fsync acknowledges several writes.
 //!
+//! **Part 3 — 2PC overhead.** The distributed-transaction subsystem (the
+//! coordinator, the decision log, the consistent-cut gate) must be free
+//! for writes that never cross shards: the same storm against tables all
+//! owned by ONE shard of a four-shard server may run at most
+//! [`MAX_2PC_OVERHEAD`]× slower than against a single-shard server, where
+//! the router short-circuits before any of that machinery.
+//!
 //! Writes `BENCH_shard.json` at the workspace root; exits non-zero when a
 //! gate fails.
 
@@ -29,6 +36,10 @@ use std::time::Instant;
 /// Four shards must beat one shard by at least this factor on the
 /// latency-bound write storm.
 const MIN_SCALING: f64 = 2.0;
+
+/// Single-shard writes on a multi-shard server (2PC machinery present but
+/// bypassed) may cost at most this factor over a one-shard server.
+const MAX_2PC_OVERHEAD: f64 = 1.05;
 
 const WRITERS: usize = 8;
 const STMTS_PER_WRITER: usize = 40;
@@ -173,6 +184,22 @@ fn group_commit_storm(tables: &[String]) -> (u64, f64, f64) {
     (group_commits, per_fsync, fsyncs_per_stmt)
 }
 
+/// Eight table names that all hash to shard 0 of four: on the four-shard
+/// server every write is single-shard, exercising resolve + routing with
+/// the transaction subsystem compiled in but never entered.
+fn colocated_tables() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while out.len() < WRITERS {
+        let name = format!("ct{i}");
+        if shard_of(&name, 4) == 0 {
+            out.push(name);
+        }
+        i += 1;
+    }
+    out
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let tables = tables();
@@ -216,6 +243,23 @@ fn main() {
         gate_failed = true;
     }
 
+    println!(
+        "== shard: 2PC overhead on single-shard writes (co-located tables, \
+         {APPEND_DELAY_US} us injected append latency) =="
+    );
+    let colocated = colocated_tables();
+    // Best of two per configuration, same as the scaling storm.
+    let base = storm_throughput(1, &colocated).max(storm_throughput(1, &colocated));
+    let routed = storm_throughput(4, &colocated).max(storm_throughput(4, &colocated));
+    let overhead = base / routed;
+    println!(
+        "1-shard {base:>9.0} stmts/s  4-shard(one hot) {routed:>9.0} stmts/s  \
+         overhead {overhead:.3}x (gate <= {MAX_2PC_OVERHEAD}x)"
+    );
+    if overhead > MAX_2PC_OVERHEAD {
+        gate_failed = true;
+    }
+
     let thr_json: Vec<String> = throughput
         .iter()
         .map(|(s, t)| format!("    {{ \"shards\": {s}, \"stmts_per_sec\": {t:.1} }}"))
@@ -230,7 +274,12 @@ fn main() {
          \"statements\": {},\n    \"wal_group_commits\": {group_commits},\n    \
          \"wal_commits_per_fsync\": {per_fsync:.3},\n    \
          \"fsyncs_per_statement\": {fsyncs_per_stmt:.4},\n    \
-         \"gate\": \"wal_commits_per_fsync > 1.0\"\n  }}\n}}\n",
+         \"gate\": \"wal_commits_per_fsync > 1.0\"\n  }},\n  \
+         \"txn_overhead\": {{\n    \
+         \"single_shard_stmts_per_sec\": {base:.1},\n    \
+         \"four_shard_pinned_stmts_per_sec\": {routed:.1},\n    \
+         \"overhead_ratio\": {overhead:.4},\n    \
+         \"gate\": \"overhead_ratio <= {MAX_2PC_OVERHEAD}\"\n  }}\n}}\n",
         thr_json.join(",\n"),
         WRITERS * GC_STMTS_PER_WRITER,
     );
@@ -245,7 +294,8 @@ fn main() {
     if gate_failed {
         eprintln!(
             "FAIL: sharded write path missed a gate \
-             (scaling {scaling:.2}x, commits/fsync {per_fsync:.2})"
+             (scaling {scaling:.2}x, commits/fsync {per_fsync:.2}, \
+             2pc overhead {overhead:.3}x)"
         );
         std::process::exit(1);
     }

@@ -73,6 +73,41 @@ pub(crate) enum Job {
         ctx: Option<TraceContext>,
         /// When the router admitted the job (measures queue wait).
         enqueued: Instant,
+        /// Whether this job counts into the per-verb counters and latency
+        /// histograms. Broadcast verbs (`SET`, `CHECKPOINT`) fan one client
+        /// command out to every shard; only the shard-0 leg carries `true`,
+        /// so one command counts once no matter the shard count.
+        counted: bool,
+    },
+    /// This shard's slice of a cross-shard two-phase commit. The executor
+    /// runs it strictly *outside* the batch commit group (a failed group
+    /// fsync rolls the whole window's bytes back out of the WAL, which
+    /// must never cut out an acknowledged `PREPARE` frame): it prepares
+    /// the slice, acks on `prepared`, then blocks on `decision` for the
+    /// coordinator's verdict and applies commit/abort before taking the
+    /// next job — no other job can observe a prepared-but-undecided
+    /// engine.
+    Txn {
+        /// Originating session id (selects the session's exec mode).
+        session: u64,
+        /// Coordinator-issued transaction id (unique across restarts).
+        txn_id: u64,
+        /// This shard's statements of the transaction, `;`-joined.
+        sql: String,
+        /// Prepare outcome: rows affected, or the classified error (the
+        /// engine has already unwound its memory on `Err`).
+        prepared: mpsc::Sender<Result<usize, (&'static str, String)>>,
+        /// The coordinator's verdict: `true` commits, `false` aborts. A
+        /// dropped sender reads as abort — the coordinator sends the
+        /// verdict on the same call stack that durably logs it, so a
+        /// missing verdict means no commit decision was ever logged.
+        decision: mpsc::Receiver<bool>,
+        /// Outcome of applying the verdict (commit/abort marker append).
+        done: mpsc::Sender<Result<(), (&'static str, String)>>,
+        /// Correlation ids of the router's root span, when tracing.
+        ctx: Option<TraceContext>,
+        /// When the router admitted the job (measures queue wait).
+        enqueued: Instant,
     },
     /// A session disconnected: drop its prepared statements.
     CloseSession {
@@ -175,6 +210,10 @@ pub(crate) struct ExecutorConfig {
     pub lane: Arc<ShardStats>,
     /// Span ring shared with the router (the `TRACE` reader).
     pub ring: Arc<SharedSpanRing>,
+    /// The coordinator's recorded 2PC verdicts, from the decision log.
+    /// Recovery resolves any in-doubt prepared group against this map
+    /// (commit verdict → apply, otherwise presumed abort).
+    pub txn_decisions: HashMap<u64, bool>,
 }
 
 /// Upper bound on one batch drained into a single commit group. Bounds
@@ -216,6 +255,9 @@ struct DeferredReply {
     epoch: u64,
     /// Span bookkeeping; `None` for untraced jobs (legacy single-span path).
     trace: Option<DeferredTrace>,
+    /// Whether this job counts into per-verb counters and latency
+    /// histograms (false for the non-primary legs of a broadcast).
+    counted: bool,
 }
 
 /// Spawn one shard's executor thread; returns the job sender, the join
@@ -248,7 +290,12 @@ pub(crate) fn spawn(
                 EngineProfile::disk_based()
             };
             let engine = match &cfg.data_dir {
-                Some(dir) => Engine::open_durable(profile, dir, cfg.fsync),
+                Some(dir) => Engine::open_durable_with_decisions(
+                    profile,
+                    dir,
+                    cfg.fsync,
+                    cfg.txn_decisions.clone(),
+                ),
                 None => Ok(Engine::new(profile)),
             };
             let mut engine = match engine {
@@ -298,12 +345,32 @@ pub(crate) fn spawn(
             }
             // Batch-at-a-time service loop: block for one job, drain up to
             // GROUP_MAX more without blocking, run the batch inside one
-            // commit group, then release the buffered replies.
-            while let Ok(first) = rx.recv() {
+            // commit group, then release the buffered replies. 2PC jobs
+            // never join a batch: a prepare acked inside a group-commit
+            // window could be cut back out by the window's whole-batch
+            // rollback, so a drained `Txn` closes the batch early and runs
+            // alone once the batch's replies are released.
+            let mut carried: Option<Job> = None;
+            loop {
+                let first = match carried.take() {
+                    Some(job) => job,
+                    None => match rx.recv() {
+                        Ok(job) => job,
+                        Err(_) => break,
+                    },
+                };
+                if matches!(first, Job::Txn { .. }) {
+                    state.handle_txn(first);
+                    continue;
+                }
                 let mut batch = Vec::with_capacity(GROUP_MAX);
                 batch.push(first);
                 while batch.len() < GROUP_MAX {
                     match rx.try_recv() {
+                        Ok(job @ Job::Txn { .. }) => {
+                            carried = Some(job);
+                            break;
+                        }
                         Ok(job) => batch.push(job),
                         Err(_) => break,
                     }
@@ -318,6 +385,7 @@ pub(crate) fn spawn(
                             reply,
                             ctx,
                             enqueued,
+                            counted,
                         } => {
                             // Only client-facing jobs were counted into the
                             // gauges; decrementing for CloseSession/Repl
@@ -343,7 +411,11 @@ pub(crate) fn spawn(
                                 grew: state.engine.group_pending() > pending_before,
                                 epoch,
                                 trace,
+                                counted,
                             });
+                        }
+                        Job::Txn { .. } => {
+                            unreachable!("Txn jobs close the batch before joining it")
                         }
                         Job::CloseSession { session } => state.close_session(session),
                         Job::Repl { op, reply } => {
@@ -406,6 +478,7 @@ pub(crate) fn spawn(
                                 grew: false,
                                 epoch,
                                 trace,
+                                counted: true,
                             });
                         }
                         Job::ShardInfo { reply } => {
@@ -436,9 +509,15 @@ pub(crate) fn spawn(
                             d.result = Err((code, msg.clone()));
                         }
                     }
-                    state.metrics.record_latency(d.verb, d.elapsed);
+                    if d.counted {
+                        state.metrics.record_latency(d.verb, d.elapsed);
+                    }
                     match &d.result {
-                        Ok(_) => state.metrics.count_verb(d.verb),
+                        Ok(_) => {
+                            if d.counted {
+                                state.metrics.count_verb(d.verb);
+                            }
+                        }
                         Err(_) => {
                             state.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
                         }
@@ -971,6 +1050,122 @@ impl ExecutorState {
         (result, install_us)
     }
 
+    /// Participant side of one cross-shard transaction: prepare this
+    /// shard's slice (durable `PREPARE` frame), ack the coordinator, then
+    /// block for its verdict and apply commit/abort. Runs strictly outside
+    /// the batch commit group, and blocks the executor thread while the
+    /// engine is prepared-but-undecided — so single-shard traffic can never
+    /// observe half of a transaction. Verb counting happens at the router
+    /// (one client command, N participant jobs).
+    fn handle_txn(&mut self, job: Job) {
+        let Job::Txn {
+            session,
+            txn_id,
+            sql,
+            prepared,
+            decision,
+            done,
+            ctx,
+            enqueued,
+        } = job
+        else {
+            return;
+        };
+        self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.lane.dec_queue_depth();
+        self.lane.commands.fetch_add(1, Ordering::Relaxed);
+        let wait_us = enqueued.elapsed().as_micros() as u64;
+        let mode = self
+            .session_modes
+            .get(&session)
+            .copied()
+            .unwrap_or(self.default_exec_mode);
+        self.engine.set_exec_mode(mode);
+        let trace = self.install_context(ctx, SpanKind::TxnPrepare, wait_us);
+        let started = Instant::now();
+        let result = self
+            .engine
+            .prepare_txn(txn_id, &sql)
+            .map_err(|e| self.classify(e));
+        let trace = self.collect_phases(trace);
+        self.engine.set_trace_context(None);
+        let ok = result.is_ok();
+        if let Some(t) = &trace {
+            self.ring.record(SpanRecord::child(
+                t.ctx,
+                SpanKind::QueueWait,
+                self.shard_id,
+                "queue-wait",
+                "",
+                t.wait_us,
+                true,
+            ));
+            self.ring.record(SpanRecord {
+                id: t.exec_id,
+                parent: t.ctx.parent_span,
+                query_id: t.ctx.query_id,
+                kind: SpanKind::TxnPrepare,
+                shard: self.shard_id,
+                name: "PREPARE".to_string(),
+                detail: format!("txn={txn_id} {sql}"),
+                elapsed_us: started.elapsed().as_micros() as u64,
+                ok,
+            });
+            let exec_ctx = TraceContext {
+                query_id: t.ctx.query_id,
+                parent_span: t.exec_id,
+            };
+            for (phase, pus) in &t.phases {
+                self.ring.record(SpanRecord::child(
+                    exec_ctx,
+                    SpanKind::EnginePhase,
+                    self.shard_id,
+                    phase.name(),
+                    "",
+                    *pus,
+                    true,
+                ));
+            }
+        }
+        if prepared.send(result).is_err() {
+            // The coordinator died before taking the ack. No commit
+            // decision can have been logged for this transaction, so the
+            // presumed-abort unwind is safe.
+            if ok {
+                let _ = self.engine.abort_prepared(txn_id);
+            }
+            return;
+        }
+        if !ok {
+            // Prepare failed; the engine already unwound and nothing is
+            // staged on disk. The coordinator will decide abort.
+            return;
+        }
+        // Block for the verdict. A dropped sender means the coordinator
+        // died before deciding (it sends on the same call stack that logs
+        // the decision), so presumed abort applies.
+        let verdict = decision.recv().unwrap_or(false);
+        let apply_started = Instant::now();
+        let outcome = if verdict {
+            self.engine.commit_prepared(txn_id)
+        } else {
+            self.engine.abort_prepared(txn_id)
+        }
+        .map_err(|e| self.classify(e));
+        if let Some(t) = &trace {
+            self.ring.record(SpanRecord::child(
+                t.ctx,
+                SpanKind::TxnCommit,
+                self.shard_id,
+                if verdict { "COMMIT" } else { "ABORT" },
+                &format!("txn={txn_id}"),
+                apply_started.elapsed().as_micros() as u64,
+                outcome.is_ok(),
+            ));
+        }
+        let _ = done.send(outcome);
+    }
+
     /// Health + WAL counters for composed `STATS`.
     fn shard_snapshot(&self) -> ShardSnapshot {
         let wal = self.engine.storage_stats().map(|s| s.wal);
@@ -1001,6 +1196,7 @@ mod tests {
             reply: rtx,
             ctx: None,
             enqueued: Instant::now(),
+            counted: true,
         })
         .expect("executor alive");
         rrx.recv().expect("reply")
@@ -1025,6 +1221,7 @@ mod tests {
                 shard_id: 0,
                 lane: Arc::new(ShardStats::default()),
                 ring: Arc::new(SharedSpanRing::new(64)),
+                txn_decisions: HashMap::new(),
             },
             Arc::clone(metrics),
             Arc::clone(shutdown),
@@ -1158,6 +1355,7 @@ mod tests {
                 shard_id: 3,
                 lane: Arc::new(ShardStats::default()),
                 ring: Arc::clone(&ring),
+                txn_decisions: HashMap::new(),
             },
             Arc::clone(&metrics),
             Arc::clone(&shutdown),
@@ -1177,6 +1375,7 @@ mod tests {
             reply: rtx,
             ctx: Some(ctx),
             enqueued: Instant::now(),
+            counted: true,
         })
         .unwrap();
         rrx.recv().unwrap().unwrap();
@@ -1223,6 +1422,7 @@ mod tests {
             shard_id: 0,
             lane: Arc::new(ShardStats::default()),
             ring: Arc::new(SharedSpanRing::new(64)),
+            txn_decisions: HashMap::new(),
         };
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));

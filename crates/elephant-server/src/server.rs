@@ -8,7 +8,8 @@ use crate::session::run_session;
 use crate::shard::{Lane, ShardRouter, ShardStats};
 use elephant_repl::{follower, leader, FollowerConfig, FollowerStatus};
 use etypes::SharedSpanRing;
-use sqlengine::{ExecMode, FsyncPolicy};
+use sqlengine::{ExecMode, FsyncPolicy, TxnDecisionLog, TXN_LOG_FILE};
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -244,6 +245,24 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 
     let metrics = Arc::new(Metrics::default());
     let shutdown = Arc::new(AtomicBool::new(false));
+    // The coordinator's 2PC decision log lives at the top of the data
+    // directory (beside the per-shard subdirectories) and must be open
+    // BEFORE any shard recovers: each shard's recovery resolves in-doubt
+    // prepared groups against the replayed verdict map.
+    let txn_log = match &config.data_dir {
+        Some(dir) if config.shards > 1 => {
+            std::fs::create_dir_all(dir)?;
+            Some(
+                TxnDecisionLog::open(&dir.join(TXN_LOG_FILE))
+                    .map_err(|e| io::Error::other(format!("txn decision log: {e}")))?,
+            )
+        }
+        _ => None,
+    };
+    let txn_decisions: HashMap<u64, bool> = txn_log
+        .as_ref()
+        .map(TxnDecisionLog::decisions)
+        .unwrap_or_default();
     // One executor (engine + WAL directory) per shard. With one shard the
     // layout is unchanged from pre-sharding servers — existing data dirs
     // keep working; with more, each shard gets its own subdirectory.
@@ -278,24 +297,26 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                 shard_id,
                 lane: Arc::clone(&lane_stats),
                 ring: Arc::clone(&ring),
+                txn_decisions: txn_decisions.clone(),
             },
             Arc::clone(&metrics),
             Arc::clone(&shutdown),
         )?;
         if shard_id == 0 {
             // Replication (shards == 1 only) ships shard 0's WAL.
-            wal_handle = wal;
+            wal_handle = wal.clone();
         }
         lanes.push(Lane {
             tx,
             stats: lane_stats,
             ring,
+            wal,
         });
         executor_joins.push(join);
         recovered_per_shard.push(recovered);
     }
     let tx = lanes[0].tx.clone();
-    let router = Arc::new(ShardRouter::new(lanes, Arc::clone(&metrics)));
+    let router = Arc::new(ShardRouter::new(lanes, Arc::clone(&metrics), txn_log));
     for (shard_id, names) in recovered_per_shard.into_iter().enumerate() {
         router.seed(shard_id, &names);
     }

@@ -19,12 +19,24 @@
 //!   drops them again. Results are byte-identical to a single-shard server
 //!   because one engine executes the complete plan over identical tables
 //!   (ctids included).
-//! * **Writes** spanning several shards are refused with the typed
-//!   [`codes::CROSS_SHARD`] error — there is no distributed transaction
-//!   (yet; see `docs/SHARDING.md` for the follow-up).
+//! * **Writes** spanning several shards run as a distributed transaction:
+//!   the router splits the script per statement, becomes the two-phase-
+//!   commit coordinator (each participant shard durably stages a `PREPARE`
+//!   frame, the router fsyncs the commit verdict into the `txn.log`
+//!   decision log, then every participant applies), and acknowledges only
+//!   after the verdict is durable. A single *statement* whose tables live
+//!   on several shards is still refused with [`codes::CROSS_SHARD`] — the
+//!   transaction splits at statement boundaries. See `docs/TXN.md`.
 //! * SQL the router cannot parse falls back to shard 0 (the coordinator
 //!   shard), counted in `shard_fallbacks`, where the engine produces the
 //!   canonical error text.
+//!
+//! **Consistent read cut**: cross-shard writes take the router's
+//! transaction gate exclusively; scatter-gather reads take it shared. A
+//! multi-shard read therefore never overlaps a two-phase-commit window and
+//! observes every distributed transaction either on all shards or on none.
+//! The per-shard committed-LSN watermarks at gate acquisition (the cut
+//! vector) are recorded on the query's route span for observability.
 //!
 //! Sessions are shard-agnostic: every session talks to the router, which
 //! also owns admission control (bounded wait for a queue slot, then the
@@ -52,11 +64,11 @@ use crate::executor::{Job, Reply, ShardSnapshot};
 use crate::metrics::{render_prometheus, Metric, Metrics};
 use crate::protocol::{codes, Command, TraceRequest};
 use etypes::{SharedSpanRing, Span, SpanKind, SpanRecord, TraceContext};
-use sqlengine::{parse_sql, statement_deps, TableImage};
+use sqlengine::{parse_sql, statement_deps, TableImage, TxnDecisionLog, WalHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -111,6 +123,9 @@ pub(crate) struct Lane {
     /// Span ring shared with the executor thread (the router opens roots
     /// and answers `TRACE`; the executor records children).
     pub ring: Arc<SharedSpanRing>,
+    /// This shard's WAL handle (durable servers only): the router reads the
+    /// committed-LSN watermark off it to record consistent-cut vectors.
+    pub wal: Option<WalHandle>,
 }
 
 /// What the ownership map knows about a name.
@@ -154,6 +169,58 @@ enum OwnershipChange {
     Drop { name: String },
 }
 
+/// A cross-shard write script split per statement: each participant shard's
+/// slice (original statement order preserved within a shard) plus the
+/// ownership changes to apply if the transaction commits.
+struct TxnPlan {
+    per_shard: BTreeMap<usize, Vec<String>>,
+    changes: Vec<(usize, OwnershipChange)>,
+}
+
+/// The coordinator's channels to one admitted transaction participant.
+struct TxnLeg {
+    shard: usize,
+    /// Prepare ack: rows affected, or the participant's error.
+    prepared_rx: Receiver<Result<usize, (&'static str, String)>>,
+    /// The verdict channel; dropping it without sending reads as abort.
+    decision_tx: Sender<bool>,
+    /// Apply/unwind ack.
+    done_rx: Receiver<Result<(), (&'static str, String)>>,
+}
+
+/// Split a script at top-level `;` boundaries, respecting single- and
+/// double-quoted runs (a `''` escape inside a string toggles twice, which
+/// lands in the same state). Empty fragments (trailing `;`) are dropped.
+fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let (mut in_single, mut in_double) = (false, false);
+    for ch in sql.chars() {
+        match ch {
+            '\'' if !in_double => {
+                in_single = !in_single;
+                current.push(ch);
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                current.push(ch);
+            }
+            ';' if !in_single && !in_double => {
+                if !current.trim().is_empty() {
+                    out.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
 /// Routes commands from shard-agnostic sessions to shard-affine executors.
 pub(crate) struct ShardRouter {
     lanes: Vec<Lane>,
@@ -166,17 +233,42 @@ pub(crate) struct ShardRouter {
     fallbacks: AtomicU64,
     /// Cross-shard read-only queries answered via export + gather.
     scatter_gathers: AtomicU64,
-    /// Cross-shard writes refused with [`codes::CROSS_SHARD`].
+    /// Cross-shard statements refused with [`codes::CROSS_SHARD`] (a single
+    /// statement spanning shards, cross-shard view reads, multi-shard
+    /// PREPARE).
     cross_shard_rejects: AtomicU64,
+    /// Distributed transactions committed by this router.
+    txn_commits: AtomicU64,
+    /// Distributed transactions aborted (prepare failure, admission
+    /// failure, or decision-log failure).
+    txn_aborts: AtomicU64,
+    /// The coordinator's durable commit-decision log (`txn.log` beside the
+    /// shard directories). `None` on volatile servers: 2PC still runs its
+    /// prepare/decide/apply phases, there is just nothing to fsync.
+    txn_log: Option<Mutex<TxnDecisionLog>>,
+    /// Transaction-id allocator, seeded past the highest id the decision
+    /// log has seen so recovered decisions can never collide with new ones.
+    next_txn_id: AtomicU64,
+    /// The consistent-cut gate: two-phase commits hold it exclusively,
+    /// scatter-gather reads hold it shared. This is what makes cross-shard
+    /// reads all-or-none with respect to cross-shard writes.
+    txn_gate: RwLock<()>,
     /// Per-command query-id allocator (`q<N>` on the wire, 1-based).
     next_query_id: AtomicU64,
     metrics: Arc<Metrics>,
 }
 
 impl ShardRouter {
-    /// Build a router over already-spawned lanes.
-    pub fn new(lanes: Vec<Lane>, metrics: Arc<Metrics>) -> ShardRouter {
+    /// Build a router over already-spawned lanes. `txn_log` is the durable
+    /// commit-decision log for cross-shard transactions (durable multi-shard
+    /// servers only).
+    pub fn new(
+        lanes: Vec<Lane>,
+        metrics: Arc<Metrics>,
+        txn_log: Option<TxnDecisionLog>,
+    ) -> ShardRouter {
         assert!(!lanes.is_empty(), "a server needs at least one shard");
+        let next_txn_id = txn_log.as_ref().map_or(1, |log| log.max_txn_id() + 1);
         ShardRouter {
             lanes,
             ownership: Mutex::new(HashMap::new()),
@@ -184,6 +276,11 @@ impl ShardRouter {
             fallbacks: AtomicU64::new(0),
             scatter_gathers: AtomicU64::new(0),
             cross_shard_rejects: AtomicU64::new(0),
+            txn_commits: AtomicU64::new(0),
+            txn_aborts: AtomicU64::new(0),
+            txn_log: txn_log.map(Mutex::new),
+            next_txn_id: AtomicU64::new(next_txn_id),
+            txn_gate: RwLock::new(()),
             next_query_id: AtomicU64::new(1),
             metrics,
         }
@@ -324,13 +421,16 @@ impl ShardRouter {
     }
 
     /// Run one command on one shard and wait for the reply, threading the
-    /// optional trace context into the job.
+    /// optional trace context into the job. `counted` says whether this leg
+    /// ticks the per-verb counters — broadcasts fan one client command out
+    /// to every shard and must count it exactly once (shard 0's leg).
     fn run_on_ctx(
         &self,
         shard: usize,
         session: u64,
         command: Command,
         ctx: Option<TraceContext>,
+        counted: bool,
     ) -> Reply {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.admit(
@@ -341,6 +441,7 @@ impl ShardRouter {
                 reply: reply_tx,
                 ctx,
                 enqueued: Instant::now(),
+                counted,
             },
             Admission::Client,
         )?;
@@ -352,7 +453,7 @@ impl ShardRouter {
     /// Run one command on one shard without a trace context (STATS, and
     /// paths that manage their own roots).
     fn run_on(&self, shard: usize, session: u64, command: Command) -> Reply {
-        self.run_on_ctx(shard, session, command, None)
+        self.run_on_ctx(shard, session, command, None, true)
     }
 
     /// Open a root span for `query_id` on `shard`'s ring; returns the
@@ -401,7 +502,7 @@ impl ShardRouter {
                 true,
             ));
         }
-        let reply = self.run_on_ctx(shard, session, command, Some(ctx));
+        let reply = self.run_on_ctx(shard, session, command, Some(ctx), true);
         self.finish_root(shard, ctx, started, reply.is_ok());
         reply
     }
@@ -516,15 +617,25 @@ impl ShardRouter {
                 any_write,
             } => {
                 if any_write {
-                    self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
-                    return Err((
-                        codes::CROSS_SHARD,
-                        format!(
-                            "statement writes across shards ({}); cross-shard writes are \
-                             unsupported — keep co-written tables on one shard",
-                            render_placement(&resolved)
+                    return match command {
+                        Command::Query(_) => self.two_phase_commit(
+                            session, &sql, &resolved, query_id, started, resolve_us,
                         ),
-                    ));
+                        // EXPLAIN plans on one engine; a cross-shard write
+                        // script has no single planning site.
+                        _ => {
+                            self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
+                            Err((
+                                codes::CROSS_SHARD,
+                                format!(
+                                    "EXPLAIN of a cross-shard write is unsupported: the \
+                                     statement touches {}; EXPLAIN each statement on its \
+                                     owning shard instead",
+                                    render_placement(&resolved)
+                                ),
+                            ))
+                        }
+                    };
                 }
                 self.scatter_gather(session, command, &resolved, query_id, started, resolve_us)
             }
@@ -554,8 +665,10 @@ impl ShardRouter {
                 return Err((
                     codes::CROSS_SHARD,
                     format!(
-                        "prepared statements are single-shard; this one reads across \
-                         shards ({})",
+                        "prepared statements are pinned to one shard, but this one \
+                         touches {}; prepare it per shard against the tables each \
+                         owns, or run it directly as QUERY (cross-shard reads \
+                         scatter-gather, cross-shard writes run two-phase commit)",
                         render_placement(&resolved)
                     ),
                 ));
@@ -569,6 +682,329 @@ impl ShardRouter {
                 .insert((session, name), shard);
         }
         reply
+    }
+
+    /// Split a cross-shard write script per statement and run it as a
+    /// distributed transaction: every participant shard durably stages its
+    /// slice (`PREPARE`), the router fsyncs the commit verdict into the
+    /// decision log, then every participant applies. The client is
+    /// acknowledged only after the verdict is durable, so an acked
+    /// transaction survives any single crash — recovery completes it from
+    /// the prepare frames plus the decision log. A missing verdict reads as
+    /// abort (presumed abort), so an unacked transaction vanishes.
+    fn two_phase_commit(
+        &self,
+        session: u64,
+        sql: &str,
+        resolved: &BTreeMap<String, Owner>,
+        query_id: u64,
+        started: Instant,
+        resolve_us: u64,
+    ) -> Reply {
+        // `resolved` drove the multi-shard classification; the plan redoes
+        // resolution per statement so its errors can name the exact
+        // statement that cannot be split.
+        let _ = resolved;
+        let plan = match self.plan_txn(sql) {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        if plan.per_shard.len() <= 1 {
+            // The per-statement split landed everything on one shard after
+            // all (the multi-ness came from names a statement never pinned);
+            // run it as an ordinary single-shard script.
+            let shard = plan.per_shard.keys().next().copied().unwrap_or(0);
+            let reply = self.run_traced(
+                shard,
+                session,
+                Command::Query(sql.to_string()),
+                query_id,
+                started,
+                Some((resolve_us, format!("single shard={shard}"))),
+            );
+            if reply.is_ok() {
+                self.apply_txn_changes(plan.changes);
+            }
+            return reply;
+        }
+        let txn_id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        // Hold the gate exclusively for the whole prepare→decide→apply
+        // window: scatter-gather readers hold it shared, so a cross-shard
+        // read can never observe this transaction half-applied.
+        let gate = self.txn_gate.write().unwrap_or_else(|e| e.into_inner());
+        let command = Command::Query(sql.to_string());
+        let participants: Vec<usize> = plan.per_shard.keys().copied().collect();
+        let root_shard = participants[0];
+        let ctx = self.begin_root(root_shard, query_id, &command);
+        self.lanes[root_shard].ring.record(SpanRecord::child(
+            ctx,
+            SpanKind::Router,
+            root_shard as u16,
+            "route",
+            &format!(
+                "2pc txn={txn_id} participants={participants:?} cut=[{}]",
+                self.cut_vector()
+            ),
+            resolve_us,
+            true,
+        ));
+        let reply = self.two_phase_commit_inner(session, txn_id, &plan, ctx, root_shard);
+        drop(gate);
+        if reply.is_ok() {
+            self.txn_commits.fetch_add(1, Ordering::Relaxed);
+            self.apply_txn_changes(plan.changes);
+        } else {
+            self.txn_aborts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // Participants never count Txn jobs into the per-verb metrics; the
+        // transaction is one client QUERY and counts once, here.
+        self.metrics.record_latency("QUERY", started.elapsed());
+        if reply.is_ok() {
+            self.metrics.count_verb("QUERY");
+        }
+        self.finish_root(root_shard, ctx, started, reply.is_ok());
+        reply
+    }
+
+    /// The fallible phases of a two-phase commit, split out so the caller
+    /// can close the root span and release the gate on every exit path.
+    fn two_phase_commit_inner(
+        &self,
+        session: u64,
+        txn_id: u64,
+        plan: &TxnPlan,
+        ctx: TraceContext,
+        root_shard: usize,
+    ) -> Reply {
+        // Phase 1: fan each participant its slice. The executor stages the
+        // statements, appends one PREPARE frame to its WAL, fsyncs, and
+        // acks; it then blocks until our verdict arrives, which is what
+        // keeps prepared-but-undecided state invisible to every other job
+        // on that shard.
+        let mut legs: Vec<TxnLeg> = Vec::new();
+        for (&shard, stmts) in &plan.per_shard {
+            let (prepared_tx, prepared_rx) = mpsc::channel();
+            let (decision_tx, decision_rx) = mpsc::channel();
+            let (done_tx, done_rx) = mpsc::channel();
+            let job = Job::Txn {
+                session,
+                txn_id,
+                sql: stmts.join("; "),
+                prepared: prepared_tx,
+                decision: decision_rx,
+                done: done_tx,
+                ctx: Some(ctx),
+                enqueued: Instant::now(),
+            };
+            if let Err(e) = self.admit(shard, job, Admission::Client) {
+                // This shard never saw the transaction; everyone who did
+                // gets an explicit abort verdict.
+                self.abort_legs(txn_id, &legs, ctx, root_shard);
+                return Err(e);
+            }
+            legs.push(TxnLeg {
+                shard,
+                prepared_rx,
+                decision_tx,
+                done_rx,
+            });
+        }
+        let mut rows = 0usize;
+        let mut failure: Option<(&'static str, String)> = None;
+        for leg in &legs {
+            match leg.prepared_rx.recv() {
+                Ok(Ok(n)) => rows += n,
+                Ok(Err(e)) => {
+                    failure.get_or_insert(e);
+                }
+                Err(_) => {
+                    failure.get_or_insert((
+                        codes::INTERNAL,
+                        format!("shard {} dropped the transaction", leg.shard),
+                    ));
+                }
+            }
+        }
+        if let Some(e) = failure {
+            self.abort_legs(txn_id, &legs, ctx, root_shard);
+            return Err(e);
+        }
+        // Phase 2: make the commit verdict durable BEFORE any participant
+        // may apply. Until this write completes, a crash anywhere aborts
+        // the transaction (presumed abort); after it, recovery commits it
+        // on every shard even if no participant ever hears the verdict.
+        let decide_started = Instant::now();
+        if let Some(log) = &self.txn_log {
+            if let Err(e) = log.lock().expect("txn log lock").decide(txn_id, true) {
+                self.abort_legs(txn_id, &legs, ctx, root_shard);
+                return Err((
+                    codes::EXEC,
+                    format!("commit decision could not be made durable; transaction aborted: {e}"),
+                ));
+            }
+        }
+        self.lanes[root_shard].ring.record(SpanRecord::child(
+            ctx,
+            SpanKind::TxnDecision,
+            root_shard as u16,
+            "DECIDE",
+            &format!("txn={txn_id} commit participants={}", legs.len()),
+            decide_started.elapsed().as_micros() as u64,
+            true,
+        ));
+        for leg in &legs {
+            let _ = leg.decision_tx.send(true);
+        }
+        for leg in &legs {
+            // The commit decision is durable: even if a shard failed to
+            // append its COMMIT marker (it degrades to read-only), recovery
+            // completes the transaction from the prepare frame plus the
+            // decision log. The client ack stands either way.
+            let _ = leg.done_rx.recv();
+        }
+        Ok(format!("ok {rows}"))
+    }
+
+    /// Deliver an abort verdict to every already-admitted participant and
+    /// wait until each has unwound. Presumed abort: nothing is written to
+    /// the decision log — at recovery, a prepared transaction with no
+    /// durable commit verdict aborts.
+    fn abort_legs(&self, txn_id: u64, legs: &[TxnLeg], ctx: TraceContext, root_shard: usize) {
+        self.lanes[root_shard].ring.record(SpanRecord::child(
+            ctx,
+            SpanKind::TxnDecision,
+            root_shard as u16,
+            "DECIDE",
+            &format!("txn={txn_id} abort (presumed)"),
+            0,
+            false,
+        ));
+        for leg in legs {
+            let _ = leg.decision_tx.send(false);
+        }
+        for leg in legs {
+            // Legs whose prepare failed already returned (their done sender
+            // is dropped); recv erroring is that, not a problem.
+            let _ = leg.done_rx.recv();
+        }
+    }
+
+    /// Split a write script per statement and pin each statement to the one
+    /// shard owning its tables. Names created earlier in the script resolve
+    /// for later statements. A single statement whose dependencies span
+    /// shards cannot be split and refuses the whole transaction.
+    fn plan_txn(&self, sql: &str) -> Result<TxnPlan, (&'static str, String)> {
+        let n = self.lanes.len();
+        let mut per_shard: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut changes: Vec<(usize, OwnershipChange)> = Vec::new();
+        let mut created: HashMap<String, Owner> = HashMap::new();
+        let own = self.ownership.lock().expect("ownership lock");
+        for fragment in split_statements(sql) {
+            let stmts = match parse_sql(&fragment) {
+                Ok(stmts) => stmts,
+                Err(_) => {
+                    return Err((
+                        codes::CROSS_SHARD,
+                        format!(
+                            "cross-shard write script could not be split at statement \
+                             boundaries: '{fragment}' did not parse as one statement"
+                        ),
+                    ));
+                }
+            };
+            for stmt in &stmts {
+                let deps = statement_deps(stmt);
+                let mut placement: BTreeMap<String, Owner> = BTreeMap::new();
+                let mut targets: BTreeSet<usize> = BTreeSet::new();
+                for w in &deps.writes {
+                    let created_view = deps
+                        .creates
+                        .as_ref()
+                        .is_some_and(|(name, is_view)| *is_view && name == w);
+                    let owner = match own.get(w).or_else(|| created.get(w)) {
+                        Some(o) => Some(*o),
+                        None if created_view => None,
+                        None => Some(Owner {
+                            shard: shard_of(w, n),
+                            is_view: false,
+                        }),
+                    };
+                    if let Some(o) = owner {
+                        placement.insert(w.clone(), o);
+                        targets.insert(o.shard);
+                    }
+                }
+                for r in &deps.reads {
+                    if let Some(o) = own.get(r).or_else(|| created.get(r)) {
+                        placement.insert(r.clone(), *o);
+                        targets.insert(o.shard);
+                    }
+                }
+                if targets.len() > 1 {
+                    return Err((
+                        codes::CROSS_SHARD,
+                        format!(
+                            "a cross-shard transaction splits per statement, but \
+                             '{fragment}' alone touches {}; rewrite it to touch one \
+                             shard per statement",
+                            render_placement(&placement)
+                        ),
+                    ));
+                }
+                let shard = targets.iter().next().copied().unwrap_or(0);
+                if let Some((name, is_view)) = &deps.creates {
+                    created.insert(
+                        name.clone(),
+                        Owner {
+                            shard,
+                            is_view: *is_view,
+                        },
+                    );
+                    changes.push((
+                        shard,
+                        OwnershipChange::Create {
+                            name: name.clone(),
+                            is_view: *is_view,
+                        },
+                    ));
+                }
+                if let Some((name, _)) = &deps.drops {
+                    changes.push((shard, OwnershipChange::Drop { name: name.clone() }));
+                }
+                per_shard
+                    .entry(shard)
+                    .or_default()
+                    .push(fragment.trim().to_string());
+            }
+        }
+        drop(own);
+        Ok(TxnPlan { per_shard, changes })
+    }
+
+    /// Apply per-shard ownership changes after a transaction committed.
+    fn apply_txn_changes(&self, changes: Vec<(usize, OwnershipChange)>) {
+        for (shard, change) in changes {
+            self.apply_changes(shard, vec![change]);
+        }
+    }
+
+    /// The per-shard committed-LSN watermarks, rendered `lsn0,lsn1,...`
+    /// (`-` for volatile shards). Read under the transaction gate, this is
+    /// the consistent cut a scatter-gather observes.
+    fn cut_vector(&self) -> String {
+        self.lanes
+            .iter()
+            .map(|l| {
+                l.wal
+                    .as_ref()
+                    .map_or_else(|| "-".to_string(), |w| w.committed_lsn().to_string())
+            })
+            .collect::<Vec<_>>()
+            .join(",")
     }
 
     /// Answer a cross-shard read-only query: export every foreign table to
@@ -604,19 +1040,27 @@ impl ShardRouter {
             if owner.is_view {
                 // Views have no rows to export; planning them needs the
                 // owning shard's catalog. Cross-shard view reads are a
-                // documented limitation.
+                // documented limitation (docs/SHARDING.md).
                 self.cross_shard_rejects.fetch_add(1, Ordering::Relaxed);
                 return Err((
                     codes::CROSS_SHARD,
                     format!(
-                        "query joins view '{name}' (shard {}) with tables on shard \
-                         {coordinator}; cross-shard view reads are unsupported",
+                        "view '{name}' lives on shard{} with the tables it reads, but \
+                         this query would gather on shard{coordinator} ({}); views \
+                         cannot be exported — query the view alone, or join it only \
+                         with tables on shard{}",
+                        owner.shard,
+                        render_placement(resolved),
                         owner.shard
                     ),
                 ));
             }
             per_shard.entry(owner.shard).or_default().push(name.clone());
         }
+        // Shared side of the consistent-cut gate: no two-phase commit can
+        // be mid-flight anywhere while we hold this, so the exported images
+        // reflect every distributed transaction entirely or not at all.
+        let gate = self.txn_gate.read().unwrap_or_else(|e| e.into_inner());
         let ctx = self.begin_root(coordinator, query_id, &command);
         self.lanes[coordinator].ring.record(SpanRecord::child(
             ctx,
@@ -624,13 +1068,15 @@ impl ShardRouter {
             coordinator as u16,
             "route",
             &format!(
-                "scatter-gather coordinator={coordinator} exports={}",
-                per_shard.len()
+                "scatter-gather coordinator={coordinator} exports={} cut=[{}]",
+                per_shard.len(),
+                self.cut_vector()
             ),
             resolve_us,
             true,
         ));
         let reply = self.scatter_gather_inner(session, command, per_shard, ctx, coordinator);
+        drop(gate);
         self.finish_root(coordinator, ctx, started, reply.is_ok());
         reply
     }
@@ -707,10 +1153,10 @@ impl ShardRouter {
     }
 
     /// `SET` affects per-session state held by every executor, so it is
-    /// broadcast; the first error (or the first body) answers. With more
-    /// than one shard each broadcast counts once per shard in the per-verb
-    /// metrics (documented in `docs/SHARDING.md`). The root span lives on
-    /// shard 0's ring; every shard's exec span is a child of it.
+    /// broadcast; the first error (or the first body) answers. Only shard
+    /// 0's leg ticks the per-verb counters, so one client `SET` counts once
+    /// no matter the shard count. The root span lives on shard 0's ring;
+    /// every shard's exec span is a child of it.
     fn broadcast_set(
         &self,
         session: u64,
@@ -722,7 +1168,7 @@ impl ShardRouter {
         let mut reply: Reply = Ok(String::new());
         let mut first: Option<String> = None;
         for shard in 0..self.lanes.len() {
-            match self.run_on_ctx(shard, session, command.clone(), Some(ctx)) {
+            match self.run_on_ctx(shard, session, command.clone(), Some(ctx), shard == 0) {
                 Ok(body) => {
                     first.get_or_insert(body);
                 }
@@ -760,6 +1206,8 @@ impl ShardRouter {
                     reply: reply_tx,
                     ctx: Some(ctx),
                     enqueued: Instant::now(),
+                    // One client CHECKPOINT counts once, not once per shard.
+                    counted: shard == 0,
                 },
                 Admission::Client,
             )?;
@@ -885,6 +1333,8 @@ impl ShardRouter {
                 "cross_shard_rejects",
                 self.cross_shard_rejects.load(Ordering::Relaxed),
             ),
+            Metric::counter("txn_commits", self.txn_commits.load(Ordering::Relaxed)),
+            Metric::counter("txn_aborts", self.txn_aborts.load(Ordering::Relaxed)),
             Metric::counter("wal_group_commits", group_commits),
             Metric::counter("wal_group_committed_records", group_records),
             Metric::gaugef("wal_commits_per_fsync", per_fsync, 2),
@@ -1015,6 +1465,8 @@ pub(crate) fn render_query_tree(query_id: u64, mut spans: Vec<Span>) -> String {
                 | SpanKind::SgInstall
                 | SpanKind::SgGather
                 | SpanKind::WalGroupFsync
+                | SpanKind::TxnPrepare
+                | SpanKind::TxnCommit
         ) {
             *per_shard.entry(s.shard).or_insert(0) += s.elapsed_us;
         }

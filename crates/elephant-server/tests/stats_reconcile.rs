@@ -198,13 +198,21 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
 }
 
 /// On a multi-shard server, STATS grows one line group per shard plus the
-/// router counters, and a cross-shard write is refused with the typed
-/// `ERR_CROSS_SHARD` while the reject counter ticks.
+/// router counters; a cross-shard write script commits via two-phase
+/// commit (counting one QUERY and one `txn_commits`); a single statement
+/// spanning shards is still refused with the typed `ERR_CROSS_SHARD`; and
+/// broadcast verbs (`SET`, `CHECKPOINT`) count **once**, not once per
+/// shard, so `commands_served` reconciles on a 4-shard server exactly as
+/// it does on one shard.
 #[test]
-fn sharded_stats_render_per_shard_lines_and_count_rejects() {
+fn sharded_stats_reconcile_count_txns_and_rejects() {
     const SHARDS: usize = 4;
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("elephant-reconcile-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     let handle = start(ServerConfig {
         shards: SHARDS,
+        data_dir: Some(dir.clone()),
         ..ServerConfig::default()
     })
     .unwrap();
@@ -234,16 +242,43 @@ fn sharded_stats_render_per_shard_lines_and_count_rejects() {
         .unwrap();
     assert_eq!(body, "n\n1\n");
 
-    // Cross-shard write (a script touching two write targets on different
-    // shards): typed refusal, nothing executed.
+    // Cross-shard write script: splits per statement and commits via 2PC.
+    // The ack reports total rows affected across the script.
+    assert_eq!(
+        c.query_raw(&format!(
+            "INSERT INTO {a} VALUES (7); INSERT INTO {b} VALUES (7)"
+        ))
+        .unwrap(),
+        "ok 2"
+    );
+    assert_eq!(
+        c.query_raw(&format!("SELECT count(*) AS n FROM {a}"))
+            .unwrap(),
+        "n\n3\n",
+        "committed transaction must be visible on {a}'s shard"
+    );
+    assert_eq!(
+        c.query_raw(&format!("SELECT count(*) AS n FROM {b}"))
+            .unwrap(),
+        "n\n3\n",
+        "committed transaction must be visible on {b}'s shard"
+    );
+    assert!(
+        dir.join("txn.log").exists(),
+        "the coordinator must have written its decision log"
+    );
+
+    // A single statement whose dependencies span shards cannot be split:
+    // typed refusal naming the owners, nothing executed.
     let err = c
         .query_raw(&format!(
-            "INSERT INTO {a} VALUES (7); INSERT INTO {b} VALUES (7)"
+            "CREATE VIEW vab AS SELECT {a}.x FROM {a} INNER JOIN {b} ON {a}.x = {b}.x"
         ))
         .unwrap_err();
     match err {
         ClientError::Server(e) => {
             assert_eq!(e.code, "ERR_CROSS_SHARD", "{e}");
+            assert!(e.message.contains("per statement"), "{e}");
             assert!(e.message.contains("shard"), "{e}");
         }
         other => panic!("expected a server error, got {other}"),
@@ -251,13 +286,22 @@ fn sharded_stats_render_per_shard_lines_and_count_rejects() {
     assert_eq!(
         c.query_raw(&format!("SELECT count(*) AS n FROM {a}"))
             .unwrap(),
-        "n\n2\n",
+        "n\n3\n",
         "refused write must not have executed"
     );
+
+    // Broadcast verbs fan out to every shard but count once.
+    assert_eq!(
+        c.send("SET exec_mode columnar").unwrap(),
+        "set exec_mode columnar"
+    );
+    c.checkpoint().unwrap();
 
     let stats = c.stats().unwrap();
     assert_eq!(stat(&stats, "shards"), SHARDS as u64);
     assert_eq!(stat(&stats, "cross_shard_rejects"), 1, "{stats}");
+    assert_eq!(stat(&stats, "txn_commits"), 1, "{stats}");
+    assert_eq!(stat(&stats, "txn_aborts"), 0, "{stats}");
     assert!(stat(&stats, "shard_scatter_gather") >= 1, "{stats}");
     let _ = stat(&stats, "shard_fallbacks");
     for k in 0..SHARDS {
@@ -266,12 +310,22 @@ fn sharded_stats_render_per_shard_lines_and_count_rejects() {
         let _ = stat(&stats, &format!("shard{k}.wal_group_commits"));
         assert!(stats.contains(&format!("\nshard{k}.health ")), "{stats}");
     }
-    // Volatile server: the group-commit counters render but stay zero.
-    assert_eq!(stat(&stats, "wal_group_commits"), 0);
-    assert_eq!(stat(&stats, "wal_group_committed_records"), 0);
-    assert!(stats.contains("\nwal_commits_per_fsync 0.00"), "{stats}");
+
+    // The satellite accounting identity, on four shards: 9 queries (the
+    // 2PC transaction is ONE query; the reject counts nothing), one SET,
+    // one CHECKPOINT — broadcasts count once despite running on every
+    // shard. The rendering STATS counts itself only after rendering.
+    assert_eq!(stat(&stats, "queries"), 9, "{stats}");
+    assert_eq!(stat(&stats, "set_calls"), 1, "{stats}");
+    assert_eq!(stat(&stats, "checkpoints_served"), 1, "{stats}");
+    assert_eq!(stat(&stats, "stats_calls"), 0, "{stats}");
+    let served = stat(&stats, "commands_served");
+    let sum: u64 = PER_VERB_KEYS.iter().map(|k| stat(&stats, k)).sum();
+    assert_eq!(served, sum, "4-shard reconciliation broke:\n{stats}");
+    assert_eq!(served, 11, "{stats}");
 
     c.shutdown().unwrap();
     drop(c);
     handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -48,13 +48,16 @@ pub mod crc32;
 pub mod error;
 pub mod snapshot;
 pub mod tailer;
+pub mod txnlog;
 pub mod wal;
 
 pub use error::{Result, StoreError};
 pub use tailer::{TailFrame, TailPoll, WalTailer};
+pub use txnlog::{TxnDecisionLog, TXN_LOG_FILE};
 pub use wal::{decode_frame, encode_frame, WalRecord, WalShared, WalStats};
 
 use etypes::{DataType, Value};
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
@@ -116,6 +119,10 @@ pub struct StoreConfig {
     pub dir: PathBuf,
     /// WAL durability policy.
     pub fsync: FsyncPolicy,
+    /// Coordinator verdicts (`txn_id -> commit?`) used to resolve in-doubt
+    /// prepared groups found at recovery. A prepared group with no entry is
+    /// presumed aborted.
+    pub txn_decisions: HashMap<u64, bool>,
 }
 
 impl StoreConfig {
@@ -124,12 +131,19 @@ impl StoreConfig {
         StoreConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
+            txn_decisions: HashMap::new(),
         }
     }
 
     /// Override the fsync policy.
     pub fn with_fsync(mut self, fsync: FsyncPolicy) -> StoreConfig {
         self.fsync = fsync;
+        self
+    }
+
+    /// Supply the coordinator's decision map for in-doubt resolution.
+    pub fn with_txn_decisions(mut self, decisions: HashMap<u64, bool>) -> StoreConfig {
+        self.txn_decisions = decisions;
         self
     }
 }
@@ -207,6 +221,16 @@ pub struct RecoveryReport {
     pub wal_torn_bytes: u64,
     /// True when the tail was dropped because a record failed its CRC.
     pub wal_crc_mismatch: bool,
+    /// Prepared 2PC groups applied because a `TxnCommit` marker followed.
+    pub txn_committed: u64,
+    /// Prepared 2PC groups discarded because a `TxnAbort` marker followed.
+    pub txn_aborted: u64,
+    /// In-doubt prepared groups (no outcome marker by end-of-log) applied
+    /// because the coordinator's decision log said commit.
+    pub txn_indoubt_committed: u64,
+    /// In-doubt prepared groups aborted: no coordinator commit decision
+    /// existed, so presumed-abort unwound them.
+    pub txn_indoubt_aborted: u64,
     /// Human-readable notes about anything unusual (invalid snapshot
     /// dropped, replay of a record that no longer applied, ...).
     pub notes: Vec<String>,
@@ -228,6 +252,18 @@ impl RecoveryReport {
                 } else {
                     ""
                 }
+            ));
+        }
+        if self.txn_committed + self.txn_aborted > 0 {
+            s.push_str(&format!(
+                ", replayed {} committed / {} aborted txn group(s)",
+                self.txn_committed, self.txn_aborted
+            ));
+        }
+        if self.txn_indoubt_committed + self.txn_indoubt_aborted > 0 {
+            s.push_str(&format!(
+                ", resolved in-doubt txns: {} committed, {} aborted",
+                self.txn_indoubt_committed, self.txn_indoubt_aborted
             ));
         }
         for note in &self.notes {
@@ -314,21 +350,92 @@ impl Store {
         report.wal_torn_bytes = wal_out.torn_bytes;
         report.wal_crc_mismatch = wal_out.crc_mismatch;
         let mut max_lsn = report.snapshot_lsn;
+        // Prepared-but-undecided 2PC groups, in prepare order. A group is
+        // buffered here (never applied directly) until its outcome marker
+        // arrives; whatever is left at end-of-log is in-doubt.
+        let mut prepared: Vec<(u64, Vec<WalRecord>)> = Vec::new();
+        let apply_counted = |tables: &mut Vec<TableImage>,
+                             report: &mut RecoveryReport,
+                             lsn: u64,
+                             record: WalRecord| {
+            match apply(tables, record) {
+                Ok(()) => report.wal_records_applied += 1,
+                Err(e) => report
+                    .notes
+                    .push(format!("WAL record lsn={lsn} not applied: {e}")),
+            }
+        };
         for (lsn, record) in wal_out.records {
             max_lsn = max_lsn.max(lsn);
             if lsn <= report.snapshot_lsn {
                 report.wal_records_skipped += 1;
                 continue;
             }
-            match apply(&mut tables, record) {
-                Ok(()) => report.wal_records_applied += 1,
-                Err(e) => report
-                    .notes
-                    .push(format!("WAL record lsn={lsn} not applied: {e}")),
+            match record {
+                WalRecord::TxnPrepare { txn_id, records } => {
+                    prepared.push((txn_id, records));
+                }
+                WalRecord::TxnCommit { txn_id } => {
+                    match prepared.iter().position(|(id, _)| *id == txn_id) {
+                        Some(pos) => {
+                            let (_, records) = prepared.remove(pos);
+                            report.txn_committed += 1;
+                            for rec in records {
+                                apply_counted(&mut tables, &mut report, lsn, rec);
+                            }
+                        }
+                        None => report.notes.push(format!(
+                            "TxnCommit lsn={lsn} for unprepared txn {txn_id} ignored"
+                        )),
+                    }
+                }
+                WalRecord::TxnAbort { txn_id } => {
+                    match prepared.iter().position(|(id, _)| *id == txn_id) {
+                        Some(pos) => {
+                            prepared.remove(pos);
+                            report.txn_aborted += 1;
+                        }
+                        None => report.notes.push(format!(
+                            "TxnAbort lsn={lsn} for unprepared txn {txn_id} ignored"
+                        )),
+                    }
+                }
+                WalRecord::TxnDecision { txn_id, .. } => {
+                    // Decision records belong in the coordinator log, not a
+                    // shard WAL; tolerate but flag them.
+                    report.notes.push(format!(
+                        "coordinator decision for txn {txn_id} found in data WAL, ignored"
+                    ));
+                }
+                other => apply_counted(&mut tables, &mut report, lsn, other),
             }
         }
 
-        let wal = WalWriter::open(&wal_path, config.fsync, wal_out.valid_len, max_lsn + 1)?;
+        let mut wal = WalWriter::open(&wal_path, config.fsync, wal_out.valid_len, max_lsn + 1)?;
+        // Resolve in-doubt groups from the coordinator's verdicts, logging
+        // the outcome marker so the next recovery needs no decision map.
+        // Presumed-abort: no commit decision means the coordinator never
+        // acked this transaction, so unwinding it cannot lose an ack.
+        for (txn_id, records) in prepared {
+            etypes::fault::fire("txn.resolve")?;
+            let commit = config.txn_decisions.get(&txn_id).copied().unwrap_or(false);
+            if commit {
+                let lsn = wal.append(&WalRecord::TxnCommit { txn_id })?;
+                report.txn_indoubt_committed += 1;
+                for rec in records {
+                    apply_counted(&mut tables, &mut report, lsn, rec);
+                }
+                report.notes.push(format!(
+                    "in-doubt txn {txn_id} committed per coordinator decision"
+                ));
+            } else {
+                wal.append(&WalRecord::TxnAbort { txn_id })?;
+                report.txn_indoubt_aborted += 1;
+                report
+                    .notes
+                    .push(format!("in-doubt txn {txn_id} aborted (presumed abort)"));
+            }
+        }
         Ok((
             Store {
                 wal,
@@ -343,6 +450,57 @@ impl Store {
     /// Append one record to the WAL; durability per the configured policy.
     pub fn log(&mut self, record: &WalRecord) -> Result<u64> {
         self.wal.append(record)
+    }
+
+    /// Durably stage this shard's slice of a cross-shard transaction:
+    /// append the `PREPARE` frame and force it to disk *regardless of
+    /// fsync policy* — once this returns Ok, the coordinator may commit,
+    /// so the prepare must survive any crash. Refused inside an open
+    /// group-commit window, whose whole-batch rollback could otherwise cut
+    /// an acked prepare back out of the log.
+    pub fn log_txn_prepare(&mut self, txn_id: u64, records: Vec<WalRecord>) -> Result<u64> {
+        if self.wal.in_group() {
+            return Err(StoreError::invalid(
+                "2PC prepare inside an open group-commit window",
+            ));
+        }
+        etypes::fault::fire("txn.prepare_append")?;
+        let lsn = self
+            .wal
+            .append(&WalRecord::TxnPrepare { txn_id, records })?;
+        etypes::fault::fire("txn.prepare_fsync")?;
+        self.wal.sync()?;
+        Ok(lsn)
+    }
+
+    /// Append + fsync the `COMMIT` outcome marker for a prepared
+    /// transaction. Failure here leaves the group in-doubt on disk; the
+    /// coordinator's decision log resolves it at the next recovery.
+    pub fn log_txn_commit(&mut self, txn_id: u64) -> Result<u64> {
+        if self.wal.in_group() {
+            return Err(StoreError::invalid(
+                "2PC outcome marker inside an open group-commit window",
+            ));
+        }
+        etypes::fault::fire("txn.commit_append")?;
+        let lsn = self.wal.append(&WalRecord::TxnCommit { txn_id })?;
+        self.wal.sync()?;
+        Ok(lsn)
+    }
+
+    /// Append + fsync the `ABORT` outcome marker for a prepared
+    /// transaction. Safe to fail: presumed-abort makes an in-doubt group
+    /// with no commit decision abort at recovery anyway.
+    pub fn log_txn_abort(&mut self, txn_id: u64) -> Result<u64> {
+        if self.wal.in_group() {
+            return Err(StoreError::invalid(
+                "2PC outcome marker inside an open group-commit window",
+            ));
+        }
+        etypes::fault::fire("txn.abort_append")?;
+        let lsn = self.wal.append(&WalRecord::TxnAbort { txn_id })?;
+        self.wal.sync()?;
+        Ok(lsn)
     }
 
     /// Force the WAL to stable storage regardless of policy.
@@ -519,6 +677,16 @@ fn apply(tables: &mut Vec<TableImage>, record: WalRecord) -> Result<()> {
                 t.rows.remove(id);
             }
         }
+        WalRecord::TxnPrepare { txn_id, .. }
+        | WalRecord::TxnCommit { txn_id }
+        | WalRecord::TxnAbort { txn_id }
+        | WalRecord::TxnDecision { txn_id, .. } => {
+            // Markers carry no table mutation themselves; replay handles
+            // them before reaching here (buffer / apply group / discard).
+            return Err(StoreError::invalid(format!(
+                "transaction marker for txn {txn_id} is not directly applicable"
+            )));
+        }
     }
     Ok(())
 }
@@ -681,6 +849,96 @@ mod tests {
         assert_eq!("8".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryN(8));
         assert!("sometimes".parse::<FsyncPolicy>().is_err());
         assert!("every_n:0".parse::<FsyncPolicy>().is_err());
+    }
+
+    fn txn_group() -> Vec<WalRecord> {
+        vec![
+            create_t(),
+            insert(vec![vec![Value::Int(1), Value::text("a")]]),
+        ]
+    }
+
+    #[test]
+    fn committed_txn_group_replays() {
+        let cfg = tmp("txncommit");
+        {
+            let (mut store, _, _) = Store::open(cfg.clone()).unwrap();
+            store.log_txn_prepare(1, txn_group()).unwrap();
+            store.log_txn_commit(1).unwrap();
+        }
+        let (_s, tables, report) = Store::open(cfg).unwrap();
+        assert_eq!(report.txn_committed, 1);
+        assert_eq!(report.wal_records_applied, 2, "both nested records applied");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 1);
+        assert_eq!(tables[0].serial_next, vec![(0, 2)], "serials advanced");
+    }
+
+    #[test]
+    fn aborted_txn_group_leaves_no_trace() {
+        let cfg = tmp("txnabort");
+        {
+            let (mut store, _, _) = Store::open(cfg.clone()).unwrap();
+            store.log_txn_prepare(1, txn_group()).unwrap();
+            store.log_txn_abort(1).unwrap();
+        }
+        let (_s, tables, report) = Store::open(cfg).unwrap();
+        assert_eq!(report.txn_aborted, 1);
+        assert_eq!(report.wal_records_applied, 0);
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn in_doubt_group_presumed_aborted_without_decision() {
+        let cfg = tmp("txnindoubt");
+        {
+            let (mut store, _, _) = Store::open(cfg.clone()).unwrap();
+            store.log_txn_prepare(7, txn_group()).unwrap();
+            // Crash before any outcome marker: the group is in-doubt.
+        }
+        let (_s, tables, report) = Store::open(cfg.clone()).unwrap();
+        assert_eq!(report.txn_indoubt_aborted, 1);
+        assert!(tables.is_empty(), "presumed abort leaves nothing");
+        assert!(report.summary().contains("resolved in-doubt"));
+        // Resolution logged an ABORT marker: the next recovery no longer
+        // needs a decision map and sees a plain aborted group.
+        let (_s, tables, report) = Store::open(cfg).unwrap();
+        assert_eq!(report.txn_aborted, 1);
+        assert_eq!(report.txn_indoubt_aborted, 0);
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn in_doubt_group_commits_from_coordinator_decision() {
+        let cfg = tmp("txndecided");
+        {
+            let (mut store, _, _) = Store::open(cfg.clone()).unwrap();
+            store.log_txn_prepare(7, txn_group()).unwrap();
+        }
+        let with_decision = cfg.clone().with_txn_decisions(HashMap::from([(7, true)]));
+        let (_s, tables, report) = Store::open(with_decision).unwrap();
+        assert_eq!(report.txn_indoubt_committed, 1);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 1);
+        // The COMMIT marker was persisted: a later recovery *without* the
+        // decision map still replays the group as committed.
+        let (_s, tables, report) = Store::open(cfg).unwrap();
+        assert_eq!(report.txn_committed, 1);
+        assert_eq!(report.txn_indoubt_committed, 0);
+        assert_eq!(tables[0].rows.len(), 1);
+    }
+
+    #[test]
+    fn txn_appends_refused_inside_group_window() {
+        let cfg = tmp("txngroupwin");
+        let (mut store, _, _) = Store::open(cfg).unwrap();
+        store.begin_group();
+        assert!(store.log_txn_prepare(1, txn_group()).is_err());
+        assert!(store.log_txn_commit(1).is_err());
+        assert!(store.log_txn_abort(1).is_err());
+        store.end_group().unwrap();
+        store.log_txn_prepare(1, txn_group()).unwrap();
+        store.log_txn_commit(1).unwrap();
     }
 
     #[test]

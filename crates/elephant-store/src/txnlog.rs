@@ -1,0 +1,155 @@
+//! The coordinator's durable decision log for two-phase commit.
+//!
+//! One small WAL-framed file (`txn.log`) per server data directory holding
+//! only [`WalRecord::TxnDecision`] records. The 2PC contract: a cross-shard
+//! write is acknowledged to the client only after its commit decision is
+//! fsynced here, so recovery can always resolve an in-doubt prepared group
+//! on a shard by consulting this log — decision present and `commit=true`
+//! means apply, anything else means presumed abort (the coordinator never
+//! acked, so unwinding cannot lose an acknowledged write).
+//!
+//! Abort decisions *may* be logged too (they shortcut nothing correctness-
+//! wise under presumed-abort, but make the operator-visible history
+//! complete); the current coordinator logs commits only.
+
+use crate::error::Result;
+use crate::wal::{read_wal, WalRecord, WalWriter};
+use crate::FsyncPolicy;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Decision log file name inside the server data directory.
+pub const TXN_LOG_FILE: &str = "txn.log";
+
+/// An open coordinator decision log: replayed verdict map plus an
+/// append-only writer for new verdicts. Decisions always fsync
+/// ([`FsyncPolicy::Always`]) — a lost decision could orphan an acked write.
+#[derive(Debug)]
+pub struct TxnDecisionLog {
+    wal: WalWriter,
+    decisions: HashMap<u64, bool>,
+    max_txn_id: u64,
+}
+
+impl TxnDecisionLog {
+    /// Open (creating if absent) the decision log at `path` and replay its
+    /// verdicts. A torn tail is tolerated exactly like the data WAL: the
+    /// file is cut at the last valid record boundary. Non-decision records
+    /// are ignored (forward compatibility), never applied.
+    pub fn open(path: &Path) -> Result<TxnDecisionLog> {
+        let out = read_wal(path)?;
+        let mut decisions = HashMap::new();
+        let mut max_txn_id = 0u64;
+        let mut next_lsn = 1u64;
+        for (lsn, rec) in out.records {
+            next_lsn = next_lsn.max(lsn + 1);
+            if let WalRecord::TxnDecision { txn_id, commit } = rec {
+                max_txn_id = max_txn_id.max(txn_id);
+                decisions.insert(txn_id, commit);
+            }
+        }
+        let wal = WalWriter::open(path, FsyncPolicy::Always, out.valid_len, next_lsn)?;
+        Ok(TxnDecisionLog {
+            wal,
+            decisions,
+            max_txn_id,
+        })
+    }
+
+    /// Durably record the verdict for `txn_id`: appended and fsynced before
+    /// this returns Ok, at which point the decision survives any crash and
+    /// the coordinator may act on it.
+    pub fn decide(&mut self, txn_id: u64, commit: bool) -> Result<u64> {
+        etypes::fault::fire("txn.decision_write")?;
+        let lsn = self
+            .wal
+            .append(&WalRecord::TxnDecision { txn_id, commit })?;
+        self.decisions.insert(txn_id, commit);
+        self.max_txn_id = self.max_txn_id.max(txn_id);
+        Ok(lsn)
+    }
+
+    /// The recorded verdict for `txn_id`, if any.
+    pub fn decision(&self, txn_id: u64) -> Option<bool> {
+        self.decisions.get(&txn_id).copied()
+    }
+
+    /// All recorded verdicts — handed to each shard's recovery as
+    /// [`crate::StoreConfig::txn_decisions`].
+    pub fn decisions(&self) -> HashMap<u64, bool> {
+        self.decisions.clone()
+    }
+
+    /// Highest transaction id ever decided. Coordinators must issue fresh
+    /// ids strictly above this: a reused id could otherwise match a stale
+    /// commit verdict and wrongly commit a new in-doubt group.
+    pub fn max_txn_id(&self) -> u64 {
+        self.max_txn_id
+    }
+
+    /// Decisions recorded since open (writer-side counter).
+    pub fn records_appended(&self) -> u64 {
+        self.wal.stats().records_appended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eltxnlog-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(TXN_LOG_FILE)
+    }
+
+    #[test]
+    fn decisions_survive_reopen() {
+        let path = tmp("reopen");
+        {
+            let mut log = TxnDecisionLog::open(&path).unwrap();
+            assert_eq!(log.max_txn_id(), 0);
+            log.decide(3, true).unwrap();
+            log.decide(5, false).unwrap();
+            log.decide(4, true).unwrap();
+        }
+        let log = TxnDecisionLog::open(&path).unwrap();
+        assert_eq!(log.decision(3), Some(true));
+        assert_eq!(log.decision(4), Some(true));
+        assert_eq!(log.decision(5), Some(false));
+        assert_eq!(log.decision(6), None);
+        assert_eq!(log.max_txn_id(), 5);
+        assert_eq!(log.decisions().len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_last_decision() {
+        let path = tmp("torn");
+        {
+            let mut log = TxnDecisionLog::open(&path).unwrap();
+            log.decide(1, true).unwrap();
+            log.decide(2, true).unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 2).unwrap();
+        drop(f);
+        let log = TxnDecisionLog::open(&path).unwrap();
+        assert_eq!(log.decision(1), Some(true));
+        assert_eq!(log.decision(2), None, "torn decision dropped cleanly");
+        assert_eq!(log.max_txn_id(), 1);
+    }
+
+    #[test]
+    fn later_decision_wins_and_ids_advance() {
+        let path = tmp("ids");
+        let mut log = TxnDecisionLog::open(&path).unwrap();
+        log.decide(9, false).unwrap();
+        log.decide(9, true).unwrap();
+        assert_eq!(log.decision(9), Some(true));
+        assert_eq!(log.max_txn_id(), 9);
+        assert_eq!(log.records_appended(), 2);
+    }
+}

@@ -77,6 +77,41 @@ pub enum WalRecord {
         /// Row indices to remove.
         ctids: Vec<u64>,
     },
+    /// Two-phase commit prepare: this shard's slice of a cross-shard
+    /// transaction, durably staged but **not applied**. Replay buffers the
+    /// nested records until a matching [`WalRecord::TxnCommit`] applies them
+    /// or a [`WalRecord::TxnAbort`] discards them; a prepare with neither by
+    /// end-of-log is *in-doubt* and is resolved from the coordinator's
+    /// decision log (presumed-abort when no decision exists).
+    TxnPrepare {
+        /// Coordinator-issued transaction id, unique per coordinator log.
+        txn_id: u64,
+        /// This shard's mutations, in execution order. Nested records must
+        /// be plain data/DDL records — transaction markers do not nest.
+        records: Vec<WalRecord>,
+    },
+    /// Two-phase commit outcome marker: apply the buffered prepare group
+    /// for `txn_id`.
+    TxnCommit {
+        /// The prepared transaction being committed.
+        txn_id: u64,
+    },
+    /// Two-phase commit outcome marker: discard the buffered prepare group
+    /// for `txn_id`.
+    TxnAbort {
+        /// The prepared transaction being aborted.
+        txn_id: u64,
+    },
+    /// Coordinator decision record (coordinator log only): the durable
+    /// commit/abort verdict for `txn_id`. Under presumed-abort only commit
+    /// decisions strictly need logging, but aborts may be logged too to
+    /// shortcut recovery.
+    TxnDecision {
+        /// The transaction decided.
+        txn_id: u64,
+        /// True for commit, false for abort.
+        commit: bool,
+    },
 }
 
 impl WalRecord {
@@ -87,6 +122,10 @@ impl WalRecord {
             WalRecord::Insert { .. } => 2,
             WalRecord::Update { .. } => 3,
             WalRecord::Delete { .. } => 4,
+            WalRecord::TxnPrepare { .. } => 5,
+            WalRecord::TxnCommit { .. } => 6,
+            WalRecord::TxnAbort { .. } => 7,
+            WalRecord::TxnDecision { .. } => 8,
         }
     }
 
@@ -136,6 +175,24 @@ impl WalRecord {
                 for id in ctids {
                     put_u64(&mut buf, *id);
                 }
+            }
+            WalRecord::TxnPrepare { txn_id, records } => {
+                put_u64(&mut buf, *txn_id);
+                put_u32(&mut buf, records.len() as u32);
+                // Nested records reuse the payload codec with lsn 0: the
+                // group shares the prepare frame's LSN, the inner values
+                // are placeholders.
+                for rec in records {
+                    let inner = rec.encode(0);
+                    put_u32(&mut buf, inner.len() as u32);
+                    buf.extend_from_slice(&inner);
+                }
+            }
+            WalRecord::TxnCommit { txn_id } => put_u64(&mut buf, *txn_id),
+            WalRecord::TxnAbort { txn_id } => put_u64(&mut buf, *txn_id),
+            WalRecord::TxnDecision { txn_id, commit } => {
+                put_u64(&mut buf, *txn_id);
+                buf.push(u8::from(*commit));
             }
         }
         buf
@@ -201,6 +258,44 @@ impl WalRecord {
                     ctids.push(r.u64()?);
                 }
                 WalRecord::Delete { table, ctids }
+            }
+            5 => {
+                let txn_id = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut records = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let len = r.u32()? as usize;
+                    let inner = r.bytes(len)?;
+                    let (_lsn, rec) = WalRecord::decode(inner)?;
+                    if matches!(
+                        rec,
+                        WalRecord::TxnPrepare { .. }
+                            | WalRecord::TxnCommit { .. }
+                            | WalRecord::TxnAbort { .. }
+                            | WalRecord::TxnDecision { .. }
+                    ) {
+                        return Err(StoreError::corrupt(
+                            "transaction marker nested inside TxnPrepare",
+                        ));
+                    }
+                    records.push(rec);
+                }
+                WalRecord::TxnPrepare { txn_id, records }
+            }
+            6 => WalRecord::TxnCommit { txn_id: r.u64()? },
+            7 => WalRecord::TxnAbort { txn_id: r.u64()? },
+            8 => {
+                let txn_id = r.u64()?;
+                let commit = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(StoreError::corrupt(format!(
+                            "TxnDecision verdict byte must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                WalRecord::TxnDecision { txn_id, commit }
             }
             other => {
                 return Err(StoreError::corrupt(format!(
@@ -458,6 +553,14 @@ impl WalWriter {
     /// Records deferred in the currently open group window (0 outside one).
     pub fn group_pending(&self) -> u64 {
         self.group.as_ref().map_or(0, |g| g.deferred)
+    }
+
+    /// True while a group-commit window is open. Two-phase-commit appends
+    /// check this: a prepare acked inside a window could be cut back out by
+    /// the window's whole-batch rollback, which would break the 2PC
+    /// durability contract.
+    pub fn in_group(&self) -> bool {
+        self.group.is_some()
     }
 
     /// The cross-thread progress view ([`WalShared`]) for this writer.
@@ -1010,6 +1113,81 @@ mod tests {
             "only the post-truncate record unwound"
         );
         assert_eq!(w.stats().bytes, WAL_MAGIC.len() as u64);
+    }
+
+    fn txn_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::TxnPrepare {
+                txn_id: 7,
+                records: vec![
+                    WalRecord::CreateTable {
+                        name: "t".into(),
+                        columns: vec!["id".into()],
+                        types: vec![DataType::Int],
+                    },
+                    WalRecord::Insert {
+                        table: "t".into(),
+                        rows: vec![vec![Value::Int(1)]],
+                    },
+                ],
+            },
+            WalRecord::TxnCommit { txn_id: 7 },
+            WalRecord::TxnAbort { txn_id: 8 },
+            WalRecord::TxnDecision {
+                txn_id: 7,
+                commit: true,
+            },
+            WalRecord::TxnDecision {
+                txn_id: 8,
+                commit: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn txn_records_round_trip() {
+        let path = tmp("txnroundtrip");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always, 0, 1).unwrap();
+        for rec in txn_records() {
+            w.append(&rec).unwrap();
+        }
+        drop(w);
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.torn_bytes, 0);
+        assert!(!out.crc_mismatch);
+        let recs: Vec<WalRecord> = out.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(recs, txn_records());
+    }
+
+    #[test]
+    fn txn_frame_codec_round_trips_and_rejects_corruption() {
+        for (i, rec) in txn_records().iter().enumerate() {
+            let lsn = (i + 1) as u64;
+            let frame = encode_frame(rec, lsn);
+            let (got_lsn, got) = decode_frame(&frame).unwrap();
+            assert_eq!(got_lsn, lsn);
+            assert_eq!(&got, rec);
+            let mut bad = frame.clone();
+            let last = bad.len() - 1;
+            bad[last] ^= 0x40;
+            assert!(decode_frame(&bad).is_err());
+            assert!(decode_frame(&frame[..frame.len() - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn nested_txn_marker_is_rejected() {
+        // Hand-encode a TxnPrepare whose nested record is itself a
+        // TxnCommit: the codec must refuse it even with a valid CRC.
+        let inner = WalRecord::TxnCommit { txn_id: 3 }.encode(0);
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 9); // lsn
+        buf.push(5); // TxnPrepare kind
+        put_u64(&mut buf, 3); // txn_id
+        put_u32(&mut buf, 1); // one nested record
+        put_u32(&mut buf, inner.len() as u32);
+        buf.extend_from_slice(&inner);
+        assert!(WalRecord::decode(&buf).is_err());
     }
 
     #[test]

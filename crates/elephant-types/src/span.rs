@@ -147,6 +147,14 @@ pub enum SpanKind {
     EnginePhase,
     /// Replication apply work on a follower.
     ReplApply,
+    /// One participant shard executing + durably preparing its slice of a
+    /// cross-shard transaction (2PC phase one).
+    TxnPrepare,
+    /// The coordinator durably logging its commit/abort verdict.
+    TxnDecision,
+    /// One participant shard applying the decided outcome (commit marker,
+    /// or abort marker + unwind).
+    TxnCommit,
 }
 
 impl SpanKind {
@@ -163,6 +171,9 @@ impl SpanKind {
             SpanKind::WalGroupFsync => "wal-group-fsync",
             SpanKind::EnginePhase => "engine-phase",
             SpanKind::ReplApply => "repl-apply",
+            SpanKind::TxnPrepare => "txn-prepare",
+            SpanKind::TxnDecision => "txn-decision",
+            SpanKind::TxnCommit => "txn-commit",
         }
     }
 }

@@ -63,6 +63,23 @@ pub trait StorageBackend {
     fn end_group(&mut self) -> Result<u64> {
         Ok(0)
     }
+
+    /// Durably stage this engine's slice of a cross-shard transaction: a
+    /// single `PREPARE` frame, fsynced regardless of policy, holding the
+    /// captured records. Volatile backends accept and discard it.
+    fn log_txn_prepare(&mut self, _txn_id: u64, _records: Vec<WalRecord>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Append + fsync the `COMMIT` outcome marker for a prepared group.
+    fn log_txn_commit(&mut self, _txn_id: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Append + fsync the `ABORT` outcome marker for a prepared group.
+    fn log_txn_abort(&mut self, _txn_id: u64) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// The volatile backend: every operation is a no-op.
@@ -103,7 +120,20 @@ impl DurableBackend {
     /// holds. Returns the backend plus the recovered tables for the caller
     /// to install into its catalog.
     pub fn open(dir: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<(DurableBackend, Vec<Table>)> {
-        let config = StoreConfig::new(dir.as_ref()).with_fsync(fsync);
+        DurableBackend::open_with_decisions(dir, fsync, std::collections::HashMap::new())
+    }
+
+    /// [`DurableBackend::open`] with the coordinator's 2PC verdict map:
+    /// recovery resolves any in-doubt prepared group against it (commit
+    /// decision → apply, otherwise presumed abort).
+    pub fn open_with_decisions(
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        txn_decisions: std::collections::HashMap<u64, bool>,
+    ) -> Result<(DurableBackend, Vec<Table>)> {
+        let config = StoreConfig::new(dir.as_ref())
+            .with_fsync(fsync)
+            .with_txn_decisions(txn_decisions);
         let (store, images, recovery) = Store::open(config)?;
         let tables = images.into_iter().map(image_to_table).collect();
         Ok((DurableBackend { store, recovery }, tables))
@@ -154,6 +184,21 @@ impl StorageBackend for DurableBackend {
 
     fn end_group(&mut self) -> Result<u64> {
         Ok(self.store.end_group()?)
+    }
+
+    fn log_txn_prepare(&mut self, txn_id: u64, records: Vec<WalRecord>) -> Result<()> {
+        self.store.log_txn_prepare(txn_id, records)?;
+        Ok(())
+    }
+
+    fn log_txn_commit(&mut self, txn_id: u64) -> Result<()> {
+        self.store.log_txn_commit(txn_id)?;
+        Ok(())
+    }
+
+    fn log_txn_abort(&mut self, txn_id: u64) -> Result<()> {
+        self.store.log_txn_abort(txn_id)?;
+        Ok(())
     }
 }
 

@@ -113,6 +113,20 @@ pub struct Engine {
     /// Callers holding per-statement marks compare epochs to know whether
     /// "this statement deferred its commit" is still true.
     group_epoch: u64,
+    /// While `Some`, [`Engine::log_durable`] diverts records here instead of
+    /// the backend: the 2PC prepare path runs statements normally, captures
+    /// their WAL records, and stages the batch as one `PREPARE` frame.
+    txn_capture: Option<Vec<WalRecord>>,
+    /// A prepared-but-undecided cross-shard transaction: its in-memory
+    /// effects are visible, its WAL records sit in a fsynced `PREPARE`
+    /// frame, and these undo entries unwind it on abort.
+    prepared_txn: Option<PreparedTxn>,
+}
+
+/// See [`Engine::prepare_txn`].
+struct PreparedTxn {
+    txn_id: u64,
+    undo: Vec<GroupUndo>,
 }
 
 /// How to undo one logged-but-not-yet-group-committed mutation. Mirrors the
@@ -157,7 +171,19 @@ impl Engine {
         dir: impl AsRef<Path>,
         fsync: FsyncPolicy,
     ) -> Result<Engine> {
-        let (backend, tables) = DurableBackend::open(dir, fsync)?;
+        Engine::open_durable_with_decisions(profile, dir, fsync, HashMap::new())
+    }
+
+    /// [`Engine::open_durable`] with the coordinator's 2PC verdict map:
+    /// recovery resolves in-doubt prepared groups against it (commit
+    /// decision → apply, otherwise presumed abort).
+    pub fn open_durable_with_decisions(
+        profile: EngineProfile,
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        txn_decisions: HashMap<u64, bool>,
+    ) -> Result<Engine> {
+        let (backend, tables) = DurableBackend::open_with_decisions(dir, fsync, txn_decisions)?;
         let mut engine = Engine::with_backend(profile, Box::new(backend));
         for table in tables {
             engine.catalog.create_table(table)?;
@@ -187,6 +213,8 @@ impl Engine {
             in_commit_group: false,
             group_undo: Vec::new(),
             group_epoch: 0,
+            txn_capture: None,
+            prepared_txn: None,
         }
     }
 
@@ -220,24 +248,8 @@ impl Engine {
                 Ok(n)
             }
             Err(e) => {
-                for undo in std::mem::take(&mut self.group_undo).into_iter().rev() {
-                    match undo {
-                        GroupUndo::Create { name } => {
-                            let _ = self.catalog.drop(&name, false, true);
-                            self.plan_cache.invalidate_table(&name);
-                        }
-                        GroupUndo::Drop { saved } => {
-                            let name = saved.name.clone();
-                            let _ = self.catalog.create_table(saved);
-                            self.plan_cache.invalidate_table(&name);
-                        }
-                        GroupUndo::Append {
-                            table,
-                            first_new_row,
-                            saved_serials,
-                        } => self.rollback_append(&table, first_new_row, saved_serials),
-                    }
-                }
+                let undo = std::mem::take(&mut self.group_undo);
+                self.unwind_undo(undo);
                 self.group_epoch += 1;
                 if !self.pinned_read_only {
                     self.health = Health::ReadOnly {
@@ -245,6 +257,30 @@ impl Engine {
                     };
                 }
                 Err(e)
+            }
+        }
+    }
+
+    /// Unwind a list of undo entries in reverse apply order: the shared
+    /// rollback path for a failed group fsync, a failed 2PC prepare, and a
+    /// 2PC abort. Mirrors the per-statement rollback paths exactly.
+    fn unwind_undo(&mut self, undo: Vec<GroupUndo>) {
+        for entry in undo.into_iter().rev() {
+            match entry {
+                GroupUndo::Create { name } => {
+                    let _ = self.catalog.drop(&name, false, true);
+                    self.plan_cache.invalidate_table(&name);
+                }
+                GroupUndo::Drop { saved } => {
+                    let name = saved.name.clone();
+                    let _ = self.catalog.create_table(saved);
+                    self.plan_cache.invalidate_table(&name);
+                }
+                GroupUndo::Append {
+                    table,
+                    first_new_row,
+                    saved_serials,
+                } => self.rollback_append(&table, first_new_row, saved_serials),
             }
         }
     }
@@ -261,12 +297,146 @@ impl Engine {
         self.group_epoch
     }
 
+    /// Phase one of two-phase commit, participant side: execute this
+    /// shard's slice of a cross-shard transaction and durably **prepare**
+    /// it. The statements run through the normal per-statement validation
+    /// and rollback paths, but their WAL records are captured and staged as
+    /// a single `PREPARE{txn_id, records}` frame, fsynced before this
+    /// returns — once it returns Ok, the coordinator may decide commit.
+    /// The in-memory effects stay visible; [`Engine::commit_prepared`]
+    /// retires them and [`Engine::abort_prepared`] unwinds them. Returns
+    /// the total rows affected.
+    ///
+    /// At most one transaction can be prepared at a time: the caller (the
+    /// shard executor) blocks for the coordinator's decision, so a second
+    /// prepare cannot arrive while one is pending.
+    pub fn prepare_txn(&mut self, txn_id: u64, sql: &str) -> Result<usize> {
+        if self.prepared_txn.is_some() {
+            return Err(SqlError::exec(
+                "a transaction is already prepared and undecided",
+            ));
+        }
+        if self.in_commit_group {
+            return Err(SqlError::exec(
+                "2PC prepare inside an open group-commit window",
+            ));
+        }
+        if let Health::ReadOnly { reason } = &self.health {
+            return Err(SqlError::ReadOnly(reason.clone()));
+        }
+        self.txn_capture = Some(Vec::new());
+        let saved_undo = std::mem::take(&mut self.group_undo);
+        let result = self.execute_script(sql);
+        let captured = self.txn_capture.take().unwrap_or_default();
+        let undo = std::mem::replace(&mut self.group_undo, saved_undo);
+        match result {
+            Ok(outcomes) => {
+                if !captured.is_empty() {
+                    if let Err(e) = self.backend.log_txn_prepare(txn_id, captured) {
+                        // The prepare never became durable: unwind the
+                        // in-memory effects and degrade, the same contract
+                        // as a failed per-statement append.
+                        self.unwind_undo(undo);
+                        if !self.pinned_read_only {
+                            self.health = Health::ReadOnly {
+                                reason: e.to_string(),
+                            };
+                        }
+                        return Err(e);
+                    }
+                }
+                let rows = outcomes.iter().map(|o| o.rows_affected).sum();
+                self.prepared_txn = Some(PreparedTxn { txn_id, undo });
+                Ok(rows)
+            }
+            Err(e) => {
+                // A statement failed mid-slice: earlier statements already
+                // applied in memory but nothing reached the WAL, so unwind
+                // them and vote abort by reporting the error.
+                self.unwind_undo(undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase two, commit: append + fsync the `COMMIT` outcome marker and
+    /// retire the prepared transaction's undo entries. On a marker append
+    /// failure the in-memory effects are **kept** — the coordinator already
+    /// durably decided commit, recovery will apply the group from the
+    /// prepare frame plus the decision log — but the engine degrades to
+    /// read-only until a checkpoint reconciles disk with memory.
+    pub fn commit_prepared(&mut self, txn_id: u64) -> Result<()> {
+        let txn = self
+            .prepared_txn
+            .take()
+            .ok_or_else(|| SqlError::exec("no prepared transaction to commit"))?;
+        if txn.txn_id != txn_id {
+            let have = txn.txn_id;
+            self.prepared_txn = Some(txn);
+            return Err(SqlError::exec(format!(
+                "commit for txn {txn_id} but txn {have} is prepared"
+            )));
+        }
+        self.group_epoch += 1;
+        if let Err(e) = self.backend.log_txn_commit(txn_id) {
+            if !self.pinned_read_only {
+                self.health = Health::ReadOnly {
+                    reason: e.to_string(),
+                };
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Phase two, abort: unwind the prepared transaction's in-memory
+    /// effects (reverse apply order), then append the `ABORT` outcome
+    /// marker. The unwind happens regardless of the marker append's fate:
+    /// presumed-abort guarantees recovery discards the group either way, so
+    /// memory must match that outcome now.
+    pub fn abort_prepared(&mut self, txn_id: u64) -> Result<()> {
+        let txn = self
+            .prepared_txn
+            .take()
+            .ok_or_else(|| SqlError::exec("no prepared transaction to abort"))?;
+        if txn.txn_id != txn_id {
+            let have = txn.txn_id;
+            self.prepared_txn = Some(txn);
+            return Err(SqlError::exec(format!(
+                "abort for txn {txn_id} but txn {have} is prepared"
+            )));
+        }
+        self.unwind_undo(txn.undo);
+        self.group_epoch += 1;
+        if let Err(e) = self.backend.log_txn_abort(txn_id) {
+            if !self.pinned_read_only {
+                self.health = Health::ReadOnly {
+                    reason: e.to_string(),
+                };
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The id of the currently prepared-but-undecided transaction, if any.
+    pub fn prepared_txn_id(&self) -> Option<u64> {
+        self.prepared_txn.as_ref().map(|t| t.txn_id)
+    }
+
     /// Record how to undo a mutation whose WAL frame is deferred in the
     /// open group window. Outside a window — or when nothing was actually
     /// logged (volatile backend, unlogged mode) — there is nothing a group
     /// failure could unwind, so nothing is recorded.
     fn note_group_undo(&mut self, undo: GroupUndo) {
-        if self.in_commit_group && !self.unlogged && self.backend.is_durable() {
+        if self.unlogged {
+            return;
+        }
+        // Inside a 2PC prepare capture, *every* mutation records its undo
+        // (abort must unwind even on a volatile backend); inside a plain
+        // group window, only durably logged mutations can be unwound by a
+        // failed group fsync.
+        if self.txn_capture.is_some() || (self.in_commit_group && self.backend.is_durable()) {
             self.group_undo.push(undo);
         }
     }
@@ -448,6 +618,13 @@ impl Engine {
     /// that degraded us has been compacted away. A failed checkpoint
     /// leaves both the health state and the previous snapshot untouched.
     pub fn checkpoint(&mut self) -> Result<Option<CheckpointStats>> {
+        if self.txn_capture.is_some() || self.prepared_txn.is_some() {
+            // The snapshot would capture (and the WAL truncation would
+            // orphan) a transaction whose verdict is not known yet.
+            return Err(SqlError::exec(
+                "cannot checkpoint while a transaction is prepared but undecided",
+            ));
+        }
         let stats = self.backend.checkpoint(&self.catalog)?;
         if stats.is_some() && self.health != Health::Healthy && !self.pinned_read_only {
             self.health = Health::Healthy;
@@ -536,6 +713,17 @@ impl Engine {
                     }
                     t.data.rows.remove(id);
                 }
+            }
+            WalRecord::TxnPrepare { txn_id, .. }
+            | WalRecord::TxnCommit { txn_id }
+            | WalRecord::TxnAbort { txn_id }
+            | WalRecord::TxnDecision { txn_id, .. } => {
+                // Replication is single-shard only and 2PC is multi-shard
+                // only, so a shipped transaction marker is a protocol
+                // violation, not something to apply.
+                return Err(SqlError::exec(format!(
+                    "transaction marker for txn {txn_id} cannot be replicated"
+                )));
             }
         }
         Ok(())
@@ -652,6 +840,12 @@ impl Engine {
         if let Health::ReadOnly { reason } = &self.health {
             return Err(SqlError::ReadOnly(reason.clone()));
         }
+        if let Some(captured) = &mut self.txn_capture {
+            // 2PC prepare capture: the record is staged, not appended — it
+            // becomes durable inside the single PREPARE frame.
+            captured.push(record.clone());
+            return Ok(());
+        }
         let result = if self.trace.enabled() {
             let before = self
                 .backend
@@ -701,6 +895,10 @@ impl Engine {
     /// next logged write (and `log_durable` degrades health on real WAL
     /// faults anyway).
     fn maybe_auto_checkpoint(&mut self) {
+        if self.txn_capture.is_some() {
+            // A checkpoint mid-prepare would snapshot uncommitted state.
+            return;
+        }
         let Some(budget) = self.auto_checkpoint_wal_bytes else {
             return;
         };
@@ -1126,7 +1324,7 @@ impl Engine {
         }
         // Log the rows as stored (post serial-fill/coercion) so replay
         // reproduces the exact in-memory state, ctids included.
-        if count > 0 && self.backend.is_durable() {
+        if count > 0 && (self.backend.is_durable() || self.txn_capture.is_some()) {
             let rows = table_ref.data.rows[first_new_row..].to_vec();
             if let Err(e) = self.log_durable(&WalRecord::Insert {
                 table: table.to_string(),
@@ -1204,7 +1402,7 @@ impl Engine {
             table_ref.append(full)?;
             count += 1;
         }
-        if count > 0 && self.backend.is_durable() {
+        if count > 0 && (self.backend.is_durable() || self.txn_capture.is_some()) {
             let rows = table_ref.data.rows[first_new_row..].to_vec();
             if let Err(e) = self.log_durable(&WalRecord::Insert {
                 table: table.to_string(),

@@ -59,6 +59,6 @@ pub use trace::{EngineTrace, OpProfile, Phase, QueryProfile};
 // policies), so re-export them: dependents need no direct `elephant-store`
 // dependency.
 pub use elephant_store::{
-    CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, TableImage, WalHandle, WalRecord,
-    WalStats,
+    CheckpointStats, FsyncPolicy, RecoveryReport, StoreStats, TableImage, TxnDecisionLog,
+    WalHandle, WalRecord, WalStats, TXN_LOG_FILE,
 };

@@ -1,0 +1,296 @@
+//! Protocol v2: pipelining speedup, BATCH amortization, and chunked
+//! streaming under the result-buffer cap.
+//!
+//! **Part 1 — pipelining.** The same 2000 parameterized point lookups
+//! (`EXECUTE byid (i)` against a prepared `SELECT ... WHERE a = $1`) run
+//! two ways against one in-memory server: request-per-round-trip on a v1
+//! connection, and windows of 500 in-flight commands on a v2
+//! [`PipelineClient`]. Every v1 lookup pays write + read + server flush
+//! per command; the pipeline pays them per window. The gate:
+//! pipelined throughput must be at least [`MIN_PIPELINE_SPEEDUP`]× the
+//! request-per-round-trip throughput.
+//!
+//! **Part 2 — BATCH ingest.** 2000 single-row INSERTs, one frame each on
+//! v1 versus `BATCH` frames of 500 statements on v2. Informational (the
+//! framing amortization rides the same pipe as part 1); reported in the
+//! JSON for tracking.
+//!
+//! **Part 3 — streaming.** One `SELECT` over a 10^6-row table streams
+//! ~7 MB of CSV through 64 KiB v2 chunks. The response must reassemble to
+//! exactly the expected row count, and the server's own accounting must
+//! show the buffered bytes never exceeded the configured
+//! `--max-result-buffer-bytes` cap — the bound on per-response memory —
+//! and drained back to zero afterwards.
+//!
+//! Writes `BENCH_proto.json` at the workspace root; exits non-zero when a
+//! gate fails.
+
+use elephant_server::{start, ElephantClient, PipelineClient, ServerConfig};
+use std::time::Instant;
+
+/// Pipelined point lookups must beat request-per-round-trip by this much.
+const MIN_PIPELINE_SPEEDUP: f64 = 3.0;
+
+/// Point lookups per side in part 1.
+const LOOKUPS: usize = 2_000;
+
+/// Commands kept in flight per pipeline window (bounded so responses never
+/// outgrow the socket buffers while the client is still writing).
+const WINDOW: usize = 500;
+
+/// Rows in the lookup table (and the modulus for lookup keys). Small on
+/// purpose: the gate compares wire paths, so the per-lookup engine work
+/// must stay far below the per-round-trip overhead being amortized.
+const TABLE_ROWS: usize = 10;
+
+/// Concurrent pipelined connections in the many-clients load section.
+const CLIENTS: usize = 8;
+
+/// Lookups each of the many clients runs.
+const LOOKUPS_PER_CLIENT: usize = 1_000;
+
+/// Single-row INSERTs per side in part 2.
+const INSERTS: usize = 2_000;
+
+/// Statements per BATCH frame in part 2.
+const BATCH_SIZE: usize = 500;
+
+/// Rows streamed in part 3.
+const STREAM_ROWS: usize = 1_000_000;
+
+/// The v2 result-buffer cap the streaming server runs with.
+const STREAM_CAP: usize = 64 << 20;
+
+fn stat_u64(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("missing '{key}' in stats:\n{stats}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// Bulk-load `rows` ints into `table` in frames of 10k values.
+fn load_ints(c: &mut ElephantClient, table: &str, rows: usize) {
+    c.query_raw(&format!("CREATE TABLE {table} (a int)"))
+        .unwrap();
+    let mut next = 0usize;
+    while next < rows {
+        let hi = (next + 10_000).min(rows);
+        let values: Vec<String> = (next..hi).map(|i| format!("({i})")).collect();
+        c.query_raw(&format!("INSERT INTO {table} VALUES {}", values.join(",")))
+            .unwrap();
+        next = hi;
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut gate_failed = false;
+
+    let handle = start(ServerConfig {
+        max_result_buffer_bytes: STREAM_CAP,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut admin = ElephantClient::connect(addr).unwrap();
+
+    // ---- Part 1: pipelined point lookups vs request-per-round-trip ----
+    println!(
+        "== proto: {LOOKUPS} point lookups, v1 round-trips vs v2 pipeline \
+         (window {WINDOW}) =="
+    );
+    admin.query_raw("CREATE TABLE pt (a int, b text)").unwrap();
+    let mut next = 0usize;
+    while next < TABLE_ROWS {
+        let hi = (next + 5_000).min(TABLE_ROWS);
+        let values: Vec<String> = (next..hi).map(|i| format!("({i}, 'name-{i}')")).collect();
+        admin
+            .query_raw(&format!("INSERT INTO pt VALUES {}", values.join(",")))
+            .unwrap();
+        next = hi;
+    }
+    let commands: Vec<String> = (0..LOOKUPS)
+        .map(|i| format!("EXECUTE byid ({})", (i * 37) % TABLE_ROWS))
+        .collect();
+
+    // v1: one round trip per lookup. A short untimed warmup settles the
+    // connection, allocator, and plan bindings before the clock starts.
+    let mut v1 = ElephantClient::connect(addr).unwrap();
+    v1.send("PREPARE byid AS SELECT b FROM pt WHERE a = $1")
+        .unwrap();
+    for cmd in commands.iter().take(WINDOW / 2) {
+        v1.send(cmd).unwrap();
+    }
+    let started = Instant::now();
+    for cmd in &commands {
+        v1.send(cmd).unwrap();
+    }
+    let v1_ops = LOOKUPS as f64 / started.elapsed().as_secs_f64();
+
+    // v2: the same commands, WINDOW in flight at a time.
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+    v2.send("PREPARE byid AS SELECT b FROM pt WHERE a = $1")
+        .unwrap();
+    for result in v2.pipeline(&commands[..WINDOW / 2]).unwrap() {
+        result.unwrap();
+    }
+    let started = Instant::now();
+    for window in commands.chunks(WINDOW) {
+        for result in v2.pipeline(window).unwrap() {
+            result.unwrap();
+        }
+    }
+    let v2_ops = LOOKUPS as f64 / started.elapsed().as_secs_f64();
+
+    let speedup = v2_ops / v1_ops;
+    println!(
+        "v1 {v1_ops:>9.0} lookups/s   v2 pipelined {v2_ops:>9.0} lookups/s   \
+         speedup {speedup:.2}x (gate >= {MIN_PIPELINE_SPEEDUP}x)"
+    );
+    if speedup < MIN_PIPELINE_SPEEDUP {
+        gate_failed = true;
+    }
+
+    // Many clients: CLIENTS pipelined connections hammering the same
+    // table concurrently, each with its own prepared statement and
+    // sequence space. Informational — the aggregate shows the overlapped
+    // submission path holds up under connection concurrency, not just on
+    // one quiet socket.
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = PipelineClient::connect(addr).unwrap();
+                c.send("PREPARE byid AS SELECT b FROM pt WHERE a = $1")
+                    .unwrap();
+                let cmds: Vec<String> = (0..LOOKUPS_PER_CLIENT)
+                    .map(|i| format!("EXECUTE byid ({})", (w + i * 37) % TABLE_ROWS))
+                    .collect();
+                for window in cmds.chunks(WINDOW) {
+                    for result in c.pipeline(window).unwrap() {
+                        result.unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let many_ops = (CLIENTS * LOOKUPS_PER_CLIENT) as f64 / started.elapsed().as_secs_f64();
+    println!(
+        "{CLIENTS} pipelined clients x {LOOKUPS_PER_CLIENT} lookups: \
+         {many_ops:>9.0} lookups/s aggregate"
+    );
+
+    // ---- Part 2: BATCH ingest vs per-statement frames ----
+    println!("== proto: {INSERTS} INSERTs, v1 frames vs BATCH of {BATCH_SIZE} ==");
+    admin.query_raw("CREATE TABLE ing1 (a int)").unwrap();
+    admin.query_raw("CREATE TABLE ing2 (a int)").unwrap();
+
+    let started = Instant::now();
+    for i in 0..INSERTS {
+        v1.send(&format!("QUERY INSERT INTO ing1 VALUES ({i})"))
+            .unwrap();
+    }
+    let v1_ins = INSERTS as f64 / started.elapsed().as_secs_f64();
+
+    let statements: Vec<String> = (0..INSERTS)
+        .map(|i| format!("INSERT INTO ing2 VALUES ({i})"))
+        .collect();
+    let started = Instant::now();
+    for frame in statements.chunks(BATCH_SIZE) {
+        let bodies = v2.batch(frame).unwrap();
+        assert_eq!(bodies.len(), frame.len());
+    }
+    let batch_ins = INSERTS as f64 / started.elapsed().as_secs_f64();
+    assert_eq!(
+        admin.query_raw("SELECT count(*) AS n FROM ing2").unwrap(),
+        format!("n\n{INSERTS}\n")
+    );
+    println!(
+        "v1 {v1_ins:>9.0} stmts/s   BATCH {batch_ins:>9.0} stmts/s   \
+         amortization {:.2}x",
+        batch_ins / v1_ins
+    );
+
+    // ---- Part 3: chunked streaming of 10^6 rows under the cap ----
+    println!("== proto: stream {STREAM_ROWS} rows through 64 KiB chunks ==");
+    load_ints(&mut admin, "big", STREAM_ROWS);
+    let started = Instant::now();
+    let body = v2.send("QUERY SELECT a FROM big").unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    let rows = body.lines().count() - 1; // header line
+    assert_eq!(rows, STREAM_ROWS, "stream dropped or duplicated rows");
+    let mb_per_sec = body.len() as f64 / 1e6 / elapsed;
+
+    let stats = v2.send("STATS").unwrap();
+    let chunks = stat_u64(&stats, "chunks_streamed");
+    let peak = stat_u64(&stats, "result_buffer_peak_bytes");
+    let now = stat_u64(&stats, "result_buffer_bytes");
+    println!(
+        "{} bytes in {elapsed:.3}s  {mb_per_sec:.0} MB/s  chunks {chunks}  \
+         buffered peak {peak} (cap {STREAM_CAP})  buffered now {now}",
+        body.len()
+    );
+    if peak as usize > STREAM_CAP || peak == 0 {
+        println!("FAIL: peak buffered bytes outside (0, cap]");
+        gate_failed = true;
+    }
+    if now != 0 {
+        println!("FAIL: buffered bytes did not drain to zero");
+        gate_failed = true;
+    }
+    if (chunks as usize) < body.len() / (64 * 1024) {
+        println!("FAIL: fewer chunks than the body size requires");
+        gate_failed = true;
+    }
+
+    admin.shutdown().unwrap();
+    drop((admin, v1, v2));
+    handle.join();
+
+    let json = format!(
+        "{{\n  \"bench\": \"proto\",\n  \"cores\": {cores},\n  \
+         \"point_lookups\": {{\n    \"lookups\": {LOOKUPS},\n    \
+         \"window\": {WINDOW},\n    \"v1_ops_per_sec\": {v1_ops:.1},\n    \
+         \"v2_pipelined_ops_per_sec\": {v2_ops:.1},\n    \
+         \"speedup\": {speedup:.3},\n    \
+         \"gate\": \"speedup >= {MIN_PIPELINE_SPEEDUP}\"\n  }},\n  \
+         \"many_clients\": {{\n    \"clients\": {CLIENTS},\n    \
+         \"lookups_per_client\": {LOOKUPS_PER_CLIENT},\n    \
+         \"aggregate_ops_per_sec\": {many_ops:.1}\n  }},\n  \
+         \"batch_ingest\": {{\n    \"statements\": {INSERTS},\n    \
+         \"batch_size\": {BATCH_SIZE},\n    \
+         \"v1_stmts_per_sec\": {v1_ins:.1},\n    \
+         \"batch_stmts_per_sec\": {batch_ins:.1},\n    \
+         \"amortization\": {:.3}\n  }},\n  \
+         \"streaming\": {{\n    \"rows\": {STREAM_ROWS},\n    \
+         \"bytes\": {},\n    \"seconds\": {elapsed:.3},\n    \
+         \"mb_per_sec\": {mb_per_sec:.1},\n    \
+         \"chunks_streamed\": {chunks},\n    \
+         \"result_buffer_peak_bytes\": {peak},\n    \
+         \"cap_bytes\": {STREAM_CAP},\n    \
+         \"gate\": \"0 < result_buffer_peak_bytes <= cap_bytes && drains to 0\"\n  }}\n}}\n",
+        batch_ins / v1_ins,
+        body.len(),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let path = root.join("BENCH_proto.json");
+    std::fs::write(&path, json).expect("write BENCH_proto.json");
+    println!("wrote {}", path.display());
+
+    if gate_failed {
+        eprintln!(
+            "FAIL: protocol v2 missed a gate (speedup {speedup:.2}x, \
+             peak {peak} bytes, cap {STREAM_CAP})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -20,14 +20,34 @@
 //! Multi-line payloads (`INSPECT` pipeline sources) can be piped instead:
 //! `elephant-ctl --stdin` reads the entire command from stdin and sends it
 //! as one frame, letting the client pick length-prefixed framing.
+//!
+//! Bulk modes read one protocol command per stdin line and use the v2
+//! wire (`HELLO v2`):
+//!
+//! - `--pipeline` keeps every command in flight at once on a
+//!   [`PipelineClient`] and prints each response in order, separated by
+//!   blank lines. Any command failing marks the exit code but the rest
+//!   still run.
+//! - `--batch` joins the lines (which must be bare SQL, no verb) into ONE
+//!   `BATCH` frame, sharing a single round trip and — on a single shard —
+//!   a single WAL group commit.
+//!
+//! ```text
+//! printf 'QUERY INSERT INTO t VALUES (1)\nQUERY SELECT count(*) AS n FROM t\n' \
+//!     | elephant-ctl --pipeline
+//! printf 'INSERT INTO t VALUES (1)\nINSERT INTO t VALUES (2)\n' \
+//!     | elephant-ctl --batch
+//! ```
 
-use elephant_server::{ClientError, ElephantClient};
+use elephant_server::{ClientError, ElephantClient, PipelineClient};
 use std::io::Read;
 use std::process::exit;
 
 fn main() {
     let mut addr = "127.0.0.1:5462".to_string();
     let mut from_stdin = false;
+    let mut pipeline = false;
+    let mut batch = false;
     let mut words: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -40,10 +60,14 @@ fn main() {
                 });
             }
             "--stdin" => from_stdin = true,
+            "--pipeline" => pipeline = true,
+            "--batch" => batch = true,
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-ctl [--addr HOST:PORT] <command words...>\n       \
-                     elephant-ctl [--addr HOST:PORT] --stdin   (read the frame from stdin)"
+                     elephant-ctl [--addr HOST:PORT] --stdin     (read the frame from stdin)\n       \
+                     elephant-ctl [--addr HOST:PORT] --pipeline  (one command per stdin line, all in flight over v2)\n       \
+                     elephant-ctl [--addr HOST:PORT] --batch     (one SQL statement per stdin line, one BATCH frame over v2)"
                 );
                 return;
             }
@@ -52,6 +76,15 @@ fn main() {
                 words.extend(args.by_ref());
             }
         }
+    }
+
+    if pipeline && batch {
+        eprintln!("--pipeline and --batch are mutually exclusive");
+        exit(2);
+    }
+    if pipeline || batch {
+        run_bulk(&addr, pipeline);
+        return;
     }
 
     let command = if from_stdin {
@@ -85,6 +118,75 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             exit(2);
+        }
+    }
+}
+
+/// `--pipeline` / `--batch`: one line per command (or statement) on stdin,
+/// sent over one v2 connection.
+fn run_bulk(addr: &str, pipeline: bool) {
+    let mut buf = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+        eprintln!("reading stdin: {e}");
+        exit(2);
+    }
+    let lines: Vec<&str> = buf.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        eprintln!("no commands on stdin (try --help)");
+        exit(2);
+    }
+
+    let mut client = match PipelineClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            exit(2);
+        }
+    };
+
+    if pipeline {
+        match client.pipeline(&lines) {
+            Ok(results) => {
+                let mut failed = false;
+                for (i, result) in results.iter().enumerate() {
+                    if i > 0 {
+                        println!();
+                    }
+                    match result {
+                        Ok(body) => println!("{body}"),
+                        Err(e) => {
+                            failed = true;
+                            eprintln!("command {}: {e}", i + 1);
+                        }
+                    }
+                }
+                if failed {
+                    exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(2);
+            }
+        }
+    } else {
+        match client.batch(&lines) {
+            Ok(bodies) => {
+                for (i, body) in bodies.iter().enumerate() {
+                    if i > 0 {
+                        println!();
+                    }
+                    println!("{body}");
+                }
+            }
+            Err(ClientError::Server(e)) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(2);
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //!                [--statement-timeout-ms N] [--repl-addr HOST:PORT]
 //!                [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N]
 //!                [--shards N] [--metrics-addr HOST:PORT]
+//!                [--max-result-buffer-bytes N]
 //! ```
 //!
 //! `--exec-mode row|columnar|auto` picks the default query execution
@@ -60,6 +61,7 @@ fn main() {
     let mut auto_checkpoint_wal_bytes: Option<u64> = None;
     let mut shards: Option<usize> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut max_result_buffer_bytes: usize = 64 << 20;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +100,12 @@ fn main() {
             }
             "--shards" => shards = Some(parse(&value("--shards"), "--shards")),
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
+            "--max-result-buffer-bytes" => {
+                max_result_buffer_bytes = parse(
+                    &value("--max-result-buffer-bytes"),
+                    "--max-result-buffer-bytes",
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: elephant-serve [--addr HOST:PORT] [--disk] \
@@ -107,7 +115,8 @@ fn main() {
                      [--statement-timeout-ms N] [--repl-addr HOST:PORT] \
                      [--replicate-from HOST:PORT] [--auto-checkpoint-wal-bytes N] \
                      [--shards N (default: available parallelism; 1 with replication)] \
-                     [--metrics-addr HOST:PORT (Prometheus text format on GET /metrics)]"
+                     [--metrics-addr HOST:PORT (Prometheus text format on GET /metrics)] \
+                     [--max-result-buffer-bytes N (v2 per-response cap, default 64 MiB)]"
                 );
                 return;
             }
@@ -144,6 +153,7 @@ fn main() {
         auto_checkpoint_wal_bytes,
         shards,
         metrics_addr,
+        max_result_buffer_bytes,
     };
     if with_data {
         config = config.with_standard_pipeline_data(rows, seed);

@@ -6,6 +6,10 @@
 //! bodies come back verbatim (`query_raw` returns the CSV bytes exactly as
 //! the server produced them), which is what the integration tests compare
 //! byte-for-byte against the embedded engine.
+//!
+//! The [`wire`] submodule holds [`wire::PipelineClient`], which negotiates
+//! the v2 protocol (`HELLO v2`) and keeps many requests in flight on one
+//! connection — see [`crate::proto2`] for the frame grammar.
 
 use crate::protocol::{codes, encode_request};
 use etypes::Prng;
@@ -535,6 +539,342 @@ impl ReplicatedClient {
             }
         }
         self.leader.send(command)
+    }
+}
+
+pub mod wire {
+    //! Client side of the pipelined v2 wire protocol.
+    //!
+    //! [`PipelineClient`] upgrades a fresh connection with `HELLO v2` and
+    //! then speaks sequence-tagged frames (`@seq len` requests, `+`/`-`
+    //! responses, `*` stream chunks — see [`crate::proto2`]). Unlike
+    //! [`ElephantClient`](super::ElephantClient), which is strictly
+    //! request/response, this client separates *writing* commands from
+    //! *reading* their results: [`pipeline`](PipelineClient::pipeline)
+    //! writes a whole batch of frames before reading the first response,
+    //! so one round trip covers the entire batch instead of one command.
+    //!
+    //! Responses are matched back to commands by sequence id, and the
+    //! server guarantees response order equals request order, so a
+    //! pipeline's results come back positionally. Streamed responses
+    //! (`*` chunks ending in a `stream bytes=.. chunks=..` trailer) are
+    //! reassembled transparently — callers always see the full body.
+
+    use super::{busy_shard_salt, ClientError, ClientResult, ServerError};
+    use crate::protocol::{codes, encode_request, BATCH_SEP};
+    use crate::RetryPolicy;
+    use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+    use std::net::{TcpStream, ToSocketAddrs};
+    use std::thread;
+    use std::time::Duration;
+
+    /// Default response timeout, matching [`super::ElephantClient`].
+    const DEFAULT_RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// A v2 connection with pipelining: queue many commands, then read
+    /// their responses in order.
+    pub struct PipelineClient {
+        writer: BufWriter<TcpStream>,
+        reader: BufReader<TcpStream>,
+        next_seq: u64,
+    }
+
+    impl PipelineClient {
+        /// Connect to `addr` and negotiate v2 with the default 30 s
+        /// response timeout. Fails with `InvalidData` if the server does
+        /// not acknowledge `HELLO v2`.
+        pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelineClient> {
+            PipelineClient::with_timeout(addr, Some(DEFAULT_RESPONSE_TIMEOUT))
+        }
+
+        /// Connect with an explicit response timeout (`None` waits
+        /// indefinitely) and negotiate v2.
+        pub fn with_timeout(
+            addr: impl ToSocketAddrs,
+            timeout: Option<Duration>,
+        ) -> io::Result<PipelineClient> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(timeout)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            let mut writer = BufWriter::new(stream);
+
+            // The handshake rides on v1 framing: request `HELLO v2`,
+            // expect `+2\nv2\n`.
+            writer.write_all(encode_request("HELLO v2").as_bytes())?;
+            writer.flush()?;
+            let mut status = String::new();
+            reader.read_line(&mut status)?;
+            let body_len: usize = status
+                .trim_end()
+                .strip_prefix('+')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server refused v2 handshake: {}", status.trim_end()),
+                    )
+                })?;
+            let mut body = vec![0u8; body_len + 1];
+            reader.read_exact(&mut body)?;
+            body.pop();
+            if body != b"v2" {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "unexpected handshake body '{}'",
+                        String::from_utf8_lossy(&body)
+                    ),
+                ));
+            }
+            Ok(PipelineClient {
+                writer,
+                reader,
+                next_seq: 0,
+            })
+        }
+
+        /// Queue one command frame without flushing or reading; returns the
+        /// sequence id the response will carry. Pair with
+        /// [`flush`](PipelineClient::flush) and
+        /// [`read_response`](PipelineClient::read_response).
+        pub fn enqueue(&mut self, command: &str) -> io::Result<u64> {
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            write!(self.writer, "@{seq} {}\n{command}\n", command.len())?;
+            Ok(seq)
+        }
+
+        /// Flush every queued frame to the socket.
+        pub fn flush(&mut self) -> io::Result<()> {
+            self.writer.flush()
+        }
+
+        /// Read the next response in wire order: `(seq, result)`. Stream
+        /// chunks are reassembled into one body before returning.
+        pub fn read_response(&mut self) -> ClientResult<(u64, Result<String, ServerError>)> {
+            let mut streamed: Vec<u8> = Vec::new();
+            loop {
+                let (kind, seq, len) = self.read_status()?;
+                match kind {
+                    b'*' => {
+                        let chunk = self.read_body(len)?;
+                        streamed.extend_from_slice(&chunk);
+                    }
+                    b'+' => {
+                        let body = self.read_body(len)?;
+                        let body = String::from_utf8(body).map_err(|_| {
+                            ClientError::Io(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "response body is not UTF-8",
+                            ))
+                        })?;
+                        if streamed.is_empty() {
+                            return Ok((seq, Ok(body)));
+                        }
+                        // Trailer after a chunked stream: verify the byte
+                        // count, then hand back the reassembled body.
+                        let declared = body
+                            .strip_prefix("stream bytes=")
+                            .and_then(|r| r.split_whitespace().next())
+                            .and_then(|n| n.parse::<usize>().ok());
+                        if declared != Some(streamed.len()) {
+                            return Err(ClientError::Io(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "stream trailer '{body}' does not match {} received bytes",
+                                    streamed.len()
+                                ),
+                            )));
+                        }
+                        let body = String::from_utf8(streamed).map_err(|_| {
+                            ClientError::Io(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "streamed body is not UTF-8",
+                            ))
+                        })?;
+                        return Ok((seq, Ok(body)));
+                    }
+                    _ => {
+                        let body = self.read_body(len)?;
+                        let body = String::from_utf8_lossy(&body);
+                        let (code, message) = body.split_once(' ').unwrap_or((body.as_ref(), ""));
+                        return Ok((
+                            seq,
+                            Err(ServerError {
+                                code: code.to_string(),
+                                message: message.to_string(),
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+
+        /// Send one command and wait for its response — v2's equivalent of
+        /// [`ElephantClient::send`](super::ElephantClient::send).
+        pub fn send(&mut self, command: &str) -> ClientResult<String> {
+            let seq = self.enqueue(command)?;
+            self.flush()?;
+            let (got, result) = self.read_response()?;
+            if got != seq {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response seq {got} does not match request seq {seq}"),
+                )));
+            }
+            result.map_err(ClientError::Server)
+        }
+
+        /// Write every command, flush once, then read every response. The
+        /// returned vector is positional: `results[i]` answers
+        /// `commands[i]`. Transport failures abort the whole pipeline;
+        /// per-command server errors land in their slot.
+        pub fn pipeline<S: AsRef<str>>(
+            &mut self,
+            commands: &[S],
+        ) -> ClientResult<Vec<Result<String, ServerError>>> {
+            let mut seqs = Vec::with_capacity(commands.len());
+            for command in commands {
+                seqs.push(self.enqueue(command.as_ref())?);
+            }
+            self.flush()?;
+            let mut results = Vec::with_capacity(commands.len());
+            for &seq in &seqs {
+                let (got, result) = self.read_response()?;
+                if got != seq {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response seq {got} does not match request seq {seq}"),
+                    )));
+                }
+                results.push(result);
+            }
+            Ok(results)
+        }
+
+        /// [`pipeline`](PipelineClient::pipeline) with
+        /// [`RetryPolicy`] semantics preserved: commands answered with a
+        /// retryable error (`ERR_BUSY`, `ERR_TIMEOUT`) are re-pipelined —
+        /// and *only* those commands; everything already acknowledged
+        /// keeps its first result. Jitter is salted with the shard id a
+        /// busy server names, exactly like
+        /// [`ElephantClient::send_with_retry`](super::ElephantClient::send_with_retry).
+        pub fn pipeline_with_retry<S: AsRef<str>>(
+            &mut self,
+            commands: &[S],
+            policy: &mut RetryPolicy,
+        ) -> ClientResult<Vec<Result<String, ServerError>>> {
+            let mut results: Vec<Option<Result<String, ServerError>>> =
+                (0..commands.len()).map(|_| None).collect();
+            let mut pending: Vec<usize> = (0..commands.len()).collect();
+            let mut attempt = 0u32;
+            loop {
+                let round: Vec<&str> = pending.iter().map(|&i| commands[i].as_ref()).collect();
+                let answers = self.pipeline(&round)?;
+                let mut still = Vec::new();
+                let mut salt = 0u64;
+                for (&idx, answer) in pending.iter().zip(answers) {
+                    match answer {
+                        Err(e) if e.is_retryable() && attempt + 1 < policy.attempts => {
+                            if e.code == codes::BUSY {
+                                salt = busy_shard_salt(&e.message);
+                            }
+                            results[idx] = Some(Err(e));
+                            still.push(idx);
+                        }
+                        other => results[idx] = Some(other),
+                    }
+                }
+                if still.is_empty() {
+                    break;
+                }
+                let sleep = policy.backoff_salted(attempt, salt);
+                attempt += 1;
+                if !sleep.is_zero() {
+                    thread::sleep(sleep);
+                }
+                pending = still;
+            }
+            Ok(results
+                .into_iter()
+                .map(|r| r.expect("slot filled"))
+                .collect())
+        }
+
+        /// Run many SQL statements as one `BATCH` frame; returns the
+        /// per-statement bodies in order. A mid-batch failure surfaces as
+        /// the server's `batch statement i/k: ...` error.
+        pub fn batch<S: AsRef<str>>(&mut self, statements: &[S]) -> ClientResult<Vec<String>> {
+            let sep = BATCH_SEP.to_string();
+            let joined = statements
+                .iter()
+                .map(|s| s.as_ref())
+                .collect::<Vec<_>>()
+                .join(&sep);
+            let body = self.send(&format!("BATCH {joined}"))?;
+            Ok(body.split(BATCH_SEP).map(str::to_string).collect())
+        }
+
+        fn read_status(&mut self) -> ClientResult<(u8, u64, usize)> {
+            let mut status = String::new();
+            loop {
+                match self.reader.read_line(&mut status) {
+                    Ok(0) => {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )))
+                    }
+                    Ok(_) if status.ends_with('\n') => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(ClientError::Io(e)),
+                }
+            }
+            parse_v2_status(status.trim_end()).map_err(ClientError::Io)
+        }
+
+        fn read_body(&mut self, len: usize) -> ClientResult<Vec<u8>> {
+            let mut body = vec![0u8; len + 1];
+            self.reader.read_exact(&mut body)?;
+            body.pop(); // trailing newline
+            Ok(body)
+        }
+    }
+
+    /// Parse a v2 response status line `(+|-|*)<seq> <len>` into
+    /// `(kind, seq, len)`.
+    fn parse_v2_status(line: &str) -> io::Result<(u8, u64, usize)> {
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad v2 status line '{line}'"),
+            )
+        };
+        let kind = *line.as_bytes().first().ok_or_else(bad)?;
+        if !matches!(kind, b'+' | b'-' | b'*') {
+            return Err(bad());
+        }
+        let (seq, len) = line[1..].split_once(' ').ok_or_else(bad)?;
+        let seq: u64 = seq.parse().map_err(|_| bad())?;
+        let len: usize = len.parse().map_err(|_| bad())?;
+        Ok((kind, seq, len))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::parse_v2_status;
+
+        #[test]
+        fn status_lines_parse() {
+            assert_eq!(parse_v2_status("+7 12").unwrap(), (b'+', 7, 12));
+            assert_eq!(parse_v2_status("-3 0").unwrap(), (b'-', 3, 0));
+            assert_eq!(parse_v2_status("*19 65536").unwrap(), (b'*', 19, 65536));
+            for bad in ["", "+", "+x 3", "+3", "+3 x", "?3 4", "+3  4 5x"] {
+                assert!(parse_v2_status(bad).is_err(), "{bad:?} should not parse");
+            }
+        }
     }
 }
 

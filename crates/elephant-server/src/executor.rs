@@ -877,12 +877,51 @@ impl ExecutorState {
                 }
                 Ok(format!("prepared {name}"))
             }
-            Command::Execute(name) => {
+            Command::Execute { name, args } => {
+                let values = match &args {
+                    Some(text) => sqlengine::parse_param_values(text)
+                        .map_err(|e| (codes::PARSE, e.to_string()))?,
+                    None => Vec::new(),
+                };
+                self.metrics
+                    .params_bound
+                    .fetch_add(values.len() as u64, Ordering::Relaxed);
                 let rel = self
                     .engine
-                    .execute_prepared(&scoped_name(session, &name))
+                    .execute_prepared_with(&scoped_name(session, &name), &values)
                     .map_err(|e| self.classify(e))?;
                 Ok(etypes::csv::write_csv(&rel.columns, &rel.rows, ','))
+            }
+            Command::Batch(stmts) => {
+                // One frame, many statements: every statement in the batch
+                // runs inside the *same* drained batch on this executor
+                // thread, so under `fsync=always` the whole frame shares one
+                // group-commit window. A failing statement stops the batch;
+                // earlier statements stand (they are individually
+                // acknowledged in the body) and the error names the
+                // 1-based offending statement.
+                let total = stmts.len();
+                let mut bodies = Vec::with_capacity(total);
+                for (i, sql) in stmts.iter().enumerate() {
+                    let body = match self.engine.execute(sql) {
+                        Ok(out) => match out.relation {
+                            Some(rel) => etypes::csv::write_csv(&rel.columns, &rel.rows, ','),
+                            None => format!("ok {}", out.rows_affected),
+                        },
+                        Err(e) => {
+                            let (code, msg) = self.classify(e);
+                            return Err((
+                                code,
+                                format!("batch statement {}/{total}: {msg}", i + 1),
+                            ));
+                        }
+                    };
+                    self.metrics
+                        .batch_statements
+                        .fetch_add(1, Ordering::Relaxed);
+                    bodies.push(body);
+                }
+                Ok(bodies.join(&crate::protocol::BATCH_SEP.to_string()))
             }
             Command::Deallocate(name) => {
                 let scoped = scoped_name(session, &name);
@@ -1272,12 +1311,36 @@ mod tests {
             },
         );
         assert_eq!(r.unwrap(), "prepared q");
-        let r = send(&tx, &metrics, 1, Command::Execute("q".into()));
+        let r = send(
+            &tx,
+            &metrics,
+            1,
+            Command::Execute {
+                name: "q".into(),
+                args: None,
+            },
+        );
         assert_eq!(r.unwrap(), "a\n1\n2\n");
-        let r = send(&tx, &metrics, 2, Command::Execute("q".into()));
+        let r = send(
+            &tx,
+            &metrics,
+            2,
+            Command::Execute {
+                name: "q".into(),
+                args: None,
+            },
+        );
         assert_eq!(r.unwrap(), "n\n2\n");
         // Executing session 1's statement from session 3 fails.
-        let r = send(&tx, &metrics, 3, Command::Execute("q".into()));
+        let r = send(
+            &tx,
+            &metrics,
+            3,
+            Command::Execute {
+                name: "q".into(),
+                args: None,
+            },
+        );
         assert_eq!(r.unwrap_err().0, codes::EXEC);
         // Shutdown flips the flag but the executor keeps draining.
         let r = send(&tx, &metrics, 1, Command::Stats);

@@ -9,7 +9,8 @@
 //! | verb | effect |
 //! |------|--------|
 //! | `QUERY` | run one SQL statement, rows come back as CSV |
-//! | `PREPARE` / `EXECUTE` | plan once via the engine's LRU plan cache, run many times |
+//! | `BATCH` | run many statements from one frame, amortizing framing and group commit |
+//! | `PREPARE` / `EXECUTE` | plan once via the engine's LRU plan cache, run many times; `$n` placeholders bind at `EXECUTE name (args)` |
 //! | `EXPLAIN` | render the optimized plan |
 //! | `INSPECT` | run an ML pipeline through the SQL backend with bias checks |
 //! | `SET` | per-session options, e.g. `SET exec_mode row\|columnar\|auto` |
@@ -19,6 +20,12 @@
 //! | `REPLICA` | replication topology: role, followers, shipped bytes, watermarks |
 //! | `LAG` | replication watermarks (committed vs. applied LSN) for read routing |
 //! | `SHUTDOWN` | graceful drain |
+//!
+//! Sending `HELLO v2` as the first command upgrades the connection to the
+//! pipelined v2 wire protocol ([`proto2`]): sequence-tagged frames, many
+//! requests in flight per connection, and chunked streaming of large
+//! results under a configurable result-buffer cap. Clients that never send
+//! `HELLO` keep speaking v1 byte-identically.
 //!
 //! Started with a `--data-dir` (or [`ServerConfig::data_dir`]), the server
 //! write-ahead-logs every acknowledged DDL/DML through `elephant-store` and
@@ -80,6 +87,7 @@
 pub mod client;
 mod executor;
 pub mod metrics;
+pub mod proto2;
 pub mod protocol;
 mod repl;
 mod scrape;
@@ -87,6 +95,7 @@ pub mod server;
 mod session;
 mod shard;
 
+pub use client::wire::PipelineClient;
 pub use client::{
     ClientError, ClientResult, ElephantClient, ReplicatedClient, RetryPolicy, ServerError,
 };

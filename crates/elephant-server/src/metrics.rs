@@ -415,8 +415,9 @@ pub fn render_prometheus(metrics: &[Metric]) -> String {
 
 /// Verbs with their own counter and latency histogram, plus `OTHER` for
 /// everything else (SHUTDOWN, DEALLOCATE) so `commands_served` reconciles.
-const VERBS: [&str; 12] = [
+const VERBS: [&str; 13] = [
     "QUERY",
+    "BATCH",
     "PREPARE",
     "EXECUTE",
     "EXPLAIN",
@@ -442,6 +443,8 @@ fn verb_index(verb: &str) -> usize {
 pub struct Metrics {
     /// Commands answered successfully, by verb.
     pub queries: AtomicU64,
+    /// BATCH commands served.
+    pub batches: AtomicU64,
     /// PREPARE commands served.
     pub prepares: AtomicU64,
     /// EXECUTE commands served.
@@ -483,6 +486,19 @@ pub struct Metrics {
     pub statements_timed_out: AtomicU64,
     /// `GET /metrics` scrapes served (counted into the scrape itself).
     pub metrics_scrapes: AtomicU64,
+    /// Frames read while a previous response was still unwritten — the
+    /// client pipelined them (v2 wire sessions only).
+    pub pipelined_frames: AtomicU64,
+    /// Individual statements executed inside `BATCH` frames.
+    pub batch_statements: AtomicU64,
+    /// Parameter values bound to `$n` placeholders by `EXECUTE name (...)`.
+    pub params_bound: AtomicU64,
+    /// Result chunks streamed to v2 clients.
+    pub chunks_streamed: AtomicU64,
+    /// Result bytes currently buffered for streaming, across sessions.
+    pub result_buffer_bytes: AtomicU64,
+    /// High-water mark of `result_buffer_bytes` since the server started.
+    pub result_buffer_peak_bytes: AtomicU64,
     /// End-to-end executor latency per job, all verbs combined.
     pub latency: LatencyHistogram,
     /// Executor latency per verb (same order as the verb counters, with the
@@ -498,6 +514,7 @@ impl Default for Metrics {
     fn default() -> Self {
         Metrics {
             queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
             prepares: AtomicU64::new(0),
             executes: AtomicU64::new(0),
             explains: AtomicU64::new(0),
@@ -517,6 +534,12 @@ impl Default for Metrics {
             busy_rejections: AtomicU64::new(0),
             statements_timed_out: AtomicU64::new(0),
             metrics_scrapes: AtomicU64::new(0),
+            pipelined_frames: AtomicU64::new(0),
+            batch_statements: AtomicU64::new(0),
+            params_bound: AtomicU64::new(0),
+            chunks_streamed: AtomicU64::new(0),
+            result_buffer_bytes: AtomicU64::new(0),
+            result_buffer_peak_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             verb_latency: std::array::from_fn(|_| LatencyHistogram::default()),
             started: Instant::now(),
@@ -533,6 +556,7 @@ impl Metrics {
     pub fn count_verb(&self, verb: &str) {
         let c = match verb {
             "QUERY" => &self.queries,
+            "BATCH" => &self.batches,
             "PREPARE" => &self.prepares,
             "EXECUTE" => &self.executes,
             "EXPLAIN" => &self.explains,
@@ -546,6 +570,19 @@ impl Metrics {
             _ => &self.other_commands,
         };
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Track `n` more result bytes buffered for streaming and refresh the
+    /// high-water mark.
+    pub fn result_buffer_grow(&self, n: u64) {
+        let now = self.result_buffer_bytes.fetch_add(n, Ordering::Relaxed) + n;
+        self.result_buffer_peak_bytes
+            .fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `n` buffered result bytes once they reach the socket.
+    pub fn result_buffer_shrink(&self, n: u64) {
+        self.result_buffer_bytes.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Record one job's end-to-end latency under its verb (and the
@@ -578,6 +615,7 @@ impl Metrics {
     /// Total commands served across all verbs.
     pub fn total_served(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+            + self.batches.load(Ordering::Relaxed)
             + self.prepares.load(Ordering::Relaxed)
             + self.executes.load(Ordering::Relaxed)
             + self.explains.load(Ordering::Relaxed)
@@ -605,6 +643,7 @@ impl Metrics {
         v.push(Metric::text("build_version", env!("CARGO_PKG_VERSION")).named("build"));
         v.push(Metric::counter("commands_served", self.total_served()));
         v.push(Metric::counter("queries", self.queries.load(o)));
+        v.push(Metric::counter("batches", self.batches.load(o)));
         v.push(Metric::counter("prepares", self.prepares.load(o)));
         v.push(Metric::counter("executes", self.executes.load(o)));
         v.push(Metric::counter("explains", self.explains.load(o)));
@@ -645,6 +684,27 @@ impl Metrics {
         v.push(Metric::counter(
             "metrics_scrapes",
             self.metrics_scrapes.load(o),
+        ));
+        v.push(Metric::counter(
+            "pipelined_frames",
+            self.pipelined_frames.load(o),
+        ));
+        v.push(Metric::counter(
+            "batch_statements",
+            self.batch_statements.load(o),
+        ));
+        v.push(Metric::counter("params_bound", self.params_bound.load(o)));
+        v.push(Metric::counter(
+            "chunks_streamed",
+            self.chunks_streamed.load(o),
+        ));
+        v.push(Metric::gauge(
+            "result_buffer_bytes",
+            self.result_buffer_bytes.load(o),
+        ));
+        v.push(Metric::gauge(
+            "result_buffer_peak_bytes",
+            self.result_buffer_peak_bytes.load(o),
         ));
         let mut all = self.latency.snapshot();
         all.percentiles = PCT_P50_P95_P99;

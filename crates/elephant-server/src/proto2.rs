@@ -1,0 +1,691 @@
+//! Protocol v2: the pipelined wire subsystem.
+//!
+//! Negotiated per connection: a client's first frame `HELLO v2` (ordinary
+//! v1 framing) is answered with `+2\nv2\n`, after which both directions
+//! switch to sequence-tagged v2 frames. Clients that never send the
+//! handshake stay on v1 byte-for-byte — nothing in the v1 path changes.
+//!
+//! **Requests** are length-prefixed and tagged with a client-chosen,
+//! strictly increasing sequence id:
+//!
+//! ```text
+//! @<seq> <len>\n<payload bytes>\n
+//! ```
+//!
+//! The payload is the same command text v1 accepts (`QUERY ...`,
+//! `BATCH ...`, `EXECUTE name (args)`, ...). Because every response
+//! carries its request's sequence id, a client may write many frames
+//! before reading any response — **pipelining** — and match responses to
+//! requests by id. The server still executes strictly in arrival order and
+//! responds in that order; the ids make the ordering *checkable* and let a
+//! retrying client resend exactly the commands that failed.
+//!
+//! **Responses** come in three shapes:
+//!
+//! * success — `+<seq> <len>\n<body>\n`
+//! * error — `-<seq> <len>\n<CODE> <message>\n`
+//! * stream chunk — `*<seq> <len>\n<bytes>\n`
+//!
+//! Result bodies larger than [`V2_CHUNK`] are **streamed**: the server
+//! writes consecutive `*<seq>` chunks (each at most `V2_CHUNK` bytes)
+//! followed by a `+<seq>` trailer whose body is
+//! `stream bytes=<total> chunks=<n>`. The client reassembles the chunks;
+//! the trailer lets it verify nothing was lost. Bodies larger than the
+//! server's `--max-result-buffer-bytes` cap are refused with
+//! `ERR_OVERSIZED` instead of being buffered, which is what bounds the
+//! server's per-response memory.
+//!
+//! The v2 session loop **overlaps** executor work with its own socket
+//! I/O: commands whose routing has no cross-command effects are queued on
+//! their shard without waiting
+//! ([`crate::shard::ShardRouter::submit_pipelined`]) and the session keeps
+//! a FIFO of in-flight replies, answered strictly in request order — so
+//! while the executor runs command *n*, the session is already parsing
+//! and submitting *n+1*. Commands that do have cross-command effects
+//! (DDL, PREPARE, broadcasts, cross-shard plans) first drain the FIFO and
+//! then run on the ordinary synchronous path, which is what keeps the
+//! observable ordering identical to v1. At most [`V2_MAX_INFLIGHT`]
+//! replies are held per connection. The remaining throughput win is
+//! syscall amortization: the write buffer is flushed **lazily** — only
+//! when the read buffer is empty and the next read would block — so a
+//! burst of pipelined commands is answered with a handful of `write`
+//! syscalls instead of one flush per response.
+
+use crate::executor::Reply;
+use crate::metrics::Metrics;
+use crate::protocol::{codes, parse_command, Command, MAX_FRAME};
+use crate::shard::{PendingReply, ShardRouter, Submission};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The v1 frame that upgrades a connection to protocol v2.
+pub const HELLO_V2: &str = "HELLO v2";
+
+/// Fixed chunk size for streamed result bodies (64 KiB). Bodies at or
+/// under this travel as one ordinary `+<seq>` response.
+pub const V2_CHUNK: usize = 64 * 1024;
+
+/// Most replies a v2 session holds in flight before it stops reading and
+/// drains — bounds per-connection reply memory no matter how far ahead a
+/// client pipelines.
+pub const V2_MAX_INFLIGHT: usize = 128;
+
+/// Why a v2 frame could not be read.
+#[derive(Debug)]
+pub enum V2Error {
+    /// Underlying transport error (includes mid-frame disconnects).
+    Io(io::Error),
+    /// Read timed out with no (complete) frame; call again — partial data
+    /// is preserved in the reader state.
+    Timeout,
+    /// The header declared a payload larger than [`MAX_FRAME`]. The
+    /// payload has been drained; reply on `seq` and keep the connection.
+    Oversized {
+        /// Sequence id from the offending header.
+        seq: u64,
+        /// Declared payload length.
+        declared: usize,
+    },
+    /// The payload arrived whole but is not valid UTF-8. The stream is
+    /// still in sync; reply on `seq` and keep the connection.
+    BadPayload {
+        /// Sequence id from the offending header.
+        seq: u64,
+    },
+    /// The header line is not `@<seq> <len>`. The stream cannot be
+    /// resynchronized — answer once on sequence 0 and close.
+    BadHeader(String),
+}
+
+impl From<io::Error> for V2Error {
+    fn from(e: io::Error) -> Self {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            V2Error::Timeout
+        } else {
+            V2Error::Io(e)
+        }
+    }
+}
+
+/// Parse a v2 request header line (without the trailing newline) into
+/// `(seq, len)`. Pure — the fuzz harness drives it directly.
+pub fn parse_v2_header(line: &str) -> Result<(u64, usize), String> {
+    let rest = line
+        .strip_prefix('@')
+        .ok_or_else(|| format!("expected '@<seq> <len>', got '{}'", printable(line)))?;
+    let (seq_text, len_text) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("expected '@<seq> <len>', got '{}'", printable(line)))?;
+    let seq: u64 = seq_text
+        .parse()
+        .map_err(|_| format!("bad sequence id '{}'", printable(seq_text)))?;
+    let len: usize = len_text
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad length '{}'", printable(len_text)))?;
+    Ok((seq, len))
+}
+
+/// Render untrusted header bytes safely for an error message.
+fn printable(s: &str) -> String {
+    s.chars()
+        .take(64)
+        .map(|c| {
+            if c.is_ascii_graphic() || c == ' ' {
+                c
+            } else {
+                '.'
+            }
+        })
+        .collect()
+}
+
+/// Reusable per-connection v2 frame reader. Like the v1
+/// [`crate::protocol::FrameReader`], all partial state lives here so reads
+/// resume cleanly after a socket timeout (the shutdown-drain poll).
+#[derive(Debug, Default)]
+pub struct V2FrameReader {
+    line: String,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    seq: u64,
+    /// Set while draining an oversized payload: (remaining, seq, declared).
+    draining: Option<(usize, u64, usize)>,
+}
+
+impl V2FrameReader {
+    /// Create an empty reader state.
+    pub fn new() -> V2FrameReader {
+        V2FrameReader::default()
+    }
+
+    /// Read one `@<seq> <len>` frame. `Ok(None)` on clean EOF at a frame
+    /// boundary; [`V2Error::Timeout`] means "no complete frame yet".
+    pub fn read_frame(&mut self, r: &mut impl BufRead) -> Result<Option<(u64, String)>, V2Error> {
+        if let Some((remaining, seq, declared)) = self.draining.take() {
+            return self.drain_oversized(r, remaining, seq, declared);
+        }
+        if self.payload_filled > 0 || !self.payload.is_empty() {
+            return self.read_payload(r);
+        }
+        loop {
+            match r.read_line(&mut self.line) {
+                Ok(0) => {
+                    return if self.line.is_empty() {
+                        Ok(None)
+                    } else {
+                        self.line.clear();
+                        Err(V2Error::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        )))
+                    };
+                }
+                Ok(_) if !self.line.ends_with('\n') => continue,
+                Ok(_) => break,
+                Err(e) => return Err(V2Error::from(e)),
+            }
+        }
+        let line = std::mem::take(&mut self.line);
+        let line = line.trim_end_matches(['\n', '\r']);
+        let (seq, len) = parse_v2_header(line).map_err(V2Error::BadHeader)?;
+        if len > MAX_FRAME {
+            // +1 for the trailing newline after the payload.
+            return self.drain_oversized(r, len + 1, seq, len);
+        }
+        self.seq = seq;
+        self.payload = vec![0u8; len + 1];
+        self.payload_filled = 0;
+        self.read_payload(r)
+    }
+
+    fn read_payload(&mut self, r: &mut impl Read) -> Result<Option<(u64, String)>, V2Error> {
+        while self.payload_filled < self.payload.len() {
+            match r.read(&mut self.payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(V2Error::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-payload",
+                    )))
+                }
+                Ok(k) => self.payload_filled += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(V2Error::from(e)),
+            }
+        }
+        let mut payload = std::mem::take(&mut self.payload);
+        self.payload_filled = 0;
+        payload.pop(); // trailing newline
+        match String::from_utf8(payload) {
+            Ok(text) => Ok(Some((self.seq, text))),
+            Err(_) => Err(V2Error::BadPayload { seq: self.seq }),
+        }
+    }
+
+    fn drain_oversized(
+        &mut self,
+        r: &mut impl Read,
+        mut remaining: usize,
+        seq: u64,
+        declared: usize,
+    ) -> Result<Option<(u64, String)>, V2Error> {
+        let mut chunk = [0u8; 8192];
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(V2Error::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-payload",
+                    )))
+                }
+                Ok(k) => remaining -= k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    let ve = V2Error::from(e);
+                    if matches!(ve, V2Error::Timeout) {
+                        self.draining = Some((remaining, seq, declared));
+                    }
+                    return Err(ve);
+                }
+            }
+        }
+        Err(V2Error::Oversized { seq, declared })
+    }
+}
+
+/// Write a v2 success response: `+<seq> <len>\n<body>\n`. No flush — the
+/// session loop flushes lazily.
+pub fn write_v2_ok(w: &mut impl Write, seq: u64, body: &str) -> io::Result<()> {
+    write!(w, "+{seq} {}\n{}\n", body.len(), body)
+}
+
+/// Write a v2 error response: `-<seq> <len>\n<CODE> <message>\n`.
+pub fn write_v2_err(w: &mut impl Write, seq: u64, code: &str, msg: &str) -> io::Result<()> {
+    let msg = msg.replace('\n', " ");
+    let body = format!("{code} {msg}");
+    write!(w, "-{seq} {}\n{}\n", body.len(), body)
+}
+
+/// Write one stream chunk: `*<seq> <len>\n<bytes>\n`.
+pub fn write_v2_chunk(w: &mut impl Write, seq: u64, chunk: &[u8]) -> io::Result<()> {
+    writeln!(w, "*{seq} {}", chunk.len())?;
+    w.write_all(chunk)?;
+    w.write_all(b"\n")
+}
+
+/// Run the v2 half of a session, entered after the `HELLO v2` handshake
+/// has been acknowledged on the v1 framing. Returns when the client
+/// disconnects, the stream desynchronizes, or the server drains.
+pub(crate) fn run_v2_session(
+    mut reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session_id: u64,
+    router: Arc<ShardRouter>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    max_result_buffer: usize,
+) {
+    let mut writer = BufWriter::new(writer);
+    let mut frames = V2FrameReader::new();
+    let mut last_seq: u64 = 0;
+    // Replies owed to the client, in request order. Protocol errors and
+    // synchronous-path replies enter as `Ready`; overlapped commands as
+    // `InFlight`. Nothing is written out of turn.
+    let mut pending: VecDeque<(u64, Slot)> = VecDeque::new();
+    'conn: loop {
+        // Lazy flush: if the read buffer still holds request bytes the
+        // client has pipelined ahead — keep submitting and accumulating
+        // replies. Only when the next read would actually block does the
+        // session settle every owed reply and flush.
+        if reader.buffer().is_empty() {
+            if drain(
+                &mut writer,
+                &router,
+                &metrics,
+                &mut pending,
+                max_result_buffer,
+            )
+            .is_err()
+                || writer.flush().is_err()
+            {
+                break;
+            }
+        } else {
+            metrics.pipelined_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        let (seq, payload) = match frames.read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean disconnect
+            Err(V2Error::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // draining: drop idle connections
+                }
+                continue;
+            }
+            Err(V2Error::Oversized { seq, declared }) => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let msg = format!("frame of {declared} bytes exceeds limit");
+                pending.push_back((seq, Slot::Ready(Err((codes::OVERSIZED, msg)))));
+                continue;
+            }
+            Err(V2Error::BadPayload { seq }) => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let msg = "payload is not UTF-8".to_string();
+                pending.push_back((seq, Slot::Ready(Err((codes::PARSE, msg)))));
+                continue;
+            }
+            Err(V2Error::BadHeader(what)) => {
+                // The framing is gone; there is no way to find the next
+                // frame boundary reliably. Settle what is owed, answer
+                // once on sequence 0, and hang up.
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if drain(
+                    &mut writer,
+                    &router,
+                    &metrics,
+                    &mut pending,
+                    max_result_buffer,
+                )
+                .is_ok()
+                {
+                    let _ = write_v2_err(
+                        &mut writer,
+                        0,
+                        codes::PARSE,
+                        &format!("bad v2 frame header: {what}"),
+                    );
+                }
+                break;
+            }
+            Err(V2Error::Io(_)) => break,
+        };
+
+        if seq <= last_seq {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let msg =
+                format!("sequence id {seq} is not greater than the last accepted ({last_seq})");
+            pending.push_back((seq, Slot::Ready(Err((codes::PARSE, msg)))));
+            continue;
+        }
+        last_seq = seq;
+
+        let command = match parse_command(&payload) {
+            Ok(c) => c,
+            Err((code, msg)) => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                pending.push_back((seq, Slot::Ready(Err((code, msg)))));
+                continue;
+            }
+        };
+
+        if shutdown.load(Ordering::SeqCst) && !matches!(command, Command::Shutdown | Command::Stats)
+        {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let msg = "server is draining".to_string();
+            pending.push_back((seq, Slot::Ready(Err((codes::DRAINING, msg)))));
+            continue;
+        }
+
+        // Rolling in-flight window: settle the oldest reply before
+        // submitting past the cap, so a client pipelining arbitrarily far
+        // ahead costs bounded reply memory without ever stalling flat.
+        if pending.len() >= V2_MAX_INFLIGHT
+            && !settle_front(
+                &mut writer,
+                &router,
+                &metrics,
+                &mut pending,
+                max_result_buffer,
+            )
+        {
+            break;
+        }
+        let mut command = command;
+        loop {
+            match router.submit_pipelined(session_id, command) {
+                Ok(Submission::Pending(reply)) => {
+                    pending.push_back((seq, Slot::InFlight(reply)));
+                    break;
+                }
+                Ok(Submission::Backpressure(c)) if !pending.is_empty() => {
+                    // Shard queue full while replies are in flight: settle
+                    // the oldest — once it is answered the executor has
+                    // freed at least one slot — and resubmit.
+                    if !settle_front(
+                        &mut writer,
+                        &router,
+                        &metrics,
+                        &mut pending,
+                        max_result_buffer,
+                    ) {
+                        break 'conn;
+                    }
+                    command = c;
+                }
+                Ok(Submission::Sync(c)) | Ok(Submission::Backpressure(c)) => {
+                    // Sync: cross-command effects mean everything queued so
+                    // far must finish (and be answered) before this runs.
+                    // Backpressure with nothing in flight lands here too —
+                    // the synchronous path's bounded admission wait is what
+                    // turns sustained overload into ERR_BUSY.
+                    if drain(
+                        &mut writer,
+                        &router,
+                        &metrics,
+                        &mut pending,
+                        max_result_buffer,
+                    )
+                    .is_err()
+                    {
+                        break 'conn;
+                    }
+                    let reply = router.submit(session_id, c);
+                    pending.push_back((seq, Slot::Ready(reply)));
+                    break;
+                }
+                Err(e) => {
+                    pending.push_back((seq, Slot::Ready(Err(e))));
+                    break;
+                }
+            }
+        }
+    }
+    // Settle whatever is still owed: queued jobs have already executed (or
+    // will momentarily), so their replies must reach the client if the
+    // socket still works — and their trace roots must close either way.
+    let _ = drain(
+        &mut writer,
+        &router,
+        &metrics,
+        &mut pending,
+        max_result_buffer,
+    );
+    let _ = writer.flush();
+    router.close_session(session_id);
+}
+
+/// One reply owed to the v2 client.
+enum Slot {
+    /// Still running in an executor (overlapped submission).
+    InFlight(PendingReply),
+    /// Already known: protocol errors, admission refusals, and replies
+    /// from the synchronous path.
+    Ready(Reply),
+}
+
+/// Collect one owed reply, closing its trace root if it is still in
+/// flight.
+fn collect(router: &ShardRouter, slot: Slot) -> Reply {
+    match slot {
+        Slot::InFlight(p) => router.finish_pipelined(p),
+        Slot::Ready(r) => r,
+    }
+}
+
+/// Write one reply (success, stream, cap refusal, or error). `false` when
+/// the connection is done — the transport failed or the reply was a fatal
+/// `ERR_INTERNAL`.
+fn write_reply(
+    writer: &mut impl Write,
+    metrics: &Metrics,
+    seq: u64,
+    reply: Reply,
+    max_result_buffer: usize,
+) -> bool {
+    match reply {
+        Ok(body) if body.len() > V2_CHUNK => {
+            if body.len() > max_result_buffer {
+                metrics.exec_errors.fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "result of {} bytes exceeds the {max_result_buffer} byte \
+                     result-buffer cap (--max-result-buffer-bytes)",
+                    body.len()
+                );
+                write_v2_err(writer, seq, codes::OVERSIZED, &msg).is_ok()
+            } else {
+                stream_body(writer, seq, &body, metrics).is_ok()
+            }
+        }
+        Ok(body) => write_v2_ok(writer, seq, &body).is_ok(),
+        Err((code, msg)) => {
+            let fatal = code == codes::INTERNAL;
+            write_v2_err(writer, seq, code, &msg).is_ok() && !fatal
+        }
+    }
+}
+
+/// Settle the oldest owed reply, if any. `true` when the connection stays
+/// usable.
+fn settle_front(
+    writer: &mut impl Write,
+    router: &ShardRouter,
+    metrics: &Metrics,
+    pending: &mut VecDeque<(u64, Slot)>,
+    max_result_buffer: usize,
+) -> bool {
+    match pending.pop_front() {
+        Some((seq, slot)) => {
+            let reply = collect(router, slot);
+            write_reply(writer, metrics, seq, reply, max_result_buffer)
+        }
+        None => true,
+    }
+}
+
+/// Write every owed reply in request order. On a write failure (or a fatal
+/// `ERR_INTERNAL` reply) the remaining in-flight replies are still
+/// collected — their root spans must close — but nothing more is written
+/// and the connection is reported dead via `Err`.
+fn drain(
+    writer: &mut impl Write,
+    router: &ShardRouter,
+    metrics: &Metrics,
+    pending: &mut VecDeque<(u64, Slot)>,
+    max_result_buffer: usize,
+) -> Result<(), ()> {
+    let mut dead = false;
+    while let Some((seq, slot)) = pending.pop_front() {
+        let reply = collect(router, slot);
+        if !dead {
+            dead = !write_reply(writer, metrics, seq, reply, max_result_buffer);
+        }
+    }
+    if dead {
+        Err(())
+    } else {
+        Ok(())
+    }
+}
+
+/// Stream one oversized body as `*<seq>` chunks plus the `+<seq>` trailer,
+/// accounting the bytes in the result-buffer gauges while they are in
+/// flight.
+fn stream_body(w: &mut impl Write, seq: u64, body: &str, metrics: &Metrics) -> io::Result<()> {
+    let total = body.len();
+    metrics.result_buffer_grow(total as u64);
+    let mut chunks = 0u64;
+    let mut result = Ok(());
+    for chunk in body.as_bytes().chunks(V2_CHUNK) {
+        result = write_v2_chunk(w, seq, chunk);
+        if result.is_err() {
+            break;
+        }
+        chunks += 1;
+        metrics.chunks_streamed.fetch_add(1, Ordering::Relaxed);
+        // Chunks reach the socket incrementally; the gauge tracks what is
+        // still waiting to be written.
+        metrics.result_buffer_shrink(chunk.len() as u64);
+    }
+    if result.is_ok() {
+        result = write_v2_ok(w, seq, &format!("stream bytes={total} chunks={chunks}"));
+    } else {
+        // Unstreamed remainder: release it from the gauge.
+        let sent: u64 = (chunks as usize * V2_CHUNK).min(total) as u64;
+        metrics.result_buffer_shrink(total as u64 - sent);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn header_parses_and_rejects() {
+        assert_eq!(parse_v2_header("@1 5").unwrap(), (1, 5));
+        assert_eq!(parse_v2_header("@42 0").unwrap(), (42, 0));
+        assert_eq!(
+            parse_v2_header(&format!("@{} {}", u64::MAX, MAX_FRAME)).unwrap(),
+            (u64::MAX, MAX_FRAME)
+        );
+        for bad in [
+            "",
+            "@",
+            "@1",
+            "@ 5",
+            "@x 5",
+            "@1 x",
+            "@-1 5",
+            "@1 -5",
+            "QUERY SELECT 1",
+        ] {
+            assert!(parse_v2_header(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut r = Cursor::new(b"@7 14\nQUERY SELECT 1\n@9 3\nLAG\n".to_vec());
+        let mut frames = V2FrameReader::new();
+        assert_eq!(
+            frames.read_frame(&mut r).unwrap(),
+            Some((7, "QUERY SELECT 1".into()))
+        );
+        assert_eq!(frames.read_frame(&mut r).unwrap(), Some((9, "LAG".into())));
+        assert_eq!(frames.read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_drained_and_typed() {
+        let declared = MAX_FRAME + 3;
+        let mut input = format!("@5 {declared}\n").into_bytes();
+        input.extend(std::iter::repeat_n(b'x', declared));
+        input.push(b'\n');
+        input.extend_from_slice(b"@6 3\nLAG\n");
+        let mut r = Cursor::new(input);
+        let mut frames = V2FrameReader::new();
+        match frames.read_frame(&mut r) {
+            Err(V2Error::Oversized { seq, declared: d }) => {
+                assert_eq!(seq, 5);
+                assert_eq!(d, declared);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The connection is still usable: the next frame parses.
+        assert_eq!(frames.read_frame(&mut r).unwrap(), Some((6, "LAG".into())));
+    }
+
+    #[test]
+    fn bad_payload_utf8_keeps_sync() {
+        let mut input = b"@3 4\n".to_vec();
+        input.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc, b'\n']);
+        input.extend_from_slice(b"@4 3\nLAG\n");
+        let mut r = Cursor::new(input);
+        let mut frames = V2FrameReader::new();
+        match frames.read_frame(&mut r) {
+            Err(V2Error::BadPayload { seq }) => assert_eq!(seq, 3),
+            other => panic!("expected BadPayload, got {other:?}"),
+        }
+        assert_eq!(frames.read_frame(&mut r).unwrap(), Some((4, "LAG".into())));
+    }
+
+    #[test]
+    fn truncated_payload_is_unexpected_eof() {
+        let mut r = Cursor::new(b"@1 100\nonly a few bytes".to_vec());
+        let mut frames = V2FrameReader::new();
+        match frames.read_frame(&mut r) {
+            Err(V2Error::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writers_emit_the_documented_shapes() {
+        let mut buf = Vec::new();
+        write_v2_ok(&mut buf, 3, "ok 1").unwrap();
+        write_v2_err(&mut buf, 4, codes::BUSY, "queue full\nretry").unwrap();
+        write_v2_chunk(&mut buf, 5, b"abc").unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "+3 4\nok 1\n-4 25\nERR_BUSY queue full retry\n*5 3\nabc\n"
+        );
+    }
+}

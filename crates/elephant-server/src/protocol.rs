@@ -24,6 +24,14 @@ use std::io::{self, BufRead, Read, Write};
 /// drained and refused with [`codes::OVERSIZED`]; the session stays up.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// Separator between the statements of a `BATCH` frame and between the
+/// per-statement bodies of its response: ASCII Record Separator (0x1E),
+/// which cannot appear in SQL text or CSV output.
+pub const BATCH_SEP: char = '\x1e';
+
+/// Most statements accepted in one `BATCH` frame.
+pub const MAX_BATCH: usize = 1024;
+
 /// Spans returned by a bare `TRACE` (no explicit count).
 pub const DEFAULT_TRACE_SPANS: usize = 20;
 
@@ -85,8 +93,19 @@ pub enum Command {
         /// The SELECT text.
         sql: String,
     },
-    /// Run a previously prepared statement.
-    Execute(String),
+    /// Run a previously prepared statement, optionally binding `$n`
+    /// placeholders: `EXECUTE name` or `EXECUTE name (v1, v2, ...)`.
+    Execute {
+        /// Statement name.
+        name: String,
+        /// Raw text between the argument parentheses, unparsed (the engine
+        /// lexes it); `None` when no argument list was given.
+        args: Option<String>,
+    },
+    /// Execute several statements from one frame in order, amortizing
+    /// framing and group commit; statements and response bodies are joined
+    /// by [`BATCH_SEP`].
+    Batch(Vec<String>),
     /// Drop a prepared statement.
     Deallocate(String),
     /// Render the optimized plan; with `analyze`, execute the query and
@@ -134,8 +153,9 @@ impl Command {
     pub fn verb(&self) -> &'static str {
         match self {
             Command::Query(_) => "QUERY",
+            Command::Batch(_) => "BATCH",
             Command::Prepare { .. } => "PREPARE",
-            Command::Execute(_) => "EXECUTE",
+            Command::Execute { .. } => "EXECUTE",
             Command::Deallocate(_) => "DEALLOCATE",
             Command::Explain { .. } => "EXPLAIN",
             Command::Trace(_) => "TRACE",
@@ -154,8 +174,14 @@ impl Command {
     pub fn summary(&self) -> String {
         match self {
             Command::Query(sql) => sql.clone(),
+            Command::Batch(stmts) => format!("{} statements", stmts.len()),
             Command::Prepare { name, sql } => format!("{name}: {sql}"),
-            Command::Execute(name) | Command::Deallocate(name) => name.clone(),
+            Command::Execute { name, args: None } => name.clone(),
+            Command::Execute {
+                name,
+                args: Some(a),
+            } => format!("{name} ({a})"),
+            Command::Deallocate(name) => name.clone(),
             Command::Explain { sql, analyze } => {
                 if *analyze {
                     format!("ANALYZE {sql}")
@@ -350,13 +376,42 @@ pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
             }
             Ok(Command::Query(sql))
         }
+        "BATCH" => {
+            let text = full_args();
+            if text.trim().is_empty() {
+                return Err((codes::PARSE, "BATCH requires at least one statement".into()));
+            }
+            let stmts: Vec<String> = text
+                .split(BATCH_SEP)
+                .map(|s| s.trim().to_string())
+                .collect();
+            if stmts.iter().any(|s| s.is_empty()) {
+                return Err((codes::PARSE, "BATCH contains an empty statement".into()));
+            }
+            if stmts.len() > MAX_BATCH {
+                return Err((
+                    codes::PARSE,
+                    format!(
+                        "BATCH of {} statements exceeds the {MAX_BATCH} cap",
+                        stmts.len()
+                    ),
+                ));
+            }
+            Ok(Command::Batch(stmts))
+        }
         "PREPARE" => {
             let text = full_args();
             let (name, sql) = text
                 .split_once(char::is_whitespace)
-                .ok_or_else(|| (codes::PARSE, "usage: PREPARE <name> <sql>".to_string()))?;
+                .ok_or_else(|| (codes::PARSE, "usage: PREPARE <name> [AS] <sql>".to_string()))?;
+            // Accept the PostgreSQL form `PREPARE name AS SELECT ...`.
+            let sql = sql.trim_start();
+            let sql = match sql.split_once(char::is_whitespace) {
+                Some((first, rest)) if first.eq_ignore_ascii_case("AS") => rest,
+                _ => sql,
+            };
             if name.is_empty() || sql.trim().is_empty() {
-                return Err((codes::PARSE, "usage: PREPARE <name> <sql>".into()));
+                return Err((codes::PARSE, "usage: PREPARE <name> [AS] <sql>".into()));
             }
             Ok(Command::Prepare {
                 name: name.to_string(),
@@ -364,10 +419,33 @@ pub fn parse_command(frame: &str) -> Result<Command, (&'static str, String)> {
             })
         }
         "EXECUTE" => {
-            if args.is_empty() || args.contains(char::is_whitespace) {
-                return Err((codes::PARSE, "usage: EXECUTE <name>".into()));
+            // `EXECUTE name` or `EXECUTE name (v1, v2, ...)`.
+            let (name, tail) = match args.split_once(char::is_whitespace) {
+                Some((n, t)) => (n, t.trim()),
+                None => (args, ""),
+            };
+            if name.is_empty() || name.contains('(') {
+                return Err((codes::PARSE, "usage: EXECUTE <name> [(v1, v2, ...)]".into()));
             }
-            Ok(Command::Execute(args.to_string()))
+            if tail.is_empty() {
+                return Ok(Command::Execute {
+                    name: name.to_string(),
+                    args: None,
+                });
+            }
+            let inner = tail
+                .strip_prefix('(')
+                .and_then(|t| t.strip_suffix(')'))
+                .ok_or_else(|| {
+                    (
+                        codes::PARSE,
+                        "usage: EXECUTE <name> [(v1, v2, ...)]".to_string(),
+                    )
+                })?;
+            Ok(Command::Execute {
+                name: name.to_string(),
+                args: Some(inner.trim().to_string()),
+            })
         }
         "DEALLOCATE" => {
             if args.is_empty() || args.contains(char::is_whitespace) {
@@ -577,7 +655,35 @@ mod tests {
         );
         assert_eq!(
             parse_command("EXECUTE q1").unwrap(),
-            Command::Execute("q1".into())
+            Command::Execute {
+                name: "q1".into(),
+                args: None
+            }
+        );
+        assert_eq!(
+            parse_command("EXECUTE q1 (1, 'x', null)").unwrap(),
+            Command::Execute {
+                name: "q1".into(),
+                args: Some("1, 'x', null".into())
+            }
+        );
+        assert_eq!(
+            parse_command("prepare q2 AS SELECT a FROM t WHERE a = $1").unwrap(),
+            Command::Prepare {
+                name: "q2".into(),
+                sql: "SELECT a FROM t WHERE a = $1".into()
+            }
+        );
+        assert_eq!(
+            parse_command("BATCH INSERT INTO t VALUES (1)\u{1e}INSERT INTO t VALUES (2)").unwrap(),
+            Command::Batch(vec![
+                "INSERT INTO t VALUES (1)".into(),
+                "INSERT INTO t VALUES (2)".into()
+            ])
+        );
+        assert_eq!(
+            parse_command("BATCH SELECT 1").unwrap(),
+            Command::Batch(vec!["SELECT 1".into()])
         );
         assert_eq!(
             parse_command("DEALLOCATE q1").unwrap(),
@@ -681,6 +787,17 @@ mod tests {
         );
         assert_eq!(
             parse_command("INSPECT race 0.3").unwrap_err().0,
+            codes::PARSE
+        );
+        assert_eq!(parse_command("BATCH").unwrap_err().0, codes::PARSE);
+        assert_eq!(
+            parse_command("BATCH SELECT 1\u{1e}\u{1e}SELECT 2")
+                .unwrap_err()
+                .0,
+            codes::PARSE
+        );
+        assert_eq!(
+            parse_command("EXECUTE q1 (1, 2").unwrap_err().0,
             codes::PARSE
         );
         assert_eq!(parse_command("SET").unwrap_err().0, codes::PARSE);

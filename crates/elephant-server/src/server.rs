@@ -74,6 +74,12 @@ pub struct ServerConfig {
     /// text exposition on `GET /metrics`. `None` (the default) disables
     /// the listener. Use port 0 to let the OS pick (tests do).
     pub metrics_addr: Option<String>,
+    /// Largest result body (bytes) a protocol-v2 session will buffer for
+    /// one response. Bodies above [`crate::proto2::V2_CHUNK`] stream as
+    /// chunks; bodies above this cap are refused with `ERR_OVERSIZED`
+    /// instead of being buffered, bounding per-response server memory.
+    /// v1 sessions are unaffected (their byte-level behavior is frozen).
+    pub max_result_buffer_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +99,7 @@ impl Default for ServerConfig {
             auto_checkpoint_wal_bytes: None,
             shards: 1,
             metrics_addr: None,
+            max_result_buffer_bytes: 64 << 20,
         }
     }
 }
@@ -378,6 +385,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_shutdown = Arc::clone(&shutdown);
+    let max_result_buffer = config.max_result_buffer_bytes;
     // The accept loop owns the router (and with it every lane sender):
     // dropping it at drain end is what lets the executors observe
     // disconnection and exit. It must never be stored in the handle.
@@ -397,10 +405,12 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                         let router = Arc::clone(&router);
                         let metrics = Arc::clone(&accept_metrics);
                         let shutdown = Arc::clone(&accept_shutdown);
+                        let result_cap = max_result_buffer;
                         match thread::Builder::new()
                             .name(format!("elephant-session-{id}"))
-                            .spawn(move || run_session(stream, id, router, metrics, shutdown))
-                        {
+                            .spawn(move || {
+                                run_session(stream, id, router, metrics, shutdown, result_cap)
+                            }) {
                             Ok(h) => sessions.push(h),
                             Err(_) => {
                                 accept_metrics

@@ -14,6 +14,7 @@
 //! still gets its response.
 
 use crate::metrics::Metrics;
+use crate::proto2;
 use crate::protocol::{
     codes, parse_command, write_err, write_ok, Command, FrameError, FrameReader,
 };
@@ -35,6 +36,7 @@ pub(crate) fn run_session(
     router: Arc<ShardRouter>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    max_result_buffer: usize,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -73,6 +75,37 @@ pub(crate) fn run_session(
             }
             Err(FrameError::Io(_)) => break, // mid-frame disconnect etc.
         };
+
+        // Protocol negotiation: `HELLO v2` upgrades this connection to the
+        // pipelined v2 wire (acknowledged on the v1 framing the client is
+        // still speaking); any other HELLO is a typed refusal naming what
+        // the server supports. Clients that never send HELLO stay on v1.
+        if let Some(version) = frame
+            .strip_prefix("HELLO ")
+            .or_else(|| frame.strip_prefix("hello "))
+        {
+            if version.trim() == "v2" {
+                if write_ok(&mut writer, "v2").is_err() {
+                    break;
+                }
+                proto2::run_v2_session(
+                    reader,
+                    writer,
+                    session_id,
+                    router,
+                    metrics,
+                    shutdown,
+                    max_result_buffer,
+                );
+                return; // v2 loop owns close_session
+            }
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let msg = format!("unsupported protocol '{}' (supported: v2)", version.trim());
+            if write_err(&mut writer, codes::PARSE, &msg).is_err() {
+                break;
+            }
+            continue;
+        }
 
         let command = match parse_command(&frame) {
             Ok(c) => c,

@@ -80,6 +80,14 @@ const ADMISSION_WAIT: Duration = Duration::from_millis(250);
 /// Sleep between queue retries inside the admission wait.
 const ADMISSION_POLL: Duration = Duration::from_millis(10);
 
+/// Pull the 1-based failing-statement index out of an executor batch error
+/// (`batch statement <i>/<k>: ...`). `None` for non-batch error shapes.
+fn batch_error_index(msg: &str) -> Option<usize> {
+    let rest = msg.strip_prefix("batch statement ")?;
+    let (i, _) = rest.split_once('/')?;
+    i.parse().ok()
+}
+
 /// The shard owning `name`: FNV-1a over the bytes, mod the shard count.
 /// Deterministic, so base-table placement needs no coordination and
 /// survives restarts (recovery re-seeds ownership from each shard's own
@@ -160,6 +168,42 @@ enum Resolution {
         resolved: BTreeMap<String, Owner>,
         any_write: bool,
     },
+}
+
+/// A command queued through [`ShardRouter::submit_pipelined`] whose reply
+/// has not been collected yet. The executor's reply and the open root
+/// span both live in here until [`ShardRouter::finish_pipelined`].
+pub(crate) struct PendingReply {
+    rx: mpsc::Receiver<Reply>,
+    shard: usize,
+    ctx: TraceContext,
+    started: Instant,
+}
+
+/// What [`ShardRouter::submit_pipelined`] did with a command.
+pub(crate) enum Submission {
+    /// Queued on its shard; the reply is in flight.
+    Pending(PendingReply),
+    /// Not eligible for overlapped execution — the command is handed back
+    /// so the caller can drain its pending replies first and then use the
+    /// synchronous [`ShardRouter::submit`] path.
+    Sync(Command),
+    /// The shard's queue is full right now. The command was NOT queued and
+    /// is handed back; the session should settle its oldest in-flight
+    /// reply (proof the executor has freed a slot) and resubmit, falling
+    /// back to the synchronous path — and its bounded admission wait that
+    /// turns sustained overload into `ERR_BUSY` — once nothing is in
+    /// flight. Pipelined admission never sleeps.
+    Backpressure(Command),
+}
+
+/// Outcome of the non-blocking admission used by the pipelined path.
+enum TryAdmit {
+    Admitted,
+    /// Queue full: the job is handed back (boxed to keep the variant
+    /// small).
+    Full(Box<Job>),
+    Disconnected,
 }
 
 /// Ownership-map updates applied after the owning shard acknowledged the
@@ -322,8 +366,9 @@ impl ShardRouter {
             Command::Query(_) | Command::Explain { .. } => {
                 self.route_sql(session, command, query_id, started)
             }
+            Command::Batch(_) => self.route_batch(session, command, query_id, started),
             Command::Prepare { .. } => self.route_prepare(session, command, query_id, started),
-            Command::Execute(ref name) => {
+            Command::Execute { ref name, .. } => {
                 let shard = self.prepared_shard(session, name);
                 self.run_traced(shard, session, command, query_id, started, None)
             }
@@ -454,6 +499,159 @@ impl ShardRouter {
     /// paths that manage their own roots).
     fn run_on(&self, shard: usize, session: u64, command: Command) -> Reply {
         self.run_on_ctx(shard, session, command, None, true)
+    }
+
+    /// Route one client command WITHOUT waiting for its reply, so a
+    /// pipelining session can overlap executor work with its own socket
+    /// I/O. Eligible commands are queued on their shard and come back as
+    /// [`Submission::Pending`]; collect the reply (in submission order)
+    /// with [`ShardRouter::finish_pipelined`].
+    ///
+    /// Eligibility is about cross-command effects: a command may only be
+    /// queued behind-the-back if nothing the *next* command's routing
+    /// depends on changes when it completes. On a single shard that is
+    /// every verb except the router-answered ones (`TRACE`, `STATS`) and
+    /// `SHUTDOWN` (kept synchronous so a draining pipeline has observed
+    /// every earlier reply). On a multi-shard router it is `QUERY`/
+    /// `EXPLAIN` resolving to one shard with no ownership changes, plus
+    /// `EXECUTE` (pinned at PREPARE time) — DDL, scatter-gather, 2PC,
+    /// broadcasts, and prepare bookkeeping are handed back as
+    /// [`Submission::Sync`] for the ordinary [`ShardRouter::submit`] path.
+    ///
+    /// Ordering: each shard's queue is FIFO, so two pipelined commands on
+    /// the same shard execute in submission order. Commands on *different*
+    /// shards may execute concurrently — their replies still return in
+    /// order, and any command whose dependency set spans shards comes back
+    /// `Sync`, which makes the caller drain first.
+    ///
+    /// Admission here never sleeps: a full shard queue hands the command
+    /// back as [`Submission::Backpressure`] (not queued, not executed)
+    /// instead of polling inside the bounded admission wait.
+    pub(crate) fn submit_pipelined(
+        &self,
+        session: u64,
+        command: Command,
+    ) -> Result<Submission, (&'static str, String)> {
+        if self.lanes.len() == 1 {
+            return match command {
+                Command::Trace(_) | Command::Stats | Command::Shutdown => {
+                    Ok(Submission::Sync(command))
+                }
+                _ => self.start_pipelined(0, session, command, None),
+            };
+        }
+        match command {
+            Command::Query(_) | Command::Explain { .. } => {
+                let sql = match &command {
+                    Command::Query(sql) | Command::Explain { sql, .. } => sql.clone(),
+                    _ => unreachable!("matched above"),
+                };
+                let resolve_started = Instant::now();
+                match self.resolve(&sql) {
+                    Resolution::Single { shard, changes } if changes.is_empty() => {
+                        let resolve_us = resolve_started.elapsed().as_micros() as u64;
+                        let router = Some((resolve_us, format!("single shard={shard}")));
+                        self.start_pipelined(shard, session, command, router)
+                    }
+                    _ => Ok(Submission::Sync(command)),
+                }
+            }
+            Command::Execute { ref name, .. } => {
+                let shard = self.prepared_shard(session, name);
+                self.start_pipelined(shard, session, command, None)
+            }
+            _ => Ok(Submission::Sync(command)),
+        }
+    }
+
+    /// Open the root span and queue one pipelined command; the reply stays
+    /// in flight inside the returned [`PendingReply`].
+    fn start_pipelined(
+        &self,
+        shard: usize,
+        session: u64,
+        command: Command,
+        router: Option<(u64, String)>,
+    ) -> Result<Submission, (&'static str, String)> {
+        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let ctx = self.begin_root(shard, query_id, &command);
+        if let Some((us, detail)) = router {
+            self.lanes[shard].ring.record(SpanRecord::child(
+                ctx,
+                SpanKind::Router,
+                shard as u16,
+                "route",
+                &detail,
+                us,
+                true,
+            ));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        match self.try_admit(
+            shard,
+            Job::Command {
+                session,
+                command,
+                reply: reply_tx,
+                ctx: Some(ctx),
+                enqueued: Instant::now(),
+                counted: true,
+            },
+        ) {
+            TryAdmit::Admitted => Ok(Submission::Pending(PendingReply {
+                rx: reply_rx,
+                shard,
+                ctx,
+                started,
+            })),
+            TryAdmit::Full(job) => {
+                self.finish_root(shard, ctx, started, false);
+                let Job::Command { command, .. } = *job else {
+                    unreachable!("try_admit round-trips the job it was given")
+                };
+                Ok(Submission::Backpressure(command))
+            }
+            TryAdmit::Disconnected => {
+                self.finish_root(shard, ctx, started, false);
+                Err((codes::INTERNAL, "executor unavailable".into()))
+            }
+        }
+    }
+
+    /// One-shot admission for the pipelined path: a single `try_send` with
+    /// the usual queue-gauge accounting but no bounded wait — a full queue
+    /// hands the job back for the caller to handle without sleeping, and
+    /// does not count as a busy rejection (nothing was refused to a
+    /// client yet).
+    fn try_admit(&self, shard: usize, job: Job) -> TryAdmit {
+        let lane = &self.lanes[shard];
+        self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        lane.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match lane.tx.try_send(job) {
+            Ok(()) => TryAdmit::Admitted,
+            Err(e) => {
+                self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                lane.stats.dec_queue_depth();
+                match e {
+                    TrySendError::Full(job) => TryAdmit::Full(Box::new(job)),
+                    TrySendError::Disconnected(_) => TryAdmit::Disconnected,
+                }
+            }
+        }
+    }
+
+    /// Wait for a pipelined command's reply and close its root span. Every
+    /// [`PendingReply`] must come back through here — dropping one leaks
+    /// its root span as pinned-unfinished in the shard's trace ring.
+    pub(crate) fn finish_pipelined(&self, pending: PendingReply) -> Reply {
+        let reply = pending
+            .rx
+            .recv()
+            .map_err(|_| (codes::INTERNAL, "executor dropped the job".to_string()))
+            .and_then(|r| r);
+        self.finish_root(pending.shard, pending.ctx, pending.started, reply.is_ok());
+        reply
     }
 
     /// Open a root span for `query_id` on `shard`'s ring; returns the
@@ -682,6 +880,89 @@ impl ShardRouter {
                 .insert((session, name), shard);
         }
         reply
+    }
+
+    /// Route a `BATCH` frame. When every statement resolves to the same
+    /// shard the whole frame travels as **one** job: the executor runs the
+    /// N statements inside a single drained batch, so under `fsync=always`
+    /// the entire frame shares one group-commit window — that amortization
+    /// is the point of BATCH. A batch whose statements span shards falls
+    /// back to per-statement routing in frame order (each leg counts into
+    /// the `queries` counter, exactly as if the client had sent N QUERY
+    /// frames); the first failing statement stops the batch, earlier
+    /// statements stand, and the error names the 1-based statement index.
+    fn route_batch(
+        &self,
+        session: u64,
+        command: Command,
+        query_id: u64,
+        started: Instant,
+    ) -> Reply {
+        let stmts = match &command {
+            Command::Batch(stmts) => stmts.clone(),
+            _ => unreachable!("route_batch only sees BATCH"),
+        };
+        let resolve_started = Instant::now();
+        let mut per_stmt_changes: Vec<Vec<OwnershipChange>> = Vec::with_capacity(stmts.len());
+        let mut target: Option<usize> = None;
+        let mut splits = false;
+        for sql in &stmts {
+            match self.resolve(sql) {
+                Resolution::Unparsed => {
+                    // Shard 0's engine produces the canonical error text.
+                    per_stmt_changes.push(Vec::new());
+                    splits |= *target.get_or_insert(0) != 0;
+                }
+                Resolution::Single { shard, changes } => {
+                    per_stmt_changes.push(changes);
+                    splits |= *target.get_or_insert(shard) != shard;
+                }
+                Resolution::Multi { .. } => {
+                    per_stmt_changes.push(Vec::new());
+                    splits = true;
+                }
+            }
+        }
+        let resolve_us = resolve_started.elapsed().as_micros() as u64;
+        if !splits {
+            let shard = target.unwrap_or(0);
+            let reply = self.run_traced(
+                shard,
+                session,
+                command,
+                query_id,
+                started,
+                Some((resolve_us, format!("batch single shard={shard}"))),
+            );
+            // A mid-batch failure leaves the earlier statements applied
+            // (they are individually acknowledged); their ownership changes
+            // must land even though the frame as a whole errored.
+            let applied = match &reply {
+                Ok(_) => per_stmt_changes.len(),
+                Err((_, msg)) => batch_error_index(msg).map_or(0, |i| i.saturating_sub(1)),
+            };
+            for changes in per_stmt_changes.into_iter().take(applied) {
+                self.apply_changes(shard, changes);
+            }
+            return reply;
+        }
+        let total = stmts.len();
+        let mut bodies = Vec::with_capacity(total);
+        for (i, sql) in stmts.into_iter().enumerate() {
+            let stmt_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+            match self.route_sql(session, Command::Query(sql), stmt_id, Instant::now()) {
+                Ok(body) => {
+                    self.metrics
+                        .batch_statements
+                        .fetch_add(1, Ordering::Relaxed);
+                    bodies.push(body);
+                }
+                Err((code, msg)) => {
+                    return Err((code, format!("batch statement {}/{total}: {msg}", i + 1)))
+                }
+            }
+        }
+        Ok(bodies.join(&crate::protocol::BATCH_SEP.to_string()))
     }
 
     /// Split a cross-shard write script per statement and run it as a

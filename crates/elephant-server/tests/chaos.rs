@@ -13,7 +13,9 @@
 //! in this dedicated binary because the registry is process-global; within
 //! the binary they serialize on `TEST_LOCK`.
 
-use elephant_server::{start, ClientError, ElephantClient, RetryPolicy, ServerConfig};
+use elephant_server::{
+    start, ClientError, ElephantClient, PipelineClient, RetryPolicy, ServerConfig,
+};
 use etypes::fault::{self, FaultPolicy};
 use etypes::Prng;
 use std::path::PathBuf;
@@ -387,6 +389,69 @@ fn saturated_queue_rejects_busy_and_backoff_drains_it() {
         "n\n4\n",
         "each retried INSERT applied exactly once"
     );
+    let stats = c.stats().unwrap();
+    assert!(
+        stat(&stats, "busy_rejections") >= 1,
+        "saturation never tripped admission control:\n{stats}"
+    );
+    c.shutdown().unwrap();
+    drop(c);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_busy_retries_only_unacked_commands() {
+    let _g = locked();
+    let dir = tmp_dir("pipebusy");
+    // Same saturation recipe as above, but the clients are v2 pipelines:
+    // each queues several INSERTs of distinct values before reading any
+    // response, so ERR_BUSY lands mid-pipeline. pipeline_with_retry must
+    // re-send only the refused commands — if it replayed anything the
+    // server already acknowledged, a value would apply twice and the
+    // final count/sum would betray it.
+    let config = ServerConfig {
+        data_dir: Some(dir.clone()),
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.local_addr();
+    let mut c = ElephantClient::connect(addr).unwrap();
+    c.query_raw("CREATE TABLE t (a int)").unwrap();
+    fault::set("wal.append", FaultPolicy::DelayUs(400_000));
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut p = PipelineClient::connect(addr).unwrap();
+                let commands: Vec<String> = (0..3)
+                    .map(|j| format!("QUERY INSERT INTO t VALUES ({})", i * 10 + j))
+                    .collect();
+                let mut policy = RetryPolicy::new(50, Duration::from_millis(40), seed() ^ i as u64);
+                let results = p.pipeline_with_retry(&commands, &mut policy).unwrap();
+                for r in results {
+                    assert_eq!(
+                        r.unwrap(),
+                        "ok 1",
+                        "every pipelined INSERT eventually lands"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    fault::clear_all();
+
+    // Values 0,1,2, 10,11,12, 20,21,22: count 9, sum 99 — any replay of an
+    // acknowledged INSERT breaks both.
+    assert_eq!(
+        c.query_raw("SELECT count(*) AS n FROM t").unwrap(),
+        "n\n9\n"
+    );
+    assert_eq!(c.query_raw("SELECT sum(a) AS s FROM t").unwrap(), "s\n99\n");
     let stats = c.stats().unwrap();
     assert!(
         stat(&stats, "busy_rejections") >= 1,

@@ -9,7 +9,7 @@
 //! `# TYPE` each), per-shard labels on a 4-shard server, and the tiny HTTP
 //! surface (404 / 405 / scrape counter).
 
-use elephant_server::{shard_of, start, ElephantClient, ServerConfig};
+use elephant_server::{shard_of, start, ElephantClient, PipelineClient, ServerConfig};
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -148,6 +148,25 @@ fn every_stats_key_is_on_the_metrics_endpoint_with_the_same_value() {
     let _ = c.query_raw("SELECT nope FROM missing_table").unwrap_err();
     c.trace(Some(5)).unwrap();
 
+    // v2 traffic on the same 4-shard server: a pipelined burst, a BATCH,
+    // and a parameterized EXECUTE, so the protocol-v2 counter families
+    // export live values, not just zeros.
+    let mut p = PipelineClient::connect(handle.local_addr()).unwrap();
+    for r in p
+        .pipeline(&[
+            format!("QUERY SELECT x FROM {a} ORDER BY x"),
+            format!("QUERY SELECT count(*) AS n FROM {b}"),
+            format!("BATCH INSERT INTO {a} VALUES (7)\u{1e}SELECT count(*) AS n FROM {a}"),
+        ])
+        .unwrap()
+    {
+        r.unwrap();
+    }
+    p.send(&format!("PREPARE byx AS SELECT x FROM {b} WHERE x = $1"))
+        .unwrap();
+    p.send("EXECUTE byx (2)").unwrap();
+    drop(p);
+
     // Scrape FIRST (the scrape counter increments before collection, the
     // STATS render counts itself after rendering: both snapshots agree).
     let (status, content_type, prom) = http_get(metrics_addr, "/metrics");
@@ -207,6 +226,22 @@ fn every_stats_key_is_on_the_metrics_endpoint_with_the_same_value() {
         prom.contains("elephant_plan_cache_table_invalidations{"),
         "{prom}"
     );
+    // The v2 wire counters export, and the ones the workload drove are
+    // non-zero; the result-buffer gauge is back to zero on a quiesced
+    // server (its peak stays whatever streaming reached, here 0).
+    assert!(
+        sample("elephant_pipelined_frames")
+            .value
+            .parse::<u64>()
+            .unwrap()
+            >= 1,
+        "{prom}"
+    );
+    assert_eq!(sample("elephant_batch_statements").value, "2");
+    assert_eq!(sample("elephant_params_bound").value, "1");
+    sample("elephant_chunks_streamed");
+    assert_eq!(sample("elephant_result_buffer_bytes").value, "0");
+    sample("elephant_result_buffer_peak_bytes");
 
     // 4-shard labels: every shard reports its gauges.
     for k in 0..SHARDS {

@@ -1,0 +1,239 @@
+//! Seeded fuzz for the v2 frame parser: truncated, bit-flipped,
+//! oversized, and interleaved frames must always produce clean typed
+//! errors — never a panic, never a hang, never an out-of-sync frame
+//! silently accepted. Mirrors the WAL corruption fuzz
+//! (`elephant-store/tests/wal_fuzz.rs`): the schedule is seeded through
+//! `ELEPHANT_FAULT_SEED` so a failure reproduces exactly.
+
+use elephant_server::proto2::{parse_v2_header, V2Error, V2FrameReader};
+use elephant_server::{start, ElephantClient, PipelineClient, ServerConfig};
+use etypes::Prng;
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn seed() -> u64 {
+    std::env::var("ELEPHANT_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE1EFA)
+}
+
+/// A well-formed stream of `n` v2 request frames with increasing seqs and
+/// seeded printable payloads. Returns the bytes and the expected frames.
+fn valid_stream(rng: &mut Prng, n: usize) -> (Vec<u8>, Vec<(u64, String)>) {
+    let mut bytes = Vec::new();
+    let mut frames = Vec::new();
+    let mut seq = 0u64;
+    for _ in 0..n {
+        seq += 1 + rng.below(3) as u64;
+        let len = rng.below(40);
+        let payload: String = (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
+        bytes.extend_from_slice(format!("@{seq} {}\n{payload}\n", payload.len()).as_bytes());
+        frames.push((seq, payload));
+    }
+    (bytes, frames)
+}
+
+/// Drive a `V2FrameReader` over `bytes` until EOF or a hard error,
+/// collecting what it yields. The parser contract under any input:
+/// terminate (no hang on finite input), never panic, and classify every
+/// failure as a typed `V2Error`.
+fn drain(bytes: &[u8]) -> (Vec<(u64, String)>, Option<V2Error>) {
+    let mut cursor = Cursor::new(bytes);
+    let mut reader = V2FrameReader::new();
+    let mut got = Vec::new();
+    // An upper bound far above any frame count the input could hold: the
+    // loop finishing is itself an assertion against livelock.
+    for _ in 0..10_000 {
+        match reader.read_frame(&mut cursor) {
+            Ok(Some(frame)) => got.push(frame),
+            Ok(None) => return (got, None),
+            // Recoverable protocol errors: the reader stays in sync and
+            // the stream continues.
+            Err(V2Error::Oversized { .. } | V2Error::BadPayload { .. }) => {
+                got.clear(); // sync point changed; only later frames matter
+            }
+            Err(e) => return (got, Some(e)),
+        }
+    }
+    panic!("frame reader failed to terminate on {} bytes", bytes.len());
+}
+
+#[test]
+fn clean_streams_round_trip() {
+    let mut rng = Prng::from_stream(seed(), 21);
+    for iter in 0..50 {
+        let n = 1 + rng.below(8);
+        let (bytes, want) = valid_stream(&mut rng, n);
+        let (got, err) = drain(&bytes);
+        assert!(err.is_none(), "iter {iter}: clean stream errored: {err:?}");
+        assert_eq!(got, want, "iter {iter}: clean stream mangled");
+    }
+}
+
+#[test]
+fn truncated_streams_yield_a_prefix_then_a_typed_error() {
+    let mut rng = Prng::from_stream(seed(), 22);
+    for iter in 0..80 {
+        let n = 1 + rng.below(8);
+        let (bytes, want) = valid_stream(&mut rng, n);
+        let cut = rng.below(bytes.len());
+        let (got, err) = drain(&bytes[..cut]);
+        assert!(
+            got.len() <= want.len() && got == want[..got.len()],
+            "iter {iter}: truncation fabricated frames: {got:?}"
+        );
+        // A cut can land exactly on a frame boundary (clean EOF) or
+        // mid-frame (UnexpectedEof) — both are typed, neither panics.
+        if let Some(e) = err {
+            match e {
+                V2Error::Io(io) => {
+                    assert_eq!(
+                        io.kind(),
+                        std::io::ErrorKind::UnexpectedEof,
+                        "iter {iter}: wrong error kind"
+                    );
+                }
+                V2Error::BadHeader(_) => {} // cut produced a short header line
+                other => panic!("iter {iter}: unexpected error {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_streams_never_panic_and_errors_stay_typed() {
+    let mut rng = Prng::from_stream(seed(), 23);
+    for _ in 0..150 {
+        let n = 1 + rng.below(8);
+        let (mut bytes, _) = valid_stream(&mut rng, n);
+        for _ in 0..1 + rng.below(4) {
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        // Whatever the flips hit — header sigil, seq digits, declared
+        // length, payload, framing newlines — drain() must terminate with
+        // frames and/or one typed error. The assertions live inside
+        // drain(); a panic or hang here is the failure.
+        let _ = drain(&bytes);
+    }
+}
+
+#[test]
+fn oversized_declared_lengths_are_drained_and_the_stream_resyncs() {
+    let mut rng = Prng::from_stream(seed(), 24);
+    for iter in 0..30 {
+        // An oversized frame (declared just over MAX_FRAME, body present)
+        // interleaved between two valid frames: the reader must refuse it
+        // as Oversized, swallow its body, and then hand back the trailing
+        // valid frame.
+        let huge = 1024 * 1024 + 1 + rng.below(512);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"@1 2\nok\n");
+        bytes.extend_from_slice(format!("@2 {huge}\n").as_bytes());
+        bytes.extend(std::iter::repeat_n(b'x', huge));
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"@3 4\ntail\n");
+
+        let mut cursor = Cursor::new(bytes);
+        let mut reader = V2FrameReader::new();
+        assert_eq!(
+            reader.read_frame(&mut cursor).unwrap(),
+            Some((1, "ok".into()))
+        );
+        match reader.read_frame(&mut cursor) {
+            Err(V2Error::Oversized { seq: 2, declared }) => assert_eq!(declared, huge),
+            other => panic!("iter {iter}: expected Oversized, got {other:?}"),
+        }
+        assert_eq!(
+            reader.read_frame(&mut cursor).unwrap(),
+            Some((3, "tail".into())),
+            "iter {iter}: reader lost sync after draining the oversized body"
+        );
+        assert_eq!(reader.read_frame(&mut cursor).unwrap(), None);
+    }
+}
+
+#[test]
+fn header_parser_rejects_garbage_without_panicking() {
+    let mut rng = Prng::from_stream(seed(), 25);
+    // Valid headers parse; every seeded mutation either still parses (the
+    // flip hit a digit and made another digit) or fails with a message —
+    // never a panic.
+    assert_eq!(parse_v2_header("@7 12"), Ok((7, 12)));
+    assert_eq!(parse_v2_header("@0 0"), Ok((0, 0)));
+    for kind in [
+        "", "@", "@ ", "@x 3", "@3", "@3 x", "#3 4", "@3 4 5", "@-1 4",
+    ] {
+        assert!(parse_v2_header(kind).is_err(), "{kind:?} should not parse");
+    }
+    for _ in 0..500 {
+        let mut header = b"@12 345".to_vec();
+        for _ in 0..1 + rng.below(3) {
+            let i = rng.below(header.len());
+            header[i] ^= 1 << rng.below(8);
+        }
+        let _ = parse_v2_header(&String::from_utf8_lossy(&header));
+    }
+}
+
+#[test]
+fn live_server_survives_a_seeded_frame_storm() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut rng = Prng::from_stream(seed(), 26);
+
+    for iter in 0..25 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"HELLO v2\n").unwrap();
+        let mut ack = [0u8; 6]; // "+2\nv2\n"
+        stream.read_exact(&mut ack).unwrap();
+        assert_eq!(&ack, b"+2\nv2\n", "iter {iter}: handshake broke");
+
+        // A burst of valid frames with seeded mutations sprinkled in.
+        let n = 2 + rng.below(5);
+        let (mut bytes, _) = valid_stream(&mut rng, n);
+        match rng.below(3) {
+            0 => {
+                let cut = rng.below(bytes.len());
+                bytes.truncate(cut);
+            }
+            1 => {
+                for _ in 0..1 + rng.below(5) {
+                    let i = rng.below(bytes.len());
+                    bytes[i] ^= 1 << rng.below(8);
+                }
+            }
+            _ => {
+                let at = rng.below(bytes.len());
+                bytes.splice(at..at, b"@999999 999999999999\n".iter().copied());
+            }
+        }
+        let _ = stream.write_all(&bytes);
+        let _ = stream.flush();
+        // Drain whatever the server answers (typed errors and/or results)
+        // until it closes or goes quiet; a read timeout here would mean
+        // the session hung, which fails the test via the 5 s deadline
+        // never being hit on a healthy server.
+        drop(stream);
+    }
+
+    // The storm left the server healthy: fresh v1 and v2 connections work.
+    let mut v1 = ElephantClient::connect(addr).unwrap();
+    v1.query_raw("CREATE TABLE alive (a int)").unwrap();
+    v1.query_raw("INSERT INTO alive VALUES (1)").unwrap();
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+    assert_eq!(
+        v2.send("QUERY SELECT count(*) AS n FROM alive").unwrap(),
+        "n\n1\n"
+    );
+    v1.shutdown().unwrap();
+    drop((v1, v2));
+    handle.join();
+}

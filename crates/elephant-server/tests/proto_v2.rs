@@ -1,0 +1,283 @@
+//! End-to-end tests for the pipelined v2 wire protocol: handshake
+//! negotiation, positional pipelining, BATCH over v2, chunked streaming of
+//! large results, the result-buffer cap, and sequence-id discipline —
+//! always cross-checked against a v1 connection on the same server, whose
+//! bytes must be unaffected by v2 existing.
+
+use elephant_server::{
+    start, ClientError, ElephantClient, PipelineClient, ServerConfig, ServerError,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn stat(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|line| {
+            let (k, v) = line.split_once(' ')?;
+            (k == key).then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or_else(|| panic!("no stat '{key}' in:\n{stats}"))
+}
+
+/// A result wide enough to stream: three length-prefixed INSERTs build a
+/// table whose full scan is several 64 KiB chunks.
+fn build_big_table(c: &mut ElephantClient) {
+    c.query_raw("CREATE TABLE big (a int)").unwrap();
+    for block in 0..3 {
+        let values: Vec<String> = (0..8000)
+            .map(|i| format!("({})", 100_000 + block * 8000 + i))
+            .collect();
+        c.query_raw(&format!("INSERT INTO big VALUES {}", values.join(",")))
+            .unwrap();
+    }
+}
+
+#[test]
+fn handshake_negotiates_v2_and_refuses_unknown_versions() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Unknown version: typed refusal, connection stays v1 and usable.
+    let mut v1 = ElephantClient::connect(addr).unwrap();
+    match v1.send("HELLO v9") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, "ERR_PARSE");
+            assert!(e.message.contains("unsupported protocol"), "{e}");
+        }
+        other => panic!("HELLO v9 should be refused, got {other:?}"),
+    }
+    v1.query_raw("CREATE TABLE t (a int)").unwrap();
+    v1.query_raw("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+
+    // v2 and v1 connections answer the same query byte-identically.
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+    let sql = "QUERY SELECT a FROM t ORDER BY a";
+    assert_eq!(v2.send(sql).unwrap(), v1.send(sql).unwrap());
+
+    v1.shutdown().unwrap();
+    drop((v1, v2));
+    handle.join();
+}
+
+#[test]
+fn pipelined_commands_answer_positionally_with_per_command_errors() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+
+    let commands = [
+        "QUERY CREATE TABLE p (a int)",
+        "QUERY INSERT INTO p VALUES (1), (2)",
+        "QUERY SELECT a FROM nowhere", // fails; later commands still answer
+        "QUERY SELECT sum(a) AS s FROM p",
+    ];
+    let results = v2.pipeline(&commands).unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[0].as_ref().unwrap(), "ok 0");
+    assert_eq!(results[1].as_ref().unwrap(), "ok 2");
+    let err = results[2].as_ref().unwrap_err();
+    assert_eq!(err.code, "ERR_EXEC", "{err}");
+    assert_eq!(results[3].as_ref().unwrap(), "s\n3\n");
+
+    // The server observed the burst as pipelined work.
+    let stats = v2.send("STATS").unwrap();
+    assert!(
+        stat(&stats, "pipelined_frames") >= 1,
+        "burst never counted as pipelined:\n{stats}"
+    );
+
+    v2.send("SHUTDOWN").unwrap();
+    drop(v2);
+    handle.join();
+}
+
+#[test]
+fn batch_over_v2_amortizes_framing_and_reports_mid_batch_errors() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+
+    let bodies = v2
+        .batch(&[
+            "CREATE TABLE b (a int)",
+            "INSERT INTO b VALUES (1), (2)",
+            "SELECT sum(a) AS s FROM b",
+        ])
+        .unwrap();
+    assert_eq!(bodies, vec!["ok 0", "ok 2", "s\n3\n"]);
+
+    // A mid-batch failure names the failing statement; earlier ones stand.
+    match v2.batch(&["INSERT INTO b VALUES (3)", "SELECT a FROM nowhere"]) {
+        Err(ClientError::Server(ServerError { code, message })) => {
+            assert_eq!(code, "ERR_EXEC");
+            assert!(message.starts_with("batch statement 2/2:"), "{message}");
+        }
+        other => panic!("mid-batch failure should surface, got {other:?}"),
+    }
+    assert_eq!(
+        v2.send("QUERY SELECT count(*) AS n FROM b").unwrap(),
+        "n\n3\n",
+        "statements before the failing one stay applied"
+    );
+
+    v2.send("SHUTDOWN").unwrap();
+    drop(v2);
+    handle.join();
+}
+
+#[test]
+fn large_results_stream_in_chunks_and_reassemble_byte_identically() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut v1 = ElephantClient::connect(addr).unwrap();
+    build_big_table(&mut v1);
+
+    let sql = "QUERY SELECT a FROM big ORDER BY a";
+    let reference = v1.send(sql).unwrap();
+    assert!(
+        reference.len() > 2 * 64 * 1024,
+        "test table too small to stream ({} bytes)",
+        reference.len()
+    );
+
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+    assert_eq!(
+        v2.send(sql).unwrap(),
+        reference,
+        "reassembled stream differs"
+    );
+
+    let stats = v2.send("STATS").unwrap();
+    assert!(
+        stat(&stats, "chunks_streamed") >= 2,
+        "large body never chunked:\n{stats}"
+    );
+    assert_eq!(
+        stat(&stats, "result_buffer_bytes"),
+        0,
+        "buffered bytes must drain back to zero:\n{stats}"
+    );
+    assert!(
+        stat(&stats, "result_buffer_peak_bytes") >= reference.len() as u64,
+        "peak gauge missed the streamed body:\n{stats}"
+    );
+
+    v1.shutdown().unwrap();
+    drop((v1, v2));
+    handle.join();
+}
+
+#[test]
+fn result_buffer_cap_refuses_oversized_bodies_on_v2_only() {
+    let config = ServerConfig {
+        max_result_buffer_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.local_addr();
+    let mut v1 = ElephantClient::connect(addr).unwrap();
+    build_big_table(&mut v1);
+
+    let sql = "QUERY SELECT a FROM big ORDER BY a";
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+    match v2.send(sql) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, "ERR_OVERSIZED", "{e}");
+            assert!(e.message.contains("--max-result-buffer-bytes"), "{e}");
+        }
+        other => panic!("capped v2 result should be refused, got {other:?}"),
+    }
+    // The refusal is per-response: the connection keeps working.
+    assert_eq!(
+        v2.send("QUERY SELECT count(*) AS n FROM big").unwrap(),
+        "n\n24000\n"
+    );
+    // v1 is byte-frozen: the cap does not apply there.
+    assert!(v1.send(sql).unwrap().len() > 4096);
+
+    v1.shutdown().unwrap();
+    drop((v1, v2));
+    handle.join();
+}
+
+#[test]
+fn sequence_ids_must_strictly_increase() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Raw socket: hand-roll the handshake and frames to control seqs.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"HELLO v2\n").unwrap();
+    let read_frame = |reader: &mut BufReader<TcpStream>| -> (String, String) {
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let status = status.trim_end().to_string();
+        let len: usize = status
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .trim_start_matches('+')
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len + 1];
+        reader.read_exact(&mut body).unwrap();
+        body.pop();
+        (status, String::from_utf8(body).unwrap())
+    };
+    assert_eq!(read_frame(&mut reader), ("+2".into(), "v2".into()));
+
+    writer.write_all(b"@5 5\nSTATS\n").unwrap();
+    let (status, _) = read_frame(&mut reader);
+    assert_eq!(status, format!("+5 {}", status.split(' ').nth(1).unwrap()));
+
+    // Replaying the same seq is a protocol error on that seq...
+    writer.write_all(b"@5 5\nSTATS\n").unwrap();
+    let (status, body) = read_frame(&mut reader);
+    assert!(status.starts_with("-5 "), "{status}");
+    assert!(body.starts_with("ERR_PARSE"), "{body}");
+    assert!(body.contains("not greater than"), "{body}");
+
+    // ...and the connection stays usable for the next valid seq.
+    writer.write_all(b"@6 5\nSTATS\n").unwrap();
+    let (status, _) = read_frame(&mut reader);
+    assert!(status.starts_with("+6 "), "{status}");
+
+    writer.write_all(b"@7 8\nSHUTDOWN\n").unwrap();
+    let (status, _) = read_frame(&mut reader);
+    assert!(status.starts_with("+7 "), "{status}");
+    drop((writer, reader));
+    handle.join();
+}
+
+#[test]
+fn prepared_statements_bind_parameters_over_v2() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut v2 = PipelineClient::connect(addr).unwrap();
+
+    v2.send("QUERY CREATE TABLE q (a int, b text)").unwrap();
+    v2.send("QUERY INSERT INTO q VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+        .unwrap();
+    v2.send("PREPARE byid AS SELECT b FROM q WHERE a = $1")
+        .unwrap();
+
+    // One prepared plan, many bindings, pipelined in one round trip.
+    let results = v2
+        .pipeline(&["EXECUTE byid (1)", "EXECUTE byid (3)", "EXECUTE byid (2)"])
+        .unwrap();
+    let bodies: Vec<&str> = results
+        .iter()
+        .map(|r| r.as_ref().unwrap().as_str())
+        .collect();
+    assert_eq!(bodies, vec!["b\none\n", "b\nthree\n", "b\ntwo\n"]);
+
+    let stats = v2.send("STATS").unwrap();
+    assert_eq!(stat(&stats, "params_bound"), 3, "{stats}");
+
+    v2.send("SHUTDOWN").unwrap();
+    drop(v2);
+    handle.join();
+}

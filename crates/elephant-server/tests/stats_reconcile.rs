@@ -15,8 +15,9 @@ use std::path::PathBuf;
 fn counter_key(cmd: &Command) -> &'static str {
     match cmd {
         Command::Query(_) => "queries",
+        Command::Batch(_) => "batches",
         Command::Prepare { .. } => "prepares",
-        Command::Execute(_) => "executes",
+        Command::Execute { .. } => "executes",
         Command::Deallocate(_) => "other_commands",
         Command::Explain { .. } => "explains",
         Command::Trace(_) => "traces",
@@ -31,8 +32,9 @@ fn counter_key(cmd: &Command) -> &'static str {
 }
 
 /// Every per-verb key `commands_served` is defined as the sum of.
-const PER_VERB_KEYS: [&str; 12] = [
+const PER_VERB_KEYS: [&str; 13] = [
     "queries",
+    "batches",
     "prepares",
     "executes",
     "explains",
@@ -81,6 +83,16 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
     c.query_raw("SELECT a FROM t ORDER BY a").unwrap();
     c.prepare("q", "SELECT sum(a) AS s FROM t").unwrap();
     c.execute("q").unwrap();
+    // Parameterized prepared statement: `$1` binds at EXECUTE time.
+    c.prepare("p1", "SELECT a FROM t WHERE a = $1").unwrap();
+    assert_eq!(c.send("EXECUTE p1 (2)").unwrap(), "a\n2\n");
+    // One BATCH frame carrying two statements: one batch command served,
+    // two batch statements executed, bodies joined by the separator.
+    assert_eq!(
+        c.send("BATCH INSERT INTO t VALUES (3)\u{1e}SELECT count(*) AS n FROM t")
+            .unwrap(),
+        "ok 1\u{1e}n\n3\n"
+    );
     c.send("DEALLOCATE q").unwrap();
     c.send("EXPLAIN SELECT a FROM t WHERE a > 1").unwrap();
     c.send("TRACE 5").unwrap();
@@ -104,8 +116,9 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
     // landing in the wrong bucket.
     for (key, want) in [
         ("queries", 3),
-        ("prepares", 1),
-        ("executes", 1),
+        ("batches", 1),
+        ("prepares", 2),
+        ("executes", 2),
         ("explains", 1),
         ("traces", 1),
         ("inspects", 1),
@@ -118,7 +131,17 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
     ] {
         assert_eq!(stat(&body, key), want, "counter '{key}' off:\n{body}");
     }
-    assert_eq!(served, 14);
+    assert_eq!(served, 17);
+
+    // Protocol-v2 satellite counters. This session is a v1 text client, so
+    // nothing was pipelined or streamed; the BATCH frame carried two
+    // statements and `EXECUTE p1 (2)` bound one parameter.
+    assert_eq!(stat(&body, "pipelined_frames"), 0, "{body}");
+    assert_eq!(stat(&body, "batch_statements"), 2, "{body}");
+    assert_eq!(stat(&body, "params_bound"), 1, "{body}");
+    assert_eq!(stat(&body, "chunks_streamed"), 0, "{body}");
+    assert_eq!(stat(&body, "result_buffer_bytes"), 0, "{body}");
+    let _ = stat(&body, "result_buffer_peak_bytes");
 
     // The session switched itself to columnar above, so STATS reports the
     // session's mode and the engine counted vectorized batches. The
@@ -155,7 +178,24 @@ fn commands_served_reconciles_with_every_per_verb_counter() {
             },
             "prepares",
         ),
-        (Command::Execute("q".into()), "executes"),
+        (
+            Command::Execute {
+                name: "q".into(),
+                args: None,
+            },
+            "executes",
+        ),
+        (
+            Command::Execute {
+                name: "q".into(),
+                args: Some("1, 'x'".into()),
+            },
+            "executes",
+        ),
+        (
+            Command::Batch(vec!["SELECT 1".into(), "SELECT 2".into()]),
+            "batches",
+        ),
         (Command::Deallocate("q".into()), "other_commands"),
         (
             Command::Explain {
@@ -290,6 +330,25 @@ fn sharded_stats_reconcile_count_txns_and_rejects() {
         "refused write must not have executed"
     );
 
+    // A BATCH whose statements all resolve to one shard travels as one
+    // job: one `batches` tick, two `batch_statements`.
+    assert_eq!(
+        c.send(&format!(
+            "BATCH INSERT INTO {a} VALUES (20)\u{1e}SELECT count(*) AS n FROM {a}"
+        ))
+        .unwrap(),
+        "ok 1\u{1e}n\n4\n"
+    );
+    // A BATCH spanning shards decomposes into per-statement QUERY routing:
+    // two `queries` ticks, two more `batch_statements`, no `batches` tick.
+    assert_eq!(
+        c.send(&format!(
+            "BATCH INSERT INTO {a} VALUES (21)\u{1e}INSERT INTO {b} VALUES (21)"
+        ))
+        .unwrap(),
+        "ok 1\u{1e}ok 1"
+    );
+
     // Broadcast verbs fan out to every shard but count once.
     assert_eq!(
         c.send("SET exec_mode columnar").unwrap(),
@@ -312,17 +371,20 @@ fn sharded_stats_reconcile_count_txns_and_rejects() {
     }
 
     // The satellite accounting identity, on four shards: 9 queries (the
-    // 2PC transaction is ONE query; the reject counts nothing), one SET,
-    // one CHECKPOINT — broadcasts count once despite running on every
-    // shard. The rendering STATS counts itself only after rendering.
-    assert_eq!(stat(&stats, "queries"), 9, "{stats}");
+    // 2PC transaction is ONE query; the reject counts nothing) plus the 2
+    // legs of the cross-shard batch, one single-shard BATCH, one SET, one
+    // CHECKPOINT — broadcasts count once despite running on every shard.
+    // The rendering STATS counts itself only after rendering.
+    assert_eq!(stat(&stats, "queries"), 11, "{stats}");
+    assert_eq!(stat(&stats, "batches"), 1, "{stats}");
+    assert_eq!(stat(&stats, "batch_statements"), 4, "{stats}");
     assert_eq!(stat(&stats, "set_calls"), 1, "{stats}");
     assert_eq!(stat(&stats, "checkpoints_served"), 1, "{stats}");
     assert_eq!(stat(&stats, "stats_calls"), 0, "{stats}");
     let served = stat(&stats, "commands_served");
     let sum: u64 = PER_VERB_KEYS.iter().map(|k| stat(&stats, k)).sum();
     assert_eq!(served, sum, "4-shard reconciliation broke:\n{stats}");
-    assert_eq!(served, 11, "{stats}");
+    assert_eq!(served, 14, "{stats}");
 
     c.shutdown().unwrap();
     drop(c);

@@ -197,6 +197,9 @@ pub enum Expr {
     },
     /// Literal value.
     Literal(Value),
+    /// Positional parameter placeholder `$n` (1-based), bound at execution
+    /// time by `EXECUTE name (values...)`.
+    Parameter(usize),
     /// Binary operation.
     Binary {
         /// Operator.

@@ -840,6 +840,7 @@ impl<'a> Binder<'a> {
                 }
             }
             Expr::Literal(v) => BExpr::Lit(v.clone()),
+            Expr::Parameter(n) => BExpr::Param(*n),
             Expr::Binary { op, left, right } => BExpr::Binary {
                 op: *op,
                 left: Box::new(self.bind_expr(left, schema)?),
@@ -1029,6 +1030,7 @@ fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) {
         Expr::ScalarSubquery(_)
         | Expr::Column { .. }
         | Expr::Literal(_)
+        | Expr::Parameter(_)
         | Expr::ArrayLiteral(_) => {}
     }
 }
@@ -1074,6 +1076,7 @@ fn rewrite_post_agg(
             }
         }
         Expr::Literal(v) => BExpr::Lit(v.clone()),
+        Expr::Parameter(n) => BExpr::Param(*n),
         Expr::Binary { op, left, right } => BExpr::Binary {
             op: *op,
             left: Box::new(rewrite_post_agg(
@@ -1387,7 +1390,7 @@ fn plain_equi(e: &BExpr, nleft: usize) -> Option<EquiKey> {
 fn remap_right(e: &mut BExpr, nleft: usize) {
     match e {
         BExpr::Col(i) => *i -= nleft,
-        BExpr::Lit(_) | BExpr::Subplan(_) => {}
+        BExpr::Lit(_) | BExpr::Param(_) | BExpr::Subplan(_) => {}
         BExpr::Binary { left, right, .. } => {
             remap_right(left, nleft);
             remap_right(right, nleft);
@@ -1460,6 +1463,9 @@ pub fn infer_type(expr: &BExpr, schema: &Schema) -> DataType {
             .map(|c| c.ty.clone())
             .unwrap_or(DataType::Text),
         BExpr::Lit(v) => v.data_type().unwrap_or(DataType::Text),
+        // A parameter's value is unknown until EXECUTE; default like an
+        // untyped literal. Parameters in the projection inherit Text.
+        BExpr::Param(_) => DataType::Text,
         BExpr::Binary { op, left, right } => {
             use ast::BinaryOp::*;
             match op {

@@ -15,6 +15,7 @@
 
 use crate::ast;
 use crate::plan::{PlanNode, PlanRoot, ScanSource, Schema};
+use etypes::Value;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -29,6 +30,9 @@ pub struct CachedPlan {
     /// Names of catalog objects (tables, views) this plan reads; DDL on any
     /// of them invalidates the entry. Sorted and deduplicated.
     pub tables: Vec<String>,
+    /// Highest `$n` placeholder in the plan (0 when the plan takes no
+    /// parameters and can be executed directly from the shared `root`).
+    pub params: usize,
 }
 
 impl CachedPlan {
@@ -185,6 +189,85 @@ impl PlanCache {
     }
 }
 
+/// Rewrite the top-level WHERE clause of `query` so that literal constants
+/// compared against non-literal expressions become `$n` placeholders,
+/// returning the rewritten query and the extracted values in placeholder
+/// order. Point lookups that differ only in their constants then normalize
+/// to the same shape and share one cached parameterized plan.
+///
+/// Deliberately conservative: only binary comparisons (`=`, `<>`, `<`, `>`,
+/// `<=`, `>=`) directly under the WHERE's AND/OR chain are rewritten, and
+/// only when exactly one side is a literal (literal-vs-literal comparisons
+/// stay foldable by the optimizer). Returns `None` — meaning "execute
+/// unnormalized" — when there is no WHERE clause, nothing was extracted, or
+/// the WHERE already contains explicit `$n` parameters or a scalar subquery
+/// (whose inner placeholders would collide with our numbering).
+pub fn normalize_select_literals(query: &ast::Query) -> Option<(ast::Query, Vec<Value>)> {
+    let selection = query.body.selection.as_ref()?;
+    if expr_blocks_normalization(selection) {
+        return None;
+    }
+    let mut normalized = query.clone();
+    let mut values = Vec::new();
+    if let Some(sel) = normalized.body.selection.as_mut() {
+        extract_comparison_literals(sel, &mut values);
+    }
+    if values.is_empty() {
+        return None;
+    }
+    Some((normalized, values))
+}
+
+/// True when the WHERE expression contains an explicit parameter or a
+/// scalar subquery anywhere — both make literal extraction unsafe.
+fn expr_blocks_normalization(e: &ast::Expr) -> bool {
+    match e {
+        ast::Expr::Parameter(_) | ast::Expr::ScalarSubquery(_) => true,
+        ast::Expr::Column { .. } | ast::Expr::Literal(_) => false,
+        ast::Expr::Binary { left, right, .. } => {
+            expr_blocks_normalization(left) || expr_blocks_normalization(right)
+        }
+        ast::Expr::Unary { operand, .. } => expr_blocks_normalization(operand),
+        ast::Expr::Function { args, .. } => args.iter().any(expr_blocks_normalization),
+        ast::Expr::Case { whens, else_expr } => {
+            whens
+                .iter()
+                .any(|(w, t)| expr_blocks_normalization(w) || expr_blocks_normalization(t))
+                || else_expr.as_deref().is_some_and(expr_blocks_normalization)
+        }
+        ast::Expr::Cast { expr, .. } => expr_blocks_normalization(expr),
+        ast::Expr::InList { expr, list, .. } => {
+            expr_blocks_normalization(expr) || list.iter().any(expr_blocks_normalization)
+        }
+        ast::Expr::IsNull { expr, .. } => expr_blocks_normalization(expr),
+        ast::Expr::ArrayLiteral(items) => items.iter().any(expr_blocks_normalization),
+    }
+}
+
+fn extract_comparison_literals(e: &mut ast::Expr, out: &mut Vec<Value>) {
+    use ast::BinaryOp::*;
+    if let ast::Expr::Binary { op, left, right } = e {
+        match op {
+            Eq | NotEq | Lt | Gt | Le | Ge => {
+                let l_lit = matches!(**left, ast::Expr::Literal(_));
+                let r_lit = matches!(**right, ast::Expr::Literal(_));
+                if l_lit != r_lit {
+                    let target = if l_lit { left } else { right };
+                    if let ast::Expr::Literal(v) = &**target {
+                        out.push(v.clone());
+                        **target = ast::Expr::Parameter(out.len());
+                    }
+                }
+            }
+            And | Or => {
+                extract_comparison_literals(left, out);
+                extract_comparison_literals(right, out);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Collect the catalog objects a query reads: the union of every named FROM
 /// reference in the AST (which still sees view names before the binder
 /// inlines them) and every base-table / materialized-view scan in the bound
@@ -250,7 +333,7 @@ fn ast_table_ref_deps(table_ref: &ast::TableRef, deps: &mut BTreeSet<String>) {
 
 pub(crate) fn ast_expr_deps(expr: &ast::Expr, deps: &mut BTreeSet<String>) {
     match expr {
-        ast::Expr::Column { .. } | ast::Expr::Literal(_) => {}
+        ast::Expr::Column { .. } | ast::Expr::Literal(_) | ast::Expr::Parameter(_) => {}
         ast::Expr::Binary { left, right, .. } => {
             ast_expr_deps(left, deps);
             ast_expr_deps(right, deps);
@@ -332,6 +415,7 @@ mod tests {
             }),
             schema: Schema::default(),
             tables: tables.iter().map(|s| s.to_string()).collect(),
+            params: 0,
         }
     }
 

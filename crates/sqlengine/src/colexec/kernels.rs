@@ -14,7 +14,7 @@
 //! [`binary`] / [`eval`] so the two engines cannot disagree.
 
 use crate::ast::{BinaryOp, UnaryOp};
-use crate::error::Result;
+use crate::error::{Result, SqlError};
 use crate::exec::eval::{binary, eval, three_valued_and, three_valued_or, truthy};
 use crate::exec::ExecContext;
 use crate::plan::BExpr;
@@ -273,6 +273,13 @@ pub(crate) fn eval_col(
             }
         }
         BExpr::Lit(v) => Evaluated::Scalar(v.clone()),
+        // Parameters are substituted for literals before execution
+        // (`PlanRoot::bind_params`); reaching one here is an engine bug.
+        BExpr::Param(n) => {
+            return Err(SqlError::exec(format!(
+                "unbound parameter ${n} reached the columnar executor"
+            )))
+        }
         BExpr::Binary { op, left, right } => match op {
             BinaryOp::And => {
                 let l = eval_col(left, chunk, sel, ctx)?;

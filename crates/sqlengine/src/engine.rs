@@ -1001,7 +1001,7 @@ impl Engine {
                 Ok(no_rows(0))
             }
             Statement::Select(query) => {
-                let relation = self.run_query(&query)?;
+                let relation = self.run_select_cached(&query)?;
                 Ok(ExecOutcome {
                     relation: Some(relation),
                     rows_affected: 0,
@@ -1029,6 +1029,30 @@ impl Engine {
                 })
             }
         }
+    }
+
+    /// Execute a plain SELECT through the plan cache when it normalizes:
+    /// literal constants in top-level WHERE comparisons are lifted into `$n`
+    /// placeholders (see [`crate::cache::normalize_select_literals`]) so
+    /// point lookups differing only in their constants share one cached
+    /// parameterized plan. Queries that don't normalize run unbound as
+    /// before.
+    fn run_select_cached(&mut self, query: &crate::ast::Query) -> Result<Relation> {
+        let Some((normalized, values)) = crate::cache::normalize_select_literals(query) else {
+            return self.run_query(query);
+        };
+        // Keyed on the normalized AST (Debug form), prefixed so the keys can
+        // never collide with raw-SQL keys from PREPARE/query_cached.
+        let key = format!("{}\u{1f}ast\u{1f}{:?}", self.exec_mode, normalized);
+        let cached = match self.plan_cache.get(&key) {
+            Some(hit) => hit,
+            None => {
+                let plan = self.plan_query(&normalized)?;
+                self.plan_cache.insert(key, plan.clone());
+                plan
+            }
+        };
+        self.run_cached(&cached, &values)
     }
 
     /// Bind, optimize and execute a query to a [`Relation`].
@@ -1134,6 +1158,13 @@ impl Engine {
     /// Run a single SELECT through the LRU plan cache: parse + bind +
     /// optimize only on a miss, re-execute the cached plan on a hit.
     pub fn query_cached(&mut self, sql: &str) -> Result<Relation> {
+        self.query_cached_with(sql, &[])
+    }
+
+    /// Run a single SELECT through the plan cache, binding `$n` placeholders
+    /// to `params` (1-based: `$1` takes `params[0]`). The parameter count
+    /// must match the highest placeholder in the statement exactly.
+    pub fn query_cached_with(&mut self, sql: &str, params: &[Value]) -> Result<Relation> {
         let key = self.cache_key(sql);
         let cached = match self.plan_cache.get(&key) {
             Some(hit) => hit,
@@ -1143,9 +1174,30 @@ impl Engine {
                 plan
             }
         };
-        // Clone the Rc so execution does not borrow the cache.
-        let root = Rc::clone(&cached.root);
-        self.run_bound(&root, &cached.schema)
+        self.run_cached(&cached, params)
+    }
+
+    /// Execute a cached plan: parameter-free plans run the shared `Rc`
+    /// directly; parameterized plans are cloned with every `$n` substituted
+    /// by its value before execution, so no runtime path ever sees an
+    /// unbound parameter.
+    fn run_cached(&mut self, cached: &CachedPlan, params: &[Value]) -> Result<Relation> {
+        if cached.params != params.len() {
+            return Err(SqlError::bind(format!(
+                "statement needs {} parameter{}, got {}",
+                cached.params,
+                if cached.params == 1 { "" } else { "s" },
+                params.len()
+            )));
+        }
+        if cached.params == 0 {
+            // Clone the Rc so execution does not borrow the cache.
+            let root = Rc::clone(&cached.root);
+            self.run_bound(&root, &cached.schema)
+        } else {
+            let bound = cached.root.bind_params(params);
+            self.run_bound(&bound, &cached.schema)
+        }
     }
 
     fn plan_select(&mut self, sql: &str) -> Result<CachedPlan> {
@@ -1155,19 +1207,26 @@ impl Engine {
                 "only SELECT statements can be prepared/cached",
             ));
         };
+        self.plan_query(&query)
+    }
+
+    /// Bind + optimize an already parsed SELECT into a cacheable plan.
+    fn plan_query(&mut self, query: &crate::ast::Query) -> Result<CachedPlan> {
         let t = self.trace.timer();
-        let (mut root, schema) = bind_select(&self.catalog, &self.profile, &query)?;
+        let (mut root, schema) = bind_select(&self.catalog, &self.profile, query)?;
         self.trace.record(Phase::Bind, t);
         if self.profile.enable_optimizer {
             let t = self.trace.timer();
             optimize(&mut root);
             self.trace.record(Phase::Optimize, t);
         }
-        let tables = collect_table_deps(&query, &root);
+        let tables = collect_table_deps(query, &root);
+        let params = root.max_param();
         Ok(CachedPlan {
             root: Rc::new(root),
             schema,
             tables,
+            params,
         })
     }
 
@@ -1182,12 +1241,18 @@ impl Engine {
 
     /// Execute a named prepared statement through the plan cache.
     pub fn execute_prepared(&mut self, name: &str) -> Result<Relation> {
+        self.execute_prepared_with(name, &[])
+    }
+
+    /// Execute a named prepared statement, binding `$n` placeholders to
+    /// `params` (the `EXECUTE name (v1, v2, ...)` form).
+    pub fn execute_prepared_with(&mut self, name: &str, params: &[Value]) -> Result<Relation> {
         let sql = self
             .prepared
             .get(name)
             .cloned()
             .ok_or_else(|| SqlError::bind(format!("unknown prepared statement '{name}'")))?;
-        self.query_cached(&sql)
+        self.query_cached_with(&sql, params)
     }
 
     /// Drop a named prepared statement (PostgreSQL `DEALLOCATE`). The plan
@@ -1946,6 +2011,29 @@ mod tests {
         let stats = e.plan_cache_stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn point_lookups_differing_only_in_literals_share_one_plan() {
+        // The regression this guards: before literal normalization, every
+        // distinct constant planned from scratch — 100 lookups, 100
+        // misses, a cold cache forever. Normalized, the first lookup
+        // plans `a = $1` and the other 99 bind it.
+        let mut e = engine();
+        e.execute("CREATE TABLE t (a int, b text)").unwrap();
+        let values: Vec<String> = (0..100).map(|i| format!("({i}, 'v{i}')")).collect();
+        e.execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+            .unwrap();
+        for i in 0..100 {
+            let r = e.query(&format!("SELECT b FROM t WHERE a = {i}")).unwrap();
+            assert_eq!(r.rows, vec![vec![Value::text(format!("v{i}"))]]);
+        }
+        let stats = e.plan_cache_stats();
+        assert!(
+            stats.hits >= 99,
+            "point lookups did not share a parameterized plan: {stats:?}"
+        );
+        assert_eq!(stats.misses, 1, "{stats:?}");
     }
 
     #[test]

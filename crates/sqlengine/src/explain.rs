@@ -191,6 +191,7 @@ fn render_expr(e: &BExpr) -> String {
     match e {
         BExpr::Col(i) => format!("#{i}"),
         BExpr::Lit(v) => v.sql_literal(),
+        BExpr::Param(n) => format!("${n}"),
         BExpr::Binary { op, left, right } => {
             let op = match op {
                 BinaryOp::Add => "+",

@@ -93,6 +93,21 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 };
                 push!(Tok::Literal(value));
             }
+            '$' if chars.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                pos += 1;
+                let start = pos;
+                while pos < chars.len() && chars[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let text: String = chars[start..pos].iter().collect();
+                let n: usize = text
+                    .parse()
+                    .map_err(|_| SqlError::parse(line, format!("bad parameter ${text}")))?;
+                if n == 0 {
+                    return Err(SqlError::parse(line, "parameter numbers start at $1"));
+                }
+                push!(Tok::Param(n));
+            }
             c if c.is_alphabetic() || c == '_' => {
                 let start = pos;
                 while pos < chars.len()

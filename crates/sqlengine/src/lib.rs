@@ -51,6 +51,7 @@ pub use deps::{parse_sql, statement_deps, StatementDeps};
 pub use durable::{DurableBackend, MemoryBackend, StorageBackend};
 pub use engine::{Engine, EngineStats, ExecOutcome, Health};
 pub use error::{Result, SqlError};
+pub use parser::parse_param_values;
 pub use profile::EngineProfile;
 pub use storage::Relation;
 pub use trace::{EngineTrace, OpProfile, Phase, QueryProfile};

@@ -169,7 +169,7 @@ fn conjuncts(e: BExpr) -> Vec<BExpr> {
 fn has_subplan(e: &BExpr) -> bool {
     match e {
         BExpr::Subplan(_) => true,
-        BExpr::Col(_) | BExpr::Lit(_) => false,
+        BExpr::Col(_) | BExpr::Lit(_) | BExpr::Param(_) => false,
         BExpr::Binary { left, right, .. } => has_subplan(left) || has_subplan(right),
         BExpr::Unary { operand, .. } => has_subplan(operand),
         BExpr::Func { args, .. } => args.iter().any(has_subplan),
@@ -194,6 +194,7 @@ fn substitute(e: &BExpr, exprs: &[BExpr]) -> BExpr {
     match e {
         BExpr::Col(i) => exprs[*i].clone(),
         BExpr::Lit(v) => BExpr::Lit(v.clone()),
+        BExpr::Param(n) => BExpr::Param(*n),
         BExpr::Binary { op, left, right } => BExpr::Binary {
             op: *op,
             left: Box::new(substitute(left, exprs)),

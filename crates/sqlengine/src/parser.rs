@@ -35,6 +35,71 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
     }
 }
 
+/// Parse a comma-separated list of literal values — the argument list of the
+/// wire protocol's `EXECUTE name (v1, v2, ...)` form. Accepts numbers
+/// (optionally negated), quoted strings, `true`/`false`, and `null`; an
+/// empty or all-whitespace input yields an empty list.
+pub fn parse_param_values(text: &str) -> Result<Vec<Value>> {
+    let tokens = tokenize(text)?;
+    let mut vals = Vec::new();
+    let mut i = 0;
+    loop {
+        if tokens[i].kind == Tok::Eof {
+            if vals.is_empty() {
+                break;
+            }
+            return Err(SqlError::parse(
+                tokens[i].line,
+                "expected a parameter value after ','",
+            ));
+        }
+        let negated = tokens[i].kind == Tok::Minus;
+        if negated {
+            i += 1;
+        }
+        let line = tokens[i].line;
+        let v = match &tokens[i].kind {
+            Tok::Literal(v) => v.clone(),
+            Tok::Word(w) if !negated && w == "null" => Value::Null,
+            Tok::Word(w) if !negated && w == "true" => Value::Bool(true),
+            Tok::Word(w) if !negated && w == "false" => Value::Bool(false),
+            other => {
+                return Err(SqlError::parse(
+                    line,
+                    format!("expected a literal parameter value, found '{other}'"),
+                ))
+            }
+        };
+        let v = if negated {
+            match v {
+                Value::Int(n) => Value::Int(-n),
+                Value::Float(f) => Value::Float(-f),
+                other => {
+                    return Err(SqlError::parse(
+                        line,
+                        format!("cannot negate parameter value {}", other.sql_literal()),
+                    ))
+                }
+            }
+        } else {
+            v
+        };
+        vals.push(v);
+        i += 1;
+        match &tokens[i].kind {
+            Tok::Comma => i += 1,
+            Tok::Eof => break,
+            other => {
+                return Err(SqlError::parse(
+                    tokens[i].line,
+                    format!("expected ',' between parameter values, found '{other}'"),
+                ))
+            }
+        }
+    }
+    Ok(vals)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -770,6 +835,10 @@ impl Parser {
             Tok::Literal(v) => {
                 self.bump();
                 Ok(Expr::Literal(v))
+            }
+            Tok::Param(n) => {
+                self.bump();
+                Ok(Expr::Parameter(n))
             }
             Tok::LParen => {
                 self.bump();

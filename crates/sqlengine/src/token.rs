@@ -23,6 +23,8 @@ pub enum Tok {
     QuotedIdent(String),
     /// Literal value (number, string, boolean handled as Word).
     Literal(Value),
+    /// Positional parameter placeholder `$1`, `$2`, ... (1-based).
+    Param(usize),
     /// Positional star `*`.
     Star,
     /// `(`
@@ -73,6 +75,7 @@ impl fmt::Display for Tok {
             Tok::Word(w) => write!(f, "{w}"),
             Tok::QuotedIdent(w) => write!(f, "\"{w}\""),
             Tok::Literal(v) => write!(f, "{}", v.sql_literal()),
+            Tok::Param(n) => write!(f, "${n}"),
             Tok::Star => write!(f, "*"),
             Tok::LParen => write!(f, "("),
             Tok::RParen => write!(f, ")"),
